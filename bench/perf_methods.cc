@@ -1,0 +1,58 @@
+// Wall-clock comparison of all nine CF methods (not in the paper, which
+// reports no runtimes): fit time, per-instance generation time, and the
+// validity bought per second — the operational trade-off a deployer cares
+// about when choosing among Table IV's rows.
+#include <chrono>
+#include <cstdio>
+
+#include "src/baselines/dice_gradient.h"
+#include "src/baselines/registry.h"
+#include "src/common/string_util.h"
+#include "src/core/experiment.h"
+#include "src/metrics/report.h"
+
+int main() {
+  using namespace cfx;
+  using Clock = std::chrono::steady_clock;
+  RunConfig run = RunConfig::FromEnv();
+  auto experiment = Experiment::Create(DatasetId::kAdult, run);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  Experiment& exp = **experiment;
+  Matrix x_eval = exp.TestSubset(run.eval_instances);
+
+  TablePrinter printer({"Method", "Fit (s)", "Generate (ms/instance)",
+                        "Validity (%)"});
+  // The nine Table IV methods plus the extra DiCE-gradient backend.
+  std::vector<std::unique_ptr<CfMethod>> methods;
+  for (MethodKind kind : AllMethodKinds()) {
+    methods.push_back(CreateMethod(kind, exp.method_context()));
+  }
+  methods.push_back(
+      std::make_unique<DiceGradientMethod>(exp.method_context()));
+  for (auto& method : methods) {
+    auto fit_start = Clock::now();
+    CFX_CHECK_OK(method->Fit(exp.x_train(), exp.y_train()));
+    const double fit_seconds =
+        std::chrono::duration<double>(Clock::now() - fit_start).count();
+
+    auto gen_start = Clock::now();
+    CfResult result = method->Generate(x_eval);
+    const double gen_ms_per_instance =
+        std::chrono::duration<double, std::milli>(Clock::now() - gen_start)
+            .count() /
+        static_cast<double>(x_eval.rows());
+
+    size_t valid = 0;
+    for (size_t i = 0; i < result.size(); ++i) valid += result.IsValid(i);
+    printer.AddRow({method->name(), StrFormat("%.2f", fit_seconds),
+                    StrFormat("%.2f", gen_ms_per_instance),
+                    StrFormat("%.1f", 100.0 * valid / result.size())});
+  }
+  std::printf("Method runtimes — Adult, %zu eval rows, single core\n%s",
+              x_eval.rows(), printer.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Microbenchmarks for the tensor substrate: matmul, elementwise kernels and
+// a full autodiff forward+backward of an MLP-shaped graph.
+#include <benchmark/benchmark.h>
+
+#include "src/nn/layers.h"
+#include "src/nn/losses.h"
+
+namespace cfx {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(n, n, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::RandomNormal(n, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Matrix c = a.MatMul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BatchLinearForward(benchmark::State& state) {
+  // The shape the experiments actually run: batch x 120 census input.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Matrix x = Matrix::RandomUniform(batch, 120, 0.0f, 1.0f, &rng);
+  Matrix w = Matrix::RandomNormal(120, 20, 0.0f, 0.1f, &rng);
+  for (auto _ : state) {
+    Matrix h = x.MatMul(w);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchLinearForward)->Arg(256)->Arg(2048);
+
+void BM_ElementwiseMap(benchmark::State& state) {
+  Rng rng(3);
+  Matrix x = Matrix::RandomNormal(512, 512, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    Matrix y = x.Map([](float v) { return v > 0.0f ? v : 0.0f; });
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_ElementwiseMap);
+
+void BM_AutodiffMlpStep(benchmark::State& state) {
+  // Forward + backward + (no step) of a Table II-sized network on one batch.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>(29, 20, &rng));
+  net.Add(std::make_unique<nn::ReluLayer>());
+  net.Add(std::make_unique<nn::Linear>(20, 16, &rng));
+  net.Add(std::make_unique<nn::ReluLayer>());
+  net.Add(std::make_unique<nn::Linear>(16, 1, &rng));
+  Matrix x = Matrix::RandomUniform(batch, 29, 0.0f, 1.0f, &rng);
+  Matrix y(batch, 1);
+  for (size_t i = 0; i < batch; ++i) y.at(i, 0) = static_cast<float>(i % 2);
+  std::vector<ag::Var> params = net.Parameters();
+  for (auto _ : state) {
+    ag::Var loss = nn::BceWithLogits(net.Forward(ag::Constant(x)), y);
+    ag::ZeroGrad(params);
+    ag::Backward(loss);
+    benchmark::DoNotOptimize(params[0]->grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_AutodiffMlpStep)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace cfx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Microbenchmarks for model training: classifier epochs, VAE ELBO epochs and
+// one four-part-loss step of the CF generator, at the experiment's shapes.
+#include <benchmark/benchmark.h>
+
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+
+namespace cfx {
+namespace {
+
+/// Shared experiment (Adult, small scale) built once.
+Experiment* GetExperiment() {
+  static Experiment* experiment = [] {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 3;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    CFX_CHECK_OK(exp.status());
+    return std::move(*exp).release();
+  }();
+  return experiment;
+}
+
+void BM_ClassifierTrainEpoch(benchmark::State& state) {
+  Experiment* exp = GetExperiment();
+  Rng rng(7);
+  ClassifierConfig config;
+  config.epochs = 1;
+  for (auto _ : state) {
+    BlackBoxClassifier clf(exp->encoder().encoded_width(), config, &rng);
+    TrainStats stats = clf.Train(exp->x_train(), exp->y_train(), &rng);
+    benchmark::DoNotOptimize(stats.final_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * exp->x_train().rows());
+}
+BENCHMARK(BM_ClassifierTrainEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_VaeElboEpoch(benchmark::State& state) {
+  Experiment* exp = GetExperiment();
+  Rng rng(8);
+  VaeConfig config;
+  config.input_dim = exp->encoder().encoded_width();
+  config.condition_dim = 0;
+  Vae vae(config, &rng);
+  VaeTrainConfig train;
+  train.epochs = 1;
+  for (auto _ : state) {
+    TrainStats stats = vae.TrainElbo(exp->x_train(), Matrix(), train, &rng);
+    benchmark::DoNotOptimize(stats.final_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * exp->x_train().rows());
+}
+BENCHMARK(BM_VaeElboEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratorFitEpoch(benchmark::State& state) {
+  Experiment* exp = GetExperiment();
+  for (auto _ : state) {
+    GeneratorConfig config =
+        GeneratorConfig::FromDataset(exp->info(), ConstraintMode::kBinary);
+    config.epochs = 1;
+    config.max_restarts = 0;
+    FeasibleCfGenerator generator(exp->method_context(), config);
+    CFX_CHECK_OK(generator.Fit(exp->x_train(), exp->y_train()));
+    benchmark::DoNotOptimize(generator.last_epoch_terms().data());
+  }
+  state.SetItemsProcessed(state.iterations() * exp->x_train().rows());
+}
+BENCHMARK(BM_GeneratorFitEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratorGenerate(benchmark::State& state) {
+  Experiment* exp = GetExperiment();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(exp->info(), ConstraintMode::kUnary);
+  config.epochs = 3;
+  config.max_restarts = 0;
+  FeasibleCfGenerator generator(exp->method_context(), config);
+  CFX_CHECK_OK(generator.Fit(exp->x_train(), exp->y_train()));
+  Matrix x = exp->TestSubset(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    CfResult result = generator.Generate(x);
+    benchmark::DoNotOptimize(result.cfs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_GeneratorGenerate)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfx
+
+BENCHMARK_MAIN();

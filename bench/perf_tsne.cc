@@ -1,0 +1,84 @@
+// Microbenchmarks for the exact t-SNE implementation (Figure 6's workhorse):
+// scaling in point count and the per-row perplexity calibration.
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "src/manifold/knn.h"
+#include "src/manifold/tsne.h"
+
+namespace cfx {
+namespace {
+
+void BM_TsneFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix x = Matrix::RandomNormal(n, 10, 0.0f, 1.0f, &rng);
+  TsneConfig config;
+  config.iterations = 100;
+  for (auto _ : state) {
+    Rng tsne_rng(2);
+    Matrix y = RunTsne(x, config, &tsne_rng);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TsneFull)->Arg(100)->Arg(250)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PerplexityCalibration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> sq(n);
+  for (double& v : sq) v = rng.Uniform(0.1, 10.0);
+  sq[0] = 0.0;
+  std::vector<double> row;
+  for (auto _ : state) {
+    internal::CalibrateRow(sq, 0, 30.0, &row);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PerplexityCalibration)->Arg(350)->Arg(1000);
+
+void BM_KnnIndexQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix data = Matrix::RandomUniform(n, 28, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  Matrix query = Matrix::RandomUniform(1, 28, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    auto hits = index.Query(query, 8);
+    benchmark::DoNotOptimize(hits.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnIndexQuery)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_KnnBruteForceQuery(benchmark::State& state) {
+  // Baseline the VP-tree is judged against.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  Matrix data = Matrix::RandomUniform(n, 28, 0.0f, 1.0f, &rng);
+  Matrix query = Matrix::RandomUniform(1, 28, 0.0f, 1.0f, &rng);
+  std::vector<float> dists(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      for (size_t c = 0; c < 28; ++c) {
+        const float d = query.at(0, c) - data.at(i, c);
+        acc += d * d;
+      }
+      dists[i] = acc;
+    }
+    std::partial_sort(dists.begin(), dists.begin() + 8, dists.end());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnnBruteForceQuery)->Arg(1000)->Arg(5000)->Arg(20000);
+
+}  // namespace
+}  // namespace cfx
+
+BENCHMARK_MAIN();

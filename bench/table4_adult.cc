@@ -1,0 +1,22 @@
+// Reproduces Table IV(a): all nine CF methods on the Adult Income dataset.
+//
+// Paper reference values (synthetic-data runs reproduce the *ordering* and
+// rough factors, not the absolute numbers — see EXPERIMENTS.md):
+//   Our method (a) Unary : validity 98,  feas/unary 72.38, sparsity 4.33
+//   Our method (b) Binary: validity 100, feas/binary 77.54, sparsity 4.55
+//   CEM wins sparsity (2.10) but trails on validity (74) and feasibility.
+#include <cstdio>
+
+#include "src/core/table_four.h"
+
+int main() {
+  cfx::RunConfig config = cfx::RunConfig::FromEnv();
+  auto result = cfx::RunTableFour(cfx::DatasetId::kAdult, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "table4_adult failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->rendered.c_str());
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Table IV(b): all nine CF methods on the KDD Census-Income
+// dataset.
+//
+// Paper reference values (shape targets): our method reaches validity 100
+// with feasibility 94.10 (unary) / 80.84 (binary); C-CHVAE's validity
+// collapses (48.44); CEM again wins sparsity (0.51) with high feasibility
+// because it barely changes anything.
+#include <cstdio>
+
+#include "src/core/table_four.h"
+
+int main() {
+  cfx::RunConfig config = cfx::RunConfig::FromEnv();
+  auto result = cfx::RunTableFour(cfx::DatasetId::kCensus, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "table4_census failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->rendered.c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Recourse at scale on the KDD Census-Income dataset (41 attributes, the
+// paper's widest benchmark).
+//
+// Demonstrates (a) the copy-prior generator staying sparse even with 25
+// low-signal census fields, (b) immutable attributes surviving generation,
+// and (c) the feasibility/sparsity trade-off of the unary vs binary
+// constraint models on the same inputs.
+#include <cstdio>
+
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+#include "src/metrics/report.h"
+
+using namespace cfx;
+
+int main() {
+  RunConfig run = RunConfig::FromEnv();
+  auto experiment = Experiment::Create(DatasetId::kCensus, run);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+  Experiment& exp = **experiment;
+  std::printf("Census: %zu train rows, %zu encoded dims, %.1f%% positive\n",
+              exp.x_train().rows(), exp.encoder().encoded_width(),
+              100.0 * [&] {
+                double p = 0;
+                for (int y : exp.y_train()) p += y;
+                return p / exp.y_train().size();
+              }());
+
+  Matrix x_eval = exp.TestSubset(run.eval_instances);
+  std::vector<MetricsRow> rows;
+  for (ConstraintMode mode :
+       {ConstraintMode::kUnary, ConstraintMode::kBinary}) {
+    FeasibleCfGenerator generator(
+        exp.method_context(), GeneratorConfig::FromDataset(exp.info(), mode));
+    CFX_CHECK_OK(generator.Fit(exp.x_train(), exp.y_train()));
+    CfResult result = generator.Generate(x_eval);
+
+    // Count immutable violations (there must be none).
+    size_t violations = 0;
+    for (size_t fi : exp.schema().ImmutableIndices()) {
+      for (size_t i = 0; i < result.size(); ++i) {
+        violations += exp.encoder().FeatureValue(result.cfs.Row(i), fi) !=
+                      exp.encoder().FeatureValue(result.inputs.Row(i), fi);
+      }
+    }
+    std::printf("%s: immutable violations across %zu CFs: %zu\n",
+                generator.name().c_str(), result.size(), violations);
+    rows.push_back({EvaluateMethod(generator.name(), exp.encoder(),
+                                   exp.info(), result),
+                    mode == ConstraintMode::kUnary,
+                    mode == ConstraintMode::kBinary});
+  }
+  std::printf("\n%s",
+              RenderMetricsTable("Census recourse — constraint model "
+                                 "comparison",
+                                 rows)
+                  .c_str());
+  std::printf(
+      "\nNote how sparsity stays below ~10 of 41 attributes: the copy-prior "
+      "decoder (DESIGN.md §3) defaults every census field to 'unchanged'.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "src/baselines/cchvae.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cfx {
+
+CchvaeMethod::CchvaeMethod(const MethodContext& ctx,
+                           const CchvaeConfig& config)
+    : CfMethod(ctx), config_(config), rng_(ctx.seed ^ 0xCC4A) {}
+
+Status CchvaeMethod::Fit(const Matrix& x_train,
+                         const std::vector<int>& labels) {
+  VaeConfig vae_config;
+  vae_config.input_dim = ctx_.encoder->encoded_width();
+  vae_config.condition_dim = 1;
+  vae_config.dropout = 0.1f;
+  vae_config.softmax_blocks = ctx_.encoder->CategoricalBlockRanges();
+  vae_ = std::make_unique<Vae>(vae_config, &rng_);
+
+  Matrix cond(x_train.rows(), 1);
+  for (size_t r = 0; r < x_train.rows(); ++r) {
+    cond.at(r, 0) = static_cast<float>(labels[r]);
+  }
+  vae_->TrainElbo(x_train, cond, config_.vae, &rng_);
+  vae_->Freeze();
+  return Status::OK();
+}
+
+CfResult CchvaeMethod::Generate(const Matrix& x) {
+  if (vae_ == nullptr) return FinishResult(x, x);
+
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix desired_cond(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    desired_cond.at(r, 0) = static_cast<float>(desired[r]);
+  }
+  auto [mu, logvar] = vae_->Encode(x, desired_cond);
+  (void)logvar;
+  const size_t latent = vae_->config().latent_dim;
+
+  // Default output: the straight conditional reconstruction.
+  Matrix result = vae_->Decode(mu, desired_cond);
+  std::vector<bool> found(x.rows(), false);
+
+  float radius = config_.initial_radius;
+  for (size_t step = 0; step < config_.radii; ++step) {
+    // Distance of the best accepted candidate per row at this radius.
+    std::vector<float> best_dist(x.rows(),
+                                 std::numeric_limits<float>::infinity());
+    for (size_t c = 0; c < config_.candidates_per_radius; ++c) {
+      // One spherical perturbation per row.
+      Matrix z = mu;
+      for (size_t r = 0; r < x.rows(); ++r) {
+        if (found[r]) continue;
+        double norm_sq = 0.0;
+        std::vector<float> dir(latent);
+        for (size_t j = 0; j < latent; ++j) {
+          dir[j] = static_cast<float>(rng_.Normal());
+          norm_sq += static_cast<double>(dir[j]) * dir[j];
+        }
+        const float inv_norm =
+            norm_sq > 0 ? radius / static_cast<float>(std::sqrt(norm_sq))
+                        : 0.0f;
+        for (size_t j = 0; j < latent; ++j) {
+          z.at(r, j) += dir[j] * inv_norm;
+        }
+      }
+      Matrix decoded = vae_->Decode(z, desired_cond);
+      // Judge candidates on their projected (hard one-hot) form — what the
+      // final CF will be evaluated as.
+      Matrix projected(decoded.rows(), decoded.cols());
+      for (size_t r = 0; r < decoded.rows(); ++r) {
+        Matrix row = ctx_.encoder->ProjectRow(decoded.Row(r));
+        for (size_t j = 0; j < decoded.cols(); ++j) {
+          projected.at(r, j) = row.at(0, j);
+        }
+      }
+      std::vector<int> pred = ctx_.classifier->Predict(projected);
+      for (size_t r = 0; r < x.rows(); ++r) {
+        if (found[r] || pred[r] != desired[r]) continue;
+        // L1 distance to the input; keep the closest flip at this radius.
+        float dist = 0.0f;
+        for (size_t j = 0; j < x.cols(); ++j) {
+          dist += std::fabs(decoded.at(r, j) - x.at(r, j));
+        }
+        if (dist < best_dist[r]) {
+          best_dist[r] = dist;
+          for (size_t j = 0; j < x.cols(); ++j) {
+            result.at(r, j) = decoded.at(r, j);
+          }
+        }
+      }
+    }
+    bool all_found = true;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      if (std::isfinite(best_dist[r])) found[r] = true;
+      all_found = all_found && found[r];
+    }
+    if (all_found) break;
+    radius *= config_.radius_growth;
+  }
+  return FinishResult(x, result);
+}
+
+}  // namespace cfx

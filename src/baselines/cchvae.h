@@ -1,0 +1,46 @@
+// Baseline: C-CHVAE — Pawelczyk et al. (2019), "Learning Model-Agnostic
+// Counterfactual Explanations for Tabular Data" / "Towards User
+// Empowerment" [13].
+//
+// C-CHVAE trains a (conditional heterogeneous) VAE and searches the latent
+// neighbourhood of the input by *growing-sphere random search*: candidates
+// z = E(x) + r * u with u uniform on the unit sphere are decoded and tested
+// against the classifier, the radius r growing until a counterfactual in the
+// data manifold flips the prediction. Among the flips of the first
+// successful radius, the candidate closest to the input is returned —
+// yielding proximal, connected counterfactuals ("faithfulness", §II).
+#ifndef CFX_BASELINES_CCHVAE_H_
+#define CFX_BASELINES_CCHVAE_H_
+
+#include "src/baselines/method.h"
+#include "src/models/vae.h"
+
+namespace cfx {
+
+/// C-CHVAE hyperparameters.
+struct CchvaeConfig {
+  VaeTrainConfig vae;
+  float initial_radius = 0.25f;
+  float radius_growth = 1.6f;
+  size_t radii = 10;               ///< Number of growth steps.
+  size_t candidates_per_radius = 60;
+};
+
+class CchvaeMethod : public CfMethod {
+ public:
+  explicit CchvaeMethod(const MethodContext& ctx,
+                        const CchvaeConfig& config = CchvaeConfig());
+
+  std::string name() const override { return "C-CHVAE [13]"; }
+  Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
+  CfResult Generate(const Matrix& x) override;
+
+ private:
+  CchvaeConfig config_;
+  std::unique_ptr<Vae> vae_;
+  Rng rng_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_CCHVAE_H_

@@ -1,0 +1,105 @@
+#include "src/baselines/cem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/nn/losses.h"
+
+namespace cfx {
+
+CemMethod::CemMethod(const MethodContext& ctx, const CemConfig& config)
+    : CfMethod(ctx), config_(config) {}
+
+Status CemMethod::Fit(const Matrix& x_train, const std::vector<int>& labels) {
+  // CEM is training-free: it only queries/differentiates the black box.
+  (void)x_train;
+  (void)labels;
+  return Status::OK();
+}
+
+CfResult CemMethod::Generate(const Matrix& x) {
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix desired_pm1(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    desired_pm1.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;
+  }
+  const Matrix mutable_mask = ctx_.encoder->MutableMask();
+
+  Matrix delta(x.rows(), x.cols());  // Starts at zero.
+  Matrix best = x;                   // Snapshot of first flip per row.
+  std::vector<bool> found(x.rows(), false);
+
+  for (size_t it = 0; it < config_.max_iterations; ++it) {
+    // Smooth part: hinge + 0.5 * w2 * ||delta||^2, differentiated via the
+    // autodiff graph on (x + delta).
+    ag::Var delta_var = ag::Param(delta);
+    ag::Var x_cf = ag::Add(ag::Constant(x), delta_var);
+    ag::Var logits = ctx_.classifier->LogitsVar(x_cf);
+    // Sum (not mean) over rows: each row is an independent optimisation
+    // problem, so its gradient must not shrink with the batch size.
+    ag::Var validity = ag::Scale(
+        nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
+        static_cast<float>(x.rows()));
+    ag::Var l2 =
+        ag::Scale(ag::Sum(ag::Square(delta_var)), 0.5f * config_.l2_weight);
+    ag::Var smooth = ag::Add(validity, l2);
+    ag::Backward(smooth);
+
+    // Record flips before stepping — judged on the *projected* candidate
+    // (hard one-hots), which is what the final CF will be evaluated as.
+    Matrix projected(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      Matrix row = ctx_.encoder->ProjectRow(x_cf->value.Row(r));
+      for (size_t c = 0; c < x.cols(); ++c) projected.at(r, c) = row.at(0, c);
+    }
+    std::vector<int> proj_pred = ctx_.classifier->Predict(projected);
+    bool all_found = true;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      if (!found[r] && proj_pred[r] == desired[r]) {
+        found[r] = true;
+        for (size_t c = 0; c < x.cols(); ++c) {
+          best.at(r, c) = x_cf->value.at(r, c);
+        }
+      }
+      all_found = all_found && found[r];
+    }
+    if (all_found) break;
+
+    // Proximal step: gradient descent then ISTA soft-thresholding (the L1
+    // part), projection to the box, immutables pinned.
+    const float thresh = config_.step_size * config_.beta;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      if (found[r]) continue;
+      for (size_t c = 0; c < x.cols(); ++c) {
+        if (mutable_mask.at(0, c) == 0.0f) {
+          delta.at(r, c) = 0.0f;
+          continue;
+        }
+        float d = delta.at(r, c) -
+                  config_.step_size * delta_var->grad.at(r, c);
+        // Soft-threshold toward zero.
+        if (d > thresh) {
+          d -= thresh;
+        } else if (d < -thresh) {
+          d += thresh;
+        } else {
+          d = 0.0f;
+        }
+        // Keep x + delta inside [0, 1].
+        d = std::clamp(d, -x.at(r, c), 1.0f - x.at(r, c));
+        delta.at(r, c) = d;
+      }
+    }
+  }
+
+  // Rows that never flipped return their final perturbation.
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (found[r]) continue;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      best.at(r, c) = x.at(r, c) + delta.at(r, c);
+    }
+  }
+  return FinishResult(x, best);
+}
+
+}  // namespace cfx

@@ -1,0 +1,130 @@
+#include "src/baselines/dice_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+
+namespace cfx {
+
+DiceGradientMethod::DiceGradientMethod(const MethodContext& ctx,
+                                       const DiceGradientConfig& config)
+    : CfMethod(ctx), config_(config), rng_(ctx.seed ^ 0xD1CE6) {}
+
+Status DiceGradientMethod::Fit(const Matrix& x_train,
+                               const std::vector<int>& labels) {
+  (void)x_train;
+  (void)labels;  // Gradient search needs no training of its own.
+  return Status::OK();
+}
+
+CfResult DiceGradientMethod::Generate(const Matrix& x) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  const size_t k = std::max<size_t>(config_.k, 1);
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix desired_pm1(n, 1);
+  for (size_t r = 0; r < n; ++r) {
+    desired_pm1.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;
+  }
+  const Matrix mutable_mask = ctx_.encoder->MutableMask();
+
+  // k candidate matrices, each (n x d), initialised at the input plus noise.
+  std::vector<ag::Var> candidates(k);
+  for (size_t i = 0; i < k; ++i) {
+    Matrix init = x;
+    for (size_t e = 0; e < init.size(); ++e) {
+      init[e] = std::clamp(
+          init[e] + static_cast<float>(rng_.Normal(0.0, config_.init_noise)),
+          0.0f, 1.0f);
+    }
+    candidates[i] = ag::Param(init);
+  }
+  nn::Adam opt(candidates, config_.step_size);
+
+  const float pair_scale =
+      k >= 2 ? 2.0f / static_cast<float>(k * (k - 1)) : 0.0f;
+  for (size_t it = 0; it < config_.max_iterations; ++it) {
+    // Sum-semantics objective over all candidates.
+    ag::Var loss = ag::Constant(Matrix(1, 1));
+    for (size_t i = 0; i < k; ++i) {
+      ag::Var logits = ctx_.classifier->LogitsVar(candidates[i]);
+      ag::Var validity = ag::Scale(
+          nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
+          static_cast<float>(n));
+      ag::Var proximity = ag::Scale(
+          ag::Sum(ag::Abs(ag::Sub(candidates[i], ag::Constant(x)))),
+          config_.proximity_lambda);
+      loss = ag::Add(loss, ag::Add(validity, proximity));
+    }
+    // Diversity: reward pairwise spread (subtracted).
+    if (k >= 2) {
+      ag::Var spread = ag::Constant(Matrix(1, 1));
+      for (size_t i = 0; i < k; ++i) {
+        for (size_t j = i + 1; j < k; ++j) {
+          spread = ag::Add(
+              spread, ag::Sum(ag::Abs(ag::Sub(candidates[i], candidates[j]))));
+        }
+      }
+      loss = ag::Sub(loss, ag::Scale(spread, config_.diversity_lambda *
+                                                 pair_scale));
+    }
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+
+    // Project back into the box; pin immutables.
+    for (size_t i = 0; i < k; ++i) {
+      Matrix& value = candidates[i]->value;
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < d; ++c) {
+          if (mutable_mask.at(0, c) == 0.0f) {
+            value.at(r, c) = x.at(r, c);
+          } else {
+            value.at(r, c) = std::clamp(value.at(r, c), 0.0f, 1.0f);
+          }
+        }
+      }
+    }
+  }
+
+  // Evaluate all projected candidates; keep per-input sets and pick the
+  // closest valid one as the headline CF.
+  last_sets_.assign(n, {});
+  Matrix best = x;
+  std::vector<Matrix> projected(k, Matrix(n, d));
+  std::vector<std::vector<int>> pred(k);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t r = 0; r < n; ++r) {
+      Matrix row = ctx_.encoder->ProjectRow(candidates[i]->value.Row(r));
+      for (size_t c = 0; c < d; ++c) projected[i].at(r, c) = row.at(0, c);
+    }
+    pred[i] = ctx_.classifier->Predict(projected[i]);
+  }
+  for (size_t r = 0; r < n; ++r) {
+    CandidateSet& set = last_sets_[r];
+    set.candidates = Matrix(k, d);
+    set.valid.resize(k);
+    float best_dist = std::numeric_limits<float>::infinity();
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t c = 0; c < d; ++c) {
+        set.candidates.at(i, c) = projected[i].at(r, c);
+      }
+      set.valid[i] = pred[i][r] == desired[r];
+      if (!set.valid[i]) continue;
+      float dist = 0.0f;
+      for (size_t c = 0; c < d; ++c) {
+        dist += std::fabs(projected[i].at(r, c) - x.at(r, c));
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        for (size_t c = 0; c < d; ++c) best.at(r, c) = projected[i].at(r, c);
+      }
+    }
+  }
+  return FinishResult(x, best);
+}
+
+}  // namespace cfx

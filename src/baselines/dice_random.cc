@@ -1,0 +1,87 @@
+#include "src/baselines/dice_random.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cfx {
+
+DiceRandomMethod::DiceRandomMethod(const MethodContext& ctx,
+                                   const DiceRandomConfig& config)
+    : CfMethod(ctx), config_(config), rng_(ctx.seed ^ 0xD1CE) {}
+
+Status DiceRandomMethod::Fit(const Matrix& x_train,
+                             const std::vector<int>& labels) {
+  (void)x_train;
+  (void)labels;  // Pure random search needs no training.
+  mutable_features_.clear();
+  const Schema& schema = ctx_.encoder->schema();
+  for (size_t fi = 0; fi < schema.num_features(); ++fi) {
+    if (!schema.feature(fi).immutable) mutable_features_.push_back(fi);
+  }
+  return Status::OK();
+}
+
+void DiceRandomMethod::MutateRow(const Matrix& x, size_t r, size_t width,
+                                 Matrix* out) {
+  for (size_t c = 0; c < x.cols(); ++c) out->at(0, c) = x.at(r, c);
+  // Choose `width` distinct mutable features.
+  std::vector<size_t> pool = mutable_features_;
+  for (size_t w = 0; w < width && !pool.empty(); ++w) {
+    const size_t pick = rng_.UniformInt(pool.size());
+    const size_t fi = pool[pick];
+    pool[pick] = pool.back();
+    pool.pop_back();
+
+    const EncodedBlock& block = ctx_.encoder->block(fi);
+    switch (block.type) {
+      case FeatureType::kContinuous:
+        out->at(0, block.offset) = static_cast<float>(rng_.Uniform());
+        break;
+      case FeatureType::kBinary:
+        out->at(0, block.offset) = 1.0f - out->at(0, block.offset);
+        break;
+      case FeatureType::kCategorical: {
+        for (size_t j = 0; j < block.width; ++j) {
+          out->at(0, block.offset + j) = 0.0f;
+        }
+        out->at(0, block.offset + rng_.UniformInt(block.width)) = 1.0f;
+        break;
+      }
+    }
+  }
+}
+
+CfResult DiceRandomMethod::Generate(const Matrix& x) {
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix result = x;
+
+  Matrix candidate(1, x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    bool found = false;
+    float best_dist = std::numeric_limits<float>::infinity();
+    // Widths grow only until some flip is found: DiCE-random prefers the
+    // sparsest mutation that works.
+    for (size_t width = 1; width <= config_.max_width && !found; ++width) {
+      for (size_t t = 0; t < config_.tries_per_width; ++t) {
+        MutateRow(x, r, width, &candidate);
+        Matrix logits = ctx_.classifier->Logits(candidate);
+        const int pred = logits.at(0, 0) > 0.0f ? 1 : 0;
+        if (pred != desired[r]) continue;
+        float dist = 0.0f;
+        for (size_t c = 0; c < x.cols(); ++c) {
+          dist += std::fabs(candidate.at(0, c) - x.at(r, c));
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          for (size_t c = 0; c < x.cols(); ++c) {
+            result.at(r, c) = candidate.at(0, c);
+          }
+          found = true;
+        }
+      }
+    }
+  }
+  return FinishResult(x, result);
+}
+
+}  // namespace cfx

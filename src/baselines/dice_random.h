@@ -1,0 +1,47 @@
+// Baseline: DiCE (random sampling model) — Mothilal, Sharma & Tan (2019),
+// "Explaining Machine Learning Classifiers through Diverse Counterfactual
+// Explanations" [11], the `method="random"` backend of the DiCE library the
+// paper evaluates.
+//
+// For each input, random candidate counterfactuals are drawn by mutating a
+// random subset of mutable features (categoricals resampled uniformly,
+// continuous redrawn uniformly in [0,1]); candidates that flip the
+// black-box prediction are collected and the one changing the fewest
+// features (ties broken by L1 proximity) is returned. The number of mutated
+// features starts at 1 and grows, matching DiCE-random's sparsity-seeking
+// schedule.
+#ifndef CFX_BASELINES_DICE_RANDOM_H_
+#define CFX_BASELINES_DICE_RANDOM_H_
+
+#include "src/baselines/method.h"
+
+namespace cfx {
+
+/// DiCE-random hyperparameters.
+struct DiceRandomConfig {
+  size_t tries_per_width = 60;  ///< Samples per mutation width.
+  size_t max_width = 6;         ///< Max number of features mutated at once.
+};
+
+class DiceRandomMethod : public CfMethod {
+ public:
+  explicit DiceRandomMethod(const MethodContext& ctx,
+                            const DiceRandomConfig& config = DiceRandomConfig());
+
+  std::string name() const override { return "DiCE random [11]"; }
+  Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
+  CfResult Generate(const Matrix& x) override;
+
+ private:
+  /// Applies a random mutation of `width` features to row `r` of `x`,
+  /// writing the candidate into `out` (1 x d).
+  void MutateRow(const Matrix& x, size_t r, size_t width, Matrix* out);
+
+  DiceRandomConfig config_;
+  std::vector<size_t> mutable_features_;
+  Rng rng_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_DICE_RANDOM_H_

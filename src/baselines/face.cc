@@ -1,0 +1,143 @@
+#include "src/baselines/face.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/manifold/knn.h"
+
+namespace cfx {
+
+FaceMethod::FaceMethod(const MethodContext& ctx, const FaceConfig& config)
+    : CfMethod(ctx), config_(config), rng_(ctx.seed ^ 0xFACE) {}
+
+Status FaceMethod::Fit(const Matrix& x_train, const std::vector<int>& labels) {
+  (void)labels;
+  // Subsample the graph nodes if needed.
+  const size_t n = x_train.rows();
+  if (n <= config_.max_graph_nodes) {
+    nodes_ = x_train;
+  } else {
+    std::vector<size_t> perm = rng_.Permutation(n);
+    perm.resize(config_.max_graph_nodes);
+    nodes_ = x_train.GatherRows(perm);
+  }
+  const size_t m = nodes_.rows();
+  if (m < config_.k_neighbors + 1) {
+    return Status::FailedPrecondition("too few training rows for FACE graph");
+  }
+
+  // k-NN adjacency (symmetrised) + density estimate, via the exact VP-tree
+  // index (O(m log m)-ish instead of the brute-force O(m^2)).
+  index_ = std::make_unique<KnnIndex>(nodes_, &rng_);
+  adjacency_.assign(m, {});
+  std::vector<float> mean_knn(m, 0.0f);
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<Neighbor> hits = index_->QuerySelf(i, config_.k_neighbors);
+    float acc = 0.0f;
+    for (const Neighbor& hit : hits) {
+      adjacency_[i].push_back({hit.index, hit.distance});
+      acc += hit.distance;
+    }
+    mean_knn[i] = acc / static_cast<float>(config_.k_neighbors);
+  }
+  // Symmetrise: ensure j lists i whenever i lists j.
+  for (size_t i = 0; i < m; ++i) {
+    for (const auto& [j, w] : adjacency_[i]) {
+      bool present = false;
+      for (const auto& [back, bw] : adjacency_[j]) {
+        if (back == i) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) adjacency_[j].push_back({i, w});
+    }
+  }
+
+  // Density flag: mean k-NN distance below the median.
+  std::vector<float> sorted = mean_knn;
+  std::nth_element(sorted.begin(), sorted.begin() + m / 2, sorted.end());
+  const float median = sorted[m / 2];
+  node_dense_.resize(m);
+  for (size_t i = 0; i < m; ++i) node_dense_[i] = mean_knn[i] <= median;
+
+  // Classifier metadata per node.
+  Matrix logits = ctx_.classifier->Logits(nodes_);
+  node_pred_.resize(m);
+  node_confidence_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const float z = logits.at(i, 0);
+    node_pred_[i] = z > 0.0f ? 1 : 0;
+    const float p = 1.0f / (1.0f + std::exp(-std::fabs(z)));
+    node_confidence_[i] = p;
+  }
+  return Status::OK();
+}
+
+std::vector<float> FaceMethod::ShortestPaths(size_t source) const {
+  const size_t m = nodes_.rows();
+  std::vector<float> cost(m, std::numeric_limits<float>::infinity());
+  using Item = std::pair<float, size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  cost[source] = 0.0f;
+  queue.push({0.0f, source});
+  while (!queue.empty()) {
+    auto [c, u] = queue.top();
+    queue.pop();
+    if (c > cost[u]) continue;
+    for (const auto& [v, w] : adjacency_[u]) {
+      const float nc = c + w;
+      if (nc < cost[v]) {
+        cost[v] = nc;
+        queue.push({nc, v});
+      }
+    }
+  }
+  return cost;
+}
+
+CfResult FaceMethod::Generate(const Matrix& x) {
+  if (nodes_.rows() == 0) return FinishResult(x, x);
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix result = x;
+
+  for (size_t r = 0; r < x.rows(); ++r) {
+    // Entry node: nearest graph node to the input.
+    std::vector<Neighbor> nearest = index_->Query(x.Row(r), 1);
+    const size_t entry = nearest.empty() ? 0 : nearest[0].index;
+    std::vector<float> cost = ShortestPaths(entry);
+
+    // Cheapest dense, confident endpoint of the desired class.
+    size_t target = nodes_.rows();
+    float target_cost = std::numeric_limits<float>::infinity();
+    for (size_t i = 0; i < nodes_.rows(); ++i) {
+      if (node_pred_[i] != desired[r]) continue;
+      if (!node_dense_[i]) continue;
+      if (node_confidence_[i] < config_.min_confidence) continue;
+      if (cost[i] < target_cost) {
+        target_cost = cost[i];
+        target = i;
+      }
+    }
+    // Fall back to any reachable node of the desired class.
+    if (target == nodes_.rows()) {
+      for (size_t i = 0; i < nodes_.rows(); ++i) {
+        if (node_pred_[i] != desired[r]) continue;
+        if (cost[i] < target_cost) {
+          target_cost = cost[i];
+          target = i;
+        }
+      }
+    }
+    if (target < nodes_.rows()) {
+      for (size_t c = 0; c < x.cols(); ++c) {
+        result.at(r, c) = nodes_.at(target, c);
+      }
+    }
+  }
+  return FinishResult(x, result);
+}
+
+}  // namespace cfx

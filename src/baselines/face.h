@@ -1,0 +1,54 @@
+// Baseline: FACE — Poyiadzi et al. (2020), "FACE: Feasible and Actionable
+// Counterfactual Explanations" [19].
+//
+// FACE returns an *actual training point* reachable from the input through a
+// high-density path: a k-NN graph is built over (a subsample of) the
+// training set, edge weights are the L2 distances, and Dijkstra finds the
+// shortest path from the input's nearest node to any candidate endpoint that
+// (a) the black box predicts as the desired class with confidence above a
+// threshold and (b) lies in a dense region (its mean k-NN distance is below
+// the population median). The endpoint of the cheapest such path is the
+// counterfactual.
+#ifndef CFX_BASELINES_FACE_H_
+#define CFX_BASELINES_FACE_H_
+
+#include <memory>
+
+#include "src/baselines/method.h"
+#include "src/manifold/knn.h"
+
+namespace cfx {
+
+/// FACE hyperparameters.
+struct FaceConfig {
+  size_t max_graph_nodes = 1200;  ///< Training subsample bound (O(N^2) graph).
+  size_t k_neighbors = 8;
+  float min_confidence = 0.6f;    ///< Sigmoid confidence for endpoints.
+};
+
+class FaceMethod : public CfMethod {
+ public:
+  explicit FaceMethod(const MethodContext& ctx,
+                      const FaceConfig& config = FaceConfig());
+
+  std::string name() const override { return "FACE [19]"; }
+  Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
+  CfResult Generate(const Matrix& x) override;
+
+ private:
+  /// Dijkstra from node `source`; returns per-node path costs.
+  std::vector<float> ShortestPaths(size_t source) const;
+
+  FaceConfig config_;
+  Rng rng_;
+  Matrix nodes_;                       ///< Graph nodes (subsampled rows).
+  std::unique_ptr<KnnIndex> index_;    ///< Exact kNN over the nodes.
+  std::vector<std::vector<std::pair<size_t, float>>> adjacency_;
+  std::vector<int> node_pred_;         ///< Black-box label per node.
+  std::vector<float> node_confidence_; ///< Sigmoid confidence per node.
+  std::vector<bool> node_dense_;       ///< Mean k-NN distance below median.
+};
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_FACE_H_

@@ -1,0 +1,33 @@
+#include "src/baselines/method.h"
+
+namespace cfx {
+
+std::vector<int> CfMethod::DesiredClasses(const Matrix& x) const {
+  std::vector<int> pred = ctx_.classifier->Predict(x);
+  for (int& y : pred) y = 1 - y;
+  return pred;
+}
+
+CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw) const {
+  CfResult result;
+  result.inputs = x;
+  result.cfs_raw = cfs_raw;
+  result.desired = DesiredClasses(x);
+
+  // Project every CF onto the valid one-hot manifold and restore immutable
+  // attributes verbatim from the input (paper §III-C).
+  const Matrix mutable_mask = ctx_.encoder->MutableMask();
+  Matrix projected(cfs_raw.rows(), cfs_raw.cols());
+  for (size_t r = 0; r < cfs_raw.rows(); ++r) {
+    Matrix row = ctx_.encoder->ProjectRow(cfs_raw.Row(r));
+    for (size_t c = 0; c < row.cols(); ++c) {
+      if (mutable_mask.at(0, c) == 0.0f) row.at(0, c) = x.at(r, c);
+      projected.at(r, c) = row.at(0, c);
+    }
+  }
+  result.cfs = projected;
+  result.predicted = ctx_.classifier->Predict(result.cfs);
+  return result;
+}
+
+}  // namespace cfx

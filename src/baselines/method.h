@@ -1,0 +1,62 @@
+// Common interface for counterfactual generation methods — the paper's own
+// model and the six comparison baselines of Table IV all implement CfMethod,
+// so the evaluation harness treats them uniformly.
+#ifndef CFX_BASELINES_METHOD_H_
+#define CFX_BASELINES_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/cf_example.h"
+#include "src/datasets/spec.h"
+#include "src/models/classifier.h"
+
+namespace cfx {
+
+/// Everything a CF method may depend on. The encoder and classifier are
+/// owned by the experiment and outlive every method.
+struct MethodContext {
+  const TabularEncoder* encoder = nullptr;
+  BlackBoxClassifier* classifier = nullptr;
+  const DatasetInfo* info = nullptr;
+  uint64_t seed = 42;
+};
+
+/// A counterfactual explanation generator.
+class CfMethod {
+ public:
+  explicit CfMethod(const MethodContext& ctx) : ctx_(ctx) {}
+  virtual ~CfMethod() = default;
+
+  /// Display name, matching the Table IV row labels.
+  virtual std::string name() const = 0;
+
+  /// Trains/prepares internal models on the (encoded) training split.
+  virtual Status Fit(const Matrix& x_train,
+                     const std::vector<int>& labels) = 0;
+
+  /// Generates one counterfactual per row of `x`. The desired class of each
+  /// row is the opposite of the black box's prediction on it.
+  virtual CfResult Generate(const Matrix& x) = 0;
+
+  /// The experiment context this method runs against.
+  const MethodContext& context() const { return ctx_; }
+
+ protected:
+  /// Fills the shared CfResult bookkeeping: desired classes from the
+  /// classifier's predictions on `x`, predictions on the projected CFs, and
+  /// the projected/raw CF matrices.
+  CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw) const;
+
+  /// Desired (opposite) class per row of x.
+  std::vector<int> DesiredClasses(const Matrix& x) const;
+
+  MethodContext ctx_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_METHOD_H_

@@ -1,0 +1,72 @@
+#include "src/baselines/registry.h"
+
+#include "src/baselines/cchvae.h"
+#include "src/baselines/cem.h"
+#include "src/baselines/dice_random.h"
+#include "src/baselines/face.h"
+#include "src/baselines/mahajan.h"
+#include "src/baselines/revise.h"
+#include "src/core/generator.h"
+
+namespace cfx {
+
+const std::vector<MethodKind>& AllMethodKinds() {
+  static const std::vector<MethodKind> kKinds = {
+      MethodKind::kMahajanUnary, MethodKind::kMahajanBinary,
+      MethodKind::kRevise,       MethodKind::kCchvae,
+      MethodKind::kCem,          MethodKind::kDiceRandom,
+      MethodKind::kFace,         MethodKind::kOursUnary,
+      MethodKind::kOursBinary,
+  };
+  return kKinds;
+}
+
+std::unique_ptr<CfMethod> CreateMethod(MethodKind kind,
+                                       const MethodContext& ctx) {
+  switch (kind) {
+    case MethodKind::kMahajanUnary:
+      return std::make_unique<MahajanMethod>(ctx, ConstraintMode::kUnary);
+    case MethodKind::kMahajanBinary:
+      return std::make_unique<MahajanMethod>(ctx, ConstraintMode::kBinary);
+    case MethodKind::kRevise:
+      return std::make_unique<ReviseMethod>(ctx);
+    case MethodKind::kCchvae:
+      return std::make_unique<CchvaeMethod>(ctx);
+    case MethodKind::kCem:
+      return std::make_unique<CemMethod>(ctx);
+    case MethodKind::kDiceRandom:
+      return std::make_unique<DiceRandomMethod>(ctx);
+    case MethodKind::kFace:
+      return std::make_unique<FaceMethod>(ctx);
+    case MethodKind::kOursUnary:
+      return std::make_unique<FeasibleCfGenerator>(
+          ctx, GeneratorConfig::FromDataset(*ctx.info, ConstraintMode::kUnary));
+    case MethodKind::kOursBinary:
+      return std::make_unique<FeasibleCfGenerator>(
+          ctx,
+          GeneratorConfig::FromDataset(*ctx.info, ConstraintMode::kBinary));
+  }
+  return nullptr;
+}
+
+bool ShowsUnaryColumn(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kMahajanBinary:
+    case MethodKind::kOursBinary:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool ShowsBinaryColumn(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kMahajanUnary:
+    case MethodKind::kOursUnary:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace cfx

@@ -1,0 +1,41 @@
+// Factory over every CF method of Table IV, in the paper's row order.
+#ifndef CFX_BASELINES_REGISTRY_H_
+#define CFX_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/method.h"
+
+namespace cfx {
+
+/// All Table IV methods. kOursUnary/kOursBinary are the paper's models.
+enum class MethodKind {
+  kMahajanUnary,
+  kMahajanBinary,
+  kRevise,
+  kCchvae,
+  kCem,
+  kDiceRandom,
+  kFace,
+  kOursUnary,
+  kOursBinary,
+};
+
+/// Table IV row order.
+const std::vector<MethodKind>& AllMethodKinds();
+
+/// Instantiates a method. Table III hyperparameters are applied for the
+/// trained (VAE-based) methods.
+std::unique_ptr<CfMethod> CreateMethod(MethodKind kind,
+                                       const MethodContext& ctx);
+
+/// Whether the Table IV row reports the unary / binary feasibility column
+/// (the paper prints "-" for the inapplicable constraint model of the
+/// single-constraint methods).
+bool ShowsUnaryColumn(MethodKind kind);
+bool ShowsBinaryColumn(MethodKind kind);
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_REGISTRY_H_

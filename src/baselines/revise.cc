@@ -1,0 +1,94 @@
+#include "src/baselines/revise.h"
+
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+
+namespace cfx {
+
+ReviseMethod::ReviseMethod(const MethodContext& ctx,
+                           const ReviseConfig& config)
+    : CfMethod(ctx), config_(config), rng_(ctx.seed ^ 0x4E71) {}
+
+Status ReviseMethod::Fit(const Matrix& x_train,
+                         const std::vector<int>& labels) {
+  (void)labels;  // REVISE's generative model is label-free.
+  VaeConfig vae_config;
+  vae_config.input_dim = ctx_.encoder->encoded_width();
+  vae_config.condition_dim = 0;
+  vae_config.dropout = 0.1f;  // Lighter regularisation: pure density model.
+  vae_config.softmax_blocks = ctx_.encoder->CategoricalBlockRanges();
+  vae_ = std::make_unique<Vae>(vae_config, &rng_);
+  vae_->TrainElbo(x_train, Matrix(), config_.vae, &rng_);
+  vae_->Freeze();
+  return Status::OK();
+}
+
+CfResult ReviseMethod::Generate(const Matrix& x) {
+  if (vae_ == nullptr) {
+    // Not fitted: degrade to the identity "counterfactual".
+    return FinishResult(x, x);
+  }
+  // Batched latent-space descent. The per-row objectives are independent, so
+  // optimising their sum moves every row toward its own counterfactual.
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix desired_pm1(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    desired_pm1.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;
+  }
+
+  auto [mu, logvar] = vae_->Encode(x, Matrix());
+  (void)logvar;
+  ag::Var z = ag::Param(mu);
+  nn::Adam opt({z}, config_.step_size);
+
+  // Track the first decoding of each row that reaches its desired class —
+  // REVISE stops per-instance as soon as the class flips.
+  Matrix best = vae_->Decode(mu, Matrix());
+  std::vector<bool> found(x.rows(), false);
+
+  for (size_t it = 0; it < config_.max_iterations; ++it) {
+    ag::Var x_hat = vae_->DecodeVar(z, Matrix());
+    ag::Var logits = ctx_.classifier->LogitsVar(x_hat);
+    ag::Var validity =
+        nn::HingeLoss(logits, desired_pm1, config_.hinge_margin);
+    ag::Var proximity = nn::L1Loss(x_hat, x);
+    ag::Var loss =
+        ag::Add(validity, ag::Scale(proximity, config_.proximity_lambda));
+
+    // Snapshot rows whose *projected* decoding (hard one-hots — what the
+    // final CF is evaluated as) classifies to the desired class.
+    Matrix projected(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      Matrix row = ctx_.encoder->ProjectRow(x_hat->value.Row(r));
+      for (size_t c = 0; c < x.cols(); ++c) projected.at(r, c) = row.at(0, c);
+    }
+    std::vector<int> proj_pred = ctx_.classifier->Predict(projected);
+    bool all_found = true;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      if (!found[r] && proj_pred[r] == desired[r]) {
+        found[r] = true;
+        for (size_t c = 0; c < best.cols(); ++c) {
+          best.at(r, c) = x_hat->value.at(r, c);
+        }
+      }
+      all_found = all_found && found[r];
+    }
+    if (all_found) break;
+
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+
+  // Rows that never flipped keep their final decoding.
+  ag::Var final_hat = vae_->DecodeVar(ag::Constant(z->value), Matrix());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (found[r]) continue;
+    for (size_t c = 0; c < best.cols(); ++c) {
+      best.at(r, c) = final_hat->value.at(r, c);
+    }
+  }
+  return FinishResult(x, best);
+}
+
+}  // namespace cfx

@@ -1,0 +1,44 @@
+// Baseline: REVISE — Joshi et al. (2019), "Towards Realistic Individual
+// Recourse and Actionable Explanations in Black-Box Decision Making
+// Systems" [12].
+//
+// REVISE trains an *unconditional* VAE as a generative model of the data and
+// searches the latent space by gradient descent: starting from z = E(x), it
+// minimises  Hinge(h(D(z)), y') + lambda * ||D(z) - x||_1  over z, decoding
+// the final latent as the counterfactual. The VAE is frozen during the
+// search; gradients flow through the decoder into z only.
+#ifndef CFX_BASELINES_REVISE_H_
+#define CFX_BASELINES_REVISE_H_
+
+#include "src/baselines/method.h"
+#include "src/models/vae.h"
+
+namespace cfx {
+
+/// REVISE hyperparameters.
+struct ReviseConfig {
+  VaeTrainConfig vae;
+  float step_size = 0.08f;        ///< Adam step in latent space.
+  size_t max_iterations = 300;
+  float proximity_lambda = 0.3f;
+  float hinge_margin = 0.5f;
+};
+
+class ReviseMethod : public CfMethod {
+ public:
+  explicit ReviseMethod(const MethodContext& ctx,
+                        const ReviseConfig& config = ReviseConfig());
+
+  std::string name() const override { return "REVISE [12]"; }
+  Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
+  CfResult Generate(const Matrix& x) override;
+
+ private:
+  ReviseConfig config_;
+  std::unique_ptr<Vae> vae_;
+  Rng rng_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_BASELINES_REVISE_H_

@@ -1,0 +1,105 @@
+// Structural causal models over dataset features.
+//
+// The paper's feasibility Definition (§III) requires that "all variables
+// that conduct a causal model (i.e. a structure that depicts all possible
+// relations between the variables of a dataset) lie within the input
+// domain", and grounds the constraints of §III-A in such a model. cfx makes
+// the causal model a first-class object: a DAG of feature nodes, each with a
+// deterministic *mechanism* mapping its parents' (raw-domain) values to the
+// node's expected value, plus a tolerance describing the mechanism's noise
+// band.
+//
+// Two uses:
+//   * Consistency scoring of counterfactuals (§ScmConsistency): a CF that
+//     changes a cause should move its effects along the mechanism — or at
+//     least not move them *against* it. For every node whose parents
+//     changed, the CF's mechanism residual |value − f(parents)| must not
+//     exceed the input's residual by more than the tolerance. Unchanged-
+//     parent nodes must not drift against their mechanism either.
+//   * Ground-truth documentation: each dataset generator's planted causal
+//     structure (DESIGN.md §4) is exported as an SCM so tests and benches
+//     can verify the synthesis and the discovery module against it.
+#ifndef CFX_CAUSAL_SCM_H_
+#define CFX_CAUSAL_SCM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/encoder.h"
+#include "src/datasets/spec.h"
+
+namespace cfx {
+
+/// One endogenous node of the causal graph.
+struct ScmNode {
+  std::string name;                       ///< Feature name (must exist in schema).
+  std::vector<std::string> parents;       ///< Feature names of direct causes.
+  /// Expected raw-domain value given the parents' raw-domain values (in
+  /// `parents` order). Null for exogenous nodes.
+  std::function<double(const std::vector<double>&)> mechanism;
+  /// Acceptable |value - mechanism(parents)| band, in raw units.
+  double tolerance = 0.0;
+};
+
+/// Per-pair consistency verdict.
+struct ScmConsistency {
+  size_t num_nodes_checked = 0;
+  size_t num_violations = 0;
+  /// Names of violated nodes (for reports).
+  std::vector<std::string> violated;
+
+  bool consistent() const { return num_violations == 0; }
+};
+
+/// Aggregate over a CF batch.
+struct ScmBatchConsistency {
+  size_t num_pairs = 0;
+  size_t num_consistent = 0;
+  double score_percent = 0.0;  ///< % of pairs with no violation.
+  /// Violation counts per node name, summed over pairs.
+  std::vector<std::pair<std::string, size_t>> violations_by_node;
+};
+
+/// A directed acyclic causal model over schema features.
+class StructuralCausalModel {
+ public:
+  /// Adds a node; returns an error for duplicate names.
+  Status AddNode(ScmNode node);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<ScmNode>& nodes() const { return nodes_; }
+
+  /// Validates the model against a schema: every node and parent must be a
+  /// schema feature, every parent must itself be declared (as a node or
+  /// implicitly exogenous), and the parent relation must be acyclic.
+  Status Validate(const Schema& schema) const;
+
+  /// Checks one (input, counterfactual) pair of *encoded* rows. For every
+  /// node with a mechanism:
+  ///   residual_cf <= residual_input + tolerance
+  /// where residual = |raw value − mechanism(raw parents)|. Nodes whose
+  /// mechanism inputs are identical in both rows and whose own value is
+  /// unchanged are trivially consistent.
+  ScmConsistency CheckPair(const TabularEncoder& encoder, const Matrix& x,
+                           const Matrix& x_cf) const;
+
+  /// Scores a whole batch.
+  ScmBatchConsistency CheckBatch(const TabularEncoder& encoder,
+                                 const Matrix& x, const Matrix& x_cf) const;
+
+  /// Nodes in parent-before-child order. Requires a validated model.
+  std::vector<const ScmNode*> TopologicalOrder() const;
+
+ private:
+  std::vector<ScmNode> nodes_;
+};
+
+/// The planted ground-truth causal model of a synthetic dataset (matching
+/// the generator's sampling process and the §IV-E constraints).
+StructuralCausalModel MakeGroundTruthScm(DatasetId id);
+
+}  // namespace cfx
+
+#endif  // CFX_CAUSAL_SCM_H_

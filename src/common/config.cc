@@ -1,0 +1,35 @@
+#include "src/common/config.h"
+
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+Scale ParseScale(const std::string& name) {
+  return ToLower(name) == "paper" ? Scale::kPaper : Scale::kSmall;
+}
+
+Scale ScaleFromEnv() {
+  const char* env = std::getenv("CFX_SCALE");
+  if (env == nullptr) return Scale::kSmall;
+  return ParseScale(env);
+}
+
+const char* ScaleName(Scale scale) {
+  return scale == Scale::kPaper ? "paper" : "small";
+}
+
+RunConfig RunConfig::FromEnv() {
+  RunConfig cfg;
+  cfg.scale = ScaleFromEnv();
+  if (const char* seed = std::getenv("CFX_SEED")) {
+    cfg.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* n = std::getenv("CFX_EVAL_N")) {
+    cfg.eval_instances = std::strtoull(n, nullptr, 10);
+  }
+  return cfg;
+}
+
+}  // namespace cfx

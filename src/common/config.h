@@ -1,0 +1,43 @@
+// Experiment-scale configuration shared by benches, examples and tests.
+//
+// The paper trains on the full cleaned datasets (32 561 / 199 522 / 20 512
+// rows). On the single-core harness machine benches default to a reduced
+// scale that preserves every code path and the causal signal; exporting
+// CFX_SCALE=paper reproduces the full sizes.
+#ifndef CFX_COMMON_CONFIG_H_
+#define CFX_COMMON_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+namespace cfx {
+
+/// How large the synthetic datasets and evaluation sets should be.
+enum class Scale {
+  kSmall,  ///< Reduced row counts for fast single-core runs (default).
+  kPaper,  ///< The paper's cleaned instance counts.
+};
+
+/// Reads CFX_SCALE from the environment ("small" | "paper"); defaults to
+/// kSmall when unset or unrecognised.
+Scale ScaleFromEnv();
+
+/// Parses a scale name; returns kSmall for anything unrecognised.
+Scale ParseScale(const std::string& name);
+
+/// Canonical name of a scale value.
+const char* ScaleName(Scale scale);
+
+/// Global run configuration derived from the environment.
+struct RunConfig {
+  Scale scale = Scale::kSmall;
+  uint64_t seed = 42;          ///< Master seed; CFX_SEED overrides.
+  size_t eval_instances = 200; ///< Max test instances per method evaluation.
+
+  /// Builds the config from CFX_SCALE / CFX_SEED / CFX_EVAL_N.
+  static RunConfig FromEnv();
+};
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_CONFIG_H_

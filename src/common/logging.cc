@@ -1,0 +1,72 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace cfx {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::once_flag g_env_once;
+
+void InitFromEnv() {
+  const char* env = std::getenv("CFX_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = static_cast<int>(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) g_level = static_cast<int>(LogLevel::kInfo);
+  else if (std::strcmp(env, "warning") == 0) g_level = static_cast<int>(LogLevel::kWarning);
+  else if (std::strcmp(env, "error") == 0) g_level = static_cast<int>(LogLevel::kError);
+  else if (std::strcmp(env, "off") == 0) g_level = static_cast<int>(LogLevel::kOff);
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, InitFromEnv);
+  return static_cast<LogLevel>(g_level.load());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ == LogLevel::kError) std::fflush(stderr);
+}
+
+}  // namespace internal
+
+void internal::CheckOkFailed(const char* file, int line,
+                             const std::string& status) {
+  std::fprintf(stderr, "[F %s:%d] CFX_CHECK_OK failed: %s\n", file, line,
+               status.c_str());
+  std::abort();
+}
+
+}  // namespace cfx

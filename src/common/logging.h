@@ -1,0 +1,54 @@
+// Minimal leveled logging for the library and its harnesses.
+//
+// Usage:
+//   CFX_LOG(INFO) << "trained classifier, acc=" << acc;
+//
+// The global level defaults to kInfo and can be lowered for tests via
+// SetLogLevel(LogLevel::kWarning) or the CFX_LOG_LEVEL env var
+// (debug|info|warning|error|off) read at first use.
+#ifndef CFX_COMMON_LOGGING_H_
+#define CFX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cfx {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag and timestamp) on
+/// destruction. Not for direct use; see CFX_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace cfx
+
+#define CFX_LOG(severity)                                              \
+  ::cfx::internal::LogMessage(::cfx::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // CFX_COMMON_LOGGING_H_

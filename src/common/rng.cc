@@ -1,0 +1,107 @@
+#include "src/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cfx {
+namespace {
+
+// SplitMix64 step (Steele, Lea, Flood 2014).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : state_(seed) {
+  // Warm up so that small seeds (0, 1, 2, ...) diverge immediately.
+  SplitMix64(&state_);
+}
+
+uint64_t Rng::NextU64() { return SplitMix64(&state_); }
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  double u2 = Uniform();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  double z0 = mag * std::cos(2.0 * M_PI * u2);
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return z0;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::TruncatedNormal(double mean, double stddev, double lo, double hi) {
+  assert(lo <= hi);
+  for (int i = 0; i < 64; ++i) {
+    double v = Normal(mean, stddev);
+    if (v >= lo && v <= hi) return v;
+  }
+  double v = Normal(mean, stddev);
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // r landed on the total due to rounding.
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = UniformInt(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::Split(uint64_t salt) {
+  uint64_t child_seed = NextU64() ^ (salt * 0xD2B74407B1CE6E93ULL);
+  return Rng(child_seed);
+}
+
+}  // namespace cfx

@@ -1,0 +1,138 @@
+// Lightweight Status / StatusOr error-handling primitives, in the spirit of
+// absl::Status.  cfx never throws across public API boundaries; fallible
+// operations return Status or StatusOr<T> and callers decide how to react.
+#ifndef CFX_COMMON_STATUS_H_
+#define CFX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cfx {
+
+/// Broad error taxonomy. Codes mirror the subset of absl/grpc codes the
+/// library actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Converts a StatusCode to its canonical spelling ("OK", "INVALID_ARGUMENT"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus a human-readable
+/// message. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or a non-OK Status. Accessing the value of a non-OK
+/// StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}          // NOLINT(runtime/explicit)
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define CFX_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::cfx::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Asserts that a status-returning expression succeeded; aborts otherwise.
+/// Intended for examples/benches where failure is unrecoverable.
+#define CFX_CHECK_OK(expr)                                              \
+  do {                                                                  \
+    ::cfx::Status _st = (expr);                                         \
+    if (!_st.ok()) {                                                    \
+      ::cfx::internal::CheckOkFailed(__FILE__, __LINE__, _st.ToString()); \
+    }                                                                   \
+  } while (0)
+
+namespace internal {
+[[noreturn]] void CheckOkFailed(const char* file, int line,
+                                const std::string& status);
+}  // namespace internal
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_STATUS_H_

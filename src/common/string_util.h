@@ -1,0 +1,34 @@
+// Small string helpers shared across the library (CSV parsing, report
+// formatting, config handling).
+#ifndef CFX_COMMON_STRING_UTIL_H_
+#define CFX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfx {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins parts with the given separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_STRING_UTIL_H_

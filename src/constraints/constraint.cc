@@ -1,0 +1,103 @@
+#include "src/constraints/constraint.h"
+
+#include <cassert>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+double OrdinalLevel(const TabularEncoder& encoder, const Matrix& encoded_row,
+                    size_t fi) {
+  const EncodedBlock& block = encoder.block(fi);
+  switch (block.type) {
+    case FeatureType::kContinuous:
+    case FeatureType::kBinary:
+      return encoded_row.at(0, block.offset);
+    case FeatureType::kCategorical: {
+      size_t best = 0;
+      float best_v = encoded_row.at(0, block.offset);
+      for (size_t j = 1; j < block.width; ++j) {
+        if (encoded_row.at(0, block.offset + j) > best_v) {
+          best_v = encoded_row.at(0, block.offset + j);
+          best = j;
+        }
+      }
+      return block.width > 1
+                 ? static_cast<double>(best) / static_cast<double>(block.width - 1)
+                 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+std::string UnaryMonotoneConstraint::Description() const {
+  return StrFormat("unary: %s^cf >= %s", feature_.c_str(), feature_.c_str());
+}
+
+bool UnaryMonotoneConstraint::Satisfied(const TabularEncoder& encoder,
+                                        const Matrix& x, const Matrix& x_cf,
+                                        const ConstraintTolerance& tol) const {
+  auto fi = encoder.schema().FeatureIndex(feature_);
+  assert(fi.ok());
+  const double before = OrdinalLevel(encoder, x, *fi);
+  const double after = OrdinalLevel(encoder, x_cf, *fi);
+  return after >= before - tol.continuous;
+}
+
+std::string BinaryImplicationConstraint::Description() const {
+  return StrFormat("binary: %s^cf > %s => %s^cf > %s (and = => >=)",
+                   cause_.c_str(), cause_.c_str(), effect_.c_str(),
+                   effect_.c_str());
+}
+
+bool BinaryImplicationConstraint::Satisfied(
+    const TabularEncoder& encoder, const Matrix& x, const Matrix& x_cf,
+    const ConstraintTolerance& tol) const {
+  auto ci = encoder.schema().FeatureIndex(cause_);
+  auto ei = encoder.schema().FeatureIndex(effect_);
+  assert(ci.ok() && ei.ok());
+  const double dc = OrdinalLevel(encoder, x_cf, *ci) - OrdinalLevel(encoder, x, *ci);
+  const double de = OrdinalLevel(encoder, x_cf, *ei) - OrdinalLevel(encoder, x, *ei);
+
+  if (dc > tol.strict) {
+    // Cause increased: effect must strictly increase.
+    return de > tol.strict;
+  }
+  if (dc < -tol.strict) {
+    // Cause decreased (e.g. un-earning a degree): infeasible outright.
+    return false;
+  }
+  // Cause unchanged: effect must not decrease.
+  return de >= -tol.continuous;
+}
+
+bool ConstraintSet::AllSatisfied(const TabularEncoder& encoder,
+                                 const Matrix& x, const Matrix& x_cf,
+                                 const ConstraintTolerance& tol) const {
+  for (const auto& c : constraints_) {
+    if (!c->Satisfied(encoder, x, x_cf, tol)) return false;
+  }
+  return true;
+}
+
+std::string ConstraintSet::Description() const {
+  std::vector<std::string> parts;
+  parts.reserve(constraints_.size());
+  for (const auto& c : constraints_) parts.push_back(c->Description());
+  return Join(parts, "; ");
+}
+
+ConstraintSet MakeUnaryConstraintSet(const DatasetInfo& info) {
+  ConstraintSet set;
+  set.Add(std::make_unique<UnaryMonotoneConstraint>(info.unary_feature));
+  return set;
+}
+
+ConstraintSet MakeBinaryConstraintSet(const DatasetInfo& info) {
+  ConstraintSet set;
+  set.Add(std::make_unique<BinaryImplicationConstraint>(info.binary_cause,
+                                                        info.binary_effect));
+  return set;
+}
+
+}  // namespace cfx

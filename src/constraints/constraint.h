@@ -1,0 +1,120 @@
+// Causal feasibility constraints (paper §III-A).
+//
+// Two constraint families are supported, exactly those of the paper:
+//   * Unary monotone (Eq. 1): a feature may only increase,
+//       x_f^cf >= x_f                      (e.g. age).
+//   * Binary implication (Eq. 2): if the cause increases the effect must
+//     strictly increase, and if the cause is unchanged the effect must not
+//     decrease (e.g. education -> age; tier -> lsat):
+//       (c^cf > c  =>  e^cf > e)  AND  (c^cf = c  =>  e^cf >= e).
+//
+// Constraints are checked on the *encoded* representation through the
+// encoder, so categorical causes (education, tier) compare their ordinal
+// category index and continuous features compare normalised values.
+#ifndef CFX_CONSTRAINTS_CONSTRAINT_H_
+#define CFX_CONSTRAINTS_CONSTRAINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/encoder.h"
+#include "src/datasets/spec.h"
+
+namespace cfx {
+
+/// Comparison tolerances (in normalised units for continuous features).
+struct ConstraintTolerance {
+  double continuous = 5e-3;  ///< Slack for >=/<= on [0,1]-normalised values.
+  double strict = 1e-3;      ///< Minimum increase counting as "strictly more".
+};
+
+/// A hard feasibility predicate over an (input, counterfactual) pair.
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  /// Human-readable description for reports.
+  virtual std::string Description() const = 0;
+
+  /// True if the pair (x, x_cf) of encoded rows satisfies the constraint.
+  virtual bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
+                         const Matrix& x_cf,
+                         const ConstraintTolerance& tol) const = 0;
+};
+
+/// Eq. (1): feature may only increase.
+class UnaryMonotoneConstraint : public Constraint {
+ public:
+  explicit UnaryMonotoneConstraint(std::string feature)
+      : feature_(std::move(feature)) {}
+
+  std::string Description() const override;
+  bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
+                 const Matrix& x_cf,
+                 const ConstraintTolerance& tol) const override;
+
+  const std::string& feature() const { return feature_; }
+
+ private:
+  std::string feature_;
+};
+
+/// Eq. (2): cause up => effect strictly up; cause unchanged => effect not
+/// down. A *decreasing* cause (e.g. losing a degree) is itself infeasible.
+class BinaryImplicationConstraint : public Constraint {
+ public:
+  BinaryImplicationConstraint(std::string cause, std::string effect)
+      : cause_(std::move(cause)), effect_(std::move(effect)) {}
+
+  std::string Description() const override;
+  bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
+                 const Matrix& x_cf,
+                 const ConstraintTolerance& tol) const override;
+
+  const std::string& cause() const { return cause_; }
+  const std::string& effect() const { return effect_; }
+
+ private:
+  std::string cause_;
+  std::string effect_;
+};
+
+/// Ordered bundle of constraints; feasible = all satisfied.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void Add(std::unique_ptr<Constraint> constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  size_t size() const { return constraints_.size(); }
+  const Constraint& constraint(size_t i) const { return *constraints_[i]; }
+
+  /// True iff every constraint holds for (x, x_cf).
+  bool AllSatisfied(const TabularEncoder& encoder, const Matrix& x,
+                    const Matrix& x_cf, const ConstraintTolerance& tol) const;
+
+  std::string Description() const;
+
+ private:
+  std::vector<std::unique_ptr<Constraint>> constraints_;
+};
+
+/// The two constraint models of §IV-E for a dataset: the unary model uses
+/// Eq. (1) on `unary_feature`; the binary model uses Eq. (2) on
+/// (binary_cause, binary_effect).
+ConstraintSet MakeUnaryConstraintSet(const DatasetInfo& info);
+ConstraintSet MakeBinaryConstraintSet(const DatasetInfo& info);
+
+/// Ordinal "level" of feature `fi` in an encoded row, on a [0,1] scale:
+/// the normalised value for continuous/binary features, the category index
+/// divided by (#categories - 1) for categoricals. This is the common scale
+/// the constraint checks and penalties compare on.
+double OrdinalLevel(const TabularEncoder& encoder, const Matrix& encoded_row,
+                    size_t fi);
+
+}  // namespace cfx
+
+#endif  // CFX_CONSTRAINTS_CONSTRAINT_H_

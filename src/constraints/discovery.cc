@@ -1,0 +1,119 @@
+#include "src/constraints/discovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+std::string ConstraintCandidate::ToString() const {
+  return StrFormat("%s -> %s  (r=%.3f, effect ~ %.3f + %.3f*cause, n=%zu)",
+                   cause.c_str(), effect.c_str(), correlation, c1, c2,
+                   support);
+}
+
+namespace {
+
+/// Ordinal levels of one feature for every row.
+std::vector<double> FeatureLevels(const TabularEncoder& encoder,
+                                  const Matrix& x, size_t fi) {
+  std::vector<double> levels(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    levels[r] = OrdinalLevel(encoder, x.Row(r), fi);
+  }
+  return levels;
+}
+
+struct Fit {
+  double correlation = 0.0;
+  double c1 = 0.0;
+  double c2 = 0.0;
+};
+
+/// Pearson correlation + least-squares line of b on a.
+Fit FitPair(const std::vector<double>& a, const std::vector<double>& b) {
+  const size_t n = a.size();
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  Fit fit;
+  if (va <= 1e-12 || vb <= 1e-12) return fit;  // Degenerate column.
+  fit.correlation = cov / std::sqrt(va * vb);
+  fit.c2 = cov / va;
+  fit.c1 = mb - fit.c2 * ma;
+  return fit;
+}
+
+}  // namespace
+
+std::vector<ConstraintCandidate> DiscoverConstraints(
+    const TabularEncoder& encoder, const Matrix& x_train,
+    const DiscoveryConfig& config) {
+  const Schema& schema = encoder.schema();
+  const size_t nf = schema.num_features();
+
+  // Pre-compute levels per feature.
+  std::vector<std::vector<double>> levels(nf);
+  std::vector<bool> usable(nf, false);
+  for (size_t fi = 0; fi < nf; ++fi) {
+    if (config.skip_immutable && schema.feature(fi).immutable) continue;
+    usable[fi] = true;
+    levels[fi] = FeatureLevels(encoder, x_train, fi);
+  }
+
+  std::vector<ConstraintCandidate> candidates;
+  for (size_t cause = 0; cause < nf; ++cause) {
+    if (!usable[cause]) continue;
+    for (size_t effect = 0; effect < nf; ++effect) {
+      if (effect == cause || !usable[effect]) continue;
+      Fit fit = FitPair(levels[cause], levels[effect]);
+      if (fit.correlation < config.min_correlation) continue;  // Positive only.
+      if (fit.c2 < config.min_slope) continue;
+      ConstraintCandidate candidate;
+      candidate.cause = schema.feature(cause).name;
+      candidate.effect = schema.feature(effect).name;
+      candidate.correlation = fit.correlation;
+      candidate.c1 = fit.c1;
+      candidate.c2 = fit.c2;
+      candidate.support = x_train.rows();
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ConstraintCandidate& a, const ConstraintCandidate& b) {
+              return std::fabs(a.correlation) > std::fabs(b.correlation);
+            });
+  if (candidates.size() > config.max_candidates) {
+    candidates.resize(config.max_candidates);
+  }
+  return candidates;
+}
+
+std::unique_ptr<Constraint> MakeConstraint(const ConstraintCandidate& c) {
+  return std::make_unique<BinaryImplicationConstraint>(c.cause, c.effect);
+}
+
+ConstraintSet MakeDiscoveredConstraintSet(
+    const std::vector<ConstraintCandidate>& candidates, size_t k) {
+  ConstraintSet set;
+  for (size_t i = 0; i < std::min(k, candidates.size()); ++i) {
+    set.Add(MakeConstraint(candidates[i]));
+  }
+  return set;
+}
+
+}  // namespace cfx

@@ -1,0 +1,75 @@
+// Data-driven causal-constraint discovery — the paper's stated future work
+// (§V): "analysing the causal relations of various features in a dataset, so
+// that we can minimize the human involvement during the construction of the
+// causal constraint".
+//
+// From observational training data alone, true causal direction is not
+// identifiable; what *is* recoverable — and what the paper's constraints
+// actually encode — is strong monotone association between ordinal levels of
+// feature pairs. DiscoverConstraints therefore:
+//
+//   1. maps every feature to its ordinal level (normalised continuous value,
+//      category index / (K-1), binary 0/1) — the same scale the constraint
+//      checks compare on;
+//   2. for every ordered pair (cause, effect) fits the linear relation
+//      effect = c1 + c2 * cause by least squares and computes the Pearson
+//      correlation;
+//   3. keeps pairs whose correlation and slope clear the thresholds, emits
+//      them as BinaryLinearConstraint candidates carrying the fitted
+//      (c1, c2) — exactly the parameters §III-C says were "selected from
+//      experimentation" — ranked by correlation;
+//   4. additionally flags "monotone candidates": features that, like age,
+//      plausibly only increase (non-negative, population-wide association
+//      with every other candidate cause). These are *suggestions* for a
+//      domain expert, never auto-applied: monotonicity is actionability
+//      knowledge, not a property of the data distribution.
+#ifndef CFX_CONSTRAINTS_DISCOVERY_H_
+#define CFX_CONSTRAINTS_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+
+namespace cfx {
+
+/// One discovered binary-relation candidate.
+struct ConstraintCandidate {
+  std::string cause;
+  std::string effect;
+  double correlation = 0.0;  ///< Pearson r on ordinal levels.
+  double c1 = 0.0;           ///< Intercept of effect ~ c1 + c2 * cause.
+  double c2 = 0.0;           ///< Slope.
+  size_t support = 0;        ///< Rows used for the fit.
+
+  /// Human-readable summary for reports.
+  std::string ToString() const;
+};
+
+/// Discovery thresholds.
+struct DiscoveryConfig {
+  double min_correlation = 0.35;  ///< |r| below this is noise.
+  double min_slope = 0.1;         ///< Levels-scale slope floor.
+  size_t max_candidates = 10;     ///< Keep the top-k by |r|.
+  /// Ignore immutable features as causes or effects (no recourse can act
+  /// on them).
+  bool skip_immutable = true;
+};
+
+/// Scans all ordered feature pairs of the encoded training data and returns
+/// binary-relation candidates sorted by descending |correlation|.
+std::vector<ConstraintCandidate> DiscoverConstraints(
+    const TabularEncoder& encoder, const Matrix& x_train,
+    const DiscoveryConfig& config = DiscoveryConfig());
+
+/// Materialises a candidate as a checkable implication constraint
+/// (cause up => effect up), the Eq. (2) semantics.
+std::unique_ptr<Constraint> MakeConstraint(const ConstraintCandidate& c);
+
+/// Convenience: builds a ConstraintSet from the top `k` candidates.
+ConstraintSet MakeDiscoveredConstraintSet(
+    const std::vector<ConstraintCandidate>& candidates, size_t k);
+
+}  // namespace cfx
+
+#endif  // CFX_CONSTRAINTS_DISCOVERY_H_

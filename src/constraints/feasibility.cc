@@ -1,0 +1,39 @@
+#include "src/constraints/feasibility.h"
+
+#include <cassert>
+
+namespace cfx {
+
+FeasibilityResult EvaluateFeasibility(const ConstraintSet& constraints,
+                                      const TabularEncoder& encoder,
+                                      const Matrix& x, const Matrix& x_cf,
+                                      const ConstraintTolerance& tol) {
+  assert(x.SameShape(x_cf));
+  FeasibilityResult result;
+  result.num_pairs = x.rows();
+  result.feasible.resize(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const Matrix xi = x.Row(r);
+    const Matrix ci = x_cf.Row(r);
+    const bool ok = constraints.AllSatisfied(encoder, xi, ci, tol) &&
+                    WithinInputDomain(ci, 0.05f);
+    result.feasible[r] = ok;
+    result.num_feasible += ok;
+  }
+  result.score_percent =
+      result.num_pairs == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(result.num_feasible) /
+                static_cast<double>(result.num_pairs);
+  return result;
+}
+
+bool WithinInputDomain(const Matrix& encoded_row, float eps) {
+  for (size_t i = 0; i < encoded_row.size(); ++i) {
+    const float v = encoded_row[i];
+    if (v < -eps || v > 1.0f + eps) return false;
+  }
+  return true;
+}
+
+}  // namespace cfx

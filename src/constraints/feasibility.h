@@ -1,0 +1,35 @@
+// Batch feasibility evaluation — the "Feasibility score" metric of §IV-D and
+// the feasible/infeasible labelling used by the Figure 6 manifolds.
+#ifndef CFX_CONSTRAINTS_FEASIBILITY_H_
+#define CFX_CONSTRAINTS_FEASIBILITY_H_
+
+#include <vector>
+
+#include "src/constraints/constraint.h"
+
+namespace cfx {
+
+/// Aggregate feasibility of a set of (input, counterfactual) pairs.
+struct FeasibilityResult {
+  size_t num_pairs = 0;
+  size_t num_feasible = 0;
+  /// Percentage in [0, 100], as reported in Table IV.
+  double score_percent = 0.0;
+  /// Per-pair feasibility flags, aligned with the input rows.
+  std::vector<bool> feasible;
+};
+
+/// Checks every row pair (x[i], x_cf[i]) against `constraints`. The matrices
+/// must have identical shapes (n x encoded_width).
+FeasibilityResult EvaluateFeasibility(
+    const ConstraintSet& constraints, const TabularEncoder& encoder,
+    const Matrix& x, const Matrix& x_cf,
+    const ConstraintTolerance& tol = ConstraintTolerance());
+
+/// Input-domain membership (part of the paper's feasibility definition):
+/// every encoded slot of the row lies in [ -eps, 1 + eps ].
+bool WithinInputDomain(const Matrix& encoded_row, float eps = 1e-3f);
+
+}  // namespace cfx
+
+#endif  // CFX_CONSTRAINTS_FEASIBILITY_H_

@@ -1,0 +1,92 @@
+#include "src/constraints/penalty.h"
+
+#include <cassert>
+
+namespace cfx {
+
+Matrix PenaltyBuilder::LevelWeights(size_t fi) const {
+  const EncodedBlock& block = encoder_->block(fi);
+  Matrix w(block.width, 1);
+  if (block.width == 1) {
+    w.at(0, 0) = 1.0f;
+  } else {
+    for (size_t j = 0; j < block.width; ++j) {
+      w.at(j, 0) = static_cast<float>(j) / static_cast<float>(block.width - 1);
+    }
+  }
+  return w;
+}
+
+ag::Var PenaltyBuilder::OrdinalLevels(const ag::Var& x, size_t fi) const {
+  const EncodedBlock& block = encoder_->block(fi);
+  ag::Var slice = ag::SliceCols(x, block.offset, block.offset + block.width);
+  if (block.width == 1) return slice;
+  return ag::MatMul(slice, ag::Constant(LevelWeights(fi)));
+}
+
+Matrix PenaltyBuilder::OrdinalLevelsConst(const Matrix& x, size_t fi) const {
+  const EncodedBlock& block = encoder_->block(fi);
+  Matrix slice = x.SliceCols(block.offset, block.offset + block.width);
+  if (block.width == 1) return slice;
+  return slice.MatMul(LevelWeights(fi));
+}
+
+ag::Var PenaltyBuilder::UnaryPenalty(const std::string& feature,
+                                     const ag::Var& x_cf,
+                                     const Matrix& x) const {
+  auto fi = encoder_->schema().FeatureIndex(feature);
+  assert(fi.ok());
+  ag::Var level_cf = OrdinalLevels(x_cf, *fi);
+  Matrix level_x = OrdinalLevelsConst(x, *fi);
+  // relu(x - x_cf) == -min(0, x_cf - x).
+  return ag::Mean(ag::Relu(ag::Sub(ag::Constant(level_x), level_cf)));
+}
+
+ag::Var PenaltyBuilder::BinaryImplicationPenalty(const std::string& cause,
+                                                 const std::string& effect,
+                                                 const ag::Var& x_cf,
+                                                 const Matrix& x,
+                                                 float strict_margin) const {
+  auto ci = encoder_->schema().FeatureIndex(cause);
+  auto ei = encoder_->schema().FeatureIndex(effect);
+  assert(ci.ok() && ei.ok());
+
+  ag::Var dc = ag::Sub(OrdinalLevels(x_cf, *ci),
+                       ag::Constant(OrdinalLevelsConst(x, *ci)));
+  ag::Var de = ag::Sub(OrdinalLevels(x_cf, *ei),
+                       ag::Constant(OrdinalLevelsConst(x, *ei)));
+
+  // Term 1: cause up while effect lags -> relu(dc) * relu(margin - de).
+  Matrix margin(dc->value.rows(), 1, strict_margin);
+  ag::Var lag = ag::Relu(ag::Sub(ag::Constant(margin), de));
+  ag::Var up_violation = ag::Mul(ag::Relu(dc), lag);
+
+  // Term 2: cause decreasing is infeasible on its own -> relu(-dc).
+  ag::Var down_violation = ag::Relu(ag::Neg(dc));
+
+  // Term 3: Eq. (2)'s second clause makes the effect monotone regardless of
+  // the cause ("cause unchanged => effect >="), so any effect decrease is a
+  // violation -> relu(-de).
+  ag::Var effect_violation = ag::Relu(ag::Neg(de));
+
+  return ag::Mean(
+      ag::Add(ag::Add(up_violation, down_violation), effect_violation));
+}
+
+ag::Var PenaltyBuilder::BinaryLinearPenalty(const std::string& cause,
+                                            const std::string& effect,
+                                            const ag::Var& x_cf, float c1,
+                                            float c2) const {
+  auto ci = encoder_->schema().FeatureIndex(cause);
+  auto ei = encoder_->schema().FeatureIndex(effect);
+  assert(ci.ok() && ei.ok());
+
+  ag::Var cause_cf = OrdinalLevels(x_cf, *ci);
+  ag::Var effect_cf = OrdinalLevels(x_cf, *ei);
+  Matrix bias(cause_cf->value.rows(), 1, c1);
+  // relu(c1 + c2 * cause - effect).
+  ag::Var line = ag::Add(ag::Constant(bias), ag::Scale(cause_cf, c2));
+  return ag::Mean(ag::Relu(ag::Sub(line, effect_cf)));
+}
+
+}  // namespace cfx

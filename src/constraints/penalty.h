@@ -1,0 +1,68 @@
+// Differentiable constraint penalties — the feasibility terms of the
+// paper's loss (§III-C).
+//
+// For the loss the constraints must be relaxed to differentiable hinges:
+//   * unary (Eq. 1):   -min(0, x^cf - x)  ==  relu(x - x^cf)
+//   * binary (Eq. 2):  relu(Δcause) * relu(margin - Δeffect) + relu(-Δcause)
+//     — penalises "cause went up but effect did not (strictly)" and "cause
+//     went down" (the paper's infeasible direction);
+//   * binary, linear form: relu(c1 + c2·cause^cf - effect^cf), the paper's
+//     "(x2 - c1 - c2 x1)" parametrised relaxation, enforcing the effect to
+//     stay above a linear function of the cause (c1, c2 picked by
+//     experimentation, §III-C).
+//
+// Categorical features (education, tier) enter through a *soft ordinal
+// level*: the dot product of the one-hot/sigmoid block with the level
+// weights [0, 1/(K-1), ..., 1], which is differentiable and coincides with
+// the hard ordinal index on pure one-hot rows.
+#ifndef CFX_CONSTRAINTS_PENALTY_H_
+#define CFX_CONSTRAINTS_PENALTY_H_
+
+#include <string>
+
+#include "src/data/encoder.h"
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+
+/// Builds differentiable penalty terms against a fixed encoder layout.
+class PenaltyBuilder {
+ public:
+  explicit PenaltyBuilder(const TabularEncoder* encoder)
+      : encoder_(encoder) {}
+
+  /// Soft ordinal level of feature `fi` for each row of `x` -> (n, 1) Var.
+  ag::Var OrdinalLevels(const ag::Var& x, size_t fi) const;
+
+  /// Same, for a constant batch.
+  Matrix OrdinalLevelsConst(const Matrix& x, size_t fi) const;
+
+  /// Mean over the batch of relu(level(x) - level(x_cf)) for `feature`.
+  ag::Var UnaryPenalty(const std::string& feature, const ag::Var& x_cf,
+                       const Matrix& x) const;
+
+  /// Mean over the batch of the implication hinge for (cause -> effect).
+  /// `strict_margin` is how much the effect must rise when the cause rises.
+  ag::Var BinaryImplicationPenalty(const std::string& cause,
+                                   const std::string& effect,
+                                   const ag::Var& x_cf, const Matrix& x,
+                                   float strict_margin = 0.02f) const;
+
+  /// Mean over the batch of relu(c1 + c2 * level(cause^cf) -
+  /// level(effect^cf)) — the paper's linear-relation penalty.
+  ag::Var BinaryLinearPenalty(const std::string& cause,
+                              const std::string& effect, const ag::Var& x_cf,
+                              float c1, float c2) const;
+
+  const TabularEncoder& encoder() const { return *encoder_; }
+
+ private:
+  /// (width x 1) constant of level weights for feature `fi`'s block.
+  Matrix LevelWeights(size_t fi) const;
+
+  const TabularEncoder* encoder_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_CONSTRAINTS_PENALTY_H_

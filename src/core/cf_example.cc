@@ -1,0 +1,29 @@
+#include "src/core/cf_example.h"
+
+#include <cassert>
+
+namespace cfx {
+
+CfDisplay MakeDisplay(const TabularEncoder& encoder, const CfResult& result,
+                      size_t i) {
+  assert(i < result.size());
+  CfDisplay display;
+  const Schema& schema = encoder.schema();
+
+  RawRow x_row = encoder.InverseTransformRow(result.inputs.Row(i));
+  RawRow cf_row = encoder.InverseTransformRow(result.cfs.Row(i));
+
+  Table scratch_x(schema);
+  (void)scratch_x.AppendRow(x_row.values, 0);
+  Table scratch_cf(schema);
+  (void)scratch_cf.AppendRow(cf_row.values, 0);
+
+  for (size_t f = 0; f < schema.num_features(); ++f) {
+    display.feature_names.push_back(schema.feature(f).name);
+    display.x_true.push_back(scratch_x.column(f).CellToString(0));
+    display.x_pred.push_back(scratch_cf.column(f).CellToString(0));
+  }
+  return display;
+}
+
+}  // namespace cfx

@@ -1,0 +1,43 @@
+// Counterfactual result containers shared by the core method, the baselines
+// and the metrics.
+#ifndef CFX_CORE_CF_EXAMPLE_H_
+#define CFX_CORE_CF_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/encoder.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// A batch of counterfactuals aligned row-by-row with their inputs.
+struct CfResult {
+  Matrix inputs;   ///< (n x d) encoded originals.
+  Matrix cfs;      ///< (n x d) encoded CFs, projected onto the data manifold
+                   ///< (one-hot categoricals, clipped continuous).
+  Matrix cfs_raw;  ///< (n x d) unprojected generator outputs (density/Fig. 6).
+  std::vector<int> desired;    ///< Desired (opposite) class per row.
+  std::vector<int> predicted;  ///< Black-box prediction on `cfs`.
+
+  size_t size() const { return inputs.rows(); }
+
+  /// True if the black-box assigns row i its desired class.
+  bool IsValid(size_t i) const { return predicted[i] == desired[i]; }
+};
+
+/// One (input, CF) pair decoded to raw feature values for display — the
+/// paper's Table V.
+struct CfDisplay {
+  std::vector<std::string> feature_names;
+  std::vector<std::string> x_true;  ///< Raw input values, formatted.
+  std::vector<std::string> x_pred;  ///< Raw CF values, formatted.
+};
+
+/// Decodes pair i of `result` into display form.
+CfDisplay MakeDisplay(const TabularEncoder& encoder, const CfResult& result,
+                      size_t i);
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_CF_EXAMPLE_H_

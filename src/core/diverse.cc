@@ -1,0 +1,136 @@
+#include "src/core/diverse.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/constraints/feasibility.h"
+
+namespace cfx {
+namespace {
+
+float L1Distance(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  float acc = 0.0f;
+  for (size_t c = 0; c < a.cols(); ++c) {
+    acc += std::fabs(a.at(ra, c) - b.at(rb, c));
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<DiverseCfSet> GenerateDiverse(FeasibleCfGenerator* generator,
+                                          const Matrix& x,
+                                          const DiverseConfig& config,
+                                          Rng* rng) {
+  const DatasetInfo& info = *generator->context().info;
+  const TabularEncoder& encoder = *generator->context().encoder;
+  ConstraintSet constraints =
+      generator->config().loss.mode == ConstraintMode::kBinary
+          ? MakeBinaryConstraintSet(info)
+          : MakeUnaryConstraintSet(info);
+
+  // Candidate pool: num_samples stochastic decodings of the whole batch.
+  std::vector<CfResult> draws;
+  draws.reserve(config.num_samples);
+  for (size_t s = 0; s < config.num_samples; ++s) {
+    draws.push_back(
+        generator->GenerateSampled(x, config.latent_stddev_scale, rng));
+  }
+
+  std::vector<DiverseCfSet> sets(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    DiverseCfSet& set = sets[r];
+    set.input = x.Row(r);
+    set.desired = draws[0].desired[r];
+
+    // Collect acceptable candidates (valid; optionally feasible) and their
+    // distance to the input.
+    struct Candidate {
+      const CfResult* draw;
+      bool feasible;
+      float input_distance;
+    };
+    std::vector<Candidate> pool;
+    for (const CfResult& draw : draws) {
+      if (!draw.IsValid(r)) continue;
+      Matrix row = draw.cfs.Row(r);
+      const bool feasible = constraints.AllSatisfied(
+          encoder, set.input, row, ConstraintTolerance());
+      if (config.require_feasible && !feasible) continue;
+      pool.push_back({&draw, feasible, L1Distance(draw.cfs, r, x, r)});
+    }
+    if (pool.empty()) {
+      set.cfs = Matrix(0, x.cols());
+      continue;
+    }
+
+    // Greedy max-min selection, seeded by the closest-to-input candidate.
+    std::vector<size_t> selected;
+    std::vector<bool> used(pool.size(), false);
+    size_t first = 0;
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (pool[i].input_distance < pool[first].input_distance) first = i;
+    }
+    selected.push_back(first);
+    used[first] = true;
+    while (selected.size() < config.k) {
+      size_t best = pool.size();
+      float best_minimum = -1.0f;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        if (used[i]) continue;
+        float minimum = std::numeric_limits<float>::infinity();
+        for (size_t j : selected) {
+          minimum = std::min(minimum,
+                             L1Distance(pool[i].draw->cfs, r,
+                                        pool[j].draw->cfs, r));
+        }
+        if (minimum > best_minimum) {
+          best_minimum = minimum;
+          best = i;
+        }
+      }
+      if (best == pool.size() || best_minimum < config.min_separation) {
+        break;  // Only near-duplicates remain.
+      }
+      selected.push_back(best);
+      used[best] = true;
+    }
+
+    // Materialise the set.
+    set.cfs = Matrix(selected.size(), x.cols());
+    set.feasible.resize(selected.size());
+    for (size_t i = 0; i < selected.size(); ++i) {
+      const Candidate& candidate = pool[selected[i]];
+      for (size_t c = 0; c < x.cols(); ++c) {
+        set.cfs.at(i, c) = candidate.draw->cfs.at(r, c);
+      }
+      set.feasible[i] = candidate.feasible;
+    }
+    if (selected.size() >= 2) {
+      double total = 0.0;
+      size_t pairs = 0;
+      for (size_t i = 0; i < selected.size(); ++i) {
+        for (size_t j = i + 1; j < selected.size(); ++j) {
+          total += L1Distance(set.cfs, i, set.cfs, j);
+          ++pairs;
+        }
+      }
+      set.diversity = total / static_cast<double>(pairs);
+    }
+  }
+  return sets;
+}
+
+double MeanDiversity(const std::vector<DiverseCfSet>& sets) {
+  double total = 0.0;
+  size_t counted = 0;
+  for (const DiverseCfSet& set : sets) {
+    if (set.cfs.rows() >= 2) {
+      total += set.diversity;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace cfx

@@ -1,0 +1,61 @@
+// Diverse counterfactual generation — the multiplicity the paper's Figure 2
+// illustrates ("three feasible counterfactual examples that suggest three
+// different ways an individual can take a loan") and the diversity emphasis
+// of DiCE [11] discussed in §II.
+//
+// The trained generator is stochastic through its latent space: decoding
+// multiple reparameterised posterior samples yields multiple candidate CFs
+// per input. DiverseCfGenerator draws `num_samples` candidates, keeps the
+// valid (and optionally feasible) ones, and greedily selects `k` that
+// maximise the minimum pairwise L1 distance — a simple max-min diversity
+// criterion — always seeding the selection with the candidate closest to
+// the input (Figure 2's "fewest changes" pick comes first).
+#ifndef CFX_CORE_DIVERSE_H_
+#define CFX_CORE_DIVERSE_H_
+
+#include <vector>
+
+#include "src/core/generator.h"
+
+namespace cfx {
+
+/// Options for diverse generation.
+struct DiverseConfig {
+  size_t k = 3;              ///< Counterfactuals returned per input.
+  size_t num_samples = 32;   ///< Latent samples drawn per input.
+  bool require_feasible = true;  ///< Drop candidates violating constraints.
+  /// Posterior widening. Hard one-hot projection collapses nearby latent
+  /// samples onto the same counterfactual, so diversity needs draws well
+  /// outside one posterior stddev.
+  float latent_stddev_scale = 3.0f;
+  /// Minimum encoded-L1 distance between selected alternatives: candidates
+  /// closer than this to an already-selected CF are near-duplicates a user
+  /// could not distinguish, not genuine options.
+  float min_separation = 0.15f;
+};
+
+/// A set of alternative counterfactuals for one input.
+struct DiverseCfSet {
+  Matrix input;              ///< (1 x d) encoded input.
+  int desired = 0;           ///< Target class.
+  Matrix cfs;                ///< (m x d), m <= k, projected CFs.
+  std::vector<bool> feasible;  ///< Per-CF constraint verdict.
+  /// Mean pairwise L1 distance between the selected CFs (0 when m < 2) —
+  /// the diversity score.
+  double diversity = 0.0;
+};
+
+/// Generates up to `config.k` diverse counterfactuals per row of `x` using a
+/// *fitted* generator. Rows for which no valid candidate is found get an
+/// empty set.
+std::vector<DiverseCfSet> GenerateDiverse(FeasibleCfGenerator* generator,
+                                          const Matrix& x,
+                                          const DiverseConfig& config,
+                                          Rng* rng);
+
+/// Mean diversity score across non-empty sets.
+double MeanDiversity(const std::vector<DiverseCfSet>& sets);
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_DIVERSE_H_

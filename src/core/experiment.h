@@ -1,0 +1,72 @@
+// End-to-end experiment preparation shared by every bench and example:
+// generate the synthetic dataset, clean it (§IV-C), split 80/10/10 (§IV-A),
+// fit the encoder on the training split, and train the black-box classifier
+// (§III-C "Model Steps").
+#ifndef CFX_CORE_EXPERIMENT_H_
+#define CFX_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/common/config.h"
+#include "src/data/encoder.h"
+#include "src/data/preprocess.h"
+#include "src/data/split.h"
+#include "src/datasets/registry.h"
+#include "src/metrics/classification.h"
+#include "src/models/classifier.h"
+
+namespace cfx {
+
+/// A fully prepared dataset + black box, ready for CF methods.
+class Experiment {
+ public:
+  /// Builds the pipeline for `id` at the configured scale/seed.
+  static StatusOr<std::unique_ptr<Experiment>> Create(DatasetId id,
+                                                      const RunConfig& config);
+
+  const DatasetInfo& info() const { return *info_; }
+  const RunConfig& run_config() const { return run_config_; }
+  const CleaningReport& cleaning() const { return cleaning_; }
+  const Schema& schema() const { return encoder_.schema(); }
+  const TabularEncoder& encoder() const { return encoder_; }
+  BlackBoxClassifier* classifier() { return classifier_.get(); }
+  const TrainStats& classifier_stats() const { return classifier_stats_; }
+  /// Validation-split quality diagnostics of the black box.
+  const ClassificationReport& classifier_report() const {
+    return classifier_report_;
+  }
+
+  const Matrix& x_train() const { return x_train_; }
+  const Matrix& x_validation() const { return x_validation_; }
+  const Matrix& x_test() const { return x_test_; }
+  const std::vector<int>& y_train() const { return y_train_; }
+  const std::vector<int>& y_validation() const { return y_validation_; }
+  const std::vector<int>& y_test() const { return y_test_; }
+
+  /// First min(|test|, max_rows) encoded test rows — the evaluation inputs
+  /// for CF generation.
+  Matrix TestSubset(size_t max_rows) const;
+
+  /// Context handed to CF methods.
+  MethodContext method_context();
+
+ private:
+  Experiment(const DatasetInfo* info, RunConfig run_config,
+             CleaningReport cleaning, TabularEncoder encoder);
+
+  const DatasetInfo* info_;
+  RunConfig run_config_;
+  CleaningReport cleaning_;
+  TabularEncoder encoder_;
+  Matrix x_train_, x_validation_, x_test_;
+  std::vector<int> y_train_, y_validation_, y_test_;
+  std::unique_ptr<BlackBoxClassifier> classifier_;
+  TrainStats classifier_stats_;
+  ClassificationReport classifier_report_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_EXPERIMENT_H_

@@ -1,0 +1,114 @@
+// The paper's method: a class-conditional VAE trained with the four-part
+// loss to emit feasible, sparse counterfactuals (§III-C).
+//
+// Training: for every batch the desired class is the opposite of the black
+// box's prediction; the VAE encodes [x | y'], reparameterises, decodes
+// [z | y'] and the decoded batch — with immutable attributes masked back to
+// their input values — is scored by the four-part loss.
+//
+// Generation: deterministic pass (z = posterior mean), projection onto the
+// one-hot manifold, immutables restored verbatim.
+#ifndef CFX_CORE_GENERATOR_H_
+#define CFX_CORE_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/core/loss.h"
+
+namespace cfx {
+
+/// Training hyperparameters of the generator (Table III defaults are filled
+/// in from the DatasetInfo by FromDataset).
+struct GeneratorConfig {
+  CfLossConfig loss;
+  float learning_rate = 0.2f;   ///< Table III; scaled onto Adam internally.
+  size_t batch_size = 2048;
+  size_t epochs = 25;
+  /// Copy-prior decoder: the decoder emits logit *deltas* added to the
+  /// input's own logits before the tabular activation, so a zero output
+  /// reproduces the input exactly. This makes sparsity the architectural
+  /// default rather than something the loss must fight for (essential on
+  /// wide datasets like KDD-Census whose noise fields a 10-d latent cannot
+  /// memorise).
+  bool copy_prior = true;
+  /// Sharpness of the input logits in the copy prior: larger values make
+  /// the input harder to overwrite.
+  float copy_bias = 1.0f;
+  /// The four-part objective has class-conditional local optima (a decoder
+  /// mode that never flips one desired class). After training, validity is
+  /// probed on training rows; below this threshold the VAE is re-initialised
+  /// and retrained, up to `max_restarts` times.
+  double min_probe_validity = 0.92;
+  /// Same idea for the trained constraint: restart when the probe's
+  /// feasibility score (under this model's own constraint set) is poor.
+  double min_probe_feasibility = 0.80;
+  size_t max_restarts = 2;
+
+  /// Builds the §IV-E configuration for a dataset and constraint mode,
+  /// using the paper's Table III learning rate / batch size / epochs.
+  static GeneratorConfig FromDataset(const DatasetInfo& info,
+                                     ConstraintMode mode);
+};
+
+/// Feasible counterfactual generator — "Our method" in Table IV.
+class FeasibleCfGenerator : public CfMethod {
+ public:
+  FeasibleCfGenerator(const MethodContext& ctx, const GeneratorConfig& config);
+
+  std::string name() const override;
+  Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
+  CfResult Generate(const Matrix& x) override;
+
+  /// Stochastic variant of Generate: decodes one *reparameterised* latent
+  /// sample per row (z = mu + scale * sigma * eps) instead of the posterior
+  /// mean. Repeated calls with an advancing `noise` stream yield different
+  /// counterfactual candidates for the same inputs — the substrate of
+  /// diverse generation (src/core/diverse.h).
+  CfResult GenerateSampled(const Matrix& x, float stddev_scale, Rng* noise);
+
+  /// Mean loss-term values of the last training epoch, for diagnostics and
+  /// the ablation bench: {total, validity, proximity, feasibility, sparsity,
+  /// kl}.
+  const std::vector<float>& last_epoch_terms() const {
+    return last_epoch_terms_;
+  }
+
+  Vae* vae() { return vae_.get(); }
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  /// Decoded batch with immutables restored, as a differentiable Var.
+  ag::Var MaskedCf(const ag::Var& x_hat, const Matrix& x) const;
+
+  /// Turns decoder output into the soft counterfactual batch: with the copy
+  /// prior, activation(input_logits + decoder_deltas); otherwise the decoder
+  /// output directly.
+  ag::Var SoftCf(const ag::Var& decoder_out, const Matrix& x) const;
+
+  /// Per-slot logits of an encoded batch (the copy prior's bias).
+  Matrix InputLogits(const Matrix& x) const;
+
+  /// One full training run over the current VAE weights.
+  void TrainOnce(const Matrix& x_train, const std::vector<int>& labels);
+
+  /// Fraction of probe rows whose generated CF reaches its desired class,
+  /// and the feasibility score under the trained constraint mode (1.0 when
+  /// mode == kNone).
+  std::pair<double, double> ProbeQuality(const Matrix& x_probe);
+
+  GeneratorConfig config_;
+  std::unique_ptr<Vae> vae_;
+  PenaltyBuilder penalties_;
+  Rng rng_;
+  std::vector<float> last_epoch_terms_;
+  /// Escalating validity emphasis across probe-failed attempts (reset by
+  /// Fit; applied multiplicatively in TrainOnce).
+  float validity_boost_ = 1.0f;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_GENERATOR_H_

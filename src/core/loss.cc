@@ -1,0 +1,91 @@
+#include "src/core/loss.h"
+
+#include "src/nn/losses.h"
+
+namespace cfx {
+
+const char* ConstraintModeName(ConstraintMode mode) {
+  switch (mode) {
+    case ConstraintMode::kNone: return "none";
+    case ConstraintMode::kUnary: return "unary";
+    case ConstraintMode::kBinary: return "binary";
+  }
+  return "unknown";
+}
+
+CfLossTerms BuildCfLoss(const CfLossConfig& config,
+                        const PenaltyBuilder& penalties,
+                        const DatasetInfo& info,
+                        BlackBoxClassifier* classifier, const ag::Var& x_cf,
+                        const Matrix& x, const Matrix& desired_pm1,
+                        const Vae::Output& vae_out) {
+  CfLossTerms terms;
+
+  // Validity: hinge between the black-box logit of x^cf and the desired
+  // class y' (first term of Eq. 3).
+  ag::Var logits = classifier->LogitsVar(x_cf);
+  terms.validity = nn::HingeLoss(logits, desired_pm1, config.hinge_margin);
+
+  // Proximity: L1 distance d(x, x') (second term of Eq. 3); optionally
+  // weighted by per-feature actionability costs.
+  ag::Var delta = ag::Sub(x_cf, ag::Constant(x));
+  if (config.feature_costs.empty()) {
+    terms.proximity = ag::Mean(ag::Abs(delta));
+  } else {
+    // Expand per-feature costs to the encoded slot layout.
+    const TabularEncoder& encoder = penalties.encoder();
+    Matrix cost_mask(x.rows(), x.cols());
+    for (const EncodedBlock& block : encoder.blocks()) {
+      const float cost =
+          block.feature_index < config.feature_costs.size()
+              ? config.feature_costs[block.feature_index]
+              : 1.0f;
+      for (size_t j = 0; j < block.width; ++j) {
+        for (size_t r = 0; r < x.rows(); ++r) {
+          cost_mask.at(r, block.offset + j) = cost;
+        }
+      }
+    }
+    terms.proximity = ag::Mean(ag::MulConstMask(ag::Abs(delta), cost_mask));
+  }
+
+  // Feasibility: the constraint relaxations of §III-A / §III-C.
+  switch (config.mode) {
+    case ConstraintMode::kNone:
+      terms.feasibility = ag::Constant(Matrix(1, 1));
+      break;
+    case ConstraintMode::kUnary:
+      terms.feasibility = penalties.UnaryPenalty(info.unary_feature, x_cf, x);
+      break;
+    case ConstraintMode::kBinary:
+      if (config.use_linear_binary) {
+        terms.feasibility = penalties.BinaryLinearPenalty(
+            info.binary_cause, info.binary_effect, x_cf, config.linear_c1,
+            config.linear_c2);
+      } else {
+        terms.feasibility = penalties.BinaryImplicationPenalty(
+            info.binary_cause, info.binary_effect, x_cf, x,
+            config.strict_margin);
+      }
+      break;
+  }
+
+  // Sparsity: g(x' - x), a mix of L1 and smoothed-L0 (§III-B).
+  ag::Var l1 = ag::Mean(ag::Abs(delta));
+  ag::Var l0 = nn::SmoothL0(delta, config.smooth_l0_k, config.smooth_l0_eps);
+  terms.sparsity = ag::Add(ag::Scale(l1, config.sparsity_l1_mix),
+                           ag::Scale(l0, 1.0f - config.sparsity_l1_mix));
+
+  // Latent regulariser.
+  terms.kl = nn::KlStandardNormal(vae_out.mu, vae_out.logvar);
+
+  terms.total = ag::Add(
+      ag::Add(ag::Add(ag::Scale(terms.validity, config.validity_weight),
+                      ag::Scale(terms.proximity, config.proximity_weight)),
+              ag::Add(ag::Scale(terms.feasibility, config.feasibility_weight),
+                      ag::Scale(terms.sparsity, config.sparsity_weight))),
+      ag::Scale(terms.kl, config.kl_weight));
+  return terms;
+}
+
+}  // namespace cfx

@@ -1,0 +1,84 @@
+// The paper's four-part counterfactual loss (§III-C, Eq. 3):
+//
+//   L = w_v * Hinge(h(x^cf), y')            (validity)
+//     + w_p * ||x^cf - x||_1                (proximity)
+//     + w_f * feasibility penalties         (Eq. 1 / Eq. 2 relaxations)
+//     + w_s * g(x^cf - x)                   (sparsity, smoothed L0 + L1)
+//     [+ w_kl * KL(q(z|x) || N(0,I))]       (latent regulariser)
+//
+// The KL term is not spelled out in Eq. (3) but is required for the VAE
+// latent space to form the smooth manifold the paper's Figure 6 visualises;
+// it defaults to a small weight and is ablated in bench/ablation_loss_terms.
+#ifndef CFX_CORE_LOSS_H_
+#define CFX_CORE_LOSS_H_
+
+#include <vector>
+
+#include "src/constraints/penalty.h"
+#include "src/datasets/spec.h"
+#include "src/models/classifier.h"
+#include "src/models/vae.h"
+
+namespace cfx {
+
+/// Which feasibility constraint the trained model enforces (§IV-E trains one
+/// model per mode).
+enum class ConstraintMode { kNone, kUnary, kBinary };
+
+const char* ConstraintModeName(ConstraintMode mode);
+
+/// Weights and shape parameters of the four-part loss.
+struct CfLossConfig {
+  float validity_weight = 6.0f;
+  float proximity_weight = 1.0f;
+  float feasibility_weight = 15.0f;
+  float sparsity_weight = 0.8f;
+  float kl_weight = 0.02f;
+
+  float hinge_margin = 1.0f;      ///< Margin of the validity hinge.
+  float smooth_l0_k = 50.0f;      ///< Sharpness of the smoothed L0.
+  float smooth_l0_eps = 0.05f;    ///< Dead-zone under which a delta is "no change".
+  float sparsity_l1_mix = 0.5f;   ///< g = mix * L1 + (1-mix) * smoothed L0.
+
+  /// Optional per-feature actionability costs (schema order). When
+  /// non-empty, the proximity term becomes a *weighted* L1: changing
+  /// feature f costs feature_costs[f] per unit of normalised delta, so
+  /// hard-to-act-on attributes (e.g. relocating vs working an extra hour)
+  /// are changed last. Empty = uniform cost 1.
+  std::vector<float> feature_costs;
+
+  ConstraintMode mode = ConstraintMode::kUnary;
+  /// Use the paper's linear-relation binary penalty instead of the logical
+  /// implication hinge (ablation).
+  bool use_linear_binary = false;
+  float linear_c1 = 0.0f;   ///< c1 of the linear form.
+  float linear_c2 = 1.0f;   ///< c2 of the linear form.
+  float strict_margin = 0.02f;  ///< Required effect increase when cause rises.
+};
+
+/// The individual loss terms of one batch (all 1x1 Vars).
+struct CfLossTerms {
+  ag::Var total;
+  ag::Var validity;
+  ag::Var proximity;
+  ag::Var feasibility;  ///< Zero-valued constant when mode == kNone.
+  ag::Var sparsity;
+  ag::Var kl;
+};
+
+/// Assembles the four-part loss for one batch.
+///
+/// `x_cf` is the (differentiable) counterfactual batch, `x` the constant
+/// input batch, `desired_pm1` the target classes as ±1 (n x 1), `vae_out`
+/// the forward pass that produced x_cf (for the KL term), and `classifier`
+/// the frozen black box for the validity hinge.
+CfLossTerms BuildCfLoss(const CfLossConfig& config,
+                        const PenaltyBuilder& penalties,
+                        const DatasetInfo& info,
+                        BlackBoxClassifier* classifier, const ag::Var& x_cf,
+                        const Matrix& x, const Matrix& desired_pm1,
+                        const Vae::Output& vae_out);
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_LOSS_H_

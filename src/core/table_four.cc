@@ -1,0 +1,41 @@
+#include "src/core/table_four.h"
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+StatusOr<TableFourResult> RunTableFour(DatasetId dataset,
+                                       const RunConfig& config,
+                                       const std::vector<MethodKind>& kinds) {
+  auto experiment = Experiment::Create(dataset, config);
+  if (!experiment.ok()) return experiment.status();
+  Experiment& exp = **experiment;
+
+  Matrix x_eval = exp.TestSubset(config.eval_instances);
+
+  TableFourResult result;
+  result.dataset = dataset;
+  for (MethodKind kind : kinds) {
+    std::unique_ptr<CfMethod> method = CreateMethod(kind, exp.method_context());
+    if (method == nullptr) return Status::Internal("null method");
+    CFX_LOG(Info) << "fitting " << method->name();
+    CFX_RETURN_IF_ERROR(method->Fit(exp.x_train(), exp.y_train()));
+    CfResult cfs = method->Generate(x_eval);
+    MethodMetrics metrics =
+        EvaluateMethod(method->name(), exp.encoder(), exp.info(), cfs);
+    result.rows.push_back(
+        {metrics, ShowsUnaryColumn(kind), ShowsBinaryColumn(kind)});
+    CFX_LOG(Info) << method->name() << ": validity=" << metrics.validity
+                  << " feas_u=" << metrics.feasibility_unary
+                  << " feas_b=" << metrics.feasibility_binary
+                  << " sparsity=" << metrics.sparsity;
+  }
+  result.rendered = RenderMetricsTable(
+      StrFormat("Table IV — %s dataset (scale=%s, %zu eval rows)",
+                DatasetName(dataset), ScaleName(config.scale), x_eval.rows()),
+      result.rows);
+  return result;
+}
+
+}  // namespace cfx

@@ -1,0 +1,31 @@
+// The Table IV experiment: run every CF method on one dataset and score the
+// §IV-D metrics. Shared by bench/table4_{adult,census,law} and by the
+// integration tests.
+#ifndef CFX_CORE_TABLE_FOUR_H_
+#define CFX_CORE_TABLE_FOUR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/registry.h"
+#include "src/core/experiment.h"
+#include "src/metrics/report.h"
+
+namespace cfx {
+
+/// Result of the full method sweep on one dataset.
+struct TableFourResult {
+  DatasetId dataset;
+  std::vector<MetricsRow> rows;   ///< Table IV row order.
+  std::string rendered;           ///< Ready-to-print table.
+};
+
+/// Runs the sweep. `kinds` defaults to the paper's nine rows; pass a subset
+/// for quicker runs. `eval_rows` caps the number of test instances.
+StatusOr<TableFourResult> RunTableFour(
+    DatasetId dataset, const RunConfig& config,
+    const std::vector<MethodKind>& kinds = AllMethodKinds());
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_TABLE_FOUR_H_

@@ -1,0 +1,36 @@
+#include "src/data/batcher.h"
+
+#include <cassert>
+
+namespace cfx {
+
+Batcher::Batcher(const Matrix& x, const std::vector<int>& labels,
+                 size_t batch_size, Rng* rng)
+    : x_(x), labels_(labels), batch_size_(batch_size), rng_(rng->Split(0xBA)) {
+  assert(x_.rows() == labels_.size());
+  assert(batch_size_ > 0);
+}
+
+size_t Batcher::NumBatches() const {
+  return (x_.rows() + batch_size_ - 1) / batch_size_;
+}
+
+std::vector<Batch> Batcher::Epoch() {
+  std::vector<size_t> perm = rng_.Permutation(x_.rows());
+  std::vector<Batch> batches;
+  batches.reserve(NumBatches());
+  for (size_t start = 0; start < perm.size(); start += batch_size_) {
+    const size_t end = std::min(start + batch_size_, perm.size());
+    Batch b;
+    b.indices.assign(perm.begin() + start, perm.begin() + end);
+    b.x = x_.GatherRows(b.indices);
+    b.y = Matrix(b.indices.size(), 1);
+    for (size_t i = 0; i < b.indices.size(); ++i) {
+      b.y.at(i, 0) = static_cast<float>(labels_[b.indices[i]]);
+    }
+    batches.push_back(std::move(b));
+  }
+  return batches;
+}
+
+}  // namespace cfx

@@ -1,0 +1,44 @@
+// Mini-batch iteration over an encoded dataset.
+#ifndef CFX_DATA_BATCHER_H_
+#define CFX_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// One mini-batch: features and aligned labels.
+struct Batch {
+  Matrix x;           ///< batch_size x d.
+  Matrix y;           ///< batch_size x 1, 0/1 labels as float.
+  std::vector<size_t> indices;  ///< Source row indices.
+};
+
+/// Reshuffling mini-batch producer over an encoded matrix + labels.
+class Batcher {
+ public:
+  /// `x` is (n x d); `labels` has n entries. The final short batch of each
+  /// epoch is emitted (never dropped).
+  Batcher(const Matrix& x, const std::vector<int>& labels, size_t batch_size,
+          Rng* rng);
+
+  /// Number of batches per epoch.
+  size_t NumBatches() const;
+
+  /// Reshuffles and materialises the batches of one epoch.
+  std::vector<Batch> Epoch();
+
+  size_t num_rows() const { return x_.rows(); }
+
+ private:
+  Matrix x_;
+  std::vector<int> labels_;
+  size_t batch_size_;
+  Rng rng_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_BATCHER_H_

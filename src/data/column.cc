@@ -1,0 +1,37 @@
+#include "src/data/column.h"
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+const char* FeatureTypeName(FeatureType type) {
+  switch (type) {
+    case FeatureType::kContinuous: return "continuous";
+    case FeatureType::kBinary: return "binary";
+    case FeatureType::kCategorical: return "categorical";
+  }
+  return "unknown";
+}
+
+std::string Column::CellToString(size_t i) const {
+  if (IsMissing(i)) return "?";
+  switch (spec_.type) {
+    case FeatureType::kContinuous:
+      return StrFormat("%.4g", values_[i]);
+    case FeatureType::kBinary: {
+      int idx = CategoryIndex(i);
+      if (spec_.categories.size() == 2) return spec_.categories[idx];
+      return idx == 0 ? "0" : "1";
+    }
+    case FeatureType::kCategorical: {
+      int idx = CategoryIndex(i);
+      if (idx >= 0 && static_cast<size_t>(idx) < spec_.categories.size()) {
+        return spec_.categories[idx];
+      }
+      return StrFormat("cat_%d", idx);
+    }
+  }
+  return "?";
+}
+
+}  // namespace cfx

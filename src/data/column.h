@@ -1,0 +1,78 @@
+// Typed feature columns for tabular data.
+//
+// Storage convention: every cell is a double. Continuous features store the
+// raw value; binary features store 0.0/1.0; categorical features store the
+// index into the feature's category list. Missing cells are NaN, mirroring
+// how the paper's preprocessing drops incomplete rows before encoding.
+#ifndef CFX_DATA_COLUMN_H_
+#define CFX_DATA_COLUMN_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace cfx {
+
+/// The three attribute kinds in the paper's Table I.
+enum class FeatureType { kContinuous, kBinary, kCategorical };
+
+/// Canonical name of a FeatureType ("continuous" | "binary" | "categorical").
+const char* FeatureTypeName(FeatureType type);
+
+/// Static description of one feature.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kContinuous;
+  /// Category labels; used only for kCategorical (kBinary is implicitly
+  /// {"0","1"} unless labels are given).
+  std::vector<std::string> categories;
+  /// Immutable attributes are frozen during CF generation (paper §III-C).
+  bool immutable = false;
+  /// Plausible range for continuous features (used by the generators and by
+  /// input-domain feasibility checks).
+  double lower = 0.0;
+  double upper = 1.0;
+
+  /// Number of one-hot slots this feature occupies after encoding.
+  size_t EncodedWidth() const {
+    return type == FeatureType::kCategorical ? categories.size() : 1;
+  }
+};
+
+/// One column of cell data plus its spec.
+class Column {
+ public:
+  explicit Column(FeatureSpec spec) : spec_(std::move(spec)) {}
+
+  const FeatureSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  FeatureType type() const { return spec_.type; }
+
+  size_t size() const { return values_.size(); }
+
+  void Append(double value) { values_.push_back(value); }
+  void AppendMissing() { values_.push_back(std::nan("")); }
+
+  double value(size_t i) const { return values_[i]; }
+  void set_value(size_t i, double v) { values_[i] = v; }
+  bool IsMissing(size_t i) const { return std::isnan(values_[i]); }
+
+  /// Category index of cell i (categorical/binary columns only).
+  int CategoryIndex(size_t i) const { return static_cast<int>(values_[i]); }
+
+  /// Human-readable rendering of cell i ("?" when missing, the category
+  /// label for categorical features, the numeric value otherwise).
+  std::string CellToString(size_t i) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+  void Reserve(size_t n) { values_.reserve(n); }
+
+ private:
+  FeatureSpec spec_;
+  std::vector<double> values_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_COLUMN_H_

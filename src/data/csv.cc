@@ -1,0 +1,120 @@
+#include "src/data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace {
+
+/// Parses one raw cell for the given spec. Empty -> missing (NaN).
+StatusOr<double> ParseCell(const FeatureSpec& spec, const std::string& text) {
+  if (text.empty()) return std::nan("");
+  switch (spec.type) {
+    case FeatureType::kContinuous: {
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == text.c_str()) {
+        return Status::InvalidArgument("bad numeric cell '" + text + "'");
+      }
+      return v;
+    }
+    case FeatureType::kBinary: {
+      if (spec.categories.size() == 2) {
+        if (text == spec.categories[0]) return 0.0;
+        if (text == spec.categories[1]) return 1.0;
+      }
+      if (text == "0") return 0.0;
+      if (text == "1") return 1.0;
+      return Status::InvalidArgument("bad binary cell '" + text + "' for " +
+                                     spec.name);
+    }
+    case FeatureType::kCategorical: {
+      for (size_t i = 0; i < spec.categories.size(); ++i) {
+        if (spec.categories[i] == text) return static_cast<double>(i);
+      }
+      return Status::InvalidArgument("unknown category '" + text + "' for " +
+                                     spec.name);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  std::vector<std::string> header;
+  for (const FeatureSpec& f : table.schema().features()) header.push_back(f.name);
+  header.push_back(table.schema().target_name());
+  out << Join(header, ",") << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(table.num_features() + 1);
+    for (size_t c = 0; c < table.num_features(); ++c) {
+      const Column& col = table.column(c);
+      cells.push_back(col.IsMissing(r) ? "" : col.CellToString(r));
+    }
+    cells.push_back(StrFormat("%d", table.label(r)));
+    out << Join(cells, ",") << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write error on '" + path + "'");
+}
+
+StatusOr<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty csv '" + path + "'");
+  }
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() != schema.num_features() + 1) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: expected %zu cells, got %zu", path.c_str(),
+                    line_no, schema.num_features() + 1, cells.size()));
+    }
+    std::vector<double> values(schema.num_features());
+    for (size_t i = 0; i < schema.num_features(); ++i) {
+      auto v = ParseCell(schema.feature(i), Trim(cells[i]));
+      if (!v.ok()) return v.status();
+      values[i] = *v;
+    }
+    int label = std::atoi(cells.back().c_str());
+    CFX_RETURN_IF_ERROR(table.AppendRow(values, label));
+  }
+  return table;
+}
+
+Status WriteMatrixCsv(const Matrix& m, const std::vector<std::string>& header,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  if (!header.empty()) {
+    if (header.size() != m.cols()) {
+      return Status::InvalidArgument("header width mismatch");
+    }
+    out << Join(header, ",") << "\n";
+  }
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) out << ",";
+      out << m.at(r, c);
+    }
+    out << "\n";
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write error on '" + path + "'");
+}
+
+}  // namespace cfx

@@ -1,0 +1,30 @@
+// CSV serialisation for tables (fixtures, exporting synthetic datasets) and
+// for numeric series (the Figure 6 embeddings written by the benches).
+#ifndef CFX_DATA_CSV_H_
+#define CFX_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/table.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Writes `table` to `path` with a header row. Missing cells are written as
+/// empty fields; categorical cells as their labels.
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV written by WriteTableCsv back into a table with the given
+/// schema. Unknown category labels and unparsable numerics are errors;
+/// empty fields become missing cells.
+StatusOr<Table> ReadTableCsv(const Schema& schema, const std::string& path);
+
+/// Writes a numeric matrix (optionally with column names) to CSV.
+Status WriteMatrixCsv(const Matrix& m, const std::vector<std::string>& header,
+                      const std::string& path);
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_CSV_H_

@@ -1,0 +1,243 @@
+#include "src/data/encoder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+TabularEncoder::TabularEncoder(Schema schema) : schema_(std::move(schema)) {
+  size_t offset = 0;
+  blocks_.reserve(schema_.num_features());
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    const FeatureSpec& spec = schema_.feature(i);
+    EncodedBlock block;
+    block.feature_index = i;
+    block.offset = offset;
+    block.width = spec.EncodedWidth();
+    block.type = spec.type;
+    offset += block.width;
+    blocks_.push_back(block);
+  }
+  width_ = offset;
+  min_.assign(schema_.num_features(), 0.0);
+  max_.assign(schema_.num_features(), 1.0);
+}
+
+Status TabularEncoder::Fit(const Table& table) {
+  if (table.num_features() != schema_.num_features()) {
+    return Status::InvalidArgument("table schema width mismatch");
+  }
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    if (schema_.feature(i).type != FeatureType::kContinuous) continue;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    const Column& col = table.column(i);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (col.IsMissing(r)) continue;
+      lo = std::min(lo, col.value(r));
+      hi = std::max(hi, col.value(r));
+    }
+    if (!std::isfinite(lo)) {
+      return Status::FailedPrecondition(
+          "continuous feature '" + schema_.feature(i).name +
+          "' has no observed values to fit");
+    }
+    min_[i] = lo;
+    max_[i] = hi;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double TabularEncoder::Normalize(size_t fi, double raw) const {
+  const double range = max_[fi] - min_[fi];
+  if (range <= 0.0) return 0.5;
+  return (raw - min_[fi]) / range;
+}
+
+double TabularEncoder::Denormalize(size_t fi, double normalized) const {
+  const double range = max_[fi] - min_[fi];
+  if (range <= 0.0) return min_[fi];
+  return min_[fi] + normalized * range;
+}
+
+StatusOr<Matrix> TabularEncoder::Transform(const Table& table) const {
+  if (!fitted_) return Status::FailedPrecondition("encoder not fitted");
+  if (table.num_features() != schema_.num_features()) {
+    return Status::InvalidArgument("table schema width mismatch");
+  }
+  Matrix out(table.num_rows(), width_);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (table.RowHasMissing(r)) {
+      return Status::InvalidArgument(StrFormat(
+          "row %zu has missing cells; run DropMissingRows first", r));
+    }
+    for (const EncodedBlock& block : blocks_) {
+      const double raw = table.column(block.feature_index).value(r);
+      switch (block.type) {
+        case FeatureType::kContinuous:
+          out.at(r, block.offset) =
+              static_cast<float>(Normalize(block.feature_index, raw));
+          break;
+        case FeatureType::kBinary:
+          out.at(r, block.offset) = raw >= 0.5 ? 1.0f : 0.0f;
+          break;
+        case FeatureType::kCategorical: {
+          int idx = static_cast<int>(raw);
+          assert(idx >= 0 && static_cast<size_t>(idx) < block.width);
+          out.at(r, block.offset + static_cast<size_t>(idx)) = 1.0f;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix TabularEncoder::TransformRow(const RawRow& row) const {
+  assert(fitted_);
+  Matrix out(1, width_);
+  for (const EncodedBlock& block : blocks_) {
+    const double raw = row.values[block.feature_index];
+    switch (block.type) {
+      case FeatureType::kContinuous:
+        out.at(0, block.offset) =
+            static_cast<float>(Normalize(block.feature_index, raw));
+        break;
+      case FeatureType::kBinary:
+        out.at(0, block.offset) = raw >= 0.5 ? 1.0f : 0.0f;
+        break;
+      case FeatureType::kCategorical: {
+        int idx = static_cast<int>(raw);
+        assert(idx >= 0 && static_cast<size_t>(idx) < block.width);
+        out.at(0, block.offset + static_cast<size_t>(idx)) = 1.0f;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+RawRow TabularEncoder::InverseTransformRow(const Matrix& encoded_row,
+                                           int label) const {
+  assert(encoded_row.rows() == 1 && encoded_row.cols() == width_);
+  RawRow row;
+  row.values.resize(schema_.num_features());
+  row.label = label;
+  for (const EncodedBlock& block : blocks_) {
+    switch (block.type) {
+      case FeatureType::kContinuous:
+        row.values[block.feature_index] =
+            Denormalize(block.feature_index, encoded_row.at(0, block.offset));
+        break;
+      case FeatureType::kBinary:
+        row.values[block.feature_index] =
+            encoded_row.at(0, block.offset) >= 0.5f ? 1.0 : 0.0;
+        break;
+      case FeatureType::kCategorical: {
+        size_t best = 0;
+        float best_v = encoded_row.at(0, block.offset);
+        for (size_t j = 1; j < block.width; ++j) {
+          if (encoded_row.at(0, block.offset + j) > best_v) {
+            best_v = encoded_row.at(0, block.offset + j);
+            best = j;
+          }
+        }
+        row.values[block.feature_index] = static_cast<double>(best);
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+Matrix TabularEncoder::ProjectRow(const Matrix& encoded_row) const {
+  assert(encoded_row.rows() == 1 && encoded_row.cols() == width_);
+  Matrix out(1, width_);
+  for (const EncodedBlock& block : blocks_) {
+    switch (block.type) {
+      case FeatureType::kContinuous: {
+        float v = encoded_row.at(0, block.offset);
+        out.at(0, block.offset) = std::clamp(v, 0.0f, 1.0f);
+        break;
+      }
+      case FeatureType::kBinary:
+        out.at(0, block.offset) =
+            encoded_row.at(0, block.offset) >= 0.5f ? 1.0f : 0.0f;
+        break;
+      case FeatureType::kCategorical: {
+        size_t best = 0;
+        float best_v = encoded_row.at(0, block.offset);
+        for (size_t j = 1; j < block.width; ++j) {
+          if (encoded_row.at(0, block.offset + j) > best_v) {
+            best_v = encoded_row.at(0, block.offset + j);
+            best = j;
+          }
+        }
+        out.at(0, block.offset + best) = 1.0f;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<size_t> TabularEncoder::ScalarOffset(const std::string& name) const {
+  auto fi = schema_.FeatureIndex(name);
+  if (!fi.ok()) return fi.status();
+  const EncodedBlock& block = blocks_[*fi];
+  if (block.type == FeatureType::kCategorical) {
+    return Status::InvalidArgument("feature '" + name +
+                                   "' is categorical; use block()");
+  }
+  return block.offset;
+}
+
+double TabularEncoder::FeatureValue(const Matrix& encoded_row,
+                                    size_t fi) const {
+  const EncodedBlock& block = blocks_[fi];
+  switch (block.type) {
+    case FeatureType::kContinuous:
+      return Denormalize(fi, encoded_row.at(0, block.offset));
+    case FeatureType::kBinary:
+      return encoded_row.at(0, block.offset) >= 0.5f ? 1.0 : 0.0;
+    case FeatureType::kCategorical: {
+      size_t best = 0;
+      float best_v = encoded_row.at(0, block.offset);
+      for (size_t j = 1; j < block.width; ++j) {
+        if (encoded_row.at(0, block.offset + j) > best_v) {
+          best_v = encoded_row.at(0, block.offset + j);
+          best = j;
+        }
+      }
+      return static_cast<double>(best);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<size_t, size_t>>
+TabularEncoder::CategoricalBlockRanges() const {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  for (const EncodedBlock& block : blocks_) {
+    if (block.type == FeatureType::kCategorical) {
+      ranges.emplace_back(block.offset, block.width);
+    }
+  }
+  return ranges;
+}
+
+Matrix TabularEncoder::MutableMask() const {
+  Matrix mask(1, width_, 1.0f);
+  for (const EncodedBlock& block : blocks_) {
+    if (!schema_.feature(block.feature_index).immutable) continue;
+    for (size_t j = 0; j < block.width; ++j) mask.at(0, block.offset + j) = 0.0f;
+  }
+  return mask;
+}
+
+}  // namespace cfx

@@ -1,0 +1,96 @@
+// Encoding between raw tabular rows and the [0,1] float vectors the models
+// consume, following the paper's §IV-C preprocessing:
+//   * continuous features -> min-max normalised to [0,1];
+//   * categorical features -> one-hot;
+//   * binary features -> a single 0/1 slot.
+//
+// The encoder also exposes the block layout (which encoded columns belong to
+// which feature), which the constraint system, the metrics and several
+// baselines rely on, and it can invert an encoded vector back to a raw row
+// for human-readable CF reporting (Table V).
+#ifndef CFX_DATA_ENCODER_H_
+#define CFX_DATA_ENCODER_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/table.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Location of one feature inside the encoded vector.
+struct EncodedBlock {
+  size_t feature_index = 0;  ///< Index into the schema.
+  size_t offset = 0;         ///< First encoded column.
+  size_t width = 1;          ///< Number of encoded columns.
+  FeatureType type = FeatureType::kContinuous;
+};
+
+/// Fitted, invertible tabular encoder.
+class TabularEncoder {
+ public:
+  explicit TabularEncoder(Schema schema);
+
+  /// Learns min/max statistics of continuous features. Must be called on the
+  /// training split before Transform; refit replaces the statistics.
+  Status Fit(const Table& table);
+  bool fitted() const { return fitted_; }
+
+  /// Encodes every row of `table` into an (n x encoded_width) matrix.
+  /// Requires a fitted encoder and no missing cells.
+  StatusOr<Matrix> Transform(const Table& table) const;
+
+  /// Encodes a single raw row into a (1 x encoded_width) matrix.
+  Matrix TransformRow(const RawRow& row) const;
+
+  /// Decodes a (1 x encoded_width) vector back into a raw row: continuous
+  /// slots are de-normalised, categorical blocks take their argmax,
+  /// binary slots threshold at 0.5.
+  RawRow InverseTransformRow(const Matrix& encoded_row, int label = -1) const;
+
+  /// Projects an arbitrary encoded vector onto the valid manifold: clips
+  /// continuous slots to [0,1], snaps categorical blocks to pure one-hot and
+  /// binary slots to {0,1}. Used when evaluating/reporting CF examples.
+  Matrix ProjectRow(const Matrix& encoded_row) const;
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<EncodedBlock>& blocks() const { return blocks_; }
+  size_t encoded_width() const { return width_; }
+
+  /// Block for feature index `fi`.
+  const EncodedBlock& block(size_t fi) const { return blocks_[fi]; }
+
+  /// Offset of the (single-slot) encoded column of a named continuous or
+  /// binary feature; errors for categorical features (use block()).
+  StatusOr<size_t> ScalarOffset(const std::string& name) const;
+
+  /// Raw-domain value of feature `fi` within an encoded row: de-normalised
+  /// value for continuous, category index for categorical, 0/1 for binary.
+  double FeatureValue(const Matrix& encoded_row, size_t fi) const;
+
+  /// Min-max normalisation of a raw continuous value of feature `fi`.
+  double Normalize(size_t fi, double raw) const;
+  /// Inverse of Normalize.
+  double Denormalize(size_t fi, double normalized) const;
+
+  /// 1 x encoded_width mask with 0 in slots of immutable features, 1
+  /// elsewhere. Used to freeze immutables during CF generation (§III-C).
+  Matrix MutableMask() const;
+
+  /// (offset, width) of every categorical block — the softmax groups of a
+  /// tabular decoder head.
+  std::vector<std::pair<size_t, size_t>> CategoricalBlockRanges() const;
+
+ private:
+  Schema schema_;
+  std::vector<EncodedBlock> blocks_;
+  size_t width_ = 0;
+  bool fitted_ = false;
+  std::vector<double> min_;  ///< Per feature (continuous only meaningful).
+  std::vector<double> max_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_ENCODER_H_

@@ -1,0 +1,19 @@
+#include "src/data/preprocess.h"
+
+namespace cfx {
+
+Table DropMissingRows(const Table& table, CleaningReport* report) {
+  std::vector<size_t> keep;
+  keep.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (!table.RowHasMissing(r)) keep.push_back(r);
+  }
+  if (report != nullptr) {
+    report->rows_before = table.num_rows();
+    report->rows_after = keep.size();
+    report->rows_dropped = table.num_rows() - keep.size();
+  }
+  return table.Select(keep);
+}
+
+}  // namespace cfx

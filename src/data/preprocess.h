@@ -1,0 +1,24 @@
+// Row-level cleaning, mirroring the paper's §IV-C: rows with any missing
+// value are deleted before encoding.
+#ifndef CFX_DATA_PREPROCESS_H_
+#define CFX_DATA_PREPROCESS_H_
+
+#include "src/data/table.h"
+
+namespace cfx {
+
+/// Statistics of a cleaning pass.
+struct CleaningReport {
+  size_t rows_before = 0;
+  size_t rows_after = 0;
+  size_t rows_dropped = 0;
+};
+
+/// Returns a copy of `table` without rows containing missing cells; fills
+/// `report` (if non-null) with before/after counts (Table I's "# Instances
+/// (cleaned)").
+Table DropMissingRows(const Table& table, CleaningReport* report = nullptr);
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_PREPROCESS_H_

@@ -1,0 +1,38 @@
+#include "src/data/schema.h"
+
+namespace cfx {
+
+StatusOr<size_t> Schema::FeatureIndex(const std::string& name) const {
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].name == name) return i;
+  }
+  return Status::NotFound("no feature named '" + name + "'");
+}
+
+TypeCounts Schema::CountByType() const {
+  TypeCounts counts;
+  for (const FeatureSpec& f : features_) {
+    switch (f.type) {
+      case FeatureType::kCategorical: ++counts.categorical; break;
+      case FeatureType::kBinary: ++counts.binary; break;
+      case FeatureType::kContinuous: ++counts.continuous; break;
+    }
+  }
+  return counts;
+}
+
+std::vector<size_t> Schema::ImmutableIndices() const {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].immutable) idx.push_back(i);
+  }
+  return idx;
+}
+
+size_t Schema::EncodedWidth() const {
+  size_t w = 0;
+  for (const FeatureSpec& f : features_) w += f.EncodedWidth();
+  return w;
+}
+
+}  // namespace cfx

@@ -1,0 +1,61 @@
+// Dataset schema: ordered feature specs plus the binary target definition.
+#ifndef CFX_DATA_SCHEMA_H_
+#define CFX_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/column.h"
+
+namespace cfx {
+
+/// Per-type attribute counts, as reported in the paper's Table I
+/// ("#Categorical/#Binary/#Numerical").
+struct TypeCounts {
+  size_t categorical = 0;
+  size_t binary = 0;
+  size_t continuous = 0;
+};
+
+/// Ordered collection of feature specs and the target description.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<FeatureSpec> features, std::string target_name,
+         std::vector<std::string> target_classes)
+      : features_(std::move(features)),
+        target_name_(std::move(target_name)),
+        target_classes_(std::move(target_classes)) {}
+
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  size_t num_features() const { return features_.size(); }
+  const FeatureSpec& feature(size_t i) const { return features_[i]; }
+
+  const std::string& target_name() const { return target_name_; }
+  /// Class labels; index 1 is the favourable/target class.
+  const std::vector<std::string>& target_classes() const {
+    return target_classes_;
+  }
+
+  /// Index of the feature with the given name.
+  StatusOr<size_t> FeatureIndex(const std::string& name) const;
+
+  /// Attribute counts by type (Table I's "#Attributes" column).
+  TypeCounts CountByType() const;
+
+  /// Indices of features flagged immutable.
+  std::vector<size_t> ImmutableIndices() const;
+
+  /// Total width of the one-hot encoded representation.
+  size_t EncodedWidth() const;
+
+ private:
+  std::vector<FeatureSpec> features_;
+  std::string target_name_;
+  std::vector<std::string> target_classes_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_SCHEMA_H_

@@ -1,0 +1,69 @@
+#include "src/data/split.h"
+
+#include <cassert>
+
+namespace cfx {
+
+DataSplit SplitTable(const Table& table, double train_fraction,
+                     double validation_fraction, Rng* rng) {
+  assert(train_fraction >= 0.0 && validation_fraction >= 0.0);
+  assert(train_fraction + validation_fraction <= 1.0 + 1e-9);
+  const size_t n = table.num_rows();
+  std::vector<size_t> perm = rng->Permutation(n);
+  const size_t n_train = static_cast<size_t>(train_fraction * n);
+  const size_t n_val = static_cast<size_t>(validation_fraction * n);
+
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + n_train);
+  std::vector<size_t> val_idx(perm.begin() + n_train,
+                              perm.begin() + n_train + n_val);
+  std::vector<size_t> test_idx(perm.begin() + n_train + n_val, perm.end());
+
+  return DataSplit(table.Select(train_idx), table.Select(val_idx),
+                   table.Select(test_idx));
+}
+
+DataSplit StratifiedSplitTable(const Table& table, double train_fraction,
+                               double validation_fraction, Rng* rng) {
+  assert(train_fraction >= 0.0 && validation_fraction >= 0.0);
+  assert(train_fraction + validation_fraction <= 1.0 + 1e-9);
+
+  // Partition row ids by label, shuffle each class independently.
+  std::vector<std::vector<size_t>> by_class(2);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const int y = table.label(r);
+    assert(y == 0 || y == 1);
+    by_class[y].push_back(r);
+  }
+  std::vector<size_t> train_idx, val_idx, test_idx;
+  for (std::vector<size_t>& rows : by_class) {
+    std::vector<size_t> perm = rng->Permutation(rows.size());
+    const size_t n_train = static_cast<size_t>(train_fraction * rows.size());
+    const size_t n_val =
+        static_cast<size_t>(validation_fraction * rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t row = rows[perm[i]];
+      if (i < n_train) {
+        train_idx.push_back(row);
+      } else if (i < n_train + n_val) {
+        val_idx.push_back(row);
+      } else {
+        test_idx.push_back(row);
+      }
+    }
+  }
+  // Re-shuffle the merged partitions so class blocks do not stay contiguous.
+  auto shuffle = [&](std::vector<size_t>* idx) {
+    std::vector<size_t> perm = rng->Permutation(idx->size());
+    std::vector<size_t> out(idx->size());
+    for (size_t i = 0; i < idx->size(); ++i) out[i] = (*idx)[perm[i]];
+    *idx = std::move(out);
+  };
+  shuffle(&train_idx);
+  shuffle(&val_idx);
+  shuffle(&test_idx);
+
+  return DataSplit(table.Select(train_idx), table.Select(val_idx),
+                   table.Select(test_idx));
+}
+
+}  // namespace cfx

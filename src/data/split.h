@@ -1,0 +1,37 @@
+// Shuffled train/validation/test splitting (80%:10%:10% in the paper).
+#ifndef CFX_DATA_SPLIT_H_
+#define CFX_DATA_SPLIT_H_
+
+#include "src/common/rng.h"
+#include "src/data/table.h"
+
+namespace cfx {
+
+/// The three dataset partitions.
+struct DataSplit {
+  Table train;
+  Table validation;
+  Table test;
+
+  DataSplit(Table train, Table validation, Table test)
+      : train(std::move(train)),
+        validation(std::move(validation)),
+        test(std::move(test)) {}
+};
+
+/// Shuffles rows with `rng` and splits by the given fractions (the remainder
+/// after train+validation goes to test). Fractions must be non-negative and
+/// sum to at most 1.
+DataSplit SplitTable(const Table& table, double train_fraction,
+                     double validation_fraction, Rng* rng);
+
+/// Label-stratified variant: each class is shuffled and split by the same
+/// fractions independently, so every partition preserves the class balance
+/// (important for KDD-Census, whose positive class is a small minority that
+/// a plain random 10% validation split can nearly miss).
+DataSplit StratifiedSplitTable(const Table& table, double train_fraction,
+                               double validation_fraction, Rng* rng);
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_SPLIT_H_

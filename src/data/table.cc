@@ -1,0 +1,80 @@
+#include "src/data/table.h"
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_features());
+  for (const FeatureSpec& spec : schema_.features()) {
+    columns_.emplace_back(spec);
+  }
+}
+
+StatusOr<const Column*> Table::ColumnByName(const std::string& name) const {
+  auto idx = schema_.FeatureIndex(name);
+  if (!idx.ok()) return idx.status();
+  return &columns_[*idx];
+}
+
+Status Table::AppendRow(const std::vector<double>& values, int label) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu cells, schema has %zu features", values.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) columns_[i].Append(values[i]);
+  labels_.push_back(label);
+  ++num_rows_;
+  return Status::OK();
+}
+
+bool Table::RowHasMissing(size_t row) const {
+  for (const Column& col : columns_) {
+    if (col.IsMissing(row)) return true;
+  }
+  return false;
+}
+
+RawRow Table::GetRow(size_t row) const {
+  RawRow r;
+  r.values.reserve(columns_.size());
+  for (const Column& col : columns_) r.values.push_back(col.value(row));
+  r.label = labels_[row];
+  return r;
+}
+
+double Table::PositiveRate() const {
+  if (num_rows_ == 0) return 0.0;
+  size_t pos = 0;
+  for (int y : labels_) pos += (y == 1);
+  return static_cast<double>(pos) / static_cast<double>(num_rows_);
+}
+
+Table Table::Select(const std::vector<size_t>& rows) const {
+  Table out(schema_);
+  for (size_t r : rows) {
+    std::vector<double> values;
+    values.reserve(columns_.size());
+    for (const Column& col : columns_) values.push_back(col.value(r));
+    // AppendRow cannot fail here: the row width matches by construction.
+    (void)out.AppendRow(values, labels_[r]);
+  }
+  return out;
+}
+
+std::string Table::RowToString(size_t row) const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size() + 1);
+  for (const Column& col : columns_) {
+    parts.push_back(col.name() + "=" + col.CellToString(row));
+  }
+  parts.push_back(schema_.target_name() + "=" +
+                  (labels_[row] >= 0 &&
+                   static_cast<size_t>(labels_[row]) < schema_.target_classes().size()
+                       ? schema_.target_classes()[labels_[row]]
+                       : "?"));
+  return Join(parts, ", ");
+}
+
+}  // namespace cfx

@@ -1,0 +1,67 @@
+// In-memory tabular dataset: schema + columns + binary labels.
+#ifndef CFX_DATA_TABLE_H_
+#define CFX_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/column.h"
+#include "src/data/schema.h"
+
+namespace cfx {
+
+/// One raw (unencoded) row, used for human-readable CF reporting (Table V).
+struct RawRow {
+  /// One cell per feature, in schema order (same encoding as Column).
+  std::vector<double> values;
+  int label = -1;  ///< 0/1, or -1 when unknown.
+};
+
+/// Column-major dataset with row-level helpers.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return schema_.num_features(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Column by feature name.
+  StatusOr<const Column*> ColumnByName(const std::string& name) const;
+
+  /// Appends a row. `values` must have one cell per feature (NaN = missing).
+  Status AppendRow(const std::vector<double>& values, int label);
+
+  int label(size_t row) const { return labels_[row]; }
+  const std::vector<int>& labels() const { return labels_; }
+  void set_label(size_t row, int label) { labels_[row] = label; }
+
+  /// True if any cell of the row is missing.
+  bool RowHasMissing(size_t row) const;
+
+  /// Extracts one row in RawRow form.
+  RawRow GetRow(size_t row) const;
+
+  /// Fraction of rows with label 1.
+  double PositiveRate() const;
+
+  /// New table containing only the selected rows (in the given order).
+  Table Select(const std::vector<size_t>& rows) const;
+
+  /// Renders row `row` as "name=value, ..." for logs and reports.
+  std::string RowToString(size_t row) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::vector<int> labels_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_TABLE_H_

@@ -1,0 +1,131 @@
+#include "src/datasets/adult.h"
+
+#include <cmath>
+
+namespace cfx {
+namespace {
+
+double Logistic(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+const DatasetInfo& AdultGenerator::info() const {
+  return GetDatasetInfo(DatasetId::kAdult);
+}
+
+Schema AdultGenerator::MakeSchema() const {
+  std::vector<FeatureSpec> features;
+  features.push_back({"age", FeatureType::kContinuous, {}, false, 17.0, 90.0});
+  features.push_back(
+      {"hours_per_week", FeatureType::kContinuous, {}, false, 1.0, 99.0});
+  features.push_back({"workclass",
+                      FeatureType::kCategorical,
+                      {"private", "self_employed", "government", "other"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back({"education",
+                      FeatureType::kCategorical,
+                      {"school", "hs_grad", "some_college", "bachelors",
+                       "masters", "doctorate"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back({"marital_status",
+                      FeatureType::kCategorical,
+                      {"single", "married", "divorced", "widowed"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back({"occupation",
+                      FeatureType::kCategorical,
+                      {"blue_collar", "white_collar", "professional",
+                       "service", "sales"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back({"race",
+                      FeatureType::kCategorical,
+                      {"white", "black", "asian_pac", "amer_indian", "other"},
+                      /*immutable=*/true,
+                      0.0,
+                      1.0});
+  features.push_back({"gender",
+                      FeatureType::kBinary,
+                      {"female", "male"},
+                      /*immutable=*/true,
+                      0.0,
+                      1.0});
+  features.push_back({"native_us",
+                      FeatureType::kBinary,
+                      {"no", "yes"},
+                      false,
+                      0.0,
+                      1.0});
+  return Schema(std::move(features), "Income", {"<=50K", ">50K"});
+}
+
+Table AdultGenerator::Generate(size_t total_rows, size_t clean_rows,
+                               Rng* rng) const {
+  Table table(MakeSchema());
+  for (size_t i = 0; i < total_rows; ++i) {
+    // age: right-skewed working-age distribution.
+    double age = rng->TruncatedNormal(38.0, 13.0, 17.0, 90.0);
+
+    // education rises with age (causal edge age -> education): the mean
+    // attainable level saturates around age 35.
+    double age_factor = std::min(1.0, (age - 17.0) / 18.0);  // 0 at 17, 1 at 35+
+    double edu_mean = 1.0 + 3.2 * age_factor;                 // in [1, 4.2]
+    int education = static_cast<int>(std::llround(
+        rng->TruncatedNormal(edu_mean, 1.1, 0.0, kEducationLevels - 1)));
+
+    // hours/week, mildly higher for higher education.
+    double hours =
+        rng->TruncatedNormal(38.0 + 1.5 * education, 9.0, 1.0, 99.0);
+
+    int workclass = static_cast<int>(rng->Categorical({0.62, 0.12, 0.18, 0.08}));
+    // occupation depends on education: professionals need degrees.
+    std::vector<double> occ_w;
+    if (education >= 3) {
+      occ_w = {0.10, 0.28, 0.42, 0.08, 0.12};
+    } else if (education == 2) {
+      occ_w = {0.25, 0.30, 0.12, 0.18, 0.15};
+    } else {
+      occ_w = {0.42, 0.13, 0.03, 0.27, 0.15};
+    }
+    int occupation = static_cast<int>(rng->Categorical(occ_w));
+
+    // marital status: older people more likely married/widowed.
+    double married_w = 0.2 + 0.5 * std::min(1.0, (age - 17.0) / 25.0);
+    int marital = static_cast<int>(rng->Categorical(
+        {1.0 - married_w, married_w, 0.10, age > 60 ? 0.10 : 0.01}));
+
+    int race = static_cast<int>(
+        rng->Categorical({0.78, 0.10, 0.06, 0.02, 0.04}));
+    int gender = rng->Bernoulli(0.52) ? 1 : 0;
+    int native = rng->Bernoulli(0.89) ? 1 : 0;
+
+    // Income ground truth: education, age, hours, occupation and marriage
+    // carry signal; race/gender carry none.
+    double z = -6.4 + 0.95 * education + 0.045 * (age - 17.0) +
+               0.030 * (hours - 35.0) +
+               (occupation == 2 ? 0.9 : (occupation == 1 ? 0.5 : 0.0)) +
+               (marital == 1 ? 0.7 : 0.0) + rng->Normal(0.0, 0.45);
+    int income = rng->Bernoulli(Logistic(z)) ? 1 : 0;
+
+    std::vector<double> row = {age,
+                               hours,
+                               static_cast<double>(workclass),
+                               static_cast<double>(education),
+                               static_cast<double>(marital),
+                               static_cast<double>(occupation),
+                               static_cast<double>(race),
+                               static_cast<double>(gender),
+                               static_cast<double>(native)};
+    CFX_CHECK_OK(table.AppendRow(row, income));
+  }
+  internal::InjectMissing(&table, clean_rows, rng);
+  return table;
+}
+
+}  // namespace cfx

@@ -1,0 +1,34 @@
+// Synthetic Adult Income dataset (UCI "Adult"/"Census Income" stand-in).
+//
+// Attribute layout matches the paper's Table I usage: 9 attributes —
+// 5 categorical (workclass, education, marital_status, occupation, race),
+// 2 binary (gender, native_us), 2 continuous (age, hours_per_week) — target
+// "Income" (<=50K / >50K). `race` and `gender` are immutable (§IV-A).
+//
+// Causal ground truth (used both to generate data and to make the §IV-E
+// constraints meaningful):
+//   age -> education      (education level rises with age, saturating ~35)
+//   {education, age, hours, occupation, marital} -> income logit
+// so that a classifier trained on the data genuinely rewards education/age
+// increases, the direction the binary constraint protects.
+#ifndef CFX_DATASETS_ADULT_H_
+#define CFX_DATASETS_ADULT_H_
+
+#include "src/datasets/registry.h"
+
+namespace cfx {
+
+class AdultGenerator : public DatasetGenerator {
+ public:
+  const DatasetInfo& info() const override;
+  Schema MakeSchema() const override;
+  Table Generate(size_t total_rows, size_t clean_rows,
+                 Rng* rng) const override;
+
+  /// Number of education levels (ordinal categories, low to high).
+  static constexpr int kEducationLevels = 6;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATASETS_ADULT_H_

@@ -1,0 +1,33 @@
+// Synthetic KDD Census-Income dataset (UCI "Census-Income (KDD)" stand-in).
+//
+// Attribute layout per Table I: 41 attributes — 32 categorical, 2 binary
+// (gender, own_business), 7 continuous (age, wage_per_hour, capital_gains,
+// capital_losses, dividends, num_employer_persons, weeks_worked) — target
+// "Income" (<=50K / >50K, heavily imbalanced like the real KDD data).
+// `race` and `gender` are immutable (§IV-A).
+//
+// The first handful of categorical attributes (education, class_of_worker,
+// marital_status, occupation_major, industry_major, race, ...) carry the
+// causal/income signal; the remaining demographic-style categoricals are
+// weakly-informative noise dimensions, mirroring the real dataset's many
+// low-signal census fields. Causal edge: age -> education, as in Adult.
+#ifndef CFX_DATASETS_CENSUS_H_
+#define CFX_DATASETS_CENSUS_H_
+
+#include "src/datasets/registry.h"
+
+namespace cfx {
+
+class CensusGenerator : public DatasetGenerator {
+ public:
+  const DatasetInfo& info() const override;
+  Schema MakeSchema() const override;
+  Table Generate(size_t total_rows, size_t clean_rows,
+                 Rng* rng) const override;
+
+  static constexpr int kEducationLevels = 6;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATASETS_CENSUS_H_

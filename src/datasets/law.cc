@@ -1,0 +1,98 @@
+#include "src/datasets/law.h"
+
+#include <cmath>
+
+namespace cfx {
+namespace {
+
+double Logistic(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+const DatasetInfo& LawGenerator::info() const {
+  return GetDatasetInfo(DatasetId::kLaw);
+}
+
+Schema LawGenerator::MakeSchema() const {
+  std::vector<FeatureSpec> features;
+  features.push_back({"lsat", FeatureType::kContinuous, {}, false, 10.0, 48.0});
+  features.push_back({"ugpa", FeatureType::kContinuous, {}, false, 1.5, 4.0});
+  features.push_back(
+      {"zfygpa", FeatureType::kContinuous, {}, false, -3.5, 3.5});
+  features.push_back({"zgpa", FeatureType::kContinuous, {}, false, -3.5, 3.5});
+  features.push_back(
+      {"fam_inc", FeatureType::kContinuous, {}, false, 1.0, 5.0});
+  features.push_back(
+      {"decile", FeatureType::kContinuous, {}, false, 1.0, 10.0});
+  features.push_back({"tier",
+                      FeatureType::kCategorical,
+                      {"tier1", "tier2", "tier3", "tier4", "tier5", "tier6"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back({"sex",
+                      FeatureType::kBinary,
+                      {"female", "male"},
+                      /*immutable=*/true,
+                      0.0,
+                      1.0});
+  features.push_back(
+      {"fulltime", FeatureType::kBinary, {"no", "yes"}, false, 0.0, 1.0});
+  features.push_back(
+      {"white", FeatureType::kBinary, {"no", "yes"}, false, 0.0, 1.0});
+  return Schema(std::move(features), "Pass the bar", {"fail", "pass"});
+}
+
+Table LawGenerator::Generate(size_t total_rows, size_t clean_rows,
+                             Rng* rng) const {
+  Table table(MakeSchema());
+  for (size_t i = 0; i < total_rows; ++i) {
+    // Latent aptitude drives LSAT, GPA and (through LSAT) school tier.
+    double aptitude = rng->Normal(0.0, 1.0);
+    double lsat = rng->TruncatedNormal(32.0 + 4.5 * aptitude, 3.0, 10.0, 48.0);
+    double ugpa =
+        rng->TruncatedNormal(3.1 + 0.25 * aptitude, 0.35, 1.5, 4.0);
+
+    // tier -> lsat (causal): admission tiers are LSAT bands, so moving to a
+    // higher (more selective) tier implies a higher typical LSAT. Index 5 =
+    // tier6 = most selective, matching the LSAC coding.
+    double tier_score = (lsat - 10.0) / 38.0 * 5.0 + rng->Normal(0.0, 0.7);
+    int tier = static_cast<int>(std::llround(
+        std::min(5.0, std::max(0.0, tier_score))));
+
+    double zfygpa = rng->TruncatedNormal(0.35 * aptitude, 0.9, -3.5, 3.5);
+    double zgpa = rng->TruncatedNormal(0.5 * zfygpa + 0.2 * aptitude, 0.8,
+                                       -3.5, 3.5);
+    double fam_inc = rng->TruncatedNormal(3.0, 1.0, 1.0, 5.0);
+    double decile =
+        rng->TruncatedNormal(5.5 + 2.0 * zgpa, 1.5, 1.0, 10.0);
+
+    int sex = rng->Bernoulli(0.44) ? 1 : 0;
+    int fulltime = rng->Bernoulli(0.88) ? 1 : 0;
+    int white = rng->Bernoulli(0.84) ? 1 : 0;
+
+    // Bar passage: LSAT, grades and school tier carry the signal (most
+    // candidates pass — the real dataset is ~95% positive; we keep a
+    // noticeable minority class at ~78% so the CF task is non-trivial).
+    double z = 0.4 + 0.16 * (lsat - 32.0) + 1.1 * (ugpa - 3.1) +
+               0.55 * zgpa + 0.18 * tier + 0.3 * fulltime +
+               rng->Normal(0.0, 0.8);
+    int pass = rng->Bernoulli(Logistic(z)) ? 1 : 0;
+
+    std::vector<double> row = {lsat,
+                               ugpa,
+                               zfygpa,
+                               zgpa,
+                               fam_inc,
+                               decile,
+                               static_cast<double>(tier),
+                               static_cast<double>(sex),
+                               static_cast<double>(fulltime),
+                               static_cast<double>(white)};
+    CFX_CHECK_OK(table.AppendRow(row, pass));
+  }
+  internal::InjectMissing(&table, clean_rows, rng);
+  return table;
+}
+
+}  // namespace cfx

@@ -1,0 +1,32 @@
+// Synthetic Law School dataset (LSAC National Longitudinal Bar Passage Study
+// stand-in).
+//
+// Attribute layout per Table I: 10 attributes — 1 categorical (tier, the law
+// school tier, ordinal 1..6), 3 binary (sex, fulltime, white), 6 continuous
+// (lsat, ugpa, zfygpa, zgpa, fam_inc, decile) — target "Pass the bar".
+// `sex` is immutable (§IV-A).
+//
+// Causal ground truth: tier -> lsat (admission to a higher-tier school
+// requires a higher LSAT), and {lsat, ugpa, zgpa, tier} -> bar passage, so
+// the §IV-E constraints (lsat monotone; tier up => lsat up) test a real
+// dependency.
+#ifndef CFX_DATASETS_LAW_H_
+#define CFX_DATASETS_LAW_H_
+
+#include "src/datasets/registry.h"
+
+namespace cfx {
+
+class LawGenerator : public DatasetGenerator {
+ public:
+  const DatasetInfo& info() const override;
+  Schema MakeSchema() const override;
+  Table Generate(size_t total_rows, size_t clean_rows,
+                 Rng* rng) const override;
+
+  static constexpr int kTiers = 6;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATASETS_LAW_H_

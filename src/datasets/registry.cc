@@ -1,0 +1,36 @@
+#include "src/datasets/registry.h"
+
+#include "src/datasets/adult.h"
+#include "src/datasets/census.h"
+#include "src/datasets/law.h"
+
+namespace cfx {
+
+std::unique_ptr<DatasetGenerator> CreateGenerator(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAdult: return std::make_unique<AdultGenerator>();
+    case DatasetId::kCensus: return std::make_unique<CensusGenerator>();
+    case DatasetId::kLaw: return std::make_unique<LawGenerator>();
+  }
+  return nullptr;
+}
+
+namespace internal {
+
+void InjectMissing(Table* table, size_t clean_rows, Rng* rng) {
+  const size_t n = table->num_rows();
+  if (clean_rows >= n) return;
+  const size_t to_corrupt = n - clean_rows;
+  std::vector<size_t> perm = rng->Permutation(n);
+  for (size_t i = 0; i < to_corrupt; ++i) {
+    const size_t row = perm[i];
+    // Pick a feature to blank; avoid degenerate loops by scanning from a
+    // random start.
+    const size_t nf = table->num_features();
+    size_t fi = rng->UniformInt(nf);
+    table->column(fi).set_value(row, std::nan(""));
+  }
+}
+
+}  // namespace internal
+}  // namespace cfx

@@ -1,0 +1,94 @@
+#include "src/datasets/spec.h"
+
+#include <cmath>
+
+namespace cfx {
+
+const char* DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAdult: return "Adult";
+    case DatasetId::kCensus: return "KDD-Census Income";
+    case DatasetId::kLaw: return "Law School";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Reduced totals used at Scale::kSmall (single-core friendly); cleaned
+// counts are derived from the paper's cleaned/total ratio.
+constexpr size_t kSmallAdult = 6000;
+constexpr size_t kSmallCensus = 8000;
+constexpr size_t kSmallLaw = 4000;
+
+const DatasetInfo kAdultInfo = {
+    DatasetId::kAdult,
+    "Adult",
+    /*paper_total_instances=*/48842,
+    /*paper_clean_instances=*/32561,
+    /*target_class=*/"Income",
+    /*unary_feature=*/"age",
+    /*binary_cause=*/"education",
+    /*binary_effect=*/"age",
+    /*unary_hyper=*/{0.2f, 2048, 25},
+    /*binary_hyper=*/{0.2f, 2048, 50},
+};
+
+const DatasetInfo kCensusInfo = {
+    DatasetId::kCensus,
+    "KDD-Census Income",
+    /*paper_total_instances=*/299285,
+    /*paper_clean_instances=*/199522,
+    /*target_class=*/"Income",
+    /*unary_feature=*/"age",
+    /*binary_cause=*/"education",
+    /*binary_effect=*/"age",
+    /*unary_hyper=*/{0.1f, 2048, 25},
+    /*binary_hyper=*/{0.1f, 2048, 25},
+};
+
+const DatasetInfo kLawInfo = {
+    DatasetId::kLaw,
+    "Law School",
+    /*paper_total_instances=*/20798,
+    /*paper_clean_instances=*/20512,
+    /*target_class=*/"Pass the bar",
+    /*unary_feature=*/"lsat",
+    /*binary_cause=*/"tier",
+    /*binary_effect=*/"lsat",
+    /*unary_hyper=*/{0.2f, 2048, 25},
+    /*binary_hyper=*/{0.2f, 2048, 50},
+};
+
+size_t SmallTotal(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAdult: return kSmallAdult;
+    case DatasetId::kCensus: return kSmallCensus;
+    case DatasetId::kLaw: return kSmallLaw;
+  }
+  return kSmallAdult;
+}
+
+}  // namespace
+
+const DatasetInfo& GetDatasetInfo(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAdult: return kAdultInfo;
+    case DatasetId::kCensus: return kCensusInfo;
+    case DatasetId::kLaw: return kLawInfo;
+  }
+  return kAdultInfo;
+}
+
+size_t DatasetInfo::TotalInstances(Scale scale) const {
+  return scale == Scale::kPaper ? paper_total_instances : SmallTotal(id);
+}
+
+size_t DatasetInfo::CleanInstances(Scale scale) const {
+  if (scale == Scale::kPaper) return paper_clean_instances;
+  const double ratio = static_cast<double>(paper_clean_instances) /
+                       static_cast<double>(paper_total_instances);
+  return static_cast<size_t>(std::llround(ratio * SmallTotal(id)));
+}
+
+}  // namespace cfx

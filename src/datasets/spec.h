@@ -1,0 +1,55 @@
+// Dataset identities, paper-reported statistics (Table I), and the
+// per-dataset experiment configuration (constraints of §IV-E, hyperparameters
+// of Table III).
+#ifndef CFX_DATASETS_SPEC_H_
+#define CFX_DATASETS_SPEC_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/config.h"
+
+namespace cfx {
+
+/// The three benchmark datasets of §IV-A.
+enum class DatasetId { kAdult, kCensus, kLaw };
+
+const char* DatasetName(DatasetId id);
+
+/// Paper-reported dataset statistics (Table I) plus the constraint features
+/// used in §IV-E and the Table III hyperparameters.
+struct DatasetInfo {
+  DatasetId id;
+  std::string name;
+  size_t paper_total_instances;   ///< "# Instances".
+  size_t paper_clean_instances;   ///< "# Instances (cleaned)".
+  std::string target_class;      ///< "Target class" column of Table I.
+
+  /// Feature forming the unary (monotone non-decreasing) constraint, Eq. (1).
+  std::string unary_feature;
+  /// Binary constraint, Eq. (2): cause increases => effect strictly
+  /// increases (education -> age for Adult/Census; tier -> lsat for Law).
+  std::string binary_cause;
+  std::string binary_effect;
+
+  /// Table III hyperparameters (per constraint model).
+  struct Hyper {
+    float learning_rate;
+    size_t batch_size;
+    size_t epochs;
+  };
+  Hyper unary_hyper;
+  Hyper binary_hyper;
+
+  /// Row counts used at the given run scale. kPaper returns the Table I
+  /// numbers; kSmall scales down preserving the cleaned/total ratio.
+  size_t TotalInstances(Scale scale) const;
+  size_t CleanInstances(Scale scale) const;
+};
+
+/// Static info for a dataset.
+const DatasetInfo& GetDatasetInfo(DatasetId id);
+
+}  // namespace cfx
+
+#endif  // CFX_DATASETS_SPEC_H_

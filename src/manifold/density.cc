@@ -1,0 +1,107 @@
+#include "src/manifold/density.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cfx {
+namespace {
+
+double Distance(const Matrix& m, size_t a, size_t b) {
+  double acc = 0.0;
+  for (size_t c = 0; c < m.cols(); ++c) {
+    const double d = static_cast<double>(m.at(a, c)) - m.at(b, c);
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+SeparabilityStats AnalyzeSeparability(const Matrix& embedding,
+                                      const std::vector<int>& labels,
+                                      size_t k_neighbors) {
+  assert(embedding.rows() == labels.size());
+  SeparabilityStats stats;
+  const size_t n = embedding.rows();
+  stats.num_points = n;
+  for (int y : labels) stats.num_positive += (y == 1);
+  if (n < 3) return stats;
+  k_neighbors = std::min(k_neighbors, n - 1);
+
+  size_t agree = 0;
+  double intra_sum = 0.0, inter_sum = 0.0;
+  size_t intra_count = 0, inter_count = 0;
+  double silhouette_sum = 0.0;
+
+  std::vector<std::pair<double, size_t>> dists(n);
+  for (size_t i = 0; i < n; ++i) {
+    double intra_i = 0.0, inter_i = 0.0;
+    size_t intra_n = 0, inter_n = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const double d =
+          i == j ? std::numeric_limits<double>::infinity() : Distance(embedding, i, j);
+      dists[j] = {d, j};
+      if (i == j) continue;
+      if (labels[j] == labels[i]) {
+        intra_i += d;
+        ++intra_n;
+      } else {
+        inter_i += d;
+        ++inter_n;
+      }
+    }
+    // k-NN majority vote.
+    std::partial_sort(dists.begin(), dists.begin() + k_neighbors, dists.end());
+    size_t same = 0;
+    for (size_t k = 0; k < k_neighbors; ++k) {
+      same += labels[dists[k].second] == labels[i];
+    }
+    agree += same * 2 > k_neighbors;
+
+    if (intra_n > 0 && inter_n > 0) {
+      const double a = intra_i / static_cast<double>(intra_n);
+      const double b = inter_i / static_cast<double>(inter_n);
+      intra_sum += a;
+      inter_sum += b;
+      ++intra_count;
+      ++inter_count;
+      silhouette_sum += (b - a) / std::max(a, b);
+    }
+  }
+
+  stats.knn_label_agreement = static_cast<double>(agree) / n;
+  if (inter_count > 0 && inter_sum > 0.0) {
+    stats.intra_inter_ratio =
+        (intra_sum / intra_count) / (inter_sum / inter_count);
+    stats.silhouette = silhouette_sum / static_cast<double>(intra_count);
+  }
+  return stats;
+}
+
+Matrix DensityGrid(const Matrix& embedding, size_t grid_rows,
+                   size_t grid_cols) {
+  Matrix grid(grid_rows, grid_cols);
+  if (embedding.rows() == 0) return grid;
+  float min_x = embedding.at(0, 0), max_x = min_x;
+  float min_y = embedding.at(0, 1), max_y = min_y;
+  for (size_t i = 0; i < embedding.rows(); ++i) {
+    min_x = std::min(min_x, embedding.at(i, 0));
+    max_x = std::max(max_x, embedding.at(i, 0));
+    min_y = std::min(min_y, embedding.at(i, 1));
+    max_y = std::max(max_y, embedding.at(i, 1));
+  }
+  const float span_x = std::max(max_x - min_x, 1e-6f);
+  const float span_y = std::max(max_y - min_y, 1e-6f);
+  for (size_t i = 0; i < embedding.rows(); ++i) {
+    size_t c = static_cast<size_t>((embedding.at(i, 0) - min_x) / span_x *
+                                   static_cast<float>(grid_cols - 1));
+    size_t r = static_cast<size_t>((embedding.at(i, 1) - min_y) / span_y *
+                                   static_cast<float>(grid_rows - 1));
+    grid.at(r, c) += 1.0f;
+  }
+  return grid;
+}
+
+}  // namespace cfx

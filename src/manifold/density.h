@@ -1,0 +1,40 @@
+// Quantitative analysis of the Figure 6 manifolds: how separable are the
+// feasible and infeasible regions of a 2-D embedding?
+#ifndef CFX_MANIFOLD_DENSITY_H_
+#define CFX_MANIFOLD_DENSITY_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Separation statistics of a labelled 2-D point cloud.
+struct SeparabilityStats {
+  size_t num_points = 0;
+  size_t num_positive = 0;  ///< Feasible points (label 1).
+  /// Fraction of points whose k nearest neighbours' majority label matches
+  /// their own — 1.0 for perfectly separated regions, ~max(class prior) for
+  /// fully mixed ones.
+  double knn_label_agreement = 0.0;
+  /// Mean distance to same-label points divided by mean distance to
+  /// other-label points; < 1 indicates clustering by label.
+  double intra_inter_ratio = 0.0;
+  /// Silhouette-style score in [-1, 1] using label clusters.
+  double silhouette = 0.0;
+};
+
+/// Computes separation statistics for `embedding` (n x 2) with 0/1 `labels`.
+SeparabilityStats AnalyzeSeparability(const Matrix& embedding,
+                                      const std::vector<int>& labels,
+                                      size_t k_neighbors = 10);
+
+/// 2-D histogram ("density grid") of a point cloud: cell (r, c) counts the
+/// points falling there; useful for locating the dense feasible regions the
+/// paper's §I discusses.
+Matrix DensityGrid(const Matrix& embedding, size_t grid_rows,
+                   size_t grid_cols);
+
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_DENSITY_H_

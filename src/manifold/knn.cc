@@ -1,0 +1,179 @@
+#include "src/manifold/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace cfx {
+
+KnnIndex::KnnIndex(const Matrix& data, Rng* rng) : data_(data) {
+  use_tree_ = data_.cols() < kTreeMaxDims;
+  if (!use_tree_) return;
+  std::vector<size_t> items(data_.rows());
+  for (size_t i = 0; i < items.size(); ++i) items[i] = i;
+  nodes_.reserve(data_.rows());
+  root_ = Build(&items, 0, items.size(), rng);
+}
+
+std::vector<Neighbor> KnnIndex::ScanQuery(const float* query, size_t k,
+                                          size_t exclude) const {
+  const size_t n = data_.rows();
+  const size_t d = data_.cols();
+  // Squared distances + a bounded max-heap of the best k: O(n log k) with
+  // no O(n) allocation; sqrt only the winners. The running k-th best bound
+  // also lets the inner loop exit a row early once it cannot qualify.
+  const size_t take = std::min(k, exclude < n ? n - 1 : n);
+  std::vector<std::pair<float, size_t>> heap;  // max-heap by squared dist
+  heap.reserve(take + 1);
+  float bound = std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    const float* __restrict__ row = &data_.data()[i * d];
+    const float* __restrict__ q = query;
+    // Branch-free inner loop (vectorises); the bound check happens once per
+    // row, which measures faster than per-element early exit.
+    float acc = 0.0f;
+    for (size_t c = 0; c < d; ++c) {
+      const float delta = q[c] - row[c];
+      acc += delta * delta;
+    }
+    if (acc > bound) continue;
+    if (heap.size() < take) {
+      heap.emplace_back(acc, i);
+      std::push_heap(heap.begin(), heap.end());
+      if (heap.size() == take) bound = heap.front().first;
+    } else if (acc < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {acc, i};
+      std::push_heap(heap.begin(), heap.end());
+      bound = heap.front().first;
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<Neighbor> hits(heap.size());
+  for (size_t i = 0; i < heap.size(); ++i) {
+    hits[i] = {heap[i].second, std::sqrt(heap[i].first)};
+  }
+  return hits;
+}
+
+float KnnIndex::Distance(const float* a, size_t row) const {
+  const float* b = &data_.data()[row * data_.cols()];
+  double acc = 0.0;
+  for (size_t c = 0; c < data_.cols(); ++c) {
+    const double d = static_cast<double>(a[c]) - b[c];
+    acc += d * d;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+int KnnIndex::Build(std::vector<size_t>* items, size_t begin, size_t end,
+                    Rng* rng) {
+  if (begin >= end) return -1;
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Random vantage point, swapped to the front.
+  const size_t pick = begin + rng->UniformInt(end - begin);
+  std::swap((*items)[begin], (*items)[pick]);
+  const size_t vp = (*items)[begin];
+  nodes_[id].point = vp;
+
+  if (end - begin == 1) return id;
+
+  // Partition the remainder by the median distance to the vantage point.
+  const float* vp_row = &data_.data()[vp * data_.cols()];
+  const size_t mid = begin + 1 + (end - begin - 1) / 2;
+  std::nth_element(items->begin() + begin + 1, items->begin() + mid,
+                   items->begin() + end, [&](size_t a, size_t b) {
+                     return Distance(vp_row, a) < Distance(vp_row, b);
+                   });
+  const float radius = Distance(vp_row, (*items)[mid]);
+
+  // nth_element leaves [begin+1, mid) <= items[mid] <= [mid, end).
+  const int inside = Build(items, begin + 1, mid, rng);
+  const int outside = Build(items, mid, end, rng);
+  nodes_[id].radius = radius;
+  nodes_[id].inside = inside;
+  nodes_[id].outside = outside;
+  return id;
+}
+
+struct KnnIndex::SearchState {
+  // Max-heap of the best k hits seen so far (largest distance on top).
+  std::priority_queue<std::pair<float, size_t>> heap;
+  size_t k = 0;
+
+  float Tau() const {
+    return heap.size() < k ? std::numeric_limits<float>::infinity()
+                           : heap.top().first;
+  }
+  void Offer(float distance, size_t index) {
+    if (heap.size() < k) {
+      heap.push({distance, index});
+    } else if (distance < heap.top().first) {
+      heap.pop();
+      heap.push({distance, index});
+    }
+  }
+};
+
+void KnnIndex::Search(int node, const float* query, size_t k, size_t exclude,
+                      SearchState* state) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const float d = Distance(query, n.point);
+  if (n.point != exclude) state->Offer(d, n.point);
+
+  if (n.inside < 0 && n.outside < 0) return;
+  // Visit the more promising side first; prune the other with the triangle
+  // inequality against the current k-th best distance tau.
+  if (d < n.radius) {
+    Search(n.inside, query, k, exclude, state);
+    if (d + state->Tau() >= n.radius) {
+      Search(n.outside, query, k, exclude, state);
+    }
+  } else {
+    Search(n.outside, query, k, exclude, state);
+    if (d - state->Tau() <= n.radius) {
+      Search(n.inside, query, k, exclude, state);
+    }
+  }
+}
+
+std::vector<Neighbor> KnnIndex::Query(const Matrix& query, size_t k) const {
+  assert(query.rows() == 1 && query.cols() == data_.cols());
+  if (!use_tree_) {
+    return ScanQuery(query.data(), k, static_cast<size_t>(-1));
+  }
+  SearchState state;
+  state.k = std::min(k, data_.rows());
+  Search(root_, query.data(), state.k, static_cast<size_t>(-1), &state);
+  std::vector<Neighbor> hits(state.heap.size());
+  for (size_t i = hits.size(); i-- > 0;) {
+    hits[i] = {state.heap.top().second, state.heap.top().first};
+    state.heap.pop();
+  }
+  return hits;
+}
+
+std::vector<Neighbor> KnnIndex::QuerySelf(size_t row, size_t k) const {
+  assert(row < data_.rows());
+  if (!use_tree_) {
+    return ScanQuery(&data_.data()[row * data_.cols()], k, row);
+  }
+  SearchState state;
+  state.k = std::min(k, data_.rows() > 0 ? data_.rows() - 1 : 0);
+  if (state.k == 0) return {};
+  Search(root_, &data_.data()[row * data_.cols()], state.k, row, &state);
+  std::vector<Neighbor> hits(state.heap.size());
+  for (size_t i = hits.size(); i-- > 0;) {
+    hits[i] = {state.heap.top().second, state.heap.top().first};
+    state.heap.pop();
+  }
+  return hits;
+}
+
+}  // namespace cfx

@@ -1,0 +1,83 @@
+// Exact k-nearest-neighbour index over encoded rows.
+//
+// FACE's graph construction and the faithfulness metrics need exact
+// Euclidean kNN against a reference set. The index picks its strategy from
+// the data shape: a vantage-point tree when the dimensionality is low
+// enough for triangle-inequality pruning to pay off, and a cache-friendly
+// linear scan with partial selection otherwise (beyond ~15-20 dimensions
+// metric-tree pruning degenerates and a dense scan wins — measured in
+// bench/perf_tsne's BM_Knn* pair). Both paths are exact and verified
+// against each other in tests.
+#ifndef CFX_MANIFOLD_KNN_H_
+#define CFX_MANIFOLD_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// One neighbour hit.
+struct Neighbor {
+  size_t index;    ///< Row index into the indexed matrix.
+  float distance;  ///< Euclidean distance.
+};
+
+/// Immutable exact-kNN index over the rows of a matrix.
+class KnnIndex {
+ public:
+  /// Builds the index (O(n log n) expected when the tree strategy is
+  /// picked). The data is copied; `rng` drives vantage-point selection only
+  /// (results are exact either way).
+  KnnIndex(const Matrix& data, Rng* rng);
+
+  /// True when the VP-tree strategy is active (exposed for tests/benches).
+  bool uses_tree() const { return use_tree_; }
+
+  /// Dimensionality at or above which the linear-scan strategy is used.
+  static constexpr size_t kTreeMaxDims = 16;
+
+  size_t size() const { return data_.rows(); }
+  const Matrix& data() const { return data_; }
+
+  /// The k nearest rows to `query` (1 x d), sorted by ascending distance.
+  /// Returns fewer than k when the index holds fewer points.
+  std::vector<Neighbor> Query(const Matrix& query, size_t k) const;
+
+  /// The k nearest rows to row `row` of the indexed data itself,
+  /// *excluding* that row.
+  std::vector<Neighbor> QuerySelf(size_t row, size_t k) const;
+
+ private:
+  struct Node {
+    size_t point = 0;            ///< Row index of the vantage point.
+    float radius = 0.0f;         ///< Median distance to the subtree points.
+    int inside = -1;             ///< Child holding points within radius.
+    int outside = -1;            ///< Child holding points beyond radius.
+  };
+
+  /// Recursive build over items[begin, end); returns node id or -1.
+  int Build(std::vector<size_t>* items, size_t begin, size_t end, Rng* rng);
+
+  float Distance(const float* a, size_t row) const;
+
+  /// Bounded max-heap search state.
+  struct SearchState;
+  void Search(int node, const float* query, size_t k, size_t exclude,
+              SearchState* state) const;
+
+  /// Exact linear-scan fallback used at high dimensionality.
+  std::vector<Neighbor> ScanQuery(const float* query, size_t k,
+                                  size_t exclude) const;
+
+  Matrix data_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  bool use_tree_ = true;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_KNN_H_

@@ -1,0 +1,46 @@
+#include "src/manifold/scatter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cfx {
+
+std::string RenderScatter(const Matrix& embedding,
+                          const std::vector<int>& labels, size_t rows,
+                          size_t cols) {
+  assert(embedding.cols() >= 2 && embedding.rows() == labels.size());
+  if (embedding.rows() == 0) return "(empty)\n";
+
+  float min_x = embedding.at(0, 0), max_x = min_x;
+  float min_y = embedding.at(0, 1), max_y = min_y;
+  for (size_t i = 0; i < embedding.rows(); ++i) {
+    min_x = std::min(min_x, embedding.at(i, 0));
+    max_x = std::max(max_x, embedding.at(i, 0));
+    min_y = std::min(min_y, embedding.at(i, 1));
+    max_y = std::max(max_y, embedding.at(i, 1));
+  }
+  const float span_x = std::max(max_x - min_x, 1e-6f);
+  const float span_y = std::max(max_y - min_y, 1e-6f);
+
+  // 0 = empty, 1 = infeasible, 2 = feasible, 3 = both.
+  std::vector<uint8_t> cells(rows * cols, 0);
+  for (size_t i = 0; i < embedding.rows(); ++i) {
+    size_t c = static_cast<size_t>((embedding.at(i, 0) - min_x) / span_x *
+                                   static_cast<float>(cols - 1));
+    size_t r = static_cast<size_t>((embedding.at(i, 1) - min_y) / span_y *
+                                   static_cast<float>(rows - 1));
+    cells[r * cols + c] |= labels[i] == 1 ? 2 : 1;
+  }
+
+  static const char kGlyphs[4] = {' ', '.', '#', '@'};
+  std::string out;
+  out.reserve((cols + 3) * rows);
+  for (size_t r = 0; r < rows; ++r) {
+    out += '|';
+    for (size_t c = 0; c < cols; ++c) out += kGlyphs[cells[r * cols + c]];
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace cfx

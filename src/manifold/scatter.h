@@ -1,0 +1,22 @@
+// Terminal rendering of labelled 2-D embeddings — the textual stand-in for
+// the paper's Figure 6 panels ('.' infeasible, '#' feasible, '@' overlap).
+#ifndef CFX_MANIFOLD_SCATTER_H_
+#define CFX_MANIFOLD_SCATTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Renders an (n x 2) embedding with 0/1 labels as an ASCII scatter of the
+/// given size. Label 1 ("feasible") cells print '#', label 0 '.', cells
+/// containing both print '@', empty cells ' '.
+std::string RenderScatter(const Matrix& embedding,
+                          const std::vector<int>& labels, size_t rows = 24,
+                          size_t cols = 64);
+
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_SCATTER_H_

@@ -1,0 +1,101 @@
+#include "src/manifold/svg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+std::string RenderSvgScatter(const Matrix& embedding,
+                             const std::vector<int>& labels,
+                             const std::string& title,
+                             const SvgScatterOptions& options) {
+  assert(embedding.cols() >= 2 && embedding.rows() == labels.size());
+  const double w = static_cast<double>(options.width);
+  const double h = static_cast<double>(options.height);
+  const double margin = 40.0;
+
+  float min_x = 0, max_x = 1, min_y = 0, max_y = 1;
+  if (embedding.rows() > 0) {
+    min_x = max_x = embedding.at(0, 0);
+    min_y = max_y = embedding.at(0, 1);
+    for (size_t i = 0; i < embedding.rows(); ++i) {
+      min_x = std::min(min_x, embedding.at(i, 0));
+      max_x = std::max(max_x, embedding.at(i, 0));
+      min_y = std::min(min_y, embedding.at(i, 1));
+      max_y = std::max(max_y, embedding.at(i, 1));
+    }
+  }
+  const double span_x = std::max(1e-6f, max_x - min_x);
+  const double span_y = std::max(1e-6f, max_y - min_y);
+  auto sx = [&](float x) {
+    return margin + (x - min_x) / span_x * (w - 2 * margin);
+  };
+  auto sy = [&](float y) {
+    // SVG y grows downward; flip so the plot reads math-style.
+    return h - margin - (y - min_y) / span_y * (h - 2 * margin);
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+      << options.width << " " << options.height << "\">\n";
+  svg << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << StrFormat(
+      "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"none\" stroke=\"#444\" stroke-width=\"1\"/>\n",
+      margin, margin, w - 2 * margin, h - 2 * margin);
+  svg << "  <text x=\"" << w / 2
+      << "\" y=\"24\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+         "font-size=\"15\">"
+      << title << "</text>\n";
+
+  // Points: negatives first so positives draw on top.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < embedding.rows(); ++i) {
+      if ((labels[i] == 1) != (pass == 1)) continue;
+      svg << StrFormat(
+          "  <circle cx=\"%.2f\" cy=\"%.2f\" r=\"%.1f\" fill=\"%s\" "
+          "fill-opacity=\"0.75\"/>\n",
+          sx(embedding.at(i, 0)), sy(embedding.at(i, 1)),
+          options.point_radius,
+          labels[i] == 1 ? options.positive_color.c_str()
+                         : options.negative_color.c_str());
+    }
+  }
+
+  // Legend (top right, inside the frame).
+  const double lx = w - margin - 130;
+  const double ly = margin + 14;
+  svg << StrFormat(
+      "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"%s\"/>\n", lx, ly,
+      options.positive_color.c_str());
+  svg << StrFormat(
+      "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+      "font-size=\"12\">%s</text>\n",
+      lx + 10, ly + 4, options.positive_name.c_str());
+  svg << StrFormat(
+      "  <circle cx=\"%.1f\" cy=\"%.1f\" r=\"4\" fill=\"%s\"/>\n", lx,
+      ly + 18, options.negative_color.c_str());
+  svg << StrFormat(
+      "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"sans-serif\" "
+      "font-size=\"12\">%s</text>\n",
+      lx + 10, ly + 22, options.negative_name.c_str());
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status WriteSvgScatter(const Matrix& embedding, const std::vector<int>& labels,
+                       const std::string& title, const std::string& path,
+                       const SvgScatterOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << RenderSvgScatter(embedding, labels, title, options);
+  return out.good() ? Status::OK()
+                    : Status::Internal("write error on '" + path + "'");
+}
+
+}  // namespace cfx

@@ -1,0 +1,42 @@
+// Standalone SVG scatter rendering for the Figure 6 manifolds — publication
+// -quality output without any plotting dependency.
+#ifndef CFX_MANIFOLD_SVG_H_
+#define CFX_MANIFOLD_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Appearance of the SVG scatter.
+struct SvgScatterOptions {
+  size_t width = 640;
+  size_t height = 480;
+  double point_radius = 3.0;
+  /// Colour of label-1 ("feasible") points; paper's Figure 6 uses yellow.
+  std::string positive_color = "#e6b800";
+  /// Colour of label-0 ("infeasible") points; the paper uses violet.
+  std::string negative_color = "#5b2a86";
+  std::string positive_name = "feasible";
+  std::string negative_name = "infeasible";
+};
+
+/// Writes an (n x 2) embedding with 0/1 labels to `path` as an SVG scatter
+/// with frame, title and legend.
+Status WriteSvgScatter(const Matrix& embedding, const std::vector<int>& labels,
+                       const std::string& title, const std::string& path,
+                       const SvgScatterOptions& options = SvgScatterOptions());
+
+/// Renders the SVG into a string (exposed for tests).
+std::string RenderSvgScatter(const Matrix& embedding,
+                             const std::vector<int>& labels,
+                             const std::string& title,
+                             const SvgScatterOptions& options =
+                                 SvgScatterOptions());
+
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_SVG_H_

@@ -1,0 +1,188 @@
+#include "src/manifold/tsne.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace cfx {
+namespace internal {
+
+void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
+                  double perplexity, std::vector<double>* row_out) {
+  const size_t n = sq_dists.size();
+  row_out->assign(n, 0.0);
+  const double target_entropy = std::log(perplexity);
+
+  double beta = 1.0;        // precision = 1 / (2 sigma^2)
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+
+  std::vector<double>& p = *row_out;
+  for (int attempt = 0; attempt < 60; ++attempt) {
+    // p(j|i) ∝ exp(-beta * d_ij^2); compute entropy H.
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p[j] = 0.0;
+        continue;
+      }
+      p[j] = std::exp(-beta * sq_dists[j]);
+      sum += p[j];
+      weighted += beta * sq_dists[j] * p[j];
+    }
+    if (sum <= 1e-300) {
+      // All mass collapsed; lower beta and retry.
+      beta_max = beta;
+      beta = (beta_min + beta) / 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::fabs(diff) < 1e-5) break;
+    if (diff > 0) {
+      // Entropy too high -> distribution too flat -> raise beta.
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+  // Normalise.
+  double sum = 0.0;
+  for (size_t j = 0; j < n; ++j) sum += p[j];
+  if (sum > 0.0) {
+    for (size_t j = 0; j < n; ++j) p[j] /= sum;
+  }
+}
+
+}  // namespace internal
+
+Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
+  const size_t n = data.rows();
+  const size_t dims = config.output_dims;
+  assert(n >= 4 && "t-SNE needs at least a handful of points");
+
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  // Pairwise squared distances in high-dimensional space.
+  std::vector<double> sq(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t c = 0; c < data.cols(); ++c) {
+        const double d = static_cast<double>(data.at(i, c)) - data.at(j, c);
+        acc += d * d;
+      }
+      sq[i * n + j] = acc;
+      sq[j * n + i] = acc;
+    }
+  }
+
+  // Conditional then symmetrised joint affinities.
+  std::vector<double> p(n * n, 0.0);
+  {
+    std::vector<double> row_dists(n);
+    std::vector<double> row(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) row_dists[j] = sq[i * n + j];
+      internal::CalibrateRow(row_dists, i, perplexity, &row);
+      for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+  }
+  const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v =
+          std::max((p[i * n + j] + p[j * n + i]) * inv_2n, 1e-12);
+      p[i * n + j] = v;
+      p[j * n + i] = v;
+    }
+    p[i * n + i] = 0.0;
+  }
+
+  // Early exaggeration.
+  for (double& v : p) v *= config.early_exaggeration;
+
+  // Initial embedding ~ N(0, 1e-4).
+  std::vector<double> y(n * dims);
+  for (double& v : y) v = rng->Normal(0.0, 1e-2);
+
+  std::vector<double> dy(n * dims, 0.0);     // gradient
+  std::vector<double> vel(n * dims, 0.0);    // momentum buffer
+  std::vector<double> gains(n * dims, 1.0);  // adaptive per-dim gains
+  std::vector<double> q(n * n, 0.0);
+  std::vector<double> num(n * n, 0.0);
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t c = 0; c < dims; ++c) {
+          const double d = y[i * dims + c] - y[j * dims + c];
+          acc += d * d;
+        }
+        const double t = 1.0 / (1.0 + acc);
+        num[i * n + j] = t;
+        num[j * n + i] = t;
+        q_sum += 2.0 * t;
+      }
+    }
+    const double inv_q_sum = q_sum > 0 ? 1.0 / q_sum : 0.0;
+    for (size_t i = 0; i < n * n; ++i) {
+      q[i] = std::max(num[i] * inv_q_sum, 1e-12);
+    }
+
+    // Gradient: 4 * sum_j (p_ij - q_ij) * num_ij * (y_i - y_j).
+    std::fill(dy.begin(), dy.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double mult = (p[i * n + j] - q[i * n + j]) * num[i * n + j];
+        for (size_t c = 0; c < dims; ++c) {
+          dy[i * dims + c] +=
+              4.0 * mult * (y[i * dims + c] - y[j * dims + c]);
+        }
+      }
+    }
+
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    for (size_t k = 0; k < n * dims; ++k) {
+      // Jacobs-style gain adaptation.
+      const bool same_sign = (dy[k] > 0) == (vel[k] > 0);
+      gains[k] = same_sign ? std::max(gains[k] * 0.8, 0.01) : gains[k] + 0.2;
+      vel[k] = momentum * vel[k] - config.learning_rate * gains[k] * dy[k];
+      y[k] += vel[k];
+    }
+
+    // Recentre.
+    for (size_t c = 0; c < dims; ++c) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y[i * dims + c];
+      mean /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) y[i * dims + c] -= mean;
+    }
+
+    // Remove exaggeration.
+    if (iter + 1 == config.exaggeration_iters) {
+      for (double& v : p) v /= config.early_exaggeration;
+    }
+  }
+
+  Matrix out(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < dims; ++c) {
+      out.at(i, c) = static_cast<float>(y[i * dims + c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cfx

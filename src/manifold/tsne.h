@@ -1,0 +1,48 @@
+// Exact t-SNE (van der Maaten & Hinton 2008; SNE by Hinton & Roweis 2002,
+// the paper's [21]) — used to project the VAE latent space to the 2-D
+// manifolds of Figure 6.
+//
+// Implementation: exact O(N^2) pairwise affinities with per-point
+// perplexity calibration (binary search over the Gaussian bandwidth),
+// symmetrised P, Student-t Q, gradient descent with momentum switching and
+// early exaggeration. Suitable for the <= a few thousand points Figure 6
+// plots.
+#ifndef CFX_MANIFOLD_TSNE_H_
+#define CFX_MANIFOLD_TSNE_H_
+
+#include "src/common/rng.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// t-SNE hyperparameters (defaults follow the reference implementation).
+struct TsneConfig {
+  size_t output_dims = 2;
+  double perplexity = 30.0;
+  size_t iterations = 400;
+  double learning_rate = 150.0;
+  double early_exaggeration = 12.0;
+  size_t exaggeration_iters = 80;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  size_t momentum_switch_iter = 120;
+};
+
+/// Embeds the rows of `data` (n x d) into (n x output_dims). Deterministic
+/// in (*rng)'s state. Perplexity is clamped to (n - 1) / 3 when the input
+/// is small.
+Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng);
+
+namespace internal {
+
+/// Calibrates the Gaussian bandwidth of row `i` so the conditional
+/// distribution's perplexity matches `perplexity`; writes p(j|i) into
+/// `row_out` (length n, entry i forced to 0). `sq_dists` holds the squared
+/// distances from i to every point. Exposed for tests.
+void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
+                  double perplexity, std::vector<double>* row_out);
+
+}  // namespace internal
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_TSNE_H_

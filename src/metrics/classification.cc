@@ -1,0 +1,86 @@
+#include "src/metrics/classification.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+std::string ClassificationReport::ToString() const {
+  return StrFormat(
+      "acc=%.3f prec=%.3f rec=%.3f f1=%.3f bal_acc=%.3f auc=%.3f "
+      "(tp=%zu tn=%zu fp=%zu fn=%zu)",
+      accuracy, precision, recall, f1, balanced_accuracy, auc, true_positives,
+      true_negatives, false_positives, false_negatives);
+}
+
+ClassificationReport EvaluateClassifier(const Matrix& logits,
+                                        const std::vector<int>& labels) {
+  assert(logits.rows() == labels.size() && logits.cols() == 1);
+  ClassificationReport report;
+  const size_t n = labels.size();
+  if (n == 0) return report;
+
+  for (size_t i = 0; i < n; ++i) {
+    const bool predicted = logits.at(i, 0) > 0.0f;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) ++report.true_positives;
+    else if (!predicted && !actual) ++report.true_negatives;
+    else if (predicted && !actual) ++report.false_positives;
+    else ++report.false_negatives;
+  }
+  report.accuracy =
+      static_cast<double>(report.true_positives + report.true_negatives) / n;
+  const size_t predicted_pos = report.true_positives + report.false_positives;
+  const size_t actual_pos = report.true_positives + report.false_negatives;
+  const size_t actual_neg = report.true_negatives + report.false_positives;
+  if (predicted_pos > 0) {
+    report.precision =
+        static_cast<double>(report.true_positives) / predicted_pos;
+  }
+  if (actual_pos > 0) {
+    report.recall = static_cast<double>(report.true_positives) / actual_pos;
+  }
+  if (report.precision + report.recall > 0) {
+    report.f1 = 2.0 * report.precision * report.recall /
+                (report.precision + report.recall);
+  }
+  const double tpr = actual_pos > 0 ? report.recall : 0.0;
+  const double tnr =
+      actual_neg > 0 ? static_cast<double>(report.true_negatives) / actual_neg
+                     : 0.0;
+  report.balanced_accuracy = (tpr + tnr) / 2.0;
+
+  // Exact AUC via the Mann-Whitney rank statistic with midranks for ties:
+  // AUC = (rank_sum(positives) - n_pos (n_pos + 1) / 2) / (n_pos * n_neg).
+  if (actual_pos > 0 && actual_neg > 0) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return logits.at(a, 0) < logits.at(b, 0);
+    });
+    std::vector<double> rank(n);
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n &&
+             logits.at(order[j + 1], 0) == logits.at(order[i], 0)) {
+        ++j;
+      }
+      const double midrank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+      for (size_t t = i; t <= j; ++t) rank[order[t]] = midrank;
+      i = j + 1;
+    }
+    double positive_rank_sum = 0.0;
+    for (size_t t = 0; t < n; ++t) {
+      if (labels[t] == 1) positive_rank_sum += rank[t];
+    }
+    const double np = static_cast<double>(actual_pos);
+    const double nn = static_cast<double>(actual_neg);
+    report.auc = (positive_rank_sum - np * (np + 1) / 2.0) / (np * nn);
+  }
+  return report;
+}
+
+}  // namespace cfx

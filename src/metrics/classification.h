@@ -1,0 +1,48 @@
+// Binary-classification quality metrics for the black-box model.
+//
+// The CF experiments stand on the classifier's quality (the paper attributes
+// its census feasibility win to "our classifier was better trained", §IV-E),
+// so cfx reports the standard diagnostics alongside plain accuracy:
+// confusion counts, precision/recall/F1, balanced accuracy and ROC-AUC
+// (exact, via the rank statistic).
+#ifndef CFX_METRICS_CLASSIFICATION_H_
+#define CFX_METRICS_CLASSIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Standard binary classification report.
+struct ClassificationReport {
+  size_t true_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  double accuracy = 0.0;
+  double precision = 0.0;          ///< TP / (TP + FP); 0 when undefined.
+  double recall = 0.0;             ///< TP / (TP + FN); 0 when undefined.
+  double f1 = 0.0;                 ///< Harmonic mean; 0 when undefined.
+  double balanced_accuracy = 0.0;  ///< (TPR + TNR) / 2.
+  double auc = 0.0;                ///< ROC-AUC from the logit ranking.
+
+  size_t total() const {
+    return true_positives + true_negatives + false_positives +
+           false_negatives;
+  }
+
+  /// One-line rendering for logs and benches.
+  std::string ToString() const;
+};
+
+/// Computes the report from raw logits (n x 1) and 0/1 labels. Ties in the
+/// AUC ranking are handled by midrank averaging.
+ClassificationReport EvaluateClassifier(const Matrix& logits,
+                                        const std::vector<int>& labels);
+
+}  // namespace cfx
+
+#endif  // CFX_METRICS_CLASSIFICATION_H_

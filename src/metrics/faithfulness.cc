@@ -1,0 +1,72 @@
+#include "src/metrics/faithfulness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/manifold/knn.h"
+
+namespace cfx {
+
+FaithfulnessResult EvaluateFaithfulness(
+    const Matrix& x_train, const std::vector<int>& train_predictions,
+    const CfResult& result, const FaithfulnessConfig& config) {
+  assert(x_train.rows() == train_predictions.size());
+  FaithfulnessResult out;
+  out.num_cfs = result.size();
+  if (result.size() == 0 || x_train.rows() <= config.k_neighbors) return out;
+
+  // Deterministic strided subsample of the reference rows.
+  Matrix reference = x_train;
+  std::vector<int> reference_pred = train_predictions;
+  if (x_train.rows() > config.max_reference_rows) {
+    const size_t stride = x_train.rows() / config.max_reference_rows + 1;
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < x_train.rows(); i += stride) keep.push_back(i);
+    reference = x_train.GatherRows(keep);
+    reference_pred.clear();
+    for (size_t i : keep) reference_pred.push_back(train_predictions[i]);
+  }
+
+  // Exact VP-tree index over the reference rows.
+  Rng index_rng(0xFA17);
+  KnnIndex index(reference, &index_rng);
+
+  // Baseline: each reference row's k-NN distance to the *other* rows.
+  std::vector<double> self_dists(reference.rows());
+  for (size_t i = 0; i < reference.rows(); ++i) {
+    std::vector<Neighbor> hits = index.QuerySelf(i, config.k_neighbors);
+    self_dists[i] = hits.empty() ? 0.0 : hits.back().distance;
+  }
+  std::vector<double> sorted = self_dists;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t qi = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(config.outlier_quantile * sorted.size()));
+  const double threshold = std::max(sorted[qi], 1e-9);
+  double typical = sorted[sorted.size() / 2];
+  if (typical <= 1e-12) typical = threshold;
+
+  out.on_manifold.resize(result.size());
+  out.connected.resize(result.size());
+  size_t on_manifold = 0, connected = 0;
+  double score_sum = 0.0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    std::vector<Neighbor> hits =
+        index.Query(result.cfs.Row(i), config.k_neighbors);
+    const double kdist = hits.empty() ? 0.0 : hits.back().distance;
+    const size_t nearest = hits.empty() ? 0 : hits.front().index;
+    out.on_manifold[i] = kdist <= threshold;
+    on_manifold += out.on_manifold[i];
+    score_sum += kdist / typical;
+    out.connected[i] = reference_pred[nearest] == result.predicted[i];
+    connected += out.connected[i];
+  }
+  out.on_manifold_percent = 100.0 * on_manifold / result.size();
+  out.connected_percent = 100.0 * connected / result.size();
+  out.mean_outlier_score = score_sum / result.size();
+  return out;
+}
+
+}  // namespace cfx

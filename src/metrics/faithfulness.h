@@ -1,0 +1,58 @@
+// Faithfulness — the counterfactual quality notion of Pawelczyk et al. [13]
+// discussed in the paper's §II: a good counterfactual should (a) not be a
+// local outlier of the data distribution (proximity to the manifold) and
+// (b) be *connected* — reachable from observed data through a chain of
+// nearby examples.
+//
+// cfx measures both against the training set:
+//   * outlier score: distance to the k-th nearest training row, normalised
+//     by the training set's own typical k-NN distance; a CF is "on-manifold"
+//     when its normalised score <= outlier_quantile's value;
+//   * connectedness: the CF's nearest training row is itself predicted as
+//     the CF's class (the CF lands inside an observed region of its target
+//     class, not across the boundary in no-man's land).
+#ifndef CFX_METRICS_FAITHFULNESS_H_
+#define CFX_METRICS_FAITHFULNESS_H_
+
+#include <vector>
+
+#include "src/core/cf_example.h"
+#include "src/models/classifier.h"
+
+namespace cfx {
+
+/// Faithfulness settings.
+struct FaithfulnessConfig {
+  size_t k_neighbors = 5;
+  /// Quantile of the training self k-NN distances used as the on-manifold
+  /// threshold (0.95 = a CF may be as far out as the 95th percentile of
+  /// real rows).
+  double outlier_quantile = 0.95;
+  /// Bound on training rows used as references (subsampled determin-
+  /// istically by striding when exceeded).
+  size_t max_reference_rows = 2000;
+};
+
+/// Aggregate faithfulness of a CF batch.
+struct FaithfulnessResult {
+  size_t num_cfs = 0;
+  /// % of CFs within the on-manifold distance threshold.
+  double on_manifold_percent = 0.0;
+  /// % of CFs whose nearest training neighbour shares their predicted class.
+  double connected_percent = 0.0;
+  /// Mean normalised outlier score (1.0 = like a typical training row).
+  double mean_outlier_score = 0.0;
+  /// Per-CF flags, aligned with the batch.
+  std::vector<bool> on_manifold;
+  std::vector<bool> connected;
+};
+
+/// Scores `result.cfs` against the (encoded) training data.
+FaithfulnessResult EvaluateFaithfulness(
+    const Matrix& x_train, const std::vector<int>& train_predictions,
+    const CfResult& result,
+    const FaithfulnessConfig& config = FaithfulnessConfig());
+
+}  // namespace cfx
+
+#endif  // CFX_METRICS_FAITHFULNESS_H_

@@ -1,0 +1,93 @@
+#include "src/metrics/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cfx {
+namespace {
+
+/// L1 distance over continuous features only (normalised units).
+double ContinuousL1(const TabularEncoder& encoder, const Matrix& a,
+                    const Matrix& b) {
+  double total = 0.0;
+  for (const EncodedBlock& block : encoder.blocks()) {
+    if (block.type != FeatureType::kContinuous) continue;
+    total += std::fabs(a.at(0, block.offset) - b.at(0, block.offset));
+  }
+  return total;
+}
+
+/// Number of categorical/binary features whose value differs.
+size_t CategoricalChanges(const TabularEncoder& encoder, const Matrix& a,
+                          const Matrix& b) {
+  size_t changes = 0;
+  for (const EncodedBlock& block : encoder.blocks()) {
+    if (block.type == FeatureType::kContinuous) continue;
+    const size_t fi = block.feature_index;
+    changes += encoder.FeatureValue(a, fi) != encoder.FeatureValue(b, fi);
+  }
+  return changes;
+}
+
+}  // namespace
+
+size_t CountChangedFeatures(const TabularEncoder& encoder, const Matrix& a,
+                            const Matrix& b, double change_threshold) {
+  size_t changed = 0;
+  for (const EncodedBlock& block : encoder.blocks()) {
+    const size_t fi = block.feature_index;
+    if (block.type == FeatureType::kContinuous) {
+      changed += std::fabs(a.at(0, block.offset) - b.at(0, block.offset)) >
+                 change_threshold;
+    } else {
+      changed += encoder.FeatureValue(a, fi) != encoder.FeatureValue(b, fi);
+    }
+  }
+  return changed;
+}
+
+MethodMetrics EvaluateMethod(const std::string& method_name,
+                             const TabularEncoder& encoder,
+                             const DatasetInfo& info, const CfResult& result,
+                             const MetricsConfig& config) {
+  MethodMetrics metrics;
+  metrics.method_name = method_name;
+  const size_t n = result.size();
+  if (n == 0) return metrics;
+
+  // Validity (§IV-D i).
+  size_t valid = 0;
+  for (size_t i = 0; i < n; ++i) valid += result.IsValid(i);
+  metrics.validity = 100.0 * static_cast<double>(valid) / n;
+
+  // Feasibility scores (§IV-D ii) against both constraint models.
+  ConstraintSet unary = MakeUnaryConstraintSet(info);
+  ConstraintSet binary = MakeBinaryConstraintSet(info);
+  metrics.feasibility_unary =
+      EvaluateFeasibility(unary, encoder, result.inputs, result.cfs,
+                          config.tolerance)
+          .score_percent;
+  metrics.feasibility_binary =
+      EvaluateFeasibility(binary, encoder, result.inputs, result.cfs,
+                          config.tolerance)
+          .score_percent;
+
+  // Proximities (Eq. 4, Eq. 5) and sparsity (§IV-D v).
+  double cont_sum = 0.0;
+  double cat_sum = 0.0;
+  double sparsity_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Matrix xi = result.inputs.Row(i);
+    const Matrix ci = result.cfs.Row(i);
+    cont_sum += ContinuousL1(encoder, ci, xi);
+    cat_sum += static_cast<double>(CategoricalChanges(encoder, ci, xi));
+    sparsity_sum += static_cast<double>(
+        CountChangedFeatures(encoder, xi, ci, config.change_threshold));
+  }
+  metrics.continuous_proximity = -cont_sum / static_cast<double>(n);
+  metrics.categorical_proximity = -cat_sum / static_cast<double>(n);
+  metrics.sparsity = sparsity_sum / static_cast<double>(n);
+  return metrics;
+}
+
+}  // namespace cfx

@@ -1,0 +1,47 @@
+// The five evaluation metrics of §IV-D: validity, feasibility score,
+// continuous proximity, categorical proximity and sparsity.
+#ifndef CFX_METRICS_METRICS_H_
+#define CFX_METRICS_METRICS_H_
+
+#include <string>
+
+#include "src/constraints/feasibility.h"
+#include "src/core/cf_example.h"
+#include "src/datasets/spec.h"
+
+namespace cfx {
+
+/// Metric knobs.
+struct MetricsConfig {
+  /// A continuous feature counts as "changed" when its normalised delta
+  /// exceeds this (also the sparsity dead-zone of the loss).
+  double change_threshold = 0.05;
+  ConstraintTolerance tolerance;
+};
+
+/// One Table IV row.
+struct MethodMetrics {
+  std::string method_name;
+  double validity = 0.0;             ///< % of CFs hitting the desired class.
+  double feasibility_unary = 0.0;    ///< % satisfying Eq. (1).
+  double feasibility_binary = 0.0;   ///< % satisfying Eq. (2).
+  double continuous_proximity = 0.0; ///< -(mean L1 over continuous feats).
+  double categorical_proximity = 0.0;///< -(mean # categorical/binary changes).
+  double sparsity = 0.0;             ///< Mean # changed features.
+};
+
+/// Scores a CF batch against both constraint models of the dataset.
+MethodMetrics EvaluateMethod(const std::string& method_name,
+                             const TabularEncoder& encoder,
+                             const DatasetInfo& info, const CfResult& result,
+                             const MetricsConfig& config = MetricsConfig());
+
+/// Number of features whose value differs between the encoded rows `a` and
+/// `b` (continuous: normalised delta > threshold; categorical: different
+/// argmax; binary: flipped) — the per-pair sparsity of §IV-D.
+size_t CountChangedFeatures(const TabularEncoder& encoder, const Matrix& a,
+                            const Matrix& b, double change_threshold);
+
+}  // namespace cfx
+
+#endif  // CFX_METRICS_METRICS_H_

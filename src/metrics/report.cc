@@ -1,0 +1,69 @@
+#include "src/metrics/report.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line;
+  };
+  std::ostringstream os;
+  os << render_row(headers_) << "\n|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) os << render_row(row) << "\n";
+  return os.str();
+}
+
+std::string FormatMetric(double v) {
+  std::string s = StrFormat("%.2f", v);
+  // Trim "100.00" -> "100", "-2.40" stays.
+  if (s.size() > 3 && s.substr(s.size() - 3) == ".00") {
+    s = s.substr(0, s.size() - 3);
+  }
+  return s;
+}
+
+std::string RenderMetricsTable(const std::string& title,
+                               const std::vector<MetricsRow>& rows) {
+  TablePrinter printer({"Methods", "Validity", "Feasibility/Unary",
+                        "Feasibility/Binary", "Cont. proximity",
+                        "Cat. proximity", "Sparsity"});
+  for (const MetricsRow& row : rows) {
+    const MethodMetrics& m = row.metrics;
+    printer.AddRow({m.method_name, FormatMetric(m.validity),
+                    row.show_unary ? FormatMetric(m.feasibility_unary) : "-",
+                    row.show_binary ? FormatMetric(m.feasibility_binary) : "-",
+                    FormatMetric(m.continuous_proximity),
+                    FormatMetric(m.categorical_proximity),
+                    FormatMetric(m.sparsity)});
+  }
+  return title + "\n" + printer.Render();
+}
+
+}  // namespace cfx

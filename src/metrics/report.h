@@ -1,0 +1,45 @@
+// ASCII table rendering for the bench harnesses (Table I, Table IV, ...).
+#ifndef CFX_METRICS_REPORT_H_
+#define CFX_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+
+namespace cfx {
+
+/// Fixed-width, pipe-separated table builder.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders headers, a separator and all rows with aligned columns.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a Table IV-style block for one dataset. Rows appear in insertion
+/// order; `unary_only`/`binary_only` rows print "-" in the other
+/// feasibility column, mirroring the paper's layout.
+struct MetricsRow {
+  MethodMetrics metrics;
+  bool show_unary = true;
+  bool show_binary = true;
+};
+
+std::string RenderMetricsTable(const std::string& title,
+                               const std::vector<MetricsRow>& rows);
+
+/// Formats a double with the paper's 2-decimal convention; integers (100)
+/// lose the trailing zeros.
+std::string FormatMetric(double v);
+
+}  // namespace cfx
+
+#endif  // CFX_METRICS_REPORT_H_

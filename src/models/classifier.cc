@@ -1,0 +1,97 @@
+#include "src/models/classifier.h"
+
+#include "src/common/logging.h"
+#include "src/data/batcher.h"
+#include "src/nn/losses.h"
+
+namespace cfx {
+
+BlackBoxClassifier::BlackBoxClassifier(size_t input_dim,
+                                       const ClassifierConfig& config,
+                                       Rng* rng)
+    : input_dim_(input_dim), config_(config) {
+  if (config.hidden_dim == 0) {
+    // Logistic regression.
+    net_.Add(std::make_unique<nn::Linear>(input_dim, 1, rng,
+                                          nn::Init::kXavierUniform));
+  } else {
+    net_.Add(std::make_unique<nn::Linear>(input_dim, config.hidden_dim, rng));
+    net_.Add(std::make_unique<nn::ReluLayer>());
+    net_.Add(std::make_unique<nn::Linear>(config.hidden_dim, 1, rng,
+                                          nn::Init::kXavierUniform));
+  }
+}
+
+TrainStats BlackBoxClassifier::Train(const Matrix& x,
+                                     const std::vector<int>& labels,
+                                     Rng* rng) {
+  net_.SetTraining(true);
+  nn::Adam opt(net_.Parameters(), config_.learning_rate);
+  // Keep a sensible number of update steps per epoch even on small inputs.
+  const size_t batch_size =
+      std::min(config_.batch_size, std::max<size_t>(32, x.rows() / 16));
+  Batcher batcher(x, labels, batch_size, rng);
+
+  TrainStats stats;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    float epoch_loss = 0.0f;
+    size_t batches = 0;
+    for (Batch& batch : batcher.Epoch()) {
+      ag::Var input = ag::Constant(batch.x);
+      ag::Var logits = net_.Forward(input);
+      ag::Var loss = nn::BceWithLogits(logits, batch.y);
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.Step();
+      epoch_loss += loss->value.at(0, 0);
+      ++batches;
+    }
+    stats.final_loss = batches > 0 ? epoch_loss / static_cast<float>(batches)
+                                   : 0.0f;
+  }
+  stats.epochs = config_.epochs;
+  Freeze();
+  stats.train_accuracy = Accuracy(x, labels);
+  CFX_LOG(Debug) << "classifier trained: loss=" << stats.final_loss
+                 << " acc=" << stats.train_accuracy;
+  return stats;
+}
+
+void BlackBoxClassifier::Freeze() {
+  for (const ag::Var& p : net_.Parameters()) p->requires_grad = false;
+  net_.SetTraining(false);
+  frozen_ = true;
+}
+
+ag::Var BlackBoxClassifier::LogitsVar(const ag::Var& x) {
+  return net_.Forward(x);
+}
+
+Matrix BlackBoxClassifier::Logits(const Matrix& x) {
+  const bool was_training = net_.training();
+  net_.SetTraining(false);
+  ag::Var out = net_.Forward(ag::Constant(x));
+  net_.SetTraining(was_training);
+  return out->value;
+}
+
+std::vector<int> BlackBoxClassifier::Predict(const Matrix& x) {
+  Matrix logits = Logits(x);
+  std::vector<int> labels(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    labels[r] = logits.at(r, 0) > 0.0f ? 1 : 0;
+  }
+  return labels;
+}
+
+double BlackBoxClassifier::Accuracy(const Matrix& x,
+                                    const std::vector<int>& labels) {
+  std::vector<int> pred = Predict(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += (pred[i] == labels[i]);
+  return pred.empty() ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(pred.size());
+}
+
+}  // namespace cfx

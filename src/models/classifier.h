@@ -1,0 +1,74 @@
+// The black-box model of §III-C "Model Steps": two linear layers trained to
+// classify the input into the two target classes. It is trained first and
+// then frozen; the CF methods only query it (predictions) or differentiate
+// *through* it (validity loss) without updating its weights.
+#ifndef CFX_MODELS_CLASSIFIER_H_
+#define CFX_MODELS_CLASSIFIER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+
+namespace cfx {
+
+/// Training hyperparameters for the classifier.
+struct ClassifierConfig {
+  /// Width of the hidden layer; 0 builds a plain logistic-regression model
+  /// (single linear layer), demonstrating black-box-agnosticism of the CF
+  /// methods.
+  size_t hidden_dim = 16;
+  float learning_rate = 5e-3f;
+  size_t batch_size = 256;
+  size_t epochs = 40;
+};
+
+/// Summary of a training run.
+struct TrainStats {
+  float final_loss = 0.0f;
+  double train_accuracy = 0.0;
+  size_t epochs = 0;
+};
+
+/// Two-linear-layer binary classifier emitting one logit per row.
+class BlackBoxClassifier {
+ public:
+  /// `input_dim` is the encoded feature width.
+  BlackBoxClassifier(size_t input_dim, const ClassifierConfig& config,
+                     Rng* rng);
+
+  /// Trains with BCE-with-logits on (x, labels); freezes the weights at the
+  /// end so later graphs treat the model as a constant function.
+  TrainStats Train(const Matrix& x, const std::vector<int>& labels, Rng* rng);
+
+  /// Builds the logit graph for a (possibly differentiable) input. Gradients
+  /// flow through to `x` but never into the frozen weights.
+  ag::Var LogitsVar(const ag::Var& x);
+
+  /// Eval-mode logits for a constant batch.
+  Matrix Logits(const Matrix& x);
+
+  /// Hard 0/1 predictions (logit > 0).
+  std::vector<int> Predict(const Matrix& x);
+
+  /// Fraction of rows where Predict matches `labels`.
+  double Accuracy(const Matrix& x, const std::vector<int>& labels);
+
+  size_t input_dim() const { return input_dim_; }
+  bool frozen() const { return frozen_; }
+
+  /// Marks weights as non-trainable (requires_grad = false).
+  void Freeze();
+
+ private:
+  size_t input_dim_;
+  ClassifierConfig config_;
+  nn::Sequential net_;
+  bool frozen_ = false;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_MODELS_CLASSIFIER_H_

@@ -1,0 +1,197 @@
+#include "src/models/vae.h"
+
+#include <cassert>
+
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+
+namespace cfx {
+namespace {
+
+enum class Head { kNone, kSigmoid, kTabular };
+
+/// Stacks Linear+ReLU+Dropout blocks ending in a Linear (+activation) head.
+void BuildMlp(nn::Sequential* net, size_t in_dim,
+              const std::vector<size_t>& hidden, size_t out_dim, float dropout,
+              Rng* rng, Head head,
+              const std::vector<std::pair<size_t, size_t>>& softmax_blocks) {
+  size_t prev = in_dim;
+  for (size_t width : hidden) {
+    net->Add(std::make_unique<nn::Linear>(prev, width, rng));
+    net->Add(std::make_unique<nn::ReluLayer>());
+    if (dropout > 0.0f) net->Add(std::make_unique<nn::Dropout>(dropout, rng));
+    prev = width;
+  }
+  net->Add(std::make_unique<nn::Linear>(prev, out_dim, rng,
+                                        nn::Init::kXavierUniform));
+  switch (head) {
+    case Head::kNone:
+      break;
+    case Head::kSigmoid:
+      net->Add(std::make_unique<nn::SigmoidLayer>());
+      break;
+    case Head::kTabular:
+      net->Add(std::make_unique<nn::TabularHeadLayer>(softmax_blocks));
+      break;
+  }
+}
+
+}  // namespace
+
+Vae::Vae(const VaeConfig& config, Rng* rng)
+    : config_(config), eval_noise_(rng->Split(0x7AE)) {
+  assert(config_.input_dim > 0);
+  BuildMlp(&encoder_, config_.input_dim + config_.condition_dim,
+           config_.encoder_hidden, 2 * config_.latent_dim, config_.dropout,
+           rng, Head::kNone, {});
+  const Head head = config_.linear_head
+                        ? Head::kNone
+                        : (config_.softmax_blocks.empty() ? Head::kSigmoid
+                                                          : Head::kTabular);
+  BuildMlp(&decoder_, config_.latent_dim + config_.condition_dim,
+           config_.decoder_hidden, config_.input_dim, config_.dropout, rng,
+           head, config_.softmax_blocks);
+
+  // Bias the logvar head to -3 (posterior stddev ~0.22) so early training
+  // is not drowned in reparameterisation noise — otherwise the KL term wins
+  // the race and the posterior collapses (mu == const, logvar == 0).
+  auto* enc_head = dynamic_cast<nn::Linear*>(
+      encoder_.layer(encoder_.size() - 1));
+  assert(enc_head != nullptr);
+  for (size_t j = config_.latent_dim; j < 2 * config_.latent_dim; ++j) {
+    enc_head->bias()->value.at(0, j) = -3.0f;
+  }
+}
+
+Vae::Output Vae::Forward(const ag::Var& x, const Matrix& cond, Rng* noise_rng,
+                         bool sample) {
+  const bool conditional = config_.condition_dim > 0;
+  assert(!conditional || (cond.rows() == x->value.rows() &&
+                          cond.cols() == config_.condition_dim));
+  ag::Var cond_var =
+      conditional ? ag::Constant(cond) : ag::Constant(Matrix());
+  ag::Var enc_in = conditional ? ag::ConcatCols(x, cond_var) : x;
+  ag::Var enc_out = encoder_.Forward(enc_in);
+
+  Output out;
+  out.mu = ag::SliceCols(enc_out, 0, config_.latent_dim);
+  out.logvar = ag::SliceCols(enc_out, config_.latent_dim,
+                             2 * config_.latent_dim);
+
+  if (sample) {
+    // z = mu + exp(0.5 * logvar) * eps,  eps ~ N(0, I).
+    Matrix eps = Matrix::RandomNormal(x->value.rows(), config_.latent_dim,
+                                      0.0f, 1.0f, noise_rng);
+    ag::Var stddev = ag::Exp(ag::Scale(out.logvar, 0.5f));
+    out.z = ag::Add(out.mu, ag::Mul(stddev, ag::Constant(eps)));
+  } else {
+    out.z = out.mu;
+  }
+
+  ag::Var dec_in = conditional ? ag::ConcatCols(out.z, cond_var) : out.z;
+  out.x_hat = decoder_.Forward(dec_in);
+  return out;
+}
+
+std::pair<Matrix, Matrix> Vae::Encode(const Matrix& x, const Matrix& cond) {
+  const bool was_training = encoder_.training();
+  SetTraining(false);
+  Output out = Forward(ag::Constant(x), cond, &eval_noise_, /*sample=*/false);
+  SetTraining(was_training);
+  return {out.mu->value, out.logvar->value};
+}
+
+Matrix Vae::Decode(const Matrix& z, const Matrix& cond) {
+  const bool was_training = decoder_.training();
+  SetTraining(false);
+  ag::Var dec_in = config_.condition_dim > 0
+                       ? ag::ConcatCols(ag::Constant(z), ag::Constant(cond))
+                       : ag::Constant(z);
+  Matrix result = decoder_.Forward(dec_in)->value;
+  SetTraining(was_training);
+  return result;
+}
+
+ag::Var Vae::DecodeVar(const ag::Var& z, const Matrix& cond) {
+  ag::Var dec_in = config_.condition_dim > 0
+                       ? ag::ConcatCols(z, ag::Constant(cond))
+                       : z;
+  return decoder_.Forward(dec_in);
+}
+
+Matrix Vae::Reconstruct(const Matrix& x, const Matrix& cond) {
+  const bool was_training = encoder_.training();
+  SetTraining(false);
+  Output out = Forward(ag::Constant(x), cond, &eval_noise_, /*sample=*/false);
+  SetTraining(was_training);
+  return out.x_hat->value;
+}
+
+std::vector<ag::Var> Vae::Parameters() const {
+  std::vector<ag::Var> params = encoder_.Parameters();
+  for (const ag::Var& p : decoder_.Parameters()) params.push_back(p);
+  return params;
+}
+
+void Vae::SetTraining(bool training) {
+  encoder_.SetTraining(training);
+  decoder_.SetTraining(training);
+}
+
+size_t Vae::ParameterCount() const {
+  size_t n = 0;
+  for (const ag::Var& p : Parameters()) n += p->value.size();
+  return n;
+}
+
+void Vae::Freeze() {
+  for (const ag::Var& p : Parameters()) p->requires_grad = false;
+  SetTraining(false);
+}
+
+TrainStats Vae::TrainElbo(const Matrix& x, const Matrix& cond,
+                          const VaeTrainConfig& train_config, Rng* rng) {
+  SetTraining(true);
+  nn::Adam opt(Parameters(), train_config.learning_rate);
+  Rng noise = rng->Split(0xE1B0);
+
+  TrainStats stats;
+  const size_t n = x.rows();
+  for (size_t epoch = 0; epoch < train_config.epochs; ++epoch) {
+    // KL annealing: ramp the weight over the first half of training so the
+    // reconstruction pathway is established before regularising the latent.
+    const float anneal = train_config.epochs > 1
+                             ? std::min(1.0f, 2.0f * static_cast<float>(epoch) /
+                                                  static_cast<float>(
+                                                      train_config.epochs))
+                             : 1.0f;
+    const float kl_w = train_config.kl_weight * anneal;
+    std::vector<size_t> perm = rng->Permutation(n);
+    float epoch_loss = 0.0f;
+    size_t batches = 0;
+    for (size_t start = 0; start < n; start += train_config.batch_size) {
+      const size_t end = std::min(start + train_config.batch_size, n);
+      std::vector<size_t> idx(perm.begin() + start, perm.begin() + end);
+      Matrix xb = x.GatherRows(idx);
+      Matrix cb = config_.condition_dim > 0 ? cond.GatherRows(idx) : Matrix();
+
+      Output out = Forward(ag::Constant(xb), cb, &noise, /*sample=*/true);
+      ag::Var recon = nn::MseLoss(out.x_hat, xb);
+      ag::Var kl = nn::KlStandardNormal(out.mu, out.logvar);
+      ag::Var loss = ag::Add(recon, ag::Scale(kl, kl_w));
+      opt.ZeroGrad();
+      ag::Backward(loss);
+      opt.ClipGradNorm(5.0f);
+      opt.Step();
+      epoch_loss += loss->value.at(0, 0);
+      ++batches;
+    }
+    stats.final_loss =
+        batches > 0 ? epoch_loss / static_cast<float>(batches) : 0.0f;
+  }
+  stats.epochs = train_config.epochs;
+  SetTraining(false);
+  return stats;
+}
+
+}  // namespace cfx

@@ -1,0 +1,121 @@
+// Conditional Variational Autoencoder — the generative backbone of the
+// paper's method (§III-C, Table II).
+//
+// Architecture, following Table II:
+//   encoder: (num_features + 1) -> 20 -> 16 -> 14 -> 12 -> 2 * latent
+//   decoder: (latent + 1)       -> 12 -> 14 -> 16 -> 18 -> num_features
+// ReLU activations and 30% dropout on every hidden layer; the decoder output
+// passes through a sigmoid (all encoded features live in [0,1]). The "+1"
+// input is the conditioning class label.
+//
+// Deviation from Table II, documented in DESIGN.md: the table routes the
+// encoder's final layer through a sigmoid into a single latent vector; a
+// VAE's encoder must emit an unconstrained mean and log-variance, so the
+// final encoder layer here is linear with width 2*latent (mu ‖ logvar).
+#ifndef CFX_MODELS_VAE_H_
+#define CFX_MODELS_VAE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/models/classifier.h"
+#include "src/nn/layers.h"
+
+namespace cfx {
+
+/// VAE shape/regularisation settings (defaults = paper's Table II).
+struct VaeConfig {
+  size_t input_dim = 0;                          ///< Encoded feature width.
+  size_t latent_dim = 10;                        ///< "Latent space vector".
+  std::vector<size_t> encoder_hidden = {20, 16, 14, 12};
+  std::vector<size_t> decoder_hidden = {12, 14, 16, 18};
+  float dropout = 0.3f;
+  /// The "+1" class input of Table II; 0 builds an unconditional VAE
+  /// (REVISE's generative model).
+  size_t condition_dim = 1;
+  /// Categorical (offset, width) ranges of the encoded representation. When
+  /// non-empty the decoder head applies a per-block softmax (keeping
+  /// categorical mass on the simplex) instead of a plain sigmoid, which
+  /// keeps decoded rows close to the hard one-hot vectors the black box was
+  /// trained on. Populate from TabularEncoder::CategoricalBlockRanges().
+  std::vector<std::pair<size_t, size_t>> softmax_blocks;
+  /// When true the decoder ends in a bare Linear layer (raw logits); the
+  /// caller applies its own output transform. Used by the copy-prior
+  /// counterfactual decoder, which adds the input's logits before the
+  /// tabular activation.
+  bool linear_head = false;
+};
+
+/// Hyperparameters for plain ELBO pre-training (used by the REVISE and
+/// C-CHVAE baselines, which need a generative model of the data rather than
+/// a CF-specialised one).
+struct VaeTrainConfig {
+  float learning_rate = 2e-3f;
+  size_t batch_size = 128;
+  size_t epochs = 30;
+  /// Low weight: with an MSE reconstruction on [0,1] features, a heavier KL
+  /// term posterior-collapses the tiny decoder (output independent of z),
+  /// which breaks latent-space CF search entirely.
+  float kl_weight = 0.01f;
+};
+
+/// Class-conditional VAE over encoded tabular rows.
+class Vae {
+ public:
+  Vae(const VaeConfig& config, Rng* rng);
+
+  /// Differentiable outputs of one forward pass.
+  struct Output {
+    ag::Var mu;      ///< (n, latent).
+    ag::Var logvar;  ///< (n, latent).
+    ag::Var z;       ///< Reparameterised sample (n, latent).
+    ag::Var x_hat;   ///< Decoded reconstruction (n, input_dim), in (0,1).
+  };
+
+  /// Full differentiable pass: encode [x | cond], reparameterise with noise
+  /// from `noise_rng` (or use mu directly when `sample` is false), decode
+  /// [z | cond].
+  Output Forward(const ag::Var& x, const Matrix& cond, Rng* noise_rng,
+                 bool sample = true);
+
+  /// Eval-mode posterior mean/logvar for a constant batch.
+  std::pair<Matrix, Matrix> Encode(const Matrix& x, const Matrix& cond);
+
+  /// Eval-mode decode of latent codes.
+  Matrix Decode(const Matrix& z, const Matrix& cond);
+
+  /// Differentiable decode: builds the decoder graph over a latent Var so
+  /// gradients can flow back into `z` (REVISE's latent search). Dropout
+  /// follows the current training mode.
+  ag::Var DecodeVar(const ag::Var& z, const Matrix& cond);
+
+  /// Eval-mode reconstruction (z = posterior mean).
+  Matrix Reconstruct(const Matrix& x, const Matrix& cond);
+
+  std::vector<ag::Var> Parameters() const;
+  void SetTraining(bool training);
+  size_t ParameterCount() const;
+
+  /// Marks all weights non-trainable; gradients still flow through the
+  /// decoder to latent inputs (used by REVISE's latent-space search).
+  void Freeze();
+
+  const VaeConfig& config() const { return config_; }
+
+  /// Trains this VAE with the plain ELBO (MSE reconstruction + weighted KL)
+  /// on (x, cond); cond may be empty (0 columns) for unconditional models.
+  TrainStats TrainElbo(const Matrix& x, const Matrix& cond,
+                       const VaeTrainConfig& config, Rng* rng);
+
+ private:
+  VaeConfig config_;
+  nn::Sequential encoder_;
+  nn::Sequential decoder_;
+  Rng eval_noise_;  ///< Unused noise stream for deterministic eval paths.
+};
+
+}  // namespace cfx
+
+#endif  // CFX_MODELS_VAE_H_

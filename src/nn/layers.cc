@@ -1,0 +1,68 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+namespace cfx {
+namespace nn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng* rng, Init init)
+    : in_features_(in_features), out_features_(out_features) {
+  Matrix w;
+  switch (init) {
+    case Init::kXavierUniform: {
+      float bound = std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+      w = Matrix::RandomUniform(in_features, out_features, -bound, bound, rng);
+      break;
+    }
+    case Init::kHeNormal: {
+      float stddev = std::sqrt(2.0f / static_cast<float>(in_features));
+      w = Matrix::RandomNormal(in_features, out_features, 0.0f, stddev, rng);
+      break;
+    }
+  }
+  weight_ = ag::Param(std::move(w));
+  bias_ = ag::Param(Matrix(1, out_features));
+}
+
+ag::Var Linear::Forward(const ag::Var& x) {
+  return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
+}
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng->Split(0xD0)) {}
+
+ag::Var Dropout::Forward(const ag::Var& x) {
+  if (!training_ || p_ <= 0.0f) return x;
+  const float keep = 1.0f - p_;
+  Matrix mask(x->value.rows(), x->value.cols());
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng_.Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  return ag::MulConstMask(x, mask);
+}
+
+Sequential& Sequential::Add(std::unique_ptr<Module> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+ag::Var Sequential::Forward(const ag::Var& x) {
+  ag::Var h = x;
+  for (auto& layer : layers_) h = layer->Forward(h);
+  return h;
+}
+
+std::vector<ag::Var> Sequential::Parameters() const {
+  std::vector<ag::Var> params;
+  for (const auto& layer : layers_) {
+    for (const ag::Var& p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::SetTraining(bool training) {
+  Module::SetTraining(training);
+  for (auto& layer : layers_) layer->SetTraining(training);
+}
+
+}  // namespace nn
+}  // namespace cfx

@@ -1,0 +1,108 @@
+// Concrete layers: Linear, activations, Dropout and Sequential container.
+#ifndef CFX_NN_LAYERS_H_
+#define CFX_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/nn/module.h"
+
+namespace cfx {
+namespace nn {
+
+/// Weight-initialisation schemes.
+enum class Init {
+  kXavierUniform,  ///< U(±sqrt(6/(fan_in+fan_out))) — default for sigmoid/tanh.
+  kHeNormal,       ///< N(0, sqrt(2/fan_in)) — preferred before ReLU.
+};
+
+/// Fully connected layer: y = x W + b, W is (in x out), b is (1 x out).
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng* rng,
+         Init init = Init::kHeNormal);
+
+  ag::Var Forward(const ag::Var& x) override;
+  std::vector<ag::Var> Parameters() const override { return {weight_, bias_}; }
+
+  size_t in_features() const { return in_features_; }
+  size_t out_features() const { return out_features_; }
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  size_t in_features_;
+  size_t out_features_;
+  ag::Var weight_;
+  ag::Var bias_;
+};
+
+/// Stateless ReLU activation module.
+class ReluLayer : public Module {
+ public:
+  ag::Var Forward(const ag::Var& x) override { return ag::Relu(x); }
+};
+
+/// Stateless sigmoid activation module.
+class SigmoidLayer : public Module {
+ public:
+  ag::Var Forward(const ag::Var& x) override { return ag::Sigmoid(x); }
+};
+
+/// Mixed tabular output head: softmax within the given (offset, width)
+/// column blocks, sigmoid elsewhere (see ag::TabularActivation).
+class TabularHeadLayer : public Module {
+ public:
+  explicit TabularHeadLayer(
+      std::vector<std::pair<size_t, size_t>> softmax_blocks)
+      : softmax_blocks_(std::move(softmax_blocks)) {}
+
+  ag::Var Forward(const ag::Var& x) override {
+    return ag::TabularActivation(x, softmax_blocks_);
+  }
+
+ private:
+  std::vector<std::pair<size_t, size_t>> softmax_blocks_;
+};
+
+/// Inverted dropout: in training, zeroes each activation with probability p
+/// and scales survivors by 1/(1-p); identity in eval mode.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng* rng);
+
+  ag::Var Forward(const ag::Var& x) override;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  Rng rng_;
+};
+
+/// Ordered container applying child modules in sequence.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& Add(std::unique_ptr<Module> layer);
+
+  ag::Var Forward(const ag::Var& x) override;
+  std::vector<ag::Var> Parameters() const override;
+  void SetTraining(bool training) override;
+
+  size_t size() const { return layers_.size(); }
+  Module* layer(size_t i) { return layers_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> layers_;
+};
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_LAYERS_H_

@@ -1,0 +1,64 @@
+#include "src/nn/losses.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cfx {
+namespace nn {
+
+ag::Var BceWithLogits(const ag::Var& logits, const Matrix& targets01) {
+  assert(logits->value.SameShape(targets01));
+  // max(z,0) - z*y + log(1 + exp(-|z|)), built from primitive ops so the
+  // gradient is exact: relu(z) - z*y + softplus(-|z|).
+  ag::Var y = ag::Constant(targets01);
+  ag::Var zy = ag::Mul(logits, y);
+  ag::Var relu_z = ag::Relu(logits);
+  // softplus(-|z|) = log(1 + exp(-|z|))
+  ag::Var abs_z = ag::Abs(logits);
+  ag::Var exp_term = ag::Exp(ag::Neg(abs_z));
+  Matrix ones(logits->value.rows(), logits->value.cols(), 1.0f);
+  ag::Var log1p = ag::Log(ag::Add(exp_term, ag::Constant(ones)));
+  return ag::Mean(ag::Add(ag::Sub(relu_z, zy), log1p));
+}
+
+ag::Var HingeLoss(const ag::Var& logits, const Matrix& targets_pm1,
+                  float margin) {
+  assert(logits->value.SameShape(targets_pm1));
+  ag::Var yz = ag::Mul(logits, ag::Constant(targets_pm1));
+  Matrix m(logits->value.rows(), logits->value.cols(), margin);
+  return ag::Mean(ag::Relu(ag::Sub(ag::Constant(m), yz)));
+}
+
+ag::Var MseLoss(const ag::Var& pred, const Matrix& target) {
+  assert(pred->value.SameShape(target));
+  return ag::Mean(ag::Square(ag::Sub(pred, ag::Constant(target))));
+}
+
+ag::Var L1Loss(const ag::Var& pred, const Matrix& target) {
+  assert(pred->value.SameShape(target));
+  return ag::Mean(ag::Abs(ag::Sub(pred, ag::Constant(target))));
+}
+
+ag::Var KlStandardNormal(const ag::Var& mu, const ag::Var& logvar) {
+  assert(mu->value.SameShape(logvar->value));
+  Matrix ones(mu->value.rows(), mu->value.cols(), 1.0f);
+  // 1 + logvar - mu^2 - exp(logvar)
+  ag::Var inner = ag::Sub(
+      ag::Sub(ag::Add(ag::Constant(ones), logvar), ag::Square(mu)),
+      ag::Exp(logvar));
+  // -0.5 * mean over all (batch, latent) entries.
+  const float scale =
+      -0.5f / static_cast<float>(std::max<size_t>(mu->value.size(), 1));
+  return ag::Scale(ag::Sum(inner), scale);
+}
+
+ag::Var SmoothL0(const ag::Var& delta, float k, float eps) {
+  ag::Var indicators = ag::SmoothIndicator(delta, k, eps);
+  // Sum per sample, mean over batch == Sum / batch.
+  const float inv_batch =
+      1.0f / static_cast<float>(std::max<size_t>(delta->value.rows(), 1));
+  return ag::Scale(ag::Sum(indicators), inv_batch);
+}
+
+}  // namespace nn
+}  // namespace cfx

@@ -1,0 +1,46 @@
+// Differentiable loss functions used across the classifier, the VAEs and the
+// counterfactual objectives.
+//
+// All losses return a 1x1 Var (mean over the batch unless noted).
+#ifndef CFX_NN_LOSSES_H_
+#define CFX_NN_LOSSES_H_
+
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace nn {
+
+/// Binary cross-entropy on raw logits against 0/1 targets.
+/// Numerically stable form: max(z,0) - z*y + log(1+exp(-|z|)).
+ag::Var BceWithLogits(const ag::Var& logits, const Matrix& targets01);
+
+/// Hinge loss on logits against ±1 targets: mean(relu(margin - y * z)).
+/// This is the validity term of the paper's Eq. (3).
+ag::Var HingeLoss(const ag::Var& logits, const Matrix& targets_pm1,
+                  float margin = 1.0f);
+
+/// Mean squared error against a constant target.
+ag::Var MseLoss(const ag::Var& pred, const Matrix& target);
+
+/// Mean absolute (L1) error against a constant target — the proximity term
+/// d(x, x') of the paper's Eq. (3).
+ag::Var L1Loss(const ag::Var& pred, const Matrix& target);
+
+/// KL(q(z|x) || N(0, I)) for a diagonal Gaussian parameterised by (mu,
+/// logvar), averaged over batch *and* latent dimensions:
+///   mean_{n,d}( -1/2 (1 + logvar - mu^2 - exp(logvar)) ).
+/// The per-entry normalisation keeps the term commensurate with a per-entry
+/// mean reconstruction loss regardless of the latent width — under Adam a
+/// latent-summed KL consistently out-muscles the (noisy) reconstruction
+/// gradient and collapses the posterior.
+ag::Var KlStandardNormal(const ag::Var& mu, const ag::Var& logvar);
+
+/// Smoothed sparsity loss over a batch of feature deltas: the mean per-sample
+/// count of "changed" features, where change is the smooth indicator
+/// sigmoid(k * (|delta| - eps)). Paper §III-C's g(x'-x), L0 flavour.
+ag::Var SmoothL0(const ag::Var& delta, float k = 50.0f, float eps = 0.05f);
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_LOSSES_H_

@@ -1,0 +1,13 @@
+#include "src/nn/module.h"
+
+namespace cfx {
+namespace nn {
+
+size_t Module::ParameterCount() const {
+  size_t n = 0;
+  for (const ag::Var& p : Parameters()) n += p->value.size();
+  return n;
+}
+
+}  // namespace nn
+}  // namespace cfx

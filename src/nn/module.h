@@ -1,0 +1,39 @@
+// Base class for trainable components (layers and whole networks).
+#ifndef CFX_NN_MODULE_H_
+#define CFX_NN_MODULE_H_
+
+#include <vector>
+
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace nn {
+
+/// A trainable component: owns parameter leaves and defines a forward pass
+/// that builds an autodiff graph over them.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Builds the forward graph for a batch `x` (shape: batch x in_features).
+  virtual ag::Var Forward(const ag::Var& x) = 0;
+
+  /// All trainable parameter leaves, in a stable order (required by
+  /// stateful optimisers such as Adam).
+  virtual std::vector<ag::Var> Parameters() const { return {}; }
+
+  /// Switches train/eval behaviour (dropout only samples masks in training).
+  virtual void SetTraining(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Total number of scalar parameters.
+  size_t ParameterCount() const;
+
+ protected:
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_MODULE_H_

@@ -1,0 +1,81 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace cfx {
+namespace nn {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const ag::Var& p : params_) {
+    p->EnsureGrad();
+    total += p->grad.SquaredNorm();
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const ag::Var& p : params_) p->grad *= scale;
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<ag::Var> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const ag::Var& p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    p->EnsureGrad();
+    if (momentum_ > 0.0f) {
+      velocity_[i] = velocity_[i] * momentum_ + p->grad;
+      p->value -= velocity_[i] * lr_;
+    } else {
+      p->value -= p->grad * lr_;
+    }
+  }
+}
+
+Adam::Adam(std::vector<ag::Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::Var& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Var& p = params_[i];
+    p->EnsureGrad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    const Matrix& g = p->grad;
+    for (size_t j = 0; j < g.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p->value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace cfx

@@ -1,0 +1,73 @@
+// First-order optimisers operating on autodiff parameter leaves.
+#ifndef CFX_NN_OPTIMIZER_H_
+#define CFX_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace nn {
+
+/// Common optimiser interface: bound to a fixed parameter list at
+/// construction (stateful optimisers key their slots by position).
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ag::Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears accumulated gradients.
+  void ZeroGrad() { ag::ZeroGrad(params_); }
+
+  /// Rescales gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<ag::Var>& params() const { return params_; }
+
+ protected:
+  std::vector<ag::Var> params_;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<ag::Var> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<ag::Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_OPTIMIZER_H_

@@ -1,0 +1,81 @@
+#include "src/nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'X', 'W'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveParameters(const std::vector<ag::Var>& params,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ag::Var& p : params) {
+    uint64_t rows = p->value.rows();
+    uint64_t cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out.good()) return Status::Internal("write error on '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadParameters(const std::vector<ag::Var>& params,
+                      const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a cfx weight file");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported weight-file version %u", version));
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        StrFormat("weight file holds %llu tensors, model has %zu",
+                  static_cast<unsigned long long>(count), params.size()));
+  }
+  for (const ag::Var& p : params) {
+    uint64_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in.good()) return Status::InvalidArgument("truncated weight file");
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument(
+          StrFormat("tensor shape mismatch: file %llux%llu vs model %zux%zu",
+                    static_cast<unsigned long long>(rows),
+                    static_cast<unsigned long long>(cols), p->value.rows(),
+                    p->value.cols()));
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in.good()) return Status::InvalidArgument("truncated weight file");
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace cfx

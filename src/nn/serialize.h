@@ -1,0 +1,34 @@
+// Binary weight (de)serialisation for trained models.
+//
+// Format (little-endian, version-tagged):
+//   magic "CFXW" | uint32 version | uint64 num_tensors |
+//   per tensor: uint64 rows | uint64 cols | rows*cols float32
+//
+// Serialisation covers the *parameters* only; the architecture must be
+// reconstructed by the caller (construct the same Module shape, then load).
+// Shape mismatches are reported, never silently truncated.
+#ifndef CFX_NN_SERIALIZE_H_
+#define CFX_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace nn {
+
+/// Writes the given parameter tensors to `path`.
+Status SaveParameters(const std::vector<ag::Var>& params,
+                      const std::string& path);
+
+/// Loads tensors from `path` into the given parameters. The count and every
+/// tensor's shape must match exactly.
+Status LoadParameters(const std::vector<ag::Var>& params,
+                      const std::string& path);
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_SERIALIZE_H_

@@ -1,0 +1,366 @@
+#include "src/tensor/autodiff.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace cfx {
+namespace ag {
+
+void Node::EnsureGrad() {
+  if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
+    grad = Matrix(value.rows(), value.cols());
+  }
+}
+
+Var Param(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+Var Constant(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+namespace {
+
+/// Creates an op node whose requires_grad is inherited from its parents.
+Var MakeOp(Matrix value, std::vector<Var> parents,
+           std::function<void(Node*)> backward_fn) {
+  bool needs_grad = false;
+  for (const Var& p : parents) needs_grad = needs_grad || p->requires_grad;
+  auto node = std::make_shared<Node>(std::move(value), needs_grad);
+  if (needs_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+/// Accumulates `delta` into p's grad if p participates in differentiation.
+void Accumulate(const Var& p, const Matrix& delta) {
+  if (!p->requires_grad) return;
+  p->EnsureGrad();
+  p->grad += delta;
+}
+
+}  // namespace
+
+Var Add(const Var& a, const Var& b) {
+  assert(a->value.SameShape(b->value));
+  return MakeOp(a->value + b->value, {a, b}, [](Node* n) {
+    Accumulate(n->parents[0], n->grad);
+    Accumulate(n->parents[1], n->grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  assert(a->value.SameShape(b->value));
+  return MakeOp(a->value - b->value, {a, b}, [](Node* n) {
+    Accumulate(n->parents[0], n->grad);
+    Accumulate(n->parents[1], n->grad * -1.0f);
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  assert(a->value.SameShape(b->value));
+  return MakeOp(a->value * b->value, {a, b}, [](Node* n) {
+    Accumulate(n->parents[0], n->grad * n->parents[1]->value);
+    Accumulate(n->parents[1], n->grad * n->parents[0]->value);
+  });
+}
+
+Var Scale(const Var& a, float s) {
+  return MakeOp(a->value * s, {a}, [s](Node* n) {
+    Accumulate(n->parents[0], n->grad * s);
+  });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0f); }
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeOp(a->value.MatMul(b->value), {a, b}, [](Node* n) {
+    const Matrix& g = n->grad;
+    // dL/dA = g . B^T ; dL/dB = A^T . g
+    Accumulate(n->parents[0], g.MatMul(n->parents[1]->value.Transposed()));
+    Accumulate(n->parents[1], n->parents[0]->value.Transposed().MatMul(g));
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  assert(bias->value.rows() == 1 && bias->value.cols() == a->value.cols());
+  return MakeOp(a->value.AddRowBroadcast(bias->value), {a, bias}, [](Node* n) {
+    Accumulate(n->parents[0], n->grad);
+    Accumulate(n->parents[1], n->grad.ColSum());
+  });
+}
+
+Var Relu(const Var& a) {
+  Matrix out = a->value.Map([](float v) { return v > 0.0f ? v : 0.0f; });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& x = n->parents[0]->value;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (x[i] <= 0.0f) d[i] = 0.0f;
+    }
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Matrix out = a->value.Map(
+      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    // d(sigmoid)/dx = s * (1 - s), computed from the forward output.
+    Matrix d = n->grad;
+    const Matrix& s = n->value;
+    for (size_t i = 0; i < d.size(); ++i) d[i] *= s[i] * (1.0f - s[i]);
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Tanh(const Var& a) {
+  Matrix out = a->value.Map([](float v) { return std::tanh(v); });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& t = n->value;
+    for (size_t i = 0; i < d.size(); ++i) d[i] *= 1.0f - t[i] * t[i];
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Exp(const Var& a) {
+  Matrix out = a->value.Map([](float v) { return std::exp(v); });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    Accumulate(n->parents[0], n->grad * n->value);
+  });
+}
+
+Var Log(const Var& a, float eps) {
+  Matrix out = a->value.Map(
+      [eps](float v) { return std::log(std::max(v, eps)); });
+  return MakeOp(std::move(out), {a}, [eps](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& x = n->parents[0]->value;
+    for (size_t i = 0; i < d.size(); ++i) d[i] /= std::max(x[i], eps);
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Square(const Var& a) {
+  Matrix out = a->value.Map([](float v) { return v * v; });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& x = n->parents[0]->value;
+    for (size_t i = 0; i < d.size(); ++i) d[i] *= 2.0f * x[i];
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Abs(const Var& a) {
+  Matrix out = a->value.Map([](float v) { return std::fabs(v); });
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& x = n->parents[0]->value;
+    for (size_t i = 0; i < d.size(); ++i) {
+      d[i] *= x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+    }
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var SmoothIndicator(const Var& a, float k, float eps) {
+  Matrix out = a->value.Map([k, eps](float v) {
+    return 1.0f / (1.0f + std::exp(-k * (std::fabs(v) - eps)));
+  });
+  return MakeOp(std::move(out), {a}, [k](Node* n) {
+    Matrix d = n->grad;
+    const Matrix& x = n->parents[0]->value;
+    const Matrix& s = n->value;
+    for (size_t i = 0; i < d.size(); ++i) {
+      float sign = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+      d[i] *= k * s[i] * (1.0f - s[i]) * sign;
+    }
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var TabularActivation(
+    const Var& a,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks) {
+  const Matrix& x = a->value;
+  // Mark which columns belong to a softmax block.
+  std::vector<uint8_t> in_softmax(x.cols(), 0);
+  for (const auto& [offset, width] : softmax_blocks) {
+    for (size_t j = 0; j < width; ++j) in_softmax[offset + j] = 1;
+  }
+
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      if (!in_softmax[c]) {
+        out.at(r, c) = 1.0f / (1.0f + std::exp(-x.at(r, c)));
+      }
+    }
+    for (const auto& [offset, width] : softmax_blocks) {
+      float max_v = x.at(r, offset);
+      for (size_t j = 1; j < width; ++j) {
+        max_v = std::max(max_v, x.at(r, offset + j));
+      }
+      float sum = 0.0f;
+      for (size_t j = 0; j < width; ++j) {
+        const float e = std::exp(x.at(r, offset + j) - max_v);
+        out.at(r, offset + j) = e;
+        sum += e;
+      }
+      for (size_t j = 0; j < width; ++j) out.at(r, offset + j) /= sum;
+    }
+  }
+
+  return MakeOp(std::move(out), {a},
+                [softmax_blocks, in_softmax](Node* n) {
+                  const Matrix& s = n->value;
+                  const Matrix& g = n->grad;
+                  Matrix d(s.rows(), s.cols());
+                  for (size_t r = 0; r < s.rows(); ++r) {
+                    for (size_t c = 0; c < s.cols(); ++c) {
+                      if (!in_softmax[c]) {
+                        // Sigmoid: ds/dx = s (1 - s).
+                        d.at(r, c) =
+                            g.at(r, c) * s.at(r, c) * (1.0f - s.at(r, c));
+                      }
+                    }
+                    for (const auto& [offset, width] : softmax_blocks) {
+                      // Softmax: dL/dx_j = s_j (g_j - sum_k g_k s_k).
+                      float dot = 0.0f;
+                      for (size_t j = 0; j < width; ++j) {
+                        dot += g.at(r, offset + j) * s.at(r, offset + j);
+                      }
+                      for (size_t j = 0; j < width; ++j) {
+                        d.at(r, offset + j) =
+                            s.at(r, offset + j) * (g.at(r, offset + j) - dot);
+                      }
+                    }
+                  }
+                  Accumulate(n->parents[0], d);
+                });
+}
+
+Var ConcatCols(const Var& a, const Var& b) {
+  assert(a->value.rows() == b->value.rows());
+  const size_t ca = a->value.cols();
+  return MakeOp(a->value.ConcatCols(b->value), {a, b}, [ca](Node* n) {
+    Accumulate(n->parents[0], n->grad.SliceCols(0, ca));
+    Accumulate(n->parents[1], n->grad.SliceCols(ca, n->grad.cols()));
+  });
+}
+
+Var SliceCols(const Var& a, size_t begin, size_t end) {
+  assert(begin <= end && end <= a->value.cols());
+  return MakeOp(a->value.SliceCols(begin, end), {a}, [begin](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix d(x.rows(), x.cols());
+    for (size_t r = 0; r < n->grad.rows(); ++r) {
+      for (size_t c = 0; c < n->grad.cols(); ++c) {
+        d.at(r, begin + c) = n->grad.at(r, c);
+      }
+    }
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var MulConstMask(const Var& a, const Matrix& mask) {
+  assert(a->value.SameShape(mask));
+  return MakeOp(a->value * mask, {a}, [mask](Node* n) {
+    Accumulate(n->parents[0], n->grad * mask);
+  });
+}
+
+Var Sum(const Var& a) {
+  Matrix out(1, 1);
+  out.at(0, 0) = a->value.Sum();
+  return MakeOp(std::move(out), {a}, [](Node* n) {
+    const float g = n->grad.at(0, 0);
+    Matrix d(n->parents[0]->value.rows(), n->parents[0]->value.cols(), g);
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var Mean(const Var& a) {
+  const float inv = a->value.size() > 0
+                        ? 1.0f / static_cast<float>(a->value.size())
+                        : 0.0f;
+  Matrix out(1, 1);
+  out.at(0, 0) = a->value.Mean();
+  return MakeOp(std::move(out), {a}, [inv](Node* n) {
+    const float g = n->grad.at(0, 0) * inv;
+    Matrix d(n->parents[0]->value.rows(), n->parents[0]->value.cols(), g);
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var RowSum(const Var& a) {
+  return MakeOp(a->value.RowSum(), {a}, [](Node* n) {
+    const Matrix& x = n->parents[0]->value;
+    Matrix d(x.rows(), x.cols());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      const float g = n->grad.at(r, 0);
+      for (size_t c = 0; c < x.cols(); ++c) d.at(r, c) = g;
+    }
+    Accumulate(n->parents[0], d);
+  });
+}
+
+Var ColMean(const Var& a) {
+  assert(a->value.cols() == 1);
+  return Mean(a);
+}
+
+void Backward(const Var& loss) {
+  assert(loss->value.rows() == 1 && loss->value.cols() == 1 &&
+         "Backward expects a scalar (1x1) loss");
+  if (!loss->requires_grad) return;
+
+  // Iterative post-order topological sort (graphs can be thousands of nodes
+  // deep over a long training unroll; avoid recursion).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(loss.get(), 0);
+  visited.insert(loss.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      Node* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  loss->EnsureGrad();
+  loss->grad.at(0, 0) = 1.0f;
+
+  // Reverse topological order: every node's grad is complete before its
+  // backward_fn distributes it to parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      node->backward_fn(node);
+    }
+  }
+}
+
+void ZeroGrad(const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    p->EnsureGrad();
+    p->grad.Fill(0.0f);
+  }
+}
+
+}  // namespace ag
+}  // namespace cfx

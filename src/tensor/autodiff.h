@@ -1,0 +1,127 @@
+// Reverse-mode automatic differentiation over Matrix values.
+//
+// cfx uses a dynamic tape at matrix granularity: every operation allocates a
+// graph node holding its output value, a backward closure, and edges to its
+// inputs. Calling Backward(loss) topologically sorts the graph reachable
+// from `loss` and accumulates gradients into every node with
+// requires_grad (leaf parameters as well as intermediates).
+//
+// The graph is rebuilt on every forward pass (define-by-run), which keeps
+// control flow (dropout masks, per-batch constraint terms) trivially
+// expressible in plain C++. Nodes are shared_ptr-managed; a training step
+// drops the graph simply by letting the loss Var go out of scope, while
+// parameter leaves survive inside their Module.
+//
+// Every op's gradient is validated against central finite differences in
+// tests/tensor_autodiff_test.cc.
+#ifndef CFX_TENSOR_AUTODIFF_H_
+#define CFX_TENSOR_AUTODIFF_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace ag {
+
+class Node;
+
+/// Handle to an autodiff graph node. Cheap to copy.
+using Var = std::shared_ptr<Node>;
+
+/// One vertex of the dynamic computation graph.
+class Node {
+ public:
+  Node(Matrix value, bool requires_grad)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  Matrix value;            ///< Forward result.
+  Matrix grad;             ///< dLoss/dvalue; allocated lazily by Backward().
+  bool requires_grad;      ///< False for pure constants: backward skips them.
+  std::vector<Var> parents;                 ///< Inputs of the producing op.
+  std::function<void(Node*)> backward_fn;   ///< Accumulates into parents' grads.
+
+  /// Ensures grad is allocated (zero) with the value's shape.
+  void EnsureGrad();
+};
+
+/// Leaf that participates in gradients (a trainable parameter or an input
+/// being optimised, e.g. CEM's perturbation).
+Var Param(Matrix value);
+
+/// Leaf excluded from differentiation (data batches, masks, noise).
+Var Constant(Matrix value);
+
+// ---- arithmetic -------------------------------------------------------------
+
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+/// Elementwise product.
+Var Mul(const Var& a, const Var& b);
+Var Scale(const Var& a, float s);
+Var Neg(const Var& a);
+/// Matrix product a(n,k) x b(k,m).
+Var MatMul(const Var& a, const Var& b);
+/// Adds a 1 x c bias row to each row of a (n, c).
+Var AddRowBroadcast(const Var& a, const Var& bias);
+
+// ---- elementwise nonlinearities ---------------------------------------------
+
+Var Relu(const Var& a);
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Exp(const Var& a);
+/// Natural log of max(a, eps) for numerical safety.
+Var Log(const Var& a, float eps = 1e-12f);
+Var Square(const Var& a);
+/// |a| with subgradient 0 at 0.
+Var Abs(const Var& a);
+/// Smooth L0 surrogate per entry: sigmoid(k*(|a| - eps)); used by the
+/// sparsity loss (paper §III-B / §III-C "g(x'-x)").
+Var SmoothIndicator(const Var& a, float k, float eps);
+
+/// Mixed activation head for tabular decoders: softmax within each
+/// (offset, width) block of `softmax_blocks` (categorical features) and
+/// sigmoid on every remaining column (continuous/binary). Keeping the
+/// categorical mass on the simplex keeps the training-time representation
+/// close to the hard one-hot rows the classifier was trained on.
+Var TabularActivation(const Var& a,
+                      const std::vector<std::pair<size_t, size_t>>&
+                          softmax_blocks);
+
+// ---- shape ops ---------------------------------------------------------------
+
+/// Horizontal concat [a | b]; used for class-conditioning the VAE.
+Var ConcatCols(const Var& a, const Var& b);
+/// Columns [begin, end).
+Var SliceCols(const Var& a, size_t begin, size_t end);
+/// Elementwise multiply by a constant mask (dropout, immutability masks).
+Var MulConstMask(const Var& a, const Matrix& mask);
+
+// ---- reductions ---------------------------------------------------------------
+
+/// Sum of all entries -> 1x1.
+Var Sum(const Var& a);
+/// Mean of all entries -> 1x1.
+Var Mean(const Var& a);
+/// Per-row sum -> (n, 1); used for per-sample norms.
+Var RowSum(const Var& a);
+/// Mean over rows of a (n,1) column -> 1x1.
+Var ColMean(const Var& a);
+
+// ---- backward -----------------------------------------------------------------
+
+/// Runs reverse-mode accumulation from `loss` (must be 1x1). Gradients
+/// accumulate: call ZeroGrad on parameters between steps.
+void Backward(const Var& loss);
+
+/// Zeroes the grads of the given leaves.
+void ZeroGrad(const std::vector<Var>& params);
+
+}  // namespace ag
+}  // namespace cfx
+
+#endif  // CFX_TENSOR_AUTODIFF_H_

@@ -1,0 +1,255 @@
+#include "src/tensor/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace cfx {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_ && "ragged initialiser");
+    std::memcpy(&m.data_[r * m.cols_], rows[r].data(),
+                m.cols_ * sizeof(float));
+  }
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  Matrix m(1, values.size());
+  std::memcpy(m.data_.data(), values.data(), values.size() * sizeof(float));
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::RandomNormal(size_t rows, size_t cols, float mean, float stddev,
+                            Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = static_cast<float>(rng->Normal(mean, stddev));
+  return m;
+}
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, float lo, float hi,
+                             Rng* rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) v = static_cast<float>(rng->Uniform(lo, hi));
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(size_t begin, size_t end) const {
+  assert(begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  std::memcpy(out.data_.data(), &data_[begin * cols_],
+              (end - begin) * cols_ * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::SliceCols(size_t begin, size_t end) const {
+  assert(begin <= end && end <= cols_);
+  Matrix out(rows_, end - begin);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(&out.data_[r * out.cols_], &data_[r * cols_ + begin],
+                (end - begin) * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    std::memcpy(&out.data_[i * cols_], &data_[indices[i] * cols_],
+                cols_ * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(rows_, cols_ + other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    std::memcpy(&out.data_[r * out.cols_], &data_[r * cols_],
+                cols_ * sizeof(float));
+    std::memcpy(&out.data_[r * out.cols_ + cols_], &other.data_[r * other.cols_],
+                other.cols_ * sizeof(float));
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatRows(const Matrix& other) const {
+  assert(cols_ == other.cols_ || rows_ == 0 || other.rows_ == 0);
+  if (rows_ == 0) return other;
+  if (other.rows_ == 0) return *this;
+  Matrix out(rows_ + other.rows_, cols_);
+  std::memcpy(out.data_.data(), data_.data(), data_.size() * sizeof(float));
+  std::memcpy(&out.data_[data_.size()], other.data_.data(),
+              other.data_.size() * sizeof(float));
+  return out;
+}
+
+Matrix Matrix::Row(size_t r) const { return SliceRows(r, r + 1); }
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  assert(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  assert(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  assert(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(float scalar) const {
+  Matrix out = *this;
+  for (float& v : out.data_) v *= scalar;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  const size_t n = rows_, k_dim = cols_, m = other.cols_;
+  for (size_t i = 0; i < n; ++i) {
+    float* out_row = &out.data_[i * m];
+    const float* a_row = &data_[i * k_dim];
+    for (size_t k = 0; k < k_dim; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = &other.data_[k * m];
+      for (size_t j = 0; j < m; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  assert(row.rows_ == 1 && row.cols_ == cols_);
+  Matrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(r, c) += row.at(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<float(float)>& fn) const {
+  Matrix out = *this;
+  for (float& v : out.data_) v = fn(v);
+  return out;
+}
+
+float Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Matrix::Mean() const {
+  return data_.empty() ? 0.0f : Sum() / static_cast<float>(data_.size());
+}
+
+float Matrix::MaxAbs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.at(0, c) += at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::RowSum() const {
+  Matrix out(rows_, 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += at(r, c);
+    out.at(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+float Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(acc);
+}
+
+bool Matrix::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void Matrix::Fill(float value) {
+  for (float& v : data_) v = value;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  const size_t max_r = std::min<size_t>(rows_, 4);
+  const size_t max_c = std::min<size_t>(cols_, 8);
+  for (size_t r = 0; r < max_r; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < max_c; ++c) {
+      os << at(r, c);
+      if (c + 1 < max_c) os << ", ";
+    }
+    if (max_c < cols_) os << ", ...";
+    os << "]";
+    if (r + 1 < max_r) os << "\n";
+  }
+  if (max_r < rows_) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace cfx

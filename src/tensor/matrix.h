@@ -1,0 +1,153 @@
+// Dense row-major float matrix with the kernels the rest of cfx builds on.
+//
+// Design notes:
+//  * float storage — all models in the paper are tiny MLPs; float halves
+//    memory traffic and is ample precision for SGD-trained networks.
+//  * Shapes follow the (batch, features) convention everywhere: a batch of
+//    n samples with d features is an n x d Matrix.
+//  * Matmul uses an i-k-j loop ordering (inner loop streams a row of the
+//    right operand), which is cache-friendly without explicit blocking at
+//    the sizes cfx uses (<= a few thousand rows, <= a few hundred columns).
+#ifndef CFX_TENSOR_MATRIX_H_
+#define CFX_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace cfx {
+
+/// Value-semantic dense matrix of float.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, float fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from a row-major initialiser, e.g. Matrix::FromRows({{1,2},{3,4}}).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  /// 1 x n row vector from values.
+  static Matrix RowVector(const std::vector<float>& values);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  /// rows x cols with i.i.d. N(mean, stddev) entries.
+  static Matrix RandomNormal(size_t rows, size_t cols, float mean,
+                             float stddev, Rng* rng);
+
+  /// rows x cols with i.i.d. U[lo, hi) entries.
+  static Matrix RandomUniform(size_t rows, size_t cols, float lo, float hi,
+                              Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// True iff shapes match.
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // ---- shape ops -----------------------------------------------------------
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Returns rows [begin, end) as a new matrix.
+  Matrix SliceRows(size_t begin, size_t end) const;
+
+  /// Returns columns [begin, end) as a new matrix.
+  Matrix SliceCols(size_t begin, size_t end) const;
+
+  /// Returns the rows selected by `indices` (may repeat / reorder).
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  /// Horizontal concatenation [this | other]; row counts must match.
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Vertical concatenation; column counts must match.
+  Matrix ConcatRows(const Matrix& other) const;
+
+  /// Single row r as a 1 x cols matrix.
+  Matrix Row(size_t r) const;
+
+  // ---- arithmetic ----------------------------------------------------------
+
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  /// Elementwise (Hadamard) product.
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator*(float scalar) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(float scalar);
+
+  /// Matrix product; this->cols() must equal other.rows().
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Adds a 1 x cols row vector to every row (bias broadcast).
+  Matrix AddRowBroadcast(const Matrix& row) const;
+
+  /// Elementwise map.
+  Matrix Map(const std::function<float(float)>& fn) const;
+
+  // ---- reductions ----------------------------------------------------------
+
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  /// 1 x cols matrix of per-column sums.
+  Matrix ColSum() const;
+  /// rows x 1 matrix of per-row sums.
+  Matrix RowSum() const;
+
+  /// Squared Frobenius norm.
+  float SquaredNorm() const;
+
+  /// True if all entries are finite.
+  bool AllFinite() const;
+
+  /// Fills every entry with `value`.
+  void Fill(float value);
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+  /// Compact debug rendering, clipped to a few rows/cols for large matrices.
+  std::string ToString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// scalar * M.
+inline Matrix operator*(float scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace cfx
+
+#endif  // CFX_TENSOR_MATRIX_H_

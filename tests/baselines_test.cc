@@ -1,0 +1,289 @@
+// Tests for the six comparison baselines: method-specific behavioural
+// invariants plus interface properties shared by all methods (registry,
+// immutability, manifold projection).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/baselines/cchvae.h"
+#include "src/baselines/cem.h"
+#include "src/baselines/dice_random.h"
+#include "src/baselines/face.h"
+#include "src/baselines/mahajan.h"
+#include "src/baselines/registry.h"
+#include "src/baselines/revise.h"
+#include "src/core/experiment.h"
+#include "src/metrics/metrics.h"
+
+namespace cfx {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 99;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+    experiment_ = std::move(*exp).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  /// Fits a method and generates CFs for n test rows.
+  static CfResult Run(CfMethod* method, size_t n) {
+    CFX_CHECK_OK(method->Fit(experiment_->x_train(), experiment_->y_train()));
+    return method->Generate(experiment_->TestSubset(n));
+  }
+
+  static double Validity(const CfResult& result) {
+    size_t valid = 0;
+    for (size_t i = 0; i < result.size(); ++i) valid += result.IsValid(i);
+    return result.size() ? static_cast<double>(valid) / result.size() : 0.0;
+  }
+
+  static Experiment* experiment_;
+};
+
+Experiment* BaselineFixture::experiment_ = nullptr;
+
+// ---- registry / shared interface ------------------------------------------------
+
+TEST_F(BaselineFixture, RegistryCoversAllNineTableRows) {
+  EXPECT_EQ(AllMethodKinds().size(), 9u);
+  std::set<std::string> names;
+  for (MethodKind kind : AllMethodKinds()) {
+    auto method = CreateMethod(kind, experiment_->method_context());
+    ASSERT_NE(method, nullptr);
+    names.insert(method->name());
+  }
+  EXPECT_EQ(names.size(), 9u) << "every row label is distinct";
+}
+
+TEST_F(BaselineFixture, FeasibilityColumnVisibilityMatchesPaperLayout) {
+  EXPECT_TRUE(ShowsUnaryColumn(MethodKind::kRevise));
+  EXPECT_TRUE(ShowsBinaryColumn(MethodKind::kRevise));
+  EXPECT_TRUE(ShowsUnaryColumn(MethodKind::kOursUnary));
+  EXPECT_FALSE(ShowsBinaryColumn(MethodKind::kOursUnary));
+  EXPECT_FALSE(ShowsUnaryColumn(MethodKind::kOursBinary));
+  EXPECT_TRUE(ShowsBinaryColumn(MethodKind::kOursBinary));
+  EXPECT_FALSE(ShowsBinaryColumn(MethodKind::kMahajanUnary));
+  EXPECT_FALSE(ShowsUnaryColumn(MethodKind::kMahajanBinary));
+}
+
+/// Every method x dataset must respect immutables and produce
+/// manifold-projected CFs.
+using MethodDatasetParam = std::tuple<MethodKind, DatasetId>;
+
+class EveryMethodTest
+    : public ::testing::TestWithParam<MethodDatasetParam> {
+ protected:
+  /// Lazily built, shared across the suite (one per dataset).
+  static Experiment* GetExperiment(DatasetId id) {
+    static std::map<DatasetId, std::unique_ptr<Experiment>> cache;
+    auto it = cache.find(id);
+    if (it == cache.end()) {
+      RunConfig config;
+      config.scale = Scale::kSmall;
+      config.seed = 99;
+      auto exp = Experiment::Create(id, config);
+      CFX_CHECK_OK(exp.status());
+      it = cache.emplace(id, std::move(*exp)).first;
+    }
+    return it->second.get();
+  }
+};
+
+TEST_P(EveryMethodTest, RespectsImmutablesAndManifold) {
+  const auto [kind, dataset] = GetParam();
+  Experiment* experiment_ = GetExperiment(dataset);
+  auto method = CreateMethod(kind, experiment_->method_context());
+  CFX_CHECK_OK(method->Fit(experiment_->x_train(), experiment_->y_train()));
+  CfResult result = method->Generate(experiment_->TestSubset(30));
+  ASSERT_EQ(result.size(), 30u);
+  const TabularEncoder& encoder = experiment_->encoder();
+
+  for (size_t i = 0; i < result.size(); ++i) {
+    Matrix row = result.cfs.Row(i);
+    // Inside the encoded domain.
+    for (size_t c = 0; c < row.cols(); ++c) {
+      EXPECT_GE(row.at(0, c), 0.0f);
+      EXPECT_LE(row.at(0, c), 1.0f);
+    }
+    // Immutables untouched.
+    for (size_t fi : encoder.schema().ImmutableIndices()) {
+      EXPECT_EQ(encoder.FeatureValue(row, fi),
+                encoder.FeatureValue(result.inputs.Row(i), fi))
+          << method->name();
+    }
+    // One-hot blocks are pure.
+    for (const auto& [offset, width] : encoder.CategoricalBlockRanges()) {
+      float sum = 0.0f;
+      for (size_t j = 0; j < width; ++j) sum += row.at(0, offset + j);
+      EXPECT_FLOAT_EQ(sum, 1.0f) << method->name();
+    }
+  }
+  // Bookkeeping is consistent.
+  std::vector<int> pred = experiment_->classifier()->Predict(result.cfs);
+  EXPECT_EQ(pred, result.predicted);
+}
+
+std::string MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kMahajanUnary: return "MahajanUnary";
+    case MethodKind::kMahajanBinary: return "MahajanBinary";
+    case MethodKind::kRevise: return "Revise";
+    case MethodKind::kCchvae: return "Cchvae";
+    case MethodKind::kCem: return "Cem";
+    case MethodKind::kDiceRandom: return "DiceRandom";
+    case MethodKind::kFace: return "Face";
+    case MethodKind::kOursUnary: return "OursUnary";
+    case MethodKind::kOursBinary: return "OursBinary";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsTimesDatasets, EveryMethodTest,
+    ::testing::Combine(::testing::ValuesIn(AllMethodKinds()),
+                       ::testing::Values(DatasetId::kAdult, DatasetId::kLaw)),
+    [](const ::testing::TestParamInfo<MethodDatasetParam>& info) {
+      return MethodKindName(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == DatasetId::kAdult ? "_Adult"
+                                                           : "_Law");
+    });
+
+// ---- method-specific behaviour ----------------------------------------------------
+
+TEST_F(BaselineFixture, CemFindsSparseCfs) {
+  CemMethod cem(experiment_->method_context());
+  CfResult result = Run(&cem, 60);
+  MethodMetrics m = EvaluateMethod("CEM", experiment_->encoder(),
+                                   experiment_->info(), result);
+  // CEM's elastic net keeps changes minimal: clearly sparser than the
+  // VAE-based generators (paper: 2.10 vs 4-5 on Adult).
+  EXPECT_LT(m.sparsity, 3.5);
+  EXPECT_GT(Validity(result), 0.3) << "a decent fraction flips";
+}
+
+TEST_F(BaselineFixture, CemChangesOnlyWhatItMust) {
+  CemMethod cem(experiment_->method_context());
+  CfResult result = Run(&cem, 40);
+  // Immutable slots aside, most coordinates should be untouched.
+  size_t unchanged = 0, total = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    for (size_t c = 0; c < result.cfs.cols(); ++c) {
+      unchanged += std::fabs(result.cfs.at(i, c) - result.inputs.at(i, c)) <
+                   1e-6f;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(unchanged) / total, 0.8);
+}
+
+TEST_F(BaselineFixture, DiceRandomFlipsWithFewFeatures) {
+  DiceRandomMethod dice(experiment_->method_context());
+  CfResult result = Run(&dice, 60);
+  MethodMetrics m = EvaluateMethod("DiCE", experiment_->encoder(),
+                                   experiment_->info(), result);
+  EXPECT_GT(Validity(result), 0.9) << "random search almost always flips";
+  EXPECT_LT(m.sparsity, 4.0) << "width schedule prefers few mutations";
+}
+
+TEST_F(BaselineFixture, DiceRandomNeverMutatesImmutablePool) {
+  // Directly exercise Fit's mutable-feature pool: generated CFs never touch
+  // race/gender even across many samples (covered per-row above; here we
+  // assert over a larger batch for the random path).
+  DiceRandomMethod dice(experiment_->method_context());
+  CfResult result = Run(&dice, 100);
+  const TabularEncoder& encoder = experiment_->encoder();
+  for (size_t fi : encoder.schema().ImmutableIndices()) {
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(encoder.FeatureValue(result.cfs.Row(i), fi),
+                encoder.FeatureValue(result.inputs.Row(i), fi));
+    }
+  }
+}
+
+TEST_F(BaselineFixture, FaceReturnsTrainingPoints) {
+  FaceMethod face(experiment_->method_context());
+  CfResult result = Run(&face, 30);
+  // Every CF (mutable part) must be an actual training row's mutable part —
+  // FACE recommends reachable real examples, not synthetic ones.
+  const Matrix& train = experiment_->x_train();
+  const Matrix mask = experiment_->encoder().MutableMask();
+  size_t matched = 0;
+  for (size_t i = 0; i < result.size(); ++i) {
+    bool found = false;
+    for (size_t t = 0; t < train.rows() && !found; ++t) {
+      bool equal = true;
+      for (size_t c = 0; c < train.cols() && equal; ++c) {
+        if (mask.at(0, c) == 0.0f) continue;  // immutables were overwritten
+        equal = std::fabs(result.cfs.at(i, c) - train.at(t, c)) < 1e-5f;
+      }
+      found = equal;
+    }
+    matched += found;
+  }
+  EXPECT_EQ(matched, result.size());
+}
+
+TEST_F(BaselineFixture, FaceRejectsTooFewRows) {
+  FaceMethod face(experiment_->method_context());
+  Matrix tiny = experiment_->x_train().SliceRows(0, 3);
+  std::vector<int> labels(3, 0);
+  EXPECT_EQ(face.Fit(tiny, labels).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BaselineFixture, ReviseImprovesOverUnfitted) {
+  ReviseMethod revise(experiment_->method_context());
+  // Unfitted: degrades to identity (validity 0 by construction).
+  CfResult unfitted = revise.Generate(experiment_->TestSubset(20));
+  EXPECT_DOUBLE_EQ(Validity(unfitted), 0.0);
+  // Fitted: latent descent flips a majority.
+  CfResult fitted = Run(&revise, 60);
+  EXPECT_GT(Validity(fitted), 0.5);
+}
+
+TEST_F(BaselineFixture, CchvaeFindsProximalFlips) {
+  CchvaeMethod cchvae(experiment_->method_context());
+  CfResult result = Run(&cchvae, 60);
+  EXPECT_GT(Validity(result), 0.5);
+  MethodMetrics m = EvaluateMethod("C-CHVAE", experiment_->encoder(),
+                                   experiment_->info(), result);
+  EXPECT_GT(m.continuous_proximity, -2.0) << "stays in the latent vicinity";
+}
+
+TEST_F(BaselineFixture, MahajanLacksSparsityTerm) {
+  MahajanMethod mahajan(experiment_->method_context(),
+                        ConstraintMode::kUnary);
+  auto ours = CreateMethod(MethodKind::kOursUnary,
+                           experiment_->method_context());
+  CfResult m_result = Run(&mahajan, 80);
+  CfResult o_result = Run(ours.get(), 80);
+  MethodMetrics mm = EvaluateMethod("Mahajan", experiment_->encoder(),
+                                    experiment_->info(), m_result);
+  MethodMetrics om = EvaluateMethod("Ours", experiment_->encoder(),
+                                    experiment_->info(), o_result);
+  // The sparsity objective is the distinguishing factor (paper §I): our
+  // method changes no more features than Mahajan's.
+  EXPECT_LE(om.sparsity, mm.sparsity + 0.5);
+  EXPECT_GE(om.feasibility_unary, 85.0);
+}
+
+TEST_F(BaselineFixture, TrainingFreeMethodsFitInstantly) {
+  CemMethod cem(experiment_->method_context());
+  DiceRandomMethod dice(experiment_->method_context());
+  EXPECT_TRUE(cem.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  EXPECT_TRUE(dice.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+}
+
+}  // namespace
+}  // namespace cfx

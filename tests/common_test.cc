@@ -1,0 +1,236 @@
+// Unit tests for src/common: Status/StatusOr, Rng, string utils, config.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "src/common/config.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace {
+
+// ---- Status ----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad width");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::OutOfRange("").code(),
+      Status::NotFound("").code(),        Status::AlreadyExists("").code(),
+      Status::FailedPrecondition("").code(), Status::Internal("").code(),
+      Status::Unimplemented("").code()};
+  EXPECT_EQ(codes.size(), 7u);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyTypes) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    CFX_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntIsUnbiasedAcrossBuckets) {
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_NEAR(c, n / 5, n / 5 * 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(9);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, TruncatedNormalRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 5000; ++i) {
+    double v = rng.TruncatedNormal(0.0, 5.0, -1.0, 2.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 2.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(12);
+  std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalHandlesZeroWeights) {
+  Rng rng(13);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(14);
+  auto perm = rng.Permutation(100);
+  std::set<size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(15);
+  Rng child_a = parent.Split(1);
+  Rng child_b = parent.Split(1);  // Same salt, later state -> different.
+  EXPECT_NE(child_a.NextU64(), child_b.NextU64());
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng p1(16), p2(16);
+  Rng c1 = p1.Split(5);
+  Rng c2 = p2.Split(5);
+  EXPECT_EQ(c1.NextU64(), c2.NextU64());
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(StringTest, SplitPreservesEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringTest, SplitSingleToken) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,b,c");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringTest, ToLower) { EXPECT_EQ(ToLower("AbC-12"), "abc-12"); }
+
+TEST(StringTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("table4_adult", "table4"));
+  EXPECT_FALSE(StartsWith("tab", "table"));
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+// ---- config -----------------------------------------------------------------
+
+TEST(ConfigTest, ParseScale) {
+  EXPECT_EQ(ParseScale("paper"), Scale::kPaper);
+  EXPECT_EQ(ParseScale("PAPER"), Scale::kPaper);
+  EXPECT_EQ(ParseScale("small"), Scale::kSmall);
+  EXPECT_EQ(ParseScale("garbage"), Scale::kSmall);
+}
+
+TEST(ConfigTest, ScaleNames) {
+  EXPECT_STREQ(ScaleName(Scale::kPaper), "paper");
+  EXPECT_STREQ(ScaleName(Scale::kSmall), "small");
+}
+
+TEST(ConfigTest, FromEnvReadsOverrides) {
+  setenv("CFX_SEED", "777", 1);
+  setenv("CFX_EVAL_N", "55", 1);
+  RunConfig cfg = RunConfig::FromEnv();
+  EXPECT_EQ(cfg.seed, 777u);
+  EXPECT_EQ(cfg.eval_instances, 55u);
+  unsetenv("CFX_SEED");
+  unsetenv("CFX_EVAL_N");
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,301 @@
+// Tests for the causal-constraint system: hard checks (Eq. 1 / Eq. 2
+// semantics), the differentiable penalties, and batch feasibility scoring.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/feasibility.h"
+#include "src/constraints/penalty.h"
+#include "src/datasets/adult.h"
+
+namespace cfx {
+namespace {
+
+/// Schema with one continuous "age" and one ordinal categorical "education".
+Schema PairSchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back({"age", FeatureType::kContinuous, {}, false, 0.0, 100.0});
+  features.push_back({"education",
+                      FeatureType::kCategorical,
+                      {"low", "mid", "high"},
+                      false,
+                      0.0,
+                      1.0});
+  return Schema(std::move(features), "y", {"n", "p"});
+}
+
+class ConstraintFixture : public ::testing::Test {
+ protected:
+  ConstraintFixture() : encoder_(PairSchema()) {
+    Table t(PairSchema());
+    CFX_CHECK_OK(t.AppendRow({0.0, 0.0}, 0));
+    CFX_CHECK_OK(t.AppendRow({100.0, 2.0}, 1));
+    CFX_CHECK_OK(encoder_.Fit(t));
+  }
+
+  /// Encodes (age [0,100], education index).
+  Matrix Encode(double age, int education) {
+    RawRow row;
+    row.values = {age, static_cast<double>(education)};
+    return encoder_.TransformRow(row);
+  }
+
+  TabularEncoder encoder_;
+  ConstraintTolerance tol_;
+};
+
+// ---- unary -------------------------------------------------------------------
+
+TEST_F(ConstraintFixture, UnaryAcceptsIncrease) {
+  UnaryMonotoneConstraint c("age");
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30, 0), Encode(40, 0), tol_));
+}
+
+TEST_F(ConstraintFixture, UnaryAcceptsEqual) {
+  UnaryMonotoneConstraint c("age");
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30, 0), Encode(30, 0), tol_));
+}
+
+TEST_F(ConstraintFixture, UnaryRejectsDecrease) {
+  UnaryMonotoneConstraint c("age");
+  EXPECT_FALSE(c.Satisfied(encoder_, Encode(30, 0), Encode(25, 0), tol_));
+}
+
+TEST_F(ConstraintFixture, UnaryToleratesTinyNumericJitter) {
+  UnaryMonotoneConstraint c("age");
+  // 0.2 years on a 100-year range = 0.002 normalised < 0.005 tolerance.
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30.0, 0), Encode(29.8, 0), tol_));
+}
+
+// ---- binary ------------------------------------------------------------------
+
+TEST_F(ConstraintFixture, BinaryCauseUpEffectUpIsFeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30, 0), Encode(36, 2), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseUpEffectFlatIsInfeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_FALSE(c.Satisfied(encoder_, Encode(30, 0), Encode(30, 1), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseUpEffectDownIsInfeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_FALSE(c.Satisfied(encoder_, Encode(30, 0), Encode(25, 2), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseFlatEffectUpIsFeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30, 1), Encode(45, 1), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseFlatEffectFlatIsFeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_TRUE(c.Satisfied(encoder_, Encode(30, 1), Encode(30, 1), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseFlatEffectDownIsInfeasible) {
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_FALSE(c.Satisfied(encoder_, Encode(30, 1), Encode(20, 1), tol_));
+}
+
+TEST_F(ConstraintFixture, BinaryCauseDownIsInfeasible) {
+  // Un-earning a degree is not an actionable recourse.
+  BinaryImplicationConstraint c("education", "age");
+  EXPECT_FALSE(c.Satisfied(encoder_, Encode(30, 2), Encode(40, 0), tol_));
+}
+
+// ---- ordinal levels ------------------------------------------------------------
+
+TEST_F(ConstraintFixture, OrdinalLevelOfCategorical) {
+  EXPECT_DOUBLE_EQ(OrdinalLevel(encoder_, Encode(50, 0), 1), 0.0);
+  EXPECT_DOUBLE_EQ(OrdinalLevel(encoder_, Encode(50, 1), 1), 0.5);
+  EXPECT_DOUBLE_EQ(OrdinalLevel(encoder_, Encode(50, 2), 1), 1.0);
+}
+
+TEST_F(ConstraintFixture, OrdinalLevelOfContinuousIsNormalised) {
+  EXPECT_NEAR(OrdinalLevel(encoder_, Encode(50, 0), 0), 0.5, 1e-6);
+}
+
+// ---- constraint sets -------------------------------------------------------------
+
+TEST_F(ConstraintFixture, ConstraintSetAllSatisfied) {
+  ConstraintSet set;
+  set.Add(std::make_unique<UnaryMonotoneConstraint>("age"));
+  set.Add(std::make_unique<BinaryImplicationConstraint>("education", "age"));
+  EXPECT_TRUE(set.AllSatisfied(encoder_, Encode(30, 0), Encode(40, 1), tol_));
+  EXPECT_FALSE(set.AllSatisfied(encoder_, Encode(30, 0), Encode(25, 0), tol_));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_NE(set.Description().find("unary"), std::string::npos);
+}
+
+TEST(ConstraintSetTest, FactoriesUsePaperFeatures) {
+  const DatasetInfo& adult = GetDatasetInfo(DatasetId::kAdult);
+  ConstraintSet unary = MakeUnaryConstraintSet(adult);
+  ASSERT_EQ(unary.size(), 1u);
+  EXPECT_NE(unary.Description().find("age"), std::string::npos);
+
+  ConstraintSet binary = MakeBinaryConstraintSet(adult);
+  ASSERT_EQ(binary.size(), 1u);
+  EXPECT_NE(binary.Description().find("education"), std::string::npos);
+
+  const DatasetInfo& law = GetDatasetInfo(DatasetId::kLaw);
+  EXPECT_NE(MakeUnaryConstraintSet(law).Description().find("lsat"),
+            std::string::npos);
+  EXPECT_NE(MakeBinaryConstraintSet(law).Description().find("tier"),
+            std::string::npos);
+}
+
+// ---- feasibility scoring ----------------------------------------------------------
+
+TEST_F(ConstraintFixture, EvaluateFeasibilityScores) {
+  ConstraintSet set = [] {
+    ConstraintSet s;
+    s.Add(std::make_unique<UnaryMonotoneConstraint>("age"));
+    return s;
+  }();
+  Matrix x = Encode(30, 0).ConcatRows(Encode(40, 1)).ConcatRows(Encode(50, 2));
+  Matrix cf =
+      Encode(35, 0).ConcatRows(Encode(20, 1)).ConcatRows(Encode(50, 2));
+  FeasibilityResult result = EvaluateFeasibility(set, encoder_, x, cf);
+  EXPECT_EQ(result.num_pairs, 3u);
+  EXPECT_EQ(result.num_feasible, 2u);
+  EXPECT_NEAR(result.score_percent, 200.0 / 3.0, 1e-6);
+  EXPECT_TRUE(result.feasible[0]);
+  EXPECT_FALSE(result.feasible[1]);
+  EXPECT_TRUE(result.feasible[2]);
+}
+
+TEST(FeasibilityTest, WithinInputDomain) {
+  Matrix ok(1, 3);
+  ok.at(0, 0) = 0.0f;
+  ok.at(0, 1) = 1.0f;
+  ok.at(0, 2) = 0.5f;
+  EXPECT_TRUE(WithinInputDomain(ok));
+  Matrix bad = ok;
+  bad.at(0, 1) = 1.2f;
+  EXPECT_FALSE(WithinInputDomain(bad));
+  bad.at(0, 1) = -0.2f;
+  EXPECT_FALSE(WithinInputDomain(bad));
+}
+
+// ---- differentiable penalties ------------------------------------------------------
+
+TEST_F(ConstraintFixture, UnaryPenaltyZeroWhenSatisfied) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(30, 0);
+  ag::Var cf = ag::Param(Encode(40, 0));
+  ag::Var penalty = builder.UnaryPenalty("age", cf, x);
+  EXPECT_FLOAT_EQ(penalty->value.at(0, 0), 0.0f);
+}
+
+TEST_F(ConstraintFixture, UnaryPenaltyGrowsWithViolation) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(50, 0);
+  ag::Var small = ag::Param(Encode(45, 0));
+  ag::Var large = ag::Param(Encode(20, 0));
+  const float p_small =
+      builder.UnaryPenalty("age", small, x)->value.at(0, 0);
+  const float p_large =
+      builder.UnaryPenalty("age", large, x)->value.at(0, 0);
+  EXPECT_GT(p_small, 0.0f);
+  EXPECT_GT(p_large, p_small * 2);
+}
+
+TEST_F(ConstraintFixture, UnaryPenaltyGradientPushesUp) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(50, 0);
+  ag::Var cf = ag::Param(Encode(30, 0));
+  ag::Var penalty = builder.UnaryPenalty("age", cf, x);
+  ag::Backward(penalty);
+  // d penalty / d cf_age < 0: increasing the CF's age reduces the penalty.
+  EXPECT_LT(cf->grad.at(0, 0), 0.0f);
+}
+
+TEST_F(ConstraintFixture, BinaryPenaltyZeroWhenImplicationHolds) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(30, 0);
+  ag::Var cf = ag::Param(Encode(40, 1));  // education up, age up
+  ag::Var penalty =
+      builder.BinaryImplicationPenalty("education", "age", cf, x);
+  EXPECT_NEAR(penalty->value.at(0, 0), 0.0f, 1e-5f);
+}
+
+TEST_F(ConstraintFixture, BinaryPenaltyFiresOnLaggingEffect) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(30, 0);
+  ag::Var cf = ag::Param(Encode(30, 2));  // education up, age flat
+  ag::Var penalty =
+      builder.BinaryImplicationPenalty("education", "age", cf, x);
+  EXPECT_GT(penalty->value.at(0, 0), 0.0f);
+}
+
+TEST_F(ConstraintFixture, BinaryPenaltyFiresOnCauseDecrease) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(30, 2);
+  ag::Var cf = ag::Param(Encode(40, 0));  // education down
+  ag::Var penalty =
+      builder.BinaryImplicationPenalty("education", "age", cf, x);
+  EXPECT_GT(penalty->value.at(0, 0), 0.5f);
+}
+
+TEST_F(ConstraintFixture, BinaryPenaltyFiresOnEffectDecrease) {
+  PenaltyBuilder builder(&encoder_);
+  Matrix x = Encode(50, 1);
+  ag::Var cf = ag::Param(Encode(30, 1));  // age down, education flat
+  ag::Var penalty =
+      builder.BinaryImplicationPenalty("education", "age", cf, x);
+  EXPECT_GT(penalty->value.at(0, 0), 0.0f)
+      << "Eq. (2) forbids any effect decrease";
+}
+
+TEST_F(ConstraintFixture, BinaryLinearPenaltyMatchesPaperForm) {
+  PenaltyBuilder builder(&encoder_);
+  // relu(c1 + c2 * cause - effect): cause level 1.0, effect level 0.3,
+  // c1 = 0, c2 = 0.6 -> penalty 0.6 - 0.3 = 0.3.
+  ag::Var cf = ag::Param(Encode(30, 2));
+  ag::Var penalty =
+      builder.BinaryLinearPenalty("education", "age", cf, 0.0f, 0.6f);
+  EXPECT_NEAR(penalty->value.at(0, 0), 0.6f - 0.3f, 1e-5f);
+  // Satisfied when the effect is above the line.
+  ag::Var cf_ok = ag::Param(Encode(90, 2));
+  EXPECT_NEAR(builder.BinaryLinearPenalty("education", "age", cf_ok, 0.0f,
+                                          0.6f)
+                  ->value.at(0, 0),
+              0.0f, 1e-5f);
+}
+
+TEST_F(ConstraintFixture, PenaltyAgreesWithHardCheckOnBatch) {
+  // Property: zero implication penalty => hard Eq. (2) check passes (up to
+  // the strict margin), and a large penalty => check fails.
+  PenaltyBuilder builder(&encoder_);
+  BinaryImplicationConstraint hard("education", "age");
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double age0 = rng.Uniform(10, 90);
+    const int edu0 = static_cast<int>(rng.UniformInt(3));
+    const double age1 = rng.Uniform(10, 90);
+    const int edu1 = static_cast<int>(rng.UniformInt(3));
+    Matrix x = Encode(age0, edu0);
+    Matrix cf_m = Encode(age1, edu1);
+    ag::Var cf = ag::Param(cf_m);
+    const float penalty =
+        builder
+            .BinaryImplicationPenalty("education", "age", cf, x,
+                                      /*strict_margin=*/0.02f)
+            ->value.at(0, 0);
+    const bool feasible = hard.Satisfied(encoder_, x, cf_m, tol_);
+    if (penalty < 1e-6f) {
+      EXPECT_TRUE(feasible) << "age " << age0 << "->" << age1 << " edu "
+                            << edu0 << "->" << edu1;
+    }
+    if (penalty > 0.1f) {
+      EXPECT_FALSE(feasible) << "age " << age0 << "->" << age1 << " edu "
+                             << edu0 << "->" << edu1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,312 @@
+// Tests for the core method: the four-part loss, the generator (training,
+// immutability, constraint satisfaction) and the experiment pipeline.
+//
+// The heavyweight experiment fixture (dataset + classifier) is built once
+// per test binary and shared.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/constraints/feasibility.h"
+#include "src/core/cf_example.h"
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+
+namespace cfx {
+namespace {
+
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 1234;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+    experiment_ = std::move(*exp).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static Experiment* experiment_;
+};
+
+Experiment* CoreFixture::experiment_ = nullptr;
+
+// ---- experiment pipeline ------------------------------------------------------
+
+TEST_F(CoreFixture, SplitFractionsAreEightyTenTen) {
+  const size_t total = experiment_->x_train().rows() +
+                       experiment_->x_validation().rows() +
+                       experiment_->x_test().rows();
+  EXPECT_NEAR(experiment_->x_train().rows() / static_cast<double>(total),
+              0.8, 0.01);
+  EXPECT_NEAR(experiment_->x_validation().rows() / static_cast<double>(total),
+              0.1, 0.01);
+  EXPECT_NEAR(experiment_->x_test().rows() / static_cast<double>(total), 0.1,
+              0.01);
+}
+
+TEST_F(CoreFixture, CleaningMatchedConfiguredCounts) {
+  const DatasetInfo& info = experiment_->info();
+  EXPECT_EQ(experiment_->cleaning().rows_before,
+            info.TotalInstances(Scale::kSmall));
+  EXPECT_EQ(experiment_->cleaning().rows_after,
+            info.CleanInstances(Scale::kSmall));
+}
+
+TEST_F(CoreFixture, ClassifierLearnedSignal) {
+  EXPECT_GT(experiment_->classifier_stats().train_accuracy, 0.70)
+      << "black box must beat the majority class clearly";
+  EXPECT_TRUE(experiment_->classifier()->frozen());
+}
+
+TEST_F(CoreFixture, EncodedValuesInUnitInterval) {
+  const Matrix& x = experiment_->x_train();
+  for (size_t i = 0; i < std::min<size_t>(x.size(), 50000); ++i) {
+    EXPECT_GE(x[i], 0.0f);
+    EXPECT_LE(x[i], 1.0f);
+  }
+}
+
+TEST_F(CoreFixture, TestSubsetCapsRows) {
+  EXPECT_EQ(experiment_->TestSubset(7).rows(), 7u);
+  EXPECT_LE(experiment_->TestSubset(1 << 20).rows(),
+            experiment_->x_test().rows());
+}
+
+// ---- loss ------------------------------------------------------------------------
+
+TEST_F(CoreFixture, LossTermsAreFiniteAndWeighted) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator gen(ctx, config);
+
+  // One manual forward through the loss.
+  Matrix x = experiment_->x_train().SliceRows(0, 16);
+  Matrix cond(16, 1, 1.0f);
+  Matrix desired(16, 1, 1.0f);
+  Rng noise(1);
+  Vae::Output out = gen.vae()->Forward(ag::Constant(x), cond, &noise);
+  PenaltyBuilder penalties(&experiment_->encoder());
+  // The raw-logit decoder output is not a CF by itself; activate it the
+  // same way the generator does is internal, so test with a synthetic CF.
+  ag::Var x_cf = ag::Sigmoid(out.x_hat);
+  CfLossTerms terms =
+      BuildCfLoss(config.loss, penalties, experiment_->info(),
+                  experiment_->classifier(), x_cf, x, desired, out);
+  for (const ag::Var* term :
+       {&terms.total, &terms.validity, &terms.proximity, &terms.feasibility,
+        &terms.sparsity, &terms.kl}) {
+    ASSERT_EQ((*term)->value.size(), 1u);
+    EXPECT_TRUE((*term)->value.AllFinite());
+  }
+  // Total equals the weighted sum of the parts.
+  const CfLossConfig& w = config.loss;
+  const float expected = w.validity_weight * terms.validity->value.at(0, 0) +
+                         w.proximity_weight * terms.proximity->value.at(0, 0) +
+                         w.feasibility_weight * terms.feasibility->value.at(0, 0) +
+                         w.sparsity_weight * terms.sparsity->value.at(0, 0) +
+                         w.kl_weight * terms.kl->value.at(0, 0);
+  EXPECT_NEAR(terms.total->value.at(0, 0), expected, 1e-3f);
+}
+
+TEST(LossConfigTest, FromDatasetAppliesTableIII) {
+  const DatasetInfo& adult = GetDatasetInfo(DatasetId::kAdult);
+  GeneratorConfig unary =
+      GeneratorConfig::FromDataset(adult, ConstraintMode::kUnary);
+  EXPECT_EQ(unary.epochs, 25u);
+  EXPECT_FLOAT_EQ(unary.learning_rate, 0.2f);
+  EXPECT_EQ(unary.loss.mode, ConstraintMode::kUnary);
+  GeneratorConfig binary =
+      GeneratorConfig::FromDataset(adult, ConstraintMode::kBinary);
+  EXPECT_EQ(binary.epochs, 50u);
+  EXPECT_EQ(binary.loss.mode, ConstraintMode::kBinary);
+}
+
+TEST(LossConfigTest, ConstraintModeNames) {
+  EXPECT_STREQ(ConstraintModeName(ConstraintMode::kNone), "none");
+  EXPECT_STREQ(ConstraintModeName(ConstraintMode::kUnary), "unary");
+  EXPECT_STREQ(ConstraintModeName(ConstraintMode::kBinary), "binary");
+}
+
+// ---- generator ----------------------------------------------------------------------
+
+TEST_F(CoreFixture, GeneratorProducesValidFeasibleSparseCfs) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator gen(ctx, config);
+  ASSERT_TRUE(gen.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+
+  Matrix x = experiment_->TestSubset(100);
+  CfResult result = gen.Generate(x);
+  ASSERT_EQ(result.size(), 100u);
+
+  size_t valid = 0;
+  for (size_t i = 0; i < result.size(); ++i) valid += result.IsValid(i);
+  EXPECT_GT(valid, 85u) << "validity should be near 100%";
+
+  ConstraintSet unary = MakeUnaryConstraintSet(experiment_->info());
+  FeasibilityResult feas = EvaluateFeasibility(unary, experiment_->encoder(),
+                                               result.inputs, result.cfs);
+  EXPECT_GT(feas.score_percent, 85.0);
+}
+
+TEST_F(CoreFixture, GeneratorRespectsImmutables) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  config.epochs = 5;  // Enough for the invariant; speed matters here.
+  FeasibleCfGenerator gen(ctx, config);
+  ASSERT_TRUE(gen.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+
+  Matrix x = experiment_->TestSubset(60);
+  CfResult result = gen.Generate(x);
+  const Schema& schema = experiment_->schema();
+  for (size_t fi : schema.ImmutableIndices()) {
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(experiment_->encoder().FeatureValue(result.cfs.Row(i), fi),
+                experiment_->encoder().FeatureValue(result.inputs.Row(i), fi))
+          << "immutable '" << schema.feature(fi).name
+          << "' changed on row " << i;
+    }
+  }
+}
+
+TEST_F(CoreFixture, GeneratedCfsAreOnTheDataManifold) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  config.epochs = 5;
+  FeasibleCfGenerator gen(ctx, config);
+  ASSERT_TRUE(gen.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  CfResult result = gen.Generate(experiment_->TestSubset(40));
+  for (size_t i = 0; i < result.size(); ++i) {
+    Matrix row = result.cfs.Row(i);
+    EXPECT_TRUE(WithinInputDomain(row, 1e-6f));
+    // Categorical blocks are pure one-hot.
+    for (const auto& [offset, width] :
+         experiment_->encoder().CategoricalBlockRanges()) {
+      float sum = 0.0f;
+      for (size_t j = 0; j < width; ++j) {
+        const float v = row.at(0, offset + j);
+        EXPECT_TRUE(v == 0.0f || v == 1.0f);
+        sum += v;
+      }
+      EXPECT_FLOAT_EQ(sum, 1.0f);
+    }
+  }
+}
+
+TEST_F(CoreFixture, DesiredClassIsOppositeOfPrediction) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  config.epochs = 2;
+  FeasibleCfGenerator gen(ctx, config);
+  ASSERT_TRUE(gen.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  Matrix x = experiment_->TestSubset(50);
+  CfResult result = gen.Generate(x);
+  std::vector<int> pred = experiment_->classifier()->Predict(x);
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result.desired[i], 1 - pred[i]);
+  }
+}
+
+TEST_F(CoreFixture, FitRequiresTrainedClassifier) {
+  // A fresh, untrained classifier must be rejected.
+  Rng rng(5);
+  ClassifierConfig cc;
+  BlackBoxClassifier untrained(experiment_->encoder().encoded_width(), cc,
+                               &rng);
+  MethodContext ctx = experiment_->method_context();
+  ctx.classifier = &untrained;
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator gen(ctx, config);
+  Status status = gen.Fit(experiment_->x_train(), experiment_->y_train());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CoreFixture, FitRejectsMismatchedLabels) {
+  MethodContext ctx = experiment_->method_context();
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator gen(ctx, config);
+  std::vector<int> labels(3, 0);
+  EXPECT_EQ(gen.Fit(experiment_->x_train(), labels).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoreFixture, NamesIdentifyConstraintModel) {
+  MethodContext ctx = experiment_->method_context();
+  FeasibleCfGenerator unary(
+      ctx, GeneratorConfig::FromDataset(experiment_->info(),
+                                        ConstraintMode::kUnary));
+  FeasibleCfGenerator binary(
+      ctx, GeneratorConfig::FromDataset(experiment_->info(),
+                                        ConstraintMode::kBinary));
+  EXPECT_NE(unary.name().find("Unary"), std::string::npos);
+  EXPECT_NE(binary.name().find("Binary"), std::string::npos);
+}
+
+TEST_F(CoreFixture, FeatureCostsSteerChangesAway) {
+  // Make changing 'education' 30x as costly as anything else: the expensive
+  // feature should change in (far) fewer counterfactuals.
+  auto edu = *experiment_->schema().FeatureIndex("education");
+
+  auto education_change_rate = [&](std::vector<float> costs) {
+    MethodContext ctx = experiment_->method_context();
+    ctx.seed ^= 0xC057;
+    GeneratorConfig config = GeneratorConfig::FromDataset(
+        experiment_->info(), ConstraintMode::kUnary);
+    config.loss.feature_costs = std::move(costs);
+    config.loss.proximity_weight = 2.0f;
+    FeasibleCfGenerator gen(ctx, config);
+    CFX_CHECK_OK(gen.Fit(experiment_->x_train(), experiment_->y_train()));
+    CfResult result = gen.Generate(experiment_->TestSubset(80));
+    size_t changed = 0;
+    for (size_t i = 0; i < result.size(); ++i) {
+      changed += experiment_->encoder().FeatureValue(result.cfs.Row(i), edu) !=
+                 experiment_->encoder().FeatureValue(result.inputs.Row(i), edu);
+    }
+    return static_cast<double>(changed) / result.size();
+  };
+
+  std::vector<float> uniform(experiment_->schema().num_features(), 1.0f);
+  std::vector<float> expensive = uniform;
+  expensive[edu] = 30.0f;
+  const double base_rate = education_change_rate(uniform);
+  const double costly_rate = education_change_rate(expensive);
+  EXPECT_LT(costly_rate, base_rate + 1e-9)
+      << "raising a feature's cost must not increase how often it changes";
+  if (base_rate > 0.2) {
+    EXPECT_LT(costly_rate, base_rate * 0.8)
+        << "a 30x cost should visibly suppress changes";
+  }
+}
+
+// ---- CF display (Table V machinery) ---------------------------------------------
+
+TEST_F(CoreFixture, MakeDisplayDecodesBothRows) {
+  CfResult result;
+  result.inputs = experiment_->TestSubset(1);
+  result.cfs = result.inputs;
+  result.cfs_raw = result.inputs;
+  result.desired = {1};
+  result.predicted = {1};
+  CfDisplay display = MakeDisplay(experiment_->encoder(), result, 0);
+  EXPECT_EQ(display.feature_names.size(),
+            experiment_->schema().num_features());
+  EXPECT_EQ(display.x_true.size(), display.x_pred.size());
+  EXPECT_EQ(display.x_true, display.x_pred) << "identical rows decode alike";
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,295 @@
+// Tests for the synthetic dataset generators: Table I layout fidelity,
+// cleaning counts, determinism, causal ground-truth signal and label
+// balance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/preprocess.h"
+#include "src/datasets/adult.h"
+#include "src/datasets/census.h"
+#include "src/datasets/law.h"
+#include "src/datasets/registry.h"
+
+namespace cfx {
+namespace {
+
+struct DatasetCase {
+  DatasetId id;
+  // Expected Table I attribute counts: categorical / binary / continuous.
+  size_t categorical;
+  size_t binary;
+  size_t continuous;
+  // Expected immutable feature names.
+  std::vector<std::string> immutables;
+};
+
+const DatasetCase kCases[] = {
+    {DatasetId::kAdult, 5, 2, 2, {"race", "gender"}},
+    {DatasetId::kCensus, 32, 2, 7, {"race", "gender"}},
+    {DatasetId::kLaw, 1, 3, 6, {"sex"}},
+};
+
+class DatasetParamTest : public ::testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetParamTest, SchemaMatchesTableOne) {
+  const DatasetCase& c = GetParam();
+  auto gen = CreateGenerator(c.id);
+  ASSERT_NE(gen, nullptr);
+  Schema schema = gen->MakeSchema();
+  TypeCounts counts = schema.CountByType();
+  EXPECT_EQ(counts.categorical, c.categorical);
+  EXPECT_EQ(counts.binary, c.binary);
+  EXPECT_EQ(counts.continuous, c.continuous);
+  EXPECT_EQ(schema.num_features(),
+            c.categorical + c.binary + c.continuous);
+}
+
+TEST_P(DatasetParamTest, ImmutablesMatchPaper) {
+  const DatasetCase& c = GetParam();
+  auto gen = CreateGenerator(c.id);
+  Schema schema = gen->MakeSchema();
+  std::vector<std::string> names;
+  for (size_t i : schema.ImmutableIndices()) {
+    names.push_back(schema.feature(i).name);
+  }
+  EXPECT_EQ(names, c.immutables);
+}
+
+TEST_P(DatasetParamTest, CleaningLeavesExactlyCleanRows) {
+  const DatasetCase& c = GetParam();
+  auto gen = CreateGenerator(c.id);
+  Rng rng(17);
+  Table raw = gen->Generate(1000, 800, &rng);
+  EXPECT_EQ(raw.num_rows(), 1000u);
+  CleaningReport report;
+  Table clean = DropMissingRows(raw, &report);
+  EXPECT_EQ(report.rows_after, 800u);
+  EXPECT_EQ(clean.num_rows(), 800u);
+}
+
+TEST_P(DatasetParamTest, GenerationIsDeterministic) {
+  const DatasetCase& c = GetParam();
+  auto gen = CreateGenerator(c.id);
+  Rng r1(5), r2(5);
+  Table a = gen->Generate(100, 90, &r1);
+  Table b = gen->Generate(100, 90, &r2);
+  for (size_t f = 0; f < a.num_features(); ++f) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      if (a.column(f).IsMissing(r)) {
+        EXPECT_TRUE(b.column(f).IsMissing(r));
+      } else {
+        EXPECT_DOUBLE_EQ(a.column(f).value(r), b.column(f).value(r));
+      }
+    }
+  }
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST_P(DatasetParamTest, ValuesRespectDeclaredBounds) {
+  const DatasetCase& c = GetParam();
+  auto gen = CreateGenerator(c.id);
+  Rng rng(23);
+  Table t = gen->Generate(500, 500, &rng);
+  for (size_t f = 0; f < t.num_features(); ++f) {
+    const FeatureSpec& spec = t.schema().feature(f);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      const double v = t.column(f).value(r);
+      switch (spec.type) {
+        case FeatureType::kContinuous:
+          EXPECT_GE(v, spec.lower) << spec.name;
+          EXPECT_LE(v, spec.upper) << spec.name;
+          break;
+        case FeatureType::kBinary:
+          EXPECT_TRUE(v == 0.0 || v == 1.0) << spec.name;
+          break;
+        case FeatureType::kCategorical:
+          EXPECT_GE(v, 0.0) << spec.name;
+          EXPECT_LT(v, static_cast<double>(spec.categories.size()))
+              << spec.name;
+          EXPECT_EQ(v, std::floor(v)) << spec.name << " index is integral";
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(DatasetParamTest, PaperInstanceCountsMatchTableOne) {
+  const DatasetInfo& info = GetDatasetInfo(GetParam().id);
+  // Table I numbers.
+  switch (info.id) {
+    case DatasetId::kAdult:
+      EXPECT_EQ(info.TotalInstances(Scale::kPaper), 48842u);
+      EXPECT_EQ(info.CleanInstances(Scale::kPaper), 32561u);
+      break;
+    case DatasetId::kCensus:
+      EXPECT_EQ(info.TotalInstances(Scale::kPaper), 299285u);
+      EXPECT_EQ(info.CleanInstances(Scale::kPaper), 199522u);
+      break;
+    case DatasetId::kLaw:
+      EXPECT_EQ(info.TotalInstances(Scale::kPaper), 20798u);
+      EXPECT_EQ(info.CleanInstances(Scale::kPaper), 20512u);
+      break;
+  }
+  // Small scale preserves the cleaned/total ratio within rounding.
+  const double paper_ratio =
+      static_cast<double>(info.paper_clean_instances) /
+      static_cast<double>(info.paper_total_instances);
+  const double small_ratio =
+      static_cast<double>(info.CleanInstances(Scale::kSmall)) /
+      static_cast<double>(info.TotalInstances(Scale::kSmall));
+  EXPECT_NEAR(small_ratio, paper_ratio, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetParamTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) {
+                           return std::string(
+                               info.param.id == DatasetId::kAdult ? "Adult"
+                               : info.param.id == DatasetId::kCensus
+                                   ? "Census"
+                                   : "Law");
+                         });
+
+// ---- causal ground truth ------------------------------------------------------
+
+TEST(AdultTest, EducationRisesWithAge) {
+  AdultGenerator gen;
+  Rng rng(31);
+  Table t = gen.Generate(4000, 4000, &rng);
+  auto age_idx = t.schema().FeatureIndex("age");
+  auto edu_idx = t.schema().FeatureIndex("education");
+  double young_edu = 0, old_edu = 0;
+  size_t young_n = 0, old_n = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double age = t.column(*age_idx).value(r);
+    const double edu = t.column(*edu_idx).value(r);
+    if (age < 25) {
+      young_edu += edu;
+      ++young_n;
+    } else if (age > 40) {
+      old_edu += edu;
+      ++old_n;
+    }
+  }
+  ASSERT_GT(young_n, 50u);
+  ASSERT_GT(old_n, 50u);
+  EXPECT_GT(old_edu / old_n, young_edu / young_n + 0.5)
+      << "causal edge age -> education must be visible";
+}
+
+TEST(AdultTest, EducationPredictsIncome) {
+  AdultGenerator gen;
+  Rng rng(32);
+  Table t = gen.Generate(4000, 4000, &rng);
+  auto edu_idx = t.schema().FeatureIndex("education");
+  double lo = 0, hi = 0;
+  size_t lo_n = 0, hi_n = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double edu = t.column(*edu_idx).value(r);
+    if (edu <= 1) {
+      lo += t.label(r);
+      ++lo_n;
+    } else if (edu >= 4) {
+      hi += t.label(r);
+      ++hi_n;
+    }
+  }
+  EXPECT_GT(hi / hi_n, lo / lo_n + 0.2)
+      << "education must carry income signal";
+}
+
+TEST(AdultTest, LabelBalanceRealistic) {
+  AdultGenerator gen;
+  Rng rng(33);
+  Table t = gen.Generate(4000, 4000, &rng);
+  EXPECT_GT(t.PositiveRate(), 0.15);
+  EXPECT_LT(t.PositiveRate(), 0.45);
+}
+
+TEST(CensusTest, ImbalancedLikeKdd) {
+  CensusGenerator gen;
+  Rng rng(34);
+  Table t = gen.Generate(4000, 4000, &rng);
+  EXPECT_GT(t.PositiveRate(), 0.04);
+  EXPECT_LT(t.PositiveRate(), 0.30) << "KDD census is minority-positive";
+}
+
+TEST(LawTest, TierRisesWithLsat) {
+  LawGenerator gen;
+  Rng rng(35);
+  Table t = gen.Generate(4000, 4000, &rng);
+  auto lsat_idx = t.schema().FeatureIndex("lsat");
+  auto tier_idx = t.schema().FeatureIndex("tier");
+  double lo_tier = 0, hi_tier = 0;
+  size_t lo_n = 0, hi_n = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double lsat = t.column(*lsat_idx).value(r);
+    const double tier = t.column(*tier_idx).value(r);
+    if (lsat < 28) {
+      lo_tier += tier;
+      ++lo_n;
+    } else if (lsat > 36) {
+      hi_tier += tier;
+      ++hi_n;
+    }
+  }
+  ASSERT_GT(lo_n, 30u);
+  ASSERT_GT(hi_n, 30u);
+  EXPECT_GT(hi_tier / hi_n, lo_tier / lo_n + 1.0)
+      << "causal edge tier -> lsat (selective tiers demand higher LSAT)";
+}
+
+TEST(LawTest, MajorityPassesBar) {
+  LawGenerator gen;
+  Rng rng(36);
+  Table t = gen.Generate(4000, 4000, &rng);
+  EXPECT_GT(t.PositiveRate(), 0.6);
+  EXPECT_LT(t.PositiveRate(), 0.95);
+}
+
+TEST(RegistryTest, InjectMissingExactCount) {
+  AdultGenerator gen;
+  Rng rng(37);
+  Table t = gen.Generate(200, 150, &rng);
+  size_t missing_rows = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) missing_rows += t.RowHasMissing(r);
+  EXPECT_EQ(missing_rows, 50u);
+}
+
+TEST(RegistryTest, DatasetNames) {
+  EXPECT_STREQ(DatasetName(DatasetId::kAdult), "Adult");
+  EXPECT_STREQ(DatasetName(DatasetId::kCensus), "KDD-Census Income");
+  EXPECT_STREQ(DatasetName(DatasetId::kLaw), "Law School");
+}
+
+TEST(RegistryTest, ConstraintFeaturesExistInSchema) {
+  for (DatasetId id :
+       {DatasetId::kAdult, DatasetId::kCensus, DatasetId::kLaw}) {
+    auto gen = CreateGenerator(id);
+    Schema schema = gen->MakeSchema();
+    const DatasetInfo& info = gen->info();
+    EXPECT_TRUE(schema.FeatureIndex(info.unary_feature).ok()) << info.name;
+    EXPECT_TRUE(schema.FeatureIndex(info.binary_cause).ok()) << info.name;
+    EXPECT_TRUE(schema.FeatureIndex(info.binary_effect).ok()) << info.name;
+  }
+}
+
+TEST(RegistryTest, TableIIIHyperparameters) {
+  const DatasetInfo& adult = GetDatasetInfo(DatasetId::kAdult);
+  EXPECT_FLOAT_EQ(adult.unary_hyper.learning_rate, 0.2f);
+  EXPECT_EQ(adult.unary_hyper.batch_size, 2048u);
+  EXPECT_EQ(adult.unary_hyper.epochs, 25u);
+  EXPECT_EQ(adult.binary_hyper.epochs, 50u);
+
+  const DatasetInfo& census = GetDatasetInfo(DatasetId::kCensus);
+  EXPECT_FLOAT_EQ(census.unary_hyper.learning_rate, 0.1f);
+  EXPECT_EQ(census.binary_hyper.epochs, 25u);
+
+  const DatasetInfo& law = GetDatasetInfo(DatasetId::kLaw);
+  EXPECT_FLOAT_EQ(law.binary_hyper.learning_rate, 0.2f);
+  EXPECT_EQ(law.binary_hyper.epochs, 50u);
+}
+
+}  // namespace
+}  // namespace cfx

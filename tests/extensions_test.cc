@@ -1,0 +1,347 @@
+// Tests for the extension modules: constraint discovery (§V future work),
+// diverse CF generation, faithfulness metrics and weight serialisation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/constraints/discovery.h"
+#include "src/core/diverse.h"
+#include "src/core/experiment.h"
+#include "src/metrics/faithfulness.h"
+#include "src/nn/serialize.h"
+
+namespace cfx {
+namespace {
+
+class ExtensionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 4242;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+    experiment_ = std::move(*exp).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static Experiment* experiment_;
+};
+
+Experiment* ExtensionFixture::experiment_ = nullptr;
+
+// ---- constraint discovery ------------------------------------------------------
+
+TEST_F(ExtensionFixture, DiscoversTheAgeEducationRelation) {
+  auto candidates = DiscoverConstraints(experiment_->encoder(),
+                                        experiment_->x_train());
+  ASSERT_FALSE(candidates.empty());
+  // The generator's causal ground truth (age -> education) must surface as
+  // a discovered pair, in at least one direction.
+  bool found = false;
+  for (const ConstraintCandidate& c : candidates) {
+    if ((c.cause == "age" && c.effect == "education") ||
+        (c.cause == "education" && c.effect == "age")) {
+      found = true;
+      EXPECT_GT(c.correlation, 0.3);
+      EXPECT_GT(c.c2, 0.0);
+    }
+  }
+  EXPECT_TRUE(found) << "age<->education is the strongest planted relation";
+}
+
+TEST_F(ExtensionFixture, DiscoveryNeverProposesImmutables) {
+  auto candidates = DiscoverConstraints(experiment_->encoder(),
+                                        experiment_->x_train());
+  for (const ConstraintCandidate& c : candidates) {
+    EXPECT_NE(c.cause, "race");
+    EXPECT_NE(c.cause, "gender");
+    EXPECT_NE(c.effect, "race");
+    EXPECT_NE(c.effect, "gender");
+  }
+}
+
+TEST_F(ExtensionFixture, DiscoveryRanksByCorrelation) {
+  auto candidates = DiscoverConstraints(experiment_->encoder(),
+                                        experiment_->x_train());
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_GE(std::fabs(candidates[i - 1].correlation),
+              std::fabs(candidates[i].correlation));
+  }
+}
+
+TEST_F(ExtensionFixture, DiscoveryRespectsThresholds) {
+  DiscoveryConfig strict;
+  strict.min_correlation = 0.99;  // Nothing in real-ish data clears this.
+  auto candidates = DiscoverConstraints(experiment_->encoder(),
+                                        experiment_->x_train(), strict);
+  EXPECT_TRUE(candidates.empty());
+
+  DiscoveryConfig loose;
+  loose.min_correlation = 0.05;
+  loose.max_candidates = 3;
+  auto capped = DiscoverConstraints(experiment_->encoder(),
+                                    experiment_->x_train(), loose);
+  EXPECT_LE(capped.size(), 3u);
+}
+
+TEST_F(ExtensionFixture, DiscoveredConstraintsAreCheckable) {
+  auto candidates = DiscoverConstraints(experiment_->encoder(),
+                                        experiment_->x_train());
+  ASSERT_FALSE(candidates.empty());
+  ConstraintSet set = MakeDiscoveredConstraintSet(candidates, 2);
+  EXPECT_EQ(set.size(), std::min<size_t>(2, candidates.size()));
+  // Identity pair always satisfies an implication constraint.
+  Matrix row = experiment_->x_train().Row(0);
+  EXPECT_TRUE(set.AllSatisfied(experiment_->encoder(), row, row,
+                               ConstraintTolerance()));
+}
+
+TEST(DiscoveryUnitTest, PerfectLinearRelationIsRecovered) {
+  // Synthetic 2-feature table: b = 0.5 * a exactly.
+  Schema schema(
+      {{"a", FeatureType::kContinuous, {}, false, 0, 1},
+       {"b", FeatureType::kContinuous, {}, false, 0, 1}},
+      "y", {"n", "p"});
+  Table t(schema);
+  for (int i = 0; i < 100; ++i) {
+    const double a = i / 100.0;
+    CFX_CHECK_OK(t.AppendRow({a, 0.5 * a}, 0));
+  }
+  TabularEncoder encoder(schema);
+  CFX_CHECK_OK(encoder.Fit(t));
+  auto x = encoder.Transform(t);
+  ASSERT_TRUE(x.ok());
+  auto candidates = DiscoverConstraints(encoder, *x);
+  ASSERT_GE(candidates.size(), 2u) << "both directions are proposed";
+  EXPECT_NEAR(candidates[0].correlation, 1.0, 1e-6);
+  // For the a -> b direction the normalised slope is 1 (both features span
+  // their own [0,1] after min-max).
+  for (const auto& c : candidates) {
+    EXPECT_NEAR(std::fabs(c.correlation), 1.0, 1e-6);
+    EXPECT_NEAR(c.c2, 1.0, 1e-4);
+  }
+}
+
+TEST(DiscoveryUnitTest, CandidateToStringMentionsPair) {
+  ConstraintCandidate c;
+  c.cause = "tier";
+  c.effect = "lsat";
+  c.correlation = 0.8;
+  std::string s = c.ToString();
+  EXPECT_NE(s.find("tier"), std::string::npos);
+  EXPECT_NE(s.find("lsat"), std::string::npos);
+}
+
+// ---- diverse generation ---------------------------------------------------------
+
+TEST_F(ExtensionFixture, DiverseSetsAreValidFeasibleAndDistinct) {
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator generator(experiment_->method_context(), config);
+  ASSERT_TRUE(
+      generator.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+
+  Matrix x = experiment_->TestSubset(20);
+  DiverseConfig diverse_config;
+  diverse_config.k = 3;
+  Rng rng(7);
+  auto sets = GenerateDiverse(&generator, x, diverse_config, &rng);
+  ASSERT_EQ(sets.size(), 20u);
+
+  size_t non_empty = 0;
+  size_t multi = 0;
+  for (size_t r = 0; r < sets.size(); ++r) {
+    const DiverseCfSet& set = sets[r];
+    if (set.cfs.rows() == 0) continue;
+    ++non_empty;
+    EXPECT_LE(set.cfs.rows(), 3u);
+    multi += set.cfs.rows() >= 2;
+    // Every member flips the classifier to the desired class.
+    std::vector<int> pred =
+        experiment_->classifier()->Predict(set.cfs);
+    for (int p : pred) EXPECT_EQ(p, set.desired);
+    // Feasibility flags were required.
+    for (bool feasible : set.feasible) EXPECT_TRUE(feasible);
+    // Members are pairwise separated by the configured floor.
+    for (size_t i = 0; i < set.cfs.rows(); ++i) {
+      for (size_t j = i + 1; j < set.cfs.rows(); ++j) {
+        float dist = 0.0f;
+        for (size_t c = 0; c < set.cfs.cols(); ++c) {
+          dist += std::fabs(set.cfs.at(i, c) - set.cfs.at(j, c));
+        }
+        EXPECT_GE(dist, diverse_config.min_separation - 1e-5f);
+      }
+    }
+  }
+  EXPECT_GT(non_empty, 14u) << "diverse generation succeeds for most inputs";
+  // Hard one-hot projection + the min_separation floor coarsen the
+  // candidate space, so not every input admits multiple *distinct*
+  // feasible CFs; at least a couple must.
+  EXPECT_GE(multi, 2u) << "some inputs get genuinely multiple options";
+  EXPECT_GT(MeanDiversity(sets), 0.0);
+}
+
+TEST_F(ExtensionFixture, SampledGenerationVariesAcrossDraws) {
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  config.epochs = 5;
+  config.max_restarts = 0;
+  FeasibleCfGenerator generator(experiment_->method_context(), config);
+  ASSERT_TRUE(
+      generator.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  Matrix x = experiment_->TestSubset(10);
+  Rng rng(9);
+  CfResult a = generator.GenerateSampled(x, 2.0f, &rng);
+  CfResult b = generator.GenerateSampled(x, 2.0f, &rng);
+  EXPECT_NE(a.cfs_raw, b.cfs_raw) << "different noise, different candidates";
+}
+
+// ---- faithfulness -----------------------------------------------------------------
+
+TEST_F(ExtensionFixture, TrainingRowsAreFaithfulToThemselves) {
+  // Using actual training rows as "counterfactuals" must look on-manifold
+  // and connected.
+  CfResult result;
+  result.inputs = experiment_->x_train().SliceRows(0, 80);
+  result.cfs = result.inputs;
+  result.cfs_raw = result.inputs;
+  std::vector<int> pred = experiment_->classifier()->Predict(result.cfs);
+  result.predicted = pred;
+  result.desired = pred;
+  std::vector<int> train_pred =
+      experiment_->classifier()->Predict(experiment_->x_train());
+  FaithfulnessResult f = EvaluateFaithfulness(
+      experiment_->x_train(), train_pred, result);
+  // The reference set is a strided subsample, so the queried rows are not
+  // guaranteed to be in it: the expected pass rate is the quantile (95%)
+  // minus sampling noise, not exactly 100%.
+  EXPECT_GT(f.on_manifold_percent, 82.0);
+  EXPECT_GT(f.connected_percent, 85.0);
+  EXPECT_LT(f.mean_outlier_score, 1.2) << "self-rows are not outliers";
+}
+
+TEST_F(ExtensionFixture, RandomNoiseIsOffManifold) {
+  Rng rng(13);
+  CfResult result;
+  result.inputs = experiment_->x_train().SliceRows(0, 30);
+  // Uniform random vectors ignore the one-hot structure entirely.
+  result.cfs = Matrix::RandomUniform(
+      30, experiment_->encoder().encoded_width(), 0.0f, 1.0f, &rng);
+  result.cfs_raw = result.cfs;
+  result.predicted.assign(30, 1);
+  result.desired.assign(30, 1);
+  std::vector<int> train_pred =
+      experiment_->classifier()->Predict(experiment_->x_train());
+  FaithfulnessResult f = EvaluateFaithfulness(
+      experiment_->x_train(), train_pred, result);
+  EXPECT_LT(f.on_manifold_percent, 20.0);
+  EXPECT_GT(f.mean_outlier_score, 1.5);
+}
+
+TEST_F(ExtensionFixture, GeneratorCfsAreMoreFaithfulThanNoise) {
+  GeneratorConfig config =
+      GeneratorConfig::FromDataset(experiment_->info(), ConstraintMode::kUnary);
+  FeasibleCfGenerator generator(experiment_->method_context(), config);
+  ASSERT_TRUE(
+      generator.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  CfResult result = generator.Generate(experiment_->TestSubset(40));
+  std::vector<int> train_pred =
+      experiment_->classifier()->Predict(experiment_->x_train());
+  FaithfulnessResult f = EvaluateFaithfulness(
+      experiment_->x_train(), train_pred, result);
+  EXPECT_GT(f.on_manifold_percent, 50.0);
+}
+
+// ---- serialization ------------------------------------------------------------------
+
+TEST(SerializeTest, RoundTripsParameters) {
+  Rng rng(1);
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>(4, 8, &rng));
+  net.Add(std::make_unique<nn::ReluLayer>());
+  net.Add(std::make_unique<nn::Linear>(8, 2, &rng));
+  const std::string path = ::testing::TempDir() + "/cfx_weights.bin";
+  CFX_CHECK_OK(nn::SaveParameters(net.Parameters(), path));
+
+  Rng rng2(999);  // Different init.
+  nn::Sequential restored;
+  restored.Add(std::make_unique<nn::Linear>(4, 8, &rng2));
+  restored.Add(std::make_unique<nn::ReluLayer>());
+  restored.Add(std::make_unique<nn::Linear>(8, 2, &rng2));
+  CFX_CHECK_OK(nn::LoadParameters(restored.Parameters(), path));
+
+  // Identical forward behaviour.
+  Matrix x = Matrix::RandomUniform(5, 4, 0.0f, 1.0f, &rng);
+  ag::Var ya = net.Forward(ag::Constant(x));
+  ag::Var yb = restored.Forward(ag::Constant(x));
+  EXPECT_EQ(ya->value, yb->value);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  Rng rng(2);
+  nn::Linear small(3, 3, &rng);
+  nn::Linear big(4, 4, &rng);
+  const std::string path = ::testing::TempDir() + "/cfx_weights_mismatch.bin";
+  CFX_CHECK_OK(nn::SaveParameters(small.Parameters(), path));
+  Status status = nn::LoadParameters(big.Parameters(), path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsWrongTensorCount) {
+  Rng rng(3);
+  nn::Linear one(3, 3, &rng);
+  nn::Sequential two;
+  two.Add(std::make_unique<nn::Linear>(3, 3, &rng));
+  two.Add(std::make_unique<nn::Linear>(3, 3, &rng));
+  const std::string path = ::testing::TempDir() + "/cfx_weights_count.bin";
+  CFX_CHECK_OK(nn::SaveParameters(one.Parameters(), path));
+  EXPECT_FALSE(nn::LoadParameters(two.Parameters(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/cfx_weights_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("this is not a weight file", f);
+  fclose(f);
+  Rng rng(4);
+  nn::Linear layer(2, 2, &rng);
+  EXPECT_FALSE(nn::LoadParameters(layer.Parameters(), path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  Rng rng(5);
+  nn::Linear layer(2, 2, &rng);
+  EXPECT_EQ(nn::LoadParameters(layer.Parameters(), "/nonexistent/x.bin")
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, VaeRoundTrip) {
+  Rng rng(6);
+  VaeConfig config;
+  config.input_dim = 7;
+  Vae vae(config, &rng);
+  const std::string path = ::testing::TempDir() + "/cfx_vae.bin";
+  CFX_CHECK_OK(nn::SaveParameters(vae.Parameters(), path));
+
+  Rng rng2(77);
+  Vae restored(config, &rng2);
+  CFX_CHECK_OK(nn::LoadParameters(restored.Parameters(), path));
+  Matrix z = Matrix::RandomNormal(3, config.latent_dim, 0.0f, 1.0f, &rng);
+  Matrix cond(3, 1, 1.0f);
+  EXPECT_EQ(vae.Decode(z, cond), restored.Decode(z, cond));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cfx

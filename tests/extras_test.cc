@@ -1,0 +1,330 @@
+// Tests for the second wave of extension modules: the VP-tree kNN index,
+// classification metrics, the SVG scatter writer and the DiCE-gradient
+// baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "src/baselines/dice_gradient.h"
+#include "src/core/experiment.h"
+#include "src/manifold/knn.h"
+#include "src/manifold/svg.h"
+#include "src/metrics/classification.h"
+
+namespace cfx {
+namespace {
+
+// ---- kNN index -----------------------------------------------------------------
+
+/// Brute-force reference for exactness checks.
+std::vector<Neighbor> BruteForce(const Matrix& data, const Matrix& query,
+                                 size_t k, size_t exclude = static_cast<size_t>(-1)) {
+  std::vector<Neighbor> all;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (i == exclude) continue;
+    double acc = 0.0;
+    for (size_t c = 0; c < data.cols(); ++c) {
+      const double d = static_cast<double>(query.at(0, c)) - data.at(i, c);
+      acc += d * d;
+    }
+    all.push_back({i, static_cast<float>(std::sqrt(acc))});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(KnnIndexTest, ExactAgainstBruteForce) {
+  Rng rng(1);
+  Matrix data = Matrix::RandomUniform(300, 12, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  for (int trial = 0; trial < 25; ++trial) {
+    Matrix query = Matrix::RandomUniform(1, 12, 0.0f, 1.0f, &rng);
+    auto got = index.Query(query, 7);
+    auto want = BruteForce(data, query, 7);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-5f)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(KnnIndexTest, QuerySelfExcludesTheRow) {
+  Rng rng(2);
+  Matrix data = Matrix::RandomUniform(100, 6, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  for (size_t row = 0; row < 10; ++row) {
+    auto hits = index.QuerySelf(row, 5);
+    ASSERT_EQ(hits.size(), 5u);
+    for (const Neighbor& hit : hits) {
+      EXPECT_NE(hit.index, row);
+      EXPECT_GT(hit.distance, 0.0f);
+    }
+    // Matches brute force with exclusion.
+    auto want = BruteForce(data, data.Row(row), 5, row);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_NEAR(hits[i].distance, want[i].distance, 1e-5f);
+    }
+  }
+}
+
+TEST(KnnIndexTest, DuplicatePointsHandled) {
+  Matrix data(10, 3, 0.5f);  // All identical.
+  Rng rng(3);
+  KnnIndex index(data, &rng);
+  auto hits = index.Query(data.Row(0), 4);
+  ASSERT_EQ(hits.size(), 4u);
+  for (const Neighbor& hit : hits) EXPECT_FLOAT_EQ(hit.distance, 0.0f);
+}
+
+TEST(KnnIndexTest, KLargerThanIndexReturnsAll) {
+  Rng rng(4);
+  Matrix data = Matrix::RandomUniform(5, 2, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  Matrix query(1, 2, 0.5f);
+  EXPECT_EQ(index.Query(query, 50).size(), 5u);
+}
+
+TEST(KnnIndexTest, StrategySwitchesOnDimensionality) {
+  Rng rng(8);
+  KnnIndex low(Matrix::RandomUniform(50, 8, 0.0f, 1.0f, &rng), &rng);
+  KnnIndex high(Matrix::RandomUniform(50, 64, 0.0f, 1.0f, &rng), &rng);
+  EXPECT_TRUE(low.uses_tree());
+  EXPECT_FALSE(high.uses_tree());
+}
+
+TEST(KnnIndexTest, ScanPathExactAtHighDimensionality) {
+  Rng rng(9);
+  Matrix data = Matrix::RandomUniform(250, 28, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  ASSERT_FALSE(index.uses_tree());
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix query = Matrix::RandomUniform(1, 28, 0.0f, 1.0f, &rng);
+    auto got = index.Query(query, 6);
+    auto want = BruteForce(data, query, 6);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-5f);
+    }
+  }
+  // Self-queries exclude the row on the scan path too.
+  auto self_hits = index.QuerySelf(3, 4);
+  for (const Neighbor& hit : self_hits) EXPECT_NE(hit.index, 3u);
+}
+
+TEST(KnnIndexTest, SortedAscending) {
+  Rng rng(5);
+  Matrix data = Matrix::RandomNormal(200, 4, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  Matrix query(1, 4);
+  auto hits = index.Query(query, 20);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+}
+
+// ---- classification metrics -----------------------------------------------------
+
+TEST(ClassificationTest, PerfectClassifier) {
+  Matrix logits(4, 1);
+  logits.at(0, 0) = 2.0f;
+  logits.at(1, 0) = 3.0f;
+  logits.at(2, 0) = -1.0f;
+  logits.at(3, 0) = -2.0f;
+  ClassificationReport r = EvaluateClassifier(logits, {1, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_DOUBLE_EQ(r.balanced_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.auc, 1.0);
+}
+
+TEST(ClassificationTest, ConfusionCounts) {
+  Matrix logits(4, 1);
+  logits.at(0, 0) = 1.0f;   // pred 1, actual 1 -> TP
+  logits.at(1, 0) = 1.0f;   // pred 1, actual 0 -> FP
+  logits.at(2, 0) = -1.0f;  // pred 0, actual 1 -> FN
+  logits.at(3, 0) = -1.0f;  // pred 0, actual 0 -> TN
+  ClassificationReport r = EvaluateClassifier(logits, {1, 0, 1, 0});
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+  EXPECT_EQ(r.false_negatives, 1u);
+  EXPECT_EQ(r.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(r.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+TEST(ClassificationTest, AucInvariantToMonotoneLogitTransform) {
+  Rng rng(6);
+  Matrix logits(100, 1);
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < 100; ++i) {
+    labels[i] = rng.Bernoulli(0.4) ? 1 : 0;
+    logits.at(i, 0) =
+        static_cast<float>(rng.Normal(labels[i] == 1 ? 1.0 : -0.5, 1.0));
+  }
+  ClassificationReport a = EvaluateClassifier(logits, labels);
+  Matrix scaled = logits * 7.0f;  // Monotone transform preserves ranking.
+  ClassificationReport b = EvaluateClassifier(scaled, labels);
+  EXPECT_NEAR(a.auc, b.auc, 1e-9);
+  EXPECT_GT(a.auc, 0.6);
+}
+
+TEST(ClassificationTest, RandomScoresGiveHalfAuc) {
+  Rng rng(7);
+  Matrix logits(2000, 1);
+  std::vector<int> labels(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    logits.at(i, 0) = static_cast<float>(rng.Normal());
+  }
+  ClassificationReport r = EvaluateClassifier(logits, labels);
+  EXPECT_NEAR(r.auc, 0.5, 0.04);
+}
+
+TEST(ClassificationTest, TiesGetMidrank) {
+  // All logits equal: AUC must be exactly 0.5 by midranking.
+  Matrix logits(6, 1, 0.3f);
+  ClassificationReport r = EvaluateClassifier(logits, {1, 0, 1, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(r.auc, 0.5);
+}
+
+TEST(ClassificationTest, DegenerateSingleClass) {
+  Matrix logits(3, 1, 1.0f);
+  ClassificationReport r = EvaluateClassifier(logits, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(r.auc, 0.0) << "AUC undefined without both classes";
+}
+
+TEST(ClassificationTest, ToStringContainsHeadlineNumbers) {
+  Matrix logits(2, 1);
+  logits.at(0, 0) = 1.0f;
+  logits.at(1, 0) = -1.0f;
+  std::string s = EvaluateClassifier(logits, {1, 0}).ToString();
+  EXPECT_NE(s.find("acc=1.000"), std::string::npos);
+  EXPECT_NE(s.find("auc=1.000"), std::string::npos);
+}
+
+// ---- SVG writer --------------------------------------------------------------------
+
+TEST(SvgTest, RendersWellFormedDocument) {
+  Matrix y(3, 2);
+  y.at(0, 0) = 0.0f;  y.at(0, 1) = 0.0f;
+  y.at(1, 0) = 1.0f;  y.at(1, 1) = 2.0f;
+  y.at(2, 0) = -1.0f; y.at(2, 1) = 0.5f;
+  std::string svg = RenderSvgScatter(y, {1, 0, 1}, "Adult manifold");
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Adult manifold"), std::string::npos);
+  // Three points + two legend dots = five circles.
+  size_t circles = 0;
+  for (size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 5u);
+  // Both class colours present.
+  EXPECT_NE(svg.find("#e6b800"), std::string::npos);
+  EXPECT_NE(svg.find("#5b2a86"), std::string::npos);
+}
+
+TEST(SvgTest, WritesFile) {
+  Matrix y(2, 2);
+  y.at(1, 0) = 1.0f;
+  y.at(1, 1) = 1.0f;
+  const std::string path = ::testing::TempDir() + "/cfx_scatter.svg";
+  CFX_CHECK_OK(WriteSvgScatter(y, {0, 1}, "t", path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgTest, EmptyEmbeddingStillValid) {
+  Matrix y(0, 2);
+  std::string svg = RenderSvgScatter(y, {}, "empty");
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+// ---- DiCE gradient ------------------------------------------------------------------
+
+TEST(DiceGradientTest, FlipsAndStaysOnManifold) {
+  RunConfig config;
+  config.scale = Scale::kSmall;
+  config.seed = 31;
+  auto experiment = Experiment::Create(DatasetId::kAdult, config);
+  ASSERT_TRUE(experiment.ok());
+  Experiment& exp = **experiment;
+
+  DiceGradientMethod dice(exp.method_context());
+  ASSERT_TRUE(dice.Fit(exp.x_train(), exp.y_train()).ok());
+  Matrix x = exp.TestSubset(40);
+  CfResult result = dice.Generate(x);
+
+  size_t valid = 0;
+  for (size_t i = 0; i < result.size(); ++i) valid += result.IsValid(i);
+  EXPECT_GT(valid, 20u) << "joint gradient search flips a majority";
+
+  // Candidate sets exist per input and respect immutables.
+  const auto& sets = dice.last_candidate_sets();
+  ASSERT_EQ(sets.size(), 40u);
+  const TabularEncoder& encoder = exp.encoder();
+  for (size_t r = 0; r < sets.size(); ++r) {
+    ASSERT_EQ(sets[r].candidates.rows(), 4u);
+    for (size_t i = 0; i < sets[r].candidates.rows(); ++i) {
+      for (size_t fi : encoder.schema().ImmutableIndices()) {
+        EXPECT_EQ(encoder.FeatureValue(sets[r].candidates.Row(i), fi),
+                  encoder.FeatureValue(x.Row(r), fi));
+      }
+    }
+  }
+}
+
+TEST(DiceGradientTest, DiversityTermSpreadsCandidates) {
+  RunConfig config;
+  config.scale = Scale::kSmall;
+  config.seed = 32;
+  auto experiment = Experiment::Create(DatasetId::kAdult, config);
+  ASSERT_TRUE(experiment.ok());
+  Experiment& exp = **experiment;
+  Matrix x = exp.TestSubset(15);
+
+  auto mean_spread = [&](float diversity_lambda) {
+    DiceGradientConfig dc;
+    dc.diversity_lambda = diversity_lambda;
+    DiceGradientMethod dice(exp.method_context(), dc);
+    (void)dice.Fit(exp.x_train(), exp.y_train());
+    (void)dice.Generate(x);
+    double total = 0.0;
+    size_t pairs = 0;
+    for (const auto& set : dice.last_candidate_sets()) {
+      for (size_t i = 0; i < set.candidates.rows(); ++i) {
+        for (size_t j = i + 1; j < set.candidates.rows(); ++j) {
+          double dist = 0.0;
+          for (size_t c = 0; c < set.candidates.cols(); ++c) {
+            dist += std::fabs(set.candidates.at(i, c) -
+                              set.candidates.at(j, c));
+          }
+          total += dist;
+          ++pairs;
+        }
+      }
+    }
+    return total / static_cast<double>(pairs);
+  };
+  EXPECT_GT(mean_spread(2.0f), mean_spread(0.0f))
+      << "the diversity term must measurably spread the candidates";
+}
+
+}  // namespace
+}  // namespace cfx

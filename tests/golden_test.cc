@@ -1,0 +1,96 @@
+// Golden tests: the configuration-derived outputs (Table I rows, Table III
+// rows, the VAE architecture summary) must match the paper's values exactly
+// — these tables are pure configuration, so any drift is a regression, not
+// an experimental difference.
+#include <gtest/gtest.h>
+
+#include "src/common/string_util.h"
+#include "src/core/generator.h"
+#include "src/datasets/registry.h"
+#include "src/models/vae.h"
+
+namespace cfx {
+namespace {
+
+TEST(GoldenTest, TableOneRows) {
+  struct Row {
+    DatasetId id;
+    const char* name;
+    size_t total;
+    size_t cleaned;
+    const char* attrs;  // cat/bin/num
+    const char* target;
+  };
+  const Row kExpected[] = {
+      {DatasetId::kAdult, "Adult", 48842, 32561, "5/2/2", "Income"},
+      {DatasetId::kCensus, "KDD-Census Income", 299285, 199522, "32/2/7",
+       "Income"},
+      {DatasetId::kLaw, "Law School", 20798, 20512, "1/3/6", "Pass the bar"},
+  };
+  for (const Row& row : kExpected) {
+    auto gen = CreateGenerator(row.id);
+    const DatasetInfo& info = gen->info();
+    EXPECT_EQ(info.name, row.name);
+    EXPECT_EQ(info.paper_total_instances, row.total);
+    EXPECT_EQ(info.paper_clean_instances, row.cleaned);
+    TypeCounts counts = gen->MakeSchema().CountByType();
+    EXPECT_EQ(StrFormat("%zu/%zu/%zu", counts.categorical, counts.binary,
+                        counts.continuous),
+              row.attrs);
+    EXPECT_EQ(info.target_class, row.target);
+  }
+}
+
+TEST(GoldenTest, TableThreeRows) {
+  struct Row {
+    DatasetId id;
+    ConstraintMode mode;
+    float lr;
+    size_t batch;
+    size_t epochs;
+  };
+  const Row kExpected[] = {
+      {DatasetId::kAdult, ConstraintMode::kUnary, 0.2f, 2048, 25},
+      {DatasetId::kAdult, ConstraintMode::kBinary, 0.2f, 2048, 50},
+      {DatasetId::kCensus, ConstraintMode::kUnary, 0.1f, 2048, 25},
+      {DatasetId::kCensus, ConstraintMode::kBinary, 0.1f, 2048, 25},
+      {DatasetId::kLaw, ConstraintMode::kUnary, 0.2f, 2048, 25},
+      {DatasetId::kLaw, ConstraintMode::kBinary, 0.2f, 2048, 50},
+  };
+  for (const Row& row : kExpected) {
+    GeneratorConfig config =
+        GeneratorConfig::FromDataset(GetDatasetInfo(row.id), row.mode);
+    EXPECT_FLOAT_EQ(config.learning_rate, row.lr);
+    EXPECT_EQ(config.batch_size, row.batch);
+    EXPECT_EQ(config.epochs, row.epochs);
+  }
+}
+
+TEST(GoldenTest, TableTwoArchitecture) {
+  // Layer widths of Table II, pinned.
+  VaeConfig config;
+  EXPECT_EQ(config.latent_dim, 10u);
+  EXPECT_EQ(config.condition_dim, 1u);
+  EXPECT_FLOAT_EQ(config.dropout, 0.3f);
+  EXPECT_EQ(config.encoder_hidden, (std::vector<size_t>{20, 16, 14, 12}));
+  EXPECT_EQ(config.decoder_hidden, (std::vector<size_t>{12, 14, 16, 18}));
+}
+
+TEST(GoldenTest, ConstraintFeaturesPerDataset) {
+  // §IV-E: age / education->age for the income datasets; lsat / tier->lsat
+  // for Law School.
+  const DatasetInfo& adult = GetDatasetInfo(DatasetId::kAdult);
+  EXPECT_EQ(adult.unary_feature, "age");
+  EXPECT_EQ(adult.binary_cause, "education");
+  EXPECT_EQ(adult.binary_effect, "age");
+  const DatasetInfo& census = GetDatasetInfo(DatasetId::kCensus);
+  EXPECT_EQ(census.unary_feature, "age");
+  EXPECT_EQ(census.binary_cause, "education");
+  const DatasetInfo& law = GetDatasetInfo(DatasetId::kLaw);
+  EXPECT_EQ(law.unary_feature, "lsat");
+  EXPECT_EQ(law.binary_cause, "tier");
+  EXPECT_EQ(law.binary_effect, "lsat");
+}
+
+}  // namespace
+}  // namespace cfx

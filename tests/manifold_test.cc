@@ -1,0 +1,199 @@
+// Tests for the manifold module: t-SNE invariants on structured toy data,
+// separability statistics and the ASCII scatter renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+#include "src/manifold/density.h"
+#include "src/manifold/scatter.h"
+#include "src/manifold/tsne.h"
+
+namespace cfx {
+namespace {
+
+/// Two well-separated Gaussian blobs in d dimensions; labels 0/1.
+void MakeBlobs(size_t n, size_t d, Matrix* x, std::vector<int>* labels,
+               Rng* rng, double separation = 6.0) {
+  *x = Matrix(n, d);
+  labels->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = i % 2;
+    (*labels)[i] = label;
+    for (size_t c = 0; c < d; ++c) {
+      const double center = (c == 0 && label == 1) ? separation : 0.0;
+      x->at(i, c) = static_cast<float>(rng->Normal(center, 1.0));
+    }
+  }
+}
+
+TEST(TsneCalibrationTest, HitsTargetPerplexity) {
+  // Uniform distances -> calibration should distribute mass evenly; the
+  // resulting conditional distribution's perplexity equals the target.
+  const size_t n = 50;
+  std::vector<double> sq(n, 1.0);
+  sq[0] = 0.0;  // self
+  std::vector<double> row;
+  internal::CalibrateRow(sq, 0, 20.0, &row);
+  double entropy = 0.0;
+  double sum = 0.0;
+  for (size_t j = 1; j < n; ++j) {
+    sum += row[j];
+    if (row[j] > 0) entropy -= row[j] * std::log(row[j]);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_NEAR(std::exp(entropy), 49.0, 1.0)
+      << "uniform distances: perplexity saturates at n-1";
+}
+
+TEST(TsneCalibrationTest, NearPointsGetMoreMass) {
+  std::vector<double> sq = {0.0, 0.25, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0};
+  std::vector<double> row;
+  internal::CalibrateRow(sq, 0, 3.0, &row);
+  EXPECT_GT(row[1], row[2]) << "closer neighbour gets more probability";
+  EXPECT_DOUBLE_EQ(row[0], 0.0) << "self mass is zero";
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(60, 5, &x, &labels, &rng);
+  TsneConfig config;
+  config.iterations = 150;
+  Rng trng(2);
+  Matrix y = RunTsne(x, config, &trng);
+  EXPECT_EQ(y.rows(), 60u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_TRUE(y.AllFinite());
+}
+
+TEST(TsneTest, EmbeddingIsCentred) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(40, 4, &x, &labels, &rng);
+  TsneConfig config;
+  config.iterations = 120;
+  Rng trng(4);
+  Matrix y = RunTsne(x, config, &trng);
+  Matrix mean = y.ColSum() * (1.0f / static_cast<float>(y.rows()));
+  EXPECT_NEAR(mean.at(0, 0), 0.0f, 1e-3f);
+  EXPECT_NEAR(mean.at(0, 1), 0.0f, 1e-3f);
+}
+
+TEST(TsneTest, SeparatesWellSeparatedBlobs) {
+  Rng rng(5);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(80, 6, &x, &labels, &rng, /*separation=*/8.0);
+  TsneConfig config;
+  config.iterations = 300;
+  config.perplexity = 15.0;
+  Rng trng(6);
+  Matrix y = RunTsne(x, config, &trng);
+  SeparabilityStats stats = AnalyzeSeparability(y, labels, 10);
+  EXPECT_GT(stats.knn_label_agreement, 0.9)
+      << "blobs separated in input space stay separated in the embedding";
+  EXPECT_LT(stats.intra_inter_ratio, 0.8);
+  EXPECT_GT(stats.silhouette, 0.2);
+}
+
+TEST(TsneTest, DeterministicInSeed) {
+  Rng rng(7);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(30, 3, &x, &labels, &rng);
+  TsneConfig config;
+  config.iterations = 80;
+  Rng ta(8), tb(8);
+  EXPECT_EQ(RunTsne(x, config, &ta), RunTsne(x, config, &tb));
+}
+
+// ---- separability stats --------------------------------------------------------
+
+TEST(SeparabilityTest, PerfectSeparationScoresHigh) {
+  // Two tight clusters far apart.
+  Matrix y(20, 2);
+  std::vector<int> labels(20);
+  Rng rng(9);
+  for (size_t i = 0; i < 20; ++i) {
+    labels[i] = i < 10 ? 0 : 1;
+    y.at(i, 0) = static_cast<float>((labels[i] ? 100.0 : 0.0) + rng.Normal());
+    y.at(i, 1) = static_cast<float>(rng.Normal());
+  }
+  SeparabilityStats stats = AnalyzeSeparability(y, labels, 5);
+  EXPECT_EQ(stats.num_points, 20u);
+  EXPECT_EQ(stats.num_positive, 10u);
+  EXPECT_DOUBLE_EQ(stats.knn_label_agreement, 1.0);
+  EXPECT_LT(stats.intra_inter_ratio, 0.1);
+  EXPECT_GT(stats.silhouette, 0.9);
+}
+
+TEST(SeparabilityTest, RandomLabelsScoreNearPrior) {
+  Matrix y(200, 2);
+  std::vector<int> labels(200);
+  Rng rng(10);
+  for (size_t i = 0; i < 200; ++i) {
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    y.at(i, 0) = static_cast<float>(rng.Normal());
+    y.at(i, 1) = static_cast<float>(rng.Normal());
+  }
+  SeparabilityStats stats = AnalyzeSeparability(y, labels, 11);
+  EXPECT_LT(stats.knn_label_agreement, 0.75);
+  EXPECT_NEAR(stats.intra_inter_ratio, 1.0, 0.15);
+  EXPECT_NEAR(stats.silhouette, 0.0, 0.15);
+}
+
+TEST(SeparabilityTest, TinyInputsDoNotCrash) {
+  Matrix y(2, 2);
+  std::vector<int> labels = {0, 1};
+  SeparabilityStats stats = AnalyzeSeparability(y, labels, 5);
+  EXPECT_EQ(stats.num_points, 2u);
+}
+
+// ---- density grid ---------------------------------------------------------------
+
+TEST(DensityGridTest, CountsSumToPoints) {
+  Rng rng(11);
+  Matrix y(100, 2);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<float>(rng.Normal());
+  }
+  Matrix grid = DensityGrid(y, 8, 8);
+  EXPECT_FLOAT_EQ(grid.Sum(), 100.0f);
+}
+
+TEST(DensityGridTest, ClusteredPointsConcentrate) {
+  Matrix y(50, 2);  // all at the same location
+  Matrix grid = DensityGrid(y, 4, 4);
+  EXPECT_FLOAT_EQ(grid.MaxAbs(), 50.0f) << "one cell holds everything";
+}
+
+// ---- scatter ---------------------------------------------------------------------
+
+TEST(ScatterTest, RendersBothClasses) {
+  Matrix y(4, 2);
+  y.at(0, 0) = 0.0f;  y.at(0, 1) = 0.0f;
+  y.at(1, 0) = 10.0f; y.at(1, 1) = 0.0f;
+  y.at(2, 0) = 0.0f;  y.at(2, 1) = 10.0f;
+  y.at(3, 0) = 10.0f; y.at(3, 1) = 10.0f;
+  std::string out = RenderScatter(y, {0, 1, 0, 1}, 8, 16);
+  EXPECT_NE(out.find('.'), std::string::npos) << "infeasible glyph";
+  EXPECT_NE(out.find('#'), std::string::npos) << "feasible glyph";
+  EXPECT_EQ(Split(out, '\n').size(), 9u) << "8 rows + trailing newline";
+}
+
+TEST(ScatterTest, OverlapGlyph) {
+  Matrix y(2, 2);  // identical points, different labels
+  std::string out = RenderScatter(y, {0, 1}, 4, 4);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(ScatterTest, EmptyInput) {
+  Matrix y(0, 2);
+  EXPECT_EQ(RenderScatter(y, {}, 4, 4), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace cfx

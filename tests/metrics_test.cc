@@ -1,0 +1,173 @@
+// Tests for the §IV-D evaluation metrics and the report rendering.
+#include <gtest/gtest.h>
+
+#include "src/common/string_util.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/report.h"
+
+namespace cfx {
+namespace {
+
+/// Schema mirroring Adult's constraint features: continuous age, ordinal
+/// education, one binary and one immutable categorical.
+Schema MetricSchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back({"age", FeatureType::kContinuous, {}, false, 0.0, 100.0});
+  features.push_back({"education",
+                      FeatureType::kCategorical,
+                      {"low", "mid", "high"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back(
+      {"member", FeatureType::kBinary, {"no", "yes"}, false, 0.0, 1.0});
+  return Schema(std::move(features), "Income", {"<=50K", ">50K"});
+}
+
+class MetricsFixture : public ::testing::Test {
+ protected:
+  MetricsFixture() : encoder_(MetricSchema()) {
+    Table t(MetricSchema());
+    CFX_CHECK_OK(t.AppendRow({0.0, 0.0, 0.0}, 0));
+    CFX_CHECK_OK(t.AppendRow({100.0, 2.0, 1.0}, 1));
+    CFX_CHECK_OK(encoder_.Fit(t));
+    info_ = GetDatasetInfo(DatasetId::kAdult);
+    info_.unary_feature = "age";
+    info_.binary_cause = "education";
+    info_.binary_effect = "age";
+  }
+
+  Matrix Encode(double age, int edu, int member) {
+    RawRow row;
+    row.values = {age, static_cast<double>(edu),
+                  static_cast<double>(member)};
+    return encoder_.TransformRow(row);
+  }
+
+  TabularEncoder encoder_;
+  DatasetInfo info_;
+};
+
+TEST_F(MetricsFixture, PerfectBatchScoresPerfectly) {
+  CfResult result;
+  result.inputs = Encode(30, 0, 0).ConcatRows(Encode(40, 1, 1));
+  result.cfs = Encode(40, 1, 0).ConcatRows(Encode(50, 2, 1));
+  result.cfs_raw = result.cfs;
+  result.desired = {1, 0};
+  result.predicted = {1, 0};
+  MethodMetrics m = EvaluateMethod("test", encoder_, info_, result);
+  EXPECT_DOUBLE_EQ(m.validity, 100.0);
+  EXPECT_DOUBLE_EQ(m.feasibility_unary, 100.0);
+  EXPECT_DOUBLE_EQ(m.feasibility_binary, 100.0);
+}
+
+TEST_F(MetricsFixture, ValidityCountsMatches) {
+  CfResult result;
+  result.inputs = Encode(30, 0, 0).ConcatRows(Encode(40, 1, 1));
+  result.cfs = result.inputs;
+  result.cfs_raw = result.inputs;
+  result.desired = {1, 0};
+  result.predicted = {1, 1};  // Second row misses its target.
+  MethodMetrics m = EvaluateMethod("test", encoder_, info_, result);
+  EXPECT_DOUBLE_EQ(m.validity, 50.0);
+}
+
+TEST_F(MetricsFixture, ContinuousProximityIsNegativeMeanL1) {
+  CfResult result;
+  result.inputs = Encode(30, 0, 0).ConcatRows(Encode(50, 0, 0));
+  // Age +20 (0.2 normalised) and +10 (0.1 normalised).
+  result.cfs = Encode(50, 0, 0).ConcatRows(Encode(60, 0, 0));
+  result.cfs_raw = result.cfs;
+  result.desired = {1, 1};
+  result.predicted = {1, 1};
+  MethodMetrics m = EvaluateMethod("test", encoder_, info_, result);
+  EXPECT_NEAR(m.continuous_proximity, -(0.2 + 0.1) / 2.0, 1e-5);
+}
+
+TEST_F(MetricsFixture, CategoricalProximityCountsAlterations) {
+  CfResult result;
+  result.inputs = Encode(30, 0, 0).ConcatRows(Encode(30, 0, 0));
+  // Row 0 changes education and member (2 changes); row 1 nothing.
+  result.cfs = Encode(30, 2, 1).ConcatRows(Encode(30, 0, 0));
+  result.cfs_raw = result.cfs;
+  result.desired = {1, 1};
+  result.predicted = {1, 1};
+  MethodMetrics m = EvaluateMethod("test", encoder_, info_, result);
+  EXPECT_NEAR(m.categorical_proximity, -(2.0 + 0.0) / 2.0, 1e-9);
+}
+
+TEST_F(MetricsFixture, SparsityCountsAllFeatureKinds) {
+  CfResult result;
+  result.inputs = Encode(30, 0, 0);
+  result.cfs = Encode(60, 1, 1);  // all three features change
+  result.cfs_raw = result.cfs;
+  result.desired = {1};
+  result.predicted = {1};
+  MethodMetrics m = EvaluateMethod("test", encoder_, info_, result);
+  EXPECT_DOUBLE_EQ(m.sparsity, 3.0);
+}
+
+TEST_F(MetricsFixture, TinyContinuousChangeDoesNotCountAsSparse) {
+  Matrix a = Encode(30, 0, 0);
+  Matrix b = Encode(31, 0, 0);  // 0.01 normalised < 0.05 threshold
+  EXPECT_EQ(CountChangedFeatures(encoder_, a, b, 0.05), 0u);
+  Matrix c = Encode(45, 0, 0);  // 0.15 normalised
+  EXPECT_EQ(CountChangedFeatures(encoder_, a, c, 0.05), 1u);
+}
+
+TEST_F(MetricsFixture, EmptyResultIsZeroed) {
+  CfResult result;
+  result.inputs = Matrix(0, encoder_.encoded_width());
+  result.cfs = result.inputs;
+  result.cfs_raw = result.inputs;
+  MethodMetrics m = EvaluateMethod("empty", encoder_, info_, result);
+  EXPECT_DOUBLE_EQ(m.validity, 0.0);
+  EXPECT_DOUBLE_EQ(m.sparsity, 0.0);
+}
+
+// ---- report -------------------------------------------------------------------
+
+TEST(ReportTest, FormatMetricTrimsWholeNumbers) {
+  EXPECT_EQ(FormatMetric(100.0), "100");
+  EXPECT_EQ(FormatMetric(72.38), "72.38");
+  EXPECT_EQ(FormatMetric(-2.4), "-2.40");
+  EXPECT_EQ(FormatMetric(0.0), "0");
+}
+
+TEST(ReportTest, TablePrinterAlignsColumns) {
+  TablePrinter printer({"a", "long_header"});
+  printer.AddRow({"x", "1"});
+  printer.AddRow({"yyyy", "2"});
+  std::string out = printer.Render();
+  // Every line has the same length.
+  std::vector<std::string> lines = Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[1].size());
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+  EXPECT_EQ(lines[0].size(), lines[3].size());
+  EXPECT_NE(lines[0].find("long_header"), std::string::npos);
+}
+
+TEST(ReportTest, TablePrinterPadsShortRows) {
+  TablePrinter printer({"a", "b", "c"});
+  printer.AddRow({"only_one"});
+  EXPECT_NE(printer.Render().find("only_one"), std::string::npos);
+}
+
+TEST(ReportTest, MetricsTableHidesInapplicableColumns) {
+  MethodMetrics m;
+  m.method_name = "Our method (a)";
+  m.validity = 100;
+  m.feasibility_unary = 72.38;
+  m.feasibility_binary = 55.0;
+  std::string out =
+      RenderMetricsTable("Title", {{m, /*show_unary=*/true,
+                                    /*show_binary=*/false}});
+  EXPECT_NE(out.find("72.38"), std::string::npos);
+  EXPECT_EQ(out.find("55"), std::string::npos)
+      << "binary column should print '-' for the unary model";
+  EXPECT_NE(out.find("Title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,284 @@
+// Tests for the black-box classifier and the conditional VAE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/models/classifier.h"
+#include "src/models/vae.h"
+
+namespace cfx {
+namespace {
+
+/// Linearly separable 2-D blobs.
+void MakeBlobs(size_t n, Matrix* x, std::vector<int>* y, Rng* rng) {
+  *x = Matrix(n, 2);
+  y->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int label = rng->Bernoulli(0.5) ? 1 : 0;
+    const double cx = label ? 0.7 : 0.3;
+    x->at(i, 0) = static_cast<float>(rng->TruncatedNormal(cx, 0.1, 0, 1));
+    x->at(i, 1) = static_cast<float>(rng->TruncatedNormal(cx, 0.1, 0, 1));
+    (*y)[i] = label;
+  }
+}
+
+TEST(ClassifierTest, LearnsSeparableBlobs) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(600, &x, &y, &rng);
+  ClassifierConfig config;
+  config.epochs = 20;
+  BlackBoxClassifier clf(2, config, &rng);
+  TrainStats stats = clf.Train(x, y, &rng);
+  EXPECT_GT(stats.train_accuracy, 0.9);
+  EXPECT_EQ(stats.epochs, 20u);
+  EXPECT_LT(stats.final_loss, 0.4f);
+}
+
+TEST(ClassifierTest, LogisticRegressionVariantLearns) {
+  Rng rng(21);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(400, &x, &y, &rng);
+  ClassifierConfig config;
+  config.hidden_dim = 0;  // plain logistic regression
+  config.epochs = 30;
+  BlackBoxClassifier clf(2, config, &rng);
+  TrainStats stats = clf.Train(x, y, &rng);
+  EXPECT_GT(stats.train_accuracy, 0.9) << "blobs are linearly separable";
+  // Gradients still flow through to inputs for the CF methods.
+  ag::Var input = ag::Param(Matrix(2, 2, 0.5f));
+  ag::Backward(ag::Mean(clf.LogitsVar(input)));
+  EXPECT_GT(input->grad.MaxAbs(), 0.0f);
+}
+
+TEST(ClassifierTest, FreezeStopsWeightGradients) {
+  Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(100, &x, &y, &rng);
+  ClassifierConfig config;
+  config.epochs = 2;
+  BlackBoxClassifier clf(2, config, &rng);
+  clf.Train(x, y, &rng);
+  ASSERT_TRUE(clf.frozen());
+
+  // Differentiate through the frozen model: input gets a gradient.
+  ag::Var input = ag::Param(Matrix(4, 2, 0.5f));
+  ag::Var logits = clf.LogitsVar(input);
+  ag::Backward(ag::Mean(logits));
+  EXPECT_GT(input->grad.MaxAbs(), 0.0f)
+      << "gradient flows through to the input";
+}
+
+TEST(ClassifierTest, PredictConsistentWithLogits) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(50, &x, &y, &rng);
+  ClassifierConfig config;
+  config.epochs = 5;
+  BlackBoxClassifier clf(2, config, &rng);
+  clf.Train(x, y, &rng);
+  Matrix logits = clf.Logits(x);
+  std::vector<int> pred = clf.Predict(x);
+  for (size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_EQ(pred[i], logits.at(i, 0) > 0.0f ? 1 : 0);
+  }
+}
+
+TEST(ClassifierTest, AccuracyOfPerfectPredictorIsOne) {
+  Rng rng(4);
+  ClassifierConfig config;
+  config.epochs = 30;
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(400, &x, &y, &rng);
+  BlackBoxClassifier clf(2, config, &rng);
+  clf.Train(x, y, &rng);
+  std::vector<int> self_pred = clf.Predict(x);
+  EXPECT_NEAR(clf.Accuracy(x, self_pred), 1.0, 1e-12)
+      << "accuracy against its own predictions is exactly 1";
+}
+
+// ---- VAE -------------------------------------------------------------------
+
+TEST(VaeTest, ShapesFollowTableII) {
+  Rng rng(5);
+  VaeConfig config;
+  config.input_dim = 9;
+  Vae vae(config, &rng);
+  Matrix x(4, 9, 0.5f);
+  Matrix cond(4, 1, 1.0f);
+  Rng noise(6);
+  Vae::Output out = vae.Forward(ag::Constant(x), cond, &noise);
+  EXPECT_EQ(out.mu->value.rows(), 4u);
+  EXPECT_EQ(out.mu->value.cols(), 10u);      // latent space vector = 10
+  EXPECT_EQ(out.logvar->value.cols(), 10u);
+  EXPECT_EQ(out.z->value.cols(), 10u);
+  EXPECT_EQ(out.x_hat->value.rows(), 4u);
+  EXPECT_EQ(out.x_hat->value.cols(), 9u);
+}
+
+TEST(VaeTest, DecoderOutputInUnitInterval) {
+  Rng rng(7);
+  VaeConfig config;
+  config.input_dim = 6;
+  Vae vae(config, &rng);
+  Rng noise(8);
+  Matrix z = Matrix::RandomNormal(10, 10, 0.0f, 2.0f, &noise);
+  Matrix cond(10, 1, 0.0f);
+  Matrix decoded = vae.Decode(z, cond);
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_GE(decoded[i], 0.0f);
+    EXPECT_LE(decoded[i], 1.0f);
+  }
+}
+
+TEST(VaeTest, ParameterCountMatchesArchitecture) {
+  Rng rng(9);
+  VaeConfig config;
+  config.input_dim = 9;
+  Vae vae(config, &rng);
+  // Encoder: (10->20) + (20->16) + (16->14) + (14->12) + (12->20 head)
+  size_t expected = (10 * 20 + 20) + (20 * 16 + 16) + (16 * 14 + 14) +
+                    (14 * 12 + 12) + (12 * 20 + 20);
+  // Decoder: (11->12) + (12->14) + (14->16) + (16->18) + (18->9)
+  expected += (11 * 12 + 12) + (12 * 14 + 14) + (14 * 16 + 16) +
+              (16 * 18 + 18) + (18 * 9 + 9);
+  EXPECT_EQ(vae.ParameterCount(), expected);
+}
+
+TEST(VaeTest, ReparameterisationUsesLogvar) {
+  Rng rng(10);
+  VaeConfig config;
+  config.input_dim = 4;
+  config.dropout = 0.0f;
+  Vae vae(config, &rng);
+  Matrix x(1, 4, 0.5f);
+  Matrix cond(1, 1, 1.0f);
+  Rng noise_a(11), noise_b(12);
+  Vae::Output a = vae.Forward(ag::Constant(x), cond, &noise_a, true);
+  Vae::Output b = vae.Forward(ag::Constant(x), cond, &noise_b, true);
+  EXPECT_NE(a.z->value, b.z->value) << "different noise, different z";
+  EXPECT_EQ(a.mu->value, b.mu->value) << "same input, same posterior";
+
+  Vae::Output det = vae.Forward(ag::Constant(x), cond, &noise_a, false);
+  EXPECT_EQ(det.z->value, det.mu->value) << "sample=false uses the mean";
+}
+
+TEST(VaeTest, TrainElboReducesReconstruction) {
+  Rng rng(13);
+  // Two clusters in 5-D.
+  Matrix x(400, 5);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float base = i % 2 == 0 ? 0.2f : 0.8f;
+    for (size_t c = 0; c < 5; ++c) {
+      x.at(i, c) = static_cast<float>(
+          rng.TruncatedNormal(base, 0.05, 0.0, 1.0));
+    }
+  }
+  VaeConfig config;
+  config.input_dim = 5;
+  config.condition_dim = 0;
+  config.dropout = 0.0f;
+  Vae vae(config, &rng);
+
+  // Reconstruction error before vs after training.
+  auto recon_err = [&] {
+    Matrix rec = vae.Reconstruct(x, Matrix());
+    double err = 0;
+    for (size_t i = 0; i < rec.size(); ++i) {
+      err += std::fabs(static_cast<double>(rec[i]) - x[i]);
+    }
+    return err / rec.size();
+  };
+  const double before = recon_err();
+  VaeTrainConfig tc;
+  tc.epochs = 25;
+  vae.TrainElbo(x, Matrix(), tc, &rng);
+  const double after = recon_err();
+  EXPECT_LT(after, before * 0.5) << before << " -> " << after;
+  EXPECT_LT(after, 0.1);
+}
+
+TEST(VaeTest, PosteriorDistinguishesClusters) {
+  // After ELBO training, the posterior means of two well-separated clusters
+  // must differ (no posterior collapse).
+  Rng rng(14);
+  Matrix x(300, 4);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float base = i < 150 ? 0.15f : 0.85f;
+    for (size_t c = 0; c < 4; ++c) {
+      x.at(i, c) =
+          static_cast<float>(rng.TruncatedNormal(base, 0.05, 0.0, 1.0));
+    }
+  }
+  VaeConfig config;
+  config.input_dim = 4;
+  config.condition_dim = 0;
+  config.dropout = 0.0f;
+  Vae vae(config, &rng);
+  VaeTrainConfig tc;
+  tc.epochs = 25;
+  vae.TrainElbo(x, Matrix(), tc, &rng);
+
+  auto [mu, logvar] = vae.Encode(x, Matrix());
+  Matrix mu_a = mu.SliceRows(0, 150).ColSum() * (1.0f / 150.0f);
+  Matrix mu_b = mu.SliceRows(150, 300).ColSum() * (1.0f / 150.0f);
+  float distance = 0.0f;
+  for (size_t c = 0; c < mu_a.cols(); ++c) {
+    distance += std::fabs(mu_a.at(0, c) - mu_b.at(0, c));
+  }
+  EXPECT_GT(distance, 0.5f) << "cluster posteriors must separate";
+}
+
+TEST(VaeTest, FreezeBlocksWeightUpdatesButNotInputGradients) {
+  Rng rng(15);
+  VaeConfig config;
+  config.input_dim = 4;
+  config.condition_dim = 0;
+  Vae vae(config, &rng);
+  vae.Freeze();
+  for (const ag::Var& p : vae.Parameters()) {
+    EXPECT_FALSE(p->requires_grad);
+  }
+  ag::Var z = ag::Param(Matrix(2, 10, 0.1f));
+  ag::Var decoded = vae.DecodeVar(z, Matrix());
+  ag::Backward(ag::Mean(decoded));
+  EXPECT_GT(z->grad.MaxAbs(), 0.0f) << "latent still differentiable";
+}
+
+TEST(VaeTest, ConditionChangesDecoding) {
+  Rng rng(16);
+  VaeConfig config;
+  config.input_dim = 4;
+  config.dropout = 0.0f;
+  Vae vae(config, &rng);
+  Matrix z(1, 10, 0.2f);
+  Matrix cond0(1, 1, 0.0f);
+  Matrix cond1(1, 1, 1.0f);
+  EXPECT_NE(vae.Decode(z, cond0), vae.Decode(z, cond1))
+      << "the class input must reach the decoder";
+}
+
+TEST(VaeTest, LinearHeadSkipsActivation) {
+  Rng rng(17);
+  VaeConfig config;
+  config.input_dim = 4;
+  config.condition_dim = 0;
+  config.linear_head = true;
+  Vae vae(config, &rng);
+  Rng noise(18);
+  Matrix z = Matrix::RandomNormal(50, 10, 0.0f, 3.0f, &noise);
+  Matrix decoded = vae.Decode(z, Matrix());
+  bool outside_unit = false;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    outside_unit = outside_unit || decoded[i] < 0.0f || decoded[i] > 1.0f;
+  }
+  EXPECT_TRUE(outside_unit) << "raw logits are unbounded";
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,269 @@
+// Tests for layers, losses and optimisers: shapes, analytic values,
+// gradient flow and end-to-end convergence on tiny problems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/layers.h"
+#include "src/nn/losses.h"
+#include "src/nn/optimizer.h"
+
+namespace cfx {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndParameterCount) {
+  Rng rng(1);
+  Linear layer(5, 3, &rng);
+  EXPECT_EQ(layer.in_features(), 5u);
+  EXPECT_EQ(layer.out_features(), 3u);
+  EXPECT_EQ(layer.ParameterCount(), 5u * 3 + 3);
+
+  ag::Var x = ag::Constant(Matrix(7, 5, 1.0f));
+  ag::Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.rows(), 7u);
+  EXPECT_EQ(y->value.cols(), 3u);
+}
+
+TEST(LinearTest, ZeroWeightsYieldBias) {
+  Rng rng(2);
+  Linear layer(2, 2, &rng);
+  layer.weight()->value.Fill(0.0f);
+  layer.bias()->value.at(0, 0) = 1.5f;
+  layer.bias()->value.at(0, 1) = -0.5f;
+  ag::Var y = layer.Forward(ag::Constant(Matrix(1, 2, 9.0f)));
+  EXPECT_FLOAT_EQ(y->value.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y->value.at(0, 1), -0.5f);
+}
+
+TEST(LinearTest, XavierInitBounded) {
+  Rng rng(3);
+  Linear layer(100, 100, &rng, Init::kXavierUniform);
+  const float bound = std::sqrt(6.0f / 200.0f);
+  EXPECT_LE(layer.weight()->value.MaxAbs(), bound + 1e-6f);
+}
+
+TEST(DropoutTest, EvalModeIsIdentity) {
+  Rng rng(4);
+  Dropout drop(0.5f, &rng);
+  drop.SetTraining(false);
+  Matrix x(4, 4, 2.0f);
+  ag::Var out = drop.Forward(ag::Constant(x));
+  EXPECT_EQ(out->value, x);
+}
+
+TEST(DropoutTest, TrainingZeroesAndRescales) {
+  Rng rng(5);
+  Dropout drop(0.5f, &rng);
+  drop.SetTraining(true);
+  Matrix x(100, 100, 1.0f);
+  ag::Var out = drop.Forward(ag::Constant(x));
+  size_t zeros = 0;
+  for (size_t i = 0; i < out->value.size(); ++i) {
+    const float v = out->value[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-5f)
+        << "survivors are scaled by 1/(1-p)";
+    zeros += (v == 0.0f);
+  }
+  EXPECT_NEAR(zeros / 10000.0, 0.5, 0.05);
+  // Expectation preserved.
+  EXPECT_NEAR(out->value.Mean(), 1.0f, 0.05f);
+}
+
+TEST(SequentialTest, ChainsLayersAndCollectsParams) {
+  Rng rng(6);
+  Sequential net;
+  net.Add(std::make_unique<Linear>(4, 8, &rng));
+  net.Add(std::make_unique<ReluLayer>());
+  net.Add(std::make_unique<Linear>(8, 2, &rng));
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  EXPECT_EQ(net.ParameterCount(), 4u * 8 + 8 + 8 * 2 + 2);
+  ag::Var y = net.Forward(ag::Constant(Matrix(3, 4, 0.5f)));
+  EXPECT_EQ(y->value.cols(), 2u);
+}
+
+TEST(SequentialTest, SetTrainingPropagates) {
+  Rng rng(7);
+  Sequential net;
+  net.Add(std::make_unique<Dropout>(0.3f, &rng));
+  net.SetTraining(false);
+  EXPECT_FALSE(net.layer(0)->training());
+}
+
+// ---- losses -----------------------------------------------------------------
+
+TEST(LossTest, BceMatchesAnalytic) {
+  // BCE(z, y) = max(z,0) - z y + log(1 + e^{-|z|}).
+  Matrix targets(1, 1, 1.0f);
+  ag::Var logits = ag::Param(Matrix(1, 1, 2.0f));
+  ag::Var loss = BceWithLogits(logits, targets);
+  const float expected = 2.0f - 2.0f + std::log(1.0f + std::exp(-2.0f));
+  EXPECT_NEAR(loss->value.at(0, 0), expected, 1e-5f);
+}
+
+TEST(LossTest, BceGradientIsSigmoidMinusTarget) {
+  Matrix targets(1, 1, 0.0f);
+  ag::Var logits = ag::Param(Matrix(1, 1, 1.2f));
+  ag::Var loss = BceWithLogits(logits, targets);
+  ag::Backward(loss);
+  const float sigmoid = 1.0f / (1.0f + std::exp(-1.2f));
+  EXPECT_NEAR(logits->grad.at(0, 0), sigmoid, 1e-4f);
+}
+
+TEST(LossTest, HingeZeroWhenMarginMet) {
+  Matrix targets(2, 1);
+  targets.at(0, 0) = 1.0f;
+  targets.at(1, 0) = -1.0f;
+  Matrix z(2, 1);
+  z.at(0, 0) = 2.0f;   // y=+1, z=2 -> margin met
+  z.at(1, 0) = -1.5f;  // y=-1, z=-1.5 -> margin met
+  ag::Var loss = HingeLoss(ag::Param(z), targets, 1.0f);
+  EXPECT_FLOAT_EQ(loss->value.at(0, 0), 0.0f);
+}
+
+TEST(LossTest, HingePenalisesWrongSide) {
+  Matrix targets(1, 1, 1.0f);
+  ag::Var loss = HingeLoss(ag::Param(Matrix(1, 1, -0.5f)), targets, 1.0f);
+  EXPECT_FLOAT_EQ(loss->value.at(0, 0), 1.5f);
+}
+
+TEST(LossTest, MseAndL1) {
+  Matrix target(1, 2);
+  target.at(0, 0) = 1.0f;
+  target.at(0, 1) = 3.0f;
+  Matrix pred(1, 2);
+  pred.at(0, 0) = 2.0f;
+  pred.at(0, 1) = 1.0f;
+  EXPECT_FLOAT_EQ(MseLoss(ag::Param(pred), target)->value.at(0, 0),
+                  (1.0f + 4.0f) / 2.0f);
+  EXPECT_FLOAT_EQ(L1Loss(ag::Param(pred), target)->value.at(0, 0),
+                  (1.0f + 2.0f) / 2.0f);
+}
+
+TEST(LossTest, KlZeroAtStandardNormal) {
+  ag::Var mu = ag::Param(Matrix(4, 3));       // mu = 0
+  ag::Var logvar = ag::Param(Matrix(4, 3));   // logvar = 0 -> var = 1
+  ag::Var kl = KlStandardNormal(mu, logvar);
+  EXPECT_NEAR(kl->value.at(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(LossTest, KlPositiveAwayFromPrior) {
+  ag::Var mu = ag::Param(Matrix(2, 2, 2.0f));
+  ag::Var logvar = ag::Param(Matrix(2, 2, 1.0f));
+  EXPECT_GT(KlStandardNormal(mu, logvar)->value.at(0, 0), 0.0f);
+}
+
+TEST(LossTest, SmoothL0CountsChanges) {
+  // One large delta and three negligible ones. Each unchanged feature still
+  // contributes the indicator's floor sigmoid(-k * eps) ~ 0.076, so the
+  // expected count is 1 + 3 * floor.
+  Matrix delta(1, 4);
+  delta.at(0, 0) = 0.8f;
+  delta.at(0, 1) = 0.001f;
+  delta.at(0, 2) = -0.002f;
+  delta.at(0, 3) = 0.0f;
+  ag::Var l0 = SmoothL0(ag::Param(delta), 50.0f, 0.05f);
+  const float floor = 1.0f / (1.0f + std::exp(50.0f * 0.05f));
+  EXPECT_NEAR(l0->value.at(0, 0), 1.0f + 3.0f * floor, 0.1f);
+  // A flat delta scores (width) * floor — well below one change.
+  ag::Var flat = SmoothL0(ag::Param(Matrix(1, 4)), 50.0f, 0.05f);
+  EXPECT_LT(flat->value.at(0, 0), 0.5f);
+}
+
+// ---- optimisers ---------------------------------------------------------------
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  // min (w - 3)^2.
+  ag::Var w = ag::Param(Matrix(1, 1, 0.0f));
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    Matrix target(1, 1, 3.0f);
+    ag::Var loss = MseLoss(w, target);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 3.0f, 1e-3f);
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  ag::Var w = ag::Param(Matrix(1, 1, -4.0f));
+  Sgd opt({w}, 0.05f, 0.9f);
+  for (int i = 0; i < 200; ++i) {
+    ag::Var loss = MseLoss(w, Matrix(1, 1, 2.0f));
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 2.0f, 1e-2f);
+}
+
+TEST(OptimizerTest, AdamConvergesOnIllConditionedQuadratic) {
+  // Loss = (w0 - 1)^2 + 100 (w1 + 2)^2: Adam's per-coordinate scaling
+  // handles the conditioning.
+  ag::Var w = ag::Param(Matrix(1, 2));
+  Adam opt({w}, 0.05f);
+  for (int i = 0; i < 600; ++i) {
+    ag::Var w0 = ag::SliceCols(w, 0, 1);
+    ag::Var w1 = ag::SliceCols(w, 1, 2);
+    ag::Var l0 = MseLoss(w0, Matrix(1, 1, 1.0f));
+    ag::Var l1 = ag::Scale(MseLoss(w1, Matrix(1, 1, -2.0f)), 100.0f);
+    ag::Var loss = ag::Add(l0, l1);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 1.0f, 0.02f);
+  EXPECT_NEAR(w->value.at(0, 1), -2.0f, 0.02f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  ag::Var w = ag::Param(Matrix(1, 2));
+  w->EnsureGrad();
+  w->grad.at(0, 0) = 3.0f;
+  w->grad.at(0, 1) = 4.0f;  // norm 5
+  Sgd opt({w}, 0.1f);
+  const float before = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(before, 5.0f);
+  EXPECT_NEAR(std::sqrt(w->grad.SquaredNorm()), 1.0f, 1e-5f);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  ag::Var w = ag::Param(Matrix(1, 1));
+  w->EnsureGrad();
+  w->grad.at(0, 0) = 0.5f;
+  Sgd opt({w}, 0.1f);
+  opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(w->grad.at(0, 0), 0.5f);
+}
+
+TEST(TrainingTest, MlpLearnsXor) {
+  // End-to-end sanity: a 2-layer MLP separates XOR.
+  Rng rng(11);
+  Sequential net;
+  net.Add(std::make_unique<Linear>(2, 8, &rng));
+  net.Add(std::make_unique<ReluLayer>());
+  net.Add(std::make_unique<Linear>(8, 1, &rng, Init::kXavierUniform));
+
+  Matrix x = Matrix::FromRows({{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  Matrix y(4, 1);
+  y.at(1, 0) = 1.0f;
+  y.at(2, 0) = 1.0f;
+
+  Adam opt(net.Parameters(), 0.05f);
+  for (int i = 0; i < 500; ++i) {
+    ag::Var loss = BceWithLogits(net.Forward(ag::Constant(x)), y);
+    opt.ZeroGrad();
+    ag::Backward(loss);
+    opt.Step();
+  }
+  ag::Var logits = net.Forward(ag::Constant(x));
+  for (size_t r = 0; r < 4; ++r) {
+    const int pred = logits->value.at(r, 0) > 0.0f ? 1 : 0;
+    EXPECT_EQ(pred, static_cast<int>(y.at(r, 0))) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace cfx

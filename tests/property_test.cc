@@ -1,0 +1,210 @@
+// Cross-module randomised property tests: invariants that must hold for
+// arbitrary inputs, checked over many random draws and over all three
+// dataset schemas.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/datasets/registry.h"
+#include "src/metrics/metrics.h"
+#include "src/nn/losses.h"
+
+namespace cfx {
+namespace {
+
+class SchemaPropertyTest : public ::testing::TestWithParam<DatasetId> {
+ protected:
+  void SetUp() override {
+    generator_ = CreateGenerator(GetParam());
+    Rng rng(0xB0B + static_cast<int>(GetParam()));
+    table_ = std::make_unique<Table>(
+        generator_->Generate(200, 200, &rng));
+    encoder_ = std::make_unique<TabularEncoder>(generator_->MakeSchema());
+    CFX_CHECK_OK(encoder_->Fit(*table_));
+  }
+
+  std::unique_ptr<DatasetGenerator> generator_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<TabularEncoder> encoder_;
+};
+
+TEST_P(SchemaPropertyTest, EncodeDecodeRowRoundTrip) {
+  // Property: InverseTransformRow(TransformRow(row)) == row for every real
+  // row (continuous up to normalisation rounding).
+  for (size_t r = 0; r < table_->num_rows(); ++r) {
+    RawRow raw = table_->GetRow(r);
+    Matrix encoded = encoder_->TransformRow(raw);
+    RawRow back = encoder_->InverseTransformRow(encoded, raw.label);
+    for (size_t f = 0; f < raw.values.size(); ++f) {
+      const FeatureSpec& spec = table_->schema().feature(f);
+      const double tol = spec.type == FeatureType::kContinuous
+                             ? 1e-4 * (spec.upper - spec.lower) + 1e-6
+                             : 1e-9;
+      EXPECT_NEAR(back.values[f], raw.values[f], tol)
+          << spec.name << " row " << r;
+    }
+  }
+}
+
+TEST_P(SchemaPropertyTest, ProjectionIsIdempotent) {
+  // Property: ProjectRow(ProjectRow(v)) == ProjectRow(v) for arbitrary v.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix v =
+        Matrix::RandomUniform(1, encoder_->encoded_width(), -0.5f, 1.5f, &rng);
+    Matrix once = encoder_->ProjectRow(v);
+    Matrix twice = encoder_->ProjectRow(once);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST_P(SchemaPropertyTest, ProjectionFixesRealRows) {
+  // Property: encoded real rows are already on the manifold.
+  auto x = encoder_->Transform(*table_);
+  ASSERT_TRUE(x.ok());
+  for (size_t r = 0; r < std::min<size_t>(x->rows(), 50); ++r) {
+    Matrix row = x->Row(r);
+    EXPECT_EQ(encoder_->ProjectRow(row), row);
+  }
+}
+
+TEST_P(SchemaPropertyTest, ChangedFeatureCountIsSymmetricAndZeroOnSelf) {
+  auto x = encoder_->Transform(*table_);
+  ASSERT_TRUE(x.ok());
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t a = rng.UniformInt(x->rows());
+    const size_t b = rng.UniformInt(x->rows());
+    Matrix ra = x->Row(a);
+    Matrix rb = x->Row(b);
+    EXPECT_EQ(CountChangedFeatures(*encoder_, ra, ra, 0.05), 0u);
+    EXPECT_EQ(CountChangedFeatures(*encoder_, ra, rb, 0.05),
+              CountChangedFeatures(*encoder_, rb, ra, 0.05));
+  }
+}
+
+TEST_P(SchemaPropertyTest, OrdinalLevelsBounded) {
+  auto x = encoder_->Transform(*table_);
+  ASSERT_TRUE(x.ok());
+  for (size_t r = 0; r < std::min<size_t>(x->rows(), 50); ++r) {
+    Matrix row = x->Row(r);
+    for (size_t f = 0; f < table_->schema().num_features(); ++f) {
+      const double level = OrdinalLevel(*encoder_, row, f);
+      EXPECT_GE(level, 0.0);
+      EXPECT_LE(level, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemas, SchemaPropertyTest,
+                         ::testing::Values(DatasetId::kAdult,
+                                           DatasetId::kCensus,
+                                           DatasetId::kLaw),
+                         [](const auto& info) {
+                           return std::string(
+                               info.param == DatasetId::kAdult    ? "Adult"
+                               : info.param == DatasetId::kCensus ? "Census"
+                                                                  : "Law");
+                         });
+
+// ---- randomized autodiff graphs ------------------------------------------------
+
+/// Builds a random chain of smooth unary ops over x and returns its mean.
+ag::Var RandomSmoothGraph(const ag::Var& x, uint64_t seed) {
+  Rng rng(seed);
+  ag::Var h = x;
+  const int depth = 2 + static_cast<int>(rng.UniformInt(4));
+  for (int d = 0; d < depth; ++d) {
+    switch (rng.UniformInt(5)) {
+      case 0: h = ag::Sigmoid(h); break;
+      case 1: h = ag::Tanh(h); break;
+      case 2: h = ag::Scale(h, static_cast<float>(rng.Uniform(0.5, 1.5))); break;
+      case 3: h = ag::Square(h); break;
+      case 4: {
+        Matrix c(h->value.rows(), h->value.cols(),
+                 static_cast<float>(rng.Uniform(-0.5, 0.5)));
+        h = ag::Add(h, ag::Constant(c));
+        break;
+      }
+    }
+  }
+  return ag::Mean(h);
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphTest, GradientMatchesFiniteDifference) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 31 + 7);
+  Matrix x0 = Matrix::RandomUniform(2, 3, -1.0f, 1.0f, &rng);
+
+  ag::Var x = ag::Param(x0);
+  ag::Var loss = RandomSmoothGraph(x, seed);
+  ag::Backward(loss);
+
+  const float h = 1e-3f;
+  for (size_t i = 0; i < x0.size(); ++i) {
+    Matrix xp = x0;
+    xp[i] += h;
+    Matrix xm = x0;
+    xm[i] -= h;
+    const float fp = RandomSmoothGraph(ag::Param(xp), seed)->value.at(0, 0);
+    const float fm = RandomSmoothGraph(ag::Param(xm), seed)->value.at(0, 0);
+    const float numeric = (fp - fm) / (2 * h);
+    EXPECT_NEAR(x->grad[i], numeric,
+                2e-2f * std::max(1.0f, std::fabs(numeric)))
+        << "seed " << seed << " index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+// ---- loss properties --------------------------------------------------------------
+
+TEST(LossPropertyTest, HingeMonotoneInMargin) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    Matrix z(4, 1);
+    Matrix y(4, 1);
+    for (size_t i = 0; i < 4; ++i) {
+      z.at(i, 0) = static_cast<float>(rng.Uniform(-2, 2));
+      y.at(i, 0) = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+    }
+    const float small =
+        nn::HingeLoss(ag::Param(z), y, 0.5f)->value.at(0, 0);
+    const float large =
+        nn::HingeLoss(ag::Param(z), y, 1.5f)->value.at(0, 0);
+    EXPECT_LE(small, large + 1e-6f) << "larger margin never decreases hinge";
+  }
+}
+
+TEST(LossPropertyTest, KlNonNegativeEverywhere) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix mu = Matrix::RandomNormal(3, 4, 0.0f, 2.0f, &rng);
+    Matrix logvar = Matrix::RandomNormal(3, 4, 0.0f, 1.5f, &rng);
+    ag::Var kl = nn::KlStandardNormal(ag::Param(mu), ag::Param(logvar));
+    EXPECT_GE(kl->value.at(0, 0), -1e-5f) << "KL divergence is non-negative";
+  }
+}
+
+TEST(LossPropertyTest, SmoothL0BoundedByFeatureCount) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    Matrix delta = Matrix::RandomNormal(2, 6, 0.0f, 1.0f, &rng);
+    ag::Var l0 = nn::SmoothL0(ag::Param(delta));
+    EXPECT_GE(l0->value.at(0, 0), 0.0f);
+    EXPECT_LE(l0->value.at(0, 0), 6.0f) << "per-sample count <= #features";
+  }
+}
+
+TEST(LossPropertyTest, L1AndMseZeroOnIdentity) {
+  Rng rng(9);
+  Matrix x = Matrix::RandomUniform(3, 5, 0.0f, 1.0f, &rng);
+  EXPECT_FLOAT_EQ(nn::L1Loss(ag::Param(x), x)->value.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(nn::MseLoss(ag::Param(x), x)->value.at(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,224 @@
+// Property tests for reverse-mode autodiff: every op's analytic gradient is
+// validated against central finite differences, plus structural tests
+// (accumulation, constant short-circuiting, diamond graphs).
+#include "src/tensor/autodiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/common/rng.h"
+
+namespace cfx {
+namespace ag {
+namespace {
+
+/// Builds a scalar loss from a single (3x4) input. The input values are kept
+/// away from non-differentiable kinks (0 for relu/abs) by the generator.
+using GraphFn = std::function<Var(const Var&)>;
+
+struct OpCase {
+  const char* name;
+  GraphFn build;
+  float min_input;  ///< Inputs sampled uniformly in [min_input, max_input],
+  float max_input;  ///< then nudged away from 0 where relevant.
+  bool avoid_zero;
+};
+
+Var ToScalar(const Var& v) {
+  return v->value.size() == 1 ? v : Mean(v);
+}
+
+const OpCase kOpCases[] = {
+    {"add_self", [](const Var& x) { return ToScalar(Add(x, x)); }, -2, 2, false},
+    {"sub", [](const Var& x) {
+       Matrix other(3, 4, 0.7f);
+       return ToScalar(Sub(x, Constant(other)));
+     }, -2, 2, false},
+    {"mul_self", [](const Var& x) { return ToScalar(Mul(x, x)); }, -2, 2, false},
+    {"scale", [](const Var& x) { return ToScalar(Scale(x, -2.5f)); }, -2, 2, false},
+    {"neg", [](const Var& x) { return ToScalar(Neg(x)); }, -2, 2, false},
+    {"relu", [](const Var& x) { return ToScalar(Relu(x)); }, -2, 2, true},
+    {"sigmoid", [](const Var& x) { return ToScalar(Sigmoid(x)); }, -3, 3, false},
+    {"tanh", [](const Var& x) { return ToScalar(Tanh(x)); }, -2, 2, false},
+    {"exp", [](const Var& x) { return ToScalar(Exp(x)); }, -1.5, 1.5, false},
+    {"log", [](const Var& x) { return ToScalar(Log(x)); }, 0.2, 3, false},
+    {"square", [](const Var& x) { return ToScalar(Square(x)); }, -2, 2, false},
+    {"abs", [](const Var& x) { return ToScalar(Abs(x)); }, -2, 2, true},
+    {"smooth_indicator",
+     [](const Var& x) { return ToScalar(SmoothIndicator(x, 8.0f, 0.1f)); },
+     -2, 2, true},
+    {"sum", [](const Var& x) { return Sum(x); }, -2, 2, false},
+    {"mean", [](const Var& x) { return Mean(x); }, -2, 2, false},
+    {"row_sum", [](const Var& x) { return ToScalar(RowSum(x)); }, -2, 2, false},
+    {"matmul_right",
+     [](const Var& x) {
+       Rng rng(99);
+       Matrix w = Matrix::RandomNormal(4, 5, 0.0f, 1.0f, &rng);
+       return ToScalar(MatMul(x, Constant(w)));
+     }, -2, 2, false},
+    {"matmul_left",
+     [](const Var& x) {
+       Rng rng(98);
+       Matrix w = Matrix::RandomNormal(5, 3, 0.0f, 1.0f, &rng);
+       return ToScalar(MatMul(Constant(w), x));
+     }, -2, 2, false},
+    {"add_row_broadcast",
+     [](const Var& x) {
+       // x used as the matrix; bias constant.
+       Matrix bias = Matrix::RowVector({0.1f, -0.2f, 0.3f, 0.4f});
+       return ToScalar(AddRowBroadcast(x, Constant(bias)));
+     }, -2, 2, false},
+    {"concat_cols",
+     [](const Var& x) {
+       Matrix other(3, 2, 0.5f);
+       return ToScalar(ConcatCols(x, Constant(other)));
+     }, -2, 2, false},
+    {"slice_cols",
+     [](const Var& x) { return ToScalar(SliceCols(x, 1, 3)); }, -2, 2, false},
+    {"mul_const_mask",
+     [](const Var& x) {
+       Matrix mask(3, 4);
+       for (size_t i = 0; i < mask.size(); ++i) mask[i] = i % 2 ? 1.0f : 0.5f;
+       return ToScalar(MulConstMask(x, mask));
+     }, -2, 2, false},
+    {"tabular_activation",
+     [](const Var& x) {
+       // Columns 1..2 form one softmax block; 0 and 3 are sigmoid slots.
+       return ToScalar(TabularActivation(x, {{1, 2}}));
+     }, -2, 2, false},
+    {"composite_mlp_like",
+     [](const Var& x) {
+       Rng rng(97);
+       Matrix w = Matrix::RandomNormal(4, 4, 0.0f, 0.7f, &rng);
+       Var h = Sigmoid(MatMul(x, Constant(w)));
+       return Mean(Square(Sub(h, Constant(Matrix(3, 4, 0.3f)))));
+     }, -2, 2, false},
+    {"composite_kl_like",
+     [](const Var& x) {
+       Var mu = SliceCols(x, 0, 2);
+       Var logvar = SliceCols(x, 2, 4);
+       Matrix ones(3, 2, 1.0f);
+       Var inner = Sub(Sub(Add(Constant(ones), logvar), Square(mu)),
+                       Exp(logvar));
+       return Scale(Sum(inner), -0.5f / 6.0f);
+     }, -1, 1, false},
+};
+
+class GradientCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradientCheckTest, MatchesFiniteDifference) {
+  const OpCase& op = GetParam();
+  Rng rng(42);
+  Matrix x0(3, 4);
+  for (size_t i = 0; i < x0.size(); ++i) {
+    float v = static_cast<float>(rng.Uniform(op.min_input, op.max_input));
+    if (op.avoid_zero && std::fabs(v) < 0.15f) v = v < 0 ? -0.15f : 0.15f;
+    x0[i] = v;
+  }
+
+  // Analytic gradient.
+  Var x = Param(x0);
+  Var loss = op.build(x);
+  ASSERT_EQ(loss->value.size(), 1u) << op.name;
+  Backward(loss);
+  ASSERT_TRUE(x->grad.AllFinite()) << op.name;
+
+  // Central finite differences in double-ish precision.
+  const float h = 1e-3f;
+  for (size_t i = 0; i < x0.size(); ++i) {
+    Matrix xp = x0;
+    xp[i] += h;
+    Matrix xm = x0;
+    xm[i] -= h;
+    const float fp = op.build(Param(xp))->value.at(0, 0);
+    const float fm = op.build(Param(xm))->value.at(0, 0);
+    const float numeric = (fp - fm) / (2 * h);
+    const float analytic = x->grad[i];
+    const float tol = 2e-2f * std::max(1.0f, std::fabs(numeric));
+    EXPECT_NEAR(analytic, numeric, tol)
+        << op.name << " at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradientCheckTest, ::testing::ValuesIn(kOpCases),
+    [](const ::testing::TestParamInfo<OpCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(AutodiffTest, ConstantsDoNotRequireGrad) {
+  Var c = Constant(Matrix(2, 2, 1.0f));
+  EXPECT_FALSE(c->requires_grad);
+  Var sum = Add(c, c);
+  EXPECT_FALSE(sum->requires_grad);
+  EXPECT_TRUE(sum->parents.empty()) << "constant graphs carry no edges";
+}
+
+TEST(AutodiffTest, MixedGraphRequiresGrad) {
+  Var c = Constant(Matrix(2, 2, 1.0f));
+  Var p = Param(Matrix(2, 2, 2.0f));
+  EXPECT_TRUE(Add(c, p)->requires_grad);
+}
+
+TEST(AutodiffTest, GradientsAccumulateAcrossBackwardCalls) {
+  Var p = Param(Matrix(1, 1, 3.0f));
+  Var loss1 = Square(p);
+  Backward(loss1);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 6.0f);
+  Var loss2 = Square(p);
+  Backward(loss2);
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 12.0f) << "grads accumulate";
+  ZeroGrad({p});
+  EXPECT_FLOAT_EQ(p->grad.at(0, 0), 0.0f);
+}
+
+TEST(AutodiffTest, DiamondGraphSumsBothPaths) {
+  // loss = x*x + x*x reaches x through two paths sharing one node.
+  Var x = Param(Matrix(1, 1, 2.0f));
+  Var sq = Mul(x, x);
+  Var loss = Add(sq, sq);
+  Backward(loss);
+  // d/dx (2x^2) = 4x = 8.
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 8.0f);
+}
+
+TEST(AutodiffTest, DeepChainBackpropagates) {
+  Var x = Param(Matrix(1, 1, 0.5f));
+  Var h = x;
+  for (int i = 0; i < 200; ++i) h = Scale(h, 1.01f);
+  Backward(h);
+  EXPECT_NEAR(x->grad.at(0, 0), std::pow(1.01f, 200), 0.05f);
+}
+
+TEST(AutodiffTest, ReluZeroSubgradientIsZero) {
+  Var x = Param(Matrix(1, 1, 0.0f));
+  Backward(Relu(x));
+  EXPECT_FLOAT_EQ(x->grad.at(0, 0), 0.0f);
+}
+
+TEST(AutodiffTest, TabularActivationOutputsSimplexAndRange) {
+  Rng rng(5);
+  Matrix x0 = Matrix::RandomNormal(4, 6, 0.0f, 2.0f, &rng);
+  Var out = TabularActivation(Constant(x0), {{1, 3}});
+  for (size_t r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (size_t j = 1; j < 4; ++j) sum += out->value.at(r, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f) << "softmax block sums to 1";
+    for (size_t c = 0; c < 6; ++c) {
+      EXPECT_GE(out->value.at(r, c), 0.0f);
+      EXPECT_LE(out->value.at(r, c), 1.0f);
+    }
+  }
+}
+
+TEST(AutodiffTest, BackwardOnConstantLossIsNoop) {
+  Var c = Constant(Matrix(1, 1, 5.0f));
+  Backward(c);  // Must not crash.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace cfx

@@ -1,0 +1,229 @@
+// Unit tests for the dense Matrix kernel.
+#include "src/tensor/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cfx {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], 0.0f);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 2, 7.5f);
+  EXPECT_EQ(m.at(0, 0), 7.5f);
+  EXPECT_EQ(m.at(1, 1), 7.5f);
+}
+
+TEST(MatrixTest, FromRowsLayout) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 2), 3.0f);
+  EXPECT_EQ(m.at(1, 0), 4.0f);
+}
+
+TEST(MatrixTest, IdentityDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.at(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedInvolution) {
+  Rng rng(1);
+  Matrix m = Matrix::RandomNormal(4, 7, 0.0f, 1.0f, &rng);
+  EXPECT_EQ(m.Transposed().Transposed(), m);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.at(0, 2), 5.0f);
+  EXPECT_EQ(t.at(1, 0), 2.0f);
+}
+
+TEST(MatrixTest, MatMulAgainstHandComputed) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = a.MatMul(b);
+  EXPECT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_EQ(c.at(0, 1), 22.0f);
+  EXPECT_EQ(c.at(1, 0), 43.0f);
+  EXPECT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(MatrixTest, MatMulIdentityIsNoop) {
+  Rng rng(2);
+  Matrix m = Matrix::RandomUniform(5, 5, -1.0f, 1.0f, &rng);
+  Matrix out = m.MatMul(Matrix::Identity(5));
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_FLOAT_EQ(out[i], m[i]);
+}
+
+TEST(MatrixTest, MatMulShapes) {
+  Matrix a(2, 3);
+  Matrix b(3, 5);
+  EXPECT_EQ(a.MatMul(b).rows(), 2u);
+  EXPECT_EQ(a.MatMul(b).cols(), 5u);
+}
+
+TEST(MatrixTest, ElementwiseArithmetic) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{10, 20}, {30, 40}});
+  EXPECT_EQ((a + b).at(1, 1), 44.0f);
+  EXPECT_EQ((b - a).at(0, 0), 9.0f);
+  EXPECT_EQ((a * b).at(0, 1), 40.0f);
+  EXPECT_EQ((a * 2.0f).at(1, 0), 6.0f);
+  EXPECT_EQ((2.0f * a).at(1, 0), 6.0f);
+}
+
+TEST(MatrixTest, CompoundAssignment) {
+  Matrix a = Matrix::FromRows({{1, 1}});
+  a += Matrix::FromRows({{2, 3}});
+  EXPECT_EQ(a.at(0, 1), 4.0f);
+  a -= Matrix::FromRows({{1, 1}});
+  EXPECT_EQ(a.at(0, 0), 2.0f);
+  a *= 3.0f;
+  EXPECT_EQ(a.at(0, 1), 9.0f);
+}
+
+TEST(MatrixTest, SliceRows) {
+  Matrix m = Matrix::FromRows({{1}, {2}, {3}, {4}});
+  Matrix s = m.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_EQ(s.at(1, 0), 3.0f);
+}
+
+TEST(MatrixTest, SliceCols) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix s = m.SliceCols(1, 3);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_EQ(s.at(1, 1), 6.0f);
+}
+
+TEST(MatrixTest, GatherRowsReordersAndRepeats) {
+  Matrix m = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.at(0, 0), 3.0f);
+  EXPECT_EQ(g.at(1, 0), 1.0f);
+  EXPECT_EQ(g.at(2, 1), 3.0f);
+}
+
+TEST(MatrixTest, ConcatColsAndRows) {
+  Matrix a = Matrix::FromRows({{1}, {2}});
+  Matrix b = Matrix::FromRows({{3, 4}, {5, 6}});
+  Matrix c = a.ConcatCols(b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c.at(1, 2), 6.0f);
+
+  Matrix d = a.ConcatRows(Matrix::FromRows({{9}}));
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.at(2, 0), 9.0f);
+}
+
+TEST(MatrixTest, ConcatRowsWithEmpty) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix empty;
+  EXPECT_EQ(a.ConcatRows(empty), a);
+  EXPECT_EQ(empty.ConcatRows(a), a);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix bias = Matrix::RowVector({10, 20});
+  Matrix out = m.AddRowBroadcast(bias);
+  EXPECT_EQ(out.at(0, 0), 11.0f);
+  EXPECT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(MatrixTest, Reductions) {
+  Matrix m = Matrix::FromRows({{1, -2}, {3, 4}});
+  EXPECT_FLOAT_EQ(m.Sum(), 6.0f);
+  EXPECT_FLOAT_EQ(m.Mean(), 1.5f);
+  EXPECT_FLOAT_EQ(m.MaxAbs(), 4.0f);
+  EXPECT_FLOAT_EQ(m.SquaredNorm(), 1 + 4 + 9 + 16);
+  Matrix cs = m.ColSum();
+  EXPECT_FLOAT_EQ(cs.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(cs.at(0, 1), 2.0f);
+  Matrix rs = m.RowSum();
+  EXPECT_FLOAT_EQ(rs.at(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(rs.at(1, 0), 7.0f);
+}
+
+TEST(MatrixTest, MapAppliesElementwise) {
+  Matrix m = Matrix::FromRows({{-1, 4}});
+  Matrix out = m.Map([](float v) { return v * v; });
+  EXPECT_EQ(out.at(0, 0), 1.0f);
+  EXPECT_EQ(out.at(0, 1), 16.0f);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNan) {
+  Matrix m(2, 2, 1.0f);
+  EXPECT_TRUE(m.AllFinite());
+  m.at(1, 0) = std::nanf("");
+  EXPECT_FALSE(m.AllFinite());
+  m.at(1, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, RandomNormalMoments) {
+  Rng rng(3);
+  Matrix m = Matrix::RandomNormal(200, 50, 2.0f, 0.5f, &rng);
+  EXPECT_NEAR(m.Mean(), 2.0f, 0.02f);
+  float var = 0.0f;
+  for (size_t i = 0; i < m.size(); ++i) {
+    var += (m[i] - 2.0f) * (m[i] - 2.0f);
+  }
+  var /= m.size();
+  EXPECT_NEAR(var, 0.25f, 0.02f);
+}
+
+TEST(MatrixTest, RandomUniformBounds) {
+  Rng rng(4);
+  Matrix m = Matrix::RandomUniform(100, 10, -2.0f, 3.0f, &rng);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m[i], -2.0f);
+    EXPECT_LT(m[i], 3.0f);
+  }
+}
+
+TEST(MatrixTest, RowExtractsSingleRow) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix r = m.Row(1);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.at(0, 0), 3.0f);
+}
+
+TEST(MatrixTest, FillOverwrites) {
+  Matrix m(2, 2, 5.0f);
+  m.Fill(-1.0f);
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], -1.0f);
+}
+
+TEST(MatrixTest, ToStringMentionsShape) {
+  Matrix m(3, 2);
+  EXPECT_NE(m.ToString().find("3x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cfx
