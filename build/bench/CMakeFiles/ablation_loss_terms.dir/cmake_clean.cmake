@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss_terms.dir/ablation_loss_terms.cc.o"
+  "CMakeFiles/ablation_loss_terms.dir/ablation_loss_terms.cc.o.d"
+  "ablation_loss_terms"
+  "ablation_loss_terms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_terms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

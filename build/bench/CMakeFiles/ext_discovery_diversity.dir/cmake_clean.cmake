@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_discovery_diversity.dir/ext_discovery_diversity.cc.o"
+  "CMakeFiles/ext_discovery_diversity.dir/ext_discovery_diversity.cc.o.d"
+  "ext_discovery_diversity"
+  "ext_discovery_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_discovery_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

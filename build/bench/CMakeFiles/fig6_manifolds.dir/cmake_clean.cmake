@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_manifolds.dir/fig6_manifolds.cc.o"
+  "CMakeFiles/fig6_manifolds.dir/fig6_manifolds.cc.o.d"
+  "fig6_manifolds"
+  "fig6_manifolds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_manifolds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_manifolds.
+# This may be replaced when dependencies are built.

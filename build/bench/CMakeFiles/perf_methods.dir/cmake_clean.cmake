@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_methods.dir/perf_methods.cc.o"
+  "CMakeFiles/perf_methods.dir/perf_methods.cc.o.d"
+  "perf_methods"
+  "perf_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

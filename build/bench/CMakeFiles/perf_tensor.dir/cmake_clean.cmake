@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tensor.dir/perf_tensor.cc.o"
+  "CMakeFiles/perf_tensor.dir/perf_tensor.cc.o.d"
+  "perf_tensor"
+  "perf_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

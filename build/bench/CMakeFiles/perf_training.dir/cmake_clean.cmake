@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_training.dir/perf_training.cc.o"
+  "CMakeFiles/perf_training.dir/perf_training.cc.o.d"
+  "perf_training"
+  "perf_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tsne.dir/perf_tsne.cc.o"
+  "CMakeFiles/perf_tsne.dir/perf_tsne.cc.o.d"
+  "perf_tsne"
+  "perf_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

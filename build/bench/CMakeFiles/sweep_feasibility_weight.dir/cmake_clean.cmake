@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_feasibility_weight.dir/sweep_feasibility_weight.cc.o"
+  "CMakeFiles/sweep_feasibility_weight.dir/sweep_feasibility_weight.cc.o.d"
+  "sweep_feasibility_weight"
+  "sweep_feasibility_weight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_feasibility_weight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vae_settings.dir/table2_vae_settings.cc.o"
+  "CMakeFiles/table2_vae_settings.dir/table2_vae_settings.cc.o.d"
+  "table2_vae_settings"
+  "table2_vae_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vae_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

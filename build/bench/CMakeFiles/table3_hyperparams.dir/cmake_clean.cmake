@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hyperparams.dir/table3_hyperparams.cc.o"
+  "CMakeFiles/table3_hyperparams.dir/table3_hyperparams.cc.o.d"
+  "table3_hyperparams"
+  "table3_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_adult.dir/table4_adult.cc.o"
+  "CMakeFiles/table4_adult.dir/table4_adult.cc.o.d"
+  "table4_adult"
+  "table4_adult.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

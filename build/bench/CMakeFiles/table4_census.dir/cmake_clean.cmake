@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_census.dir/table4_census.cc.o"
+  "CMakeFiles/table4_census.dir/table4_census.cc.o.d"
+  "table4_census"
+  "table4_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

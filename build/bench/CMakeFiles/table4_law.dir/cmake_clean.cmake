@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_law.dir/table4_law.cc.o"
+  "CMakeFiles/table4_law.dir/table4_law.cc.o.d"
+  "table4_law"
+  "table4_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

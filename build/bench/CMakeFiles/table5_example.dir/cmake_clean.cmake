@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_example.dir/table5_example.cc.o"
+  "CMakeFiles/table5_example.dir/table5_example.cc.o.d"
+  "table5_example"
+  "table5_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bar_exam_recourse.dir/bar_exam_recourse.cpp.o"
+  "CMakeFiles/bar_exam_recourse.dir/bar_exam_recourse.cpp.o.d"
+  "bar_exam_recourse"
+  "bar_exam_recourse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bar_exam_recourse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

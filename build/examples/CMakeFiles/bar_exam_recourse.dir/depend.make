@@ -1,0 +1,2 @@
+# Empty dependencies file for bar_exam_recourse.
+# This may be replaced when dependencies are built.

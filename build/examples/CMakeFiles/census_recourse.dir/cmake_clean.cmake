@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_recourse.dir/census_recourse.cpp.o"
+  "CMakeFiles/census_recourse.dir/census_recourse.cpp.o.d"
+  "census_recourse"
+  "census_recourse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_recourse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

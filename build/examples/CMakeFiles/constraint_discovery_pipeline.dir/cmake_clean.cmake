@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_discovery_pipeline.dir/constraint_discovery_pipeline.cpp.o"
+  "CMakeFiles/constraint_discovery_pipeline.dir/constraint_discovery_pipeline.cpp.o.d"
+  "constraint_discovery_pipeline"
+  "constraint_discovery_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_discovery_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

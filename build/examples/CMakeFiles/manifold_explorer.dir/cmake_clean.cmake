@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifold_explorer.dir/manifold_explorer.cpp.o"
+  "CMakeFiles/manifold_explorer.dir/manifold_explorer.cpp.o.d"
+  "manifold_explorer"
+  "manifold_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifold_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

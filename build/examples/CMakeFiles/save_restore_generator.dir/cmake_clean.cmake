@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/save_restore_generator.dir/save_restore_generator.cpp.o"
+  "CMakeFiles/save_restore_generator.dir/save_restore_generator.cpp.o.d"
+  "save_restore_generator"
+  "save_restore_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/save_restore_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

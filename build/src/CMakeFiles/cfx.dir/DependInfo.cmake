@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cchvae.cc" "src/CMakeFiles/cfx.dir/baselines/cchvae.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/cchvae.cc.o.d"
+  "/root/repo/src/baselines/cem.cc" "src/CMakeFiles/cfx.dir/baselines/cem.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/cem.cc.o.d"
+  "/root/repo/src/baselines/dice_gradient.cc" "src/CMakeFiles/cfx.dir/baselines/dice_gradient.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/dice_gradient.cc.o.d"
+  "/root/repo/src/baselines/dice_random.cc" "src/CMakeFiles/cfx.dir/baselines/dice_random.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/dice_random.cc.o.d"
+  "/root/repo/src/baselines/face.cc" "src/CMakeFiles/cfx.dir/baselines/face.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/face.cc.o.d"
+  "/root/repo/src/baselines/mahajan.cc" "src/CMakeFiles/cfx.dir/baselines/mahajan.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/mahajan.cc.o.d"
+  "/root/repo/src/baselines/method.cc" "src/CMakeFiles/cfx.dir/baselines/method.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/method.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/cfx.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/revise.cc" "src/CMakeFiles/cfx.dir/baselines/revise.cc.o" "gcc" "src/CMakeFiles/cfx.dir/baselines/revise.cc.o.d"
+  "/root/repo/src/causal/scm.cc" "src/CMakeFiles/cfx.dir/causal/scm.cc.o" "gcc" "src/CMakeFiles/cfx.dir/causal/scm.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/cfx.dir/common/config.cc.o" "gcc" "src/CMakeFiles/cfx.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cfx.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cfx.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cfx.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cfx.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cfx.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cfx.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/cfx.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/cfx.dir/common/string_util.cc.o.d"
+  "/root/repo/src/constraints/constraint.cc" "src/CMakeFiles/cfx.dir/constraints/constraint.cc.o" "gcc" "src/CMakeFiles/cfx.dir/constraints/constraint.cc.o.d"
+  "/root/repo/src/constraints/discovery.cc" "src/CMakeFiles/cfx.dir/constraints/discovery.cc.o" "gcc" "src/CMakeFiles/cfx.dir/constraints/discovery.cc.o.d"
+  "/root/repo/src/constraints/feasibility.cc" "src/CMakeFiles/cfx.dir/constraints/feasibility.cc.o" "gcc" "src/CMakeFiles/cfx.dir/constraints/feasibility.cc.o.d"
+  "/root/repo/src/constraints/penalty.cc" "src/CMakeFiles/cfx.dir/constraints/penalty.cc.o" "gcc" "src/CMakeFiles/cfx.dir/constraints/penalty.cc.o.d"
+  "/root/repo/src/core/cf_example.cc" "src/CMakeFiles/cfx.dir/core/cf_example.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/cf_example.cc.o.d"
+  "/root/repo/src/core/diverse.cc" "src/CMakeFiles/cfx.dir/core/diverse.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/diverse.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/cfx.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/generator.cc" "src/CMakeFiles/cfx.dir/core/generator.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/generator.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/CMakeFiles/cfx.dir/core/loss.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/loss.cc.o.d"
+  "/root/repo/src/core/table_four.cc" "src/CMakeFiles/cfx.dir/core/table_four.cc.o" "gcc" "src/CMakeFiles/cfx.dir/core/table_four.cc.o.d"
+  "/root/repo/src/data/batcher.cc" "src/CMakeFiles/cfx.dir/data/batcher.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/batcher.cc.o.d"
+  "/root/repo/src/data/column.cc" "src/CMakeFiles/cfx.dir/data/column.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/column.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/cfx.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/encoder.cc" "src/CMakeFiles/cfx.dir/data/encoder.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/encoder.cc.o.d"
+  "/root/repo/src/data/preprocess.cc" "src/CMakeFiles/cfx.dir/data/preprocess.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/preprocess.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/cfx.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/cfx.dir/data/split.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/split.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/cfx.dir/data/table.cc.o" "gcc" "src/CMakeFiles/cfx.dir/data/table.cc.o.d"
+  "/root/repo/src/datasets/adult.cc" "src/CMakeFiles/cfx.dir/datasets/adult.cc.o" "gcc" "src/CMakeFiles/cfx.dir/datasets/adult.cc.o.d"
+  "/root/repo/src/datasets/census.cc" "src/CMakeFiles/cfx.dir/datasets/census.cc.o" "gcc" "src/CMakeFiles/cfx.dir/datasets/census.cc.o.d"
+  "/root/repo/src/datasets/law.cc" "src/CMakeFiles/cfx.dir/datasets/law.cc.o" "gcc" "src/CMakeFiles/cfx.dir/datasets/law.cc.o.d"
+  "/root/repo/src/datasets/registry.cc" "src/CMakeFiles/cfx.dir/datasets/registry.cc.o" "gcc" "src/CMakeFiles/cfx.dir/datasets/registry.cc.o.d"
+  "/root/repo/src/datasets/spec.cc" "src/CMakeFiles/cfx.dir/datasets/spec.cc.o" "gcc" "src/CMakeFiles/cfx.dir/datasets/spec.cc.o.d"
+  "/root/repo/src/manifold/density.cc" "src/CMakeFiles/cfx.dir/manifold/density.cc.o" "gcc" "src/CMakeFiles/cfx.dir/manifold/density.cc.o.d"
+  "/root/repo/src/manifold/knn.cc" "src/CMakeFiles/cfx.dir/manifold/knn.cc.o" "gcc" "src/CMakeFiles/cfx.dir/manifold/knn.cc.o.d"
+  "/root/repo/src/manifold/scatter.cc" "src/CMakeFiles/cfx.dir/manifold/scatter.cc.o" "gcc" "src/CMakeFiles/cfx.dir/manifold/scatter.cc.o.d"
+  "/root/repo/src/manifold/svg.cc" "src/CMakeFiles/cfx.dir/manifold/svg.cc.o" "gcc" "src/CMakeFiles/cfx.dir/manifold/svg.cc.o.d"
+  "/root/repo/src/manifold/tsne.cc" "src/CMakeFiles/cfx.dir/manifold/tsne.cc.o" "gcc" "src/CMakeFiles/cfx.dir/manifold/tsne.cc.o.d"
+  "/root/repo/src/metrics/classification.cc" "src/CMakeFiles/cfx.dir/metrics/classification.cc.o" "gcc" "src/CMakeFiles/cfx.dir/metrics/classification.cc.o.d"
+  "/root/repo/src/metrics/faithfulness.cc" "src/CMakeFiles/cfx.dir/metrics/faithfulness.cc.o" "gcc" "src/CMakeFiles/cfx.dir/metrics/faithfulness.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/cfx.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/cfx.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/cfx.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/cfx.dir/metrics/report.cc.o.d"
+  "/root/repo/src/models/classifier.cc" "src/CMakeFiles/cfx.dir/models/classifier.cc.o" "gcc" "src/CMakeFiles/cfx.dir/models/classifier.cc.o.d"
+  "/root/repo/src/models/vae.cc" "src/CMakeFiles/cfx.dir/models/vae.cc.o" "gcc" "src/CMakeFiles/cfx.dir/models/vae.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/cfx.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/cfx.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/cfx.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/cfx.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/cfx.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/cfx.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/cfx.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/cfx.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/cfx.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/cfx.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/tensor/autodiff.cc" "src/CMakeFiles/cfx.dir/tensor/autodiff.cc.o" "gcc" "src/CMakeFiles/cfx.dir/tensor/autodiff.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/cfx.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/cfx.dir/tensor/matrix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

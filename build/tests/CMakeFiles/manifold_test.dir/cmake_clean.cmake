@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifold_test.dir/manifold_test.cc.o"
+  "CMakeFiles/manifold_test.dir/manifold_test.cc.o.d"
+  "manifold_test"
+  "manifold_test.pdb"
+  "manifold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_matrix_test.dir/tensor_matrix_test.cc.o"
+  "CMakeFiles/tensor_matrix_test.dir/tensor_matrix_test.cc.o.d"
+  "tensor_matrix_test"
+  "tensor_matrix_test.pdb"
+  "tensor_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfx_cli.dir/cfx_cli.cc.o"
+  "CMakeFiles/cfx_cli.dir/cfx_cli.cc.o.d"
+  "cfx_cli"
+  "cfx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
