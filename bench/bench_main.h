@@ -1,0 +1,46 @@
+// Shared main() for the perf_* google-benchmark binaries.
+//
+// Every run leaves a machine-readable trace next to the binary's working
+// directory: unless the caller passed --benchmark_out explicitly, results
+// are mirrored to BENCH_<name>.json (benchmark names, wall-clock times,
+// iteration counts) with the effective cfx thread count recorded in the
+// JSON context — so perf runs under different CFX_THREADS settings are
+// directly diffable.
+#ifndef CFX_BENCH_BENCH_MAIN_H_
+#define CFX_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+#define CFX_BENCHMARK_MAIN(name)                                             \
+  int main(int argc, char** argv) {                                          \
+    std::vector<char*> args(argv, argv + argc);                              \
+    bool has_out = false;                                                    \
+    for (int i = 1; i < argc; ++i) {                                         \
+      if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true; \
+    }                                                                        \
+    std::string out_flag = "--benchmark_out=BENCH_" name ".json";            \
+    std::string fmt_flag = "--benchmark_out_format=json";                    \
+    if (!has_out) {                                                          \
+      args.push_back(out_flag.data());                                       \
+      args.push_back(fmt_flag.data());                                       \
+    }                                                                        \
+    benchmark::AddCustomContext(                                             \
+        "cfx_threads", std::to_string(cfx::ThreadPool::GlobalThreads()));    \
+    int effective_argc = static_cast<int>(args.size());                      \
+    benchmark::Initialize(&effective_argc, args.data());                     \
+    if (benchmark::ReportUnrecognizedArguments(effective_argc,               \
+                                               args.data())) {               \
+      return 1;                                                              \
+    }                                                                        \
+    benchmark::RunSpecifiedBenchmarks();                                     \
+    benchmark::Shutdown();                                                   \
+    return 0;                                                                \
+  }
+
+#endif  // CFX_BENCH_BENCH_MAIN_H_

@@ -2,6 +2,8 @@
 // a full autodiff forward+backward of an MLP-shaped graph.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/nn/layers.h"
 #include "src/nn/losses.h"
 
@@ -73,4 +75,4 @@ BENCHMARK(BM_AutodiffMlpStep)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 }  // namespace cfx
 
-BENCHMARK_MAIN();
+CFX_BENCHMARK_MAIN("perf_tensor");

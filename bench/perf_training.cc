@@ -2,6 +2,8 @@
 // one four-part-loss step of the CF generator, at the experiment's shapes.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/core/experiment.h"
 #include "src/core/generator.h"
 
@@ -87,4 +89,4 @@ BENCHMARK(BM_GeneratorGenerate)->Arg(10)->Arg(100)->Unit(benchmark::kMillisecond
 }  // namespace
 }  // namespace cfx
 
-BENCHMARK_MAIN();
+CFX_BENCHMARK_MAIN("perf_training");

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "src/manifold/knn.h"
 #include "src/manifold/tsne.h"
 
@@ -81,4 +83,4 @@ BENCHMARK(BM_KnnBruteForceQuery)->Arg(1000)->Arg(5000)->Arg(20000);
 }  // namespace
 }  // namespace cfx
 
-BENCHMARK_MAIN();
+CFX_BENCHMARK_MAIN("perf_tsne");

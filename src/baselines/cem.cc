@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/core/descent.h"
 #include "src/nn/losses.h"
 
 namespace cfx {
@@ -25,26 +26,16 @@ CfResult CemMethod::Generate(const Matrix& x) {
   }
   const Matrix mutable_mask = ctx_.encoder->MutableMask();
 
-  Matrix delta(x.rows(), x.cols());  // Starts at zero.
-  Matrix best = x;                   // Snapshot of first flip per row.
+  ag::Var delta_var = ag::Param(Matrix(x.rows(), x.cols()));  // Zero start.
+  Matrix best = x;  // Snapshot of first flip per row.
   std::vector<bool> found(x.rows(), false);
 
-  for (size_t it = 0; it < config_.max_iterations; ++it) {
-    // Smooth part: hinge + 0.5 * w2 * ||delta||^2, differentiated via the
-    // autodiff graph on (x + delta).
-    ag::Var delta_var = ag::Param(delta);
-    ag::Var x_cf = ag::Add(ag::Constant(x), delta_var);
-    ag::Var logits = ctx_.classifier->LogitsVar(x_cf);
-    // Sum (not mean) over rows: each row is an independent optimisation
-    // problem, so its gradient must not shrink with the batch size.
-    ag::Var validity = ag::Scale(
-        nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
-        static_cast<float>(x.rows()));
-    ag::Var l2 =
-        ag::Scale(ag::Sum(ag::Square(delta_var)), 0.5f * config_.l2_weight);
-    ag::Var smooth = ag::Add(validity, l2);
-    ag::Backward(smooth);
+  descent::Config dconfig;
+  dconfig.max_iterations = config_.max_iterations;
 
+  ag::Var x_cf;  // Candidate of the current iteration, shared with hooks.
+  descent::Hooks hooks;
+  hooks.before_update = [&](const descent::StepInfo&) {
     // Record flips before stepping — judged on the *projected* candidate
     // (hard one-hots), which is what the final CF will be evaluated as.
     Matrix projected(x.rows(), x.cols());
@@ -63,10 +54,13 @@ CfResult CemMethod::Generate(const Matrix& x) {
       }
       all_found = all_found && found[r];
     }
-    if (all_found) break;
-
+    return all_found ? descent::Control::kStop : descent::Control::kContinue;
+  };
+  hooks.apply_update = [&](const descent::StepInfo&) {
     // Proximal step: gradient descent then ISTA soft-thresholding (the L1
-    // part), projection to the box, immutables pinned.
+    // part), projection to the box, immutables pinned. Replaces the
+    // driver's optimiser entirely.
+    Matrix& delta = delta_var->value;
     const float thresh = config_.step_size * config_.beta;
     for (size_t r = 0; r < x.rows(); ++r) {
       if (found[r]) continue;
@@ -90,13 +84,31 @@ CfResult CemMethod::Generate(const Matrix& x) {
         delta.at(r, c) = d;
       }
     }
-  }
+  };
+
+  descent::RunDescent(
+      {delta_var}, dconfig,
+      [&](size_t) {
+        // Smooth part: hinge + 0.5 * w2 * ||delta||^2, differentiated via
+        // the autodiff graph on (x + delta).
+        x_cf = ag::Add(ag::Constant(x), delta_var);
+        ag::Var logits = ctx_.classifier->LogitsVar(x_cf);
+        // Sum (not mean) over rows: each row is an independent optimisation
+        // problem, so its gradient must not shrink with the batch size.
+        ag::Var validity = ag::Scale(
+            nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
+            static_cast<float>(x.rows()));
+        ag::Var l2 = ag::Scale(ag::Sum(ag::Square(delta_var)),
+                               0.5f * config_.l2_weight);
+        return ag::Add(validity, l2);
+      },
+      hooks);
 
   // Rows that never flipped return their final perturbation.
   for (size_t r = 0; r < x.rows(); ++r) {
     if (found[r]) continue;
     for (size_t c = 0; c < x.cols(); ++c) {
-      best.at(r, c) = x.at(r, c) + delta.at(r, c);
+      best.at(r, c) = x.at(r, c) + delta_var->value.at(r, c);
     }
   }
   return FinishResult(x, best);

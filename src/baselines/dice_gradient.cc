@@ -4,8 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/core/descent.h"
 #include "src/nn/losses.h"
-#include "src/nn/optimizer.h"
 
 namespace cfx {
 
@@ -42,39 +42,16 @@ CfResult DiceGradientMethod::Generate(const Matrix& x) {
     }
     candidates[i] = ag::Param(init);
   }
-  nn::Adam opt(candidates, config_.step_size);
 
   const float pair_scale =
       k >= 2 ? 2.0f / static_cast<float>(k * (k - 1)) : 0.0f;
-  for (size_t it = 0; it < config_.max_iterations; ++it) {
-    // Sum-semantics objective over all candidates.
-    ag::Var loss = ag::Constant(Matrix(1, 1));
-    for (size_t i = 0; i < k; ++i) {
-      ag::Var logits = ctx_.classifier->LogitsVar(candidates[i]);
-      ag::Var validity = ag::Scale(
-          nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
-          static_cast<float>(n));
-      ag::Var proximity = ag::Scale(
-          ag::Sum(ag::Abs(ag::Sub(candidates[i], ag::Constant(x)))),
-          config_.proximity_lambda);
-      loss = ag::Add(loss, ag::Add(validity, proximity));
-    }
-    // Diversity: reward pairwise spread (subtracted).
-    if (k >= 2) {
-      ag::Var spread = ag::Constant(Matrix(1, 1));
-      for (size_t i = 0; i < k; ++i) {
-        for (size_t j = i + 1; j < k; ++j) {
-          spread = ag::Add(
-              spread, ag::Sum(ag::Abs(ag::Sub(candidates[i], candidates[j]))));
-        }
-      }
-      loss = ag::Sub(loss, ag::Scale(spread, config_.diversity_lambda *
-                                                 pair_scale));
-    }
-    opt.ZeroGrad();
-    ag::Backward(loss);
-    opt.Step();
 
+  descent::Config dconfig;
+  dconfig.max_iterations = config_.max_iterations;
+  dconfig.step_size = config_.step_size;
+
+  descent::Hooks hooks;
+  hooks.after_update = [&](const descent::StepInfo&) {
     // Project back into the box; pin immutables.
     for (size_t i = 0; i < k; ++i) {
       Matrix& value = candidates[i]->value;
@@ -88,7 +65,40 @@ CfResult DiceGradientMethod::Generate(const Matrix& x) {
         }
       }
     }
-  }
+    return descent::Control::kContinue;
+  };
+
+  descent::RunDescent(
+      candidates, dconfig,
+      [&](size_t) {
+        // Sum-semantics objective over all candidates.
+        ag::Var loss = ag::Constant(Matrix(1, 1));
+        for (size_t i = 0; i < k; ++i) {
+          ag::Var logits = ctx_.classifier->LogitsVar(candidates[i]);
+          ag::Var validity = ag::Scale(
+              nn::HingeLoss(logits, desired_pm1, config_.hinge_margin),
+              static_cast<float>(n));
+          ag::Var proximity = ag::Scale(
+              ag::Sum(ag::Abs(ag::Sub(candidates[i], ag::Constant(x)))),
+              config_.proximity_lambda);
+          loss = ag::Add(loss, ag::Add(validity, proximity));
+        }
+        // Diversity: reward pairwise spread (subtracted).
+        if (k >= 2) {
+          ag::Var spread = ag::Constant(Matrix(1, 1));
+          for (size_t i = 0; i < k; ++i) {
+            for (size_t j = i + 1; j < k; ++j) {
+              spread = ag::Add(spread,
+                               ag::Sum(ag::Abs(ag::Sub(candidates[i],
+                                                       candidates[j]))));
+            }
+          }
+          loss = ag::Sub(loss, ag::Scale(spread, config_.diversity_lambda *
+                                                     pair_scale));
+        }
+        return loss;
+      },
+      hooks);
 
   // Evaluate all projected candidates; keep per-input sets and pick the
   // closest valid one as the headline CF.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "src/common/thread_pool.h"
 #include "src/manifold/knn.h"
 
 namespace cfx {
@@ -33,15 +34,20 @@ Status FaceMethod::Fit(const Matrix& x_train, const std::vector<int>& labels) {
   index_ = std::make_unique<KnnIndex>(nodes_, &rng_);
   adjacency_.assign(m, {});
   std::vector<float> mean_knn(m, 0.0f);
-  for (size_t i = 0; i < m; ++i) {
-    std::vector<Neighbor> hits = index_->QuerySelf(i, config_.k_neighbors);
-    float acc = 0.0f;
-    for (const Neighbor& hit : hits) {
-      adjacency_[i].push_back({hit.index, hit.distance});
-      acc += hit.distance;
+  // The index queries are const (pure reads of the VP-tree), so the per-node
+  // kNN lookups run in parallel; each chunk writes only its own rows of
+  // adjacency_/mean_knn, keeping the graph identical for any thread count.
+  ParallelFor(0, m, 0, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      std::vector<Neighbor> hits = index_->QuerySelf(i, config_.k_neighbors);
+      float acc = 0.0f;
+      for (const Neighbor& hit : hits) {
+        adjacency_[i].push_back({hit.index, hit.distance});
+        acc += hit.distance;
+      }
+      mean_knn[i] = acc / static_cast<float>(config_.k_neighbors);
     }
-    mean_knn[i] = acc / static_cast<float>(config_.k_neighbors);
-  }
+  });
   // Symmetrise: ensure j lists i whenever i lists j.
   for (size_t i = 0; i < m; ++i) {
     for (const auto& [j, w] : adjacency_[i]) {

@@ -1,7 +1,7 @@
 #include "src/baselines/revise.h"
 
+#include "src/core/descent.h"
 #include "src/nn/losses.h"
-#include "src/nn/optimizer.h"
 
 namespace cfx {
 
@@ -39,22 +39,19 @@ CfResult ReviseMethod::Generate(const Matrix& x) {
   auto [mu, logvar] = vae_->Encode(x, Matrix());
   (void)logvar;
   ag::Var z = ag::Param(mu);
-  nn::Adam opt({z}, config_.step_size);
 
   // Track the first decoding of each row that reaches its desired class —
   // REVISE stops per-instance as soon as the class flips.
   Matrix best = vae_->Decode(mu, Matrix());
   std::vector<bool> found(x.rows(), false);
 
-  for (size_t it = 0; it < config_.max_iterations; ++it) {
-    ag::Var x_hat = vae_->DecodeVar(z, Matrix());
-    ag::Var logits = ctx_.classifier->LogitsVar(x_hat);
-    ag::Var validity =
-        nn::HingeLoss(logits, desired_pm1, config_.hinge_margin);
-    ag::Var proximity = nn::L1Loss(x_hat, x);
-    ag::Var loss =
-        ag::Add(validity, ag::Scale(proximity, config_.proximity_lambda));
+  descent::Config dconfig;
+  dconfig.max_iterations = config_.max_iterations;
+  dconfig.step_size = config_.step_size;
 
+  ag::Var x_hat;  // Decoding of the current iteration, shared with the hook.
+  descent::Hooks hooks;
+  hooks.before_update = [&](const descent::StepInfo&) {
     // Snapshot rows whose *projected* decoding (hard one-hots — what the
     // final CF is evaluated as) classifies to the desired class.
     Matrix projected(x.rows(), x.cols());
@@ -73,12 +70,21 @@ CfResult ReviseMethod::Generate(const Matrix& x) {
       }
       all_found = all_found && found[r];
     }
-    if (all_found) break;
+    return all_found ? descent::Control::kStop : descent::Control::kContinue;
+  };
 
-    opt.ZeroGrad();
-    ag::Backward(loss);
-    opt.Step();
-  }
+  descent::RunDescent(
+      {z}, dconfig,
+      [&](size_t) {
+        x_hat = vae_->DecodeVar(z, Matrix());
+        ag::Var logits = ctx_.classifier->LogitsVar(x_hat);
+        ag::Var validity =
+            nn::HingeLoss(logits, desired_pm1, config_.hinge_margin);
+        ag::Var proximity = nn::L1Loss(x_hat, x);
+        return ag::Add(validity,
+                       ag::Scale(proximity, config_.proximity_lambda));
+      },
+      hooks);
 
   // Rows that never flipped keep their final decoding.
   ag::Var final_hat = vae_->DecodeVar(ag::Constant(z->value), Matrix());

@@ -1,0 +1,203 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cfx {
+
+namespace {
+thread_local bool tls_in_worker = false;
+thread_local int tls_forced_serial = 0;
+}  // namespace
+
+ThreadPool::ScopedSerial::ScopedSerial() { ++tls_forced_serial; }
+ThreadPool::ScopedSerial::~ScopedSerial() { --tls_forced_serial; }
+bool ThreadPool::ScopedSerial::active() { return tls_forced_serial > 0; }
+
+/// Shared state of one ParallelFor invocation. Lives on the caller's stack;
+/// workers may only touch it between adopting it (under the pool mutex) and
+/// dropping their ref, and the caller only destroys it once every ref is
+/// gone and all chunks have completed.
+struct ThreadPool::LoopState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t total_chunks = 0;
+  const std::function<void(size_t, size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<size_t> done_chunks{0};
+  std::atomic<int> refs{0};
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(size_t threads) : threads_(std::max<size_t>(threads, 1)) {
+  workers_.reserve(threads_ - 1);
+  for (size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t n = 0;
+    if (const char* env = std::getenv("CFX_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1) n = static_cast<size_t>(v);
+    }
+    if (n == 0) {
+      n = std::thread::hardware_concurrency();
+      if (n == 0) n = 1;
+    }
+    // Leaked on purpose: workers outlive every static destructor this way.
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+size_t ThreadPool::GlobalThreads() { return Global().size(); }
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::WorkerMain() {
+  tls_in_worker = true;
+  // Generation guard, not a pointer comparison: successive LoopState stack
+  // objects can land on the same address.
+  unsigned long long seen_gen = 0;
+  while (true) {
+    LoopState* loop = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] {
+        return shutdown_ || (active_loop_ != nullptr && loop_gen_ != seen_gen);
+      });
+      if (shutdown_) return;
+      loop = active_loop_;
+      seen_gen = loop_gen_;
+      // Adopt under the pool mutex so the caller, which clears active_loop_
+      // under the same mutex before waiting, always observes this ref.
+      loop->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    DrainLoop(loop);
+  }
+}
+
+void ThreadPool::DrainLoop(LoopState* loop) {
+  while (true) {
+    const size_t chunk = loop->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= loop->total_chunks) break;
+    const size_t b = loop->begin + chunk * loop->grain;
+    const size_t e = std::min(b + loop->grain, loop->end);
+    try {
+      (*loop->body)(b, e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(loop->error_mu);
+      if (!loop->error) loop->error = std::current_exception();
+    }
+    loop->done_chunks.fetch_add(1, std::memory_order_acq_rel);
+  }
+  const int remaining = loop->refs.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (remaining == 0 &&
+      loop->done_chunks.load(std::memory_order_acquire) == loop->total_chunks) {
+    std::lock_guard<std::mutex> lock(loop->done_mu);
+    loop->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  const size_t range = end - begin;
+  size_t g = grain;
+  if (g == 0) g = std::max<size_t>(1, range / (threads_ * 4));
+
+  // Serial fallback: pool of one, a range that fits a single chunk, a
+  // nested call from inside a worker, or a forced-serial scope — run inline
+  // with no synchronisation.
+  if (threads_ == 1 || range <= g || InWorker() || ScopedSerial::active()) {
+    body(begin, end);
+    return;
+  }
+
+  LoopState loop;
+  loop.begin = begin;
+  loop.end = end;
+  loop.grain = g;
+  loop.total_chunks = (range + g - 1) / g;
+  loop.body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_loop_ != nullptr) {
+      // Another top-level loop is in flight (concurrent callers): run inline
+      // rather than queueing behind it.
+      body(begin, end);
+      return;
+    }
+    active_loop_ = &loop;
+    ++loop_gen_;
+    loop.refs.fetch_add(1, std::memory_order_relaxed);  // the caller's ref
+  }
+  wake_.notify_all();
+
+  DrainLoop(&loop);
+
+  {
+    // No new worker may adopt the loop from here on; every adopter so far
+    // has its ref registered (both happen under mu_).
+    std::lock_guard<std::mutex> lock(mu_);
+    active_loop_ = nullptr;
+  }
+  {
+    std::unique_lock<std::mutex> lock(loop.done_mu);
+    loop.done_cv.wait(lock, [&] {
+      return loop.refs.load(std::memory_order_acquire) == 0 &&
+             loop.done_chunks.load(std::memory_order_acquire) ==
+                 loop.total_chunks;
+    });
+  }
+  if (loop.error) std::rethrow_exception(loop.error);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, body);
+}
+
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& body) {
+  if (end <= begin) return 0.0;
+  const size_t range = end - begin;
+  const size_t g = grain == 0 ? std::max<size_t>(1, range / 64) : grain;
+  const size_t chunks = (range + g - 1) / g;
+  // Chunk layout depends only on (range, grain): partials are combined in
+  // chunk-index order below, so the sum is the same for every pool size.
+  std::vector<double> partials(chunks, 0.0);
+  ParallelFor(0, chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      const size_t b = begin + c * g;
+      const size_t e = std::min(b + g, end);
+      partials[c] = body(b, e);
+    }
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+}  // namespace cfx

@@ -1,0 +1,108 @@
+// Execution layer: a reusable worker pool and data-parallel loop helpers.
+//
+// Design notes:
+//  * One process-wide pool (ThreadPool::Global()) sized from the CFX_THREADS
+//    environment variable, falling back to std::thread::hardware_concurrency.
+//    Every parallel kernel in cfx dispatches through it, so the whole stack
+//    (tensor kernels, autodiff backward, t-SNE, FACE graph construction) is
+//    throttled by a single knob.
+//  * ParallelFor splits [begin, end) into grain-sized chunks; worker threads
+//    and the calling thread drain chunks from a shared atomic cursor. With a
+//    pool of size 1 (or a range smaller than one grain) the body runs inline
+//    on the caller — zero synchronisation, byte-for-byte the serial path.
+//  * Determinism: chunk boundaries depend only on (range, grain), never on
+//    the number of threads, and chunks write disjoint outputs. Reductions go
+//    through ParallelReduce, which combines per-chunk partials in chunk-index
+//    order — so results are identical for every CFX_THREADS value.
+//  * Nested ParallelFor calls (a kernel invoked from inside a worker) run
+//    inline on the worker instead of re-entering the pool: no deadlock, no
+//    oversubscription.
+//  * Exceptions thrown by a chunk are captured and rethrown on the calling
+//    thread after the loop has quiesced.
+#ifndef CFX_COMMON_THREAD_POOL_H_
+#define CFX_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfx {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread is the remaining
+  /// lane). `threads == 1` creates no workers at all.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallel lanes (workers + caller). Always >= 1.
+  size_t size() const { return threads_; }
+
+  /// The process-wide pool. Sized once, on first use, from CFX_THREADS (an
+  /// integer >= 1) or hardware_concurrency when unset/invalid.
+  static ThreadPool& Global();
+
+  /// Lane count of the global pool without forcing its construction order
+  /// elsewhere; equals Global().size().
+  static size_t GlobalThreads();
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) in grain-sized
+  /// chunks. Blocks until every chunk has run; rethrows the first chunk
+  /// exception. `grain == 0` picks a grain targeting ~4 chunks per lane.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& body);
+
+  /// True when called from inside one of this pool's workers (ParallelFor
+  /// then runs inline; see header comment).
+  static bool InWorker();
+
+  /// RAII guard forcing every ParallelFor on the current thread to run
+  /// inline and sequentially while alive. Chunk layouts are unchanged, so
+  /// determinism tests can compare pooled against serial execution bitwise.
+  class ScopedSerial {
+   public:
+    ScopedSerial();
+    ~ScopedSerial();
+    ScopedSerial(const ScopedSerial&) = delete;
+    ScopedSerial& operator=(const ScopedSerial&) = delete;
+    static bool active();
+  };
+
+ private:
+  struct LoopState;
+
+  void WorkerMain();
+  /// Executes chunks of `loop` until its cursor is exhausted.
+  static void DrainLoop(LoopState* loop);
+
+  size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  LoopState* active_loop_ = nullptr;  // guarded by mu_
+  unsigned long long loop_gen_ = 0;   // guarded by mu_; bumps per loop
+  bool shutdown_ = false;             // guarded by mu_
+};
+
+/// ParallelFor on the global pool.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Deterministic parallel reduction: `body(chunk_begin, chunk_end)` returns a
+/// partial double; partials are combined by summation in chunk-index order,
+/// so the result is independent of the thread count (chunk layout depends
+/// only on the range and grain). Uses the global pool.
+double ParallelReduce(size_t begin, size_t end, size_t grain,
+                      const std::function<double(size_t, size_t)>& body);
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_THREAD_POOL_H_

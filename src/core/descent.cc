@@ -1,0 +1,47 @@
+#include "src/core/descent.h"
+
+#include <memory>
+
+namespace cfx {
+namespace descent {
+
+size_t RunDescent(const std::vector<ag::Var>& params, const Config& config,
+                  const LossBuilder& build_loss, const Hooks& hooks) {
+  std::unique_ptr<nn::Adam> owned;
+  nn::Optimizer* opt = config.optimizer;
+  if (opt == nullptr && !hooks.apply_update) {
+    owned = std::make_unique<nn::Adam>(params, config.step_size);
+    opt = owned.get();
+  }
+
+  size_t evaluated = 0;
+  for (size_t it = 0; it < config.max_iterations; ++it) {
+    ag::Var loss = build_loss(it);
+    if (loss == nullptr) break;
+    ++evaluated;
+
+    ag::ZeroGrad(params);
+    ag::Backward(loss);
+    if (config.grad_clip_norm > 0.0f && opt != nullptr) {
+      opt->ClipGradNorm(config.grad_clip_norm);
+    }
+
+    StepInfo info{it, loss, hooks.apply_update ? nullptr : opt};
+    if (hooks.before_update &&
+        hooks.before_update(info) == Control::kStop) {
+      break;
+    }
+    if (hooks.apply_update) {
+      hooks.apply_update(info);
+    } else {
+      opt->Step();
+    }
+    if (hooks.after_update && hooks.after_update(info) == Control::kStop) {
+      break;
+    }
+  }
+  return evaluated;
+}
+
+}  // namespace descent
+}  // namespace cfx

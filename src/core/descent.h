@@ -1,0 +1,76 @@
+// Shared gradient-descent driver for counterfactual search and generator
+// training.
+//
+// Every gradient-based method in cfx runs the same skeleton: rebuild a loss
+// graph, backward, maybe clip, apply an update, maybe project / snapshot /
+// early-stop. RunDescent owns that skeleton once; methods supply a loss
+// builder plus hooks for the parts that differ:
+//
+//  * REVISE      — latent-z Adam descent, per-row flip snapshots, early stop.
+//  * CEM         — custom proximal (ISTA) update instead of the optimiser.
+//  * DiCE (grad) — Adam over k candidate sets, box projection after a step.
+//  * Our method  — per-epoch VAE training with an external long-lived Adam
+//    (Mahajan et al. rides the same path through FeasibleCfGenerator).
+//
+// The driver never changes the numerical order of operations relative to a
+// hand-rolled loop: ZeroGrad -> Backward -> [clip] -> before_update ->
+// update -> after_update.
+#ifndef CFX_CORE_DESCENT_H_
+#define CFX_CORE_DESCENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/nn/optimizer.h"
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace descent {
+
+/// Hook verdict: keep iterating or finish now.
+enum class Control { kContinue, kStop };
+
+struct Config {
+  size_t max_iterations = 100;
+  /// Learning rate for the internally owned Adam. Ignored when `optimizer`
+  /// is set or the update is custom.
+  float step_size = 1e-2f;
+  /// Global L2 gradient-norm clip applied after Backward; <= 0 disables.
+  float grad_clip_norm = 0.0f;
+  /// Optional external optimiser (not owned). Use when optimiser state must
+  /// outlive a single RunDescent call (e.g. Adam moments across epochs).
+  nn::Optimizer* optimizer = nullptr;
+};
+
+/// State handed to hooks each iteration.
+struct StepInfo {
+  size_t iteration;          ///< 0-based.
+  ag::Var loss;              ///< Graph root built this iteration.
+  nn::Optimizer* optimizer;  ///< Null when the update is custom.
+};
+
+struct Hooks {
+  /// Runs after Backward, before the update. Returning kStop finishes the
+  /// descent *without* applying the pending update (the "snapshot then
+  /// stop" pattern of REVISE and CEM).
+  std::function<Control(const StepInfo&)> before_update;
+  /// Replaces the optimiser step entirely (CEM's proximal/ISTA update).
+  std::function<void(const StepInfo&)> apply_update;
+  /// Runs after the update — projection to the feasible box, logging.
+  std::function<Control(const StepInfo&)> after_update;
+};
+
+/// Builds the loss graph for one iteration. Returning null stops the
+/// descent before the iteration runs.
+using LossBuilder = std::function<ag::Var(size_t iteration)>;
+
+/// Runs up to config.max_iterations of: build loss, ZeroGrad(params),
+/// Backward, optional clip, hooks, update. Returns the number of loss
+/// evaluations performed.
+size_t RunDescent(const std::vector<ag::Var>& params, const Config& config,
+                  const LossBuilder& build_loss, const Hooks& hooks = {});
+
+}  // namespace descent
+}  // namespace cfx
+
+#endif  // CFX_CORE_DESCENT_H_

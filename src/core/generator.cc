@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/constraints/feasibility.h"
+#include "src/core/descent.h"
 #include "src/data/batcher.h"
 #include "src/nn/optimizer.h"
 
@@ -184,39 +185,25 @@ void FeasibleCfGenerator::TrainOnce(const Matrix& x_train,
   Batcher batcher(x_train, labels, batch_size, &rng_);
   Rng noise = rng_.Split(0x401);
 
+  // Per-epoch descent through the shared driver; `opt` lives outside so the
+  // Adam moments persist across epochs.
+  descent::Config dconfig;
+  dconfig.grad_clip_norm = 5.0f;
+  dconfig.optimizer = &opt;
+
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     CfLossConfig loss_config = config_.loss;
     loss_config.validity_weight *= validity_boost_;
 
+    std::vector<Batch> epoch_batches = batcher.Epoch();
+    dconfig.max_iterations = epoch_batches.size();
+
     std::vector<double> sums(6, 0.0);
     size_t batches = 0;
-    for (Batch& batch : batcher.Epoch()) {
-      // Desired class: the opposite of the black box's current prediction.
-      std::vector<int> pred = ctx_.classifier->Predict(batch.x);
-      Matrix cond(batch.x.rows(), 1);
-      Matrix desired_pm1(batch.x.rows(), 1);
-      for (size_t r = 0; r < batch.x.rows(); ++r) {
-        const int desired = 1 - pred[r];
-        // Condition encoded as +-1, NOT 0/1: a zero conditioning input
-        // contributes nothing to the first-layer activations, leaving the
-        // decoder blind to "desired class 0" and prone to a class-agnostic
-        // mode that only ever flips toward the majority desired class.
-        cond.at(r, 0) = desired == 1 ? 1.0f : -1.0f;
-        desired_pm1.at(r, 0) = desired == 1 ? 1.0f : -1.0f;
-      }
+    CfLossTerms terms;  // Terms of the current batch, shared with the hook.
 
-      ag::Var x_var = ag::Constant(batch.x);
-      Vae::Output out = vae_->Forward(x_var, cond, &noise, /*sample=*/true);
-      ag::Var x_cf = MaskedCf(SoftCf(out.x_hat, batch.x), batch.x);
-
-      CfLossTerms terms =
-          BuildCfLoss(loss_config, penalties_, *ctx_.info, ctx_.classifier,
-                      x_cf, batch.x, desired_pm1, out);
-      opt.ZeroGrad();
-      ag::Backward(terms.total);
-      opt.ClipGradNorm(5.0f);
-      opt.Step();
-
+    descent::Hooks hooks;
+    hooks.before_update = [&](const descent::StepInfo&) {
       sums[0] += terms.total->value.at(0, 0);
       sums[1] += terms.validity->value.at(0, 0);
       sums[2] += terms.proximity->value.at(0, 0);
@@ -224,7 +211,41 @@ void FeasibleCfGenerator::TrainOnce(const Matrix& x_train,
       sums[4] += terms.sparsity->value.at(0, 0);
       sums[5] += terms.kl->value.at(0, 0);
       ++batches;
-    }
+      return descent::Control::kContinue;
+    };
+
+    descent::RunDescent(
+        vae_->Parameters(), dconfig,
+        [&](size_t b) {
+          Batch& batch = epoch_batches[b];
+          // Desired class: the opposite of the black box's current
+          // prediction.
+          std::vector<int> pred = ctx_.classifier->Predict(batch.x);
+          Matrix cond(batch.x.rows(), 1);
+          Matrix desired_pm1(batch.x.rows(), 1);
+          for (size_t r = 0; r < batch.x.rows(); ++r) {
+            const int desired = 1 - pred[r];
+            // Condition encoded as +-1, NOT 0/1: a zero conditioning input
+            // contributes nothing to the first-layer activations, leaving
+            // the decoder blind to "desired class 0" and prone to a
+            // class-agnostic mode that only ever flips toward the majority
+            // desired class.
+            cond.at(r, 0) = desired == 1 ? 1.0f : -1.0f;
+            desired_pm1.at(r, 0) = desired == 1 ? 1.0f : -1.0f;
+          }
+
+          ag::Var x_var = ag::Constant(batch.x);
+          Vae::Output out =
+              vae_->Forward(x_var, cond, &noise, /*sample=*/true);
+          ag::Var x_cf = MaskedCf(SoftCf(out.x_hat, batch.x), batch.x);
+
+          terms = BuildCfLoss(loss_config, penalties_, *ctx_.info,
+                              ctx_.classifier, x_cf, batch.x, desired_pm1,
+                              out);
+          return terms.total;
+        },
+        hooks);
+
     last_epoch_terms_.assign(6, 0.0f);
     for (size_t i = 0; i < 6; ++i) {
       last_epoch_terms_[i] =

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "src/common/thread_pool.h"
+
 namespace cfx {
 namespace internal {
 
@@ -68,41 +70,56 @@ Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
   const double perplexity =
       std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
 
-  // Pairwise squared distances in high-dimensional space.
+  // Pairwise squared distances in high-dimensional space. Chunks write
+  // disjoint upper-triangle rows; a second pass mirrors into the lower
+  // triangle (row j is written only by the chunk owning j).
   std::vector<double> sq(n * n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double acc = 0.0;
-      for (size_t c = 0; c < data.cols(); ++c) {
-        const double d = static_cast<double>(data.at(i, c)) - data.at(j, c);
-        acc += d * d;
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (size_t c = 0; c < data.cols(); ++c) {
+          const double d = static_cast<double>(data.at(i, c)) - data.at(j, c);
+          acc += d * d;
+        }
+        sq[i * n + j] = acc;
       }
-      sq[i * n + j] = acc;
-      sq[j * n + i] = acc;
     }
-  }
+  });
+  ParallelFor(0, n, 0, [&](size_t j0, size_t j1) {
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < j; ++i) sq[j * n + i] = sq[i * n + j];
+    }
+  });
 
-  // Conditional then symmetrised joint affinities.
+  // Conditional affinities: each row's bisection search is independent.
   std::vector<double> p(n * n, 0.0);
-  {
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
     std::vector<double> row_dists(n);
     std::vector<double> row(n);
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = i0; i < i1; ++i) {
       for (size_t j = 0; j < n; ++j) row_dists[j] = sq[i * n + j];
       internal::CalibrateRow(row_dists, i, perplexity, &row);
       for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
     }
-  }
+  });
+  // Symmetrise: the upper pass reads lower entries (untouched conditionals)
+  // and writes upper ones; the mirror pass copies them down.
   const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const double v =
-          std::max((p[i * n + j] + p[j * n + i]) * inv_2n, 1e-12);
-      p[i * n + j] = v;
-      p[j * n + i] = v;
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        p[i * n + j] =
+            std::max((p[i * n + j] + p[j * n + i]) * inv_2n, 1e-12);
+      }
+      p[i * n + i] = 0.0;
     }
-    p[i * n + i] = 0.0;
-  }
+  });
+  ParallelFor(0, n, 0, [&](size_t j0, size_t j1) {
+    for (size_t j = j0; j < j1; ++j) {
+      for (size_t i = 0; i < j; ++i) p[j * n + i] = p[i * n + j];
+    }
+  });
 
   // Early exaggeration.
   for (double& v : p) v *= config.early_exaggeration;
@@ -117,39 +134,59 @@ Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
   std::vector<double> q(n * n, 0.0);
   std::vector<double> num(n * n, 0.0);
 
-  for (size_t iter = 0; iter < config.iterations; ++iter) {
-    // Student-t affinities in the embedding.
-    double q_sum = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double acc = 0.0;
-        for (size_t c = 0; c < dims; ++c) {
-          const double d = y[i * dims + c] - y[j * dims + c];
-          acc += d * d;
-        }
-        const double t = 1.0 / (1.0 + acc);
-        num[i * n + j] = t;
-        num[j * n + i] = t;
-        q_sum += 2.0 * t;
-      }
-    }
-    const double inv_q_sum = q_sum > 0 ? 1.0 / q_sum : 0.0;
-    for (size_t i = 0; i < n * n; ++i) {
-      q[i] = std::max(num[i] * inv_q_sum, 1e-12);
-    }
+  // Fixed reduction grain: the q_sum chunk layout must depend only on n so
+  // every CFX_THREADS value accumulates partials identically.
+  const size_t reduce_grain = std::max<size_t>(1, n / 64);
 
-    // Gradient: 4 * sum_j (p_ij - q_ij) * num_ij * (y_i - y_j).
-    std::fill(dy.begin(), dy.end(), 0.0);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double mult = (p[i * n + j] - q[i * n + j]) * num[i * n + j];
-        for (size_t c = 0; c < dims; ++c) {
-          dy[i * dims + c] +=
-              4.0 * mult * (y[i * dims + c] - y[j * dims + c]);
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    // Student-t affinities in the embedding: upper-triangle rows per chunk,
+    // with q_sum as an order-deterministic chunked reduction.
+    const double q_sum =
+        ParallelReduce(0, n, reduce_grain, [&](size_t i0, size_t i1) {
+          double partial = 0.0;
+          for (size_t i = i0; i < i1; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+              double acc = 0.0;
+              for (size_t c = 0; c < dims; ++c) {
+                const double d = y[i * dims + c] - y[j * dims + c];
+                acc += d * d;
+              }
+              const double t = 1.0 / (1.0 + acc);
+              num[i * n + j] = t;
+              partial += 2.0 * t;
+            }
+          }
+          return partial;
+        });
+    ParallelFor(0, n, 0, [&](size_t j0, size_t j1) {
+      for (size_t j = j0; j < j1; ++j) {
+        for (size_t i = 0; i < j; ++i) num[j * n + i] = num[i * n + j];
+        num[j * n + j] = 0.0;
+      }
+    });
+    const double inv_q_sum = q_sum > 0 ? 1.0 / q_sum : 0.0;
+    ParallelFor(0, n * n, size_t{1} << 15, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        q[i] = std::max(num[i] * inv_q_sum, 1e-12);
+      }
+    });
+
+    // Gradient: 4 * sum_j (p_ij - q_ij) * num_ij * (y_i - y_j). Each chunk
+    // owns its rows of dy; the j-accumulation stays in ascending order, so
+    // the result is bitwise identical for any thread count.
+    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t c = 0; c < dims; ++c) dy[i * dims + c] = 0.0;
+        for (size_t j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double mult = (p[i * n + j] - q[i * n + j]) * num[i * n + j];
+          for (size_t c = 0; c < dims; ++c) {
+            dy[i * dims + c] +=
+                4.0 * mult * (y[i * dims + c] - y[j * dims + c]);
+          }
         }
       }
-    }
+    });
 
     const double momentum = iter < config.momentum_switch_iter
                                 ? config.initial_momentum

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/tensor/kernels.h"
+
 namespace cfx {
 namespace nn {
 
@@ -33,11 +35,14 @@ void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Var& p = params_[i];
     p->EnsureGrad();
+    const size_t size = p->value.size();
     if (momentum_ > 0.0f) {
-      velocity_[i] = velocity_[i] * momentum_ + p->grad;
-      p->value -= velocity_[i] * lr_;
+      // v = momentum * v + g; value -= lr * v — fused, no temporaries.
+      kernels::ScaleInPlace(velocity_[i].data(), momentum_, size);
+      kernels::AddInPlace(velocity_[i].data(), p->grad.data(), size);
+      kernels::AxpyInPlace(p->value.data(), -lr_, velocity_[i].data(), size);
     } else {
-      p->value -= p->grad * lr_;
+      kernels::AxpyInPlace(p->value.data(), -lr_, p->grad.data(), size);
     }
   }
 }

@@ -4,12 +4,53 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/tensor/kernels.h"
+
 namespace cfx {
 namespace ag {
 
+namespace {
+
+// Recycled grad storage. A training step allocates one grad per reachable
+// node and drops the whole graph afterwards; routing those buffers through
+// a small pool turns thousands of allocator round-trips per step into
+// vector reuse. Thread-local because graphs are built and destroyed on the
+// thread that owns them (pool workers never touch the tape).
+constexpr size_t kGradPoolCap = 512;
+
+std::vector<std::vector<float>>& GradPool() {
+  // Leaked on purpose (a raw pointer has no TLS destructor): parameter
+  // nodes owned by static-storage objects are destroyed after thread_local
+  // destructors have run, and ~Node must still find a live pool then.
+  thread_local auto* pool = new std::vector<std::vector<float>>();
+  return *pool;
+}
+
+std::vector<float> AcquireGradStorage() {
+  std::vector<std::vector<float>>& pool = GradPool();
+  if (pool.empty()) return {};
+  std::vector<float> storage = std::move(pool.back());
+  pool.pop_back();
+  return storage;
+}
+
+void ReleaseGradStorage(std::vector<float> storage) {
+  if (storage.capacity() == 0) return;
+  std::vector<std::vector<float>>& pool = GradPool();
+  if (pool.size() < kGradPoolCap) {
+    pool.push_back(std::move(storage));
+  }
+}
+
+}  // namespace
+
+Node::~Node() { ReleaseGradStorage(grad.ReleaseStorage()); }
+
 void Node::EnsureGrad() {
   if (grad.rows() != value.rows() || grad.cols() != value.cols()) {
-    grad = Matrix(value.rows(), value.cols());
+    ReleaseGradStorage(grad.ReleaseStorage());
+    grad = Matrix::FromStorage(value.rows(), value.cols(),
+                               AcquireGradStorage());
   }
 }
 
@@ -36,11 +77,27 @@ Var MakeOp(Matrix value, std::vector<Var> parents,
   return node;
 }
 
-/// Accumulates `delta` into p's grad if p participates in differentiation.
-void Accumulate(const Var& p, const Matrix& delta) {
-  if (!p->requires_grad) return;
+/// Parent grad buffer for in-place accumulation; null when the parent is
+/// excluded from differentiation.
+float* GradBuf(const Var& p) {
+  if (!p->requires_grad) return nullptr;
   p->EnsureGrad();
-  p->grad += delta;
+  return p->grad.data();
+}
+
+/// pg[i] += term(i) over the parent's grad, parallelised past the
+/// elementwise grain. `term` must be pure in i.
+template <typename Fn>
+void AccumulateEach(const Var& p, size_t n, Fn&& term) {
+  float* pg = GradBuf(p);
+  if (pg == nullptr) return;
+  if (n < kernels::kElementwiseGrain) {
+    for (size_t i = 0; i < n; ++i) pg[i] += term(i);
+    return;
+  }
+  ParallelFor(0, n, kernels::kElementwiseGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) pg[i] += term(i);
+  });
 }
 
 }  // namespace
@@ -48,30 +105,49 @@ void Accumulate(const Var& p, const Matrix& delta) {
 Var Add(const Var& a, const Var& b) {
   assert(a->value.SameShape(b->value));
   return MakeOp(a->value + b->value, {a, b}, [](Node* n) {
-    Accumulate(n->parents[0], n->grad);
-    Accumulate(n->parents[1], n->grad);
+    const size_t size = n->grad.size();
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::AddInPlace(g, n->grad.data(), size);
+    }
+    if (float* g = GradBuf(n->parents[1])) {
+      kernels::AddInPlace(g, n->grad.data(), size);
+    }
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
   assert(a->value.SameShape(b->value));
   return MakeOp(a->value - b->value, {a, b}, [](Node* n) {
-    Accumulate(n->parents[0], n->grad);
-    Accumulate(n->parents[1], n->grad * -1.0f);
+    const size_t size = n->grad.size();
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::AddInPlace(g, n->grad.data(), size);
+    }
+    if (float* g = GradBuf(n->parents[1])) {
+      kernels::AxpyInPlace(g, -1.0f, n->grad.data(), size);
+    }
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
   assert(a->value.SameShape(b->value));
   return MakeOp(a->value * b->value, {a, b}, [](Node* n) {
-    Accumulate(n->parents[0], n->grad * n->parents[1]->value);
-    Accumulate(n->parents[1], n->grad * n->parents[0]->value);
+    const size_t size = n->grad.size();
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::MulAddInPlace(g, n->grad.data(), n->parents[1]->value.data(),
+                             size);
+    }
+    if (float* g = GradBuf(n->parents[1])) {
+      kernels::MulAddInPlace(g, n->grad.data(), n->parents[0]->value.data(),
+                             size);
+    }
   });
 }
 
 Var Scale(const Var& a, float s) {
   return MakeOp(a->value * s, {a}, [s](Node* n) {
-    Accumulate(n->parents[0], n->grad * s);
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::AxpyInPlace(g, s, n->grad.data(), n->grad.size());
+    }
   });
 }
 
@@ -80,107 +156,126 @@ Var Neg(const Var& a) { return Scale(a, -1.0f); }
 Var MatMul(const Var& a, const Var& b) {
   return MakeOp(a->value.MatMul(b->value), {a, b}, [](Node* n) {
     const Matrix& g = n->grad;
-    // dL/dA = g . B^T ; dL/dB = A^T . g
-    Accumulate(n->parents[0], g.MatMul(n->parents[1]->value.Transposed()));
-    Accumulate(n->parents[1], n->parents[0]->value.Transposed().MatMul(g));
+    const Matrix& av = n->parents[0]->value;
+    const Matrix& bv = n->parents[1]->value;
+    // dL/dA += g . B^T and dL/dB += A^T . g, both transpose-free and
+    // accumulated straight into the parents' grad buffers.
+    if (float* ga = GradBuf(n->parents[0])) {
+      kernels::MatMulTransposedB(g.data(), bv.data(), ga, g.rows(), g.cols(),
+                                 av.cols(), /*accumulate=*/true);
+    }
+    if (float* gb = GradBuf(n->parents[1])) {
+      kernels::MatMulTransposedA(av.data(), g.data(), gb, av.rows(),
+                                 av.cols(), g.cols(), /*accumulate=*/true);
+    }
   });
 }
 
 Var AddRowBroadcast(const Var& a, const Var& bias) {
   assert(bias->value.rows() == 1 && bias->value.cols() == a->value.cols());
   return MakeOp(a->value.AddRowBroadcast(bias->value), {a, bias}, [](Node* n) {
-    Accumulate(n->parents[0], n->grad);
-    Accumulate(n->parents[1], n->grad.ColSum());
+    const Matrix& g = n->grad;
+    if (float* ga = GradBuf(n->parents[0])) {
+      kernels::AddInPlace(ga, g.data(), g.size());
+    }
+    if (float* gb = GradBuf(n->parents[1])) {
+      // Column sums, row-ascending — the fused form of grad.ColSum().
+      for (size_t r = 0; r < g.rows(); ++r) {
+        kernels::AddInPlace(gb, g.data() + r * g.cols(), g.cols());
+      }
+    }
   });
 }
 
 Var Relu(const Var& a) {
-  Matrix out = a->value.Map([](float v) { return v > 0.0f ? v : 0.0f; });
+  Matrix out = a->value.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
   return MakeOp(std::move(out), {a}, [](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& x = n->parents[0]->value;
-    for (size_t i = 0; i < d.size(); ++i) {
-      if (x[i] <= 0.0f) d[i] = 0.0f;
-    }
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* x = n->parents[0]->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(),
+                   [g, x](size_t i) { return x[i] > 0.0f ? g[i] : 0.0f; });
   });
 }
 
 Var Sigmoid(const Var& a) {
-  Matrix out = a->value.Map(
+  Matrix out = a->value.Apply(
       [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
   return MakeOp(std::move(out), {a}, [](Node* n) {
     // d(sigmoid)/dx = s * (1 - s), computed from the forward output.
-    Matrix d = n->grad;
-    const Matrix& s = n->value;
-    for (size_t i = 0; i < d.size(); ++i) d[i] *= s[i] * (1.0f - s[i]);
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* s = n->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(), [g, s](size_t i) {
+      return g[i] * s[i] * (1.0f - s[i]);
+    });
   });
 }
 
 Var Tanh(const Var& a) {
-  Matrix out = a->value.Map([](float v) { return std::tanh(v); });
+  Matrix out = a->value.Apply([](float v) { return std::tanh(v); });
   return MakeOp(std::move(out), {a}, [](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& t = n->value;
-    for (size_t i = 0; i < d.size(); ++i) d[i] *= 1.0f - t[i] * t[i];
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* t = n->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(), [g, t](size_t i) {
+      return g[i] * (1.0f - t[i] * t[i]);
+    });
   });
 }
 
 Var Exp(const Var& a) {
-  Matrix out = a->value.Map([](float v) { return std::exp(v); });
+  Matrix out = a->value.Apply([](float v) { return std::exp(v); });
   return MakeOp(std::move(out), {a}, [](Node* n) {
-    Accumulate(n->parents[0], n->grad * n->value);
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::MulAddInPlace(g, n->grad.data(), n->value.data(),
+                             n->grad.size());
+    }
   });
 }
 
 Var Log(const Var& a, float eps) {
-  Matrix out = a->value.Map(
+  Matrix out = a->value.Apply(
       [eps](float v) { return std::log(std::max(v, eps)); });
   return MakeOp(std::move(out), {a}, [eps](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& x = n->parents[0]->value;
-    for (size_t i = 0; i < d.size(); ++i) d[i] /= std::max(x[i], eps);
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* x = n->parents[0]->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(), [g, x, eps](size_t i) {
+      return g[i] / std::max(x[i], eps);
+    });
   });
 }
 
 Var Square(const Var& a) {
-  Matrix out = a->value.Map([](float v) { return v * v; });
+  Matrix out = a->value.Apply([](float v) { return v * v; });
   return MakeOp(std::move(out), {a}, [](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& x = n->parents[0]->value;
-    for (size_t i = 0; i < d.size(); ++i) d[i] *= 2.0f * x[i];
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* x = n->parents[0]->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(),
+                   [g, x](size_t i) { return g[i] * 2.0f * x[i]; });
   });
 }
 
 Var Abs(const Var& a) {
-  Matrix out = a->value.Map([](float v) { return std::fabs(v); });
+  Matrix out = a->value.Apply([](float v) { return std::fabs(v); });
   return MakeOp(std::move(out), {a}, [](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& x = n->parents[0]->value;
-    for (size_t i = 0; i < d.size(); ++i) {
-      d[i] *= x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
-    }
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* x = n->parents[0]->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(), [g, x](size_t i) {
+      return g[i] * (x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f));
+    });
   });
 }
 
 Var SmoothIndicator(const Var& a, float k, float eps) {
-  Matrix out = a->value.Map([k, eps](float v) {
+  Matrix out = a->value.Apply([k, eps](float v) {
     return 1.0f / (1.0f + std::exp(-k * (std::fabs(v) - eps)));
   });
   return MakeOp(std::move(out), {a}, [k](Node* n) {
-    Matrix d = n->grad;
-    const Matrix& x = n->parents[0]->value;
-    const Matrix& s = n->value;
-    for (size_t i = 0; i < d.size(); ++i) {
-      float sign = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
-      d[i] *= k * s[i] * (1.0f - s[i]) * sign;
-    }
-    Accumulate(n->parents[0], d);
+    const float* g = n->grad.data();
+    const float* x = n->parents[0]->value.data();
+    const float* s = n->value.data();
+    AccumulateEach(n->parents[0], n->grad.size(), [g, x, s, k](size_t i) {
+      const float sign = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+      return g[i] * k * s[i] * (1.0f - s[i]) * sign;
+    });
   });
 }
 
@@ -195,53 +290,62 @@ Var TabularActivation(
   }
 
   Matrix out(x.rows(), x.cols());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    for (size_t c = 0; c < x.cols(); ++c) {
-      if (!in_softmax[c]) {
-        out.at(r, c) = 1.0f / (1.0f + std::exp(-x.at(r, c)));
+  const size_t cols = x.cols();
+  ParallelFor(0, x.rows(), 0, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        if (!in_softmax[c]) {
+          out.at(r, c) = 1.0f / (1.0f + std::exp(-x.at(r, c)));
+        }
+      }
+      for (const auto& [offset, width] : softmax_blocks) {
+        float max_v = x.at(r, offset);
+        for (size_t j = 1; j < width; ++j) {
+          max_v = std::max(max_v, x.at(r, offset + j));
+        }
+        float sum = 0.0f;
+        for (size_t j = 0; j < width; ++j) {
+          const float e = std::exp(x.at(r, offset + j) - max_v);
+          out.at(r, offset + j) = e;
+          sum += e;
+        }
+        for (size_t j = 0; j < width; ++j) out.at(r, offset + j) /= sum;
       }
     }
-    for (const auto& [offset, width] : softmax_blocks) {
-      float max_v = x.at(r, offset);
-      for (size_t j = 1; j < width; ++j) {
-        max_v = std::max(max_v, x.at(r, offset + j));
-      }
-      float sum = 0.0f;
-      for (size_t j = 0; j < width; ++j) {
-        const float e = std::exp(x.at(r, offset + j) - max_v);
-        out.at(r, offset + j) = e;
-        sum += e;
-      }
-      for (size_t j = 0; j < width; ++j) out.at(r, offset + j) /= sum;
-    }
-  }
+  });
 
   return MakeOp(std::move(out), {a},
                 [softmax_blocks, in_softmax](Node* n) {
+                  float* pg = GradBuf(n->parents[0]);
+                  if (pg == nullptr) return;
                   const Matrix& s = n->value;
                   const Matrix& g = n->grad;
-                  Matrix d(s.rows(), s.cols());
-                  for (size_t r = 0; r < s.rows(); ++r) {
-                    for (size_t c = 0; c < s.cols(); ++c) {
-                      if (!in_softmax[c]) {
-                        // Sigmoid: ds/dx = s (1 - s).
-                        d.at(r, c) =
-                            g.at(r, c) * s.at(r, c) * (1.0f - s.at(r, c));
+                  const size_t cols = s.cols();
+                  // Rows are independent; accumulate into the parent's grad
+                  // in place, one row per pass.
+                  ParallelFor(0, s.rows(), 0, [&](size_t r0, size_t r1) {
+                    for (size_t r = r0; r < r1; ++r) {
+                      float* prow = pg + r * cols;
+                      for (size_t c = 0; c < cols; ++c) {
+                        if (!in_softmax[c]) {
+                          // Sigmoid: ds/dx = s (1 - s).
+                          prow[c] +=
+                              g.at(r, c) * s.at(r, c) * (1.0f - s.at(r, c));
+                        }
+                      }
+                      for (const auto& [offset, width] : softmax_blocks) {
+                        // Softmax: dL/dx_j = s_j (g_j - sum_k g_k s_k).
+                        float dot = 0.0f;
+                        for (size_t j = 0; j < width; ++j) {
+                          dot += g.at(r, offset + j) * s.at(r, offset + j);
+                        }
+                        for (size_t j = 0; j < width; ++j) {
+                          prow[offset + j] +=
+                              s.at(r, offset + j) * (g.at(r, offset + j) - dot);
+                        }
                       }
                     }
-                    for (const auto& [offset, width] : softmax_blocks) {
-                      // Softmax: dL/dx_j = s_j (g_j - sum_k g_k s_k).
-                      float dot = 0.0f;
-                      for (size_t j = 0; j < width; ++j) {
-                        dot += g.at(r, offset + j) * s.at(r, offset + j);
-                      }
-                      for (size_t j = 0; j < width; ++j) {
-                        d.at(r, offset + j) =
-                            s.at(r, offset + j) * (g.at(r, offset + j) - dot);
-                      }
-                    }
-                  }
-                  Accumulate(n->parents[0], d);
+                  });
                 });
 }
 
@@ -249,29 +353,41 @@ Var ConcatCols(const Var& a, const Var& b) {
   assert(a->value.rows() == b->value.rows());
   const size_t ca = a->value.cols();
   return MakeOp(a->value.ConcatCols(b->value), {a, b}, [ca](Node* n) {
-    Accumulate(n->parents[0], n->grad.SliceCols(0, ca));
-    Accumulate(n->parents[1], n->grad.SliceCols(ca, n->grad.cols()));
+    const Matrix& g = n->grad;
+    const size_t cb = g.cols() - ca;
+    if (float* ga = GradBuf(n->parents[0])) {
+      for (size_t r = 0; r < g.rows(); ++r) {
+        kernels::AddInPlace(ga + r * ca, g.data() + r * g.cols(), ca);
+      }
+    }
+    if (float* gb = GradBuf(n->parents[1])) {
+      for (size_t r = 0; r < g.rows(); ++r) {
+        kernels::AddInPlace(gb + r * cb, g.data() + r * g.cols() + ca, cb);
+      }
+    }
   });
 }
 
 Var SliceCols(const Var& a, size_t begin, size_t end) {
   assert(begin <= end && end <= a->value.cols());
   return MakeOp(a->value.SliceCols(begin, end), {a}, [begin](Node* n) {
-    const Matrix& x = n->parents[0]->value;
-    Matrix d(x.rows(), x.cols());
-    for (size_t r = 0; r < n->grad.rows(); ++r) {
-      for (size_t c = 0; c < n->grad.cols(); ++c) {
-        d.at(r, begin + c) = n->grad.at(r, c);
+    if (float* pg = GradBuf(n->parents[0])) {
+      const Matrix& g = n->grad;
+      const size_t pcols = n->parents[0]->value.cols();
+      for (size_t r = 0; r < g.rows(); ++r) {
+        kernels::AddInPlace(pg + r * pcols + begin, g.data() + r * g.cols(),
+                            g.cols());
       }
     }
-    Accumulate(n->parents[0], d);
   });
 }
 
 Var MulConstMask(const Var& a, const Matrix& mask) {
   assert(a->value.SameShape(mask));
   return MakeOp(a->value * mask, {a}, [mask](Node* n) {
-    Accumulate(n->parents[0], n->grad * mask);
+    if (float* g = GradBuf(n->parents[0])) {
+      kernels::MulAddInPlace(g, n->grad.data(), mask.data(), n->grad.size());
+    }
   });
 }
 
@@ -280,8 +396,8 @@ Var Sum(const Var& a) {
   out.at(0, 0) = a->value.Sum();
   return MakeOp(std::move(out), {a}, [](Node* n) {
     const float g = n->grad.at(0, 0);
-    Matrix d(n->parents[0]->value.rows(), n->parents[0]->value.cols(), g);
-    Accumulate(n->parents[0], d);
+    AccumulateEach(n->parents[0], n->parents[0]->value.size(),
+                   [g](size_t) { return g; });
   });
 }
 
@@ -293,20 +409,17 @@ Var Mean(const Var& a) {
   out.at(0, 0) = a->value.Mean();
   return MakeOp(std::move(out), {a}, [inv](Node* n) {
     const float g = n->grad.at(0, 0) * inv;
-    Matrix d(n->parents[0]->value.rows(), n->parents[0]->value.cols(), g);
-    Accumulate(n->parents[0], d);
+    AccumulateEach(n->parents[0], n->parents[0]->value.size(),
+                   [g](size_t) { return g; });
   });
 }
 
 Var RowSum(const Var& a) {
   return MakeOp(a->value.RowSum(), {a}, [](Node* n) {
-    const Matrix& x = n->parents[0]->value;
-    Matrix d(x.rows(), x.cols());
-    for (size_t r = 0; r < x.rows(); ++r) {
-      const float g = n->grad.at(r, 0);
-      for (size_t c = 0; c < x.cols(); ++c) d.at(r, c) = g;
-    }
-    Accumulate(n->parents[0], d);
+    const Matrix& g = n->grad;
+    const size_t cols = n->parents[0]->value.cols();
+    AccumulateEach(n->parents[0], n->parents[0]->value.size(),
+                   [&g, cols](size_t i) { return g[i / cols]; });
   });
 }
 

@@ -12,6 +12,12 @@
 // drops the graph simply by letting the loss Var go out of scope, while
 // parameter leaves survive inside their Module.
 //
+// Execution: backward closures are allocation-lean — they accumulate
+// straight into their parents' grad buffers through the fused kernels in
+// src/tensor/kernels.h (transpose-free matmul backward included), and grad
+// buffers themselves are recycled through a pool when a graph is dropped,
+// so steady-state training steps barely touch the allocator.
+//
 // Every op's gradient is validated against central finite differences in
 // tests/tensor_autodiff_test.cc.
 #ifndef CFX_TENSOR_AUTODIFF_H_
@@ -37,6 +43,9 @@ class Node {
  public:
   Node(Matrix value, bool requires_grad)
       : value(std::move(value)), requires_grad(requires_grad) {}
+
+  /// Returns the grad buffer to the recycling pool.
+  ~Node();
 
   Matrix value;            ///< Forward result.
   Matrix grad;             ///< dLoss/dvalue; allocated lazily by Backward().

@@ -1,0 +1,178 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+
+namespace cfx {
+namespace kernels {
+namespace {
+
+/// Rows per dispatched chunk so one chunk covers >= kMatMulGrainFlops
+/// multiply-adds — below that, dispatch overhead beats the parallel win.
+size_t RowGrain(size_t k, size_t m) {
+  const size_t flops_per_row = std::max<size_t>(k * m, 1);
+  return std::max<size_t>(1, kMatMulGrainFlops / flops_per_row);
+}
+
+/// out(rows r0..r1 of n,m) (+)= a . b with a(n,k), b(k,m) both row-major.
+/// Per output element the k-terms accumulate in ascending order — the 4-way
+/// unroll issues its four adds in that same order — so the result is
+/// identical however rows are partitioned across lanes.
+template <bool kAccumulate>
+void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
+                float* __restrict__ out, size_t r0, size_t r1, size_t k,
+                size_t m) {
+  for (size_t i = r0; i < r1; ++i) {
+    float* __restrict__ out_row = out + i * m;
+    if (!kAccumulate) std::fill(out_row, out_row + m, 0.0f);
+    const float* __restrict__ a_row = a + i * k;
+    size_t kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      const float a0 = a_row[kk], a1 = a_row[kk + 1];
+      const float a2 = a_row[kk + 2], a3 = a_row[kk + 3];
+      const float* __restrict__ b0 = b + kk * m;
+      const float* __restrict__ b1 = b0 + m;
+      const float* __restrict__ b2 = b1 + m;
+      const float* __restrict__ b3 = b2 + m;
+      if (a0 != 0.0f && a1 != 0.0f && a2 != 0.0f && a3 != 0.0f) {
+        for (size_t j = 0; j < m; ++j) {
+          float v = out_row[j];
+          v += a0 * b0[j];
+          v += a1 * b1[j];
+          v += a2 * b2[j];
+          v += a3 * b3[j];
+          out_row[j] = v;
+        }
+      } else {
+        // Sparse rows (one-hot encodings) skip their zero coefficients, as
+        // the historical i-k-j kernel did.
+        if (a0 != 0.0f) for (size_t j = 0; j < m; ++j) out_row[j] += a0 * b0[j];
+        if (a1 != 0.0f) for (size_t j = 0; j < m; ++j) out_row[j] += a1 * b1[j];
+        if (a2 != 0.0f) for (size_t j = 0; j < m; ++j) out_row[j] += a2 * b2[j];
+        if (a3 != 0.0f) for (size_t j = 0; j < m; ++j) out_row[j] += a3 * b3[j];
+      }
+    }
+    for (; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* __restrict__ b_row = b + kk * m;
+      for (size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
+            size_t m) {
+  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
+    MatMulRows<false>(a, b, out, r0, r1, k, m);
+  });
+}
+
+void MatMulAccum(const float* a, const float* b, float* out, size_t n,
+                 size_t k, size_t m) {
+  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
+    MatMulRows<true>(a, b, out, r0, r1, k, m);
+  });
+}
+
+void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
+                       size_t k, size_t m, bool accumulate) {
+  // out(n,m): out[i][j] = dot_k(a row i, b row j); b is read as stored.
+  // Four independent dot products share one pass over the a-row; each keeps
+  // its own accumulator, so every dot still sums k-ascending.
+  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
+    for (size_t i = r0; i < r1; ++i) {
+      const float* __restrict__ a_row = a + i * k;
+      float* __restrict__ out_row = out + i * m;
+      size_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        const float* __restrict__ b0 = b + j * k;
+        const float* __restrict__ b1 = b0 + k;
+        const float* __restrict__ b2 = b1 + k;
+        const float* __restrict__ b3 = b2 + k;
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (size_t c = 0; c < k; ++c) {
+          const float av = a_row[c];
+          s0 += av * b0[c];
+          s1 += av * b1[c];
+          s2 += av * b2[c];
+          s3 += av * b3[c];
+        }
+        if (accumulate) {
+          out_row[j] += s0;
+          out_row[j + 1] += s1;
+          out_row[j + 2] += s2;
+          out_row[j + 3] += s3;
+        } else {
+          out_row[j] = s0;
+          out_row[j + 1] = s1;
+          out_row[j + 2] = s2;
+          out_row[j + 3] = s3;
+        }
+      }
+      for (; j < m; ++j) {
+        const float* __restrict__ b_row = b + j * k;
+        float s = 0.0f;
+        for (size_t c = 0; c < k; ++c) s += a_row[c] * b_row[c];
+        if (accumulate) {
+          out_row[j] += s;
+        } else {
+          out_row[j] = s;
+        }
+      }
+    }
+  });
+}
+
+void MatMulTransposedA(const float* a, const float* b, float* out, size_t n,
+                       size_t k, size_t m, bool accumulate) {
+  // out(k,m): out[c][j] = sum_r a[r][c] * b[r][j]; a is read as stored.
+  // Parallel over output rows c; each lane streams all of b once, r
+  // ascending, so accumulation order matches the serial axpy loop.
+  ParallelFor(0, k, RowGrain(n, m), [&](size_t c0, size_t c1) {
+    for (size_t c = c0; c < c1; ++c) {
+      float* __restrict__ out_row = out + c * m;
+      if (!accumulate) std::fill(out_row, out_row + m, 0.0f);
+      for (size_t r = 0; r < n; ++r) {
+        const float av = a[r * k + c];
+        if (av == 0.0f) continue;
+        const float* __restrict__ b_row = b + r * m;
+        for (size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  });
+}
+
+void AddInPlace(float* dst, const float* src, size_t n) {
+  ZipInPlace(dst, src, n, [](float d, float s) { return d + s; });
+}
+
+void SubInPlace(float* dst, const float* src, size_t n) {
+  ZipInPlace(dst, src, n, [](float d, float s) { return d - s; });
+}
+
+void MulInPlace(float* dst, const float* src, size_t n) {
+  ZipInPlace(dst, src, n, [](float d, float s) { return d * s; });
+}
+
+void AxpyInPlace(float* dst, float alpha, const float* src, size_t n) {
+  ZipInPlace(dst, src, n, [alpha](float d, float s) { return d + alpha * s; });
+}
+
+void ScaleInPlace(float* dst, float alpha, size_t n) {
+  MapInPlace(dst, n, [alpha](float v) { return alpha * v; });
+}
+
+void MulAddInPlace(float* dst, const float* a, const float* b, size_t n) {
+  if (n < kElementwiseGrain) {
+    for (size_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+    return;
+  }
+  ParallelFor(0, n, kElementwiseGrain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) dst[i] += a[i] * b[i];
+  });
+}
+
+}  // namespace kernels
+}  // namespace cfx

@@ -1,0 +1,115 @@
+// Allocation-lean compute kernels under Matrix and the autodiff tape.
+//
+// Design notes:
+//  * Raw float* interfaces: Matrix routes its arithmetic here, and the
+//    autodiff backward closures call them directly on grad buffers so hot
+//    paths never allocate temporaries.
+//  * MatMul variants parallelise over output rows through the global
+//    ThreadPool. Each output element accumulates its k-terms in ascending
+//    order inside a single lane, so results are bitwise identical for every
+//    CFX_THREADS value (row partitioning never reorders a dot product).
+//  * The transposed variants read B (or A) in its stored layout — no
+//    Transposed() copy — which is what the MatMul backward pass wants:
+//    dA = g . B^T and dB = A^T . g accumulate straight into the grad buffer.
+//  * Elementwise kernels are templates over the functor (MapInPlace /
+//    ZipInPlace): the functor inlines into the loop, unlike the historical
+//    Matrix::Map(const std::function&) path. Keep bodies branch-light; they
+//    parallelise only past kElementwiseGrain elements.
+#ifndef CFX_TENSOR_KERNELS_H_
+#define CFX_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+#include "src/common/thread_pool.h"
+
+namespace cfx {
+namespace kernels {
+
+/// Below this many elements an elementwise kernel stays on the caller's
+/// thread: dispatch overhead would dwarf the loop.
+inline constexpr size_t kElementwiseGrain = size_t{1} << 15;
+
+/// Row-block grain for the matmul family (rows per dispatched chunk are
+/// chosen so a chunk covers at least ~kMatMulGrainFlops multiply-adds).
+inline constexpr size_t kMatMulGrainFlops = size_t{1} << 16;
+
+// ---- matmul family ----------------------------------------------------------
+
+/// out = a(n,k) . b(k,m). `out` must not alias `a` or `b`; it is fully
+/// overwritten.
+void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
+            size_t m);
+
+/// out += a(n,k) . b(k,m).
+void MatMulAccum(const float* a, const float* b, float* out, size_t n,
+                 size_t k, size_t m);
+
+/// out(n,m) (+)= a(n,k) . b(m,k)^T — b is read row-major as stored, so this
+/// is the transpose-free form of `a . b^T`.
+void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
+                       size_t k, size_t m, bool accumulate);
+
+/// out(k,m) (+)= a(n,k)^T . b(n,m) — a is read row-major as stored.
+void MatMulTransposedA(const float* a, const float* b, float* out, size_t n,
+                       size_t k, size_t m, bool accumulate);
+
+// ---- fused elementwise ------------------------------------------------------
+
+/// dst += src.
+void AddInPlace(float* dst, const float* src, size_t n);
+
+/// dst -= src.
+void SubInPlace(float* dst, const float* src, size_t n);
+
+/// dst *= src (Hadamard).
+void MulInPlace(float* dst, const float* src, size_t n);
+
+/// dst += alpha * src.
+void AxpyInPlace(float* dst, float alpha, const float* src, size_t n);
+
+/// dst *= alpha.
+void ScaleInPlace(float* dst, float alpha, size_t n);
+
+/// dst += a * b (elementwise product accumulate) — the Mul/Exp backward.
+void MulAddInPlace(float* dst, const float* a, const float* b, size_t n);
+
+/// dst[i] = fn(dst[i]); fn must be pure (it may run on any pool lane).
+template <typename Fn>
+void MapInPlace(float* dst, size_t n, Fn&& fn) {
+  if (n < kElementwiseGrain) {
+    for (size_t i = 0; i < n; ++i) dst[i] = fn(dst[i]);
+    return;
+  }
+  ParallelFor(0, n, kElementwiseGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) dst[i] = fn(dst[i]);
+  });
+}
+
+/// dst[i] = fn(src[i]).
+template <typename Fn>
+void MapTo(float* dst, const float* src, size_t n, Fn&& fn) {
+  if (n < kElementwiseGrain) {
+    for (size_t i = 0; i < n; ++i) dst[i] = fn(src[i]);
+    return;
+  }
+  ParallelFor(0, n, kElementwiseGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) dst[i] = fn(src[i]);
+  });
+}
+
+/// dst[i] = fn(dst[i], src[i]).
+template <typename Fn>
+void ZipInPlace(float* dst, const float* src, size_t n, Fn&& fn) {
+  if (n < kElementwiseGrain) {
+    for (size_t i = 0; i < n; ++i) dst[i] = fn(dst[i], src[i]);
+    return;
+  }
+  ParallelFor(0, n, kElementwiseGrain, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) dst[i] = fn(dst[i], src[i]);
+  });
+}
+
+}  // namespace kernels
+}  // namespace cfx
+
+#endif  // CFX_TENSOR_KERNELS_H_

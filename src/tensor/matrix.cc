@@ -44,6 +44,22 @@ Matrix Matrix::RandomUniform(size_t rows, size_t cols, float lo, float hi,
   return m;
 }
 
+Matrix Matrix::FromStorage(size_t rows, size_t cols,
+                           std::vector<float> storage) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(storage);
+  m.data_.assign(rows * cols, 0.0f);
+  return m;
+}
+
+std::vector<float> Matrix::ReleaseStorage() {
+  rows_ = 0;
+  cols_ = 0;
+  return std::move(data_);
+}
+
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   for (size_t r = 0; r < rows_; ++r) {
@@ -108,61 +124,60 @@ Matrix Matrix::Row(size_t r) const { return SliceRows(r, r + 1); }
 Matrix Matrix::operator+(const Matrix& other) const {
   assert(SameShape(other));
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  kernels::AddInPlace(out.data(), other.data(), out.size());
   return out;
 }
 
 Matrix Matrix::operator-(const Matrix& other) const {
   assert(SameShape(other));
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  kernels::SubInPlace(out.data(), other.data(), out.size());
   return out;
 }
 
 Matrix Matrix::operator*(const Matrix& other) const {
   assert(SameShape(other));
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  kernels::MulInPlace(out.data(), other.data(), out.size());
   return out;
 }
 
 Matrix Matrix::operator*(float scalar) const {
   Matrix out = *this;
-  for (float& v : out.data_) v *= scalar;
+  kernels::ScaleInPlace(out.data(), scalar, out.size());
   return out;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::AddInPlace(data(), other.data(), size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   assert(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  kernels::SubInPlace(data(), other.data(), size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(float scalar) {
-  for (float& v : data_) v *= scalar;
+  kernels::ScaleInPlace(data(), scalar, size());
   return *this;
 }
 
 Matrix Matrix::MatMul(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  const size_t n = rows_, k_dim = cols_, m = other.cols_;
-  for (size_t i = 0; i < n; ++i) {
-    float* out_row = &out.data_[i * m];
-    const float* a_row = &data_[i * k_dim];
-    for (size_t k = 0; k < k_dim; ++k) {
-      const float a = a_row[k];
-      if (a == 0.0f) continue;
-      const float* b_row = &other.data_[k * m];
-      for (size_t j = 0; j < m; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  kernels::MatMul(data(), other.data(), out.data(), rows_, cols_,
+                  other.cols_);
+  return out;
+}
+
+Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  kernels::MatMulTransposedB(data(), other.data(), out.data(), rows_, cols_,
+                             other.rows_, /*accumulate=*/false);
   return out;
 }
 
@@ -176,9 +191,7 @@ Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
 }
 
 Matrix Matrix::Map(const std::function<float(float)>& fn) const {
-  Matrix out = *this;
-  for (float& v : out.data_) v = fn(v);
-  return out;
+  return Apply([&fn](float v) { return fn(v); });
 }
 
 float Matrix::Sum() const {

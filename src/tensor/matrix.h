@@ -5,18 +5,27 @@
 //    memory traffic and is ample precision for SGD-trained networks.
 //  * Shapes follow the (batch, features) convention everywhere: a batch of
 //    n samples with d features is an n x d Matrix.
-//  * Matmul uses an i-k-j loop ordering (inner loop streams a row of the
-//    right operand), which is cache-friendly without explicit blocking at
-//    the sizes cfx uses (<= a few thousand rows, <= a few hundred columns).
+//  * Arithmetic routes through src/tensor/kernels.h. Matmul keeps the
+//    cache-friendly i-k-j ordering but blocks over k (4-wide register
+//    blocking with a per-coefficient zero skip for one-hot-sparse inputs)
+//    and splits output rows across the global ThreadPool; the k-terms of
+//    every output element still accumulate in ascending order, so results
+//    are bitwise identical for every CFX_THREADS setting. The transposed
+//    variant (MatMulTransposedB) reads the right operand in its stored
+//    layout — the autodiff backward pass never materialises a transpose.
+//  * Map(std::function) survives for convenience; hot elementwise paths use
+//    the templated Apply/ApplyInPlace so the functor inlines into the loop.
 #ifndef CFX_TENSOR_MATRIX_H_
 #define CFX_TENSOR_MATRIX_H_
 
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 
@@ -50,6 +59,14 @@ class Matrix {
   /// rows x cols with i.i.d. U[lo, hi) entries.
   static Matrix RandomUniform(size_t rows, size_t cols, float lo, float hi,
                               Rng* rng);
+
+  /// Adopts `storage` as the backing buffer (resized to rows * cols; reuses
+  /// its capacity). The autodiff grad pool recycles buffers through this.
+  static Matrix FromStorage(size_t rows, size_t cols,
+                            std::vector<float> storage);
+
+  /// Surrenders the backing buffer, leaving a 0x0 matrix.
+  std::vector<float> ReleaseStorage();
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -107,10 +124,29 @@ class Matrix {
   /// Matrix product; this->cols() must equal other.rows().
   Matrix MatMul(const Matrix& other) const;
 
+  /// this(n,k) x other(m,k)^T -> (n,m) without materialising the transpose;
+  /// this->cols() must equal other.cols().
+  Matrix MatMulTransposedB(const Matrix& other) const;
+
   /// Adds a 1 x cols row vector to every row (bias broadcast).
   Matrix AddRowBroadcast(const Matrix& row) const;
 
-  /// Elementwise map.
+  /// Elementwise map with an inlining functor — use this on hot paths.
+  template <typename Fn>
+  Matrix Apply(Fn&& fn) const {
+    Matrix out = *this;
+    kernels::MapInPlace(out.data(), out.size(), std::forward<Fn>(fn));
+    return out;
+  }
+
+  /// In-place elementwise map.
+  template <typename Fn>
+  void ApplyInPlace(Fn&& fn) {
+    kernels::MapInPlace(data(), size(), std::forward<Fn>(fn));
+  }
+
+  /// Elementwise map. Type-erased (std::function) convenience wrapper; hot
+  /// paths should call Apply so the functor inlines.
   Matrix Map(const std::function<float(float)>& fn) const;
 
   // ---- reductions ----------------------------------------------------------

@@ -1,0 +1,216 @@
+// Execution-layer tests: ThreadPool/ParallelFor semantics plus bitwise
+// determinism of the parallel kernels against forced-serial execution.
+//
+// Registered with CFX_THREADS=4 (see CMakeLists.txt) so the pooled paths
+// are exercised even on single-core machines.
+#include "src/common/thread_pool.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/manifold/tsne.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 7, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, HandlesOffsetRanges) {
+  std::vector<std::atomic<int>> hits(100);
+  ParallelFor(40, 100, 9, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(hits[i].load(), i >= 40 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  bool ran = false;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, PropagatesChunkExceptions) {
+  EXPECT_THROW(ParallelFor(0, 1000, 1,
+                           [](size_t b, size_t) {
+                             if (b == 500) {
+                               throw std::runtime_error("chunk failed");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  try {
+    ParallelFor(0, 100, 1, [](size_t, size_t) {
+      throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<size_t> count{0};
+  ParallelFor(0, 100, 1, [&](size_t b, size_t e) { count += e - b; });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  constexpr size_t kOuter = 32;
+  constexpr size_t kInner = 1000;
+  std::vector<std::atomic<size_t>> sums(kOuter);
+  ParallelFor(0, kOuter, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      // The nested call must run inline on this lane (worker or caller) —
+      // no deadlock, full coverage.
+      size_t local = 0;
+      ParallelFor(0, kInner, 64, [&](size_t ib, size_t ie) {
+        for (size_t j = ib; j < ie; ++j) local += j;
+      });
+      sums[i].store(local);
+    }
+  });
+  const size_t expected = kInner * (kInner - 1) / 2;
+  for (size_t i = 0; i < kOuter; ++i) {
+    ASSERT_EQ(sums[i].load(), expected) << "outer " << i;
+  }
+}
+
+TEST(ThreadPoolTest, PoolOfOneRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  size_t covered = 0;  // Non-atomic on purpose: everything runs inline.
+  std::thread::id body_thread;
+  pool.ParallelFor(0, 5000, 16, [&](size_t b, size_t e) {
+    covered += e - b;
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(covered, 5000u);
+  EXPECT_EQ(body_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, LocalPoolCompletesManyLoops) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(0, 997, 13, [&](size_t b, size_t e) { count += e - b; });
+    ASSERT_EQ(count.load(), 997u) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceSumsChunksInOrder) {
+  constexpr size_t kN = 100000;
+  const double pooled = ParallelReduce(0, kN, 1024, [](size_t b, size_t e) {
+    double acc = 0.0;
+    for (size_t i = b; i < e; ++i) acc += static_cast<double>(i);
+    return acc;
+  });
+  double serial_chunks;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial_chunks = ParallelReduce(0, kN, 1024, [](size_t b, size_t e) {
+      double acc = 0.0;
+      for (size_t i = b; i < e; ++i) acc += static_cast<double>(i);
+      return acc;
+    });
+  }
+  // Same chunk layout, order-deterministic combination: bitwise equal.
+  EXPECT_EQ(pooled, serial_chunks);
+  EXPECT_DOUBLE_EQ(pooled, static_cast<double>(kN) * (kN - 1) / 2.0);
+}
+
+// ---- bitwise determinism of the parallel kernels ---------------------------
+
+TEST(DeterminismTest, MatMulMatchesSerialBitwise) {
+  Rng rng(42);
+  // Row count and inner sizes chosen so the row grain produces several
+  // chunks (kMatMulGrainFlops / (k * m) ≈ 31 rows per chunk here).
+  Matrix a = Matrix::RandomNormal(97, 64, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::RandomNormal(64, 33, 0.0f, 1.0f, &rng);
+  const Matrix pooled = a.MatMul(b);
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial = a.MatMul(b);
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, SparseMatMulMatchesSerialBitwise) {
+  Rng rng(7);
+  // One-hot-ish left operand exercises the zero-skip path.
+  Matrix a(120, 48);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    a.at(r, static_cast<size_t>(rng.Uniform(0.0, 48.0))) = 1.0f;
+  }
+  Matrix b = Matrix::RandomNormal(48, 25, 0.0f, 1.0f, &rng);
+  const Matrix pooled = a.MatMul(b);
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial = a.MatMul(b);
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, TransposedMatMulsMatchSerialBitwise) {
+  Rng rng(13);
+  Matrix g = Matrix::RandomNormal(90, 40, 0.0f, 1.0f, &rng);
+  Matrix w = Matrix::RandomNormal(70, 40, 0.0f, 1.0f, &rng);
+  const Matrix pooled = g.MatMulTransposedB(w);
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial = g.MatMulTransposedB(w);
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, ElementwiseMapMatchesSerialBitwise) {
+  Rng rng(99);
+  // Bigger than kElementwiseGrain so MapInPlace takes the pooled path.
+  Matrix m = Matrix::RandomNormal(300, 200, 0.0f, 1.0f, &rng);
+  const Matrix pooled = m.Apply([](float v) { return std::tanh(v) * 0.5f; });
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial = m.Apply([](float v) { return std::tanh(v) * 0.5f; });
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, TsneMatchesSerialBitwise) {
+  Rng data_rng(5);
+  const Matrix data = Matrix::RandomNormal(60, 8, 0.0f, 1.0f, &data_rng);
+  TsneConfig config;
+  config.iterations = 60;
+  config.exaggeration_iters = 20;
+  config.momentum_switch_iter = 30;
+
+  Rng rng_pooled(123);
+  const Matrix pooled = RunTsne(data, config, &rng_pooled);
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    Rng rng_serial(123);
+    serial = RunTsne(data, config, &rng_serial);
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 CI: strict-warnings build + full ctest, then an ASan/UBSan job.
+#
+# Usage: tools/ci.sh [--skip-asan]
+#
+# Jobs:
+#   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite.
+#   2. "asan" preset  — address + undefined-behaviour sanitizers, full ctest.
+#
+# Both run the tier-1 suite under CFX_THREADS=4 so the pooled execution
+# paths are exercised regardless of the host's core count.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+skip_asan=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-asan) skip_asan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
+cmake --preset ci
+cmake --build --preset ci -j "$jobs"
+CFX_THREADS=4 ctest --preset ci -j "$jobs"
+
+if [[ "$skip_asan" -eq 0 ]]; then
+  echo "==> [2/2] ASan/UBSan build"
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  CFX_THREADS=4 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j "$jobs"
+else
+  echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
+fi
+
+echo "==> CI passed"
