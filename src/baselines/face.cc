@@ -5,7 +5,6 @@
 #include <limits>
 #include <queue>
 
-#include "src/common/thread_pool.h"
 #include "src/manifold/knn.h"
 
 namespace cfx {
@@ -29,36 +28,50 @@ Status FaceMethod::Fit(const Matrix& x_train, const std::vector<int>& labels) {
     return Status::FailedPrecondition("too few training rows for FACE graph");
   }
 
-  // k-NN adjacency (symmetrised) + density estimate, via the exact VP-tree
-  // index (O(m log m)-ish instead of the brute-force O(m^2)).
+  // k-NN adjacency + density estimate via the exact index's batch self
+  // query (parallel, deterministic pure reads — near-linear instead of the
+  // brute-force O(m^2) the former node cap guarded against).
   index_ = std::make_unique<KnnIndex>(nodes_, &rng_);
-  adjacency_.assign(m, {});
+  const std::vector<std::vector<Neighbor>> knn =
+      index_->SelfNeighbors(config_.k_neighbors);
   std::vector<float> mean_knn(m, 0.0f);
-  // The index queries are const (pure reads of the VP-tree), so the per-node
-  // kNN lookups run in parallel; each chunk writes only its own rows of
-  // adjacency_/mean_knn, keeping the graph identical for any thread count.
-  ParallelFor(0, m, 0, [&](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) {
-      std::vector<Neighbor> hits = index_->QuerySelf(i, config_.k_neighbors);
-      float acc = 0.0f;
-      for (const Neighbor& hit : hits) {
-        adjacency_[i].push_back({hit.index, hit.distance});
-        acc += hit.distance;
-      }
-      mean_knn[i] = acc / static_cast<float>(config_.k_neighbors);
-    }
-  });
-  // Symmetrise: ensure j lists i whenever i lists j.
   for (size_t i = 0; i < m; ++i) {
-    for (const auto& [j, w] : adjacency_[i]) {
+    float acc = 0.0f;
+    for (const Neighbor& hit : knn[i]) acc += hit.distance;
+    mean_knn[i] = acc / static_cast<float>(config_.k_neighbors);
+  }
+  // Symmetrise into per-node edge lists (j lists i whenever i lists j),
+  // then flatten to CSR for the Dijkstra scans.
+  std::vector<std::vector<std::pair<size_t, float>>> adjacency(m);
+  for (size_t i = 0; i < m; ++i) {
+    for (const Neighbor& hit : knn[i]) {
+      adjacency[i].push_back({hit.index, hit.distance});
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (const auto& [j, w] : adjacency[i]) {
       bool present = false;
-      for (const auto& [back, bw] : adjacency_[j]) {
+      for (const auto& [back, bw] : adjacency[j]) {
+        (void)bw;
         if (back == i) {
           present = true;
           break;
         }
       }
-      if (!present) adjacency_[j].push_back({i, w});
+      if (!present) adjacency[j].push_back({i, w});
+    }
+  }
+  adj_offsets_.assign(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    adj_offsets_[i + 1] = adj_offsets_[i] + adjacency[i].size();
+  }
+  adj_cols_.resize(adj_offsets_[m]);
+  adj_weights_.resize(adj_offsets_[m]);
+  for (size_t i = 0; i < m; ++i) {
+    size_t e = adj_offsets_[i];
+    for (const auto& [j, w] : adjacency[i]) {
+      adj_cols_[e] = j;
+      adj_weights_[e++] = w;
     }
   }
 
@@ -93,8 +106,9 @@ std::vector<float> FaceMethod::ShortestPaths(size_t source) const {
     auto [c, u] = queue.top();
     queue.pop();
     if (c > cost[u]) continue;
-    for (const auto& [v, w] : adjacency_[u]) {
-      const float nc = c + w;
+    for (size_t e = adj_offsets_[u]; e < adj_offsets_[u + 1]; ++e) {
+      const size_t v = adj_cols_[e];
+      const float nc = c + adj_weights_[e];
       if (nc < cost[v]) {
         cost[v] = nc;
         queue.push({nc, v});

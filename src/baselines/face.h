@@ -21,7 +21,10 @@ namespace cfx {
 
 /// FACE hyperparameters.
 struct FaceConfig {
-  size_t max_graph_nodes = 1200;  ///< Training subsample bound (O(N^2) graph).
+  /// Training subsample bound. The graph is a CSR-stored kNN adjacency
+  /// built from batch index queries (near-linear in nodes), so the cap is
+  /// a memory/latency guard rather than the former O(N^2) wall.
+  size_t max_graph_nodes = 4096;
   size_t k_neighbors = 8;
   float min_confidence = 0.6f;    ///< Sigmoid confidence for endpoints.
 };
@@ -43,7 +46,11 @@ class FaceMethod : public CfMethod {
   Rng rng_;
   Matrix nodes_;                       ///< Graph nodes (subsampled rows).
   std::unique_ptr<KnnIndex> index_;    ///< Exact kNN over the nodes.
-  std::vector<std::vector<std::pair<size_t, float>>> adjacency_;
+  /// Symmetrised kNN graph in CSR layout: node i's edges are
+  /// adj_cols_/adj_weights_[adj_offsets_[i] .. adj_offsets_[i + 1]).
+  std::vector<size_t> adj_offsets_;
+  std::vector<size_t> adj_cols_;
+  std::vector<float> adj_weights_;
   std::vector<int> node_pred_;         ///< Black-box label per node.
   std::vector<float> node_confidence_; ///< Sigmoid confidence per node.
   std::vector<bool> node_dense_;       ///< Mean k-NN distance below median.

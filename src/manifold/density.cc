@@ -5,6 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/manifold/knn.h"
+
 namespace cfx {
 namespace {
 
@@ -30,58 +34,80 @@ SeparabilityStats AnalyzeSeparability(const Matrix& embedding,
   if (n < 3) return stats;
   k_neighbors = std::min(k_neighbors, n - 1);
 
-  size_t agree = 0;
-  double intra_sum = 0.0, inter_sum = 0.0;
-  size_t intra_count = 0, inter_count = 0;
-  double silhouette_sum = 0.0;
+  // kNN majority vote through the spatial index (O(n log n) on the 2-D
+  // embeddings this analyses) instead of the former O(n^2 log k) scan +
+  // partial sort per point. The rng only drives vantage-point selection;
+  // query results are exact.
+  Rng rng(0x5EBA);
+  const KnnIndex index(embedding, &rng);
 
-  std::vector<std::pair<double, size_t>> dists(n);
-  for (size_t i = 0; i < n; ++i) {
-    double intra_i = 0.0, inter_i = 0.0;
-    size_t intra_n = 0, inter_n = 0;
-    for (size_t j = 0; j < n; ++j) {
-      const double d =
-          i == j ? std::numeric_limits<double>::infinity() : Distance(embedding, i, j);
-      dists[j] = {d, j};
-      if (i == j) continue;
-      if (labels[j] == labels[i]) {
-        intra_i += d;
-        ++intra_n;
-      } else {
-        inter_i += d;
-        ++inter_n;
+  // Per-point outputs land in disjoint slots; the reductions below run
+  // serially in index order, so the stats are thread-count independent.
+  std::vector<uint8_t> agree(n, 0);
+  std::vector<uint8_t> valid(n, 0);
+  std::vector<double> intra_mean(n, 0.0);  // silhouette a(i), exact
+  std::vector<double> inter_mean(n, 0.0);  // silhouette b(i), exact
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) {
+      const std::vector<Neighbor> hits = index.QuerySelf(i, k_neighbors);
+      size_t same = 0;
+      for (const Neighbor& hit : hits) {
+        same += labels[hit.index] == labels[i];
+      }
+      agree[i] = same * 2 > k_neighbors;
+
+      // Silhouette terms stay exact: mean distance to every same-label and
+      // other-label point (no sort, no per-point allocation).
+      double intra_i = 0.0, inter_i = 0.0;
+      size_t intra_n = 0, inter_n = 0;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double d = Distance(embedding, i, j);
+        if (labels[j] == labels[i]) {
+          intra_i += d;
+          ++intra_n;
+        } else {
+          inter_i += d;
+          ++inter_n;
+        }
+      }
+      if (intra_n > 0 && inter_n > 0) {
+        valid[i] = 1;
+        intra_mean[i] = intra_i / static_cast<double>(intra_n);
+        inter_mean[i] = inter_i / static_cast<double>(inter_n);
       }
     }
-    // k-NN majority vote.
-    std::partial_sort(dists.begin(), dists.begin() + k_neighbors, dists.end());
-    size_t same = 0;
-    for (size_t k = 0; k < k_neighbors; ++k) {
-      same += labels[dists[k].second] == labels[i];
-    }
-    agree += same * 2 > k_neighbors;
+  });
 
-    if (intra_n > 0 && inter_n > 0) {
-      const double a = intra_i / static_cast<double>(intra_n);
-      const double b = inter_i / static_cast<double>(inter_n);
-      intra_sum += a;
-      inter_sum += b;
-      ++intra_count;
-      ++inter_count;
-      silhouette_sum += (b - a) / std::max(a, b);
-    }
+  size_t agree_count = 0;
+  double intra_sum = 0.0, inter_sum = 0.0;
+  size_t pair_count = 0;
+  double silhouette_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    agree_count += agree[i];
+    if (!valid[i]) continue;
+    intra_sum += intra_mean[i];
+    inter_sum += inter_mean[i];
+    ++pair_count;
+    silhouette_sum += (inter_mean[i] - intra_mean[i]) /
+                      std::max(intra_mean[i], inter_mean[i]);
   }
 
-  stats.knn_label_agreement = static_cast<double>(agree) / n;
-  if (inter_count > 0 && inter_sum > 0.0) {
+  stats.knn_label_agreement = static_cast<double>(agree_count) / n;
+  if (pair_count > 0 && inter_sum > 0.0) {
     stats.intra_inter_ratio =
-        (intra_sum / intra_count) / (inter_sum / inter_count);
-    stats.silhouette = silhouette_sum / static_cast<double>(intra_count);
+        (intra_sum / pair_count) / (inter_sum / pair_count);
+    stats.silhouette = silhouette_sum / static_cast<double>(pair_count);
   }
   return stats;
 }
 
 Matrix DensityGrid(const Matrix& embedding, size_t grid_rows,
                    size_t grid_cols) {
+  // Degenerate shapes: a 0-cell grid has nowhere to count, and a single
+  // row/column must collapse that axis to index 0 instead of scaling by
+  // (extent - 1) == 0 against a degenerate span.
+  if (grid_rows == 0 || grid_cols == 0) return Matrix(grid_rows, grid_cols);
   Matrix grid(grid_rows, grid_cols);
   if (embedding.rows() == 0) return grid;
   float min_x = embedding.at(0, 0), max_x = min_x;
@@ -95,11 +121,17 @@ Matrix DensityGrid(const Matrix& embedding, size_t grid_rows,
   const float span_x = std::max(max_x - min_x, 1e-6f);
   const float span_y = std::max(max_y - min_y, 1e-6f);
   for (size_t i = 0; i < embedding.rows(); ++i) {
-    size_t c = static_cast<size_t>((embedding.at(i, 0) - min_x) / span_x *
-                                   static_cast<float>(grid_cols - 1));
-    size_t r = static_cast<size_t>((embedding.at(i, 1) - min_y) / span_y *
-                                   static_cast<float>(grid_rows - 1));
-    grid.at(r, c) += 1.0f;
+    size_t c = grid_cols == 1
+                   ? 0
+                   : static_cast<size_t>((embedding.at(i, 0) - min_x) /
+                                         span_x *
+                                         static_cast<float>(grid_cols - 1));
+    size_t r = grid_rows == 1
+                   ? 0
+                   : static_cast<size_t>((embedding.at(i, 1) - min_y) /
+                                         span_y *
+                                         static_cast<float>(grid_rows - 1));
+    grid.at(std::min(r, grid_rows - 1), std::min(c, grid_cols - 1)) += 1.0f;
   }
   return grid;
 }

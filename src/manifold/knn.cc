@@ -6,6 +6,8 @@
 #include <limits>
 #include <queue>
 
+#include "src/common/thread_pool.h"
+
 namespace cfx {
 
 KnnIndex::KnnIndex(const Matrix& data, Rng* rng) : data_(data) {
@@ -156,6 +158,21 @@ std::vector<Neighbor> KnnIndex::Query(const Matrix& query, size_t k) const {
     hits[i] = {state.heap.top().second, state.heap.top().first};
     state.heap.pop();
   }
+  return hits;
+}
+
+std::vector<Neighbor> KnnIndex::ScanQuery(const Matrix& query, size_t k) const {
+  assert(query.rows() == 1 && query.cols() == data_.cols());
+  return ScanQuery(query.data(), k, static_cast<size_t>(-1));
+}
+
+std::vector<std::vector<Neighbor>> KnnIndex::SelfNeighbors(size_t k) const {
+  std::vector<std::vector<Neighbor>> hits(data_.rows());
+  // Chunks own disjoint result slots and every query is a pure read, so the
+  // batch is bitwise identical for any thread count.
+  ParallelFor(0, data_.rows(), 0, [&](size_t i0, size_t i1) {
+    for (size_t i = i0; i < i1; ++i) hits[i] = QuerySelf(i, k);
+  });
   return hits;
 }
 

@@ -50,6 +50,17 @@ class KnnIndex {
   /// *excluding* that row.
   std::vector<Neighbor> QuerySelf(size_t row, size_t k) const;
 
+  /// QuerySelf for every indexed row at once: batch-parallel across rows
+  /// (index reads are pure) and deterministic for any CFX_THREADS value.
+  /// Entry i holds QuerySelf(i, k). Used by the sparse t-SNE affinities and
+  /// the FACE graph construction.
+  std::vector<std::vector<Neighbor>> SelfNeighbors(size_t k) const;
+
+  /// The exact linear-scan reference path, runnable regardless of the
+  /// active strategy (public so property tests and benches can pit the
+  /// VP-tree against it on identical data).
+  std::vector<Neighbor> ScanQuery(const Matrix& query, size_t k) const;
+
  private:
   struct Node {
     size_t point = 0;            ///< Row index of the vantage point.

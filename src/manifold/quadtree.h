@@ -1,0 +1,84 @@
+// Barnes–Hut quadtree over a 2-D point set (Barnes & Hut 1986; applied to
+// t-SNE by van der Maaten 2014, "Accelerating t-SNE using Tree-Based
+// Algorithms").
+//
+// The tree partitions the embedding plane into square cells, each carrying
+// its point count and centre of mass. A θ-criterion traversal then treats
+// any cell that looks "small enough" from a query point (cell width w and
+// distance d to the cell's centre of mass satisfying w < θ·d) as a single
+// super-point, turning the O(N) repulsive-force sum of t-SNE into an
+// O(log N) walk per point.
+//
+// Determinism: the tree is built serially in point-index order and the
+// traversal for one point is a pure function of the tree, so per-point
+// results are bitwise identical for any thread count; callers parallelise
+// across points and combine the scalar Z partials with a chunk-ordered
+// reduction (see tsne.cc).
+#ifndef CFX_MANIFOLD_QUADTREE_H_
+#define CFX_MANIFOLD_QUADTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfx {
+
+/// Immutable Barnes–Hut quadtree over n points in the plane.
+class Quadtree {
+ public:
+  /// Builds the tree over `points` (n x 2 row-major, not copied — the caller
+  /// keeps the buffer alive for the tree's lifetime). O(n log n) for
+  /// well-spread points; coincident points are bucketed at `kMaxDepth`.
+  Quadtree(const double* points, size_t n);
+
+  /// Depth cap: cells stop splitting here and hold a bucket of points
+  /// instead (guards against coincident/near-coincident points).
+  static constexpr int kMaxDepth = 32;
+
+  /// Accumulates the Barnes–Hut approximation of point `self`'s repulsive
+  /// t-SNE terms:
+  ///   force += sum_cells count_c * num_c^2 * (y_self - com_c)
+  ///   z     += sum_cells count_c * num_c,   num_c = 1 / (1 + ||y_self - com_c||^2)
+  /// over the cells accepted by the θ-criterion (w^2 < θ^2 · d^2); rejected
+  /// internal cells recurse, rejected leaves enumerate their points exactly
+  /// (skipping `self`). θ = 0 therefore computes the exact O(N) sums.
+  void Repulsion(size_t self, double theta, double* force_x, double* force_y,
+                 double* z) const;
+
+  /// Number of allocated tree cells (exposed for tests/benches).
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Indexed points.
+  size_t size() const { return n_; }
+
+ private:
+  struct Node {
+    double sum_x = 0.0, sum_y = 0.0;  ///< Accumulated coordinates.
+    double com_x = 0.0, com_y = 0.0;  ///< Centre of mass (filled post-build).
+    double cx = 0.0, cy = 0.0;        ///< Cell centre.
+    double half = 0.0;                ///< Half the cell width.
+    size_t count = 0;                 ///< Points in the subtree.
+    int32_t children[4] = {-1, -1, -1, -1};
+    int32_t first_point = -1;  ///< Leaf bucket head (into point_next_).
+    bool leaf = true;
+  };
+
+  /// Inserts point `p` into the subtree rooted at `node` (cell geometry
+  /// already set). Splits leaves on their second point until kMaxDepth.
+  void Insert(int32_t node, uint32_t p, int depth);
+
+  /// Child cell of `node` containing (x, y), created on demand.
+  int32_t ChildFor(int32_t node, double x, double y);
+
+  void Walk(int32_t node, const double* q, size_t self, double theta_sq,
+            double* fx, double* fy, double* z) const;
+
+  const double* points_;
+  size_t n_;
+  std::vector<Node> nodes_;
+  std::vector<int32_t> point_next_;  ///< Leaf bucket linked lists.
+};
+
+}  // namespace cfx
+
+#endif  // CFX_MANIFOLD_QUADTREE_H_

@@ -3,15 +3,24 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/manifold/knn.h"
+#include "src/manifold/quadtree.h"
 
 namespace cfx {
 namespace internal {
+namespace {
 
-void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
-                  double perplexity, std::vector<double>* row_out) {
+/// Shared bandwidth bisection: distributes mass over `sq_dists` (skipping
+/// `exclude` if in range) so the conditional distribution's entropy matches
+/// log(perplexity), then normalises.
+void CalibrateDistances(const std::vector<double>& sq_dists, size_t exclude,
+                        double perplexity, std::vector<double>* row_out) {
   const size_t n = sq_dists.size();
   row_out->assign(n, 0.0);
   const double target_entropy = std::log(perplexity);
@@ -26,7 +35,7 @@ void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
     double sum = 0.0;
     double weighted = 0.0;
     for (size_t j = 0; j < n; ++j) {
-      if (j == i) {
+      if (j == exclude) {
         p[j] = 0.0;
         continue;
       }
@@ -60,49 +69,111 @@ void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
   }
 }
 
-}  // namespace internal
+/// Gradient engine contract: fill `dy` (n x dims) for the current embedding
+/// `y`; called once per iteration.
+using GradientFn =
+    std::function<void(const std::vector<double>& y, std::vector<double>* dy)>;
 
-Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
+/// The descent driver both engines share: N(0, 1e-2) init, Jacobs gain
+/// adaptation, momentum switching, recentring and the early-exaggeration
+/// hand-off (`unexaggerate` runs once, after `exaggeration_iters`
+/// iterations). Serial update math keeps the trajectory bitwise identical
+/// for any thread count.
+std::vector<double> DescentLoop(const TsneConfig& config, size_t n,
+                                size_t dims, const GradientFn& gradient,
+                                const std::function<void()>& unexaggerate,
+                                Rng* rng) {
+  // Initial embedding ~ N(0, 1e-4).
+  std::vector<double> y(n * dims);
+  for (double& v : y) v = rng->Normal(0.0, 1e-2);
+
+  std::vector<double> dy(n * dims, 0.0);     // gradient
+  std::vector<double> vel(n * dims, 0.0);    // momentum buffer
+  std::vector<double> gains(n * dims, 1.0);  // adaptive per-dim gains
+
+  for (size_t iter = 0; iter < config.iterations; ++iter) {
+    gradient(y, &dy);
+
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.initial_momentum
+                                : config.final_momentum;
+    for (size_t k = 0; k < n * dims; ++k) {
+      // Jacobs-style gain adaptation.
+      const bool same_sign = (dy[k] > 0) == (vel[k] > 0);
+      gains[k] = same_sign ? std::max(gains[k] * 0.8, 0.01) : gains[k] + 0.2;
+      vel[k] = momentum * vel[k] - config.learning_rate * gains[k] * dy[k];
+      y[k] += vel[k];
+    }
+
+    // Recentre.
+    for (size_t c = 0; c < dims; ++c) {
+      double mean = 0.0;
+      for (size_t i = 0; i < n; ++i) mean += y[i * dims + c];
+      mean /= static_cast<double>(n);
+      for (size_t i = 0; i < n; ++i) y[i * dims + c] -= mean;
+    }
+
+    // Remove exaggeration.
+    if (iter + 1 == config.exaggeration_iters) unexaggerate();
+  }
+  return y;
+}
+
+Matrix ToMatrix(const std::vector<double>& y, size_t n, size_t dims) {
+  Matrix out(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < dims; ++c) {
+      out.at(i, c) = static_cast<float>(y[i * dims + c]);
+    }
+  }
+  return out;
+}
+
+// ---- exact engine ---------------------------------------------------------
+
+Matrix RunTsneExact(const Matrix& data, const TsneConfig& config, Rng* rng) {
   const size_t n = data.rows();
   const size_t dims = config.output_dims;
-  assert(n >= 4 && "t-SNE needs at least a handful of points");
-
   const double perplexity =
       std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
 
-  // Pairwise squared distances in high-dimensional space. Chunks write
-  // disjoint upper-triangle rows; a second pass mirrors into the lower
-  // triangle (row j is written only by the chunk owning j).
-  std::vector<double> sq(n * n, 0.0);
-  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
-    for (size_t i = i0; i < i1; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        double acc = 0.0;
-        for (size_t c = 0; c < data.cols(); ++c) {
-          const double d = static_cast<double>(data.at(i, c)) - data.at(j, c);
-          acc += d * d;
-        }
-        sq[i * n + j] = acc;
-      }
-    }
-  });
-  ParallelFor(0, n, 0, [&](size_t j0, size_t j1) {
-    for (size_t j = j0; j < j1; ++j) {
-      for (size_t i = 0; i < j; ++i) sq[j * n + i] = sq[i * n + j];
-    }
-  });
-
-  // Conditional affinities: each row's bisection search is independent.
+  // Dense symmetrised affinities. The O(N^2) distance buffer is scoped so
+  // it is returned to the allocator before the iteration buffers appear.
   std::vector<double> p(n * n, 0.0);
-  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
-    std::vector<double> row_dists(n);
-    std::vector<double> row(n);
-    for (size_t i = i0; i < i1; ++i) {
-      for (size_t j = 0; j < n; ++j) row_dists[j] = sq[i * n + j];
-      internal::CalibrateRow(row_dists, i, perplexity, &row);
-      for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
-    }
-  });
+  {
+    // Pairwise squared distances in high-dimensional space. Chunks write
+    // disjoint upper-triangle rows; a second pass mirrors into the lower
+    // triangle (row j is written only by the chunk owning j).
+    std::vector<double> sq(n * n, 0.0);
+    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+          double acc = 0.0;
+          for (size_t c = 0; c < data.cols(); ++c) {
+            const double d = static_cast<double>(data.at(i, c)) - data.at(j, c);
+            acc += d * d;
+          }
+          sq[i * n + j] = acc;
+        }
+      }
+    });
+    ParallelFor(0, n, 0, [&](size_t j0, size_t j1) {
+      for (size_t j = j0; j < j1; ++j) {
+        for (size_t i = 0; i < j; ++i) sq[j * n + i] = sq[i * n + j];
+      }
+    });
+
+    // Conditional affinities: each row's bisection search is independent.
+    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+      std::vector<double> row_dists(n);
+      std::vector<double> row(n);
+      for (size_t i = i0; i < i1; ++i) {
+        for (size_t j = 0; j < n; ++j) row_dists[j] = sq[i * n + j];
+        CalibrateRow(row_dists, i, perplexity, &row);
+        for (size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+      }
+    });
+  }
   // Symmetrise: the upper pass reads lower entries (untouched conditionals)
   // and writes upper ones; the mirror pass copies them down.
   const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
@@ -124,13 +195,6 @@ Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
   // Early exaggeration.
   for (double& v : p) v *= config.early_exaggeration;
 
-  // Initial embedding ~ N(0, 1e-4).
-  std::vector<double> y(n * dims);
-  for (double& v : y) v = rng->Normal(0.0, 1e-2);
-
-  std::vector<double> dy(n * dims, 0.0);     // gradient
-  std::vector<double> vel(n * dims, 0.0);    // momentum buffer
-  std::vector<double> gains(n * dims, 1.0);  // adaptive per-dim gains
   std::vector<double> q(n * n, 0.0);
   std::vector<double> num(n * n, 0.0);
 
@@ -138,7 +202,9 @@ Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
   // every CFX_THREADS value accumulates partials identically.
   const size_t reduce_grain = std::max<size_t>(1, n / 64);
 
-  for (size_t iter = 0; iter < config.iterations; ++iter) {
+  const GradientFn gradient = [&](const std::vector<double>& y,
+                                  std::vector<double>* dy_out) {
+    std::vector<double>& dy = *dy_out;
     // Student-t affinities in the embedding: upper-triangle rows per chunk,
     // with q_sum as an order-deterministic chunked reduction.
     const double q_sum =
@@ -187,39 +253,219 @@ Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
         }
       }
     });
+  };
+  const auto unexaggerate = [&] {
+    for (double& v : p) v /= config.early_exaggeration;
+  };
 
-    const double momentum = iter < config.momentum_switch_iter
-                                ? config.initial_momentum
-                                : config.final_momentum;
-    for (size_t k = 0; k < n * dims; ++k) {
-      // Jacobs-style gain adaptation.
-      const bool same_sign = (dy[k] > 0) == (vel[k] > 0);
-      gains[k] = same_sign ? std::max(gains[k] * 0.8, 0.01) : gains[k] + 0.2;
-      vel[k] = momentum * vel[k] - config.learning_rate * gains[k] * dy[k];
-      y[k] += vel[k];
+  const std::vector<double> y =
+      DescentLoop(config, n, dims, gradient, unexaggerate, rng);
+  return ToMatrix(y, n, dims);
+}
+
+// ---- Barnes–Hut engine ----------------------------------------------------
+
+Matrix RunTsneBarnesHut(const Matrix& data, const TsneConfig& config,
+                        Rng* rng) {
+  const size_t n = data.rows();
+  constexpr size_t kDims = 2;  // quadtree-backed repulsion is 2-D
+  const double perplexity =
+      std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  SparseAffinities aff = BuildSparseAffinities(data, perplexity, rng);
+
+  // Early exaggeration.
+  for (double& v : aff.vals) v *= config.early_exaggeration;
+
+  std::vector<double> rep(n * kDims, 0.0);  // repulsive force numerators
+  std::vector<double> z_part(n, 0.0);       // per-point Z partial sums
+
+  // Fixed grain (independent of CFX_THREADS) so the Z partials always merge
+  // in the same chunk order — the Barnes–Hut analogue of the exact engine's
+  // q_sum reduction.
+  const size_t reduce_grain = std::max<size_t>(1, n / 64);
+
+  const GradientFn gradient = [&](const std::vector<double>& y,
+                                  std::vector<double>* dy_out) {
+    std::vector<double>& dy = *dy_out;
+    // The tree is rebuilt serially each iteration (O(N log N), a small
+    // fraction of traversal cost) so its shape is thread-count independent.
+    const Quadtree tree(y.data(), n);
+
+    // Repulsion: each point's θ-walk is an independent pure read of the
+    // tree; chunks write disjoint rows of rep/z_part.
+    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        double fx = 0.0, fy = 0.0, zi = 0.0;
+        tree.Repulsion(i, config.theta, &fx, &fy, &zi);
+        rep[i * kDims] = fx;
+        rep[i * kDims + 1] = fy;
+        z_part[i] = zi;
+      }
+    });
+    const double z_sum =
+        ParallelReduce(0, n, reduce_grain, [&](size_t i0, size_t i1) {
+          double partial = 0.0;
+          for (size_t i = i0; i < i1; ++i) partial += z_part[i];
+          return partial;
+        });
+    const double inv_z = z_sum > 0 ? 1.0 / z_sum : 0.0;
+
+    // Attraction over the sparse P (CSR rows are sorted by column, so the
+    // j-accumulation order is fixed) fused with the final gradient:
+    //   dC/dy_i = 4 * (sum_j p_ij num_ij (y_i - y_j) - rep_i / Z).
+    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+      for (size_t i = i0; i < i1; ++i) {
+        double ax = 0.0, ay = 0.0;
+        for (size_t e = aff.offsets[i]; e < aff.offsets[i + 1]; ++e) {
+          const size_t j = aff.cols[e];
+          const double dx = y[i * kDims] - y[j * kDims];
+          const double dyv = y[i * kDims + 1] - y[j * kDims + 1];
+          const double t = 1.0 / (1.0 + dx * dx + dyv * dyv);
+          ax += aff.vals[e] * t * dx;
+          ay += aff.vals[e] * t * dyv;
+        }
+        dy[i * kDims] = 4.0 * (ax - rep[i * kDims] * inv_z);
+        dy[i * kDims + 1] = 4.0 * (ay - rep[i * kDims + 1] * inv_z);
+      }
+    });
+  };
+  const auto unexaggerate = [&] {
+    for (double& v : aff.vals) v /= config.early_exaggeration;
+  };
+
+  const std::vector<double> y =
+      DescentLoop(config, n, kDims, gradient, unexaggerate, rng);
+  return ToMatrix(y, n, kDims);
+}
+
+}  // namespace
+
+void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
+                  double perplexity, std::vector<double>* row_out) {
+  CalibrateDistances(sq_dists, i, perplexity, row_out);
+}
+
+void CalibrateSparseRow(const std::vector<double>& sq_dists,
+                        double perplexity, std::vector<double>* row_out) {
+  CalibrateDistances(sq_dists, sq_dists.size(), perplexity, row_out);
+}
+
+SparseAffinities BuildSparseAffinities(const Matrix& data, double perplexity,
+                                       Rng* rng) {
+  const size_t n = data.rows();
+  SparseAffinities aff;
+  aff.neighbors = std::max<size_t>(
+      1, std::min(n - 1, static_cast<size_t>(3.0 * perplexity)));
+  const size_t k = aff.neighbors;
+
+  // Directed kNN affinities: batch-parallel index queries (pure reads) and
+  // per-row bandwidth calibration. Chunks own disjoint row slices.
+  const KnnIndex index(data, rng);
+  std::vector<uint32_t> knn_cols(n * k);
+  std::vector<double> knn_p(n * k);
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+    std::vector<double> sq(k);
+    std::vector<double> row;
+    for (size_t i = i0; i < i1; ++i) {
+      const std::vector<Neighbor> hits = index.QuerySelf(i, k);
+      assert(hits.size() == k);
+      for (size_t t = 0; t < k; ++t) {
+        sq[t] = static_cast<double>(hits[t].distance) * hits[t].distance;
+      }
+      CalibrateSparseRow(sq, perplexity, &row);
+      for (size_t t = 0; t < k; ++t) {
+        knn_cols[i * k + t] = static_cast<uint32_t>(hits[t].index);
+        knn_p[i * k + t] = row[t];
+      }
     }
+  });
 
-    // Recentre.
-    for (size_t c = 0; c < dims; ++c) {
-      double mean = 0.0;
-      for (size_t i = 0; i < n; ++i) mean += y[i * dims + c];
-      mean /= static_cast<double>(n);
-      for (size_t i = 0; i < n; ++i) y[i * dims + c] -= mean;
-    }
+  // Symmetrise into CSR: every directed edge (i -> j, v) contributes v to
+  // both p_ij and p_ji; coincident entries merge. All passes below are
+  // serial or row-disjoint, so the layout is thread-count independent.
+  std::vector<size_t> degree(n, k);  // k outgoing entries per row...
+  for (size_t e = 0; e < n * k; ++e) degree[knn_cols[e]] += 1;  // + incoming
 
-    // Remove exaggeration.
-    if (iter + 1 == config.exaggeration_iters) {
-      for (double& v : p) v /= config.early_exaggeration;
-    }
-  }
-
-  Matrix out(n, dims);
+  aff.offsets.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) aff.offsets[i + 1] = aff.offsets[i] + degree[i];
+  std::vector<uint32_t> cols(aff.offsets[n]);
+  std::vector<double> vals(aff.offsets[n]);
+  std::vector<size_t> cursor(aff.offsets.begin(), aff.offsets.end() - 1);
   for (size_t i = 0; i < n; ++i) {
-    for (size_t c = 0; c < dims; ++c) {
-      out.at(i, c) = static_cast<float>(y[i * dims + c]);
+    for (size_t t = 0; t < k; ++t) {
+      const uint32_t j = knn_cols[i * k + t];
+      const double v = knn_p[i * k + t];
+      cols[cursor[i]] = j;
+      vals[cursor[i]++] = v;
+      cols[cursor[j]] = static_cast<uint32_t>(i);
+      vals[cursor[j]++] = v;
     }
   }
-  return out;
+
+  // Per-row: sort by column and merge duplicates (mutual neighbours appear
+  // twice, once per direction). Rows are independent.
+  std::vector<size_t> merged_count(n, 0);
+  ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+    std::vector<std::pair<uint32_t, double>> row;
+    for (size_t i = i0; i < i1; ++i) {
+      row.clear();
+      for (size_t e = aff.offsets[i]; e < aff.offsets[i + 1]; ++e) {
+        row.emplace_back(cols[e], vals[e]);
+      }
+      std::sort(row.begin(), row.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      size_t w = aff.offsets[i];
+      for (size_t r = 0; r < row.size(); ++r) {
+        if (w > aff.offsets[i] && cols[w - 1] == row[r].first) {
+          vals[w - 1] += row[r].second;
+        } else {
+          cols[w] = row[r].first;
+          vals[w++] = row[r].second;
+        }
+      }
+      merged_count[i] = w - aff.offsets[i];
+    }
+  });
+
+  // Compact the merged rows and scale by 1 / (2n).
+  const double inv_2n = 1.0 / (2.0 * static_cast<double>(n));
+  std::vector<size_t> new_offsets(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    new_offsets[i + 1] = new_offsets[i] + merged_count[i];
+  }
+  aff.cols.resize(new_offsets[n]);
+  aff.vals.resize(new_offsets[n]);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t src = aff.offsets[i];
+    const size_t dst = new_offsets[i];
+    for (size_t t = 0; t < merged_count[i]; ++t) {
+      aff.cols[dst + t] = cols[src + t];
+      aff.vals[dst + t] = std::max(vals[src + t] * inv_2n, 1e-12);
+    }
+  }
+  aff.offsets = std::move(new_offsets);
+  return aff;
+}
+
+}  // namespace internal
+
+Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng) {
+  const size_t n = data.rows();
+  assert(n >= 4 && "t-SNE needs at least a handful of points");
+
+  TsneAlgorithm algorithm = config.algorithm;
+  if (algorithm == TsneAlgorithm::kAuto) {
+    algorithm = (n > config.exact_threshold && config.output_dims == 2)
+                    ? TsneAlgorithm::kBarnesHut
+                    : TsneAlgorithm::kExact;
+  }
+  if (algorithm == TsneAlgorithm::kBarnesHut) {
+    assert(config.output_dims == 2 &&
+           "Barnes-Hut t-SNE is quadtree-backed and only supports 2-D output");
+    return internal::RunTsneBarnesHut(data, config, rng);
+  }
+  return internal::RunTsneExact(data, config, rng);
 }
 
 }  // namespace cfx

@@ -1,19 +1,36 @@
-// Exact t-SNE (van der Maaten & Hinton 2008; SNE by Hinton & Roweis 2002,
-// the paper's [21]) — used to project the VAE latent space to the 2-D
-// manifolds of Figure 6.
+// t-SNE (van der Maaten & Hinton 2008; SNE by Hinton & Roweis 2002, the
+// paper's [21]) — used to project the VAE latent space to the 2-D manifolds
+// of Figure 6.
 //
-// Implementation: exact O(N^2) pairwise affinities with per-point
-// perplexity calibration (binary search over the Gaussian bandwidth),
-// symmetrised P, Student-t Q, gradient descent with momentum switching and
-// early exaggeration. Suitable for the <= a few thousand points Figure 6
-// plots.
+// Two gradient engines share one descent driver (momentum switching, gain
+// adaptation, early exaggeration, recentring):
+//  * kExact — O(N^2) dense affinities with per-point perplexity calibration
+//    (binary search over the Gaussian bandwidth), symmetrised P, Student-t
+//    Q. The reference path for small inputs (N <= 512).
+//  * kBarnesHut — O(N log N) tree-accelerated t-SNE (van der Maaten 2014):
+//    sparse input affinities restricted to the 3·perplexity nearest
+//    neighbours (via KnnIndex, stored CSR), and a quadtree θ-criterion
+//    approximation of the repulsive term with a chunk-deterministic Z
+//    reduction. Enables full-dataset (10k–50k point) Figure-6 manifolds.
+// Both paths produce bitwise-identical embeddings for any CFX_THREADS
+// setting (see DESIGN.md §3c).
 #ifndef CFX_MANIFOLD_TSNE_H_
 #define CFX_MANIFOLD_TSNE_H_
+
+#include <cstdint>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/tensor/matrix.h"
 
 namespace cfx {
+
+/// Gradient engine selection for RunTsne.
+enum class TsneAlgorithm {
+  kAuto,       ///< kExact at N <= TsneConfig::exact_threshold, else kBarnesHut.
+  kExact,      ///< Dense O(N^2) affinities and gradient (reference path).
+  kBarnesHut,  ///< Sparse affinities + quadtree repulsion, O(N log N).
+};
 
 /// t-SNE hyperparameters (defaults follow the reference implementation).
 struct TsneConfig {
@@ -26,11 +43,22 @@ struct TsneConfig {
   double initial_momentum = 0.5;
   double final_momentum = 0.8;
   size_t momentum_switch_iter = 120;
+
+  /// Which gradient engine to run. kBarnesHut requires output_dims == 2
+  /// (the spatial index is a quadtree); kAuto falls back to kExact for
+  /// other output dimensionalities.
+  TsneAlgorithm algorithm = TsneAlgorithm::kAuto;
+  /// Barnes–Hut accuracy/speed trade-off: a cell of width w at distance d
+  /// is summarised when w < theta * d. 0 disables summarisation (exact
+  /// repulsion via the tree); 0.5 is the standard operating point.
+  double theta = 0.5;
+  /// kAuto switches from kExact to kBarnesHut above this point count.
+  size_t exact_threshold = 512;
 };
 
 /// Embeds the rows of `data` (n x d) into (n x output_dims). Deterministic
-/// in (*rng)'s state. Perplexity is clamped to (n - 1) / 3 when the input
-/// is small.
+/// in (*rng)'s state and in CFX_THREADS. Perplexity is clamped to
+/// (n - 1) / 3 when the input is small.
 Matrix RunTsne(const Matrix& data, const TsneConfig& config, Rng* rng);
 
 namespace internal {
@@ -41,6 +69,28 @@ namespace internal {
 /// distances from i to every point. Exposed for tests.
 void CalibrateRow(const std::vector<double>& sq_dists, size_t i,
                   double perplexity, std::vector<double>* row_out);
+
+/// Sparse-path variant: `sq_dists` holds the squared distances to a point's
+/// k nearest neighbours (self already excluded); writes the calibrated,
+/// normalised conditional distribution over those k entries.
+void CalibrateSparseRow(const std::vector<double>& sq_dists,
+                        double perplexity, std::vector<double>* row_out);
+
+/// Symmetrised sparse input affinities in CSR layout. Row i's entries are
+/// sorted by column; values hold p_ij = (p(j|i) + p(i|j)) / (2n) over the
+/// union of the kNN graphs, so memory is O(N · perplexity).
+struct SparseAffinities {
+  size_t neighbors = 0;        ///< k used for the kNN pass (3 · perplexity).
+  std::vector<size_t> offsets; ///< n + 1 row offsets.
+  std::vector<uint32_t> cols;
+  std::vector<double> vals;
+};
+
+/// Builds the Barnes–Hut input affinities: batch-parallel deterministic
+/// KnnIndex self-queries, per-row bandwidth calibration, symmetrisation.
+/// Exposed for tests and benches.
+SparseAffinities BuildSparseAffinities(const Matrix& data, double perplexity,
+                                       Rng* rng);
 
 }  // namespace internal
 }  // namespace cfx

@@ -91,6 +91,22 @@ TEST(KnnIndexTest, KLargerThanIndexReturnsAll) {
   EXPECT_EQ(index.Query(query, 50).size(), 5u);
 }
 
+TEST(KnnIndexTest, SelfNeighborsMatchesPerRowQueries) {
+  Rng rng(14);
+  Matrix data = Matrix::RandomUniform(120, 5, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  const auto batch = index.SelfNeighbors(6);
+  ASSERT_EQ(batch.size(), 120u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto single = index.QuerySelf(i, 6);
+    ASSERT_EQ(batch[i].size(), single.size());
+    for (size_t t = 0; t < single.size(); ++t) {
+      EXPECT_EQ(batch[i][t].index, single[t].index);
+      EXPECT_FLOAT_EQ(batch[i][t].distance, single[t].distance);
+    }
+  }
+}
+
 TEST(KnnIndexTest, StrategySwitchesOnDimensionality) {
   Rng rng(8);
   KnnIndex low(Matrix::RandomUniform(50, 8, 0.0f, 1.0f, &rng), &rng);

@@ -1,11 +1,17 @@
-// Tests for the manifold module: t-SNE invariants on structured toy data,
-// separability statistics and the ASCII scatter renderer.
+// Tests for the manifold module: t-SNE invariants on structured toy data
+// (both the exact and Barnes–Hut engines), the quadtree spatial index,
+// sparse affinities, separability statistics and the ASCII scatter
+// renderer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <set>
 
 #include "src/common/string_util.h"
 #include "src/manifold/density.h"
+#include "src/manifold/knn.h"
+#include "src/manifold/quadtree.h"
 #include "src/manifold/scatter.h"
 #include "src/manifold/tsne.h"
 
@@ -110,6 +116,286 @@ TEST(TsneTest, DeterministicInSeed) {
   EXPECT_EQ(RunTsne(x, config, &ta), RunTsne(x, config, &tb));
 }
 
+TEST(TsneCalibrationTest, SparseRowHitsTargetPerplexity) {
+  // The Barnes–Hut path calibrates over k neighbour distances with no self
+  // entry; spread distances let the bisection tune the bandwidth until the
+  // conditional distribution's perplexity matches the target.
+  const size_t k = 40;
+  std::vector<double> sq(k);
+  for (size_t t = 0; t < k; ++t) sq[t] = 0.2 * static_cast<double>(t + 1);
+  std::vector<double> row;
+  internal::CalibrateSparseRow(sq, 15.0, &row);
+  double entropy = 0.0;
+  double sum = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    sum += row[j];
+    if (row[j] > 0) entropy -= row[j] * std::log(row[j]);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_NEAR(std::exp(entropy), 15.0, 0.05);
+  EXPECT_GT(row[0], row[k - 1]) << "closer neighbours get more mass";
+}
+
+// ---- quadtree --------------------------------------------------------------------
+
+TEST(QuadtreeTest, ThetaZeroMatchesBruteForceRepulsion) {
+  // θ = 0 rejects every summary, so the traversal must reproduce the exact
+  // O(N) repulsive sums (modulo tree-order summation).
+  const size_t n = 250;
+  Rng rng(21);
+  std::vector<double> pts(2 * n);
+  for (double& v : pts) v = rng.Normal(0.0, 3.0);
+  Quadtree tree(pts.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    double fx = 0.0, fy = 0.0, z = 0.0;
+    tree.Repulsion(i, 0.0, &fx, &fy, &z);
+    double bx = 0.0, by = 0.0, bz = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dx = pts[2 * i] - pts[2 * j];
+      const double dy = pts[2 * i + 1] - pts[2 * j + 1];
+      const double num = 1.0 / (1.0 + dx * dx + dy * dy);
+      bz += num;
+      bx += num * num * dx;
+      by += num * num * dy;
+    }
+    ASSERT_NEAR(fx, bx, 1e-9) << "point " << i;
+    ASSERT_NEAR(fy, by, 1e-9) << "point " << i;
+    ASSERT_NEAR(z, bz, 1e-9) << "point " << i;
+  }
+}
+
+TEST(QuadtreeTest, ThetaTradesAccuracyForWork) {
+  // At θ = 0.5 the approximated Z stays within a percent of exact.
+  const size_t n = 500;
+  Rng rng(22);
+  std::vector<double> pts(2 * n);
+  for (double& v : pts) v = rng.Normal(0.0, 5.0);
+  Quadtree tree(pts.data(), n);
+  double z_exact = 0.0, z_approx = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double fx = 0.0, fy = 0.0, z = 0.0;
+    tree.Repulsion(i, 0.0, &fx, &fy, &z);
+    z_exact += z;
+    fx = fy = z = 0.0;
+    tree.Repulsion(i, 0.5, &fx, &fy, &z);
+    z_approx += z;
+  }
+  EXPECT_NEAR(z_approx / z_exact, 1.0, 0.01);
+}
+
+TEST(QuadtreeTest, CoincidentPointsAreBucketed) {
+  // All points identical: the tree must terminate (depth cap + bucket) and
+  // repulsion must count every other point at distance 0 (num = 1).
+  const size_t n = 16;
+  std::vector<double> pts(2 * n, 1.5);
+  Quadtree tree(pts.data(), n);
+  double fx = 0.0, fy = 0.0, z = 0.0;
+  tree.Repulsion(3, 0.5, &fx, &fy, &z);
+  EXPECT_DOUBLE_EQ(fx, 0.0);
+  EXPECT_DOUBLE_EQ(fy, 0.0);
+  EXPECT_DOUBLE_EQ(z, static_cast<double>(n - 1));
+}
+
+TEST(QuadtreeTest, NodeCountStaysLinear) {
+  const size_t n = 4000;
+  Rng rng(23);
+  std::vector<double> pts(2 * n);
+  for (double& v : pts) v = rng.Uniform(-10.0, 10.0);
+  Quadtree tree(pts.data(), n);
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_LT(tree.node_count(), 4 * n) << "cells are O(N) for spread points";
+}
+
+// ---- sparse affinities -----------------------------------------------------------
+
+TEST(SparseAffinitiesTest, SymmetricNormalisedAndCompact) {
+  const size_t n = 200;
+  Rng rng(31);
+  Matrix x = Matrix::RandomNormal(n, 6, 0.0f, 1.0f, &rng);
+  const double perplexity = 12.0;
+  Rng knn_rng(32);
+  internal::SparseAffinities aff =
+      internal::BuildSparseAffinities(x, perplexity, &knn_rng);
+
+  ASSERT_EQ(aff.offsets.size(), n + 1);
+  EXPECT_EQ(aff.neighbors, static_cast<size_t>(3 * perplexity));
+  // Memory is O(N · perplexity): at most 2k entries per row after the
+  // union-symmetrisation.
+  EXPECT_LE(aff.vals.size(), 2 * n * aff.neighbors);
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t e = aff.offsets[i]; e < aff.offsets[i + 1]; ++e) {
+      EXPECT_NE(aff.cols[e], i) << "no self affinities";
+      if (e > aff.offsets[i]) {
+        EXPECT_LT(aff.cols[e - 1], aff.cols[e]) << "rows sorted, deduplicated";
+      }
+      total += aff.vals[e];
+
+      // Symmetry: p_ij must appear in row j with the same value.
+      const size_t j = aff.cols[e];
+      bool found = false;
+      for (size_t f = aff.offsets[j]; f < aff.offsets[j + 1]; ++f) {
+        if (aff.cols[f] == i) {
+          EXPECT_DOUBLE_EQ(aff.vals[f], aff.vals[e]);
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "p(" << i << "," << j << ") has no mirror";
+    }
+  }
+  // Each conditional distribution sums to 1, so the symmetrised matrix sums
+  // to ~1 (exactly, up to the 1e-12 floor).
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+// ---- Barnes–Hut t-SNE ------------------------------------------------------------
+
+TEST(TsneBarnesHutTest, SeparatesWellSeparatedBlobs) {
+  Rng rng(41);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(300, 6, &x, &labels, &rng, /*separation=*/8.0);
+  TsneConfig config;
+  config.iterations = 300;
+  config.perplexity = 15.0;
+  config.algorithm = TsneAlgorithm::kBarnesHut;
+  Rng trng(42);
+  Matrix y = RunTsne(x, config, &trng);
+  EXPECT_EQ(y.rows(), 300u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_TRUE(y.AllFinite());
+  SeparabilityStats stats = AnalyzeSeparability(y, labels, 10);
+  EXPECT_GT(stats.knn_label_agreement, 0.9);
+  EXPECT_LT(stats.intra_inter_ratio, 0.8);
+}
+
+TEST(TsneBarnesHutTest, AgreesWithExactEngine) {
+  // The approximation must land near the reference optimum: comparable KL
+  // divergence against the dense P, and overlapping embedding-space
+  // neighbourhoods.
+  const size_t n = 300;
+  Rng rng(43);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(n, 8, &x, &labels, &rng, /*separation=*/8.0);
+  TsneConfig config;
+  config.iterations = 300;
+  config.algorithm = TsneAlgorithm::kExact;
+  Rng ra(44);
+  Matrix y_exact = RunTsne(x, config, &ra);
+  config.algorithm = TsneAlgorithm::kBarnesHut;
+  config.theta = 0.5;
+  Rng rb(44);
+  Matrix y_bh = RunTsne(x, config, &rb);
+
+  // Dense symmetrised P for the KL comparison.
+  const double perplexity = std::min(30.0, (n - 1) / 3.0);
+  std::vector<double> cond(n * n, 0.0);
+  std::vector<double> row_dists(n), row;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t c = 0; c < x.cols(); ++c) {
+        const double d = static_cast<double>(x.at(i, c)) - x.at(j, c);
+        acc += d * d;
+      }
+      row_dists[j] = acc;
+    }
+    internal::CalibrateRow(row_dists, i, perplexity, &row);
+    for (size_t j = 0; j < n; ++j) cond[i * n + j] = row[j];
+  }
+  std::vector<double> p(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      p[i * n + j] =
+          std::max((cond[i * n + j] + cond[j * n + i]) / (2.0 * n), 1e-12);
+    }
+  }
+  const auto kl = [&](const Matrix& y) {
+    std::vector<double> num(n * n, 0.0);
+    double z = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double dx = y.at(i, 0) - y.at(j, 0);
+        const double dy = y.at(i, 1) - y.at(j, 1);
+        num[i * n + j] = 1.0 / (1.0 + dx * dx + dy * dy);
+        z += num[i * n + j];
+      }
+    }
+    double divergence = 0.0;
+    for (size_t i = 0; i < n * n; ++i) {
+      if (p[i] <= 1e-12) continue;
+      divergence += p[i] * std::log(p[i] / std::max(num[i] / z, 1e-12));
+    }
+    return divergence;
+  };
+  const double kl_exact = kl(y_exact);
+  const double kl_bh = kl(y_bh);
+  EXPECT_LT(kl_bh, kl_exact * 1.3 + 0.1)
+      << "Barnes-Hut KL should track the exact optimum";
+
+  // k-NN neighbourhood preservation between the two embeddings (rotation
+  // and reflection invariant).
+  const size_t k = 10;
+  Rng ka(45), kb(46);
+  KnnIndex idx_exact(y_exact, &ka), idx_bh(y_bh, &kb);
+  double overlap = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    std::set<size_t> exact_set;
+    for (const Neighbor& hit : idx_exact.QuerySelf(i, k)) {
+      exact_set.insert(hit.index);
+    }
+    size_t shared = 0;
+    for (const Neighbor& hit : idx_bh.QuerySelf(i, k)) {
+      shared += exact_set.count(hit.index);
+    }
+    overlap += static_cast<double>(shared) / k;
+  }
+  overlap /= static_cast<double>(n);
+  EXPECT_GT(overlap, 0.4) << "mean 10-NN overlap between engines";
+}
+
+TEST(TsneBarnesHutTest, DeterministicInSeed) {
+  Rng rng(47);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(120, 4, &x, &labels, &rng);
+  TsneConfig config;
+  config.iterations = 60;
+  config.perplexity = 10.0;
+  config.algorithm = TsneAlgorithm::kBarnesHut;
+  Rng ta(48), tb(48);
+  EXPECT_EQ(RunTsne(x, config, &ta), RunTsne(x, config, &tb));
+}
+
+TEST(TsneBarnesHutTest, AutoSelectsEngineByPointCount) {
+  // kAuto must stay bitwise on the exact reference path at or below the
+  // threshold and on the Barnes-Hut path above it.
+  Rng rng(49);
+  Matrix x;
+  std::vector<int> labels;
+  MakeBlobs(40, 3, &x, &labels, &rng);
+  TsneConfig base;
+  base.iterations = 40;
+  base.exact_threshold = 39;  // below n: auto -> Barnes-Hut
+
+  TsneConfig bh = base;
+  bh.algorithm = TsneAlgorithm::kBarnesHut;
+  Rng r1(50), r2(50);
+  EXPECT_EQ(RunTsne(x, base, &r1), RunTsne(x, bh, &r2));
+
+  base.exact_threshold = 40;  // at n: auto -> exact
+  TsneConfig exact = base;
+  exact.algorithm = TsneAlgorithm::kExact;
+  Rng r3(51), r4(51);
+  EXPECT_EQ(RunTsne(x, base, &r3), RunTsne(x, exact, &r4));
+}
+
 // ---- separability stats --------------------------------------------------------
 
 TEST(SeparabilityTest, PerfectSeparationScoresHigh) {
@@ -168,6 +454,44 @@ TEST(DensityGridTest, ClusteredPointsConcentrate) {
   Matrix y(50, 2);  // all at the same location
   Matrix grid = DensityGrid(y, 4, 4);
   EXPECT_FLOAT_EQ(grid.MaxAbs(), 50.0f) << "one cell holds everything";
+}
+
+TEST(DensityGridTest, DegenerateGridShapesAreSafe) {
+  // Regression: single-row/column grids used to scale by (extent - 1) == 0;
+  // they must collapse that axis to index 0 and still count every point.
+  Rng rng(12);
+  Matrix y(64, 2);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<float>(rng.Normal());
+  }
+  Matrix cell = DensityGrid(y, 1, 1);
+  ASSERT_EQ(cell.rows(), 1u);
+  ASSERT_EQ(cell.cols(), 1u);
+  EXPECT_FLOAT_EQ(cell.at(0, 0), 64.0f);
+
+  Matrix row = DensityGrid(y, 1, 8);
+  ASSERT_EQ(row.rows(), 1u);
+  EXPECT_FLOAT_EQ(row.Sum(), 64.0f);
+
+  Matrix col = DensityGrid(y, 8, 1);
+  ASSERT_EQ(col.cols(), 1u);
+  EXPECT_FLOAT_EQ(col.Sum(), 64.0f);
+
+  // Zero-cell grids have nowhere to count; they must not write at all.
+  Matrix none = DensityGrid(y, 0, 8);
+  EXPECT_EQ(none.rows(), 0u);
+  EXPECT_EQ(DensityGrid(y, 8, 0).size(), 0u);
+}
+
+TEST(DensityGridTest, LargeEmbeddingsBinWithoutLoss) {
+  // Full-dataset scale (Fig. 6 on 10k+ points) stays exact in total count.
+  Rng rng(13);
+  Matrix y(20000, 2);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<float>(rng.Normal());
+  }
+  Matrix grid = DensityGrid(y, 32, 32);
+  EXPECT_FLOAT_EQ(grid.Sum(), 20000.0f);
 }
 
 // ---- scatter ---------------------------------------------------------------------

@@ -6,6 +6,7 @@
 #include <cmath>
 
 #include "src/datasets/registry.h"
+#include "src/manifold/knn.h"
 #include "src/metrics/metrics.h"
 #include "src/nn/losses.h"
 
@@ -205,6 +206,37 @@ TEST(LossPropertyTest, L1AndMseZeroOnIdentity) {
   EXPECT_FLOAT_EQ(nn::L1Loss(ag::Param(x), x)->value.at(0, 0), 0.0f);
   EXPECT_FLOAT_EQ(nn::MseLoss(ag::Param(x), x)->value.at(0, 0), 0.0f);
 }
+
+class KnnStrategyPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KnnStrategyPropertyTest, ActiveStrategyMatchesLinearScan) {
+  // Property: whatever strategy KnnIndex picks for the dimensionality (the
+  // VP-tree below kTreeMaxDims, the linear scan at or above it), Query must
+  // return the same neighbour set as the always-available ScanQuery
+  // reference path.
+  const size_t dims = GetParam();
+  Rng rng(0xD1 + dims);
+  Matrix data = Matrix::RandomUniform(220, dims, 0.0f, 1.0f, &rng);
+  KnnIndex index(data, &rng);
+  EXPECT_EQ(index.uses_tree(), dims < KnnIndex::kTreeMaxDims);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix query = Matrix::RandomUniform(1, dims, 0.0f, 1.0f, &rng);
+    const auto got = index.Query(query, 9);
+    const auto want = index.ScanQuery(query, 9);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, want[i].index)
+          << "dims " << dims << " trial " << trial << " rank " << i;
+      EXPECT_NEAR(got[i].distance, want[i].distance, 1e-5f);
+    }
+  }
+}
+
+// Dimensionalities straddling the strategy threshold.
+INSTANTIATE_TEST_SUITE_P(StraddleTreeMaxDims, KnnStrategyPropertyTest,
+                         ::testing::Values(2, 8, KnnIndex::kTreeMaxDims - 1,
+                                           KnnIndex::kTreeMaxDims,
+                                           KnnIndex::kTreeMaxDims + 1, 24));
 
 }  // namespace
 }  // namespace cfx

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/manifold/density.h"
 #include "src/manifold/tsne.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/matrix.h"
@@ -191,6 +192,50 @@ TEST(DeterminismTest, ElementwiseMapMatchesSerialBitwise) {
     serial = m.Apply([](float v) { return std::tanh(v) * 0.5f; });
   }
   ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, TsneBarnesHutMatchesSerialBitwise) {
+  // The Barnes-Hut engine's parallel stages (batch kNN affinities, θ-walk
+  // repulsion, chunk-ordered Z reduction, CSR attraction) must reproduce
+  // the serial trajectory bit for bit — the PR-1 guarantee extended to the
+  // tree-accelerated path (CFX_THREADS ∈ {1, 4} in CI).
+  Rng data_rng(6);
+  const Matrix data = Matrix::RandomNormal(150, 6, 0.0f, 1.0f, &data_rng);
+  TsneConfig config;
+  config.iterations = 40;
+  config.exaggeration_iters = 15;
+  config.momentum_switch_iter = 20;
+  config.perplexity = 10.0;
+  config.algorithm = TsneAlgorithm::kBarnesHut;
+  config.theta = 0.5;
+
+  Rng rng_pooled(321);
+  const Matrix pooled = RunTsne(data, config, &rng_pooled);
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    Rng rng_serial(321);
+    serial = RunTsne(data, config, &rng_serial);
+  }
+  ASSERT_EQ(pooled, serial);
+}
+
+TEST(DeterminismTest, SeparabilityMatchesSerialBitwise) {
+  // AnalyzeSeparability now fans its per-point silhouette/kNN work across
+  // the pool; the accumulation happens serially in index order.
+  Rng rng(8);
+  Matrix y = Matrix::RandomNormal(400, 2, 0.0f, 2.0f, &rng);
+  std::vector<int> labels(400);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = rng.Bernoulli(0.4);
+  const SeparabilityStats pooled = AnalyzeSeparability(y, labels, 10);
+  SeparabilityStats serial;
+  {
+    ThreadPool::ScopedSerial guard;
+    serial = AnalyzeSeparability(y, labels, 10);
+  }
+  EXPECT_EQ(pooled.knn_label_agreement, serial.knn_label_agreement);
+  EXPECT_EQ(pooled.intra_inter_ratio, serial.intra_inter_ratio);
+  EXPECT_EQ(pooled.silhouette, serial.silhouette);
 }
 
 TEST(DeterminismTest, TsneMatchesSerialBitwise) {

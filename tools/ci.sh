@@ -4,8 +4,12 @@
 # Usage: tools/ci.sh [--skip-asan]
 #
 # Jobs:
-#   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite.
-#   2. "asan" preset  — address + undefined-behaviour sanitizers, full ctest.
+#   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite,
+#                       then a perf_tsne bench smoke (minimal iterations) so
+#                       the kernel/t-SNE perf paths stay compiling and
+#                       exercised.
+#   2. "asan" preset  — address + undefined-behaviour sanitizers, full
+#                       ctest + the same bench smoke under the sanitizers.
 #
 # Both run the tier-1 suite under CFX_THREADS=4 so the pooled execution
 # paths are exercised regardless of the host's core count.
@@ -22,16 +26,32 @@ for arg in "$@"; do
   esac
 done
 
+# Quick perf_tsne pass over the small sweep arms and the quadtree
+# primitives: one iteration each, results to a throwaway JSON so CI runs
+# don't clobber recorded BENCH_*.json measurements.
+bench_smoke() {
+  local build_dir="$1"
+  CFX_THREADS=4 "$build_dir/bench/perf_tsne" \
+    --benchmark_filter='BM_Tsne(Exact|BarnesHut)/500$|BM_Quadtree(Build|Traverse)/2000$' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$build_dir/bench_smoke_perf_tsne.json" \
+    --benchmark_out_format=json
+}
+
 echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
 CFX_THREADS=4 ctest --preset ci -j "$jobs"
+echo "==> [1/2] bench smoke (perf_tsne, minimal iterations)"
+bench_smoke build-ci
 
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "==> [2/2] ASan/UBSan build"
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
   CFX_THREADS=4 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j "$jobs"
+  echo "==> [2/2] bench smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 bench_smoke build-asan
 else
   echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
 fi
