@@ -1,0 +1,208 @@
+// Microbenchmarks for the tape-free inference path: classifier Predict and
+// generator Generate via the autodiff tape vs Module::Infer across batch
+// sizes 1..4096, plus pipeline-bundle save/load cold-start cost. Each
+// tape/infer pair is asserted bitwise identical before timing — the speedup
+// numbers only count if the outputs are the same bits.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "src/core/artifact.h"
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+#include "src/tensor/autodiff.h"
+
+namespace cfx {
+namespace {
+
+/// Shared experiment (Adult, small scale) built once.
+Experiment* GetExperiment() {
+  static Experiment* experiment = [] {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 3;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    CFX_CHECK_OK(exp.status());
+    return std::move(*exp).release();
+  }();
+  return experiment;
+}
+
+/// Shared fitted generator against the shared experiment.
+FeasibleCfGenerator* GetGenerator() {
+  static FeasibleCfGenerator* generator = [] {
+    Experiment* exp = GetExperiment();
+    GeneratorConfig config =
+        GeneratorConfig::FromDataset(exp->info(), ConstraintMode::kUnary);
+    config.epochs = 3;
+    config.max_restarts = 0;
+    auto* gen = new FeasibleCfGenerator(exp->method_context(), config);
+    CFX_CHECK_OK(gen->Fit(exp->x_train(), exp->y_train()));
+    return gen;
+  }();
+  return generator;
+}
+
+/// Tiles test rows cyclically into a batch of exactly `rows` rows, so the
+/// sweep can exceed the test-split size.
+Matrix TiledBatch(size_t rows) {
+  const Matrix& src = GetExperiment()->x_test();
+  Matrix out(rows, src.cols());
+  for (size_t r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + r * out.cols(),
+                src.data() + (r % src.rows()) * src.cols(),
+                src.cols() * sizeof(float));
+  }
+  return out;
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+void RequireBitwise(const Matrix& a, const Matrix& b, const char* what) {
+  if (!BitwiseEqual(a, b)) {
+    std::fprintf(stderr, "FATAL: %s tape/infer outputs differ bitwise\n",
+                 what);
+    std::abort();
+  }
+}
+
+void BM_PredictTape(benchmark::State& state) {
+  BlackBoxClassifier* clf = GetExperiment()->classifier();
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    // The pre-refactor Predict: build the tape, read the root value.
+    ag::Var logits = clf->LogitsVar(ag::Constant(x));
+    std::vector<int> pred(x.rows());
+    for (size_t r = 0; r < x.rows(); ++r) {
+      pred[r] = logits->value.at(r, 0) > 0.0f ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(pred.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_PredictTape)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PredictInfer(benchmark::State& state) {
+  BlackBoxClassifier* clf = GetExperiment()->classifier();
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  // Contract check: the two paths must agree bit for bit.
+  RequireBitwise(clf->LogitsVar(ag::Constant(x))->value, clf->Logits(x),
+                 "Predict");
+  for (auto _ : state) {
+    std::vector<int> pred = clf->Predict(x);
+    benchmark::DoNotOptimize(pred.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_PredictInfer)
+    ->RangeMultiplier(4)
+    ->Range(1, 4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateTape(benchmark::State& state) {
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    CfResult result = gen->GenerateTape(x);
+    benchmark::DoNotOptimize(result.cfs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_GenerateTape)
+    ->RangeMultiplier(8)
+    ->Range(1, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateInfer(benchmark::State& state) {
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  CfResult tape = gen->GenerateTape(x);
+  CfResult infer = gen->Generate(x);
+  RequireBitwise(tape.cfs_raw, infer.cfs_raw, "Generate raw");
+  RequireBitwise(tape.cfs, infer.cfs, "Generate");
+  for (auto _ : state) {
+    CfResult result = gen->Generate(x);
+    benchmark::DoNotOptimize(result.cfs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_GenerateInfer)
+    ->RangeMultiplier(8)
+    ->Range(1, 512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_VaeReconstructTape(benchmark::State& state) {
+  FeasibleCfGenerator* gen = GetGenerator();
+  Vae* vae = gen->vae();
+  vae->SetTraining(false);
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  Matrix cond(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) cond.at(r, 0) = 1.0f;
+  Rng noise(1);
+  for (auto _ : state) {
+    Vae::Output out =
+        vae->Forward(ag::Constant(x), cond, &noise, /*sample=*/false);
+    benchmark::DoNotOptimize(out.x_hat->value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_VaeReconstructTape)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_VaeReconstructInfer(benchmark::State& state) {
+  FeasibleCfGenerator* gen = GetGenerator();
+  Vae* vae = gen->vae();
+  vae->SetTraining(false);
+  Matrix x = TiledBatch(static_cast<size_t>(state.range(0)));
+  Matrix cond(x.rows(), 1);
+  for (size_t r = 0; r < x.rows(); ++r) cond.at(r, 0) = 1.0f;
+  for (auto _ : state) {
+    Matrix out = vae->Reconstruct(x, cond);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(BM_VaeReconstructInfer)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_BundleSave(benchmark::State& state) {
+  Experiment* exp = GetExperiment();
+  FeasibleCfGenerator* gen = GetGenerator();
+  const std::string path = "perf_inference_pipeline.cfxb";
+  for (auto _ : state) {
+    CFX_CHECK_OK(SavePipelineBundle(path, exp, gen));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BundleSave)->Unit(benchmark::kMillisecond);
+
+void BM_BundleLoad(benchmark::State& state) {
+  // Cold-start cost: parse + deterministic dataset regeneration + warm
+  // weight load, i.e. everything Experiment::Restore does instead of
+  // retraining.
+  Experiment* exp = GetExperiment();
+  FeasibleCfGenerator* gen = GetGenerator();
+  const std::string path = "perf_inference_pipeline.cfxb";
+  CFX_CHECK_OK(SavePipelineBundle(path, exp, gen));
+  for (auto _ : state) {
+    auto restored = Experiment::Restore(path);
+    CFX_CHECK_OK(restored.status());
+    benchmark::DoNotOptimize(restored->generator.get());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BundleLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cfx
+
+CFX_BENCHMARK_MAIN("perf_inference");

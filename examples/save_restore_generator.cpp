@@ -1,12 +1,15 @@
-// Persisting a trained explainer: train once, save the VAE weights, restore
-// them into a fresh generator in a (simulated) later process, and verify the
-// restored model produces byte-identical counterfactuals — the deployment
-// workflow of a recourse service that must not retrain per request.
+// Persisting a trained explainer: train once, save the whole pipeline
+// (dataset identity, schema + encoder statistics, classifier and VAE
+// weights, generator config) as one versioned bundle, then cold-start a
+// serving process from that single file and verify it produces
+// byte-identical counterfactuals — the deployment workflow of a recourse
+// service that must not retrain per request.
 #include <cstdio>
+#include <cstdlib>
 
+#include "src/core/artifact.h"
 #include "src/core/experiment.h"
 #include "src/core/generator.h"
-#include "src/nn/serialize.h"
 
 using namespace cfx;
 
@@ -19,29 +22,33 @@ int main() {
     return 1;
   }
   Experiment& exp = **experiment;
-  const std::string path = "adult_generator.cfxw";
+  const std::string path = "adult_pipeline.cfxb";
 
   GeneratorConfig config =
       GeneratorConfig::FromDataset(exp.info(), ConstraintMode::kBinary);
+  // CFX_GEN_EPOCHS trims VAE training for smoke runs (CI uses 2).
+  if (const char* epochs = std::getenv("CFX_GEN_EPOCHS")) {
+    config.epochs = static_cast<size_t>(std::atoi(epochs));
+  }
 
   // --- training process ---------------------------------------------------
   FeasibleCfGenerator trained(exp.method_context(), config);
   CFX_CHECK_OK(trained.Fit(exp.x_train(), exp.y_train()));
-  CFX_CHECK_OK(nn::SaveParameters(trained.vae()->Parameters(), path));
-  std::printf("trained and saved %zu parameters to %s\n",
-              trained.vae()->ParameterCount(), path.c_str());
+  CFX_CHECK_OK(SavePipelineBundle(path, &exp, &trained));
+  std::printf("trained and bundled pipeline -> %s\n", path.c_str());
 
-  // --- serving process ------------------------------------------------------
-  // A fresh generator (different random init), then weights restored.
-  MethodContext serving_ctx = exp.method_context();
-  serving_ctx.seed ^= 0xDEAD;  // Provably different init...
-  FeasibleCfGenerator restored(serving_ctx, config);
-  CFX_CHECK_OK(nn::LoadParameters(restored.vae()->Parameters(), path));
+  // --- serving process ----------------------------------------------------
+  // Cold start from the bundle alone: the dataset is regenerated from the
+  // stored (name, scale, seed), schema and encoder statistics are validated
+  // byte-for-byte, and classifier + VAE weights are warm-loaded — no
+  // retraining, no access to the training process's objects.
+  auto restored = Experiment::Restore(path);
+  CFX_CHECK_OK(restored.status());
 
   // Identical behaviour on unseen applicants.
   Matrix x = exp.TestSubset(50);
   CfResult a = trained.Generate(x);
-  CfResult b = restored.Generate(x);
+  CfResult b = restored->generator->Generate(x);
   size_t identical = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     bool same = true;

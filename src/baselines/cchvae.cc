@@ -100,7 +100,7 @@ CfResult CchvaeMethod::Generate(const Matrix& x) {
     if (all_found) break;
     radius *= config_.radius_growth;
   }
-  return FinishResult(x, result);
+  return FinishResult(x, result, std::move(desired));
 }
 
 }  // namespace cfx

@@ -111,7 +111,7 @@ CfResult CemMethod::Generate(const Matrix& x) {
       best.at(r, c) = x.at(r, c) + delta_var->value.at(r, c);
     }
   }
-  return FinishResult(x, best);
+  return FinishResult(x, best, std::move(desired));
 }
 
 }  // namespace cfx

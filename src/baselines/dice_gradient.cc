@@ -134,7 +134,7 @@ CfResult DiceGradientMethod::Generate(const Matrix& x) {
       }
     }
   }
-  return FinishResult(x, best);
+  return FinishResult(x, best, std::move(desired));
 }
 
 }  // namespace cfx

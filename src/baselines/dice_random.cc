@@ -81,7 +81,7 @@ CfResult DiceRandomMethod::Generate(const Matrix& x) {
       }
     }
   }
-  return FinishResult(x, result);
+  return FinishResult(x, result, std::move(desired));
 }
 
 }  // namespace cfx

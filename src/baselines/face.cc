@@ -157,7 +157,7 @@ CfResult FaceMethod::Generate(const Matrix& x) {
       }
     }
   }
-  return FinishResult(x, result);
+  return FinishResult(x, result, std::move(desired));
 }
 
 }  // namespace cfx

@@ -1,18 +1,73 @@
 #include "src/baselines/method.h"
 
+#include <cassert>
+#include <cstring>
+
 namespace cfx {
+namespace {
+
+/// FNV-1a over the batch bytes and shape. Collisions are tolerated (entries
+/// carry the full batch for an exact compare) so speed beats strength here.
+uint64_t HashBatch(const Matrix& x) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const unsigned char* bytes, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const uint64_t shape[2] = {x.rows(), x.cols()};
+  mix(reinterpret_cast<const unsigned char*>(shape), sizeof(shape));
+  mix(reinterpret_cast<const unsigned char*>(x.data()),
+      x.size() * sizeof(float));
+  return h;
+}
+
+bool SameBatch(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+}  // namespace
+
+const std::vector<int>& PredictionCache::Predict(const Matrix& x) {
+  // Memoising an unfrozen model would serve stale labels after training.
+  assert(classifier_->frozen());
+  std::vector<Entry>& bucket = entries_[HashBatch(x)];
+  for (Entry& entry : bucket) {
+    if (SameBatch(entry.x, x)) {
+      ++hits_;
+      return entry.pred;
+    }
+  }
+  ++misses_;
+  bucket.push_back(Entry{x, classifier_->Predict(x)});
+  return bucket.back().pred;
+}
+
+std::vector<int> CfMethod::Predictions(const Matrix& x) const {
+  if (ctx_.predictions != nullptr && ctx_.classifier->frozen()) {
+    return ctx_.predictions->Predict(x);
+  }
+  return ctx_.classifier->Predict(x);
+}
 
 std::vector<int> CfMethod::DesiredClasses(const Matrix& x) const {
-  std::vector<int> pred = ctx_.classifier->Predict(x);
+  std::vector<int> pred = Predictions(x);
   for (int& y : pred) y = 1 - y;
   return pred;
 }
 
 CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw) const {
+  return FinishResult(x, cfs_raw, DesiredClasses(x));
+}
+
+CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
+                                std::vector<int> desired) const {
   CfResult result;
   result.inputs = x;
   result.cfs_raw = cfs_raw;
-  result.desired = DesiredClasses(x);
+  result.desired = std::move(desired);
 
   // Project every CF onto the valid one-hot manifold and restore immutable
   // attributes verbatim from the input (paper §III-C).
@@ -26,7 +81,7 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw) const {
     }
   }
   result.cfs = projected;
-  result.predicted = ctx_.classifier->Predict(result.cfs);
+  result.predicted = Predictions(result.cfs);
   return result;
 }
 

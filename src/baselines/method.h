@@ -4,8 +4,11 @@
 #ifndef CFX_BASELINES_METHOD_H_
 #define CFX_BASELINES_METHOD_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -16,6 +19,36 @@
 
 namespace cfx {
 
+/// Memoised black-box predictions. The evaluation harness asks every method
+/// to explain the same test batch, and each method computes the desired
+/// classes from the classifier's predictions on it — without sharing, the
+/// same rows are predicted once per method. The cache keys batches by a
+/// content hash (with a full byte-compare on hit, so collisions degrade to
+/// a recompute, never a wrong answer) and is only consulted while the
+/// classifier is frozen — an unfrozen model may still change.
+class PredictionCache {
+ public:
+  explicit PredictionCache(BlackBoxClassifier* classifier)
+      : classifier_(classifier) {}
+
+  /// Predictions for `x`, computed at most once per distinct batch.
+  const std::vector<int>& Predict(const Matrix& x);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Matrix x;                ///< Keyed batch, kept for exact comparison.
+    std::vector<int> pred;   ///< Cached classifier predictions.
+  };
+
+  BlackBoxClassifier* classifier_;
+  std::unordered_map<uint64_t, std::vector<Entry>> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
 /// Everything a CF method may depend on. The encoder and classifier are
 /// owned by the experiment and outlive every method.
 struct MethodContext {
@@ -23,6 +56,9 @@ struct MethodContext {
   BlackBoxClassifier* classifier = nullptr;
   const DatasetInfo* info = nullptr;
   uint64_t seed = 42;
+  /// Optional shared prediction memo (owned by the experiment); when null,
+  /// methods query the classifier directly.
+  PredictionCache* predictions = nullptr;
 };
 
 /// A counterfactual explanation generator.
@@ -51,8 +87,17 @@ class CfMethod {
   /// the projected/raw CF matrices.
   CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw) const;
 
-  /// Desired (opposite) class per row of x.
+  /// Same, with the desired classes a method already computed — avoids a
+  /// second (even cached) prediction pass over `x`.
+  CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw,
+                        std::vector<int> desired) const;
+
+  /// Desired (opposite) class per row of x. Served from the shared
+  /// PredictionCache when the context carries one.
   std::vector<int> DesiredClasses(const Matrix& x) const;
+
+  /// Black-box predictions on `x`, via the shared cache when available.
+  std::vector<int> Predictions(const Matrix& x) const;
 
   MethodContext ctx_;
 };

@@ -94,7 +94,7 @@ CfResult ReviseMethod::Generate(const Matrix& x) {
       best.at(r, c) = final_hat->value.at(r, c);
     }
   }
-  return FinishResult(x, best);
+  return FinishResult(x, best, std::move(desired));
 }
 
 }  // namespace cfx

@@ -1,0 +1,359 @@
+#include "src/core/artifact.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/metrics/classification.h"
+#include "src/nn/bundle.h"
+
+namespace cfx {
+namespace {
+
+constexpr char kPipelineFormat[] = "cfx.pipeline";
+
+StatusOr<Scale> ScaleFromName(const std::string& name) {
+  if (name == "small") return Scale::kSmall;
+  if (name == "paper") return Scale::kPaper;
+  return Status::InvalidArgument("bundle has unknown scale '" + name + "'");
+}
+
+StatusOr<DatasetId> DatasetFromName(const std::string& name) {
+  for (DatasetId id : {DatasetId::kAdult, DatasetId::kCensus, DatasetId::kLaw}) {
+    if (name == DatasetName(id)) return id;
+  }
+  return Status::InvalidArgument("bundle names unknown dataset '" + name +
+                                 "'");
+}
+
+/// Canonical textual fingerprint of a schema. Compared byte-for-byte on
+/// restore, so any drift in feature names, types, ordering, category sets,
+/// immutability flags or ranges is caught as skew.
+std::string SchemaFingerprint(const Schema& schema) {
+  std::ostringstream out;
+  for (const FeatureSpec& f : schema.features()) {
+    out << f.name << '|' << FeatureTypeName(f.type) << '|'
+        << (f.immutable ? 1 : 0) << '|'
+        << StrFormat("%.17g|%.17g", f.lower, f.upper);
+    for (const std::string& category : f.categories) out << '|' << category;
+    out << ';';
+  }
+  out << "target:" << schema.target_name();
+  for (const std::string& cls : schema.target_classes()) out << '|' << cls;
+  return out.str();
+}
+
+std::vector<Matrix> ParameterValues(const std::vector<ag::Var>& params) {
+  std::vector<Matrix> values;
+  values.reserve(params.size());
+  for (const ag::Var& p : params) values.push_back(p->value);
+  return values;
+}
+
+/// Validates every shape first, then assigns — a mismatch anywhere leaves
+/// the model untouched (no partial loads).
+Status AssignWeights(const std::vector<ag::Var>& params,
+                     const std::vector<Matrix>& tensors,
+                     const std::string& what) {
+  if (params.size() != tensors.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s: bundle holds %zu tensors, model has %zu parameters",
+        what.c_str(), tensors.size(), params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (tensors[i].rows() != params[i]->value.rows() ||
+        tensors[i].cols() != params[i]->value.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: tensor %zu shape mismatch (bundle %zux%zu vs model %zux%zu)",
+          what.c_str(), i, tensors[i].rows(), tensors[i].cols(),
+          params[i]->value.rows(), params[i]->value.cols()));
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = tensors[i];
+  }
+  return Status::OK();
+}
+
+std::vector<double> PackLossConfig(const CfLossConfig& loss) {
+  return {loss.validity_weight,
+          loss.proximity_weight,
+          loss.feasibility_weight,
+          loss.sparsity_weight,
+          loss.kl_weight,
+          loss.hinge_margin,
+          loss.smooth_l0_k,
+          loss.smooth_l0_eps,
+          loss.sparsity_l1_mix,
+          static_cast<double>(static_cast<int>(loss.mode)),
+          loss.use_linear_binary ? 1.0 : 0.0,
+          loss.linear_c1,
+          loss.linear_c2,
+          loss.strict_margin};
+}
+
+Status UnpackLossConfig(const std::vector<double>& packed,
+                        CfLossConfig* loss) {
+  if (packed.size() != 14) {
+    return Status::InvalidArgument(
+        StrFormat("generator.loss holds %zu values, expected 14",
+                  packed.size()));
+  }
+  loss->validity_weight = static_cast<float>(packed[0]);
+  loss->proximity_weight = static_cast<float>(packed[1]);
+  loss->feasibility_weight = static_cast<float>(packed[2]);
+  loss->sparsity_weight = static_cast<float>(packed[3]);
+  loss->kl_weight = static_cast<float>(packed[4]);
+  loss->hinge_margin = static_cast<float>(packed[5]);
+  loss->smooth_l0_k = static_cast<float>(packed[6]);
+  loss->smooth_l0_eps = static_cast<float>(packed[7]);
+  loss->sparsity_l1_mix = static_cast<float>(packed[8]);
+  const int mode = static_cast<int>(packed[9]);
+  if (mode < 0 || mode > static_cast<int>(ConstraintMode::kBinary)) {
+    return Status::InvalidArgument(
+        StrFormat("generator.loss has invalid constraint mode %d", mode));
+  }
+  loss->mode = static_cast<ConstraintMode>(mode);
+  loss->use_linear_binary = packed[10] != 0.0;
+  loss->linear_c1 = static_cast<float>(packed[11]);
+  loss->linear_c2 = static_cast<float>(packed[12]);
+  loss->strict_margin = static_cast<float>(packed[13]);
+  return Status::OK();
+}
+
+std::vector<double> PackGeneratorConfig(const GeneratorConfig& config) {
+  return {config.learning_rate,
+          static_cast<double>(config.batch_size),
+          static_cast<double>(config.epochs),
+          config.copy_prior ? 1.0 : 0.0,
+          config.copy_bias,
+          config.min_probe_validity,
+          config.min_probe_feasibility,
+          static_cast<double>(config.max_restarts)};
+}
+
+Status UnpackGeneratorConfig(const std::vector<double>& packed,
+                             GeneratorConfig* config) {
+  if (packed.size() != 8) {
+    return Status::InvalidArgument(
+        StrFormat("generator.config holds %zu values, expected 8",
+                  packed.size()));
+  }
+  config->learning_rate = static_cast<float>(packed[0]);
+  config->batch_size = static_cast<size_t>(packed[1]);
+  config->epochs = static_cast<size_t>(packed[2]);
+  config->copy_prior = packed[3] != 0.0;
+  config->copy_bias = static_cast<float>(packed[4]);
+  config->min_probe_validity = packed[5];
+  config->min_probe_feasibility = packed[6];
+  config->max_restarts = static_cast<size_t>(packed[7]);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SavePipelineBundle(const std::string& path, Experiment* experiment,
+                          FeasibleCfGenerator* generator) {
+  if (experiment == nullptr || generator == nullptr) {
+    return Status::InvalidArgument("experiment and generator must be non-null");
+  }
+  BlackBoxClassifier* classifier = experiment->classifier();
+  if (classifier == nullptr || !classifier->frozen()) {
+    return Status::FailedPrecondition(
+        "cannot bundle an untrained (unfrozen) classifier");
+  }
+
+  const RunConfig& run = experiment->run_config();
+  nn::BundleWriter writer;
+  writer.PutString("pipeline.format", kPipelineFormat);
+  writer.PutString("pipeline.dataset", DatasetName(experiment->dataset_id()));
+  writer.PutString("pipeline.scale", ScaleName(run.scale));
+  writer.PutString("pipeline.seed",
+                   StrFormat("%llu",
+                             static_cast<unsigned long long>(run.seed)));
+  writer.PutScalar("pipeline.eval_instances",
+                   static_cast<double>(run.eval_instances));
+
+  writer.PutString("schema.fingerprint",
+                   SchemaFingerprint(experiment->schema()));
+  const TabularEncoder& encoder = experiment->encoder();
+  writer.PutScalar("encoder.width",
+                   static_cast<double>(encoder.encoded_width()));
+  writer.PutF64Array("encoder.min", encoder.feature_min());
+  writer.PutF64Array("encoder.max", encoder.feature_max());
+
+  const ClassifierConfig& clf = classifier->config();
+  writer.PutScalar("classifier.hidden_dim",
+                   static_cast<double>(clf.hidden_dim));
+  writer.PutScalar("classifier.learning_rate", clf.learning_rate);
+  writer.PutScalar("classifier.batch_size",
+                   static_cast<double>(clf.batch_size));
+  writer.PutScalar("classifier.epochs", static_cast<double>(clf.epochs));
+  const TrainStats& stats = experiment->classifier_stats();
+  writer.PutScalar("classifier.final_loss", stats.final_loss);
+  writer.PutScalar("classifier.train_accuracy", stats.train_accuracy);
+  writer.PutScalar("classifier.epochs_trained",
+                   static_cast<double>(stats.epochs));
+  writer.PutTensors("classifier.weights",
+                    ParameterValues(classifier->Parameters()));
+
+  const GeneratorConfig& gen = generator->config();
+  writer.PutF64Array("generator.config", PackGeneratorConfig(gen));
+  writer.PutF64Array("generator.loss", PackLossConfig(gen.loss));
+  std::vector<double> costs(gen.loss.feature_costs.begin(),
+                            gen.loss.feature_costs.end());
+  writer.PutF64Array("generator.feature_costs", costs);
+  writer.PutTensors("vae.weights",
+                    ParameterValues(generator->vae()->Parameters()));
+
+  return writer.WriteFile(path);
+}
+
+StatusOr<RestoredPipeline> RestorePipelineBundle(const std::string& path) {
+  auto bundle_or = nn::Bundle::ReadFile(path);
+  if (!bundle_or.ok()) return bundle_or.status();
+  const nn::Bundle& bundle = *bundle_or;
+
+  auto format = bundle.GetString("pipeline.format");
+  if (!format.ok()) return format.status();
+  if (*format != kPipelineFormat) {
+    return Status::InvalidArgument("'" + path + "' is a bundle of kind '" +
+                                   *format + "', not a pipeline");
+  }
+
+  auto dataset_name = bundle.GetString("pipeline.dataset");
+  if (!dataset_name.ok()) return dataset_name.status();
+  auto id = DatasetFromName(*dataset_name);
+  if (!id.ok()) return id.status();
+
+  auto scale_name = bundle.GetString("pipeline.scale");
+  if (!scale_name.ok()) return scale_name.status();
+  auto scale = ScaleFromName(*scale_name);
+  if (!scale.ok()) return scale.status();
+
+  auto seed_str = bundle.GetString("pipeline.seed");
+  if (!seed_str.ok()) return seed_str.status();
+  auto eval_n = bundle.GetScalar("pipeline.eval_instances");
+  if (!eval_n.ok()) return eval_n.status();
+
+  RunConfig run;
+  run.scale = *scale;
+  run.seed = std::strtoull(seed_str->c_str(), nullptr, 10);
+  run.eval_instances = static_cast<size_t>(*eval_n);
+
+  // Regenerate the deterministic data pipeline from the stored seed. This
+  // reruns dataset synthesis + encoder fitting but skips every training
+  // loop — the expensive part of Create.
+  Rng rng(run.seed);
+  auto prepared = Experiment::PrepareData(*id, run, &rng);
+  if (!prepared.ok()) return prepared.status();
+  std::unique_ptr<Experiment> experiment = std::move(*prepared);
+
+  // Validate the environment against the bundle before loading any weights:
+  // trained tensors are only meaningful over the exact encoder that produced
+  // their training matrix.
+  auto fingerprint = bundle.GetString("schema.fingerprint");
+  if (!fingerprint.ok()) return fingerprint.status();
+  if (*fingerprint != SchemaFingerprint(experiment->schema())) {
+    return Status::FailedPrecondition(
+        "bundle schema does not match this build's '" + *dataset_name +
+        "' schema (version skew)");
+  }
+  auto width = bundle.GetScalar("encoder.width");
+  if (!width.ok()) return width.status();
+  if (static_cast<size_t>(*width) != experiment->encoder().encoded_width()) {
+    return Status::FailedPrecondition(StrFormat(
+        "bundle encoded width %zu != rebuilt width %zu (version skew)",
+        static_cast<size_t>(*width), experiment->encoder().encoded_width()));
+  }
+  auto enc_min = bundle.GetF64Array("encoder.min");
+  if (!enc_min.ok()) return enc_min.status();
+  auto enc_max = bundle.GetF64Array("encoder.max");
+  if (!enc_max.ok()) return enc_max.status();
+  if (*enc_min != experiment->encoder().feature_min() ||
+      *enc_max != experiment->encoder().feature_max()) {
+    return Status::FailedPrecondition(
+        "bundle encoder statistics do not match the regenerated dataset "
+        "(seed or generator drift)");
+  }
+
+  // Classifier: same construction path as Create (identical RNG splits),
+  // weights warm-loaded instead of trained.
+  auto hidden = bundle.GetScalar("classifier.hidden_dim");
+  if (!hidden.ok()) return hidden.status();
+  auto clf_lr = bundle.GetScalar("classifier.learning_rate");
+  if (!clf_lr.ok()) return clf_lr.status();
+  auto clf_bs = bundle.GetScalar("classifier.batch_size");
+  if (!clf_bs.ok()) return clf_bs.status();
+  auto clf_epochs = bundle.GetScalar("classifier.epochs");
+  if (!clf_epochs.ok()) return clf_epochs.status();
+
+  ClassifierConfig clf_config;
+  clf_config.hidden_dim = static_cast<size_t>(*hidden);
+  clf_config.learning_rate = static_cast<float>(*clf_lr);
+  clf_config.batch_size = static_cast<size_t>(*clf_bs);
+  clf_config.epochs = static_cast<size_t>(*clf_epochs);
+
+  Rng clf_rng = rng.Split(0xC1F);
+  experiment->classifier_ = std::make_unique<BlackBoxClassifier>(
+      experiment->encoder().encoded_width(), clf_config, &clf_rng);
+  auto clf_weights = bundle.GetTensors("classifier.weights");
+  if (!clf_weights.ok()) return clf_weights.status();
+  CFX_RETURN_IF_ERROR(AssignWeights(experiment->classifier_->Parameters(),
+                                    *clf_weights, "classifier.weights"));
+  experiment->classifier_->Freeze();
+
+  auto final_loss = bundle.GetScalar("classifier.final_loss");
+  if (!final_loss.ok()) return final_loss.status();
+  auto train_acc = bundle.GetScalar("classifier.train_accuracy");
+  if (!train_acc.ok()) return train_acc.status();
+  auto epochs_trained = bundle.GetScalar("classifier.epochs_trained");
+  if (!epochs_trained.ok()) return epochs_trained.status();
+  experiment->classifier_stats_.final_loss = static_cast<float>(*final_loss);
+  experiment->classifier_stats_.train_accuracy = *train_acc;
+  experiment->classifier_stats_.epochs =
+      static_cast<size_t>(*epochs_trained);
+
+  if (experiment->x_validation().rows() > 0) {
+    experiment->classifier_report_ = EvaluateClassifier(
+        experiment->classifier_->Logits(experiment->x_validation()),
+        experiment->y_validation());
+  }
+
+  // Generator: rebuild from the saved config, then warm-load VAE weights.
+  auto gen_packed = bundle.GetF64Array("generator.config");
+  if (!gen_packed.ok()) return gen_packed.status();
+  auto loss_packed = bundle.GetF64Array("generator.loss");
+  if (!loss_packed.ok()) return loss_packed.status();
+  auto costs = bundle.GetF64Array("generator.feature_costs");
+  if (!costs.ok()) return costs.status();
+
+  GeneratorConfig gen_config;
+  CFX_RETURN_IF_ERROR(UnpackGeneratorConfig(*gen_packed, &gen_config));
+  CFX_RETURN_IF_ERROR(UnpackLossConfig(*loss_packed, &gen_config.loss));
+  gen_config.loss.feature_costs.assign(costs->begin(), costs->end());
+
+  auto generator = std::make_unique<FeasibleCfGenerator>(
+      experiment->method_context(), gen_config);
+  auto vae_weights = bundle.GetTensors("vae.weights");
+  if (!vae_weights.ok()) return vae_weights.status();
+  CFX_RETURN_IF_ERROR(AssignWeights(generator->vae()->Parameters(),
+                                    *vae_weights, "vae.weights"));
+  generator->vae()->Freeze();
+
+  CFX_LOG(Info) << "restored pipeline from '" << path << "': "
+                << *dataset_name << " @ " << *scale_name << ", seed "
+                << run.seed;
+
+  RestoredPipeline restored;
+  restored.experiment = std::move(experiment);
+  restored.generator = std::move(generator);
+  return restored;
+}
+
+StatusOr<RestoredPipeline> Experiment::Restore(const std::string& path) {
+  return RestorePipelineBundle(path);
+}
+
+}  // namespace cfx

@@ -1,0 +1,44 @@
+// Pipeline-level artifact bundles: one versioned file (src/nn/bundle.h)
+// carrying everything needed to serve a trained counterfactual pipeline —
+// dataset identity (name/scale/seed), schema fingerprint, encoder min/max
+// statistics, classifier config + weights, VAE weights and the full
+// GeneratorConfig.
+//
+// Save with SavePipelineBundle after training; cold-start with
+// Experiment::Restore(path) (equivalently RestorePipelineBundle), which
+// regenerates the deterministic dataset from the stored seed, validates the
+// schema and encoder statistics byte-for-byte against the bundle, and
+// warm-loads classifier + VAE weights instead of retraining. A restored
+// generator's Generate output is bitwise identical to the saved one's.
+#ifndef CFX_CORE_ARTIFACT_H_
+#define CFX_CORE_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+
+namespace cfx {
+
+/// A pipeline rebuilt from a bundle, ready to serve counterfactuals.
+struct RestoredPipeline {
+  std::unique_ptr<Experiment> experiment;
+  std::unique_ptr<FeasibleCfGenerator> generator;
+};
+
+/// Writes the trained pipeline (experiment's classifier + the generator) to
+/// `path` as one versioned bundle. The classifier must be frozen and the
+/// generator fitted against this experiment.
+Status SavePipelineBundle(const std::string& path, Experiment* experiment,
+                          FeasibleCfGenerator* generator);
+
+/// Rebuilds experiment + generator from a bundle written by
+/// SavePipelineBundle. Fails with a clear Status on truncated or corrupted
+/// files, version skew, unknown datasets, and any schema/encoder/weight
+/// shape mismatch — never with a partially initialised pipeline.
+StatusOr<RestoredPipeline> RestorePipelineBundle(const std::string& path);
+
+}  // namespace cfx
+
+#endif  // CFX_CORE_ARTIFACT_H_

@@ -5,32 +5,33 @@
 
 namespace cfx {
 
-Experiment::Experiment(const DatasetInfo* info, RunConfig run_config,
-                       CleaningReport cleaning, TabularEncoder encoder)
-    : info_(info),
+Experiment::Experiment(DatasetId id, const DatasetInfo* info,
+                       RunConfig run_config, CleaningReport cleaning,
+                       TabularEncoder encoder)
+    : dataset_id_(id),
+      info_(info),
       run_config_(run_config),
       cleaning_(cleaning),
       encoder_(std::move(encoder)) {}
 
-StatusOr<std::unique_ptr<Experiment>> Experiment::Create(
-    DatasetId id, const RunConfig& config) {
+StatusOr<std::unique_ptr<Experiment>> Experiment::PrepareData(
+    DatasetId id, const RunConfig& config, Rng* rng) {
   std::unique_ptr<DatasetGenerator> generator = CreateGenerator(id);
   if (generator == nullptr) return Status::InvalidArgument("unknown dataset");
 
-  Rng rng(config.seed);
-  Table raw = generator->GenerateAtScale(config.scale, &rng);
+  Table raw = generator->GenerateAtScale(config.scale, rng);
   CleaningReport cleaning;
   Table clean = DropMissingRows(raw, &cleaning);
 
   // 80/10/10 (§IV-A), stratified so the minority class (census: ~12%
   // positive) is represented proportionally in every partition.
-  DataSplit split = StratifiedSplitTable(clean, 0.8, 0.1, &rng);
+  DataSplit split = StratifiedSplitTable(clean, 0.8, 0.1, rng);
 
   TabularEncoder encoder(generator->MakeSchema());
   CFX_RETURN_IF_ERROR(encoder.Fit(split.train));
 
   auto experiment = std::unique_ptr<Experiment>(new Experiment(
-      &GetDatasetInfo(id), config, cleaning, std::move(encoder)));
+      id, &GetDatasetInfo(id), config, cleaning, std::move(encoder)));
 
   auto x_train = experiment->encoder_.Transform(split.train);
   if (!x_train.ok()) return x_train.status();
@@ -45,6 +46,15 @@ StatusOr<std::unique_ptr<Experiment>> Experiment::Create(
   experiment->y_train_ = split.train.labels();
   experiment->y_validation_ = split.validation.labels();
   experiment->y_test_ = split.test.labels();
+  return experiment;
+}
+
+StatusOr<std::unique_ptr<Experiment>> Experiment::Create(
+    DatasetId id, const RunConfig& config) {
+  Rng rng(config.seed);
+  auto prepared = PrepareData(id, config, &rng);
+  if (!prepared.ok()) return prepared.status();
+  std::unique_ptr<Experiment> experiment = std::move(*prepared);
 
   ClassifierConfig classifier_config;
   Rng clf_rng = rng.Split(0xC1F);
@@ -60,8 +70,10 @@ StatusOr<std::unique_ptr<Experiment>> Experiment::Create(
         experiment->y_validation_);
   }
 
-  CFX_LOG(Info) << DatasetName(id) << ": " << cleaning.rows_after << "/"
-                << cleaning.rows_before << " rows after cleaning, "
+  CFX_LOG(Info) << DatasetName(id) << ": "
+                << experiment->cleaning_.rows_after << "/"
+                << experiment->cleaning_.rows_before
+                << " rows after cleaning, "
                 << experiment->encoder_.encoded_width()
                 << " encoded dims; black box (validation): "
                 << experiment->classifier_report_.ToString();
@@ -74,11 +86,16 @@ Matrix Experiment::TestSubset(size_t max_rows) const {
 }
 
 MethodContext Experiment::method_context() {
+  if (prediction_cache_ == nullptr && classifier_ != nullptr &&
+      classifier_->frozen()) {
+    prediction_cache_ = std::make_unique<PredictionCache>(classifier_.get());
+  }
   MethodContext ctx;
   ctx.encoder = &encoder_;
   ctx.classifier = classifier_.get();
   ctx.info = info_;
   ctx.seed = run_config_.seed;
+  ctx.predictions = prediction_cache_.get();
   return ctx;
 }
 

@@ -6,6 +6,7 @@
 #define CFX_CORE_EXPERIMENT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/baselines/method.h"
@@ -19,6 +20,8 @@
 
 namespace cfx {
 
+struct RestoredPipeline;
+
 /// A fully prepared dataset + black box, ready for CF methods.
 class Experiment {
  public:
@@ -26,7 +29,16 @@ class Experiment {
   static StatusOr<std::unique_ptr<Experiment>> Create(DatasetId id,
                                                       const RunConfig& config);
 
+  /// Cold-starts a trained pipeline from a versioned artifact bundle written
+  /// by SavePipelineBundle (src/core/artifact.h): the dataset is regenerated
+  /// deterministically from the stored seed/scale, the schema and encoder
+  /// statistics are validated exactly against the bundle, and classifier +
+  /// VAE weights are warm-loaded instead of retrained. Defined in
+  /// src/core/artifact.cc.
+  static StatusOr<RestoredPipeline> Restore(const std::string& path);
+
   const DatasetInfo& info() const { return *info_; }
+  DatasetId dataset_id() const { return dataset_id_; }
   const RunConfig& run_config() const { return run_config_; }
   const CleaningReport& cleaning() const { return cleaning_; }
   const Schema& schema() const { return encoder_.schema(); }
@@ -49,13 +61,25 @@ class Experiment {
   /// for CF generation.
   Matrix TestSubset(size_t max_rows) const;
 
-  /// Context handed to CF methods.
+  /// Context handed to CF methods. Carries the shared PredictionCache so
+  /// every method evaluated against this experiment reuses black-box
+  /// predictions on identical batches.
   MethodContext method_context();
 
  private:
-  Experiment(const DatasetInfo* info, RunConfig run_config,
+  friend StatusOr<RestoredPipeline> RestorePipelineBundle(
+      const std::string& path);
+
+  Experiment(DatasetId id, const DatasetInfo* info, RunConfig run_config,
              CleaningReport cleaning, TabularEncoder encoder);
 
+  /// Shared by Create and Restore: dataset generation, cleaning, split,
+  /// encoder fit and split transforms. Leaves `*rng` in the post-split state
+  /// so both paths derive the classifier RNG identically.
+  static StatusOr<std::unique_ptr<Experiment>> PrepareData(
+      DatasetId id, const RunConfig& config, Rng* rng);
+
+  DatasetId dataset_id_;
   const DatasetInfo* info_;
   RunConfig run_config_;
   CleaningReport cleaning_;
@@ -63,6 +87,7 @@ class Experiment {
   Matrix x_train_, x_validation_, x_test_;
   std::vector<int> y_train_, y_validation_, y_test_;
   std::unique_ptr<BlackBoxClassifier> classifier_;
+  std::unique_ptr<PredictionCache> prediction_cache_;
   TrainStats classifier_stats_;
   ClassificationReport classifier_report_;
 };

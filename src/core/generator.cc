@@ -8,6 +8,7 @@
 #include "src/core/descent.h"
 #include "src/data/batcher.h"
 #include "src/nn/optimizer.h"
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 
@@ -74,6 +75,38 @@ ag::Var FeasibleCfGenerator::SoftCf(const ag::Var& decoder_out,
   ag::Var logits = ag::Add(decoder_out, ag::Constant(InputLogits(x)));
   return ag::TabularActivation(logits,
                                ctx_.encoder->CategoricalBlockRanges());
+}
+
+Matrix FeasibleCfGenerator::SoftCfValue(const Matrix& decoder_out,
+                                        const Matrix& x) const {
+  if (!config_.copy_prior) return decoder_out;
+  // logits = decoder deltas + copy-prior bias, same addition order as the
+  // tape's ag::Add(decoder_out, input_logits).
+  Matrix logits = InputLogits(x);
+  for (size_t i = 0; i < logits.size(); ++i) {
+    logits[i] = decoder_out[i] + logits[i];
+  }
+  const std::vector<std::pair<size_t, size_t>> blocks =
+      ctx_.encoder->CategoricalBlockRanges();
+  std::vector<uint8_t> in_softmax(logits.cols(), 0);
+  for (const auto& [offset, width] : blocks) {
+    for (size_t j = 0; j < width; ++j) in_softmax[offset + j] = 1;
+  }
+  Matrix out(logits.rows(), logits.cols());
+  kernels::TabularActivationForward(logits.data(), out.data(), logits.rows(),
+                                    logits.cols(), blocks, in_softmax);
+  return out;
+}
+
+Matrix FeasibleCfGenerator::DesiredCond(const std::vector<int>& desired) {
+  // Condition encoded as +-1, NOT 0/1: a zero conditioning input contributes
+  // nothing to the first-layer activations, leaving the decoder blind to
+  // "desired class 0" (see TrainOnce).
+  Matrix cond(desired.size(), 1);
+  for (size_t r = 0; r < desired.size(); ++r) {
+    cond.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;
+  }
+  return cond;
 }
 
 std::string FeasibleCfGenerator::name() const {
@@ -185,6 +218,13 @@ void FeasibleCfGenerator::TrainOnce(const Matrix& x_train,
   Batcher batcher(x_train, labels, batch_size, &rng_);
   Rng noise = rng_.Split(0x401);
 
+  // The black box is frozen here, so its labels on x_train never change:
+  // predict the full split once and gather per batch, instead of re-running
+  // inference on every batch of every epoch. Per-row kernel independence
+  // (each output row accumulates its own dot products in a fixed order)
+  // makes the gathered labels bitwise identical to a per-batch Predict.
+  const std::vector<int> pred_train = Predictions(x_train);
+
   // Per-epoch descent through the shared driver; `opt` lives outside so the
   // Adam moments persist across epochs.
   descent::Config dconfig;
@@ -218,13 +258,12 @@ void FeasibleCfGenerator::TrainOnce(const Matrix& x_train,
         vae_->Parameters(), dconfig,
         [&](size_t b) {
           Batch& batch = epoch_batches[b];
-          // Desired class: the opposite of the black box's current
-          // prediction.
-          std::vector<int> pred = ctx_.classifier->Predict(batch.x);
+          // Desired class: the opposite of the black box's (precomputed)
+          // prediction, gathered through the batch's source-row indices.
           Matrix cond(batch.x.rows(), 1);
           Matrix desired_pm1(batch.x.rows(), 1);
           for (size_t r = 0; r < batch.x.rows(); ++r) {
-            const int desired = 1 - pred[r];
+            const int desired = 1 - pred_train[batch.indices[r]];
             // Condition encoded as +-1, NOT 0/1: a zero conditioning input
             // contributes nothing to the first-layer activations, leaving
             // the decoder blind to "desired class 0" and prone to a
@@ -284,14 +323,23 @@ std::pair<double, double> FeasibleCfGenerator::ProbeQuality(
 CfResult FeasibleCfGenerator::Generate(const Matrix& x) {
   vae_->SetTraining(false);
   std::vector<int> desired = DesiredClasses(x);
-  Matrix cond(x.rows(), 1);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    cond.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;  // +-1 (see TrainOnce)
-  }
+  Matrix cond = DesiredCond(desired);
+  // Historical quirk kept on purpose: the tape-era Generate split a noise
+  // stream it never drew from (z = posterior mean). Split advances rng_, so
+  // dropping it would shift every later rng_ draw (restart seeds, batchers).
+  (void)rng_.Split(0x402);
+  Matrix x_hat = vae_->Reconstruct(x, cond);
+  return FinishResult(x, SoftCfValue(x_hat, x), std::move(desired));
+}
+
+CfResult FeasibleCfGenerator::GenerateTape(const Matrix& x) {
+  vae_->SetTraining(false);
+  std::vector<int> desired = DesiredClasses(x);
+  Matrix cond = DesiredCond(desired);
   Rng noise = rng_.Split(0x402);
   Vae::Output out =
       vae_->Forward(ag::Constant(x), cond, &noise, /*sample=*/false);
-  return FinishResult(x, SoftCf(out.x_hat, x)->value);
+  return FinishResult(x, SoftCf(out.x_hat, x)->value, std::move(desired));
 }
 
 CfResult FeasibleCfGenerator::GenerateSampled(const Matrix& x,
@@ -299,20 +347,17 @@ CfResult FeasibleCfGenerator::GenerateSampled(const Matrix& x,
                                               Rng* noise) {
   vae_->SetTraining(false);
   std::vector<int> desired = DesiredClasses(x);
-  Matrix cond(x.rows(), 1);
-  for (size_t r = 0; r < x.rows(); ++r) {
-    cond.at(r, 0) = desired[r] == 1 ? 1.0f : -1.0f;  // +-1 (see TrainOnce)
-  }
+  Matrix cond = DesiredCond(desired);
   auto [mu, logvar] = vae_->Encode(x, cond);
-  Matrix z = mu;
+  Matrix z = std::move(mu);
   for (size_t r = 0; r < z.rows(); ++r) {
     for (size_t c = 0; c < z.cols(); ++c) {
       z.at(r, c) += stddev_scale * std::exp(0.5f * logvar.at(r, c)) *
                     static_cast<float>(noise->Normal());
     }
   }
-  ag::Var decoded = vae_->DecodeVar(ag::Constant(z), cond);
-  return FinishResult(x, SoftCf(decoded, x)->value);
+  Matrix decoded = vae_->Decode(z, cond);
+  return FinishResult(x, SoftCfValue(decoded, x), std::move(desired));
 }
 
 }  // namespace cfx

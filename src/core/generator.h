@@ -62,6 +62,11 @@ class FeasibleCfGenerator : public CfMethod {
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
   CfResult Generate(const Matrix& x) override;
 
+  /// Reference implementation of Generate through the autodiff tape. Kept
+  /// for the bitwise tape-vs-infer equivalence tests and the inference
+  /// bench; serving code should call Generate (tape-free, allocation-lean).
+  CfResult GenerateTape(const Matrix& x);
+
   /// Stochastic variant of Generate: decodes one *reparameterised* latent
   /// sample per row (z = mu + scale * sigma * eps) instead of the posterior
   /// mean. Repeated calls with an advancing `noise` stream yield different
@@ -87,6 +92,13 @@ class FeasibleCfGenerator : public CfMethod {
   /// prior, activation(input_logits + decoder_deltas); otherwise the decoder
   /// output directly.
   ag::Var SoftCf(const ag::Var& decoder_out, const Matrix& x) const;
+
+  /// Tape-free SoftCf over plain matrices; bitwise identical to
+  /// SoftCf(Constant(decoder_out), x)->value.
+  Matrix SoftCfValue(const Matrix& decoder_out, const Matrix& x) const;
+
+  /// Shared +-1 conditioning column for the desired classes (see TrainOnce).
+  static Matrix DesiredCond(const std::vector<int>& desired);
 
   /// Per-slot logits of an encoded batch (the copy prior's bias).
   Matrix InputLogits(const Matrix& x) const;

@@ -82,6 +82,11 @@ class TabularEncoder {
   /// tabular decoder head.
   std::vector<std::pair<size_t, size_t>> CategoricalBlockRanges() const;
 
+  /// Fitted per-feature minima/maxima (meaningful for continuous features).
+  /// Serialised into pipeline bundles and validated on restore.
+  const std::vector<double>& feature_min() const { return min_; }
+  const std::vector<double>& feature_max() const { return max_; }
+
  private:
   Schema schema_;
   std::vector<EncodedBlock> blocks_;

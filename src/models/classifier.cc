@@ -1,5 +1,7 @@
 #include "src/models/classifier.h"
 
+#include <cmath>
+
 #include "src/common/logging.h"
 #include "src/data/batcher.h"
 #include "src/nn/losses.h"
@@ -67,21 +69,37 @@ ag::Var BlackBoxClassifier::LogitsVar(const ag::Var& x) {
   return net_.Forward(x);
 }
 
-Matrix BlackBoxClassifier::Logits(const Matrix& x) {
+const Matrix& BlackBoxClassifier::InferLogits(const Matrix& x) {
+  // Skip the mode walk entirely in the common serving case (frozen model
+  // already in eval mode) — it shows up at batch-1 latency.
   const bool was_training = net_.training();
-  net_.SetTraining(false);
-  ag::Var out = net_.Forward(ag::Constant(x));
-  net_.SetTraining(was_training);
-  return out->value;
+  if (was_training) net_.SetTraining(false);
+  infer_ws_.Reset();
+  const Matrix& out = net_.Infer(x, &infer_ws_);
+  if (was_training) net_.SetTraining(true);
+  return out;
+}
+
+Matrix BlackBoxClassifier::Logits(const Matrix& x) {
+  return InferLogits(x);
 }
 
 std::vector<int> BlackBoxClassifier::Predict(const Matrix& x) {
-  Matrix logits = Logits(x);
+  const Matrix& logits = InferLogits(x);
   std::vector<int> labels(logits.rows());
   for (size_t r = 0; r < logits.rows(); ++r) {
     labels[r] = logits.at(r, 0) > 0.0f ? 1 : 0;
   }
   return labels;
+}
+
+std::vector<float> BlackBoxClassifier::PredictProba(const Matrix& x) {
+  const Matrix& logits = InferLogits(x);
+  std::vector<float> proba(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    proba[r] = 1.0f / (1.0f + std::exp(-logits.at(r, 0)));
+  }
+  return proba;
 }
 
 double BlackBoxClassifier::Accuracy(const Matrix& x,

@@ -44,14 +44,21 @@ class BlackBoxClassifier {
   TrainStats Train(const Matrix& x, const std::vector<int>& labels, Rng* rng);
 
   /// Builds the logit graph for a (possibly differentiable) input. Gradients
-  /// flow through to `x` but never into the frozen weights.
+  /// flow through to `x` but never into the frozen weights. This is the
+  /// *tape* path — use it only when gradients w.r.t. `x` are needed.
   ag::Var LogitsVar(const ag::Var& x);
 
-  /// Eval-mode logits for a constant batch.
+  /// Eval-mode logits for a constant batch — tape-free (no graph nodes;
+  /// activations live in a reused workspace). Bitwise identical to
+  /// LogitsVar(Constant(x))->value. Not safe for concurrent calls on the
+  /// same instance (shared workspace).
   Matrix Logits(const Matrix& x);
 
-  /// Hard 0/1 predictions (logit > 0).
+  /// Hard 0/1 predictions (logit > 0). Tape-free.
   std::vector<int> Predict(const Matrix& x);
+
+  /// P(class 1) per row: sigmoid of the logit. Tape-free.
+  std::vector<float> PredictProba(const Matrix& x);
 
   /// Fraction of rows where Predict matches `labels`.
   double Accuracy(const Matrix& x, const std::vector<int>& labels);
@@ -62,10 +69,19 @@ class BlackBoxClassifier {
   /// Marks weights as non-trainable (requires_grad = false).
   void Freeze();
 
+  /// Trainable tensors in serialisation order (bundle save/restore).
+  std::vector<ag::Var> Parameters() const { return net_.Parameters(); }
+
+  const ClassifierConfig& config() const { return config_; }
+
  private:
+  /// Tape-free eval logits into the shared workspace.
+  const Matrix& InferLogits(const Matrix& x);
+
   size_t input_dim_;
   ClassifierConfig config_;
   nn::Sequential net_;
+  nn::InferWorkspace infer_ws_;
   bool frozen_ = false;
 };
 

@@ -1,12 +1,35 @@
 #include "src/models/vae.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "src/nn/losses.h"
 #include "src/nn/optimizer.h"
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 namespace {
+
+/// Concatenates [a | b] row-wise into a workspace slot. Same memcpy layout
+/// as Matrix::ConcatCols, so the tape and infer paths see identical bytes.
+const Matrix& ConcatColsInto(const Matrix& a, const Matrix& b,
+                             nn::InferWorkspace* ws) {
+  Matrix& out = ws->Acquire(a.rows(), a.cols() + b.cols());
+  // Disjoint per-row copies: parallel over row blocks, bitwise identical
+  // regardless of chunking. Grain depends only on the column count.
+  const size_t grain = std::max<size_t>(
+      1, kernels::kElementwiseGrain / std::max<size_t>(out.cols(), 1));
+  ParallelFor(0, a.rows(), grain, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* dst = out.data() + r * out.cols();
+      std::memcpy(dst, a.data() + r * a.cols(), a.cols() * sizeof(float));
+      std::memcpy(dst + a.cols(), b.data() + r * b.cols(),
+                  b.cols() * sizeof(float));
+    }
+  });
+  return out;
+}
 
 enum class Head { kNone, kSigmoid, kTabular };
 
@@ -94,21 +117,38 @@ Vae::Output Vae::Forward(const ag::Var& x, const Matrix& cond, Rng* noise_rng,
 }
 
 std::pair<Matrix, Matrix> Vae::Encode(const Matrix& x, const Matrix& cond) {
+  const bool conditional = config_.condition_dim > 0;
+  assert(!conditional || (cond.rows() == x.rows() &&
+                          cond.cols() == config_.condition_dim));
   const bool was_training = encoder_.training();
-  SetTraining(false);
-  Output out = Forward(ag::Constant(x), cond, &eval_noise_, /*sample=*/false);
-  SetTraining(was_training);
-  return {out.mu->value, out.logvar->value};
+  if (was_training) SetTraining(false);
+  infer_ws_.Reset();
+  const Matrix& enc_in =
+      conditional ? ConcatColsInto(x, cond, &infer_ws_) : x;
+  const Matrix& enc_out = encoder_.Infer(enc_in, &infer_ws_);
+  // Split the head: columns [0, latent) are mu, [latent, 2*latent) logvar.
+  Matrix mu(x.rows(), config_.latent_dim);
+  Matrix logvar(x.rows(), config_.latent_dim);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* src = enc_out.data() + r * enc_out.cols();
+    std::memcpy(mu.data() + r * config_.latent_dim, src,
+                config_.latent_dim * sizeof(float));
+    std::memcpy(logvar.data() + r * config_.latent_dim,
+                src + config_.latent_dim, config_.latent_dim * sizeof(float));
+  }
+  if (was_training) SetTraining(true);
+  return {std::move(mu), std::move(logvar)};
 }
 
 Matrix Vae::Decode(const Matrix& z, const Matrix& cond) {
   const bool was_training = decoder_.training();
-  SetTraining(false);
-  ag::Var dec_in = config_.condition_dim > 0
-                       ? ag::ConcatCols(ag::Constant(z), ag::Constant(cond))
-                       : ag::Constant(z);
-  Matrix result = decoder_.Forward(dec_in)->value;
-  SetTraining(was_training);
+  if (was_training) SetTraining(false);
+  infer_ws_.Reset();
+  const Matrix& dec_in = config_.condition_dim > 0
+                             ? ConcatColsInto(z, cond, &infer_ws_)
+                             : z;
+  Matrix result = decoder_.Infer(dec_in, &infer_ws_);
+  if (was_training) SetTraining(true);
   return result;
 }
 
@@ -120,11 +160,25 @@ ag::Var Vae::DecodeVar(const ag::Var& z, const Matrix& cond) {
 }
 
 Matrix Vae::Reconstruct(const Matrix& x, const Matrix& cond) {
+  const bool conditional = config_.condition_dim > 0;
   const bool was_training = encoder_.training();
-  SetTraining(false);
-  Output out = Forward(ag::Constant(x), cond, &eval_noise_, /*sample=*/false);
-  SetTraining(was_training);
-  return out.x_hat->value;
+  if (was_training) SetTraining(false);
+  infer_ws_.Reset();
+  const Matrix& enc_in =
+      conditional ? ConcatColsInto(x, cond, &infer_ws_) : x;
+  const Matrix& enc_out = encoder_.Infer(enc_in, &infer_ws_);
+  // z = posterior mean: the first latent_dim columns of the encoder head.
+  Matrix& mu = infer_ws_.Acquire(x.rows(), config_.latent_dim);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    std::memcpy(mu.data() + r * config_.latent_dim,
+                enc_out.data() + r * enc_out.cols(),
+                config_.latent_dim * sizeof(float));
+  }
+  const Matrix& dec_in =
+      conditional ? ConcatColsInto(mu, cond, &infer_ws_) : mu;
+  Matrix result = decoder_.Infer(dec_in, &infer_ws_);
+  if (was_training) SetTraining(true);
+  return result;
 }
 
 std::vector<ag::Var> Vae::Parameters() const {

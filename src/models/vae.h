@@ -80,10 +80,13 @@ class Vae {
   Output Forward(const ag::Var& x, const Matrix& cond, Rng* noise_rng,
                  bool sample = true);
 
-  /// Eval-mode posterior mean/logvar for a constant batch.
+  /// Eval-mode posterior mean/logvar for a constant batch. Tape-free: runs
+  /// the encoder through Module::Infer on a reused workspace (no graph
+  /// nodes, no decoder pass). Bitwise identical to the Forward route. Not
+  /// safe for concurrent calls on the same instance (shared workspace).
   std::pair<Matrix, Matrix> Encode(const Matrix& x, const Matrix& cond);
 
-  /// Eval-mode decode of latent codes.
+  /// Eval-mode decode of latent codes. Tape-free (see Encode).
   Matrix Decode(const Matrix& z, const Matrix& cond);
 
   /// Differentiable decode: builds the decoder graph over a latent Var so
@@ -91,7 +94,7 @@ class Vae {
   /// follows the current training mode.
   ag::Var DecodeVar(const ag::Var& z, const Matrix& cond);
 
-  /// Eval-mode reconstruction (z = posterior mean).
+  /// Eval-mode reconstruction (z = posterior mean). Tape-free (see Encode).
   Matrix Reconstruct(const Matrix& x, const Matrix& cond);
 
   std::vector<ag::Var> Parameters() const;
@@ -113,7 +116,11 @@ class Vae {
   VaeConfig config_;
   nn::Sequential encoder_;
   nn::Sequential decoder_;
-  Rng eval_noise_;  ///< Unused noise stream for deterministic eval paths.
+  /// Never drawn from (eval passes use z = mu), but the constructor's Split
+  /// advances the weight-init RNG — kept so initialisation stays bitwise
+  /// stable across revisions.
+  Rng eval_noise_;
+  nn::InferWorkspace infer_ws_;  ///< Reused activations for Encode/Decode.
 };
 
 }  // namespace cfx

@@ -1,0 +1,313 @@
+#include "src/nn/bundle.h"
+
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace nn {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'X', 'B'};
+constexpr char kEndMarker[4] = {'B', 'X', 'F', 'C'};
+
+enum SectionType : uint8_t {
+  kString = 1,
+  kScalar = 2,
+  kF64Array = 3,
+  kTensors = 4,
+};
+
+const char* TypeName(uint8_t type) {
+  switch (type) {
+    case kString: return "string";
+    case kScalar: return "scalar";
+    case kF64Array: return "f64 array";
+    case kTensors: return "tensor list";
+  }
+  return "unknown";
+}
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  if (n == 0) return;  // Empty vectors hand over data() == nullptr.
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+/// Bounds-checked forward reader over the in-memory file image.
+class Cursor {
+ public:
+  Cursor(const std::string& data, const std::string& path)
+      : data_(data), path_(path) {}
+
+  Status Read(void* dst, size_t n) {
+    if (n == 0) return Status::OK();  // dst may be null for empty tensors.
+    if (n > data_.size() - pos_) {
+      return Status::InvalidArgument("truncated bundle file '" + path_ + "'");
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadValue(T* dst) {
+    return Read(dst, sizeof(T));
+  }
+
+  Status ReadString(size_t n, std::string* dst) {
+    if (n > data_.size() - pos_) {
+      return Status::InvalidArgument("truncated bundle file '" + path_ + "'");
+    }
+    dst->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  const std::string& data_;
+  const std::string& path_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void BundleWriter::Add(const std::string& key, uint8_t type,
+                       std::string payload) {
+  sections_.push_back(Section{key, type, std::move(payload)});
+}
+
+void BundleWriter::PutString(const std::string& key, const std::string& value) {
+  Add(key, kString, value);
+}
+
+void BundleWriter::PutScalar(const std::string& key, double value) {
+  std::string payload;
+  AppendValue(&payload, value);
+  Add(key, kScalar, std::move(payload));
+}
+
+void BundleWriter::PutF64Array(const std::string& key,
+                               const std::vector<double>& values) {
+  std::string payload;
+  AppendValue<uint64_t>(&payload, values.size());
+  AppendRaw(&payload, values.data(), values.size() * sizeof(double));
+  Add(key, kF64Array, std::move(payload));
+}
+
+void BundleWriter::PutTensors(const std::string& key,
+                              const std::vector<Matrix>& tensors) {
+  std::string payload;
+  AppendValue<uint64_t>(&payload, tensors.size());
+  for (const Matrix& t : tensors) {
+    AppendValue<uint64_t>(&payload, t.rows());
+    AppendValue<uint64_t>(&payload, t.cols());
+    AppendRaw(&payload, t.data(), t.size() * sizeof(float));
+  }
+  Add(key, kTensors, std::move(payload));
+}
+
+Status BundleWriter::WriteFile(const std::string& path) const {
+  std::unordered_set<std::string> seen;
+  for (const Section& s : sections_) {
+    if (!seen.insert(s.key).second) {
+      return Status::InvalidArgument("duplicate bundle section '" + s.key +
+                                     "'");
+    }
+  }
+
+  std::string blob;
+  AppendRaw(&blob, kMagic, sizeof(kMagic));
+  AppendValue<uint32_t>(&blob, kBundleVersion);
+  AppendValue<uint32_t>(&blob, static_cast<uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    AppendValue<uint32_t>(&blob, static_cast<uint32_t>(s.key.size()));
+    AppendRaw(&blob, s.key.data(), s.key.size());
+    AppendValue<uint8_t>(&blob, s.type);
+    AppendValue<uint64_t>(&blob, s.payload.size());
+    AppendRaw(&blob, s.payload.data(), s.payload.size());
+  }
+  AppendRaw(&blob, kEndMarker, sizeof(kEndMarker));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out.good()) return Status::Internal("write error on '" + path + "'");
+  return Status::OK();
+}
+
+StatusOr<Bundle> Bundle::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open bundle '" + path + "'");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+
+  Cursor cursor(data, path);
+  char magic[4];
+  CFX_RETURN_IF_ERROR(cursor.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a cfx bundle (bad magic)");
+  }
+
+  Bundle bundle;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&bundle.version_));
+  if (bundle.version_ > kBundleVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "bundle '%s' has format version %u; this build reads <= %u "
+        "(version skew)",
+        path.c_str(), bundle.version_, kBundleVersion));
+  }
+  if (bundle.version_ == 0) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' has invalid version 0");
+  }
+
+  uint32_t count = 0;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t key_len = 0;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&key_len));
+    std::string key;
+    CFX_RETURN_IF_ERROR(cursor.ReadString(key_len, &key));
+    Section section;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&section.type));
+    uint64_t payload_len = 0;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&payload_len));
+    CFX_RETURN_IF_ERROR(cursor.ReadString(payload_len, &section.payload));
+    if (!bundle.sections_.emplace(key, std::move(section)).second) {
+      return Status::InvalidArgument("bundle '" + path +
+                                     "' repeats section '" + key + "'");
+    }
+  }
+
+  char marker[4];
+  CFX_RETURN_IF_ERROR(cursor.Read(marker, sizeof(marker)));
+  if (std::memcmp(marker, kEndMarker, sizeof(kEndMarker)) != 0) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' is corrupted (bad end marker)");
+  }
+  if (cursor.remaining() != 0) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' has trailing bytes after end marker");
+  }
+  return bundle;
+}
+
+bool Bundle::Has(const std::string& key) const {
+  return sections_.count(key) > 0;
+}
+
+StatusOr<const Bundle::Section*> Bundle::Find(const std::string& key,
+                                              uint8_t type) const {
+  auto it = sections_.find(key);
+  if (it == sections_.end()) {
+    return Status::NotFound("bundle has no section '" + key + "'");
+  }
+  if (it->second.type != type) {
+    return Status::InvalidArgument(StrFormat(
+        "bundle section '%s' is a %s, wanted a %s", key.c_str(),
+        TypeName(it->second.type), TypeName(type)));
+  }
+  return &it->second;
+}
+
+StatusOr<std::string> Bundle::GetString(const std::string& key) const {
+  auto section = Find(key, kString);
+  if (!section.ok()) return section.status();
+  return (*section)->payload;
+}
+
+StatusOr<double> Bundle::GetScalar(const std::string& key) const {
+  auto section = Find(key, kScalar);
+  if (!section.ok()) return section.status();
+  const std::string& payload = (*section)->payload;
+  if (payload.size() != sizeof(double)) {
+    return Status::InvalidArgument("malformed scalar section '" + key + "'");
+  }
+  double value = 0.0;
+  std::memcpy(&value, payload.data(), sizeof(double));
+  return value;
+}
+
+StatusOr<std::vector<double>> Bundle::GetF64Array(
+    const std::string& key) const {
+  auto section = Find(key, kF64Array);
+  if (!section.ok()) return section.status();
+  const std::string& payload = (*section)->payload;
+  if (payload.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("malformed array section '" + key + "'");
+  }
+  uint64_t n = 0;
+  std::memcpy(&n, payload.data(), sizeof(uint64_t));
+  if (payload.size() != sizeof(uint64_t) + n * sizeof(double)) {
+    return Status::InvalidArgument("malformed array section '" + key + "'");
+  }
+  std::vector<double> values(n);
+  if (n != 0) {  // An empty vector's data() is null — memcpy forbids that.
+    std::memcpy(values.data(), payload.data() + sizeof(uint64_t),
+                n * sizeof(double));
+  }
+  return values;
+}
+
+StatusOr<std::vector<Matrix>> Bundle::GetTensors(const std::string& key) const {
+  auto section = Find(key, kTensors);
+  if (!section.ok()) return section.status();
+  const std::string& payload = (*section)->payload;
+  size_t pos = 0;
+  auto read = [&](void* dst, size_t n) -> bool {
+    if (n == 0) return true;  // dst may be null for zero-size tensors.
+    if (n > payload.size() - pos) return false;
+    std::memcpy(dst, payload.data() + pos, n);
+    pos += n;
+    return true;
+  };
+
+  uint64_t count = 0;
+  if (!read(&count, sizeof(count))) {
+    return Status::InvalidArgument("malformed tensor section '" + key + "'");
+  }
+  // Each tensor carries a 16-byte (rows, cols) header, so a count larger
+  // than the remaining payload allows is corrupt — reject it before the
+  // reserve below can turn it into a giant allocation.
+  if (count > (payload.size() - pos) / (2 * sizeof(uint64_t))) {
+    return Status::InvalidArgument("malformed tensor section '" + key + "'");
+  }
+  std::vector<Matrix> tensors;
+  tensors.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t rows = 0, cols = 0;
+    if (!read(&rows, sizeof(rows)) || !read(&cols, sizeof(cols))) {
+      return Status::InvalidArgument("malformed tensor section '" + key + "'");
+    }
+    // Guard the multiplication: a corrupted header must not turn into a
+    // huge allocation or an overflowing size.
+    if (rows > 0 && cols > (payload.size() / sizeof(float)) / rows) {
+      return Status::InvalidArgument("malformed tensor section '" + key + "'");
+    }
+    Matrix t(rows, cols);
+    if (!read(t.data(), t.size() * sizeof(float))) {
+      return Status::InvalidArgument("malformed tensor section '" + key + "'");
+    }
+    tensors.push_back(std::move(t));
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("malformed tensor section '" + key + "'");
+  }
+  return tensors;
+}
+
+}  // namespace nn
+}  // namespace cfx

@@ -1,0 +1,95 @@
+// Versioned binary artifact bundle: one file carrying every piece of a
+// trained pipeline (dataset identity, encoder statistics, classifier and
+// VAE weights, generator config) as named, typed sections.
+//
+// Format (little-endian):
+//   magic "CFXB" | uint32 version | uint32 section_count |
+//   per section: uint32 key_len | key bytes | uint8 type |
+//                uint64 payload_len | payload bytes |
+//   end marker "BXFC"
+//
+// Section payloads:
+//   kString   raw bytes
+//   kScalar   one float64
+//   kF64Array uint64 count | count float64
+//   kTensors  uint64 count | per tensor: uint64 rows | uint64 cols |
+//             rows*cols float32
+//
+// Reading is strict and all-or-nothing: the whole file is parsed (with
+// bounds checks) before any section is exposed, so a truncated, corrupted
+// or wrong-magic file yields a Status and never a partially loaded bundle.
+// Files written by a newer format revision are rejected as version skew.
+#ifndef CFX_NN_BUNDLE_H_
+#define CFX_NN_BUNDLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace nn {
+
+/// Current bundle format revision.
+inline constexpr uint32_t kBundleVersion = 1;
+
+/// Accumulates typed sections and writes them as one bundle file.
+class BundleWriter {
+ public:
+  void PutString(const std::string& key, const std::string& value);
+  void PutScalar(const std::string& key, double value);
+  void PutF64Array(const std::string& key, const std::vector<double>& values);
+  void PutTensors(const std::string& key, const std::vector<Matrix>& tensors);
+
+  /// Serialises every section added so far. Duplicate keys are an error.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string key;
+    uint8_t type;
+    std::string payload;
+  };
+
+  void Add(const std::string& key, uint8_t type, std::string payload);
+
+  std::vector<Section> sections_;
+};
+
+/// A fully parsed, validated bundle. Get* accessors also check the section's
+/// type, so reading a tensor list as a string is an error, not garbage.
+class Bundle {
+ public:
+  /// Parses `path` completely; any structural problem (short file, bad
+  /// magic, newer version, overrunning section) fails without partial state.
+  static StatusOr<Bundle> ReadFile(const std::string& path);
+
+  bool Has(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<double> GetScalar(const std::string& key) const;
+  StatusOr<std::vector<double>> GetF64Array(const std::string& key) const;
+  StatusOr<std::vector<Matrix>> GetTensors(const std::string& key) const;
+
+  /// Format revision the file was written with (<= kBundleVersion).
+  uint32_t version() const { return version_; }
+  size_t num_sections() const { return sections_.size(); }
+
+ private:
+  struct Section {
+    uint8_t type;
+    std::string payload;
+  };
+
+  StatusOr<const Section*> Find(const std::string& key, uint8_t type) const;
+
+  uint32_t version_ = kBundleVersion;
+  std::unordered_map<std::string, Section> sections_;
+};
+
+}  // namespace nn
+}  // namespace cfx
+
+#endif  // CFX_NN_BUNDLE_H_

@@ -1,6 +1,9 @@
 #include "src/nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 namespace nn {
@@ -28,6 +31,61 @@ ag::Var Linear::Forward(const ag::Var& x) {
   return ag::AddRowBroadcast(ag::MatMul(x, weight_), bias_);
 }
 
+const Matrix& Linear::Infer(const Matrix& x, InferWorkspace* ws) {
+  return InferFused(x, ws, kernels::Epilogue::kNone);
+}
+
+const Matrix& Linear::InferFused(const Matrix& x, InferWorkspace* ws,
+                                 kernels::Epilogue epilogue) {
+  Matrix& out = ws->Acquire(x.rows(), out_features_);
+  // One pass: matmul + bias broadcast (+ activation) per output row while
+  // it is cache-hot. Each element sees the exact value history of the
+  // tape's MatMul / AddRowBroadcast / activation ops — bitwise identical.
+  kernels::MatMulBias(x.data(), weight_->value.data(), bias_->value.data(),
+                      out.data(), x.rows(), in_features_, out_features_,
+                      epilogue);
+  return out;
+}
+
+const Matrix& ReluLayer::Infer(const Matrix& x, InferWorkspace* ws) {
+  Matrix& out = ws->Acquire(x.rows(), x.cols());
+  kernels::MapTo(out.data(), x.data(), x.size(),
+                 [](float v) { return v > 0.0f ? v : 0.0f; });
+  return out;
+}
+
+bool ReluLayer::InferInPlace(Matrix* h) {
+  kernels::MapInPlace(h->data(), h->size(),
+                      [](float v) { return v > 0.0f ? v : 0.0f; });
+  return true;
+}
+
+const Matrix& SigmoidLayer::Infer(const Matrix& x, InferWorkspace* ws) {
+  Matrix& out = ws->Acquire(x.rows(), x.cols());
+  kernels::MapTo(out.data(), x.data(), x.size(),
+                 [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  return out;
+}
+
+bool SigmoidLayer::InferInPlace(Matrix* h) {
+  kernels::MapInPlace(h->data(), h->size(),
+                      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  return true;
+}
+
+const Matrix& TabularHeadLayer::Infer(const Matrix& x, InferWorkspace* ws) {
+  if (in_softmax_.size() != x.cols()) {
+    in_softmax_.assign(x.cols(), 0);
+    for (const auto& [offset, width] : softmax_blocks_) {
+      for (size_t j = 0; j < width; ++j) in_softmax_[offset + j] = 1;
+    }
+  }
+  Matrix& out = ws->Acquire(x.rows(), x.cols());
+  kernels::TabularActivationForward(x.data(), out.data(), x.rows(), x.cols(),
+                                    softmax_blocks_, in_softmax_);
+  return out;
+}
+
 Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng->Split(0xD0)) {}
 
 ag::Var Dropout::Forward(const ag::Var& x) {
@@ -40,8 +98,14 @@ ag::Var Dropout::Forward(const ag::Var& x) {
   return ag::MulConstMask(x, mask);
 }
 
+const Matrix& Dropout::Infer(const Matrix& x, InferWorkspace* ws) {
+  if (!training_ || p_ <= 0.0f) return x;  // Identity: no copy at all.
+  return Module::Infer(x, ws);  // Training: keep the mask RNG stream exact.
+}
+
 Sequential& Sequential::Add(std::unique_ptr<Module> layer) {
   layers_.push_back(std::move(layer));
+  infer_plan_stale_ = true;
   return *this;
 }
 
@@ -49,6 +113,56 @@ ag::Var Sequential::Forward(const ag::Var& x) {
   ag::Var h = x;
   for (auto& layer : layers_) h = layer->Forward(h);
   return h;
+}
+
+const Matrix& Sequential::Infer(const Matrix& x, InferWorkspace* ws) {
+  // Peephole schedule: Linear immediately followed by a stateless
+  // activation folds the activation into the matmul epilogue (bitwise
+  // identical — see kernels::MatMulBias). Structure is static per layer
+  // list, so the type tests run once, not per batch.
+  if (infer_plan_stale_) {
+    infer_plan_.clear();
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      InferStep step;
+      if (auto* linear = dynamic_cast<Linear*>(layers_[i].get());
+          linear != nullptr && i + 1 < layers_.size()) {
+        Module* next = layers_[i + 1].get();
+        if (dynamic_cast<ReluLayer*>(next) != nullptr) {
+          step.epilogue = kernels::Epilogue::kRelu;
+        } else if (dynamic_cast<SigmoidLayer*>(next) != nullptr) {
+          step.epilogue = kernels::Epilogue::kSigmoid;
+        }
+        if (step.epilogue != kernels::Epilogue::kNone) {
+          step.fused_linear = linear;
+          infer_plan_.push_back(step);
+          ++i;
+          continue;
+        }
+      }
+      step.layer = layers_[i].get();
+      infer_plan_.push_back(step);
+    }
+    infer_plan_stale_ = false;
+  }
+
+  const Matrix* h = &x;
+  // `owned` tracks whether *h is a workspace slot we may mutate (true after
+  // any layer materialises a fresh output; identity layers pass ownership
+  // through). Stateless elementwise layers then run in place — same values,
+  // one less full read/write pass and no extra slot.
+  bool owned = false;
+  for (const InferStep& step : infer_plan_) {
+    if (step.fused_linear != nullptr) {
+      h = &step.fused_linear->InferFused(*h, ws, step.epilogue);
+      owned = true;
+      continue;
+    }
+    if (owned && step.layer->InferInPlace(const_cast<Matrix*>(h))) continue;
+    const Matrix& out = step.layer->Infer(*h, ws);
+    if (&out != h) owned = true;
+    h = &out;
+  }
+  return *h;
 }
 
 std::vector<ag::Var> Sequential::Parameters() const {

@@ -2,6 +2,7 @@
 #ifndef CFX_NN_LAYERS_H_
 #define CFX_NN_LAYERS_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -9,6 +10,7 @@
 
 #include "src/common/rng.h"
 #include "src/nn/module.h"
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 namespace nn {
@@ -26,6 +28,12 @@ class Linear : public Module {
          Init init = Init::kHeNormal);
 
   ag::Var Forward(const ag::Var& x) override;
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
+  /// Infer with the following elementwise activation folded into the matmul
+  /// epilogue (Sequential's Linear+activation peephole). Bitwise identical
+  /// to Infer followed by that activation.
+  const Matrix& InferFused(const Matrix& x, InferWorkspace* ws,
+                           kernels::Epilogue epilogue);
   std::vector<ag::Var> Parameters() const override { return {weight_, bias_}; }
 
   size_t in_features() const { return in_features_; }
@@ -44,12 +52,16 @@ class Linear : public Module {
 class ReluLayer : public Module {
  public:
   ag::Var Forward(const ag::Var& x) override { return ag::Relu(x); }
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
+  bool InferInPlace(Matrix* h) override;
 };
 
 /// Stateless sigmoid activation module.
 class SigmoidLayer : public Module {
  public:
   ag::Var Forward(const ag::Var& x) override { return ag::Sigmoid(x); }
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
+  bool InferInPlace(Matrix* h) override;
 };
 
 /// Mixed tabular output head: softmax within the given (offset, width)
@@ -63,9 +75,11 @@ class TabularHeadLayer : public Module {
   ag::Var Forward(const ag::Var& x) override {
     return ag::TabularActivation(x, softmax_blocks_);
   }
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
 
  private:
   std::vector<std::pair<size_t, size_t>> softmax_blocks_;
+  std::vector<uint8_t> in_softmax_;  ///< Column mask, built on first Infer.
 };
 
 /// Inverted dropout: in training, zeroes each activation with probability p
@@ -75,6 +89,10 @@ class Dropout : public Module {
   Dropout(float p, Rng* rng);
 
   ag::Var Forward(const ag::Var& x) override;
+  /// Identity in eval mode (no copy, no tape). In training mode this falls
+  /// back to the Forward route so the mask RNG stream advances exactly as a
+  /// tape pass would.
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
 
   float p() const { return p_; }
 
@@ -92,6 +110,7 @@ class Sequential : public Module {
   Sequential& Add(std::unique_ptr<Module> layer);
 
   ag::Var Forward(const ag::Var& x) override;
+  const Matrix& Infer(const Matrix& x, InferWorkspace* ws) override;
   std::vector<ag::Var> Parameters() const override;
   void SetTraining(bool training) override;
 
@@ -99,7 +118,19 @@ class Sequential : public Module {
   Module* layer(size_t i) { return layers_[i].get(); }
 
  private:
+  /// One step of the precomputed Infer schedule: either a Linear with the
+  /// following activation folded into its matmul epilogue, or a plain layer
+  /// dispatch. Rebuilt lazily after Add (type tests are hoisted out of the
+  /// per-call path — they showed up at batch-1 latency).
+  struct InferStep {
+    Linear* fused_linear = nullptr;  ///< non-null: fused Linear+activation
+    kernels::Epilogue epilogue = kernels::Epilogue::kNone;
+    Module* layer = nullptr;  ///< plain dispatch when fused_linear is null
+  };
+
   std::vector<std::unique_ptr<Module>> layers_;
+  std::vector<InferStep> infer_plan_;
+  bool infer_plan_stale_ = true;
 };
 
 }  // namespace nn

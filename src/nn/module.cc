@@ -3,6 +3,28 @@
 namespace cfx {
 namespace nn {
 
+Matrix& InferWorkspace::Acquire(size_t rows, size_t cols) {
+  if (cursor_ == slots_.size()) {
+    slots_.emplace_back(rows, cols);
+    return slots_[cursor_++];
+  }
+  Matrix& slot = slots_[cursor_++];
+  if (slot.rows() != rows || slot.cols() != cols) {
+    slot = Matrix::FromStorage(rows, cols, slot.ReleaseStorage());
+  }
+  return slot;
+}
+
+const Matrix& Module::Infer(const Matrix& x, InferWorkspace* ws) {
+  // Reference path: build the tape and keep only the value. Overridden by
+  // every built-in layer; kept as the backward-compat default so external
+  // Module subclasses work unchanged.
+  ag::Var out = Forward(ag::Constant(x));
+  Matrix& slot = ws->Acquire(out->value.rows(), out->value.cols());
+  slot = std::move(out->value);
+  return slot;
+}
+
 size_t Module::ParameterCount() const {
   size_t n = 0;
   for (const ag::Var& p : Parameters()) n += p->value.size();

@@ -2,12 +2,43 @@
 #ifndef CFX_NN_MODULE_H_
 #define CFX_NN_MODULE_H_
 
+#include <deque>
 #include <vector>
 
 #include "src/tensor/autodiff.h"
 
 namespace cfx {
 namespace nn {
+
+/// Reusable activation storage for the tape-free inference path.
+///
+/// Infer calls acquire their output buffers from a workspace arena instead
+/// of allocating graph nodes: slots are handed out in call order and reused
+/// verbatim on the next batch (Reset rewinds the cursor without touching
+/// the storage), so a steady-state serving loop performs zero heap
+/// allocations once the first batch has sized every slot. Slots live in a
+/// deque so previously returned references stay valid while later layers
+/// acquire theirs.
+///
+/// A workspace is single-threaded state: share one per model instance, not
+/// across concurrent callers.
+class InferWorkspace {
+ public:
+  /// Returns the next slot shaped rows x cols. Contents are unspecified —
+  /// every producer must fully overwrite its slot. Reuses the slot's
+  /// existing storage when the element count allows.
+  Matrix& Acquire(size_t rows, size_t cols);
+
+  /// Rewinds the arena for the next batch; storage is kept.
+  void Reset() { cursor_ = 0; }
+
+  /// Number of slots materialised so far (diagnostics/tests).
+  size_t slots() const { return slots_.size(); }
+
+ private:
+  std::deque<Matrix> slots_;
+  size_t cursor_ = 0;
+};
 
 /// A trainable component: owns parameter leaves and defines a forward pass
 /// that builds an autodiff graph over them.
@@ -17,6 +48,26 @@ class Module {
 
   /// Builds the forward graph for a batch `x` (shape: batch x in_features).
   virtual ag::Var Forward(const ag::Var& x) = 0;
+
+  /// Tape-free forward pass for inference: no graph nodes, no backward
+  /// closures, output written into a workspace slot (or, for identity
+  /// layers, `x` itself is returned). Results are bitwise identical to
+  /// Forward(Constant(x))->value for every CFX_THREADS setting.
+  ///
+  /// The default implementation routes through Forward (backward-compat for
+  /// external Module subclasses); the built-in layers override it with
+  /// fused, allocation-lean kernels.
+  virtual const Matrix& Infer(const Matrix& x, InferWorkspace* ws);
+
+  /// Elementwise fast path: mutate `h` in place instead of writing a fresh
+  /// workspace slot, returning true if handled. Only stateless elementwise
+  /// layers (ReLU, sigmoid) implement this; callers may only pass buffers
+  /// they own (a workspace slot — never the original input). The in-place
+  /// result must be bitwise identical to Infer on the same values.
+  virtual bool InferInPlace(Matrix* h) {
+    (void)h;
+    return false;
+  }
 
   /// All trainable parameter leaves, in a stable order (required by
   /// stateful optimisers such as Adam).

@@ -58,6 +58,11 @@ Status LoadParameters(const std::vector<ag::Var>& params,
         StrFormat("weight file holds %llu tensors, model has %zu",
                   static_cast<unsigned long long>(count), params.size()));
   }
+  // Stage every tensor before touching the model: a file that fails part-way
+  // (truncation, shape skew) must leave the parameters exactly as they were,
+  // never half old / half new.
+  std::vector<Matrix> staged;
+  staged.reserve(params.size());
   for (const ag::Var& p : params) {
     uint64_t rows = 0, cols = 0;
     in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
@@ -70,9 +75,14 @@ Status LoadParameters(const std::vector<ag::Var>& params,
                     static_cast<unsigned long long>(cols), p->value.rows(),
                     p->value.cols()));
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    Matrix tensor(rows, cols);
+    in.read(reinterpret_cast<char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.size() * sizeof(float)));
     if (!in.good()) return Status::InvalidArgument("truncated weight file");
+    staged.push_back(std::move(tensor));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = std::move(staged[i]);
   }
   return Status::OK();
 }

@@ -290,29 +290,8 @@ Var TabularActivation(
   }
 
   Matrix out(x.rows(), x.cols());
-  const size_t cols = x.cols();
-  ParallelFor(0, x.rows(), 0, [&](size_t r0, size_t r1) {
-    for (size_t r = r0; r < r1; ++r) {
-      for (size_t c = 0; c < cols; ++c) {
-        if (!in_softmax[c]) {
-          out.at(r, c) = 1.0f / (1.0f + std::exp(-x.at(r, c)));
-        }
-      }
-      for (const auto& [offset, width] : softmax_blocks) {
-        float max_v = x.at(r, offset);
-        for (size_t j = 1; j < width; ++j) {
-          max_v = std::max(max_v, x.at(r, offset + j));
-        }
-        float sum = 0.0f;
-        for (size_t j = 0; j < width; ++j) {
-          const float e = std::exp(x.at(r, offset + j) - max_v);
-          out.at(r, offset + j) = e;
-          sum += e;
-        }
-        for (size_t j = 0; j < width; ++j) out.at(r, offset + j) /= sum;
-      }
-    }
-  });
+  kernels::TabularActivationForward(x.data(), out.data(), x.rows(), x.cols(),
+                                    softmax_blocks, in_softmax);
 
   return MakeOp(std::move(out), {a},
                 [softmax_blocks, in_softmax](Node* n) {

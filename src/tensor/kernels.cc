@@ -1,6 +1,7 @@
 #include "src/tensor/kernels.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace cfx {
 namespace kernels {
@@ -64,8 +65,59 @@ void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
 
 void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
             size_t m) {
-  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
+  const size_t grain = RowGrain(k, m);
+  if (n <= grain) {
+    // Single-chunk batches skip the pool dispatch (and the std::function
+    // round-trip it costs) — identical bits, the kernel is row-disjoint.
+    MatMulRows<false>(a, b, out, 0, n, k, m);
+    return;
+  }
+  ParallelFor(0, n, grain, [&](size_t r0, size_t r1) {
     MatMulRows<false>(a, b, out, r0, r1, k, m);
+  });
+}
+
+namespace {
+
+/// Rows r0..r1 of MatMulBias: matmul row, then the bias/activation epilogue
+/// while the freshly accumulated row is still in L1.
+void MatMulBiasRows(const float* a, const float* b, const float* bias,
+                    float* out, size_t r0, size_t r1, size_t k, size_t m,
+                    Epilogue epilogue) {
+  for (size_t i = r0; i < r1; ++i) {
+    MatMulRows<false>(a, b, out, i, i + 1, k, m);
+    float* __restrict__ out_row = out + i * m;
+    switch (epilogue) {
+      case Epilogue::kNone:
+        for (size_t j = 0; j < m; ++j) out_row[j] += bias[j];
+        break;
+      case Epilogue::kRelu:
+        for (size_t j = 0; j < m; ++j) {
+          const float v = out_row[j] + bias[j];
+          out_row[j] = v > 0.0f ? v : 0.0f;
+        }
+        break;
+      case Epilogue::kSigmoid:
+        for (size_t j = 0; j < m; ++j) {
+          const float v = out_row[j] + bias[j];
+          out_row[j] = 1.0f / (1.0f + std::exp(-v));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulBias(const float* a, const float* b, const float* bias, float* out,
+                size_t n, size_t k, size_t m, Epilogue epilogue) {
+  const size_t grain = RowGrain(k, m);
+  if (n <= grain) {
+    MatMulBiasRows(a, b, bias, out, 0, n, k, m, epilogue);
+    return;
+  }
+  ParallelFor(0, n, grain, [&](size_t r0, size_t r1) {
+    MatMulBiasRows(a, b, bias, out, r0, r1, k, m, epilogue);
   });
 }
 
@@ -171,6 +223,34 @@ void MulAddInPlace(float* dst, const float* a, const float* b, size_t n) {
   }
   ParallelFor(0, n, kElementwiseGrain, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) dst[i] += a[i] * b[i];
+  });
+}
+
+void TabularActivationForward(
+    const float* x, float* out, size_t rows, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks,
+    const std::vector<uint8_t>& in_softmax) {
+  ParallelFor(0, rows, 0, [&](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      const float* xr = x + r * cols;
+      float* or_ = out + r * cols;
+      for (size_t c = 0; c < cols; ++c) {
+        if (!in_softmax[c]) or_[c] = 1.0f / (1.0f + std::exp(-xr[c]));
+      }
+      for (const auto& [offset, width] : softmax_blocks) {
+        float max_v = xr[offset];
+        for (size_t j = 1; j < width; ++j) {
+          max_v = std::max(max_v, xr[offset + j]);
+        }
+        float sum = 0.0f;
+        for (size_t j = 0; j < width; ++j) {
+          const float e = std::exp(xr[offset + j] - max_v);
+          or_[offset + j] = e;
+          sum += e;
+        }
+        for (size_t j = 0; j < width; ++j) or_[offset + j] /= sum;
+      }
+    }
   });
 }
 

@@ -19,6 +19,9 @@
 #define CFX_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "src/common/thread_pool.h"
 
@@ -39,6 +42,23 @@ inline constexpr size_t kMatMulGrainFlops = size_t{1} << 16;
 /// overwritten.
 void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
             size_t m);
+
+/// Post-matmul epilogue applied per element while the output row is still
+/// hot in cache (see MatMulBias).
+enum class Epilogue {
+  kNone,     ///< bias add only
+  kRelu,     ///< max(v, 0) after the bias add
+  kSigmoid,  ///< 1 / (1 + exp(-v)) after the bias add
+};
+
+/// out = epilogue(a(n,k) . b(k,m) + bias(1,m)), fused into one pass: each
+/// output element accumulates its k-terms in ascending order (identical to
+/// MatMul), then receives exactly one bias add, then the activation — the
+/// same value history as MatMul + AddInPlace + MapTo run separately, so the
+/// result is bitwise identical to the unfused pipeline (and to the tape's
+/// MatMul/AddRowBroadcast/Relu/Sigmoid ops) for every CFX_THREADS value.
+void MatMulBias(const float* a, const float* b, const float* bias, float* out,
+                size_t n, size_t k, size_t m, Epilogue epilogue);
 
 /// out += a(n,k) . b(k,m).
 void MatMulAccum(const float* a, const float* b, float* out, size_t n,
@@ -72,6 +92,20 @@ void ScaleInPlace(float* dst, float alpha, size_t n);
 
 /// dst += a * b (elementwise product accumulate) — the Mul/Exp backward.
 void MulAddInPlace(float* dst, const float* a, const float* b, size_t n);
+
+// ---- fused activation heads -------------------------------------------------
+
+/// Mixed tabular activation over a (rows x cols) batch: max-shifted softmax
+/// within each (offset, width) block of `softmax_blocks`, sigmoid on every
+/// column where `in_softmax` is 0. `out` is fully overwritten; it must not
+/// alias `x`. Rows are processed independently (parallel, disjoint writes),
+/// so results are bitwise identical for every CFX_THREADS value. Shared by
+/// the ag::TabularActivation tape op and the tape-free inference path —
+/// keeping the two bitwise-equal by construction.
+void TabularActivationForward(
+    const float* x, float* out, size_t rows, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks,
+    const std::vector<uint8_t>& in_softmax);
 
 /// dst[i] = fn(dst[i]); fn must be pure (it may run on any pool lane).
 template <typename Fn>

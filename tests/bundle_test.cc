@@ -1,0 +1,370 @@
+// Versioned artifact bundles: round-trips, strict rejection of truncated /
+// corrupted / version-skewed files, and the no-partial-load guarantees of
+// both the bundle reader and nn::LoadParameters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/core/artifact.h"
+#include "src/nn/bundle.h"
+#include "src/nn/layers.h"
+#include "src/nn/serialize.h"
+
+namespace cfx {
+namespace nn {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "cfx_bundle_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+Status WriteSampleBundle(const std::string& path) {
+  BundleWriter writer;
+  writer.PutString("name", "sample");
+  writer.PutScalar("answer", 42.5);
+  writer.PutF64Array("stats", {1.0, 2.5, -3.75});
+  Matrix a(2, 3);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i) * 0.5f;
+  Matrix b(1, 4, 7.0f);
+  writer.PutTensors("weights", {a, b});
+  return writer.WriteFile(path);
+}
+
+TEST(BundleTest, RoundTripsEverySectionType) {
+  TempFile file("roundtrip");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+
+  auto bundle = Bundle::ReadFile(file.path());
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->version(), kBundleVersion);
+  EXPECT_EQ(bundle->num_sections(), 4u);
+  EXPECT_TRUE(bundle->Has("name"));
+  EXPECT_FALSE(bundle->Has("missing"));
+
+  auto name = bundle->GetString("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "sample");
+
+  auto answer = bundle->GetScalar("answer");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(*answer, 42.5);
+
+  auto stats = bundle->GetF64Array("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(*stats, (std::vector<double>{1.0, 2.5, -3.75}));
+
+  auto weights = bundle->GetTensors("weights");
+  ASSERT_TRUE(weights.ok());
+  ASSERT_EQ(weights->size(), 2u);
+  EXPECT_EQ((*weights)[0].rows(), 2u);
+  EXPECT_EQ((*weights)[0].cols(), 3u);
+  EXPECT_FLOAT_EQ((*weights)[0].at(1, 2), 2.5f);
+  EXPECT_FLOAT_EQ((*weights)[1].at(0, 3), 7.0f);
+}
+
+TEST(BundleTest, MissingSectionAndWrongTypeAreErrors) {
+  TempFile file("types");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  auto bundle = Bundle::ReadFile(file.path());
+  ASSERT_TRUE(bundle.ok());
+
+  EXPECT_FALSE(bundle->GetString("no_such_key").ok());
+  // Type confusion must error, not decode garbage.
+  EXPECT_FALSE(bundle->GetScalar("name").ok());
+  EXPECT_FALSE(bundle->GetTensors("answer").ok());
+  EXPECT_FALSE(bundle->GetF64Array("weights").ok());
+}
+
+TEST(BundleTest, RejectsWrongMagic) {
+  TempFile file("magic");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  std::string data = ReadAll(file.path());
+  data[0] = 'X';
+  WriteAll(file.path(), data);
+
+  auto bundle = Bundle::ReadFile(file.path());
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_NE(bundle.status().message().find("magic"), std::string::npos);
+}
+
+TEST(BundleTest, RejectsTruncationAtEveryPrefixLength) {
+  TempFile file("trunc");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  const std::string data = ReadAll(file.path());
+  ASSERT_GT(data.size(), 8u);
+
+  // Every strict prefix must be rejected — header cuts, mid-section cuts,
+  // and a missing end marker alike.
+  for (size_t len = 0; len < data.size(); len += 7) {
+    WriteAll(file.path(), data.substr(0, len));
+    auto bundle = Bundle::ReadFile(file.path());
+    EXPECT_FALSE(bundle.ok()) << "accepted a " << len << "-byte prefix of a "
+                              << data.size() << "-byte bundle";
+  }
+}
+
+TEST(BundleTest, RejectsTrailingGarbage) {
+  TempFile file("trailing");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  WriteAll(file.path(), ReadAll(file.path()) + "extra");
+  EXPECT_FALSE(Bundle::ReadFile(file.path()).ok());
+}
+
+TEST(BundleTest, RejectsNewerVersion) {
+  TempFile file("version");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  std::string data = ReadAll(file.path());
+  const uint32_t future = kBundleVersion + 1;
+  std::memcpy(&data[4], &future, sizeof(future));
+  WriteAll(file.path(), data);
+
+  auto bundle = Bundle::ReadFile(file.path());
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(bundle.status().message().find("version"), std::string::npos);
+}
+
+TEST(BundleTest, RejectsCorruptTensorHeader) {
+  // Blow up the tensor-count field of the "weights" payload: the reader
+  // must fail cleanly instead of over-allocating or walking off the end.
+  TempFile file("tensorhdr");
+  BundleWriter writer;
+  Matrix a(2, 2, 1.0f);
+  writer.PutTensors("weights", {a});
+  ASSERT_TRUE(writer.WriteFile(file.path()).ok());
+
+  std::string data = ReadAll(file.path());
+  // Locate the payload: header is 4 (magic) + 4 (version) + 4 (count) +
+  // 4 (key len) + 7 ("weights") + 1 (type) + 8 (payload len) = 32 bytes in.
+  const uint64_t huge = ~0ULL / 2;
+  std::memcpy(&data[32], &huge, sizeof(huge));
+  WriteAll(file.path(), data);
+
+  auto bundle = Bundle::ReadFile(file.path());
+  ASSERT_TRUE(bundle.ok());  // Structure parses; the section is typed junk.
+  EXPECT_FALSE(bundle->GetTensors("weights").ok());
+}
+
+TEST(BundleTest, RejectsMissingFile) {
+  auto bundle = Bundle::ReadFile(::testing::TempDir() + "cfx_no_such.bundle");
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BundleTest, WriterRejectsDuplicateKeys) {
+  TempFile file("dup");
+  BundleWriter writer;
+  writer.PutScalar("k", 1.0);
+  writer.PutScalar("k", 2.0);
+  EXPECT_FALSE(writer.WriteFile(file.path()).ok());
+}
+
+// --- nn::LoadParameters regression: corrupted files must not partially
+// overwrite a model's weights. ---
+
+std::vector<ag::Var> MakeParams(Rng* rng) {
+  return {ag::Param(Matrix::RandomNormal(3, 4, 0.0f, 1.0f, rng)),
+          ag::Param(Matrix::RandomNormal(1, 4, 0.0f, 1.0f, rng))};
+}
+
+std::vector<Matrix> Snapshot(const std::vector<ag::Var>& params) {
+  std::vector<Matrix> values;
+  for (const ag::Var& p : params) values.push_back(p->value);
+  return values;
+}
+
+bool SameValues(const std::vector<ag::Var>& params,
+                const std::vector<Matrix>& snapshot) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (std::memcmp(params[i]->value.data(), snapshot[i].data(),
+                    snapshot[i].size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(LoadParametersTest, TruncatedFileLeavesModelUntouched) {
+  Rng rng(21);
+  TempFile file("weights_trunc");
+  std::vector<ag::Var> saved = MakeParams(&rng);
+  ASSERT_TRUE(SaveParameters(saved, file.path()).ok());
+  const std::string data = ReadAll(file.path());
+
+  // Cut inside the SECOND tensor: the first tensor is fully present, so a
+  // non-staged loader would have already clobbered it by the time the read
+  // fails.
+  WriteAll(file.path(), data.substr(0, data.size() - 5));
+
+  std::vector<ag::Var> target = MakeParams(&rng);
+  const std::vector<Matrix> before = Snapshot(target);
+  Status status = LoadParameters(target, file.path());
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(SameValues(target, before))
+      << "truncated load partially overwrote parameters";
+}
+
+TEST(LoadParametersTest, ShapeSkewLeavesModelUntouched) {
+  Rng rng(22);
+  TempFile file("weights_skew");
+  // File written for a (3x4, 1x4) model...
+  ASSERT_TRUE(SaveParameters(MakeParams(&rng), file.path()).ok());
+
+  // ...loaded into a model whose SECOND tensor differs.
+  std::vector<ag::Var> target = {
+      ag::Param(Matrix::RandomNormal(3, 4, 0.0f, 1.0f, &rng)),
+      ag::Param(Matrix::RandomNormal(1, 5, 0.0f, 1.0f, &rng))};
+  const std::vector<Matrix> before = Snapshot(target);
+  Status status = LoadParameters(target, file.path());
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(SameValues(target, before));
+}
+
+TEST(LoadParametersTest, RoundTripRestoresExactBits) {
+  Rng rng(23);
+  TempFile file("weights_rt");
+  std::vector<ag::Var> saved = MakeParams(&rng);
+  ASSERT_TRUE(SaveParameters(saved, file.path()).ok());
+
+  std::vector<ag::Var> target = MakeParams(&rng);
+  ASSERT_TRUE(LoadParameters(target, file.path()).ok());
+  EXPECT_TRUE(SameValues(target, Snapshot(saved)));
+}
+
+}  // namespace
+}  // namespace nn
+
+namespace {
+
+bool SameMatrix(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// A small but real pipeline: full classifier training, two generator
+/// epochs, no restarts.
+struct TrainedPipeline {
+  std::unique_ptr<Experiment> experiment;
+  std::unique_ptr<FeasibleCfGenerator> generator;
+};
+
+TrainedPipeline TrainTinyPipeline() {
+  RunConfig config;
+  config.scale = Scale::kSmall;
+  config.seed = 33;
+  auto experiment = Experiment::Create(DatasetId::kLaw, config);
+  EXPECT_TRUE(experiment.ok()) << experiment.status().ToString();
+
+  GeneratorConfig gen_config = GeneratorConfig::FromDataset(
+      (*experiment)->info(), ConstraintMode::kUnary);
+  gen_config.epochs = 2;
+  gen_config.max_restarts = 0;
+  gen_config.min_probe_validity = 0.0;
+  gen_config.min_probe_feasibility = 0.0;
+
+  TrainedPipeline pipeline;
+  pipeline.experiment = std::move(*experiment);
+  pipeline.generator = std::make_unique<FeasibleCfGenerator>(
+      pipeline.experiment->method_context(), gen_config);
+  Status fit = pipeline.generator->Fit(pipeline.experiment->x_train(),
+                                       pipeline.experiment->y_train());
+  EXPECT_TRUE(fit.ok()) << fit.ToString();
+  return pipeline;
+}
+
+TEST(PipelineBundleTest, SaveRestoreGenerateIsBitwiseIdentical) {
+  nn::TempFile file("pipeline_rt");
+  TrainedPipeline trained = TrainTinyPipeline();
+  Matrix x_eval = trained.experiment->TestSubset(24);
+
+  CfResult before = trained.generator->Generate(x_eval);
+  // The tape reference path must agree with the serving path bit for bit.
+  CfResult tape = trained.generator->GenerateTape(x_eval);
+  EXPECT_TRUE(SameMatrix(before.cfs_raw, tape.cfs_raw));
+  EXPECT_TRUE(SameMatrix(before.cfs, tape.cfs));
+
+  ASSERT_TRUE(SavePipelineBundle(file.path(), trained.experiment.get(),
+                                 trained.generator.get())
+                  .ok());
+
+  auto restored = Experiment::Restore(file.path());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // The regenerated experiment matches the original data pipeline...
+  EXPECT_TRUE(SameMatrix(restored->experiment->x_test(),
+                         trained.experiment->x_test()));
+  EXPECT_EQ(restored->experiment->dataset_id(), DatasetId::kLaw);
+  EXPECT_EQ(restored->generator->config().epochs, 2u);
+  EXPECT_EQ(restored->generator->config().loss.mode, ConstraintMode::kUnary);
+
+  // ...and the restored generator serves bitwise-identical counterfactuals.
+  CfResult after = restored->generator->Generate(
+      restored->experiment->TestSubset(24));
+  EXPECT_TRUE(SameMatrix(before.cfs_raw, after.cfs_raw));
+  EXPECT_TRUE(SameMatrix(before.cfs, after.cfs));
+  EXPECT_EQ(before.desired, after.desired);
+  EXPECT_EQ(before.predicted, after.predicted);
+}
+
+TEST(PipelineBundleTest, CorruptedStatisticsAreRejectedAsSkew) {
+  nn::TempFile file("pipeline_skew");
+  TrainedPipeline trained = TrainTinyPipeline();
+  ASSERT_TRUE(SavePipelineBundle(file.path(), trained.experiment.get(),
+                                 trained.generator.get())
+                  .ok());
+
+  // Flip one byte inside the encoder.min payload: restore must detect that
+  // the stored statistics no longer match the regenerated dataset.
+  std::string data = nn::ReadAll(file.path());
+  const size_t key_pos = data.find("encoder.min");
+  ASSERT_NE(key_pos, std::string::npos);
+  const size_t payload_pos =
+      key_pos + std::strlen("encoder.min") + 1 + 8 + 8;  // type+len+count
+  ASSERT_LT(payload_pos, data.size());
+  data[payload_pos] ^= 0x5A;
+  nn::WriteAll(file.path(), data);
+
+  auto restored = Experiment::Restore(file.path());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PipelineBundleTest, TruncatedPipelineBundleIsRejected) {
+  nn::TempFile file("pipeline_trunc");
+  TrainedPipeline trained = TrainTinyPipeline();
+  ASSERT_TRUE(SavePipelineBundle(file.path(), trained.experiment.get(),
+                                 trained.generator.get())
+                  .ok());
+  const std::string data = nn::ReadAll(file.path());
+  nn::WriteAll(file.path(), data.substr(0, data.size() / 2));
+  EXPECT_FALSE(Experiment::Restore(file.path()).ok());
+}
+
+}  // namespace
+}  // namespace cfx

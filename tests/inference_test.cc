@@ -1,0 +1,268 @@
+// Tape-free inference path: randomized property tests asserting that
+// Module::Infer is bitwise identical to Forward(...)->value for every layer
+// type and for stacked Sequentials, in eval mode, both on the thread pool
+// (this binary runs pinned to CFX_THREADS=4) and under ScopedSerial.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/models/classifier.h"
+#include "src/models/vae.h"
+#include "src/nn/layers.h"
+
+namespace cfx {
+namespace {
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+Matrix RandomBatch(size_t rows, size_t cols, Rng* rng) {
+  return Matrix::RandomNormal(rows, cols, 0.0f, 2.0f, rng);
+}
+
+/// Runs Infer twice (fresh workspace each time is NOT required — Reset is
+/// the contract) and checks it against the tape value.
+void ExpectInferMatchesForward(nn::Module* layer, const Matrix& x) {
+  ag::Var tape = layer->Forward(ag::Constant(x));
+  nn::InferWorkspace ws;
+  const Matrix& infer1 = layer->Infer(x, &ws);
+  EXPECT_TRUE(BitwiseEqual(tape->value, infer1));
+  ws.Reset();
+  const Matrix& infer2 = layer->Infer(x, &ws);
+  EXPECT_TRUE(BitwiseEqual(tape->value, infer2));
+}
+
+TEST(InferenceTest, LinearBitwiseMatchesTape) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t in = 1 + rng.UniformInt(40);
+    const size_t out = 1 + rng.UniformInt(40);
+    const size_t batch = 1 + rng.UniformInt(64);
+    nn::Linear layer(in, out, &rng);
+    Matrix x = RandomBatch(batch, in, &rng);
+    ExpectInferMatchesForward(&layer, x);
+  }
+}
+
+TEST(InferenceTest, ActivationsBitwiseMatchTape) {
+  Rng rng(102);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t batch = 1 + rng.UniformInt(64);
+    const size_t cols = 1 + rng.UniformInt(40);
+    Matrix x = RandomBatch(batch, cols, &rng);
+    nn::ReluLayer relu;
+    ExpectInferMatchesForward(&relu, x);
+    nn::SigmoidLayer sigmoid;
+    ExpectInferMatchesForward(&sigmoid, x);
+  }
+}
+
+TEST(InferenceTest, TabularHeadBitwiseMatchesTape) {
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Two softmax blocks with a sigmoid gap between them.
+    const size_t w1 = 2 + rng.UniformInt(4);
+    const size_t gap = 1 + rng.UniformInt(3);
+    const size_t w2 = 2 + rng.UniformInt(5);
+    const size_t cols = w1 + gap + w2 + 1;
+    std::vector<std::pair<size_t, size_t>> blocks = {{0, w1},
+                                                     {w1 + gap, w2}};
+    nn::TabularHeadLayer head(blocks);
+    Matrix x = RandomBatch(1 + rng.UniformInt(32), cols, &rng);
+    ExpectInferMatchesForward(&head, x);
+  }
+}
+
+TEST(InferenceTest, DropoutEvalIsIdentityWithoutCopy) {
+  Rng rng(104);
+  nn::Dropout dropout(0.5f, &rng);
+  dropout.SetTraining(false);
+  Matrix x = RandomBatch(8, 5, &rng);
+  nn::InferWorkspace ws;
+  const Matrix& out = dropout.Infer(x, &ws);
+  EXPECT_EQ(&out, &x);  // Identity: the input itself, no workspace slot.
+  EXPECT_EQ(ws.slots(), 0u);
+}
+
+TEST(InferenceTest, DropoutTrainingKeepsRngStreamParity) {
+  // Two dropout layers built from identical RNG states: driving one through
+  // Forward and the other through Infer must draw identical masks.
+  Rng rng_a(77), rng_b(77);
+  nn::Dropout via_forward(0.4f, &rng_a);
+  nn::Dropout via_infer(0.4f, &rng_b);
+  via_forward.SetTraining(true);
+  via_infer.SetTraining(true);
+
+  Rng data_rng(78);
+  for (int step = 0; step < 5; ++step) {
+    Matrix x = RandomBatch(6, 7, &data_rng);
+    ag::Var tape = via_forward.Forward(ag::Constant(x));
+    nn::InferWorkspace ws;
+    const Matrix& infer = via_infer.Infer(x, &ws);
+    EXPECT_TRUE(BitwiseEqual(tape->value, infer));
+  }
+}
+
+nn::Sequential BuildStack(size_t in, size_t out, Rng* rng) {
+  nn::Sequential net;
+  net.Add(std::make_unique<nn::Linear>(in, 24, rng));
+  net.Add(std::make_unique<nn::ReluLayer>());
+  net.Add(std::make_unique<nn::Dropout>(0.3f, rng));
+  net.Add(std::make_unique<nn::Linear>(24, 16, rng));
+  net.Add(std::make_unique<nn::SigmoidLayer>());
+  net.Add(std::make_unique<nn::Linear>(16, out, rng,
+                                       nn::Init::kXavierUniform));
+  net.Add(std::make_unique<nn::TabularHeadLayer>(
+      std::vector<std::pair<size_t, size_t>>{{0, 3}}));
+  net.SetTraining(false);
+  return net;
+}
+
+TEST(InferenceTest, StackedSequentialBitwiseMatchesTape) {
+  Rng rng(105);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t in = 4 + rng.UniformInt(20);
+    const size_t out = 4 + rng.UniformInt(8);
+    nn::Sequential net = BuildStack(in, out, &rng);
+    Matrix x = RandomBatch(1 + rng.UniformInt(128), in, &rng);
+    ExpectInferMatchesForward(&net, x);
+  }
+}
+
+TEST(InferenceTest, PooledAndSerialExecutionAreBitwiseIdentical) {
+  // The determinism contract: kernel chunking depends only on (range,
+  // grain), never on worker count, so the pool (CFX_THREADS=4 here) and a
+  // forced-serial run must agree bit for bit.
+  Rng rng(106);
+  nn::Sequential net = BuildStack(12, 6, &rng);
+  Matrix x = RandomBatch(200, 12, &rng);
+
+  nn::InferWorkspace pooled_ws;
+  Matrix pooled = net.Infer(x, &pooled_ws);
+
+  Matrix serial;
+  {
+    ThreadPool::ScopedSerial serial_mode;
+    nn::InferWorkspace serial_ws;
+    serial = net.Infer(x, &serial_ws);
+  }
+  EXPECT_TRUE(BitwiseEqual(pooled, serial));
+}
+
+TEST(InferenceTest, WorkspaceReusesSlotsAcrossBatches) {
+  Rng rng(107);
+  nn::Sequential net = BuildStack(10, 5, &rng);
+  nn::InferWorkspace ws;
+
+  net.Infer(RandomBatch(32, 10, &rng), &ws);
+  const size_t slots_after_first = ws.slots();
+  EXPECT_GT(slots_after_first, 0u);
+
+  // Same shape: the arena must not grow. Different shape: slots are
+  // recycled in place, still no new slots.
+  for (int step = 0; step < 8; ++step) {
+    ws.Reset();
+    Matrix x = RandomBatch(step % 2 == 0 ? 32 : 48, 10, &rng);
+    ag::Var tape = net.Forward(ag::Constant(x));
+    const Matrix& out = net.Infer(x, &ws);
+    // (Forward ran between Reset and Infer — they must not interfere.)
+    EXPECT_TRUE(BitwiseEqual(tape->value, out));
+    EXPECT_EQ(ws.slots(), slots_after_first);
+  }
+}
+
+TEST(InferenceTest, DefaultInferFallsBackToForward) {
+  // A module without an Infer override must still satisfy the contract via
+  // the default Forward-backed implementation.
+  class Doubler : public nn::Module {
+   public:
+    ag::Var Forward(const ag::Var& x) override {
+      return ag::Scale(x, 2.0f);
+    }
+  };
+  Doubler layer;
+  Rng rng(108);
+  Matrix x = RandomBatch(9, 4, &rng);
+  ExpectInferMatchesForward(&layer, x);
+}
+
+TEST(InferenceTest, ClassifierLogitsMatchTapePath) {
+  Rng rng(109);
+  ClassifierConfig config;
+  BlackBoxClassifier classifier(14, config, &rng);
+  Matrix x = RandomBatch(64, 14, &rng);
+
+  ag::Var tape = classifier.LogitsVar(ag::Constant(x));
+  Matrix infer = classifier.Logits(x);
+  EXPECT_TRUE(BitwiseEqual(tape->value, infer));
+
+  std::vector<int> pred = classifier.Predict(x);
+  std::vector<float> proba = classifier.PredictProba(x);
+  ASSERT_EQ(pred.size(), x.rows());
+  ASSERT_EQ(proba.size(), x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    EXPECT_EQ(pred[r], tape->value.at(r, 0) > 0.0f ? 1 : 0);
+    EXPECT_FLOAT_EQ(proba[r],
+                    1.0f / (1.0f + std::exp(-tape->value.at(r, 0))));
+  }
+}
+
+TEST(InferenceTest, ClassifierPredictionsAreBatchCompositionInvariant) {
+  // The generator's training-loop dedup gathers full-split predictions into
+  // per-batch labels; that is only sound if a row's logit does not depend
+  // on which rows share its batch.
+  Rng rng(110);
+  ClassifierConfig config;
+  BlackBoxClassifier classifier(10, config, &rng);
+  Matrix x = RandomBatch(50, 10, &rng);
+  Matrix full_logits = classifier.Logits(x);
+  for (size_t start = 0; start < 50; start += 17) {
+    const size_t end = std::min<size_t>(start + 17, 50);
+    Matrix slice_logits = classifier.Logits(x.SliceRows(start, end));
+    for (size_t r = start; r < end; ++r) {
+      EXPECT_EQ(std::memcmp(&full_logits.at(r, 0),
+                            &slice_logits.at(r - start, 0), sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(InferenceTest, VaeEncodeDecodeReconstructMatchTape) {
+  Rng rng(111);
+  VaeConfig config;
+  config.input_dim = 12;
+  config.latent_dim = 4;
+  config.softmax_blocks = {{0, 3}, {5, 4}};
+  Vae vae(config, &rng);
+  vae.SetTraining(false);
+
+  Rng data_rng(112);
+  Matrix x = RandomBatch(33, 12, &data_rng);
+  Matrix cond(33, 1);
+  for (size_t r = 0; r < 33; ++r) cond.at(r, 0) = (r % 2 == 0) ? 1.0f : -1.0f;
+
+  Rng unused_noise(1);
+  Vae::Output tape =
+      vae.Forward(ag::Constant(x), cond, &unused_noise, /*sample=*/false);
+
+  auto [mu, logvar] = vae.Encode(x, cond);
+  EXPECT_TRUE(BitwiseEqual(tape.mu->value, mu));
+  EXPECT_TRUE(BitwiseEqual(tape.logvar->value, logvar));
+
+  Matrix recon = vae.Reconstruct(x, cond);
+  EXPECT_TRUE(BitwiseEqual(tape.x_hat->value, recon));
+
+  Matrix decoded = vae.Decode(mu, cond);
+  ag::Var decoded_tape = vae.DecodeVar(ag::Constant(mu), cond);
+  EXPECT_TRUE(BitwiseEqual(decoded_tape->value, decoded));
+}
+
+}  // namespace
+}  // namespace cfx

@@ -5,11 +5,12 @@
 #
 # Jobs:
 #   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite,
-#                       then a perf_tsne bench smoke (minimal iterations) so
-#                       the kernel/t-SNE perf paths stay compiling and
-#                       exercised.
+#                       then bench smokes (perf_tsne + perf_inference,
+#                       minimal iterations) and a pipeline-bundle round-trip
+#                       smoke so the kernel, inference and artifact paths
+#                       stay compiling and exercised.
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
-#                       ctest + the same bench smoke under the sanitizers.
+#                       ctest + the same smokes under the sanitizers.
 #
 # Both run the tier-1 suite under CFX_THREADS=4 so the pooled execution
 # paths are exercised regardless of the host's core count.
@@ -36,14 +37,34 @@ bench_smoke() {
     --benchmark_min_time=0.01 \
     --benchmark_out="$build_dir/bench_smoke_perf_tsne.json" \
     --benchmark_out_format=json
+
+  # Tape vs tape-free Predict (the pair is asserted bitwise identical inside
+  # the benchmark before timing) plus bundle save/load. Run from inside the
+  # build tree: the bundle arms write a scratch .cfxb in the CWD.
+  (cd "$build_dir" && CFX_THREADS=4 ./bench/perf_inference \
+    --benchmark_filter='BM_Predict(Tape|Infer)/64$|BM_Bundle(Save|Load)' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=bench_smoke_perf_inference.json \
+    --benchmark_out_format=json)
+}
+
+# Pipeline-bundle round trip: train a tiny generator, save the versioned
+# bundle, cold-start from it and require bit-identical counterfactuals
+# (the example exits non-zero on any mismatch).
+bundle_smoke() {
+  local build_dir="$1"
+  (cd "$build_dir" && CFX_THREADS=4 CFX_SCALE=small CFX_GEN_EPOCHS=2 \
+    ./examples/save_restore_generator)
 }
 
 echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
 CFX_THREADS=4 ctest --preset ci -j "$jobs"
-echo "==> [1/2] bench smoke (perf_tsne, minimal iterations)"
+echo "==> [1/2] bench smoke (perf_tsne + perf_inference, minimal iterations)"
 bench_smoke build-ci
+echo "==> [1/2] bundle round-trip smoke"
+bundle_smoke build-ci
 
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "==> [2/2] ASan/UBSan build"
@@ -52,6 +73,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   CFX_THREADS=4 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j "$jobs"
   echo "==> [2/2] bench smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 bench_smoke build-asan
+  echo "==> [2/2] bundle round-trip smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 bundle_smoke build-asan
 else
   echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
 fi
