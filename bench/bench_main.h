@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 
 #define CFX_BENCHMARK_MAIN(name)                                             \
   int main(int argc, char** argv) {                                          \
@@ -40,6 +42,12 @@
     }                                                                        \
     benchmark::RunSpecifiedBenchmarks();                                     \
     benchmark::Shutdown();                                                   \
+    /* Explicit snapshot (the atexit hook also fires, but this surfaces */   \
+    /* write errors while the bench can still report them). */               \
+    if (!cfx::metrics::ExportIfEnabled().ok() ||                             \
+        !cfx::trace::ExportIfEnabled().ok()) {                               \
+      return 1;                                                              \
+    }                                                                        \
     return 0;                                                                \
   }
 

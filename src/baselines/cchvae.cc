@@ -27,7 +27,7 @@ Status CchvaeMethod::Fit(const Matrix& x_train,
   return Status::OK();
 }
 
-CfResult CchvaeMethod::Generate(const Matrix& x) {
+CfResult CchvaeMethod::GenerateImpl(const Matrix& x) {
   if (vae_ == nullptr) return FinishResult(x, x);
 
   std::vector<int> desired = DesiredClasses(x);

@@ -33,7 +33,7 @@ class CchvaeMethod : public CfMethod {
 
   std::string name() const override { return "C-CHVAE [13]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   CchvaeConfig config_;

@@ -18,7 +18,7 @@ Status CemMethod::Fit(const Matrix& x_train, const std::vector<int>& labels) {
   return Status::OK();
 }
 
-CfResult CemMethod::Generate(const Matrix& x) {
+CfResult CemMethod::GenerateImpl(const Matrix& x) {
   std::vector<int> desired = DesiredClasses(x);
   Matrix desired_pm1(x.rows(), 1);
   for (size_t r = 0; r < x.rows(); ++r) {

@@ -33,7 +33,7 @@ class CemMethod : public CfMethod {
 
   std::string name() const override { return "CEM [10]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   CemConfig config_;

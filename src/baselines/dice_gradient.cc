@@ -20,7 +20,7 @@ Status DiceGradientMethod::Fit(const Matrix& x_train,
   return Status::OK();
 }
 
-CfResult DiceGradientMethod::Generate(const Matrix& x) {
+CfResult DiceGradientMethod::GenerateImpl(const Matrix& x) {
   const size_t n = x.rows();
   const size_t d = x.cols();
   const size_t k = std::max<size_t>(config_.k, 1);

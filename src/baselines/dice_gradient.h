@@ -40,7 +40,7 @@ class DiceGradientMethod : public CfMethod {
 
   std::string name() const override { return "DiCE gradient [11]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
   /// The k projected candidates of input row `r` from the last Generate
   /// call (row-major, k x d), with their validity flags.

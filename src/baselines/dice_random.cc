@@ -51,7 +51,7 @@ void DiceRandomMethod::MutateRow(const Matrix& x, size_t r, size_t width,
   }
 }
 
-CfResult DiceRandomMethod::Generate(const Matrix& x) {
+CfResult DiceRandomMethod::GenerateImpl(const Matrix& x) {
   std::vector<int> desired = DesiredClasses(x);
   Matrix result = x;
 

@@ -30,7 +30,7 @@ class DiceRandomMethod : public CfMethod {
 
   std::string name() const override { return "DiCE random [11]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   /// Applies a random mutation of `width` features to row `r` of `x`,

@@ -118,7 +118,7 @@ std::vector<float> FaceMethod::ShortestPaths(size_t source) const {
   return cost;
 }
 
-CfResult FaceMethod::Generate(const Matrix& x) {
+CfResult FaceMethod::GenerateImpl(const Matrix& x) {
   if (nodes_.rows() == 0) return FinishResult(x, x);
   std::vector<int> desired = DesiredClasses(x);
   Matrix result = x;

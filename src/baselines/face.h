@@ -36,7 +36,7 @@ class FaceMethod : public CfMethod {
 
   std::string name() const override { return "FACE [19]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   /// Dijkstra from node `source`; returns per-node path costs.

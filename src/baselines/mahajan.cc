@@ -37,7 +37,7 @@ Status MahajanMethod::Fit(const Matrix& x_train,
   return generator_->Fit(x_train, labels);
 }
 
-CfResult MahajanMethod::Generate(const Matrix& x) {
+CfResult MahajanMethod::GenerateImpl(const Matrix& x) {
   return generator_->Generate(x);
 }
 

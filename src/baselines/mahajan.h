@@ -21,7 +21,7 @@ class MahajanMethod : public CfMethod {
 
   std::string name() const override;
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   ConstraintMode mode_;

@@ -1,7 +1,11 @@
 #include "src/baselines/method.h"
 
-#include <cassert>
+#include <cstdlib>
 #include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace cfx {
 namespace {
@@ -30,19 +34,60 @@ bool SameBatch(const Matrix& a, const Matrix& b) {
 
 }  // namespace
 
+PredictionCache::PredictionCache(BlackBoxClassifier* classifier, HashFn hash)
+    : classifier_(classifier), hash_(hash != nullptr ? hash : &HashBatch) {}
+
 const std::vector<int>& PredictionCache::Predict(const Matrix& x) {
-  // Memoising an unfrozen model would serve stale labels after training.
-  assert(classifier_->frozen());
-  std::vector<Entry>& bucket = entries_[HashBatch(x)];
+  // Memoising an unfrozen model would serve stale labels after training;
+  // this must hold in release builds too, so no assert.
+  if (!classifier_->frozen()) {
+    CFX_LOG(Error) << "PredictionCache::Predict called on an unfrozen "
+                      "classifier; freeze the model before caching";
+    std::abort();
+  }
+  static metrics::Counter* hit_count = metrics::GetCounter("predcache.hits");
+  static metrics::Counter* miss_count =
+      metrics::GetCounter("predcache.misses");
+  static metrics::Gauge* hit_rate = metrics::GetGauge("predcache.hit_rate");
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto update_rate = [&] {
+    if (hit_rate != nullptr) {
+      hit_rate->Set(static_cast<double>(hits_) /
+                    static_cast<double>(hits_ + misses_));
+    }
+  };
+  std::deque<Entry>& bucket = entries_[hash_(x)];
   for (Entry& entry : bucket) {
     if (SameBatch(entry.x, x)) {
       ++hits_;
+      if (hit_count != nullptr) hit_count->Add(1);
+      update_rate();
       return entry.pred;
     }
   }
   ++misses_;
+  if (miss_count != nullptr) miss_count->Add(1);
+  update_rate();
   bucket.push_back(Entry{x, classifier_->Predict(x)});
   return bucket.back().pred;
+}
+
+size_t PredictionCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t PredictionCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+CfResult CfMethod::Generate(const Matrix& x) {
+  trace::ScopedSpan span(trace::SpansActive()
+                             ? "method/" + name() + "/generate"
+                             : std::string());
+  return GenerateImpl(x);
 }
 
 std::vector<int> CfMethod::Predictions(const Matrix& x) const {

@@ -5,7 +5,9 @@
 #define CFX_BASELINES_METHOD_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,14 +30,27 @@ namespace cfx {
 /// classifier is frozen — an unfrozen model may still change.
 class PredictionCache {
  public:
-  explicit PredictionCache(BlackBoxClassifier* classifier)
-      : classifier_(classifier) {}
+  /// Batch-hash hook. The default is FNV-1a over shape and bytes; tests
+  /// inject a degenerate hash to force every batch into one bucket.
+  using HashFn = uint64_t (*)(const Matrix&);
+
+  explicit PredictionCache(BlackBoxClassifier* classifier,
+                           HashFn hash = nullptr);
 
   /// Predictions for `x`, computed at most once per distinct batch.
+  ///
+  /// The returned reference stays valid for the cache's lifetime: entries
+  /// live in per-bucket deques (which never relocate elements on growth)
+  /// and are never evicted, so callers may hold it across later inserts.
+  /// Thread-safe under ParallelFor — an internal mutex covers lookup,
+  /// insert and the classifier call itself; the classifier's inference
+  /// workspace is single-threaded state, so concurrent predictions must be
+  /// serialised anyway. Aborts if the classifier is not frozen (memoising
+  /// a still-training model would serve stale labels).
   const std::vector<int>& Predict(const Matrix& x);
 
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  size_t hits() const;
+  size_t misses() const;
 
  private:
   struct Entry {
@@ -44,7 +59,11 @@ class PredictionCache {
   };
 
   BlackBoxClassifier* classifier_;
-  std::unordered_map<uint64_t, std::vector<Entry>> entries_;
+  HashFn hash_;
+  mutable std::mutex mu_;
+  /// Deque per bucket, not vector: push_back must not move existing
+  /// entries while callers hold references into their `pred` vectors.
+  std::unordered_map<uint64_t, std::deque<Entry>> entries_;
   size_t hits_ = 0;
   size_t misses_ = 0;
 };
@@ -75,13 +94,17 @@ class CfMethod {
                      const std::vector<int>& labels) = 0;
 
   /// Generates one counterfactual per row of `x`. The desired class of each
-  /// row is the opposite of the black box's prediction on it.
-  virtual CfResult Generate(const Matrix& x) = 0;
+  /// row is the opposite of the black box's prediction on it. Wraps the
+  /// method-specific GenerateImpl in a "method/<name>/generate" trace span.
+  CfResult Generate(const Matrix& x);
 
   /// The experiment context this method runs against.
   const MethodContext& context() const { return ctx_; }
 
  protected:
+  /// Method-specific generation; called via Generate().
+  virtual CfResult GenerateImpl(const Matrix& x) = 0;
+
   /// Fills the shared CfResult bookkeeping: desired classes from the
   /// classifier's predictions on `x`, predictions on the projected CFs, and
   /// the projected/raw CF matrices.

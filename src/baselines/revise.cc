@@ -23,7 +23,7 @@ Status ReviseMethod::Fit(const Matrix& x_train,
   return Status::OK();
 }
 
-CfResult ReviseMethod::Generate(const Matrix& x) {
+CfResult ReviseMethod::GenerateImpl(const Matrix& x) {
   if (vae_ == nullptr) {
     // Not fitted: degrade to the identity "counterfactual".
     return FinishResult(x, x);

@@ -31,7 +31,7 @@ class ReviseMethod : public CfMethod {
 
   std::string name() const override { return "REVISE [12]"; }
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
  private:
   ReviseConfig config_;

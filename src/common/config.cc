@@ -1,19 +1,60 @@
 #include "src/common/config.h"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 
 namespace cfx {
 
+namespace {
+
+/// Strict base-10 unsigned parse of the whole string. Rejects empty input,
+/// signs, trailing junk ("10k") and out-of-range values — strtoull alone
+/// would silently accept all of those.
+bool ParseUint64(const char* s, uint64_t* out) {
+  // strtoull skips leading whitespace and accepts signs; require the value
+  // to start with a digit so those are rejected too.
+  if (s == nullptr || *s < '0' || *s > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseScaleName(const std::string& name, Scale* out) {
+  const std::string lower = ToLower(name);
+  if (lower == "paper") {
+    *out = Scale::kPaper;
+    return true;
+  }
+  if (lower == "small") {
+    *out = Scale::kSmall;
+    return true;
+  }
+  return false;
+}
+
 Scale ParseScale(const std::string& name) {
-  return ToLower(name) == "paper" ? Scale::kPaper : Scale::kSmall;
+  Scale scale = Scale::kSmall;
+  (void)ParseScaleName(name, &scale);
+  return scale;
 }
 
 Scale ScaleFromEnv() {
   const char* env = std::getenv("CFX_SCALE");
   if (env == nullptr) return Scale::kSmall;
-  return ParseScale(env);
+  Scale scale = Scale::kSmall;
+  if (!ParseScaleName(env, &scale)) {
+    CFX_LOG(Warning) << "CFX_SCALE='" << env
+                     << "' is not \"small\" or \"paper\"; using small";
+  }
+  return scale;
 }
 
 const char* ScaleName(Scale scale) {
@@ -24,10 +65,26 @@ RunConfig RunConfig::FromEnv() {
   RunConfig cfg;
   cfg.scale = ScaleFromEnv();
   if (const char* seed = std::getenv("CFX_SEED")) {
-    cfg.seed = std::strtoull(seed, nullptr, 10);
+    uint64_t value = 0;
+    if (ParseUint64(seed, &value)) {
+      cfg.seed = value;
+    } else {
+      CFX_LOG(Warning) << "CFX_SEED='" << seed
+                       << "' is not a base-10 unsigned integer; keeping "
+                          "default "
+                       << cfg.seed;
+    }
   }
   if (const char* n = std::getenv("CFX_EVAL_N")) {
-    cfg.eval_instances = std::strtoull(n, nullptr, 10);
+    uint64_t value = 0;
+    if (ParseUint64(n, &value) && value >= 1) {
+      cfg.eval_instances = static_cast<size_t>(value);
+    } else {
+      CFX_LOG(Warning) << "CFX_EVAL_N='" << n
+                       << "' is not a positive base-10 integer; keeping "
+                          "default "
+                       << cfg.eval_instances;
+    }
   }
   return cfg;
 }

@@ -25,6 +25,10 @@ Scale ScaleFromEnv();
 /// Parses a scale name; returns kSmall for anything unrecognised.
 Scale ParseScale(const std::string& name);
 
+/// Strict variant: sets *out and returns true only when `name` is exactly
+/// "small" or "paper" (case-insensitive).
+bool ParseScaleName(const std::string& name, Scale* out);
+
 /// Canonical name of a scale value.
 const char* ScaleName(Scale scale);
 

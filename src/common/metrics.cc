@@ -1,0 +1,255 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace metrics {
+
+namespace {
+
+std::atomic<int> g_forced{-1};  // -1: follow env; 0/1: test override
+
+/// CAS add — std::atomic<double>::fetch_add is C++20-optional on some
+/// toolchains, so stay on compare_exchange.
+void AtomicAdd(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+bool TruthyEnv(const char* value) {
+  if (value == nullptr) return false;
+  const std::string v = ToLower(value);
+  return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const bool on = TruthyEnv(std::getenv("CFX_METRICS"));
+    if (on) {
+      // Snapshot on clean exit so every instrumented binary leaves a
+      // metrics.json behind without per-binary wiring. The registry is
+      // leaked, so the hook never races static destruction.
+      std::atexit([] { (void)ExportIfEnabled(); });
+    }
+    return on;
+  }();
+  return enabled;
+}
+
+/// Upper bound of bucket i.
+double BucketBound(size_t i) {
+  return Histogram::kMinBound *
+         std::exp2(static_cast<double>(i) / 8.0);
+}
+
+size_t BucketIndex(double v) {
+  if (!(v > Histogram::kMinBound)) return 0;  // also catches NaN
+  const double pos = 8.0 * std::log2(v / Histogram::kMinBound);
+  const double idx = std::ceil(pos);
+  if (idx >= static_cast<double>(Histogram::kNumBuckets)) {
+    return Histogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::string s = StrFormat("%.12g", v);
+  // Bare JSON numbers must not be "inf"/"nan"; %g never emits them after
+  // the isfinite guard above.
+  return s;
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return EnvEnabled();
+}
+
+void internal::ForceEnabledForTest(int enabled) {
+  g_forced.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Record(double v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, v);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower = i == 0 ? 0.0 : BucketBound(i - 1);
+      const double upper = BucketBound(i);
+      const double frac =
+          std::clamp((target - before) / static_cast<double>(counts[i]),
+                     0.0, 1.0);
+      const double estimate = lower + (upper - lower) * frac;
+      // The exact extremes are known; clamping makes degenerate (single
+      // value, single bucket) histograms exact.
+      return std::clamp(estimate, min(), max());
+    }
+  }
+  return max();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat("    \"%s\": %llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat("    \"%s\": %s", JsonEscape(name).c_str(),
+                     JsonNumber(g->value()).c_str());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat(
+        "    \"%s\": {\"count\": %llu, \"sum\": %s, \"min\": %s, "
+        "\"max\": %s, \"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+        JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h->count()),
+        JsonNumber(h->sum()).c_str(), JsonNumber(h->min()).c_str(),
+        JsonNumber(h->max()).c_str(), JsonNumber(h->mean()).c_str(),
+        JsonNumber(h->Quantile(0.50)).c_str(),
+        JsonNumber(h->Quantile(0.95)).c_str(),
+        JsonNumber(h->Quantile(0.99)).c_str());
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << ToJson();
+  return out.good() ? Status::OK()
+                    : Status::Internal("write error on '" + path + "'");
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instruments may be touched from static destructors
+  // and the atexit snapshot hook.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* GetCounter(const std::string& name) {
+  if (!Enabled()) return nullptr;
+  return MetricsRegistry::Global().counter(name);
+}
+
+Gauge* GetGauge(const std::string& name) {
+  if (!Enabled()) return nullptr;
+  return MetricsRegistry::Global().gauge(name);
+}
+
+Histogram* GetHistogram(const std::string& name) {
+  if (!Enabled()) return nullptr;
+  return MetricsRegistry::Global().histogram(name);
+}
+
+std::string DefaultExportPath() {
+  const char* env = std::getenv("CFX_METRICS");
+  if (env != nullptr) {
+    const std::string value = env;
+    if (value.size() > 5 && value.rfind(".json") == value.size() - 5) {
+      return value;
+    }
+  }
+  return "metrics.json";
+}
+
+Status ExportIfEnabled() {
+  if (!Enabled()) return Status::OK();
+  return MetricsRegistry::Global().WriteJson(DefaultExportPath());
+}
+
+}  // namespace metrics
+}  // namespace cfx

@@ -1,0 +1,152 @@
+// Process-wide runtime metrics: monotonic counters, gauges and latency
+// histograms with quantile snapshots.
+//
+// Design notes:
+//  * Gated by the CFX_METRICS environment variable, latched on first use.
+//    When disabled, GetCounter/GetGauge/GetHistogram return nullptr so an
+//    instrumentation site costs one pointer load and branch:
+//
+//      static metrics::Counter* calls = metrics::GetCounter("matmul.calls");
+//      if (calls != nullptr) calls->Add(1);
+//
+//    Call sites cache the handle in a function-local static — the registry
+//    map is consulted once per site, never per event.
+//  * Lock-cheap and CFX_THREADS-safe: registry lookups take a mutex (rare,
+//    amortised by the static caching above); the event paths — Counter::Add,
+//    Gauge::Set, Histogram::Record — are relaxed atomics only, safe from
+//    inside any ParallelFor body.
+//  * Histograms bucket values on an exponential grid (2^(1/8) growth, so a
+//    quantile estimate is within ~9% of the true value) and additionally
+//    track exact count/sum/min/max. Values are unit-agnostic doubles; span
+//    timings record seconds.
+//  * When CFX_METRICS enabled a process-exit hook snapshots the global
+//    registry to metrics.json (or to $CFX_METRICS itself when the value
+//    ends in ".json"); ExportIfEnabled() writes the same snapshot on
+//    demand, e.g. from a bench main before shutdown.
+#ifndef CFX_COMMON_METRICS_H_
+#define CFX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace cfx {
+namespace metrics {
+
+/// True when CFX_METRICS enables collection (any value other than empty,
+/// "0", "false", "off" or "no", case-insensitive). Latched from the
+/// environment on first call; test code can override via
+/// internal::ForceEnabledForTest.
+bool Enabled();
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Concurrent latency/value histogram on an exponential bucket grid.
+class Histogram {
+ public:
+  /// Bucket i covers (kMinBound * 2^((i-1)/8), kMinBound * 2^(i/8)];
+  /// bucket 0 additionally absorbs everything <= kMinBound (including
+  /// zero and negatives). 400 buckets reach from 1e-9 up to ~1.1e6.
+  static constexpr size_t kNumBuckets = 400;
+  static constexpr double kMinBound = 1e-9;
+
+  void Record(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  /// Quantile estimate for q in [0, 1] by linear interpolation inside the
+  /// owning bucket, clamped to the observed [min, max]. Exact for
+  /// single-valued histograms, within one bucket's relative width (~9%)
+  /// otherwise. Returns 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Named instrument registry. Instruments are created on first request and
+/// live as long as the registry; returned pointers are stable.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// JSON snapshot:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count": .., "sum": .., "min": .., "max": ..,
+  ///                            "mean": .., "p50": .., "p95": .., "p99": ..}}}
+  /// Maps are name-sorted, so snapshots of the same state are byte-stable.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+  /// The process-wide registry (leaked on purpose so exit hooks and static
+  /// destructors can still record/read).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Global-registry instrument handles; nullptr when collection is disabled.
+/// Cache the result in a function-local static at the instrumentation site.
+Counter* GetCounter(const std::string& name);
+Gauge* GetGauge(const std::string& name);
+Histogram* GetHistogram(const std::string& name);
+
+/// Where ExportIfEnabled and the exit hook write the snapshot: $CFX_METRICS
+/// when its value ends in ".json", else "metrics.json" in the CWD.
+std::string DefaultExportPath();
+
+/// Snapshots the global registry to DefaultExportPath(). OK no-op when
+/// collection is disabled.
+Status ExportIfEnabled();
+
+namespace internal {
+/// Test hook: overrides the latched enabled state (no exit hook is
+/// registered either way). Pass -1 to restore the environment latch.
+void ForceEnabledForTest(int enabled);
+}  // namespace internal
+
+}  // namespace metrics
+}  // namespace cfx
+
+#endif  // CFX_COMMON_METRICS_H_

@@ -29,6 +29,10 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace cfx
 
 #endif  // CFX_COMMON_STRING_UTIL_H_

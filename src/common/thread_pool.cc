@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/common/metrics.h"
+
 namespace cfx {
 
 namespace {
@@ -28,6 +30,9 @@ struct ThreadPool::LoopState {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
   std::atomic<int> refs{0};
+  /// Threads (caller or worker) that executed at least one chunk; feeds the
+  /// threadpool.loop.utilization histogram.
+  std::atomic<int> participants{0};
 
   std::mutex done_mu;
   std::condition_variable done_cv;
@@ -98,6 +103,7 @@ void ThreadPool::WorkerMain() {
 }
 
 void ThreadPool::DrainLoop(LoopState* loop) {
+  size_t executed = 0;
   while (true) {
     const size_t chunk = loop->next_chunk.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= loop->total_chunks) break;
@@ -109,7 +115,16 @@ void ThreadPool::DrainLoop(LoopState* loop) {
       std::lock_guard<std::mutex> lock(loop->error_mu);
       if (!loop->error) loop->error = std::current_exception();
     }
+    ++executed;
     loop->done_chunks.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (executed > 0) {
+    loop->participants.fetch_add(1, std::memory_order_relaxed);
+    // "Steals": chunks a pool worker pulled off a loop some other thread
+    // submitted, as opposed to chunks the submitting thread ran itself.
+    static metrics::Counter* steals =
+        metrics::GetCounter("threadpool.steals");
+    if (steals != nullptr && tls_in_worker) steals->Add(executed);
   }
   const int remaining = loop->refs.fetch_sub(1, std::memory_order_acq_rel) - 1;
   if (remaining == 0 &&
@@ -130,6 +145,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // nested call from inside a worker, or a forced-serial scope — run inline
   // with no synchronisation.
   if (threads_ == 1 || range <= g || InWorker() || ScopedSerial::active()) {
+    static metrics::Counter* inline_loops =
+        metrics::GetCounter("threadpool.inline_loops");
+    if (inline_loops != nullptr) inline_loops->Add(1);
     body(begin, end);
     return;
   }
@@ -153,6 +171,10 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     ++loop_gen_;
     loop.refs.fetch_add(1, std::memory_order_relaxed);  // the caller's ref
   }
+  static metrics::Counter* loops = metrics::GetCounter("threadpool.loops");
+  static metrics::Counter* chunks = metrics::GetCounter("threadpool.chunks");
+  if (loops != nullptr) loops->Add(1);
+  if (chunks != nullptr) chunks->Add(loop.total_chunks);
   wake_.notify_all();
 
   DrainLoop(&loop);
@@ -170,6 +192,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
              loop.done_chunks.load(std::memory_order_acquire) ==
                  loop.total_chunks;
     });
+  }
+  static metrics::Histogram* utilization =
+      metrics::GetHistogram("threadpool.loop.utilization");
+  if (utilization != nullptr) {
+    utilization->Record(
+        static_cast<double>(loop.participants.load(std::memory_order_relaxed)) /
+        static_cast<double>(threads_));
   }
   if (loop.error) std::rethrow_exception(loop.error);
 }

@@ -1,0 +1,183 @@
+#include "src/common/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace trace {
+
+namespace {
+
+/// Hard cap on buffered events (~100 MB worst case at long names; tens of
+/// MB in practice). Overflow increments a counter instead of growing.
+constexpr size_t kMaxEvents = size_t{1} << 20;
+
+struct Event {
+  std::string name;
+  double ts_us;   // microseconds since the process anchor
+  double dur_us;  // span duration in microseconds
+  int tid;        // small dense thread id, assigned on first span per thread
+};
+
+struct EventBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  std::atomic<uint64_t> dropped{0};
+};
+
+EventBuffer& Buffer() {
+  // Leaked on purpose: spans may close during static destruction.
+  static EventBuffer* buffer = new EventBuffer();
+  return *buffer;
+}
+
+std::atomic<int> g_forced{-1};
+
+bool TruthyEnv(const char* value) {
+  if (value == nullptr) return false;
+  const std::string v = ToLower(value);
+  return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+bool EnvEnabled() {
+  static const bool enabled = [] {
+    const bool on = TruthyEnv(std::getenv("CFX_TRACE"));
+    if (on) {
+      std::atexit([] { (void)ExportIfEnabled(); });
+    }
+    return on;
+  }();
+  return enabled;
+}
+
+std::chrono::steady_clock::time_point Anchor() {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point from,
+                   std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+bool Enabled() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  return EnvEnabled();
+}
+
+bool SpansActive() { return Enabled() || metrics::Enabled(); }
+
+void internal::ForceEnabledForTest(int enabled) {
+  g_forced.store(enabled, std::memory_order_relaxed);
+}
+
+void internal::ClearForTest() {
+  EventBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.clear();
+  buffer.dropped.store(0, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string name) {
+  if (name.empty() || !SpansActive()) return;
+  active_ = true;
+  name_ = std::move(name);
+  // Latch the process anchor no later than the first span's start so no
+  // emitted event carries a negative timestamp.
+  (void)Anchor();
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : ScopedSpan(std::string(name == nullptr ? "" : name)) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  if (Enabled()) {
+    EventBuffer& buffer = Buffer();
+    Event event;
+    event.ts_us = MicrosSince(Anchor(), start_);
+    event.dur_us = MicrosSince(start_, end);
+    event.tid = ThreadId();
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    if (buffer.events.size() < kMaxEvents) {
+      event.name = name_;
+      buffer.events.push_back(std::move(event));
+    } else {
+      buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (metrics::Enabled()) {
+    metrics::Histogram* h = metrics::MetricsRegistry::Global().histogram(name_);
+    h->Record(std::chrono::duration<double>(end - start_).count());
+  }
+}
+
+size_t EventCount() {
+  EventBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.events.size();
+}
+
+uint64_t DroppedEventCount() {
+  return Buffer().dropped.load(std::memory_order_relaxed);
+}
+
+Status WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  EventBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  out << "{\n  \"traceEvents\": [";
+  for (size_t i = 0; i < buffer.events.size(); ++i) {
+    const Event& e = buffer.events[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << StrFormat(
+        "    {\"name\": \"%s\", \"cat\": \"cfx\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+        JsonEscape(e.name).c_str(), e.ts_us, e.dur_us, e.tid);
+  }
+  out << (buffer.events.empty() ? "]" : "\n  ]");
+  out << ",\n  \"displayTimeUnit\": \"ms\",\n";
+  out << StrFormat("  \"otherData\": {\"dropped_events\": \"%llu\"}\n",
+                   static_cast<unsigned long long>(
+                       buffer.dropped.load(std::memory_order_relaxed)));
+  out << "}\n";
+  return out.good() ? Status::OK()
+                    : Status::Internal("write error on '" + path + "'");
+}
+
+std::string DefaultExportPath() {
+  const char* env = std::getenv("CFX_TRACE");
+  if (env != nullptr) {
+    const std::string value = env;
+    if (value.size() > 5 && value.rfind(".json") == value.size() - 5) {
+      return value;
+    }
+  }
+  return "trace.json";
+}
+
+Status ExportIfEnabled() {
+  if (!Enabled()) return Status::OK();
+  return WriteJson(DefaultExportPath());
+}
+
+}  // namespace trace
+}  // namespace cfx

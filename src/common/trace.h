@@ -1,0 +1,102 @@
+// Scoped-span runtime tracer emitting Chrome trace_event JSON.
+//
+// Usage:
+//   {
+//     CFX_TRACE_SPAN("vae/epoch");
+//     ... one epoch ...
+//   }  // span closes here
+//
+// Each span records one Chrome "complete" ("ph":"X") event — name, start
+// timestamp, duration, thread id — loadable in chrome://tracing or Perfetto.
+// A span that closes while metrics collection is on (src/common/metrics.h)
+// also records its duration, in seconds, into the latency histogram of the
+// same name, so every span site doubles as a p50/p95/p99 source in
+// metrics.json.
+//
+// Gating mirrors the metrics layer: CFX_TRACE enables event capture,
+// latched on first use. A span whose construction finds both tracing and
+// metrics disabled is inert — no clock reads, no allocation, no locking.
+// Event capture appends to a bounded global buffer under a mutex; spans are
+// deliberately coarse (epochs, phases, per-iteration at most), so the lock
+// is uncontended in practice and events beyond the cap are counted and
+// dropped rather than growing without bound.
+//
+// When CFX_TRACE is enabled a process-exit hook writes trace.json (or
+// $CFX_TRACE itself when the value ends in ".json"); ExportIfEnabled()
+// writes the same file on demand.
+#ifndef CFX_COMMON_TRACE_H_
+#define CFX_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace cfx {
+namespace trace {
+
+/// True when CFX_TRACE enables event capture (any value other than empty,
+/// "0", "false", "off" or "no"). Latched on first call;
+/// internal::ForceEnabledForTest overrides.
+bool Enabled();
+
+/// True when constructing a span does any work at all — event capture or
+/// span-latency metrics. Callers building dynamic span names can skip the
+/// string work entirely when this is false.
+bool SpansActive();
+
+/// RAII span. Construction with an empty name, or while SpansActive() is
+/// false, yields an inert object.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name);
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Number of captured (not dropped) events currently buffered.
+size_t EventCount();
+
+/// Events dropped after the buffer cap was reached.
+uint64_t DroppedEventCount();
+
+/// Writes the buffered events as Chrome trace_event JSON:
+///   {"traceEvents": [{"name": .., "cat": "cfx", "ph": "X", "ts": ..,
+///                     "dur": .., "pid": 1, "tid": ..}, ...],
+///    "displayTimeUnit": "ms"}
+/// Timestamps/durations are microseconds since the first span.
+Status WriteJson(const std::string& path);
+
+/// Where ExportIfEnabled and the exit hook write: $CFX_TRACE when its value
+/// ends in ".json", else "trace.json" in the CWD.
+std::string DefaultExportPath();
+
+/// Writes WriteJson(DefaultExportPath()). OK no-op when capture is disabled.
+Status ExportIfEnabled();
+
+namespace internal {
+/// Test hooks: override the latched CFX_TRACE state (-1 restores the
+/// environment latch) and clear the event buffer.
+void ForceEnabledForTest(int enabled);
+void ClearForTest();
+}  // namespace internal
+
+}  // namespace trace
+}  // namespace cfx
+
+#define CFX_TRACE_SPAN_CONCAT2(a, b) a##b
+#define CFX_TRACE_SPAN_CONCAT(a, b) CFX_TRACE_SPAN_CONCAT2(a, b)
+/// Opens a scoped span covering the rest of the enclosing block.
+#define CFX_TRACE_SPAN(name) \
+  ::cfx::trace::ScopedSpan CFX_TRACE_SPAN_CONCAT(cfx_trace_span_, __LINE__)(name)
+
+#endif  // CFX_COMMON_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "src/common/trace.h"
+
 namespace cfx {
 namespace descent {
 
@@ -16,6 +18,7 @@ size_t RunDescent(const std::vector<ag::Var>& params, const Config& config,
 
   size_t evaluated = 0;
   for (size_t it = 0; it < config.max_iterations; ++it) {
+    CFX_TRACE_SPAN("descent/iteration");
     ag::Var loss = build_loss(it);
     if (loss == nullptr) break;
     ++evaluated;

@@ -1,6 +1,7 @@
 #include "src/core/experiment.h"
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/metrics/classification.h"
 
 namespace cfx {
@@ -16,6 +17,7 @@ Experiment::Experiment(DatasetId id, const DatasetInfo* info,
 
 StatusOr<std::unique_ptr<Experiment>> Experiment::PrepareData(
     DatasetId id, const RunConfig& config, Rng* rng) {
+  CFX_TRACE_SPAN("experiment/prepare_data");
   std::unique_ptr<DatasetGenerator> generator = CreateGenerator(id);
   if (generator == nullptr) return Status::InvalidArgument("unknown dataset");
 
@@ -60,8 +62,11 @@ StatusOr<std::unique_ptr<Experiment>> Experiment::Create(
   Rng clf_rng = rng.Split(0xC1F);
   experiment->classifier_ = std::make_unique<BlackBoxClassifier>(
       experiment->encoder_.encoded_width(), classifier_config, &clf_rng);
-  experiment->classifier_stats_ = experiment->classifier_->Train(
-      experiment->x_train_, experiment->y_train_, &clf_rng);
+  {
+    CFX_TRACE_SPAN("experiment/train_classifier");
+    experiment->classifier_stats_ = experiment->classifier_->Train(
+        experiment->x_train_, experiment->y_train_, &clf_rng);
+  }
 
   // Full classifier diagnostics on the held-out validation split.
   if (experiment->x_validation_.rows() > 0) {

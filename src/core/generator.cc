@@ -320,7 +320,7 @@ std::pair<double, double> FeasibleCfGenerator::ProbeQuality(
   return {validity, feasibility};
 }
 
-CfResult FeasibleCfGenerator::Generate(const Matrix& x) {
+CfResult FeasibleCfGenerator::GenerateImpl(const Matrix& x) {
   vae_->SetTraining(false);
   std::vector<int> desired = DesiredClasses(x);
   Matrix cond = DesiredCond(desired);

@@ -60,7 +60,7 @@ class FeasibleCfGenerator : public CfMethod {
 
   std::string name() const override;
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
-  CfResult Generate(const Matrix& x) override;
+  CfResult GenerateImpl(const Matrix& x) override;
 
   /// Reference implementation of Generate through the autodiff tape. Kept
   /// for the bitwise tape-vs-infer equivalence tests and the inference

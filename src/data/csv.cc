@@ -1,6 +1,7 @@
 #include "src/data/csv.h"
 
 #include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <fstream>
 
@@ -90,8 +91,17 @@ StatusOr<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
       if (!v.ok()) return v.status();
       values[i] = *v;
     }
-    int label = std::atoi(cells.back().c_str());
-    CFX_RETURN_IF_ERROR(table.AppendRow(values, label));
+    const std::string label_cell = Trim(cells.back());
+    errno = 0;
+    char* end = nullptr;
+    const long label = std::strtol(label_cell.c_str(), &end, 10);
+    if (label_cell.empty() || end == label_cell.c_str() || *end != '\0' ||
+        errno == ERANGE || label < INT_MIN || label > INT_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: bad label cell '%s'", path.c_str(), line_no,
+                    label_cell.c_str()));
+    }
+    CFX_RETURN_IF_ERROR(table.AppendRow(values, static_cast<int>(label)));
   }
   return table;
 }

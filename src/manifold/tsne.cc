@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/common/trace.h"
 #include "src/manifold/knn.h"
 #include "src/manifold/quadtree.h"
 
@@ -141,6 +142,7 @@ Matrix RunTsneExact(const Matrix& data, const TsneConfig& config, Rng* rng) {
   // it is returned to the allocator before the iteration buffers appear.
   std::vector<double> p(n * n, 0.0);
   {
+    CFX_TRACE_SPAN("tsne/affinities");
     // Pairwise squared distances in high-dimensional space. Chunks write
     // disjoint upper-triangle rows; a second pass mirrors into the lower
     // triangle (row j is written only by the chunk owning j).
@@ -204,6 +206,7 @@ Matrix RunTsneExact(const Matrix& data, const TsneConfig& config, Rng* rng) {
 
   const GradientFn gradient = [&](const std::vector<double>& y,
                                   std::vector<double>* dy_out) {
+    CFX_TRACE_SPAN("tsne/gradient");
     std::vector<double>& dy = *dy_out;
     // Student-t affinities in the embedding: upper-triangle rows per chunk,
     // with q_sum as an order-deterministic chunked reduction.
@@ -258,6 +261,7 @@ Matrix RunTsneExact(const Matrix& data, const TsneConfig& config, Rng* rng) {
     for (double& v : p) v /= config.early_exaggeration;
   };
 
+  CFX_TRACE_SPAN("tsne/descent");
   const std::vector<double> y =
       DescentLoop(config, n, dims, gradient, unexaggerate, rng);
   return ToMatrix(y, n, dims);
@@ -272,7 +276,10 @@ Matrix RunTsneBarnesHut(const Matrix& data, const TsneConfig& config,
   const double perplexity =
       std::min(config.perplexity, static_cast<double>(n - 1) / 3.0);
 
-  SparseAffinities aff = BuildSparseAffinities(data, perplexity, rng);
+  SparseAffinities aff = [&] {
+    CFX_TRACE_SPAN("tsne/affinities");
+    return BuildSparseAffinities(data, perplexity, rng);
+  }();
 
   // Early exaggeration.
   for (double& v : aff.vals) v *= config.early_exaggeration;
@@ -288,29 +295,38 @@ Matrix RunTsneBarnesHut(const Matrix& data, const TsneConfig& config,
   const GradientFn gradient = [&](const std::vector<double>& y,
                                   std::vector<double>* dy_out) {
     std::vector<double>& dy = *dy_out;
+    CFX_TRACE_SPAN("tsne/gradient");
     // The tree is rebuilt serially each iteration (O(N log N), a small
     // fraction of traversal cost) so its shape is thread-count independent.
-    const Quadtree tree(y.data(), n);
+    const Quadtree tree = [&] {
+      CFX_TRACE_SPAN("tsne/tree");
+      return Quadtree(y.data(), n);
+    }();
 
-    // Repulsion: each point's θ-walk is an independent pure read of the
-    // tree; chunks write disjoint rows of rep/z_part.
-    ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
-      for (size_t i = i0; i < i1; ++i) {
-        double fx = 0.0, fy = 0.0, zi = 0.0;
-        tree.Repulsion(i, config.theta, &fx, &fy, &zi);
-        rep[i * kDims] = fx;
-        rep[i * kDims + 1] = fy;
-        z_part[i] = zi;
-      }
-    });
-    const double z_sum =
-        ParallelReduce(0, n, reduce_grain, [&](size_t i0, size_t i1) {
-          double partial = 0.0;
-          for (size_t i = i0; i < i1; ++i) partial += z_part[i];
-          return partial;
-        });
-    const double inv_z = z_sum > 0 ? 1.0 / z_sum : 0.0;
+    double inv_z = 0.0;
+    {
+      CFX_TRACE_SPAN("tsne/repulsion");
+      // Repulsion: each point's θ-walk is an independent pure read of the
+      // tree; chunks write disjoint rows of rep/z_part.
+      ParallelFor(0, n, 0, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          double fx = 0.0, fy = 0.0, zi = 0.0;
+          tree.Repulsion(i, config.theta, &fx, &fy, &zi);
+          rep[i * kDims] = fx;
+          rep[i * kDims + 1] = fy;
+          z_part[i] = zi;
+        }
+      });
+      const double z_sum =
+          ParallelReduce(0, n, reduce_grain, [&](size_t i0, size_t i1) {
+            double partial = 0.0;
+            for (size_t i = i0; i < i1; ++i) partial += z_part[i];
+            return partial;
+          });
+      inv_z = z_sum > 0 ? 1.0 / z_sum : 0.0;
+    }
 
+    CFX_TRACE_SPAN("tsne/attraction");
     // Attraction over the sparse P (CSR rows are sorted by column, so the
     // j-accumulation order is fixed) fused with the final gradient:
     //   dC/dy_i = 4 * (sum_j p_ij num_ij (y_i - y_j) - rep_i / Z).
@@ -334,6 +350,7 @@ Matrix RunTsneBarnesHut(const Matrix& data, const TsneConfig& config,
     for (double& v : aff.vals) v /= config.early_exaggeration;
   };
 
+  CFX_TRACE_SPAN("tsne/descent");
   const std::vector<double> y =
       DescentLoop(config, n, kDims, gradient, unexaggerate, rng);
   return ToMatrix(y, n, kDims);

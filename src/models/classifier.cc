@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/data/batcher.h"
 #include "src/nn/losses.h"
 
@@ -36,6 +37,7 @@ TrainStats BlackBoxClassifier::Train(const Matrix& x,
 
   TrainStats stats;
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    CFX_TRACE_SPAN("classifier/epoch");
     float epoch_loss = 0.0f;
     size_t batches = 0;
     for (Batch& batch : batcher.Epoch()) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/trace.h"
 #include "src/nn/losses.h"
 #include "src/nn/optimizer.h"
 #include "src/tensor/kernels.h"
@@ -212,6 +213,7 @@ TrainStats Vae::TrainElbo(const Matrix& x, const Matrix& cond,
   TrainStats stats;
   const size_t n = x.rows();
   for (size_t epoch = 0; epoch < train_config.epochs; ++epoch) {
+    CFX_TRACE_SPAN("vae/epoch");
     // KL annealing: ramp the weight over the first half of training so the
     // reconstruction pathway is established before regularising the latent.
     const float anneal = train_config.epochs > 1

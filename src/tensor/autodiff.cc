@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/common/metrics.h"
 #include "src/tensor/kernels.h"
 
 namespace cfx {
@@ -27,8 +28,16 @@ std::vector<std::vector<float>>& GradPool() {
 }
 
 std::vector<float> AcquireGradStorage() {
+  static metrics::Counter* reuse =
+      metrics::GetCounter("autodiff.gradpool.reuse");
+  static metrics::Counter* alloc =
+      metrics::GetCounter("autodiff.gradpool.alloc");
   std::vector<std::vector<float>>& pool = GradPool();
-  if (pool.empty()) return {};
+  if (pool.empty()) {
+    if (alloc != nullptr) alloc->Add(1);
+    return {};
+  }
+  if (reuse != nullptr) reuse->Add(1);
   std::vector<float> storage = std::move(pool.back());
   pool.pop_back();
   return storage;
@@ -431,6 +440,12 @@ void Backward(const Var& loss) {
       order.push_back(node);
       stack.pop_back();
     }
+  }
+
+  static metrics::Histogram* tape_nodes =
+      metrics::GetHistogram("autodiff.tape.nodes");
+  if (tape_nodes != nullptr) {
+    tape_nodes->Record(static_cast<double>(order.size()));
   }
 
   loss->EnsureGrad();

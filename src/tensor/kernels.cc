@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/metrics.h"
+
 namespace cfx {
 namespace kernels {
 namespace {
+
+/// Counter handles latched once at static-init time (CFX_METRICS comes from
+/// the environment, so the verdict is already known before main). Plain
+/// globals, not function-local statics: the matmul entry points are hot
+/// enough at batch 1 that even the per-call static-guard check — and the
+/// init-path code it drags into the function — costs measurable time.
+metrics::Counter* const g_matmul_calls =
+    metrics::GetCounter("kernels.matmul.calls");
+metrics::Counter* const g_matmul_flops =
+    metrics::GetCounter("kernels.matmul.flops");
+
+/// Counts one matmul-family dispatch of n*k*m multiply-adds (2 flops each).
+/// Every variant here (plain, bias-fused, accumulating, transposed) does the
+/// same multiply-add volume for a given (n, k, m).
+inline void CountMatMul(size_t n, size_t k, size_t m) {
+  if (g_matmul_calls != nullptr) {
+    g_matmul_calls->Add(1);
+    g_matmul_flops->Add(static_cast<uint64_t>(2) * n * k * m);
+  }
+}
 
 /// Rows per dispatched chunk so one chunk covers >= kMatMulGrainFlops
 /// multiply-adds — below that, dispatch overhead beats the parallel win.
@@ -65,6 +87,7 @@ void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
 
 void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
             size_t m) {
+  CountMatMul(n, k, m);
   const size_t grain = RowGrain(k, m);
   if (n <= grain) {
     // Single-chunk batches skip the pool dispatch (and the std::function
@@ -111,6 +134,7 @@ void MatMulBiasRows(const float* a, const float* b, const float* bias,
 
 void MatMulBias(const float* a, const float* b, const float* bias, float* out,
                 size_t n, size_t k, size_t m, Epilogue epilogue) {
+  CountMatMul(n, k, m);
   const size_t grain = RowGrain(k, m);
   if (n <= grain) {
     MatMulBiasRows(a, b, bias, out, 0, n, k, m, epilogue);
@@ -123,6 +147,7 @@ void MatMulBias(const float* a, const float* b, const float* bias, float* out,
 
 void MatMulAccum(const float* a, const float* b, float* out, size_t n,
                  size_t k, size_t m) {
+  CountMatMul(n, k, m);
   ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
     MatMulRows<true>(a, b, out, r0, r1, k, m);
   });
@@ -130,6 +155,7 @@ void MatMulAccum(const float* a, const float* b, float* out, size_t n,
 
 void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
                        size_t k, size_t m, bool accumulate) {
+  CountMatMul(n, k, m);
   // out(n,m): out[i][j] = dot_k(a row i, b row j); b is read as stored.
   // Four independent dot products share one pass over the a-row; each keeps
   // its own accumulator, so every dot still sums k-ascending.
@@ -179,6 +205,7 @@ void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
 
 void MatMulTransposedA(const float* a, const float* b, float* out, size_t n,
                        size_t k, size_t m, bool accumulate) {
+  CountMatMul(n, k, m);
   // out(k,m): out[c][j] = sum_r a[r][c] * b[r][j]; a is read as stored.
   // Parallel over output rows c; each lane streams all of b once, r
   // ascending, so accumulation order matches the serial axpy loop.

@@ -7,6 +7,9 @@
 #include <map>
 #include <set>
 #include <tuple>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 
 #include "src/baselines/cchvae.h"
 #include "src/baselines/cem.h"
@@ -283,6 +286,89 @@ TEST_F(BaselineFixture, TrainingFreeMethodsFitInstantly) {
   DiceRandomMethod dice(experiment_->method_context());
   EXPECT_TRUE(cem.Fit(experiment_->x_train(), experiment_->y_train()).ok());
   EXPECT_TRUE(dice.Fit(experiment_->x_train(), experiment_->y_train()).ok());
+}
+
+// ---- prediction cache ------------------------------------------------------
+
+/// Degenerate hash that lands every batch in the same bucket, so each
+/// insert grows one bucket — the reallocation scenario that used to
+/// invalidate previously returned references.
+uint64_t CollidingHash(const Matrix&) { return 42; }
+
+Matrix CacheBatch(float seed) {
+  Matrix x(2, 3);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      x.at(r, c) = seed + static_cast<float>(r * x.cols() + c) * 0.25f;
+    }
+  }
+  return x;
+}
+
+TEST(PredictionCacheTest, HeldReferenceSurvivesCollidingInserts) {
+  Rng rng(0xCAC4E);
+  BlackBoxClassifier clf(3, ClassifierConfig(), &rng);
+  clf.Freeze();
+  PredictionCache cache(&clf, &CollidingHash);
+
+  const Matrix first = CacheBatch(0.0f);
+  const std::vector<int>& held = cache.Predict(first);
+  const std::vector<int> expected = held;  // copy before further inserts
+  // Every insert below collides into the held entry's bucket. Under the old
+  // vector-backed storage the bucket's growth relocated the entries and left
+  // `held` dangling (ASan use-after-free); deque storage keeps it stable.
+  for (int i = 1; i <= 64; ++i) {
+    (void)cache.Predict(CacheBatch(static_cast<float>(i)));
+  }
+  EXPECT_EQ(held, expected);
+  EXPECT_EQ(cache.misses(), 65u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // A repeat query is a hit served from the same stable storage.
+  const std::vector<int>& again = cache.Predict(first);
+  EXPECT_EQ(&again, &held);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PredictionCacheTest, ConcurrentQueriesAreSerialisedAndCorrect) {
+  Rng rng(0xCAC4F);
+  BlackBoxClassifier clf(3, ClassifierConfig(), &rng);
+  clf.Freeze();
+  PredictionCache cache(&clf, &CollidingHash);
+
+  constexpr size_t kBatches = 8;
+  std::vector<Matrix> batches;
+  std::vector<std::vector<int>> expected;
+  for (size_t i = 0; i < kBatches; ++i) {
+    batches.push_back(CacheBatch(static_cast<float>(i)));
+    expected.push_back(clf.Predict(batches.back()));  // serial ground truth
+  }
+
+  // Local 4-thread pool so the mutex path is exercised even when the global
+  // pool is pinned to one thread.
+  ThreadPool pool(4);
+  std::atomic<size_t> mismatches{0};
+  pool.ParallelFor(0, 64, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const std::vector<int>& pred = cache.Predict(batches[i % kBatches]);
+      if (pred != expected[i % kBatches]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(cache.misses(), kBatches);
+  EXPECT_EQ(cache.hits() + cache.misses(), 64u);
+}
+
+TEST(PredictionCacheDeathTest, UnfrozenClassifierAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(0xCAC50);
+  BlackBoxClassifier clf(3, ClassifierConfig(), &rng);
+  ASSERT_FALSE(clf.frozen());
+  PredictionCache cache(&clf);
+  const Matrix x = CacheBatch(0.0f);
+  EXPECT_DEATH((void)cache.Predict(x), "");
 }
 
 }  // namespace

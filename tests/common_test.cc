@@ -232,5 +232,46 @@ TEST(ConfigTest, FromEnvReadsOverrides) {
   unsetenv("CFX_EVAL_N");
 }
 
+TEST(ConfigTest, FromEnvRejectsMalformedValues) {
+  // Non-numeric, trailing-junk and negative values must keep the documented
+  // defaults (42 / 200) instead of silently becoming 0.
+  const char* kBadSeeds[] = {"oops", "10k", "-3", "", " 7", "0x10"};
+  for (const char* bad : kBadSeeds) {
+    setenv("CFX_SEED", bad, 1);
+    setenv("CFX_EVAL_N", bad, 1);
+    RunConfig cfg = RunConfig::FromEnv();
+    EXPECT_EQ(cfg.seed, 42u) << "CFX_SEED='" << bad << "'";
+    EXPECT_EQ(cfg.eval_instances, 200u) << "CFX_EVAL_N='" << bad << "'";
+  }
+  // Zero is a valid seed but a useless evaluation-set size.
+  setenv("CFX_SEED", "0", 1);
+  setenv("CFX_EVAL_N", "0", 1);
+  RunConfig cfg = RunConfig::FromEnv();
+  EXPECT_EQ(cfg.seed, 0u);
+  EXPECT_EQ(cfg.eval_instances, 200u);
+  unsetenv("CFX_SEED");
+  unsetenv("CFX_EVAL_N");
+}
+
+TEST(ConfigTest, ScaleFromEnvDefaultsOnTypo) {
+  setenv("CFX_SCALE", "papr", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kSmall);
+  setenv("CFX_SCALE", "PAPER", 1);
+  EXPECT_EQ(ScaleFromEnv(), Scale::kPaper);
+  unsetenv("CFX_SCALE");
+  EXPECT_EQ(ScaleFromEnv(), Scale::kSmall);
+}
+
+TEST(ConfigTest, ParseScaleNameStrict) {
+  Scale scale = Scale::kSmall;
+  EXPECT_TRUE(ParseScaleName("Paper", &scale));
+  EXPECT_EQ(scale, Scale::kPaper);
+  EXPECT_TRUE(ParseScaleName("small", &scale));
+  EXPECT_EQ(scale, Scale::kSmall);
+  EXPECT_FALSE(ParseScaleName("papr", &scale));
+  EXPECT_FALSE(ParseScaleName("", &scale));
+  EXPECT_FALSE(ParseScaleName("paper ", &scale));
+}
+
 }  // namespace
 }  // namespace cfx

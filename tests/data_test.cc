@@ -475,6 +475,25 @@ TEST(CsvTest, RejectsWrongColumnCount) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, RejectsBadLabelCell) {
+  // atoi-era parsing turned any garbage label into 0 and loaded the row;
+  // now the reader must fail and name the offending line.
+  const char* kBadLabels[] = {"banana", "1x", "", "2.5"};
+  for (const char* bad : kBadLabels) {
+    const std::string path = ::testing::TempDir() + "/cfx_csv_label.csv";
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "age,color,member,locked,label\n30,red,yes,5,%s\n", bad);
+    fclose(f);
+    auto result = ReadTableCsv(TinySchema(), path);
+    ASSERT_FALSE(result.ok()) << "label '" << bad << "' was accepted";
+    EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+        << result.status().ToString();
+    EXPECT_NE(result.status().message().find("label"), std::string::npos)
+        << result.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
 TEST(CsvTest, WriteMatrixCsv) {
   Matrix m = Matrix::FromRows({{1.5f, 2.5f}});
   const std::string path = ::testing::TempDir() + "/cfx_matrix.csv";

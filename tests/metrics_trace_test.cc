@@ -1,0 +1,291 @@
+// Tests for the runtime metrics registry (src/common/metrics.h) and the
+// scoped-span tracer (src/common/trace.h).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/thread_pool.h"
+#include "src/common/trace.h"
+
+namespace cfx {
+namespace {
+
+// Force collection on before main(): instrumented call sites across the
+// library cache their instrument handle in a function-local static on first
+// execution, so the enabled state must be decided before any of them runs.
+const bool kForcedOn = [] {
+  metrics::internal::ForceEnabledForTest(1);
+  trace::internal::ForceEnabledForTest(1);
+  return true;
+}();
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Minimal structural JSON check: braces/brackets balance outside string
+/// literals, strings close, and the document is a single object.
+bool StructurallyValidJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool seen_root = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        seen_root = true;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return seen_root && depth == 0 && !in_string;
+}
+
+// ---- counters / gauges ------------------------------------------------------
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  metrics::MetricsRegistry reg;
+  metrics::Counter* c = reg.counter("calls");
+  c->Add();
+  c->Add(2);
+  EXPECT_EQ(c->value(), 3u);
+  EXPECT_EQ(reg.counter("calls"), c);  // handles are stable
+
+  metrics::Gauge* g = reg.gauge("rate");
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(g->value(), 0.75);
+  g->Set(0.25);
+  EXPECT_DOUBLE_EQ(g->value(), 0.25);
+}
+
+// ---- histograms -------------------------------------------------------------
+
+TEST(MetricsTest, HistogramExactStats) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("lat");
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i * 0.001);
+    sum += i * 0.001;
+  }
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_NEAR(h->sum(), sum, 1e-9);
+  EXPECT_NEAR(h->min(), 0.001, 1e-12);
+  EXPECT_NEAR(h->max(), 0.100, 1e-12);
+  EXPECT_NEAR(h->mean(), sum / 100.0, 1e-9);
+}
+
+TEST(MetricsTest, HistogramQuantilesWithinBucketError) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("lat");
+  for (int i = 1; i <= 1000; ++i) h->Record(i * 0.001);
+  // Exponential buckets grow by 2^(1/8) (~9%); allow that relative error.
+  EXPECT_NEAR(h->Quantile(0.50), 0.500, 0.500 * 0.10);
+  EXPECT_NEAR(h->Quantile(0.95), 0.950, 0.950 * 0.10);
+  EXPECT_NEAR(h->Quantile(0.99), 0.990, 0.990 * 0.10);
+  // Quantiles are clamped to the observed range.
+  EXPECT_GE(h->Quantile(0.0), h->min());
+  EXPECT_LE(h->Quantile(1.0), h->max());
+}
+
+TEST(MetricsTest, HistogramSingleValueIsExact) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("one");
+  h->Record(0.25);
+  h->Record(0.25);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.25);
+}
+
+TEST(MetricsTest, HistogramEdgeValues) {
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("edge");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // empty
+  h->Record(0.0);                           // below kMinBound -> bucket 0
+  h->Record(-1.0);                          // negatives too
+  h->Record(1e12);                          // beyond the top bucket
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->min(), -1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 1e12);
+}
+
+TEST(MetricsTest, ConcurrentRecordingIsConsistent) {
+  metrics::MetricsRegistry reg;
+  metrics::Counter* c = reg.counter("c");
+  metrics::Histogram* h = reg.histogram("h");
+  // Local 4-thread pool: exercises the relaxed-atomic event paths from
+  // multiple threads even when CFX_THREADS pins the global pool to 1.
+  ThreadPool pool(4);
+  constexpr size_t kEvents = 20000;
+  pool.ParallelFor(0, kEvents, 64, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      c->Add(1);
+      h->Record(1e-3 * static_cast<double>((i % 10) + 1));
+    }
+  });
+  EXPECT_EQ(c->value(), kEvents);
+  EXPECT_EQ(h->count(), kEvents);
+  EXPECT_NEAR(h->sum(), kEvents * 1e-3 * 5.5, 1e-6);
+  EXPECT_NEAR(h->min(), 1e-3, 1e-15);
+  EXPECT_NEAR(h->max(), 1e-2, 1e-15);
+}
+
+// ---- enable gating ----------------------------------------------------------
+
+TEST(MetricsTest, DisabledHandlesAreNull) {
+  metrics::internal::ForceEnabledForTest(0);
+  EXPECT_FALSE(metrics::Enabled());
+  EXPECT_EQ(metrics::GetCounter("x"), nullptr);
+  EXPECT_EQ(metrics::GetGauge("x"), nullptr);
+  EXPECT_EQ(metrics::GetHistogram("x"), nullptr);
+  metrics::internal::ForceEnabledForTest(1);
+  EXPECT_TRUE(metrics::Enabled());
+  EXPECT_NE(metrics::GetCounter("x"), nullptr);
+}
+
+// ---- json snapshots ---------------------------------------------------------
+
+TEST(MetricsTest, WriteJsonSnapshot) {
+  metrics::MetricsRegistry reg;
+  reg.counter("kernels.matmul.calls")->Add(3);
+  reg.gauge("predcache.hit_rate")->Set(0.5);
+  reg.histogram("vae/epoch")->Record(0.125);
+  const std::string path = ::testing::TempDir() + "/cfx_metrics_test.json";
+  ASSERT_TRUE(reg.WriteJson(path).ok());
+  const std::string text = Slurp(path);
+  EXPECT_TRUE(StructurallyValidJson(text)) << text;
+  EXPECT_NE(text.find("\"kernels.matmul.calls\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"predcache.hit_rate\": 0.5"), std::string::npos);
+  EXPECT_NE(text.find("\"vae/epoch\""), std::string::npos);
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsTest, JsonEscapesAwkwardNames) {
+  metrics::MetricsRegistry reg;
+  reg.counter("we\"ird\\name\n")->Add(1);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\n"), std::string::npos);
+}
+
+TEST(MetricsTest, EmptyRegistrySnapshotIsValid) {
+  metrics::MetricsRegistry reg;
+  EXPECT_TRUE(StructurallyValidJson(reg.ToJson())) << reg.ToJson();
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+TEST(TraceTest, SpanEmitsEventAndLatencyHistogram) {
+  trace::internal::ClearForTest();
+  const uint64_t before =
+      metrics::MetricsRegistry::Global().histogram("test/span")->count();
+  { CFX_TRACE_SPAN("test/span"); }
+  EXPECT_EQ(trace::EventCount(), 1u);
+  EXPECT_EQ(
+      metrics::MetricsRegistry::Global().histogram("test/span")->count(),
+      before + 1);
+}
+
+TEST(TraceTest, DisabledSpanRecordsNothing) {
+  trace::internal::ForceEnabledForTest(0);
+  metrics::internal::ForceEnabledForTest(0);
+  trace::internal::ClearForTest();
+  EXPECT_FALSE(trace::SpansActive());
+  { CFX_TRACE_SPAN("test/never"); }
+  EXPECT_EQ(trace::EventCount(), 0u);
+  trace::internal::ForceEnabledForTest(1);
+  metrics::internal::ForceEnabledForTest(1);
+  EXPECT_TRUE(trace::SpansActive());
+}
+
+TEST(TraceTest, ConcurrentSpansAllCaptured) {
+  trace::internal::ClearForTest();
+  ThreadPool pool(4);
+  constexpr size_t kSpans = 200;
+  pool.ParallelFor(0, kSpans, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      CFX_TRACE_SPAN("test/parallel");
+    }
+  });
+  EXPECT_EQ(trace::EventCount(), kSpans);
+  EXPECT_EQ(trace::DroppedEventCount(), 0u);
+}
+
+TEST(TraceTest, WriteJsonChromeFormat) {
+  trace::internal::ClearForTest();
+  { CFX_TRACE_SPAN("phase/one"); }
+  { CFX_TRACE_SPAN("phase/two"); }
+  const std::string path = ::testing::TempDir() + "/cfx_trace_test.json";
+  ASSERT_TRUE(trace::WriteJson(path).ok());
+  const std::string text = Slurp(path);
+  EXPECT_TRUE(StructurallyValidJson(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"cat\": \"cfx\""), std::string::npos);
+  EXPECT_NE(text.find("phase/one"), std::string::npos);
+  EXPECT_NE(text.find("phase/two"), std::string::npos);
+  EXPECT_NE(text.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, EmptyBufferStillWritesValidJson) {
+  trace::internal::ClearForTest();
+  const std::string path = ::testing::TempDir() + "/cfx_trace_empty.json";
+  ASSERT_TRUE(trace::WriteJson(path).ok());
+  const std::string text = Slurp(path);
+  EXPECT_TRUE(StructurallyValidJson(text)) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, InstrumentedLibraryPathsReachGlobalRegistry) {
+  // The pool instrumentation sites latch real handles because collection was
+  // forced on pre-main; a parallel loop on a local pool must bump them.
+  metrics::Counter* loops =
+      metrics::MetricsRegistry::Global().counter("threadpool.loops");
+  metrics::Counter* chunks =
+      metrics::MetricsRegistry::Global().counter("threadpool.chunks");
+  const uint64_t loops_before = loops->value();
+  const uint64_t chunks_before = chunks->value();
+  ThreadPool pool(4);
+  std::atomic<size_t> touched{0};
+  pool.ParallelFor(0, 64, 1, [&](size_t b, size_t e) {
+    touched.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(touched.load(), 64u);
+  EXPECT_EQ(loops->value(), loops_before + 1);
+  EXPECT_EQ(chunks->value(), chunks_before + 64);
+}
+
+}  // namespace
+}  // namespace cfx

@@ -91,7 +91,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (arg == "--seed") {
       opts->run.seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--scale") {
-      opts->run.scale = ParseScale(value);
+      if (!ParseScaleName(value, &opts->run.scale)) {
+        std::fprintf(stderr, "unknown scale '%s' (small|paper)\n", value);
+        return false;
+      }
     } else if (arg == "--diverse") {
       opts->diverse_k = std::strtoull(value, nullptr, 10);
     } else if (arg == "--out") {

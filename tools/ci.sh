@@ -6,9 +6,10 @@
 # Jobs:
 #   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite,
 #                       then bench smokes (perf_tsne + perf_inference,
-#                       minimal iterations) and a pipeline-bundle round-trip
-#                       smoke so the kernel, inference and artifact paths
-#                       stay compiling and exercised.
+#                       minimal iterations), a pipeline-bundle round-trip
+#                       smoke, and a metrics/trace smoke (CFX_METRICS +
+#                       CFX_TRACE set; the emitted metrics.json/trace.json
+#                       must parse and carry the instrumented series).
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
 #                       ctest + the same smokes under the sanitizers.
 #
@@ -57,6 +58,44 @@ bundle_smoke() {
     ./examples/save_restore_generator)
 }
 
+# Metrics/trace smoke: one training bench pass with CFX_METRICS/CFX_TRACE
+# enabled. The run must leave parseable metrics.json + trace.json artifacts
+# next to the bench_smoke JSONs (chrome://tracing-loadable), and the
+# snapshot must include the instrumented epoch histograms.
+metrics_smoke() {
+  local build_dir="$1"
+  local metrics_json="$build_dir/bench_smoke_metrics.json"
+  local trace_json="$build_dir/bench_smoke_trace.json"
+  rm -f "$metrics_json" "$trace_json"
+  CFX_THREADS=4 \
+    CFX_METRICS="$metrics_json" CFX_TRACE="$trace_json" \
+    "$build_dir/bench/perf_training" \
+    --benchmark_filter='BM_ClassifierTrainEpoch|BM_VaeElboEpoch|BM_GeneratorGenerate/10$' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$build_dir/bench_smoke_perf_training.json" \
+    --benchmark_out_format=json
+  for artifact in "$metrics_json" "$trace_json"; do
+    if [[ ! -s "$artifact" ]]; then
+      echo "metrics smoke: missing artifact $artifact" >&2
+      return 1
+    fi
+    if ! python3 -m json.tool "$artifact" > /dev/null; then
+      echo "metrics smoke: unparsable JSON in $artifact" >&2
+      return 1
+    fi
+  done
+  for key in 'classifier/epoch' 'threadpool' 'kernels.matmul.calls' 'predcache.'; do
+    if ! grep -q "$key" "$metrics_json"; then
+      echo "metrics smoke: $metrics_json lacks '$key'" >&2
+      return 1
+    fi
+  done
+  if ! grep -q '"traceEvents"' "$trace_json"; then
+    echo "metrics smoke: $trace_json lacks traceEvents" >&2
+    return 1
+  fi
+}
+
 echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
@@ -65,6 +104,8 @@ echo "==> [1/2] bench smoke (perf_tsne + perf_inference, minimal iterations)"
 bench_smoke build-ci
 echo "==> [1/2] bundle round-trip smoke"
 bundle_smoke build-ci
+echo "==> [1/2] metrics/trace smoke (CFX_METRICS + CFX_TRACE artifacts)"
+metrics_smoke build-ci
 
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "==> [2/2] ASan/UBSan build"
@@ -75,6 +116,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=0 bench_smoke build-asan
   echo "==> [2/2] bundle round-trip smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 bundle_smoke build-asan
+  echo "==> [2/2] metrics/trace smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 metrics_smoke build-asan
 else
   echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
 fi
