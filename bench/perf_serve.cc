@@ -1,0 +1,189 @@
+// Serving-path throughput: the cost of one request through the CfServer
+// scheduler (submit, coalesce, dispatch, fan out) versus micro-batched
+// dispatch at batch 8/32, and the raw GenerateMany pass those batches ride
+// on. The served single-request response is asserted bitwise identical to a
+// direct Generate before timing — the speedup only counts if the bits match.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+#include "src/serve/server.h"
+
+namespace cfx {
+namespace {
+
+/// Shared experiment (Adult, small scale) built once.
+Experiment* GetExperiment() {
+  static Experiment* experiment = [] {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 3;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    CFX_CHECK_OK(exp.status());
+    return std::move(*exp).release();
+  }();
+  return experiment;
+}
+
+/// Shared fitted generator against the shared experiment.
+FeasibleCfGenerator* GetGenerator() {
+  static FeasibleCfGenerator* generator = [] {
+    Experiment* exp = GetExperiment();
+    GeneratorConfig config =
+        GeneratorConfig::FromDataset(exp->info(), ConstraintMode::kUnary);
+    config.epochs = 3;
+    config.max_restarts = 0;
+    auto* gen = new FeasibleCfGenerator(exp->method_context(), config);
+    CFX_CHECK_OK(gen->Fit(exp->x_train(), exp->y_train()));
+    return gen;
+  }();
+  return generator;
+}
+
+/// Tiles test rows cyclically into a batch of exactly `rows` rows.
+Matrix TiledBatch(size_t rows) {
+  const Matrix& src = GetExperiment()->x_test();
+  Matrix out(rows, src.cols());
+  for (size_t r = 0; r < rows; ++r) {
+    std::memcpy(out.data() + r * out.cols(),
+                src.data() + (r % src.rows()) * src.cols(),
+                src.cols() * sizeof(float));
+  }
+  return out;
+}
+
+void RequireBitwise(const Matrix& a, const Matrix& b, const char* what) {
+  if (a.rows() != b.rows() || a.cols() != b.cols() ||
+      std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    std::fprintf(stderr, "FATAL: %s served/direct outputs differ bitwise\n",
+                 what);
+    std::abort();
+  }
+}
+
+serve::CfServerConfig MakeConfig(size_t max_batch) {
+  serve::CfServerConfig config;
+  config.max_batch = max_batch;
+  config.max_queue = 4096;
+  config.workers = 1;
+  config.max_delay = std::chrono::microseconds(200);
+  return config;
+}
+
+serve::CfRequest MakeRequest(const Matrix& x, size_t row) {
+  serve::CfRequest request;
+  request.instance = x.SliceRows(row, row + 1);
+  request.method = "ours";
+  return request;
+}
+
+void BM_ServeSingleRequest(benchmark::State& state) {
+  // max_batch 1: no coalescing, no delay window — the pure per-request
+  // scheduling cost (submit, wake, dispatch of one row, fan out). Cycles
+  // the same instance set as the batched arms so the two differ only in
+  // coalescing, not in input diversity.
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(64);
+  serve::CfServer server(MakeConfig(1));
+  server.RegisterMethod("ours", gen);
+  server.Start();
+
+  // Contract check before timing: served bits == direct Generate bits.
+  serve::CfResponse first = server.Submit(MakeRequest(x, 0)).get();
+  CFX_CHECK_OK(first.status);
+  CfResult direct = gen->Generate(x.SliceRows(0, 1));
+  RequireBitwise(first.cf, direct.cfs, "single-request cf");
+  RequireBitwise(first.cf_raw, direct.cfs_raw, "single-request cf_raw");
+
+  size_t r = 0;
+  for (auto _ : state) {
+    serve::CfResponse response = server.Submit(MakeRequest(x, r)).get();
+    benchmark::DoNotOptimize(response.predicted);
+    r = (r + 1) % x.rows();
+  }
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations());
+}
+// Real time, not CPU time: the dispatch work happens on the worker thread
+// while the producer blocks, so producer CPU time would flatter the
+// scheduler enormously.
+BENCHMARK(BM_ServeSingleRequest)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ServeBatched(benchmark::State& state) {
+  // Sustained offered load: several batches' worth of requests stay in
+  // flight, so the worker collects each full batch from backlog and
+  // dispatches back-to-back while the producer submits and drains
+  // concurrently — the steady state of a loaded server, where coalescing
+  // actually amortises the per-request scheduling cost. A full batch
+  // dispatches immediately; the 200us window only pads the final stragglers.
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kInflightBatches = 2;
+  const size_t total = n * kInflightBatches;
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(total);
+  serve::CfServer server(MakeConfig(n));
+  server.RegisterMethod("ours", gen);
+  server.Start();
+
+  std::vector<std::future<serve::CfResponse>> futures;
+  futures.reserve(total);
+  for (auto _ : state) {
+    futures.clear();
+    for (size_t r = 0; r < total; ++r) {
+      futures.push_back(server.Submit(MakeRequest(x, r)));
+    }
+    for (std::future<serve::CfResponse>& future : futures) {
+      serve::CfResponse response = future.get();
+      benchmark::DoNotOptimize(response.predicted);
+    }
+  }
+  serve::CfServerStats stats = server.stats();
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() * total);
+  // Coalescing health: should sit at ~n. Falling well below means bursts
+  // split into partial dispatches and the scheduler is paying per-batch
+  // overhead more often than intended.
+  if (stats.batches > 0) {
+    state.counters["avg_batch"] =
+        static_cast<double>(stats.batched_rows) /
+        static_cast<double>(stats.batches);
+  }
+}
+BENCHMARK(BM_ServeBatched)
+    ->Arg(8)
+    ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateManyDirect(benchmark::State& state) {
+  // The floor the scheduler builds on: the same coalesced pass without any
+  // queueing — what a dispatch costs once a batch exists.
+  const size_t n = static_cast<size_t>(state.range(0));
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(n);
+  nn::InferWorkspace ws;
+  for (auto _ : state) {
+    CfResult result = gen->GenerateMany(x, &ws);
+    benchmark::DoNotOptimize(result.cfs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GenerateManyDirect)
+    ->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cfx
+
+CFX_BENCHMARK_MAIN("perf_serve");

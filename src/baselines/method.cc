@@ -90,6 +90,30 @@ CfResult CfMethod::Generate(const Matrix& x) {
   return GenerateImpl(x);
 }
 
+CfResult CfMethod::GenerateMany(const Matrix& x, nn::InferWorkspace* ws) {
+  // Sequential fallback: per-row Generate calls in row order, stitched into
+  // one aligned result. The method's own state (RNG streams, member
+  // workspaces) advances per call, so callers must serialise; the worker
+  // workspace is unused here.
+  (void)ws;
+  CfResult result;
+  result.inputs = x;
+  result.cfs_raw = Matrix(x.rows(), x.cols());
+  result.cfs = Matrix(x.rows(), x.cols());
+  result.desired.resize(x.rows());
+  result.predicted.resize(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfResult one = Generate(x.Row(r));
+    std::memcpy(result.cfs_raw.data() + r * x.cols(), one.cfs_raw.data(),
+                x.cols() * sizeof(float));
+    std::memcpy(result.cfs.data() + r * x.cols(), one.cfs.data(),
+                x.cols() * sizeof(float));
+    result.desired[r] = one.desired[0];
+    result.predicted[r] = one.predicted[0];
+  }
+  return result;
+}
+
 std::vector<int> CfMethod::Predictions(const Matrix& x) const {
   if (ctx_.predictions != nullptr && ctx_.classifier->frozen()) {
     return ctx_.predictions->Predict(x);
@@ -97,8 +121,21 @@ std::vector<int> CfMethod::Predictions(const Matrix& x) const {
   return ctx_.classifier->Predict(x);
 }
 
+std::vector<int> CfMethod::Predictions(const Matrix& x,
+                                       nn::InferWorkspace* ws) const {
+  if (ws == nullptr) return Predictions(x);
+  // Direct frozen-classifier query on the caller's workspace: same values as
+  // the cache route, minus its mutex — concurrent workers never contend.
+  return ctx_.classifier->Predict(x, ws);
+}
+
 std::vector<int> CfMethod::DesiredClasses(const Matrix& x) const {
-  std::vector<int> pred = Predictions(x);
+  return DesiredClasses(x, nullptr);
+}
+
+std::vector<int> CfMethod::DesiredClasses(const Matrix& x,
+                                          nn::InferWorkspace* ws) const {
+  std::vector<int> pred = Predictions(x, ws);
   for (int& y : pred) y = 1 - y;
   return pred;
 }
@@ -109,6 +146,12 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw) const {
 
 CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
                                 std::vector<int> desired) const {
+  return FinishResult(x, cfs_raw, std::move(desired), nullptr);
+}
+
+CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
+                                std::vector<int> desired,
+                                nn::InferWorkspace* ws) const {
   CfResult result;
   result.inputs = x;
   result.cfs_raw = cfs_raw;
@@ -126,7 +169,7 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
     }
   }
   result.cfs = projected;
-  result.predicted = Predictions(result.cfs);
+  result.predicted = Predictions(result.cfs, ws);
   return result;
 }
 

@@ -98,6 +98,27 @@ class CfMethod {
   /// method-specific GenerateImpl in a "method/<name>/generate" trace span.
   CfResult Generate(const Matrix& x);
 
+  /// True when GenerateMany may coalesce many rows into a single model pass
+  /// whose per-row outputs do not depend on batch composition (no shared
+  /// RNG stream across rows, no cross-row normalisation). The serving layer
+  /// only batches requests for methods that opt in.
+  virtual bool SupportsBatchedGenerate() const { return false; }
+
+  /// One counterfactual per row of `x`, for the serving path.
+  ///
+  /// Batchable methods (SupportsBatchedGenerate) run one coalesced pass
+  /// through the frozen classifier / VAE Infer path; when `ws` is non-null
+  /// it is used for every tape-free model pass (one workspace per server
+  /// worker), making concurrent dispatches safe on a frozen, eval-mode
+  /// pipeline. Row i of the result is bitwise identical to
+  /// Generate(x.Row(i)).
+  ///
+  /// The default implementation is the sequential fallback for
+  /// non-batchable methods: per-row Generate calls in row order, stitched
+  /// into one CfResult (`ws` unused; callers must serialise since the
+  /// method's own state advances per call).
+  virtual CfResult GenerateMany(const Matrix& x, nn::InferWorkspace* ws);
+
   /// The experiment context this method runs against.
   const MethodContext& context() const { return ctx_; }
 
@@ -115,12 +136,29 @@ class CfMethod {
   CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw,
                         std::vector<int> desired) const;
 
+  /// Same, with the classifier passes run on a caller-provided workspace
+  /// (nullptr falls back to the cache/member-workspace route). Used by
+  /// batched GenerateMany overrides so concurrent server workers never
+  /// touch the classifier's shared member workspace.
+  CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw,
+                        std::vector<int> desired,
+                        nn::InferWorkspace* ws) const;
+
   /// Desired (opposite) class per row of x. Served from the shared
   /// PredictionCache when the context carries one.
   std::vector<int> DesiredClasses(const Matrix& x) const;
 
+  /// Same, on a caller-provided workspace (nullptr -> cache route).
+  std::vector<int> DesiredClasses(const Matrix& x,
+                                  nn::InferWorkspace* ws) const;
+
   /// Black-box predictions on `x`, via the shared cache when available.
   std::vector<int> Predictions(const Matrix& x) const;
+
+  /// Same, on a caller-provided workspace: bypasses the (mutex-serialised)
+  /// cache and queries the frozen classifier directly. nullptr falls back
+  /// to the cache route.
+  std::vector<int> Predictions(const Matrix& x, nn::InferWorkspace* ws) const;
 
   MethodContext ctx_;
 };

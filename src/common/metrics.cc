@@ -101,11 +101,16 @@ void Histogram::Record(double v) {
 }
 
 double Histogram::min() const {
-  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  // The +-inf init sentinels can outlive a positive count: NaN records never
+  // pass the AtomicMin/AtomicMax comparison, and a concurrent Record may have
+  // bumped count_ before reaching the extremes. Never leak them to callers.
+  const double v = min_.load(std::memory_order_relaxed);
+  return (count() == 0 || !std::isfinite(v)) ? 0.0 : v;
 }
 
 double Histogram::max() const {
-  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  const double v = max_.load(std::memory_order_relaxed);
+  return (count() == 0 || !std::isfinite(v)) ? 0.0 : v;
 }
 
 double Histogram::mean() const {
@@ -136,8 +141,12 @@ double Histogram::Quantile(double q) const {
                      0.0, 1.0);
       const double estimate = lower + (upper - lower) * frac;
       // The exact extremes are known; clamping makes degenerate (single
-      // value, single bucket) histograms exact.
-      return std::clamp(estimate, min(), max());
+      // value, single bucket) histograms exact. Ordered explicitly —
+      // std::clamp is UB when lo > hi, which an all-NaN histogram (both
+      // extremes still at their sentinels) used to trigger, returning +inf.
+      const double lo = min();
+      const double hi = max();
+      return lo <= hi ? std::min(std::max(estimate, lo), hi) : estimate;
     }
   }
   return max();

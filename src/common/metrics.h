@@ -78,7 +78,8 @@ class Histogram {
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
-  /// Smallest / largest recorded value; 0 when empty.
+  /// Smallest / largest recorded value; 0 when empty (or when only NaN
+  /// values were recorded — NaN never beats the extreme sentinels).
   double min() const;
   double max() const;
   double mean() const;

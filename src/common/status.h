@@ -22,6 +22,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Converts a StatusCode to its canonical spelling ("OK", "INVALID_ARGUMENT"...).
@@ -56,6 +59,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

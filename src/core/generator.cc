@@ -332,6 +332,21 @@ CfResult FeasibleCfGenerator::GenerateImpl(const Matrix& x) {
   return FinishResult(x, SoftCfValue(x_hat, x), std::move(desired));
 }
 
+CfResult FeasibleCfGenerator::GenerateMany(const Matrix& x,
+                                           nn::InferWorkspace* ws) {
+  // Mirrors GenerateImpl minus the shared mutable state: no SetTraining
+  // flip unless needed (serving models are already eval-mode), no rng_
+  // Split (it never affected the output — see GenerateImpl), desired
+  // classes and the final predictions on the caller's workspace rather
+  // than the mutex-serialised cache.
+  if (vae_->training()) vae_->SetTraining(false);
+  std::vector<int> desired = DesiredClasses(x, ws);
+  Matrix cond = DesiredCond(desired);
+  Matrix x_hat = ws != nullptr ? vae_->Reconstruct(x, cond, ws)
+                               : vae_->Reconstruct(x, cond);
+  return FinishResult(x, SoftCfValue(x_hat, x), std::move(desired), ws);
+}
+
 CfResult FeasibleCfGenerator::GenerateTape(const Matrix& x) {
   vae_->SetTraining(false);
   std::vector<int> desired = DesiredClasses(x);

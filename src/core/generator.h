@@ -62,6 +62,18 @@ class FeasibleCfGenerator : public CfMethod {
   Status Fit(const Matrix& x_train, const std::vector<int>& labels) override;
   CfResult GenerateImpl(const Matrix& x) override;
 
+  /// The deterministic generation pass (z = posterior mean, frozen models)
+  /// is row-local end to end, so coalescing rows is safe and row i of a
+  /// batched pass is bitwise identical to a single-row Generate.
+  bool SupportsBatchedGenerate() const override { return true; }
+
+  /// Batched generation on a caller-provided workspace. Unlike GenerateImpl
+  /// this never touches the member RNG (its Split was a stream-preserving
+  /// quirk, not a draw) or the shared prediction cache, so concurrent calls
+  /// with distinct workspaces are safe once the models are frozen and in
+  /// eval mode.
+  CfResult GenerateMany(const Matrix& x, nn::InferWorkspace* ws) override;
+
   /// Reference implementation of Generate through the autodiff tape. Kept
   /// for the bitwise tape-vs-infer equivalence tests and the inference
   /// bench; serving code should call Generate (tape-free, allocation-lean).

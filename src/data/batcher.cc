@@ -1,14 +1,26 @@
 #include "src/data/batcher.h"
 
-#include <cassert>
+#include <cstdlib>
+
+#include "src/common/logging.h"
 
 namespace cfx {
 
 Batcher::Batcher(const Matrix& x, const std::vector<int>& labels,
                  size_t batch_size, Rng* rng)
     : x_(x), labels_(labels), batch_size_(batch_size), rng_(rng->Split(0xBA)) {
-  assert(x_.rows() == labels_.size());
-  assert(batch_size_ > 0);
+  // Unconditional (not assert-only): in NDEBUG builds batch_size == 0 made
+  // Epoch()'s `start += batch_size_` loop forever, and a rows/labels
+  // mismatch read labels out of bounds.
+  if (x_.rows() != labels_.size()) {
+    CFX_LOG(Error) << "Batcher: rows/labels mismatch (" << x_.rows()
+                   << " rows vs " << labels_.size() << " labels)";
+    std::abort();
+  }
+  if (batch_size_ == 0) {
+    CFX_LOG(Error) << "Batcher: batch_size must be positive";
+    std::abort();
+  }
 }
 
 size_t Batcher::NumBatches() const {

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 
@@ -15,11 +16,18 @@ StatusOr<double> ParseCell(const FeatureSpec& spec, const std::string& text) {
   if (text.empty()) return std::nan("");
   switch (spec.type) {
     case FeatureType::kContinuous: {
+      // Strict parse: the whole cell must be consumed ("3.5abc" used to load
+      // silently as 3.5) and the value must be finite — "inf"/"nan" parse
+      // fine under strtod but poison the encoder's min/max scaling.
       char* end = nullptr;
       errno = 0;
       double v = std::strtod(text.c_str(), &end);
-      if (errno != 0 || end == text.c_str()) {
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
         return Status::InvalidArgument("bad numeric cell '" + text + "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite numeric cell '" + text +
+                                       "'");
       }
       return v;
     }
@@ -88,7 +96,12 @@ StatusOr<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
     std::vector<double> values(schema.num_features());
     for (size_t i = 0; i < schema.num_features(); ++i) {
       auto v = ParseCell(schema.feature(i), Trim(cells[i]));
-      if (!v.ok()) return v.status();
+      if (!v.ok()) {
+        // Name the offending file:row, matching the label-cell diagnostics.
+        return Status(v.status().code(),
+                      StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                                v.status().message().c_str()));
+      }
       values[i] = *v;
     }
     const std::string label_cell = Trim(cells.back());

@@ -71,23 +71,33 @@ ag::Var BlackBoxClassifier::LogitsVar(const ag::Var& x) {
   return net_.Forward(x);
 }
 
-const Matrix& BlackBoxClassifier::InferLogits(const Matrix& x) {
+const Matrix& BlackBoxClassifier::InferLogits(const Matrix& x,
+                                              nn::InferWorkspace* ws) {
   // Skip the mode walk entirely in the common serving case (frozen model
   // already in eval mode) — it shows up at batch-1 latency.
   const bool was_training = net_.training();
   if (was_training) net_.SetTraining(false);
-  infer_ws_.Reset();
-  const Matrix& out = net_.Infer(x, &infer_ws_);
+  ws->Reset();
+  const Matrix& out = net_.Infer(x, ws);
   if (was_training) net_.SetTraining(true);
   return out;
 }
 
 Matrix BlackBoxClassifier::Logits(const Matrix& x) {
-  return InferLogits(x);
+  return Logits(x, &infer_ws_);
+}
+
+Matrix BlackBoxClassifier::Logits(const Matrix& x, nn::InferWorkspace* ws) {
+  return InferLogits(x, ws);
 }
 
 std::vector<int> BlackBoxClassifier::Predict(const Matrix& x) {
-  const Matrix& logits = InferLogits(x);
+  return Predict(x, &infer_ws_);
+}
+
+std::vector<int> BlackBoxClassifier::Predict(const Matrix& x,
+                                             nn::InferWorkspace* ws) {
+  const Matrix& logits = InferLogits(x, ws);
   std::vector<int> labels(logits.rows());
   for (size_t r = 0; r < logits.rows(); ++r) {
     labels[r] = logits.at(r, 0) > 0.0f ? 1 : 0;
@@ -96,7 +106,12 @@ std::vector<int> BlackBoxClassifier::Predict(const Matrix& x) {
 }
 
 std::vector<float> BlackBoxClassifier::PredictProba(const Matrix& x) {
-  const Matrix& logits = InferLogits(x);
+  return PredictProba(x, &infer_ws_);
+}
+
+std::vector<float> BlackBoxClassifier::PredictProba(const Matrix& x,
+                                                    nn::InferWorkspace* ws) {
+  const Matrix& logits = InferLogits(x, ws);
   std::vector<float> proba(logits.rows());
   for (size_t r = 0; r < logits.rows(); ++r) {
     proba[r] = 1.0f / (1.0f + std::exp(-logits.at(r, 0)));

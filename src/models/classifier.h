@@ -60,6 +60,15 @@ class BlackBoxClassifier {
   /// P(class 1) per row: sigmoid of the logit. Tape-free.
   std::vector<float> PredictProba(const Matrix& x);
 
+  /// Batch-capable variants on a caller-provided workspace (the serving
+  /// path keeps one workspace per worker). On a *frozen* model these only
+  /// read the weights, so concurrent calls are safe as long as each caller
+  /// brings its own workspace. Values are bitwise identical to the
+  /// member-workspace overloads.
+  Matrix Logits(const Matrix& x, nn::InferWorkspace* ws);
+  std::vector<int> Predict(const Matrix& x, nn::InferWorkspace* ws);
+  std::vector<float> PredictProba(const Matrix& x, nn::InferWorkspace* ws);
+
   /// Fraction of rows where Predict matches `labels`.
   double Accuracy(const Matrix& x, const std::vector<int>& labels);
 
@@ -75,8 +84,8 @@ class BlackBoxClassifier {
   const ClassifierConfig& config() const { return config_; }
 
  private:
-  /// Tape-free eval logits into the shared workspace.
-  const Matrix& InferLogits(const Matrix& x);
+  /// Tape-free eval logits into `ws`.
+  const Matrix& InferLogits(const Matrix& x, nn::InferWorkspace* ws);
 
   size_t input_dim_;
   ClassifierConfig config_;

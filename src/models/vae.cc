@@ -118,15 +118,19 @@ Vae::Output Vae::Forward(const ag::Var& x, const Matrix& cond, Rng* noise_rng,
 }
 
 std::pair<Matrix, Matrix> Vae::Encode(const Matrix& x, const Matrix& cond) {
+  return Encode(x, cond, &infer_ws_);
+}
+
+std::pair<Matrix, Matrix> Vae::Encode(const Matrix& x, const Matrix& cond,
+                                      nn::InferWorkspace* ws) {
   const bool conditional = config_.condition_dim > 0;
   assert(!conditional || (cond.rows() == x.rows() &&
                           cond.cols() == config_.condition_dim));
   const bool was_training = encoder_.training();
   if (was_training) SetTraining(false);
-  infer_ws_.Reset();
-  const Matrix& enc_in =
-      conditional ? ConcatColsInto(x, cond, &infer_ws_) : x;
-  const Matrix& enc_out = encoder_.Infer(enc_in, &infer_ws_);
+  ws->Reset();
+  const Matrix& enc_in = conditional ? ConcatColsInto(x, cond, ws) : x;
+  const Matrix& enc_out = encoder_.Infer(enc_in, ws);
   // Split the head: columns [0, latent) are mu, [latent, 2*latent) logvar.
   Matrix mu(x.rows(), config_.latent_dim);
   Matrix logvar(x.rows(), config_.latent_dim);
@@ -142,13 +146,17 @@ std::pair<Matrix, Matrix> Vae::Encode(const Matrix& x, const Matrix& cond) {
 }
 
 Matrix Vae::Decode(const Matrix& z, const Matrix& cond) {
+  return Decode(z, cond, &infer_ws_);
+}
+
+Matrix Vae::Decode(const Matrix& z, const Matrix& cond,
+                   nn::InferWorkspace* ws) {
   const bool was_training = decoder_.training();
   if (was_training) SetTraining(false);
-  infer_ws_.Reset();
-  const Matrix& dec_in = config_.condition_dim > 0
-                             ? ConcatColsInto(z, cond, &infer_ws_)
-                             : z;
-  Matrix result = decoder_.Infer(dec_in, &infer_ws_);
+  ws->Reset();
+  const Matrix& dec_in =
+      config_.condition_dim > 0 ? ConcatColsInto(z, cond, ws) : z;
+  Matrix result = decoder_.Infer(dec_in, ws);
   if (was_training) SetTraining(true);
   return result;
 }
@@ -161,23 +169,26 @@ ag::Var Vae::DecodeVar(const ag::Var& z, const Matrix& cond) {
 }
 
 Matrix Vae::Reconstruct(const Matrix& x, const Matrix& cond) {
+  return Reconstruct(x, cond, &infer_ws_);
+}
+
+Matrix Vae::Reconstruct(const Matrix& x, const Matrix& cond,
+                        nn::InferWorkspace* ws) {
   const bool conditional = config_.condition_dim > 0;
   const bool was_training = encoder_.training();
   if (was_training) SetTraining(false);
-  infer_ws_.Reset();
-  const Matrix& enc_in =
-      conditional ? ConcatColsInto(x, cond, &infer_ws_) : x;
-  const Matrix& enc_out = encoder_.Infer(enc_in, &infer_ws_);
+  ws->Reset();
+  const Matrix& enc_in = conditional ? ConcatColsInto(x, cond, ws) : x;
+  const Matrix& enc_out = encoder_.Infer(enc_in, ws);
   // z = posterior mean: the first latent_dim columns of the encoder head.
-  Matrix& mu = infer_ws_.Acquire(x.rows(), config_.latent_dim);
+  Matrix& mu = ws->Acquire(x.rows(), config_.latent_dim);
   for (size_t r = 0; r < x.rows(); ++r) {
     std::memcpy(mu.data() + r * config_.latent_dim,
                 enc_out.data() + r * enc_out.cols(),
                 config_.latent_dim * sizeof(float));
   }
-  const Matrix& dec_in =
-      conditional ? ConcatColsInto(mu, cond, &infer_ws_) : mu;
-  Matrix result = decoder_.Infer(dec_in, &infer_ws_);
+  const Matrix& dec_in = conditional ? ConcatColsInto(mu, cond, ws) : mu;
+  Matrix result = decoder_.Infer(dec_in, ws);
   if (was_training) SetTraining(true);
   return result;
 }

@@ -89,6 +89,17 @@ class Vae {
   /// Eval-mode decode of latent codes. Tape-free (see Encode).
   Matrix Decode(const Matrix& z, const Matrix& cond);
 
+  /// Batch-capable variants on a caller-provided workspace (the serving
+  /// path keeps one per worker). On a model already in eval mode these only
+  /// read the weights, so concurrent calls are safe as long as each caller
+  /// brings its own workspace. Values are bitwise identical to the
+  /// member-workspace overloads.
+  std::pair<Matrix, Matrix> Encode(const Matrix& x, const Matrix& cond,
+                                   nn::InferWorkspace* ws);
+  Matrix Decode(const Matrix& z, const Matrix& cond, nn::InferWorkspace* ws);
+  Matrix Reconstruct(const Matrix& x, const Matrix& cond,
+                     nn::InferWorkspace* ws);
+
   /// Differentiable decode: builds the decoder graph over a latent Var so
   /// gradients can flow back into `z` (REVISE's latent search). Dropout
   /// follows the current training mode.
@@ -99,6 +110,8 @@ class Vae {
 
   std::vector<ag::Var> Parameters() const;
   void SetTraining(bool training);
+  /// Current train/eval mode (encoder and decoder always agree).
+  bool training() const { return encoder_.training(); }
   size_t ParameterCount() const;
 
   /// Marks all weights non-trainable; gradients still flow through the

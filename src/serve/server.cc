@@ -1,0 +1,304 @@
+#include "src/serve/server.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
+namespace cfx {
+namespace serve {
+namespace {
+
+/// An already-resolved future carrying only an error status.
+std::future<CfResponse> Rejected(Status status) {
+  std::promise<CfResponse> promise;
+  CfResponse response;
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  return promise.get_future();
+}
+
+}  // namespace
+
+CfServer::CfServer(const CfServerConfig& config) : config_(config) {
+  if (config_.max_batch == 0 || config_.max_queue == 0) {
+    CFX_LOG(Error) << "CfServer: max_batch and max_queue must be positive";
+    std::abort();
+  }
+  depth_gauge_ = metrics::GetGauge("serve/queue_depth");
+  batch_hist_ = metrics::GetHistogram("serve/batch_size");
+  wait_hist_ = metrics::GetHistogram("serve/wait_ms");
+}
+
+CfServer::~CfServer() { Shutdown(); }
+
+void CfServer::RegisterMethod(const std::string& key, CfMethod* method) {
+  if (started_) {
+    CFX_LOG(Error) << "CfServer::RegisterMethod('" << key
+                   << "') after Start(); register all methods first";
+    std::abort();
+  }
+  MethodEntry entry;
+  entry.method = method;
+  entry.key = key;
+  entry.batchable = method->SupportsBatchedGenerate();
+  entry.width = method->context().encoder->encoded_width();
+  if (entry.batchable) {
+    // Warm-up: Sequential builds its inference plan (and the tabular head
+    // its softmax layout) lazily on the first Infer — a mutation. Run one
+    // throwaway row now so concurrent workers only ever read.
+    Matrix probe(1, entry.width);
+    nn::InferWorkspace ws;
+    (void)method->GenerateMany(probe, &ws);
+  }
+  methods_[key] = std::move(entry);
+}
+
+void CfServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(config_.workers);
+  for (size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back(&CfServer::WorkerLoop, this);
+  }
+}
+
+std::future<CfResponse> CfServer::Submit(CfRequest request) {
+  // methods_ is immutable once Start() has run (RegisterMethod aborts
+  // after), so the lookup needs no lock.
+  auto it = methods_.find(request.method);
+  if (it == methods_.end()) {
+    return Rejected(
+        Status::InvalidArgument("unknown method '" + request.method + "'"));
+  }
+  const MethodEntry* entry = &it->second;
+  if (request.instance.rows() != 1 ||
+      request.instance.cols() != entry->width) {
+    return Rejected(Status::InvalidArgument(
+        "instance must be 1x" + std::to_string(entry->width) + ", got " +
+        std::to_string(request.instance.rows()) + "x" +
+        std::to_string(request.instance.cols())));
+  }
+
+  std::future<CfResponse> future;
+  bool wake_idle = false;
+  bool wake_leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      return Rejected(Status::FailedPrecondition("server is shut down"));
+    }
+    if (queue_.size() >= config_.max_queue) {
+      // Backpressure by rejection, never by blocking: the producer learns
+      // immediately and the queue cannot grow past its bound.
+      ++stats_.rejected_full;
+      return Rejected(Status::ResourceExhausted(
+          "serve queue full (" + std::to_string(config_.max_queue) + ")"));
+    }
+    Pending pending;
+    pending.row = std::move(request.instance);
+    pending.entry = entry;
+    pending.deadline = request.deadline;
+    if (wait_hist_ != nullptr) {
+      pending.enqueued = std::chrono::steady_clock::now();
+    }
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+    wake_idle = idle_waiters_ > 0;
+    wake_leader = collecting_ > 0 && queue_.size() >= collect_need_;
+    UpdateQueueGauge();
+  }
+  // Notify after unlocking: a woken worker grabs mu_ immediately, so
+  // signalling under the lock forces an extra block/handoff per request.
+  // Parked idle workers are woken per arrival (none are parked under
+  // sustained load — they find the backlog when they relock after a
+  // dispatch); a window-waiting batch leader is woken only once the queue
+  // could fill its batch (otherwise its delay-window expiry sweeps the
+  // stragglers), so a burst costs one leader wake, not one per request.
+  if (wake_idle) cv_.notify_one();
+  if (wake_leader) cv_batch_.notify_all();
+  return future;
+}
+
+void CfServer::WorkerLoop() {
+  // One workspace per worker: every batch-capable model entry point Resets
+  // it before use, so classifier and VAE passes can share it.
+  nn::InferWorkspace ws;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    ++idle_waiters_;
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    --idle_waiters_;
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    // Leader election is implicit: whoever holds the lock takes the front
+    // request's method and claims every compatible queued request.
+    const MethodEntry* entry = queue_.front().entry;
+    const auto window_end =
+        std::chrono::steady_clock::now() + config_.max_delay;
+    std::vector<Pending> batch;
+    CollectLocked(entry, config_.max_batch, &batch);
+    if (entry->batchable) {
+      // Hold the partial batch open for late same-method arrivals until
+      // the window closes, the batch fills, or shutdown begins. The wait
+      // is on cv_batch_, which producers signal only when the queue could
+      // *fill* the batch: waking (and bouncing the lock) on every single
+      // arrival would dominate dispatch at high offered load. Partial
+      // stragglers are swept up when the window expires.
+      while (!batch.empty() && batch.size() < config_.max_batch &&
+             !stopping_) {
+        const size_t need = config_.max_batch - batch.size();
+        ++collecting_;
+        if (need < collect_need_) collect_need_ = need;
+        const bool ready = cv_batch_.wait_until(lock, window_end, [&] {
+          return stopping_ || queue_.size() >= need;
+        });
+        --collecting_;
+        if (collecting_ == 0) collect_need_ = SIZE_MAX;
+        const size_t before = batch.size();
+        CollectLocked(entry, config_.max_batch, &batch);
+        if (!ready) break;  // Window expired; dispatch what we have.
+        if (batch.size() == before) {
+          // The queue is deep enough but holds other methods' work (which
+          // keeps the predicate true): dispatch the partial batch now
+          // rather than spinning on it until the window closes.
+          break;
+        }
+      }
+    }
+    if (batch.empty()) continue;  // Every claimed request had expired.
+    ++stats_.batches;
+    stats_.batched_rows += batch.size();
+    lock.unlock();
+    const size_t done = Dispatch(std::move(batch), &ws);
+    lock.lock();
+    stats_.completed += done;
+  }
+}
+
+void CfServer::CollectLocked(const MethodEntry* entry, size_t limit,
+                             std::vector<Pending>* batch) {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch->size() < limit;) {
+    if (it->entry != entry) {
+      ++it;
+      continue;
+    }
+    Pending pending = std::move(*it);
+    it = queue_.erase(it);
+    if (pending.deadline <= now) {
+      ++stats_.expired;
+      CfResponse response;
+      response.status = Status::DeadlineExceeded(
+          "request deadline passed before dispatch");
+      pending.promise.set_value(std::move(response));
+      continue;
+    }
+    batch->push_back(std::move(pending));
+  }
+  UpdateQueueGauge();
+}
+
+size_t CfServer::Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws) {
+  const MethodEntry* entry = batch.front().entry;
+  trace::ScopedSpan span(trace::SpansActive()
+                             ? "serve/dispatch/" + entry->key
+                             : std::string());
+
+  if (batch_hist_ != nullptr) {
+    batch_hist_->Record(static_cast<double>(batch.size()));
+  }
+  if (wait_hist_ != nullptr) {
+    const auto now = std::chrono::steady_clock::now();
+    for (const Pending& pending : batch) {
+      wait_hist_->Record(
+          std::chrono::duration<double, std::milli>(now - pending.enqueued)
+              .count());
+    }
+  }
+
+  Matrix x(batch.size(), entry->width);
+  for (size_t r = 0; r < batch.size(); ++r) {
+    std::memcpy(x.data() + r * entry->width, batch[r].row.data(),
+                entry->width * sizeof(float));
+  }
+
+  CfResult result;
+  if (entry->batchable) {
+    result = entry->method->GenerateMany(x, ws);
+  } else {
+    // Sequential fallback mutates method state per call (RNG streams,
+    // member workspaces): one dispatch at a time, FIFO preserved.
+    std::lock_guard<std::mutex> sequential(sequential_mu_);
+    result = entry->method->GenerateMany(x, nullptr);
+  }
+
+  // Resolve in reverse submission order: a client draining its futures
+  // oldest-first then blocks only until the *last* promise of the batch
+  // resolves — one futex wake per batch instead of one per row (set_value
+  // on a future nobody waits on yet is just an atomic store).
+  for (size_t i = batch.size(); i > 0; --i) {
+    const size_t r = i - 1;
+    CfResponse response;
+    response.cf = result.cfs.Row(r);
+    response.cf_raw = result.cfs_raw.Row(r);
+    response.desired = result.desired[r];
+    response.predicted = result.predicted[r];
+    batch[r].promise.set_value(std::move(response));
+  }
+  return batch.size();
+}
+
+void CfServer::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  cv_batch_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  CancelQueueLocked();
+}
+
+void CfServer::CancelQueueLocked() {
+  while (!queue_.empty()) {
+    Pending pending = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.cancelled;
+    CfResponse response;
+    response.status = Status::Cancelled("server shut down before dispatch");
+    pending.promise.set_value(std::move(response));
+  }
+  UpdateQueueGauge();
+}
+
+void CfServer::UpdateQueueGauge() const {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->Set(static_cast<double>(queue_.size()));
+  }
+}
+
+CfServerStats CfServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t CfServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace serve
+}  // namespace cfx

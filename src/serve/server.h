@@ -1,0 +1,203 @@
+// Micro-batching CF request scheduler — the serving front of ROADMAP's
+// "production-scale serving" north star.
+//
+// Many producer threads Submit single-instance requests; a small pool of
+// worker threads coalesces up to `max_batch` compatible requests (same
+// registered method) that arrive within a `max_delay` window into ONE
+// batched pass through the frozen classifier + VAE Infer path, then fans
+// the per-row results back through per-request futures.
+//
+// Contracts:
+//   * Row results are bitwise identical to a single-request Generate on the
+//     same method (the generation pass is row-local end to end); serve_test
+//     pins CFX_THREADS=1 and proves it.
+//   * The queue is bounded: a full queue rejects immediately with
+//     ResourceExhausted — it never blocks the producer and never grows.
+//   * A request whose deadline passes before dispatch resolves with
+//     DeadlineExceeded instead of occupying batch rows.
+//   * Shutdown stops intake, lets running workers drain the queue, and
+//     cancels anything still pending (no workers) with Cancelled.
+//
+// Batching is only applied to methods that opt in via
+// CfMethod::SupportsBatchedGenerate; other methods fall back to the
+// sequential GenerateMany path, serialised on a per-server mutex because
+// their per-call state (RNG streams, member workspaces) is not
+// concurrency-safe.
+#ifndef CFX_SERVE_SERVER_H_
+#define CFX_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace serve {
+
+/// Scheduler tuning knobs.
+struct CfServerConfig {
+  /// Max rows coalesced into one dispatched batch.
+  size_t max_batch = 32;
+  /// Bound on queued (not yet dispatched) requests; Submit rejects with
+  /// ResourceExhausted once reached.
+  size_t max_queue = 256;
+  /// Dispatcher threads spawned by Start(). 0 is legal (nothing dispatches
+  /// until Start is called with workers, or ever — used by backpressure
+  /// tests); 1 gives strict per-method FIFO dispatch order.
+  size_t workers = 1;
+  /// How long the batch leader waits for more same-method arrivals before
+  /// dispatching a partial batch. A full batch dispatches immediately.
+  std::chrono::microseconds max_delay{500};
+};
+
+/// One explanation request: a single encoded instance bound for a
+/// registered method, with an optional absolute deadline.
+struct CfRequest {
+  Matrix instance;     ///< (1 x encoded_width) encoded row.
+  std::string method;  ///< Key passed to CfServer::RegisterMethod.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Per-request result. `status` is OK on success; on error (timeout,
+/// rejection, shutdown) the payload fields are empty/zero.
+struct CfResponse {
+  Status status = Status::OK();
+  Matrix cf;       ///< (1 x d) projected counterfactual.
+  Matrix cf_raw;   ///< (1 x d) unprojected generator output.
+  int desired = 0;    ///< Desired (opposite) class.
+  int predicted = 0;  ///< Black-box prediction on `cf`.
+};
+
+/// Scheduler counters, for tests and ops. Snapshot semantics.
+struct CfServerStats {
+  size_t submitted = 0;      ///< Requests accepted into the queue.
+  size_t rejected_full = 0;  ///< Submits bounced with ResourceExhausted.
+  size_t expired = 0;        ///< Requests resolved DeadlineExceeded.
+  size_t cancelled = 0;      ///< Requests cancelled at shutdown.
+  size_t completed = 0;      ///< Requests resolved OK.
+  size_t batches = 0;        ///< Dispatched batches (any size).
+  size_t batched_rows = 0;   ///< Rows across all dispatched batches.
+};
+
+/// Bounded-queue micro-batching scheduler over registered CfMethods.
+///
+/// Lifecycle: construct, RegisterMethod (all registration before Start),
+/// Start, Submit from any thread, Shutdown (also run by the destructor).
+class CfServer {
+ public:
+  explicit CfServer(const CfServerConfig& config);
+  ~CfServer();
+
+  CfServer(const CfServer&) = delete;
+  CfServer& operator=(const CfServer&) = delete;
+
+  /// Registers `method` under `key`. The method must outlive the server.
+  /// Batchable methods are warmed with one throwaway single-row pass so
+  /// lazily-built inference plans exist before concurrent workers touch
+  /// them. Must be called before Start().
+  void RegisterMethod(const std::string& key, CfMethod* method);
+
+  /// Spawns the worker threads. Idempotent; a second call is a no-op.
+  void Start();
+
+  /// Enqueues a request. Always returns a future: on acceptance it resolves
+  /// when a worker dispatches the batch; on rejection (unknown method, bad
+  /// shape, full queue, stopped server) it is already resolved with the
+  /// error status. Never blocks on a full queue.
+  std::future<CfResponse> Submit(CfRequest request);
+
+  /// Stops intake, drains the queue through running workers, joins them,
+  /// and cancels anything still pending with Cancelled. Idempotent.
+  void Shutdown();
+
+  CfServerStats stats() const;
+  /// Queued-but-undispatched requests right now.
+  size_t queue_depth() const;
+  const CfServerConfig& config() const { return config_; }
+
+ private:
+  struct MethodEntry {
+    CfMethod* method = nullptr;
+    std::string key;       ///< Registration key, used in span names.
+    bool batchable = false;
+    size_t width = 0;  ///< Expected instance width (encoder output).
+  };
+
+  /// A queued request: the promise rides along until resolution.
+  struct Pending {
+    Matrix row;
+    const MethodEntry* entry = nullptr;
+    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<CfResponse> promise;
+  };
+
+  void WorkerLoop();
+  /// Pulls same-method, unexpired requests out of queue_ into `batch`
+  /// (mu_ must be held). Expired ones are resolved in place.
+  void CollectLocked(const MethodEntry* entry, size_t limit,
+                     std::vector<Pending>* batch);
+  /// Runs one batch and resolves its promises. Returns the row count so the
+  /// caller can fold the completed-counter update into its own relock.
+  size_t Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws);
+  /// Resolves every queued request with Cancelled (mu_ must be held).
+  void CancelQueueLocked();
+  void UpdateQueueGauge() const;
+
+  CfServerConfig config_;
+  std::unordered_map<std::string, MethodEntry> methods_;
+
+  /// Metric handles, resolved once at construction; all null when metrics
+  /// collection is disabled, which also skips the per-submit clock read
+  /// that only feeds the wait histogram.
+  metrics::Gauge* depth_gauge_ = nullptr;
+  metrics::Histogram* batch_hist_ = nullptr;
+  metrics::Histogram* wait_hist_ = nullptr;
+
+  mutable std::mutex mu_;
+  /// Idle workers wait here for any queued work; signalled per Submit.
+  std::condition_variable cv_;
+  /// A batch leader holding a partial batch waits here. Producers signal it
+  /// only once the queue could fill the batch (`collect_need_`), so the
+  /// leader is not woken — and the lock not bounced — on every arrival.
+  std::condition_variable cv_batch_;
+  /// Leaders currently window-waiting on cv_batch_ (guarded by mu_).
+  size_t collecting_ = 0;
+  /// Workers parked in the idle wait (guarded by mu_). Submit skips the
+  /// cv_ signal entirely when nobody is parked — at high offered load the
+  /// workers are always mid-dispatch and the queue feeds them on relock.
+  size_t idle_waiters_ = 0;
+  /// Smallest queue depth that would fill a waiting leader's batch; reset
+  /// when no leader waits. A heuristic: a stale value only delays a wake
+  /// until the leader's delay window expires, never loses a request.
+  size_t collect_need_ = SIZE_MAX;
+  std::deque<Pending> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool started_ = false;
+  CfServerStats stats_;
+
+  /// Serialises sequential-fallback dispatches: non-batchable methods
+  /// mutate per-call state, so only one worker may run one at a time.
+  std::mutex sequential_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace cfx
+
+#endif  // CFX_SERVE_SERVER_H_

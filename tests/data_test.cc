@@ -428,6 +428,45 @@ TEST(BatcherTest, ReshufflesBetweenEpochs) {
   EXPECT_NE(e1[0].indices, e2[0].indices);
 }
 
+TEST(BatcherTest, BatchSizeLargerThanRowsYieldsOneFullBatch) {
+  Rng rng(7);
+  Matrix x(5, 2);
+  for (size_t i = 0; i < x.rows(); ++i) x.at(i, 0) = static_cast<float>(i);
+  std::vector<int> labels(5, 1);
+  Batcher batcher(x, labels, 100, &rng);
+  EXPECT_EQ(batcher.NumBatches(), 1u);
+  auto batches = batcher.Epoch();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].x.rows(), 5u);
+  EXPECT_EQ(batches[0].y.rows(), 5u);
+}
+
+TEST(BatcherTest, ZeroRowTableYieldsNoBatches) {
+  Rng rng(8);
+  Matrix x(0, 3);
+  std::vector<int> labels;
+  Batcher batcher(x, labels, 16, &rng);
+  EXPECT_EQ(batcher.NumBatches(), 0u);
+  EXPECT_TRUE(batcher.Epoch().empty());
+}
+
+TEST(BatcherDeathTest, RowLabelMismatchAbortsInEveryBuild) {
+  // The assert-era validation vanished in release builds, letting a
+  // mismatched (x, labels) pair read out of bounds; the check must be
+  // unconditional now.
+  Rng rng(9);
+  Matrix x(4, 2);
+  std::vector<int> labels(3, 0);
+  EXPECT_DEATH(Batcher(x, labels, 2, &rng), "rows/labels mismatch");
+}
+
+TEST(BatcherDeathTest, ZeroBatchSizeAbortsInEveryBuild) {
+  Rng rng(10);
+  Matrix x(4, 2);
+  std::vector<int> labels(4, 0);
+  EXPECT_DEATH(Batcher(x, labels, 0, &rng), "batch_size");
+}
+
 // ---- csv --------------------------------------------------------------------------
 
 TEST(CsvTest, TableRoundTrip) {
@@ -490,6 +529,46 @@ TEST(CsvTest, RejectsBadLabelCell) {
         << result.status().ToString();
     EXPECT_NE(result.status().message().find("label"), std::string::npos)
         << result.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CsvTest, RejectsMalformedContinuousCell) {
+  // strtod-era parsing accepted any cell with a numeric prefix ("30x" ->
+  // 30) and non-finite spellings ("inf", "nan"); the reader must now
+  // require the whole cell to be one finite number and name file:row.
+  const char* kBadCells[] = {"30x",  "1.5.2", "12 34", "inf", "-inf",
+                             "nan",  "NaN",   "1e",    "--1", "+-2",
+                             "1e999" /* overflows to inf */};
+  for (const char* bad : kBadCells) {
+    const std::string path = ::testing::TempDir() + "/cfx_csv_cont.csv";
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "age,color,member,locked,label\n%s,red,yes,5,1\n", bad);
+    fclose(f);
+    auto result = ReadTableCsv(TinySchema(), path);
+    ASSERT_FALSE(result.ok()) << "cell '" << bad << "' was accepted";
+    EXPECT_NE(result.status().message().find(":2:"), std::string::npos)
+        << result.status().ToString();
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CsvTest, AcceptsExponentAndSignedContinuousCells) {
+  // The stricter parse must not lose legal spellings: exponent forms,
+  // signs, leading dots and surrounding whitespace (cells are trimmed).
+  const std::pair<const char*, double> kGoodCells[] = {
+      {"1e2", 100.0},   {"3.5E-1", 0.35}, {"-2.5", -2.5},
+      {".5", 0.5},      {"+4", 4.0},      {" 7.25 ", 7.25},
+  };
+  for (const auto& [cell, expected] : kGoodCells) {
+    const std::string path = ::testing::TempDir() + "/cfx_csv_good.csv";
+    FILE* f = fopen(path.c_str(), "w");
+    fprintf(f, "age,color,member,locked,label\n%s,red,yes,5,1\n", cell);
+    fclose(f);
+    auto result = ReadTableCsv(TinySchema(), path);
+    ASSERT_TRUE(result.ok())
+        << "cell '" << cell << "': " << result.status().ToString();
+    EXPECT_NEAR(result->column(0).value(0), expected, 1e-9);
     std::remove(path.c_str());
   }
 }

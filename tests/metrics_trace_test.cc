@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -135,6 +136,46 @@ TEST(MetricsTest, HistogramEdgeValues) {
   EXPECT_EQ(h->count(), 3u);
   EXPECT_DOUBLE_EQ(h->min(), -1.0);
   EXPECT_DOUBLE_EQ(h->max(), 1e12);
+}
+
+TEST(MetricsTest, HistogramNanRecordKeepsStatsWellFormed) {
+  // Regression: Record(NaN) bumped the count but every NaN comparison in
+  // the atomic min/max loops failed, so min()/max() kept their +-inf
+  // sentinels and Quantile clamped with lo > hi (UB; returned +inf in
+  // practice). A NaN-poisoned histogram must stay finite and well-formed.
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("poisoned");
+  h->Record(std::nan(""));
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_TRUE(std::isfinite(h->Quantile(0.5)));
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+
+  // Real observations recorded after the NaN behave normally.
+  h->Record(2.0);
+  EXPECT_DOUBLE_EQ(h->min(), 2.0);
+  EXPECT_DOUBLE_EQ(h->max(), 2.0);
+  EXPECT_TRUE(std::isfinite(h->Quantile(0.99)));
+}
+
+TEST(MetricsTest, EmptyHistogramSnapshotShape) {
+  // An empty histogram must serialise as a complete, finite summary —
+  // zero count/sum/min/max and zeroed quantiles, never "inf"/"nan" (which
+  // are not legal JSON and break downstream parsers).
+  metrics::MetricsRegistry reg;
+  metrics::Histogram* h = reg.histogram("serve/wait_ms");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.0);
+  const std::string json = reg.ToJson();
+  EXPECT_TRUE(StructurallyValidJson(json)) << json;
+  EXPECT_NE(json.find("\"serve/wait_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
 }
 
 TEST(MetricsTest, ConcurrentRecordingIsConsistent) {

@@ -1,0 +1,340 @@
+// Micro-batching CF request scheduler. This binary is pinned to
+// CFX_THREADS=1 (see tests/CMakeLists.txt): the serve determinism contract —
+// a batched dispatch is bitwise identical to per-request generation — is
+// stated and proven at one kernel thread, independent of scheduler timing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+#include "src/serve/server.h"
+
+namespace cfx {
+namespace {
+
+using serve::CfRequest;
+using serve::CfResponse;
+using serve::CfServer;
+using serve::CfServerConfig;
+using serve::CfServerStats;
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunConfig config;
+    config.scale = Scale::kSmall;
+    config.seed = 99;
+    auto exp = Experiment::Create(DatasetId::kAdult, config);
+    ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+    experiment_ = std::move(*exp).release();
+
+    GeneratorConfig gen_config = GeneratorConfig::FromDataset(
+        experiment_->info(), ConstraintMode::kUnary);
+    gen_config.epochs = 3;
+    gen_config.max_restarts = 0;
+    generator_ = new FeasibleCfGenerator(experiment_->method_context(),
+                                         gen_config);
+    ASSERT_TRUE(
+        generator_->Fit(experiment_->x_train(), experiment_->y_train()).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete generator_;
+    generator_ = nullptr;
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static Matrix TestRows(size_t n) {
+    return experiment_->x_test().SliceRows(0, n);
+  }
+
+  static Experiment* experiment_;
+  static FeasibleCfGenerator* generator_;
+};
+
+Experiment* ServeFixture::experiment_ = nullptr;
+FeasibleCfGenerator* ServeFixture::generator_ = nullptr;
+
+TEST_F(ServeFixture, GenerateManyMatchesPerRowGenerateBitwise) {
+  // The seam the scheduler stands on: a coalesced GenerateMany pass equals
+  // row-by-row Generate, bit for bit, on an independent workspace.
+  Matrix x = TestRows(24);
+  nn::InferWorkspace ws;
+  CfResult batched = generator_->GenerateMany(x, &ws);
+  ASSERT_EQ(batched.size(), x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfResult single = generator_->Generate(x.SliceRows(r, r + 1));
+    EXPECT_TRUE(BitwiseEqual(batched.cfs.Row(r), single.cfs));
+    EXPECT_TRUE(BitwiseEqual(batched.cfs_raw.Row(r), single.cfs_raw));
+    EXPECT_EQ(batched.desired[r], single.desired[0]);
+    EXPECT_EQ(batched.predicted[r], single.predicted[0]);
+  }
+}
+
+TEST_F(ServeFixture, BatchedServingIsBitwiseIdenticalToSingleRequests) {
+  Matrix x = TestRows(24);
+  CfServerConfig config;
+  config.max_batch = 8;
+  config.workers = 1;
+  config.max_delay = std::chrono::microseconds(100);
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+
+  // Enqueue the full burst before Start(): the leader then coalesces
+  // deterministically — three full batches of eight.
+  std::vector<std::future<CfResponse>> futures;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfRequest request;
+    request.instance = x.SliceRows(r, r + 1);
+    request.method = "ours";
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Start();
+
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfResponse response = futures[r].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    CfResult single = generator_->Generate(x.SliceRows(r, r + 1));
+    EXPECT_TRUE(BitwiseEqual(response.cf, single.cfs));
+    EXPECT_TRUE(BitwiseEqual(response.cf_raw, single.cfs_raw));
+    EXPECT_EQ(response.desired, single.desired[0]);
+    EXPECT_EQ(response.predicted, single.predicted[0]);
+  }
+  server.Shutdown();
+
+  CfServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 24u);
+  EXPECT_EQ(stats.completed, 24u);
+  EXPECT_EQ(stats.batches, 3u);  // 24 requests / max_batch 8.
+  EXPECT_EQ(stats.batched_rows, 24u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST_F(ServeFixture, ExpiredDeadlineResolvesDeadlineExceeded) {
+  CfServerConfig config;
+  config.workers = 1;
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+
+  // One already-expired request and one live one, queued before Start so
+  // the expiry check happens at collection time, deterministically.
+  CfRequest expired;
+  expired.instance = TestRows(1);
+  expired.method = "ours";
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  std::future<CfResponse> expired_future = server.Submit(std::move(expired));
+
+  CfRequest live;
+  live.instance = TestRows(1);
+  live.method = "ours";
+  std::future<CfResponse> live_future = server.Submit(std::move(live));
+
+  server.Start();
+  CfResponse expired_response = expired_future.get();
+  EXPECT_EQ(expired_response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired_response.cf.rows(), 0u);
+
+  CfResponse live_response = live_future.get();
+  EXPECT_TRUE(live_response.status.ok()) << live_response.status.ToString();
+
+  server.Shutdown();
+  EXPECT_EQ(server.stats().expired, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST_F(ServeFixture, FullQueueRejectsImmediatelyWithoutBlocking) {
+  CfServerConfig config;
+  config.max_queue = 4;
+  config.workers = 0;  // Nothing drains: the queue stays full.
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+  server.Start();
+
+  std::vector<std::future<CfResponse>> accepted;
+  for (int i = 0; i < 4; ++i) {
+    CfRequest request;
+    request.instance = TestRows(1);
+    request.method = "ours";
+    accepted.push_back(server.Submit(std::move(request)));
+  }
+  EXPECT_EQ(server.queue_depth(), 4u);
+
+  CfRequest overflow;
+  overflow.instance = TestRows(1);
+  overflow.method = "ours";
+  std::future<CfResponse> rejected = server.Submit(std::move(overflow));
+  // The rejection future is already resolved — Submit never blocked.
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rejected.get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.queue_depth(), 4u);  // The bound held.
+  EXPECT_EQ(server.stats().rejected_full, 1u);
+
+  // Shutdown with no workers cancels what never dispatched.
+  server.Shutdown();
+  for (std::future<CfResponse>& future : accepted) {
+    EXPECT_EQ(future.get().status.code(), StatusCode::kCancelled);
+  }
+  EXPECT_EQ(server.stats().cancelled, 4u);
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST_F(ServeFixture, MalformedSubmissionsAreRejectedUpFront) {
+  CfServerConfig config;
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+
+  CfRequest unknown;
+  unknown.instance = TestRows(1);
+  unknown.method = "nope";
+  EXPECT_EQ(server.Submit(std::move(unknown)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  CfRequest bad_shape;
+  bad_shape.instance = TestRows(2);  // Two rows: must be exactly one.
+  bad_shape.method = "ours";
+  EXPECT_EQ(server.Submit(std::move(bad_shape)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  server.Shutdown();
+  CfRequest late;
+  late.instance = TestRows(1);
+  late.method = "ours";
+  EXPECT_EQ(server.Submit(std::move(late)).get().status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeFixture, ConcurrentProducersAllGetCorrectResults) {
+  Matrix x = TestRows(32);
+  CfResult reference = generator_->Generate(x);
+
+  CfServerConfig config;
+  config.max_batch = 8;
+  config.workers = 2;
+  config.max_delay = std::chrono::microseconds(200);
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+  server.Start();
+
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 8;
+  std::vector<std::vector<std::future<CfResponse>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const size_t row = p * kPerProducer + i;
+        CfRequest request;
+        request.instance = x.SliceRows(row, row + 1);
+        request.method = "ours";
+        futures[p].push_back(server.Submit(std::move(request)));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  for (size_t p = 0; p < kProducers; ++p) {
+    for (size_t i = 0; i < kPerProducer; ++i) {
+      const size_t row = p * kPerProducer + i;
+      CfResponse response = futures[p][i].get();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_TRUE(BitwiseEqual(response.cf, reference.cfs.Row(row)));
+      EXPECT_TRUE(BitwiseEqual(response.cf_raw, reference.cfs_raw.Row(row)));
+      EXPECT_EQ(response.desired, reference.desired[row]);
+      EXPECT_EQ(response.predicted, reference.predicted[row]);
+    }
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.stats().completed, kProducers * kPerProducer);
+}
+
+/// Minimal non-batchable method: the identity counterfactual. Counts
+/// GenerateImpl calls so the test can see the sequential fallback at work.
+class IdentityMethod : public CfMethod {
+ public:
+  explicit IdentityMethod(const MethodContext& ctx) : CfMethod(ctx) {}
+  std::string name() const override { return "identity"; }
+  Status Fit(const Matrix&, const std::vector<int>&) override {
+    return Status::OK();
+  }
+  int impl_calls() const { return impl_calls_; }
+
+ protected:
+  CfResult GenerateImpl(const Matrix& x) override {
+    ++impl_calls_;
+    return FinishResult(x, x);
+  }
+
+ private:
+  int impl_calls_ = 0;
+};
+
+TEST_F(ServeFixture, NonBatchableMethodFallsBackToSequentialGeneration) {
+  IdentityMethod method(experiment_->method_context());
+  ASSERT_FALSE(method.SupportsBatchedGenerate());
+
+  Matrix x = TestRows(5);
+  CfServerConfig config;
+  config.max_batch = 8;
+  config.workers = 1;
+  CfServer server(config);
+  server.RegisterMethod("identity", &method);
+
+  std::vector<std::future<CfResponse>> futures;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfRequest request;
+    request.instance = x.SliceRows(r, r + 1);
+    request.method = "identity";
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Start();
+  for (size_t r = 0; r < x.rows(); ++r) {
+    CfResponse response = futures[r].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // Identity raw CF; the projected CF is its manifold projection.
+    EXPECT_TRUE(BitwiseEqual(response.cf_raw, x.Row(r)));
+    EXPECT_EQ(response.cf.cols(), x.cols());
+  }
+  server.Shutdown();
+  // The fallback ran row-by-row Generate under the hood — once per request,
+  // and no warm-up pass touched the method (that would have advanced
+  // stochastic methods' RNG streams before the first real request).
+  EXPECT_EQ(method.impl_calls(), 5);
+}
+
+TEST_F(ServeFixture, ShutdownIsIdempotentAndDrainsInFlightWork) {
+  CfServerConfig config;
+  config.workers = 1;
+  CfServer server(config);
+  server.RegisterMethod("ours", generator_);
+  server.Start();
+
+  CfRequest request;
+  request.instance = TestRows(1);
+  request.method = "ours";
+  std::future<CfResponse> future = server.Submit(std::move(request));
+  // Shutdown drains: the queued request completes rather than cancelling.
+  server.Shutdown();
+  EXPECT_TRUE(future.get().status.ok());
+  server.Shutdown();  // Second call is a no-op.
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(server.stats().cancelled, 0u);
+}
+
+}  // namespace
+}  // namespace cfx

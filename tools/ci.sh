@@ -7,9 +7,12 @@
 #   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite,
 #                       then bench smokes (perf_tsne + perf_inference,
 #                       minimal iterations), a pipeline-bundle round-trip
-#                       smoke, and a metrics/trace smoke (CFX_METRICS +
+#                       smoke, a metrics/trace smoke (CFX_METRICS +
 #                       CFX_TRACE set; the emitted metrics.json/trace.json
-#                       must parse and carry the instrumented series).
+#                       must parse and carry the instrumented series), and a
+#                       serve smoke (perf_serve; the scheduler's queue-depth
+#                       / batch-size / wait-time series must land in a
+#                       parseable metrics artifact).
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
 #                       ctest + the same smokes under the sanitizers.
 #
@@ -96,6 +99,36 @@ metrics_smoke() {
   fi
 }
 
+# Serving smoke: a short perf_serve pass (single-request + batch-32 arms)
+# with metrics collection on. The scheduler's instrumented series —
+# queue-depth gauge, batch-size and wait-time histograms — must land in a
+# parseable metrics.json.
+serve_smoke() {
+  local build_dir="$1"
+  local metrics_json="$build_dir/bench_smoke_serve_metrics.json"
+  rm -f "$metrics_json"
+  CFX_THREADS=1 CFX_METRICS="$metrics_json" \
+    "$build_dir/bench/perf_serve" \
+    --benchmark_filter='BM_ServeSingleRequest|BM_ServeBatched/32/' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$build_dir/bench_smoke_perf_serve.json" \
+    --benchmark_out_format=json
+  if [[ ! -s "$metrics_json" ]]; then
+    echo "serve smoke: missing artifact $metrics_json" >&2
+    return 1
+  fi
+  if ! python3 -m json.tool "$metrics_json" > /dev/null; then
+    echo "serve smoke: unparsable JSON in $metrics_json" >&2
+    return 1
+  fi
+  for key in 'serve/queue_depth' 'serve/batch_size' 'serve/wait_ms'; do
+    if ! grep -q "$key" "$metrics_json"; then
+      echo "serve smoke: $metrics_json lacks '$key'" >&2
+      return 1
+    fi
+  done
+}
+
 echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
@@ -106,6 +139,8 @@ echo "==> [1/2] bundle round-trip smoke"
 bundle_smoke build-ci
 echo "==> [1/2] metrics/trace smoke (CFX_METRICS + CFX_TRACE artifacts)"
 metrics_smoke build-ci
+echo "==> [1/2] serve smoke (perf_serve + scheduler metrics artifact)"
+serve_smoke build-ci
 
 if [[ "$skip_asan" -eq 0 ]]; then
   echo "==> [2/2] ASan/UBSan build"
@@ -118,6 +153,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=0 bundle_smoke build-asan
   echo "==> [2/2] metrics/trace smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 metrics_smoke build-asan
+  echo "==> [2/2] serve smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 serve_smoke build-asan
 else
   echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
 fi
