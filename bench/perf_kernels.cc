@@ -1,0 +1,147 @@
+// Microbenchmarks for the dispatched SIMD kernels, swept across dispatch
+// levels: the first benchmark argument selects the simd::Level (1 = scalar,
+// 2 = avx2, 3 = neon), so one run measures the scalar fallback and the
+// native vector path side by side. Levels the hardware cannot run are
+// skipped, not failed. Shapes mirror the hot paths: the Table II MLP
+// matmuls, encoder-width elementwise spans, and optimizer updates.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include "src/data/column_batch.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/simd.h"
+
+namespace cfx {
+namespace {
+
+/// Applies the requested level for the benchmark body; skips the benchmark
+/// when the hardware cannot run it (e.g. the NEON leg on x86).
+bool ApplyLevel(benchmark::State& state) {
+  const auto level = static_cast<simd::Level>(state.range(0));
+  if (!simd::SetActiveForTesting(level)) {
+    state.SkipWithError("level unsupported on this machine");
+    return false;
+  }
+  state.SetLabel(simd::LevelName(level));
+  return true;
+}
+
+void LevelSweep(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"level"});
+  for (simd::Level level : {simd::Level::kScalar, simd::DetectBest()}) {
+    b->Arg(static_cast<int>(level));
+  }
+}
+
+void LevelSizeSweep(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"level", "n"});
+  for (simd::Level level : {simd::Level::kScalar, simd::DetectBest()}) {
+    for (int n : {64, 256, 2048}) {
+      b->Args({static_cast<int>(level), n});
+    }
+  }
+}
+
+// The classifier's first layer on a census batch: (batch x 120) x (120 x 20).
+void BM_KernelMatMul(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Rng rng(1);
+  Matrix a = Matrix::RandomUniform(batch, 120, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::RandomNormal(120, 20, 0.0f, 0.1f, &rng);
+  Matrix c(batch, 20);
+  for (auto _ : state) {
+    kernels::MatMul(a.data(), b.data(), c.data(), batch, 120, 20);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 120 * 20);
+}
+BENCHMARK(BM_KernelMatMul)->Apply(LevelSizeSweep);
+
+// Fused linear layer: matmul + bias + sigmoid epilogue in one pass.
+void BM_KernelMatMulBiasSigmoid(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Rng rng(2);
+  Matrix a = Matrix::RandomUniform(batch, 120, 0.0f, 1.0f, &rng);
+  Matrix b = Matrix::RandomNormal(120, 20, 0.0f, 0.1f, &rng);
+  Matrix bias = Matrix::RandomNormal(1, 20, 0.0f, 0.1f, &rng);
+  Matrix c(batch, 20);
+  for (auto _ : state) {
+    kernels::MatMulBias(a.data(), b.data(), bias.data(), c.data(), batch, 120,
+                        20, kernels::Epilogue::kSigmoid);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 120 * 20);
+}
+BENCHMARK(BM_KernelMatMulBiasSigmoid)->Apply(LevelSizeSweep);
+
+void BM_KernelSigmoid(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(3);
+  Matrix src = Matrix::RandomNormal(1, n, 0.0f, 2.0f, &rng);
+  Matrix dst(1, n);
+  for (auto _ : state) {
+    kernels::SigmoidTo(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelSigmoid)->Apply(LevelSizeSweep);
+
+void BM_KernelAxpy(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(4);
+  Matrix src = Matrix::RandomNormal(1, n, 0.0f, 1.0f, &rng);
+  Matrix dst = Matrix::RandomNormal(1, n, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    kernels::AxpyInPlace(dst.data(), 0.37f, src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelAxpy)->Apply(LevelSizeSweep);
+
+// One Adam step over a Table II-sized parameter tensor (120 x 20 weights).
+void BM_KernelAdamUpdate(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t n = 120 * 20;
+  Rng rng(5);
+  Matrix value = Matrix::RandomNormal(1, n, 0.0f, 0.1f, &rng);
+  Matrix m(1, n);
+  Matrix v(1, n);
+  Matrix grad = Matrix::RandomNormal(1, n, 0.0f, 0.01f, &rng);
+  for (auto _ : state) {
+    kernels::AdamUpdate(value.data(), m.data(), v.data(), grad.data(), n,
+                        0.9f, 0.999f, 1e-3f, 0.271f, 0.0487f, 1e-8f);
+    benchmark::DoNotOptimize(value.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelAdamUpdate)->Apply(LevelSweep);
+
+// The columnar pivot GenerateMany pays once per batch (level-independent,
+// but recorded alongside the kernels it feeds).
+void BM_ColumnBatchRoundTrip(benchmark::State& state) {
+  if (!ApplyLevel(state)) return;
+  const size_t rows = static_cast<size_t>(state.range(1));
+  Rng rng(6);
+  Matrix x = Matrix::RandomUniform(rows, 120, 0.0f, 1.0f, &rng);
+  Matrix back(rows, 120);
+  for (auto _ : state) {
+    ColumnBatch cols = ColumnBatch::FromMatrix(x);
+    cols.ToRowMajor(back.data());
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ColumnBatchRoundTrip)->Apply(LevelSizeSweep);
+
+}  // namespace
+}  // namespace cfx
+
+CFX_BENCHMARK_MAIN("perf_kernels")

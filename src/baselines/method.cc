@@ -158,17 +158,10 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
   result.desired = std::move(desired);
 
   // Project every CF onto the valid one-hot manifold and restore immutable
-  // attributes verbatim from the input (paper §III-C).
-  const Matrix mutable_mask = ctx_.encoder->MutableMask();
-  Matrix projected(cfs_raw.rows(), cfs_raw.cols());
-  for (size_t r = 0; r < cfs_raw.rows(); ++r) {
-    Matrix row = ctx_.encoder->ProjectRow(cfs_raw.Row(r));
-    for (size_t c = 0; c < row.cols(); ++c) {
-      if (mutable_mask.at(0, c) == 0.0f) row.at(0, c) = x.at(r, c);
-      projected.at(r, c) = row.at(0, c);
-    }
-  }
-  result.cfs = projected;
+  // attributes verbatim from the input (paper §III-C). The columnar batch
+  // projection is bitwise identical to the historical per-row
+  // ProjectRow + MutableMask restore loop.
+  result.cfs = ctx_.encoder->ProjectBatch(cfs_raw, &x);
   result.predicted = Predictions(result.cfs, ws);
   return result;
 }

@@ -1,0 +1,60 @@
+// 64-byte-aligned storage for tensor buffers.
+//
+// The SIMD kernel layer (src/tensor/simd.h) loads rows with vector
+// instructions; allocating every Matrix and ColumnBatch buffer on a cache
+// line boundary means a vector load of element 0 never straddles two lines,
+// and the padded ColumnBatch layout keeps every *column* start aligned too.
+// The allocator is STL-compatible so the existing std::vector plumbing
+// (grad-pool recycling, FromStorage/ReleaseStorage) keeps working with only
+// a type change.
+#ifndef CFX_COMMON_ALIGNED_H_
+#define CFX_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace cfx {
+
+/// Cache-line / AVX-512-friendly alignment for all tensor storage.
+inline constexpr size_t kTensorAlignment = 64;
+
+/// Minimal C++17 allocator handing out `Alignment`-aligned blocks.
+template <typename T, size_t Alignment = kTensorAlignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not pow2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    // operator new rounds the size itself; pass the raw byte count.
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Alignment));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  bool operator==(const AlignedAllocator&) const noexcept { return true; }
+  bool operator!=(const AlignedAllocator&) const noexcept { return false; }
+};
+
+/// Backing buffer type of Matrix / ColumnBatch / the autodiff grad pool.
+using FloatBuffer = std::vector<float, AlignedAllocator<float>>;
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_ALIGNED_H_

@@ -30,6 +30,61 @@ double OrdinalLevel(const TabularEncoder& encoder, const Matrix& encoded_row,
   return 0.0;
 }
 
+void OrdinalLevels(const TabularEncoder& encoder, const ColumnBatch& batch,
+                   size_t fi, std::vector<double>* levels) {
+  const EncodedBlock& block = encoder.block(fi);
+  const size_t rows = batch.rows();
+  levels->resize(rows);
+  switch (block.type) {
+    case FeatureType::kContinuous:
+    case FeatureType::kBinary: {
+      const float* col = batch.column(block.offset);
+      for (size_t r = 0; r < rows; ++r) (*levels)[r] = col[r];
+      break;
+    }
+    case FeatureType::kCategorical: {
+      // Column-sweeping first-strict-max argmax — same ascending strict '>'
+      // scan as the single-row OrdinalLevel.
+      const float* c0 = batch.column(block.offset);
+      std::vector<size_t> best(rows, 0);
+      std::vector<float> best_v(c0, c0 + rows);
+      for (size_t j = 1; j < block.width; ++j) {
+        const float* cj = batch.column(block.offset + j);
+        for (size_t r = 0; r < rows; ++r) {
+          if (cj[r] > best_v[r]) {
+            best_v[r] = cj[r];
+            best[r] = j;
+          }
+        }
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        (*levels)[r] = block.width > 1
+                           ? static_cast<double>(best[r]) /
+                                 static_cast<double>(block.width - 1)
+                           : 0.0;
+      }
+      break;
+    }
+  }
+}
+
+void Constraint::SatisfiedBatch(const TabularEncoder& encoder,
+                                const ColumnBatch& x, const ColumnBatch& x_cf,
+                                const ConstraintTolerance& tol,
+                                std::vector<uint8_t>* ok) const {
+  // Generic fallback: gather each row pair and reuse the scalar predicate.
+  Matrix xi(1, x.cols());
+  Matrix ci(1, x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (!(*ok)[r]) continue;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      xi.at(0, c) = x.at(r, c);
+      ci.at(0, c) = x_cf.at(r, c);
+    }
+    if (!Satisfied(encoder, xi, ci, tol)) (*ok)[r] = 0;
+  }
+}
+
 std::string UnaryMonotoneConstraint::Description() const {
   return StrFormat("unary: %s^cf >= %s", feature_.c_str(), feature_.c_str());
 }
@@ -42,6 +97,21 @@ bool UnaryMonotoneConstraint::Satisfied(const TabularEncoder& encoder,
   const double before = OrdinalLevel(encoder, x, *fi);
   const double after = OrdinalLevel(encoder, x_cf, *fi);
   return after >= before - tol.continuous;
+}
+
+void UnaryMonotoneConstraint::SatisfiedBatch(
+    const TabularEncoder& encoder, const ColumnBatch& x,
+    const ColumnBatch& x_cf, const ConstraintTolerance& tol,
+    std::vector<uint8_t>* ok) const {
+  auto fi = encoder.schema().FeatureIndex(feature_);
+  assert(fi.ok());
+  std::vector<double> before;
+  std::vector<double> after;
+  OrdinalLevels(encoder, x, *fi, &before);
+  OrdinalLevels(encoder, x_cf, *fi, &after);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    if (!(after[r] >= before[r] - tol.continuous)) (*ok)[r] = 0;
+  }
 }
 
 std::string BinaryImplicationConstraint::Description() const {
@@ -71,6 +141,36 @@ bool BinaryImplicationConstraint::Satisfied(
   return de >= -tol.continuous;
 }
 
+void BinaryImplicationConstraint::SatisfiedBatch(
+    const TabularEncoder& encoder, const ColumnBatch& x,
+    const ColumnBatch& x_cf, const ConstraintTolerance& tol,
+    std::vector<uint8_t>* ok) const {
+  auto ci = encoder.schema().FeatureIndex(cause_);
+  auto ei = encoder.schema().FeatureIndex(effect_);
+  assert(ci.ok() && ei.ok());
+  std::vector<double> cause_before;
+  std::vector<double> cause_after;
+  std::vector<double> effect_before;
+  std::vector<double> effect_after;
+  OrdinalLevels(encoder, x, *ci, &cause_before);
+  OrdinalLevels(encoder, x_cf, *ci, &cause_after);
+  OrdinalLevels(encoder, x, *ei, &effect_before);
+  OrdinalLevels(encoder, x_cf, *ei, &effect_after);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double dc = cause_after[r] - cause_before[r];
+    const double de = effect_after[r] - effect_before[r];
+    bool good;
+    if (dc > tol.strict) {
+      good = de > tol.strict;
+    } else if (dc < -tol.strict) {
+      good = false;
+    } else {
+      good = de >= -tol.continuous;
+    }
+    if (!good) (*ok)[r] = 0;
+  }
+}
+
 bool ConstraintSet::AllSatisfied(const TabularEncoder& encoder,
                                  const Matrix& x, const Matrix& x_cf,
                                  const ConstraintTolerance& tol) const {
@@ -78,6 +178,16 @@ bool ConstraintSet::AllSatisfied(const TabularEncoder& encoder,
     if (!c->Satisfied(encoder, x, x_cf, tol)) return false;
   }
   return true;
+}
+
+void ConstraintSet::AllSatisfiedBatch(const TabularEncoder& encoder,
+                                      const ColumnBatch& x,
+                                      const ColumnBatch& x_cf,
+                                      const ConstraintTolerance& tol,
+                                      std::vector<uint8_t>* ok) const {
+  for (const auto& c : constraints_) {
+    c->SatisfiedBatch(encoder, x, x_cf, tol, ok);
+  }
 }
 
 std::string ConstraintSet::Description() const {

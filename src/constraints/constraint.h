@@ -14,10 +14,12 @@
 #ifndef CFX_CONSTRAINTS_CONSTRAINT_H_
 #define CFX_CONSTRAINTS_CONSTRAINT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/data/column_batch.h"
 #include "src/data/encoder.h"
 #include "src/datasets/spec.h"
 
@@ -41,6 +43,17 @@ class Constraint {
   virtual bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
                          const Matrix& x_cf,
                          const ConstraintTolerance& tol) const = 0;
+
+  /// Batch form: ANDs the verdict of every row pair into ok[r]. The columnar
+  /// layout lets overrides stream the referenced feature's contiguous
+  /// columns (see OrdinalLevels) instead of materialising one Matrix pair
+  /// per row; the base implementation falls back to row-by-row Satisfied,
+  /// so third-party constraints stay correct without an override. Rows with
+  /// ok[r] already 0 may be skipped. Identical verdicts to Satisfied.
+  virtual void SatisfiedBatch(const TabularEncoder& encoder,
+                              const ColumnBatch& x, const ColumnBatch& x_cf,
+                              const ConstraintTolerance& tol,
+                              std::vector<uint8_t>* ok) const;
 };
 
 /// Eq. (1): feature may only increase.
@@ -53,6 +66,9 @@ class UnaryMonotoneConstraint : public Constraint {
   bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
                  const Matrix& x_cf,
                  const ConstraintTolerance& tol) const override;
+  void SatisfiedBatch(const TabularEncoder& encoder, const ColumnBatch& x,
+                      const ColumnBatch& x_cf, const ConstraintTolerance& tol,
+                      std::vector<uint8_t>* ok) const override;
 
   const std::string& feature() const { return feature_; }
 
@@ -71,6 +87,9 @@ class BinaryImplicationConstraint : public Constraint {
   bool Satisfied(const TabularEncoder& encoder, const Matrix& x,
                  const Matrix& x_cf,
                  const ConstraintTolerance& tol) const override;
+  void SatisfiedBatch(const TabularEncoder& encoder, const ColumnBatch& x,
+                      const ColumnBatch& x_cf, const ConstraintTolerance& tol,
+                      std::vector<uint8_t>* ok) const override;
 
   const std::string& cause() const { return cause_; }
   const std::string& effect() const { return effect_; }
@@ -96,6 +115,13 @@ class ConstraintSet {
   bool AllSatisfied(const TabularEncoder& encoder, const Matrix& x,
                     const Matrix& x_cf, const ConstraintTolerance& tol) const;
 
+  /// Batch form over columnar batches: ok[r] ends up 1 iff every constraint
+  /// holds for row pair r (verdicts AND-ed into the caller's flags).
+  void AllSatisfiedBatch(const TabularEncoder& encoder, const ColumnBatch& x,
+                         const ColumnBatch& x_cf,
+                         const ConstraintTolerance& tol,
+                         std::vector<uint8_t>* ok) const;
+
   std::string Description() const;
 
  private:
@@ -114,6 +140,11 @@ ConstraintSet MakeBinaryConstraintSet(const DatasetInfo& info);
 /// the constraint checks and penalties compare on.
 double OrdinalLevel(const TabularEncoder& encoder, const Matrix& encoded_row,
                     size_t fi);
+
+/// Columnar batch form of OrdinalLevel: levels[r] = OrdinalLevel of row r,
+/// computed by streaming the feature's contiguous column(s) once.
+void OrdinalLevels(const TabularEncoder& encoder, const ColumnBatch& batch,
+                   size_t fi, std::vector<double>* levels);
 
 }  // namespace cfx
 

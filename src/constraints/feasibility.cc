@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/data/column_batch.h"
+
 namespace cfx {
 
 FeasibilityResult EvaluateFeasibility(const ConstraintSet& constraints,
@@ -10,15 +12,33 @@ FeasibilityResult EvaluateFeasibility(const ConstraintSet& constraints,
                                       const ConstraintTolerance& tol) {
   assert(x.SameShape(x_cf));
   FeasibilityResult result;
-  result.num_pairs = x.rows();
-  result.feasible.resize(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) {
-    const Matrix xi = x.Row(r);
-    const Matrix ci = x_cf.Row(r);
-    const bool ok = constraints.AllSatisfied(encoder, xi, ci, tol) &&
-                    WithinInputDomain(ci, 0.05f);
-    result.feasible[r] = ok;
-    result.num_feasible += ok;
+  const size_t rows = x.rows();
+  result.num_pairs = rows;
+  result.feasible.resize(rows);
+
+  // Constraint verdicts stream over the columnar transpose (one contiguous
+  // span per referenced feature column, no per-row Matrix pairs); the
+  // input-domain check runs directly on each row-major row span. Same
+  // verdicts as the historical row loop, in batch.
+  std::vector<uint8_t> ok(rows, 1);
+  if (constraints.size() > 0 && rows >= 8) {
+    const ColumnBatch x_cols = ColumnBatch::FromMatrix(x);
+    const ColumnBatch cf_cols = ColumnBatch::FromMatrix(x_cf);
+    constraints.AllSatisfiedBatch(encoder, x_cols, cf_cols, tol, &ok);
+  } else if (constraints.size() > 0) {
+    // Small batches: two transposes cost more than the row loop saves
+    // (serving batch-1 latency path). Identical verdicts either way.
+    for (size_t r = 0; r < rows; ++r) {
+      ok[r] = constraints.AllSatisfied(encoder, x.Row(r), x_cf.Row(r), tol);
+    }
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    const bool good =
+        ok[r] != 0 &&
+        WithinInputDomainSpan(x_cf.data() + r * x_cf.cols(), x_cf.cols(),
+                              0.05f);
+    result.feasible[r] = good;
+    result.num_feasible += good;
   }
   result.score_percent =
       result.num_pairs == 0
@@ -28,12 +48,16 @@ FeasibilityResult EvaluateFeasibility(const ConstraintSet& constraints,
   return result;
 }
 
-bool WithinInputDomain(const Matrix& encoded_row, float eps) {
-  for (size_t i = 0; i < encoded_row.size(); ++i) {
-    const float v = encoded_row[i];
+bool WithinInputDomainSpan(const float* values, size_t n, float eps) {
+  for (size_t i = 0; i < n; ++i) {
+    const float v = values[i];
     if (v < -eps || v > 1.0f + eps) return false;
   }
   return true;
+}
+
+bool WithinInputDomain(const Matrix& encoded_row, float eps) {
+  return WithinInputDomainSpan(encoded_row.data(), encoded_row.size(), eps);
 }
 
 }  // namespace cfx

@@ -30,6 +30,10 @@ FeasibilityResult EvaluateFeasibility(
 /// every encoded slot of the row lies in [ -eps, 1 + eps ].
 bool WithinInputDomain(const Matrix& encoded_row, float eps = 1e-3f);
 
+/// Span form of WithinInputDomain, for callers that already hold a
+/// contiguous row (row-major row span or ColumnBatch column).
+bool WithinInputDomainSpan(const float* values, size_t n, float eps = 1e-3f);
+
 }  // namespace cfx
 
 #endif  // CFX_CONSTRAINTS_FEASIBILITY_H_

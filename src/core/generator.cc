@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/constraints/feasibility.h"
+#include "src/data/column_batch.h"
 #include "src/core/descent.h"
 #include "src/data/batcher.h"
 #include "src/nn/optimizer.h"
@@ -53,19 +54,56 @@ Matrix FeasibleCfGenerator::InputLogits(const Matrix& x) const {
   // gradient to act on. 0.02 (inactive logit ~ -3.9) works once the class
   // conditioning is informative (+-1 encoding, see TrainOnce).
   constexpr float kEps = 0.02f;
-  for (size_t r = 0; r < x.rows(); ++r) {
+  // Batch path: transpose once and run one full-lane span kernel per
+  // encoded column (n = batch rows) over contiguous per-feature memory.
+  // The kernels are position-independent, so the bits match the row-segment
+  // formulation below exactly; the cutover is pure call-overhead tuning
+  // (at batch 1 the transpose + per-column calls cost more than they save).
+  if (x.rows() >= 8) {
+    const ColumnBatch x_cols = ColumnBatch::FromMatrix(x);
+    ColumnBatch bias_cols(x.rows(), x.cols());
     for (size_t c = 0; c < x.cols(); ++c) {
-      const float v = x.at(r, c);
-      float b;
       if (categorical[c]) {
-        b = std::log(v + kEps);
+        kernels::LogShiftTo(bias_cols.column(c), x_cols.column(c), x.rows(),
+                            kEps);
       } else {
-        const float clamped = std::clamp(v, 0.01f, 0.99f);
-        b = std::log(clamped / (1.0f - clamped));
+        kernels::LogitTo(bias_cols.column(c), x_cols.column(c), x.rows(),
+                         0.01f, 0.99f);
       }
-      bias.at(r, c) = config_.copy_bias * b;
+    }
+    bias_cols.ToRowMajor(bias.data());
+    kernels::ScaleInPlace(bias.data(), config_.copy_bias, bias.size());
+    return bias;
+  }
+  // Run-length encode the flags: adjacent same-kind slots form contiguous
+  // segments, so each row becomes a handful of span-kernel calls (one log
+  // implementation per dispatch level, shared with every other log in the
+  // process) instead of a per-element branch around libm.
+  struct Segment {
+    size_t start;
+    size_t len;
+    bool categorical;
+  };
+  std::vector<Segment> segments;
+  for (size_t c = 0; c < x.cols();) {
+    size_t end = c + 1;
+    while (end < x.cols() && categorical[end] == categorical[c]) ++end;
+    segments.push_back({c, end - c, categorical[c] != 0});
+    c = end;
+  }
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const float* src = x.data() + r * x.cols();
+    float* dst = bias.data() + r * x.cols();
+    for (const Segment& seg : segments) {
+      if (seg.categorical) {
+        kernels::LogShiftTo(dst + seg.start, src + seg.start, seg.len, kEps);
+      } else {
+        kernels::LogitTo(dst + seg.start, src + seg.start, seg.len, 0.01f,
+                         0.99f);
+      }
     }
   }
+  kernels::ScaleInPlace(bias.data(), config_.copy_bias, bias.size());
   return bias;
 }
 
@@ -83,9 +121,7 @@ Matrix FeasibleCfGenerator::SoftCfValue(const Matrix& decoder_out,
   // logits = decoder deltas + copy-prior bias, same addition order as the
   // tape's ag::Add(decoder_out, input_logits).
   Matrix logits = InputLogits(x);
-  for (size_t i = 0; i < logits.size(); ++i) {
-    logits[i] = decoder_out[i] + logits[i];
-  }
+  kernels::AddInPlace(logits.data(), decoder_out.data(), logits.size());
   const std::vector<std::pair<size_t, size_t>> blocks =
       ctx_.encoder->CategoricalBlockRanges();
   std::vector<uint8_t> in_softmax(logits.cols(), 0);

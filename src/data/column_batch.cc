@@ -1,0 +1,59 @@
+#include "src/data/column_batch.h"
+
+#include <cassert>
+
+#include "src/tensor/simd.h"
+
+namespace cfx {
+
+ColumnBatch::ColumnBatch(size_t rows, size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      stride_(simd::PaddedLength(rows)),
+      data_(stride_ * cols, 0.0f) {}
+
+ColumnBatch ColumnBatch::FromRowMajor(const float* data, size_t rows,
+                                      size_t cols) {
+  ColumnBatch batch(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = data + r * cols;
+    for (size_t c = 0; c < cols; ++c) {
+      batch.data_[c * batch.stride_ + r] = row[c];
+    }
+  }
+  return batch;
+}
+
+ColumnBatch ColumnBatch::FromMatrix(const Matrix& m) {
+  return FromRowMajor(m.data(), m.rows(), m.cols());
+}
+
+void ColumnBatch::ToRowMajor(float* out) const {
+  for (size_t c = 0; c < cols_; ++c) {
+    const float* col = data_.data() + c * stride_;
+    for (size_t r = 0; r < rows_; ++r) {
+      out[r * cols_ + c] = col[r];
+    }
+  }
+}
+
+Matrix ColumnBatch::ToMatrix() const {
+  Matrix out(rows_, cols_);
+  ToRowMajor(out.data());
+  return out;
+}
+
+std::pair<float, float> ColumnBatch::ColumnMinMax(size_t c) const {
+  assert(c < cols_);
+  if (rows_ == 0) return {0.0f, 0.0f};
+  const float* col = column(c);
+  float lo = col[0];
+  float hi = col[0];
+  for (size_t r = 1; r < rows_; ++r) {
+    lo = col[r] < lo ? col[r] : lo;
+    hi = col[r] > hi ? col[r] : hi;
+  }
+  return {lo, hi};
+}
+
+}  // namespace cfx

@@ -1,0 +1,78 @@
+// Columnar (structure-of-arrays) float batch.
+//
+// Design notes:
+//  * A ColumnBatch stores an (rows x cols) batch column-major: column c is
+//    the contiguous span [column(c), column(c) + rows). Per-feature passes —
+//    encoder projection/stats, constraint level extraction, the generator's
+//    copy-prior bias — stream over contiguous memory instead of row-strided
+//    gathers, which is what the SIMD span kernels want.
+//  * Columns are padded to a 64-byte (16-float) leading dimension
+//    (simd::PaddedLength) on 64-byte-aligned storage, so every column
+//    starts on a cache line and a vector load never straddles two columns.
+//    Padding floats are zero and stay zero through FromRowMajor/resize;
+//    kernels run on exact-length spans, so padding never leaks into values.
+//  * Conversions to/from row-major are pure element moves (no arithmetic),
+//    so a row-major -> columnar -> row-major round trip is bitwise lossless.
+#ifndef CFX_DATA_COLUMN_BATCH_H_
+#define CFX_DATA_COLUMN_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "src/common/aligned.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+
+/// Column-major float batch with padded, cache-line-aligned columns.
+class ColumnBatch {
+ public:
+  /// Empty 0x0 batch.
+  ColumnBatch() = default;
+
+  /// rows x cols batch, zero-initialised (padding included).
+  ColumnBatch(size_t rows, size_t cols);
+
+  /// Transposes a tight row-major buffer into columns.
+  static ColumnBatch FromRowMajor(const float* data, size_t rows,
+                                  size_t cols);
+
+  /// Transposes a Matrix into columns (value-exact).
+  static ColumnBatch FromMatrix(const Matrix& m);
+
+  /// Transposes back into a tight row-major buffer of rows*cols floats.
+  void ToRowMajor(float* out) const;
+
+  /// Transposes back into a Matrix (value-exact).
+  Matrix ToMatrix() const;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  /// Leading dimension: floats between consecutive column starts (>= rows,
+  /// multiple of 16).
+  size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float* column(size_t c) { return data_.data() + c * stride_; }
+  const float* column(size_t c) const { return data_.data() + c * stride_; }
+
+  float& at(size_t r, size_t c) { return data_[c * stride_ + r]; }
+  float at(size_t r, size_t c) const { return data_[c * stride_ + r]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// (min, max) over column c — the streaming per-feature stat pass.
+  /// Returns (0, 0) for an empty batch.
+  std::pair<float, float> ColumnMinMax(size_t c) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  size_t stride_ = 0;
+  FloatBuffer data_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_COLUMN_BATCH_H_

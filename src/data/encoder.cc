@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/common/string_util.h"
+#include "src/tensor/kernels.h"
 
 namespace cfx {
 
@@ -66,32 +67,52 @@ double TabularEncoder::Denormalize(size_t fi, double normalized) const {
 }
 
 StatusOr<Matrix> TabularEncoder::Transform(const Table& table) const {
+  auto columnar = TransformColumnar(table);
+  if (!columnar.ok()) return columnar.status();
+  // Transpose is a pure element move, so this is value-identical to the
+  // historical row-by-row encode.
+  return columnar->ToMatrix();
+}
+
+StatusOr<ColumnBatch> TabularEncoder::TransformColumnar(
+    const Table& table) const {
   if (!fitted_) return Status::FailedPrecondition("encoder not fitted");
   if (table.num_features() != schema_.num_features()) {
     return Status::InvalidArgument("table schema width mismatch");
   }
-  Matrix out(table.num_rows(), width_);
-  for (size_t r = 0; r < table.num_rows(); ++r) {
+  const size_t rows = table.num_rows();
+  for (size_t r = 0; r < rows; ++r) {
     if (table.RowHasMissing(r)) {
       return Status::InvalidArgument(StrFormat(
           "row %zu has missing cells; run DropMissingRows first", r));
     }
-    for (const EncodedBlock& block : blocks_) {
-      const double raw = table.column(block.feature_index).value(r);
-      switch (block.type) {
-        case FeatureType::kContinuous:
-          out.at(r, block.offset) =
-              static_cast<float>(Normalize(block.feature_index, raw));
-          break;
-        case FeatureType::kBinary:
-          out.at(r, block.offset) = raw >= 0.5 ? 1.0f : 0.0f;
-          break;
-        case FeatureType::kCategorical: {
-          int idx = static_cast<int>(raw);
+  }
+  ColumnBatch out(rows, width_);
+  for (const EncodedBlock& block : blocks_) {
+    const Column& col = table.column(block.feature_index);
+    switch (block.type) {
+      case FeatureType::kContinuous: {
+        float* dst = out.column(block.offset);
+        for (size_t r = 0; r < rows; ++r) {
+          dst[r] =
+              static_cast<float>(Normalize(block.feature_index, col.value(r)));
+        }
+        break;
+      }
+      case FeatureType::kBinary: {
+        float* dst = out.column(block.offset);
+        for (size_t r = 0; r < rows; ++r) {
+          dst[r] = col.value(r) >= 0.5 ? 1.0f : 0.0f;
+        }
+        break;
+      }
+      case FeatureType::kCategorical: {
+        for (size_t r = 0; r < rows; ++r) {
+          int idx = static_cast<int>(col.value(r));
           assert(idx >= 0 && static_cast<size_t>(idx) < block.width);
           out.at(r, block.offset + static_cast<size_t>(idx)) = 1.0f;
-          break;
         }
+        break;
       }
     }
   }
@@ -184,6 +205,108 @@ Matrix TabularEncoder::ProjectRow(const Matrix& encoded_row) const {
     }
   }
   return out;
+}
+
+void TabularEncoder::ProjectBatch(const ColumnBatch& raw,
+                                  const ColumnBatch* inputs,
+                                  ColumnBatch* out) const {
+  assert(raw.cols() == width_);
+  assert(inputs == nullptr ||
+         (inputs->rows() == raw.rows() && inputs->cols() == width_));
+  const size_t rows = raw.rows();
+  if (out->rows() != rows || out->cols() != width_) {
+    *out = ColumnBatch(rows, width_);
+  }
+  std::vector<size_t> best;   // Categorical argmax scratch, reused per block.
+  std::vector<float> best_v;
+  for (const EncodedBlock& block : blocks_) {
+    if (inputs != nullptr && schema_.feature(block.feature_index).immutable) {
+      for (size_t j = 0; j < block.width; ++j) {
+        std::copy_n(inputs->column(block.offset + j), rows,
+                    out->column(block.offset + j));
+      }
+      continue;
+    }
+    switch (block.type) {
+      case FeatureType::kContinuous:
+        kernels::ClampTo(out->column(block.offset), raw.column(block.offset),
+                         rows, 0.0f, 1.0f);
+        break;
+      case FeatureType::kBinary: {
+        const float* src = raw.column(block.offset);
+        float* dst = out->column(block.offset);
+        for (size_t r = 0; r < rows; ++r) {
+          dst[r] = src[r] >= 0.5f ? 1.0f : 0.0f;
+        }
+        break;
+      }
+      case FeatureType::kCategorical: {
+        // Column-sweeping first-strict-max argmax: ascending j with a strict
+        // '>' reproduces ProjectRow's scan order for every row at once.
+        const float* c0 = raw.column(block.offset);
+        best.assign(rows, 0);
+        best_v.assign(c0, c0 + rows);
+        for (size_t j = 1; j < block.width; ++j) {
+          const float* cj = raw.column(block.offset + j);
+          for (size_t r = 0; r < rows; ++r) {
+            if (cj[r] > best_v[r]) {
+              best_v[r] = cj[r];
+              best[r] = j;
+            }
+          }
+        }
+        for (size_t j = 0; j < block.width; ++j) {
+          std::fill_n(out->column(block.offset + j), rows, 0.0f);
+        }
+        for (size_t r = 0; r < rows; ++r) {
+          out->at(r, block.offset + best[r]) = 1.0f;
+        }
+        break;
+      }
+    }
+  }
+}
+
+Matrix TabularEncoder::ProjectBatch(const Matrix& cfs_raw,
+                                    const Matrix* inputs) const {
+  if (cfs_raw.rows() < 8) {
+    // Small batches (serving batch-1 latency path): the columnar pivot
+    // costs two transposes and an allocation with no streaming win. The
+    // per-row path is bitwise identical (tests/simd_test.cc pins it).
+    Matrix out(cfs_raw.rows(), width_);
+    for (size_t r = 0; r < cfs_raw.rows(); ++r) {
+      const Matrix row = ProjectRow(cfs_raw.Row(r));
+      float* dst = out.data() + r * width_;
+      std::copy_n(row.data(), width_, dst);
+      if (inputs != nullptr) {
+        for (const EncodedBlock& block : blocks_) {
+          if (!schema_.feature(block.feature_index).immutable) continue;
+          for (size_t j = 0; j < block.width; ++j) {
+            dst[block.offset + j] = inputs->at(r, block.offset + j);
+          }
+        }
+      }
+    }
+    return out;
+  }
+  ColumnBatch raw = ColumnBatch::FromMatrix(cfs_raw);
+  ColumnBatch out(cfs_raw.rows(), width_);
+  ProjectBatch(raw, nullptr, &out);
+  if (inputs != nullptr) {
+    // Restore immutable features straight from the row-major input: a
+    // strided gather over just those columns beats transposing the whole
+    // input batch.
+    const size_t rows = cfs_raw.rows();
+    for (const EncodedBlock& block : blocks_) {
+      if (!schema_.feature(block.feature_index).immutable) continue;
+      for (size_t j = 0; j < block.width; ++j) {
+        const size_t c = block.offset + j;
+        float* dst = out.column(c);
+        for (size_t r = 0; r < rows; ++r) dst[r] = inputs->at(r, c);
+      }
+    }
+  }
+  return out.ToMatrix();
 }
 
 StatusOr<size_t> TabularEncoder::ScalarOffset(const std::string& name) const {

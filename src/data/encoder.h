@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/data/column_batch.h"
 #include "src/data/table.h"
 #include "src/tensor/matrix.h"
 
@@ -38,8 +39,14 @@ class TabularEncoder {
   bool fitted() const { return fitted_; }
 
   /// Encodes every row of `table` into an (n x encoded_width) matrix.
-  /// Requires a fitted encoder and no missing cells.
+  /// Requires a fitted encoder and no missing cells. Thin row-major wrapper
+  /// over TransformColumnar (same per-cell arithmetic, transposed out).
   StatusOr<Matrix> Transform(const Table& table) const;
+
+  /// Canonical columnar encode: one contiguous span per encoded column.
+  /// Continuous and binary features fill their column in a single streaming
+  /// pass over the table column; categorical features scatter one-hots.
+  StatusOr<ColumnBatch> TransformColumnar(const Table& table) const;
 
   /// Encodes a single raw row into a (1 x encoded_width) matrix.
   Matrix TransformRow(const RawRow& row) const;
@@ -53,6 +60,20 @@ class TabularEncoder {
   /// continuous slots to [0,1], snaps categorical blocks to pure one-hot and
   /// binary slots to {0,1}. Used when evaluating/reporting CF examples.
   Matrix ProjectRow(const Matrix& encoded_row) const;
+
+  /// Columnar batch projection: the whole-batch counterpart of ProjectRow.
+  /// Continuous columns clamp through the dispatched span kernel, binary
+  /// columns threshold, categorical blocks snap to first-strict-max one-hot
+  /// (ascending scan with a strict '>', exactly ProjectRow's order). When
+  /// `inputs` is non-null, columns of immutable features are copied from it
+  /// verbatim — equivalent to the historical MutableMask slot restore, since
+  /// the mask zeroes whole immutable blocks. `out` is resized as needed.
+  /// Bitwise identical to ProjectRow + per-slot restore, row by row.
+  void ProjectBatch(const ColumnBatch& raw, const ColumnBatch* inputs,
+                    ColumnBatch* out) const;
+
+  /// Row-major convenience wrapper: transpose in, project, transpose out.
+  Matrix ProjectBatch(const Matrix& cfs_raw, const Matrix* inputs) const;
 
   const Schema& schema() const { return schema_; }
   const std::vector<EncodedBlock>& blocks() const { return blocks_; }

@@ -113,8 +113,14 @@ std::vector<float> BlackBoxClassifier::PredictProba(const Matrix& x,
                                                     nn::InferWorkspace* ws) {
   const Matrix& logits = InferLogits(x, ws);
   std::vector<float> proba(logits.rows());
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    proba[r] = 1.0f / (1.0f + std::exp(-logits.at(r, 0)));
+  if (logits.cols() == 1) {
+    // Contiguous logit column: one dispatched sigmoid (the same
+    // implementation every other sigmoid in the process uses).
+    kernels::SigmoidTo(proba.data(), logits.data(), logits.rows());
+  } else {
+    for (size_t r = 0; r < logits.rows(); ++r) {
+      proba[r] = 1.0f / (1.0f + std::exp(-logits.at(r, 0)));
+    }
   }
   return proba;
 }

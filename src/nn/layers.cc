@@ -49,27 +49,23 @@ const Matrix& Linear::InferFused(const Matrix& x, InferWorkspace* ws,
 
 const Matrix& ReluLayer::Infer(const Matrix& x, InferWorkspace* ws) {
   Matrix& out = ws->Acquire(x.rows(), x.cols());
-  kernels::MapTo(out.data(), x.data(), x.size(),
-                 [](float v) { return v > 0.0f ? v : 0.0f; });
+  kernels::ReluTo(out.data(), x.data(), x.size());
   return out;
 }
 
 bool ReluLayer::InferInPlace(Matrix* h) {
-  kernels::MapInPlace(h->data(), h->size(),
-                      [](float v) { return v > 0.0f ? v : 0.0f; });
+  kernels::ReluInPlace(h->data(), h->size());
   return true;
 }
 
 const Matrix& SigmoidLayer::Infer(const Matrix& x, InferWorkspace* ws) {
   Matrix& out = ws->Acquire(x.rows(), x.cols());
-  kernels::MapTo(out.data(), x.data(), x.size(),
-                 [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  kernels::SigmoidTo(out.data(), x.data(), x.size());
   return out;
 }
 
 bool SigmoidLayer::InferInPlace(Matrix* h) {
-  kernels::MapInPlace(h->data(), h->size(),
-                      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  kernels::SigmoidInPlace(h->data(), h->size());
   return true;
 }
 

@@ -72,13 +72,8 @@ void Adam::Step() {
     Matrix& m = m_[i];
     Matrix& v = v_[i];
     const Matrix& g = p->grad;
-    for (size_t j = 0; j < g.size(); ++j) {
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      p->value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    kernels::AdamUpdate(p->value.data(), m.data(), v.data(), g.data(),
+                        g.size(), beta1_, beta2_, lr_, bc1, bc2, eps_);
   }
 }
 

@@ -225,6 +225,9 @@ size_t CfServer::Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws) {
     }
   }
 
+  // Assemble the batch into one 64-byte-aligned row-major matrix: the rows
+  // feed the dispatched matmul kernels directly, and GenerateMany's
+  // projection/constraint stages transpose it once into a ColumnBatch.
   Matrix x(batch.size(), entry->width);
   for (size_t r = 0; r < batch.size(); ++r) {
     std::memcpy(x.data() + r * entry->width, batch[r].row.data(),

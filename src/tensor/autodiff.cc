@@ -19,33 +19,33 @@ namespace {
 // thread that owns them (pool workers never touch the tape).
 constexpr size_t kGradPoolCap = 512;
 
-std::vector<std::vector<float>>& GradPool() {
+std::vector<FloatBuffer>& GradPool() {
   // Leaked on purpose (a raw pointer has no TLS destructor): parameter
   // nodes owned by static-storage objects are destroyed after thread_local
   // destructors have run, and ~Node must still find a live pool then.
-  thread_local auto* pool = new std::vector<std::vector<float>>();
+  thread_local auto* pool = new std::vector<FloatBuffer>();
   return *pool;
 }
 
-std::vector<float> AcquireGradStorage() {
+FloatBuffer AcquireGradStorage() {
   static metrics::Counter* reuse =
       metrics::GetCounter("autodiff.gradpool.reuse");
   static metrics::Counter* alloc =
       metrics::GetCounter("autodiff.gradpool.alloc");
-  std::vector<std::vector<float>>& pool = GradPool();
+  std::vector<FloatBuffer>& pool = GradPool();
   if (pool.empty()) {
     if (alloc != nullptr) alloc->Add(1);
     return {};
   }
   if (reuse != nullptr) reuse->Add(1);
-  std::vector<float> storage = std::move(pool.back());
+  FloatBuffer storage = std::move(pool.back());
   pool.pop_back();
   return storage;
 }
 
-void ReleaseGradStorage(std::vector<float> storage) {
+void ReleaseGradStorage(FloatBuffer storage) {
   if (storage.capacity() == 0) return;
-  std::vector<std::vector<float>>& pool = GradPool();
+  std::vector<FloatBuffer>& pool = GradPool();
   if (pool.size() < kGradPoolCap) {
     pool.push_back(std::move(storage));
   }
@@ -197,7 +197,10 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
 }
 
 Var Relu(const Var& a) {
-  Matrix out = a->value.Apply([](float v) { return v > 0.0f ? v : 0.0f; });
+  // Shared with nn/layers.cc Infer and the MatMulBias kRelu epilogue: one
+  // relu implementation per SIMD level keeps tape and tape-free bitwise.
+  Matrix out = a->value;
+  kernels::ReluInPlace(out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](Node* n) {
     const float* g = n->grad.data();
     const float* x = n->parents[0]->value.data();
@@ -207,8 +210,9 @@ Var Relu(const Var& a) {
 }
 
 Var Sigmoid(const Var& a) {
-  Matrix out = a->value.Apply(
-      [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  // Shared with nn/layers.cc Infer and the MatMulBias kSigmoid epilogue.
+  Matrix out = a->value;
+  kernels::SigmoidInPlace(out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](Node* n) {
     // d(sigmoid)/dx = s * (1 - s), computed from the forward output.
     const float* g = n->grad.data();
@@ -231,7 +235,8 @@ Var Tanh(const Var& a) {
 }
 
 Var Exp(const Var& a) {
-  Matrix out = a->value.Apply([](float v) { return std::exp(v); });
+  Matrix out = a->value;
+  kernels::ExpTo(out.data(), out.data(), out.size());
   return MakeOp(std::move(out), {a}, [](Node* n) {
     if (float* g = GradBuf(n->parents[0])) {
       kernels::MulAddInPlace(g, n->grad.data(), n->value.data(),

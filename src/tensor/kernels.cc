@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/metrics.h"
+#include "src/tensor/simd.h"
 
 namespace cfx {
 namespace kernels {
@@ -36,26 +37,28 @@ size_t RowGrain(size_t k, size_t m) {
   return std::max<size_t>(1, kMatMulGrainFlops / flops_per_row);
 }
 
-/// out(rows r0..r1 of n,m) (+)= a . b with a(n,k), b(k,m) both row-major.
+/// out(rows r0..r1 of n,m) (+)= a . b with a(n,k), b(k,m) both row-major at
+/// leading dimensions lda/ldb/ldc (tight callers pass k/m/m — the historical
+/// layout; strides change addressing only, never the float op sequence).
 /// Per output element the k-terms accumulate in ascending order — the 4-way
 /// unroll issues its four adds in that same order — so the result is
 /// identical however rows are partitioned across lanes.
 template <bool kAccumulate>
 void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
                 float* __restrict__ out, size_t r0, size_t r1, size_t k,
-                size_t m) {
+                size_t m, size_t lda, size_t ldb, size_t ldc) {
   for (size_t i = r0; i < r1; ++i) {
-    float* __restrict__ out_row = out + i * m;
+    float* __restrict__ out_row = out + i * ldc;
     if (!kAccumulate) std::fill(out_row, out_row + m, 0.0f);
-    const float* __restrict__ a_row = a + i * k;
+    const float* __restrict__ a_row = a + i * lda;
     size_t kk = 0;
     for (; kk + 4 <= k; kk += 4) {
       const float a0 = a_row[kk], a1 = a_row[kk + 1];
       const float a2 = a_row[kk + 2], a3 = a_row[kk + 3];
-      const float* __restrict__ b0 = b + kk * m;
-      const float* __restrict__ b1 = b0 + m;
-      const float* __restrict__ b2 = b1 + m;
-      const float* __restrict__ b3 = b2 + m;
+      const float* __restrict__ b0 = b + kk * ldb;
+      const float* __restrict__ b1 = b0 + ldb;
+      const float* __restrict__ b2 = b1 + ldb;
+      const float* __restrict__ b3 = b2 + ldb;
       if (a0 != 0.0f && a1 != 0.0f && a2 != 0.0f && a3 != 0.0f) {
         for (size_t j = 0; j < m; ++j) {
           float v = out_row[j];
@@ -77,9 +80,39 @@ void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
     for (; kk < k; ++kk) {
       const float av = a_row[kk];
       if (av == 0.0f) continue;
-      const float* __restrict__ b_row = b + kk * m;
+      const float* __restrict__ b_row = b + kk * ldb;
       for (size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
     }
+  }
+}
+
+/// Rows [r0, r1) of the plain matmul at the active SIMD level. `level` is
+/// sampled once per entry point so a mid-call SetActiveForTesting can never
+/// split one matmul across levels.
+inline void MatMulRowsDispatch(simd::Level level, const float* a,
+                               const float* b, float* out, size_t r0,
+                               size_t r1, size_t k, size_t m, size_t lda,
+                               size_t ldb, size_t ldc, bool accumulate) {
+  switch (level) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      simd::MatMulRowsAvx2(a, b, out, r0, r1, k, m, lda, ldb, ldc,
+                           accumulate);
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      simd::MatMulRowsNeon(a, b, out, r0, r1, k, m, lda, ldb, ldc,
+                           accumulate);
+      return;
+#endif
+    default:
+      break;
+  }
+  if (accumulate) {
+    MatMulRows<true>(a, b, out, r0, r1, k, m, lda, ldb, ldc);
+  } else {
+    MatMulRows<false>(a, b, out, r0, r1, k, m, lda, ldb, ldc);
   }
 }
 
@@ -87,16 +120,22 @@ void MatMulRows(const float* __restrict__ a, const float* __restrict__ b,
 
 void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
             size_t m) {
+  MatMulEx(a, b, out, n, k, m, k, m, m);
+}
+
+void MatMulEx(const float* a, const float* b, float* out, size_t n, size_t k,
+              size_t m, size_t lda, size_t ldb, size_t ldc) {
   CountMatMul(n, k, m);
+  const simd::Level level = simd::Active();
   const size_t grain = RowGrain(k, m);
   if (n <= grain) {
     // Single-chunk batches skip the pool dispatch (and the std::function
     // round-trip it costs) — identical bits, the kernel is row-disjoint.
-    MatMulRows<false>(a, b, out, 0, n, k, m);
+    MatMulRowsDispatch(level, a, b, out, 0, n, k, m, lda, ldb, ldc, false);
     return;
   }
   ParallelFor(0, n, grain, [&](size_t r0, size_t r1) {
-    MatMulRows<false>(a, b, out, r0, r1, k, m);
+    MatMulRowsDispatch(level, a, b, out, r0, r1, k, m, lda, ldb, ldc, false);
   });
 }
 
@@ -108,7 +147,7 @@ void MatMulBiasRows(const float* a, const float* b, const float* bias,
                     float* out, size_t r0, size_t r1, size_t k, size_t m,
                     Epilogue epilogue) {
   for (size_t i = r0; i < r1; ++i) {
-    MatMulRows<false>(a, b, out, i, i + 1, k, m);
+    MatMulRows<false>(a, b, out, i, i + 1, k, m, k, m, m);
     float* __restrict__ out_row = out + i * m;
     switch (epilogue) {
       case Epilogue::kNone:
@@ -132,35 +171,65 @@ void MatMulBiasRows(const float* a, const float* b, const float* bias,
 
 }  // namespace
 
+namespace {
+
+inline void MatMulBiasRowsDispatch(simd::Level level, const float* a,
+                                   const float* b, const float* bias,
+                                   float* out, size_t r0, size_t r1, size_t k,
+                                   size_t m, Epilogue epilogue) {
+  switch (level) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      simd::MatMulBiasRowsAvx2(a, b, bias, out, r0, r1, k, m, k, m, m,
+                               epilogue);
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      simd::MatMulBiasRowsNeon(a, b, bias, out, r0, r1, k, m, k, m, m,
+                               epilogue);
+      return;
+#endif
+    default:
+      break;
+  }
+  MatMulBiasRows(a, b, bias, out, r0, r1, k, m, epilogue);
+}
+
+}  // namespace
+
 void MatMulBias(const float* a, const float* b, const float* bias, float* out,
                 size_t n, size_t k, size_t m, Epilogue epilogue) {
   CountMatMul(n, k, m);
+  const simd::Level level = simd::Active();
   const size_t grain = RowGrain(k, m);
   if (n <= grain) {
-    MatMulBiasRows(a, b, bias, out, 0, n, k, m, epilogue);
+    MatMulBiasRowsDispatch(level, a, b, bias, out, 0, n, k, m, epilogue);
     return;
   }
   ParallelFor(0, n, grain, [&](size_t r0, size_t r1) {
-    MatMulBiasRows(a, b, bias, out, r0, r1, k, m, epilogue);
+    MatMulBiasRowsDispatch(level, a, b, bias, out, r0, r1, k, m, epilogue);
   });
 }
 
 void MatMulAccum(const float* a, const float* b, float* out, size_t n,
                  size_t k, size_t m) {
   CountMatMul(n, k, m);
+  const simd::Level level = simd::Active();
   ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
-    MatMulRows<true>(a, b, out, r0, r1, k, m);
+    MatMulRowsDispatch(level, a, b, out, r0, r1, k, m, k, m, m, true);
   });
 }
 
-void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
-                       size_t k, size_t m, bool accumulate) {
-  CountMatMul(n, k, m);
-  // out(n,m): out[i][j] = dot_k(a row i, b row j); b is read as stored.
-  // Four independent dot products share one pass over the a-row; each keeps
-  // its own accumulator, so every dot still sums k-ascending.
-  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
-    for (size_t i = r0; i < r1; ++i) {
+namespace {
+
+// out(n,m): out[i][j] = dot_k(a row i, b row j); b is read as stored.
+// Four independent dot products share one pass over the a-row; each keeps
+// its own accumulator, so every dot still sums k-ascending.
+void MatMulTransposedBRowsScalar(const float* a, const float* b, float* out,
+                                 size_t r0, size_t r1, size_t k, size_t m,
+                                 bool accumulate) {
+  for (size_t i = r0; i < r1; ++i) {
       const float* __restrict__ a_row = a + i * k;
       float* __restrict__ out_row = out + i * m;
       size_t j = 0;
@@ -200,50 +269,229 @@ void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
         }
       }
     }
+}
+
+// out(k,m): out[c][j] = sum_r a[r][c] * b[r][j]; a is read as stored.
+// Parallel over output rows c; each lane streams all of b once, r
+// ascending, so accumulation order matches the serial axpy loop.
+void MatMulTransposedARowsScalar(const float* a, const float* b, float* out,
+                                 size_t c0, size_t c1, size_t n, size_t k,
+                                 size_t m, bool accumulate) {
+  for (size_t c = c0; c < c1; ++c) {
+    float* __restrict__ out_row = out + c * m;
+    if (!accumulate) std::fill(out_row, out_row + m, 0.0f);
+    for (size_t r = 0; r < n; ++r) {
+      const float av = a[r * k + c];
+      if (av == 0.0f) continue;
+      const float* __restrict__ b_row = b + r * m;
+      for (size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulTransposedB(const float* a, const float* b, float* out, size_t n,
+                       size_t k, size_t m, bool accumulate) {
+  CountMatMul(n, k, m);
+  const simd::Level level = simd::Active();
+  ParallelFor(0, n, RowGrain(k, m), [&](size_t r0, size_t r1) {
+    switch (level) {
+#if CFX_SIMD_X86
+      case simd::Level::kAvx2:
+        simd::MatMulTransposedBRowsAvx2(a, b, out, r0, r1, k, m, accumulate);
+        return;
+#endif
+#if CFX_SIMD_NEON
+      case simd::Level::kNeon:
+        simd::MatMulTransposedBRowsNeon(a, b, out, r0, r1, k, m, accumulate);
+        return;
+#endif
+      default:
+        break;
+    }
+    MatMulTransposedBRowsScalar(a, b, out, r0, r1, k, m, accumulate);
   });
 }
 
 void MatMulTransposedA(const float* a, const float* b, float* out, size_t n,
                        size_t k, size_t m, bool accumulate) {
   CountMatMul(n, k, m);
-  // out(k,m): out[c][j] = sum_r a[r][c] * b[r][j]; a is read as stored.
-  // Parallel over output rows c; each lane streams all of b once, r
-  // ascending, so accumulation order matches the serial axpy loop.
+  const simd::Level level = simd::Active();
   ParallelFor(0, k, RowGrain(n, m), [&](size_t c0, size_t c1) {
-    for (size_t c = c0; c < c1; ++c) {
-      float* __restrict__ out_row = out + c * m;
-      if (!accumulate) std::fill(out_row, out_row + m, 0.0f);
-      for (size_t r = 0; r < n; ++r) {
-        const float av = a[r * k + c];
-        if (av == 0.0f) continue;
-        const float* __restrict__ b_row = b + r * m;
-        for (size_t j = 0; j < m; ++j) out_row[j] += av * b_row[j];
-      }
+    switch (level) {
+#if CFX_SIMD_X86
+      case simd::Level::kAvx2:
+        simd::MatMulTransposedARowsAvx2(a, b, out, c0, c1, n, k, m,
+                                        accumulate);
+        return;
+#endif
+#if CFX_SIMD_NEON
+      case simd::Level::kNeon:
+        simd::MatMulTransposedARowsNeon(a, b, out, c0, c1, n, k, m,
+                                        accumulate);
+        return;
+#endif
+      default:
+        break;
     }
+    MatMulTransposedARowsScalar(a, b, out, c0, c1, n, k, m, accumulate);
   });
 }
 
+namespace {
+
+/// Runs `span(offset, len)` over [0, n): inline on the caller's thread
+/// below kElementwiseGrain (serve-sized batches skip pool dispatch
+/// entirely), pooled in grain-sized chunks above. The span kernels are
+/// position-independent, so chunking never changes bits.
+template <typename SpanFn>
+inline void ForSpan(size_t n, SpanFn&& span) {
+  if (n < kElementwiseGrain) {
+    span(size_t{0}, n);
+    return;
+  }
+  ParallelFor(0, n, kElementwiseGrain, [&](size_t b, size_t e) {
+    span(b, e - b);
+  });
+}
+
+}  // namespace
+
+// The two-operand in-place kernels dispatch per level, but every level is
+// bitwise identical here: add/sub/mul and the fused-multiply-free scalar
+// fallbacks are single correctly-rounded IEEE ops per element. (Axpy and
+// MulAdd vector paths contract to FMA — deterministic within a level.)
+
 void AddInPlace(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::AddSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::AddSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   ZipInPlace(dst, src, n, [](float d, float s) { return d + s; });
 }
 
 void SubInPlace(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::SubSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::SubSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   ZipInPlace(dst, src, n, [](float d, float s) { return d - s; });
 }
 
 void MulInPlace(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::MulSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::MulSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   ZipInPlace(dst, src, n, [](float d, float s) { return d * s; });
 }
 
 void AxpyInPlace(float* dst, float alpha, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::AxpySpanAvx2(dst + b, alpha, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::AxpySpanNeon(dst + b, alpha, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   ZipInPlace(dst, src, n, [alpha](float d, float s) { return d + alpha * s; });
 }
 
 void ScaleInPlace(float* dst, float alpha, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ScaleSpanAvx2(dst + b, alpha, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ScaleSpanNeon(dst + b, alpha, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   MapInPlace(dst, n, [alpha](float v) { return alpha * v; });
 }
 
 void MulAddInPlace(float* dst, const float* a, const float* b, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t off, size_t len) {
+        simd::MulAddSpanAvx2(dst + off, a + off, b + off, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t off, size_t len) {
+        simd::MulAddSpanNeon(dst + off, a + off, b + off, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
   if (n < kElementwiseGrain) {
     for (size_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
     return;
@@ -253,11 +501,228 @@ void MulAddInPlace(float* dst, const float* a, const float* b, size_t n) {
   });
 }
 
+void AddRowBroadcastInPlace(float* dst, const float* row, size_t rows,
+                            size_t cols) {
+  const simd::Level level = simd::Active();
+  auto rows_fn = [&, level](size_t r0, size_t r1) {
+    for (size_t r = r0; r < r1; ++r) {
+      float* dr = dst + r * cols;
+      switch (level) {
+#if CFX_SIMD_X86
+        case simd::Level::kAvx2:
+          simd::AddSpanAvx2(dr, row, cols);
+          continue;
+#endif
+#if CFX_SIMD_NEON
+        case simd::Level::kNeon:
+          simd::AddSpanNeon(dr, row, cols);
+          continue;
+#endif
+        default:
+          break;
+      }
+      for (size_t c = 0; c < cols; ++c) dr[c] += row[c];
+    }
+  };
+  if (rows * cols < kElementwiseGrain) {
+    rows_fn(0, rows);
+    return;
+  }
+  ParallelFor(0, rows, std::max<size_t>(1, kElementwiseGrain / std::max<size_t>(cols, 1)),
+              rows_fn);
+}
+
+void ReluTo(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ReluSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ReluSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+void ReluInPlace(float* dst, size_t n) { ReluTo(dst, dst, n); }
+
+void SigmoidTo(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::SigmoidSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::SigmoidSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+void SigmoidInPlace(float* dst, size_t n) { SigmoidTo(dst, dst, n); }
+
+void ExpTo(float* dst, const float* src, size_t n) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ExpSpanAvx2(dst + b, src + b, len);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ExpSpanNeon(dst + b, src + b, len);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [](float v) { return std::exp(v); });
+}
+
+void LogShiftTo(float* dst, const float* src, size_t n, float shift) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::LogShiftSpanAvx2(dst + b, src + b, len, shift);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::LogShiftSpanNeon(dst + b, src + b, len, shift);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [shift](float v) { return std::log(v + shift); });
+}
+
+void LogitTo(float* dst, const float* src, size_t n, float lo, float hi) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::LogitSpanAvx2(dst + b, src + b, len, lo, hi);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::LogitSpanNeon(dst + b, src + b, len, lo, hi);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [lo, hi](float v) {
+    const float c = std::min(std::max(v, lo), hi);
+    return std::log(c / (1.0f - c));
+  });
+}
+
+void ClampTo(float* dst, const float* src, size_t n, float lo, float hi) {
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ClampSpanAvx2(dst + b, src + b, len, lo, hi);
+      });
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      ForSpan(n, [&](size_t b, size_t len) {
+        simd::ClampSpanNeon(dst + b, src + b, len, lo, hi);
+      });
+      return;
+#endif
+    default:
+      break;
+  }
+  MapTo(dst, src, n, [lo, hi](float v) {
+    return std::min(std::max(v, lo), hi);
+  });
+}
+
+void AdamUpdate(float* value, float* m, float* v, const float* grad,
+                size_t n, float beta1, float beta2, float lr, float bc1,
+                float bc2, float eps) {
+  // Optimizer tensors are small (layer weights); no ParallelFor — the
+  // vector kernel alone covers the win, and updates stay ordered.
+  switch (simd::Active()) {
+#if CFX_SIMD_X86
+    case simd::Level::kAvx2:
+      simd::AdamUpdateSpanAvx2(value, m, v, grad, n, beta1, beta2, lr, bc1,
+                               bc2, eps);
+      return;
+#endif
+#if CFX_SIMD_NEON
+    case simd::Level::kNeon:
+      simd::AdamUpdateSpanNeon(value, m, v, grad, n, beta1, beta2, lr, bc1,
+                               bc2, eps);
+      return;
+#endif
+    default:
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0f - beta1) * grad[i];
+    v[i] = beta2 * v[i] + (1.0f - beta2) * grad[i] * grad[i];
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
 void TabularActivationForward(
     const float* x, float* out, size_t rows, size_t cols,
     const std::vector<std::pair<size_t, size_t>>& softmax_blocks,
     const std::vector<uint8_t>& in_softmax) {
-  ParallelFor(0, rows, 0, [&](size_t r0, size_t r1) {
+  const simd::Level level = simd::Active();
+  auto rows_fn = [&, level](size_t r0, size_t r1) {
+    switch (level) {
+#if CFX_SIMD_X86
+      case simd::Level::kAvx2:
+        simd::TabularActivationRowsAvx2(x, out, r0, r1, cols, softmax_blocks);
+        return;
+#endif
+#if CFX_SIMD_NEON
+      case simd::Level::kNeon:
+        simd::TabularActivationRowsNeon(x, out, r0, r1, cols, softmax_blocks);
+        return;
+#endif
+      default:
+        break;
+    }
     for (size_t r = r0; r < r1; ++r) {
       const float* xr = x + r * cols;
       float* or_ = out + r * cols;
@@ -278,7 +743,14 @@ void TabularActivationForward(
         for (size_t j = 0; j < width; ++j) or_[offset + j] /= sum;
       }
     }
-  });
+  };
+  // Serve-sized batches run inline — rows are disjoint, so skipping the
+  // pool dispatch never changes bits.
+  if (rows * cols < kElementwiseGrain) {
+    rows_fn(0, rows);
+    return;
+  }
+  ParallelFor(0, rows, 0, rows_fn);
 }
 
 }  // namespace kernels

@@ -15,6 +15,12 @@
 //    ZipInPlace): the functor inlines into the loop, unlike the historical
 //    Matrix::Map(const std::function&) path. Keep bodies branch-light; they
 //    parallelise only past kElementwiseGrain elements.
+//  * Every named entry point dispatches on simd::Active() (see
+//    src/tensor/simd.h): scalar keeps the historical loops bit-for-bit,
+//    the vector levels run the AVX2/NEON targets. Within a level, fused and
+//    unfused pipelines stay bitwise equal (position-independent span
+//    kernels, k-ascending row-local matmuls), and everything below
+//    kElementwiseGrain runs inline on the caller's thread.
 #ifndef CFX_TENSOR_KERNELS_H_
 #define CFX_TENSOR_KERNELS_H_
 
@@ -42,6 +48,14 @@ inline constexpr size_t kMatMulGrainFlops = size_t{1} << 16;
 /// overwritten.
 void MatMul(const float* a, const float* b, float* out, size_t n, size_t k,
             size_t m);
+
+/// MatMul with explicit leading dimensions (row strides) for padded-stride
+/// buffers: row i of `a` starts at a + i*lda, etc. Padding never changes the
+/// per-element operation sequence, so for any (lda, ldb, ldc) the written
+/// elements are bitwise identical to the tight-stride MatMul at the same
+/// SIMD level.
+void MatMulEx(const float* a, const float* b, float* out, size_t n, size_t k,
+              size_t m, size_t lda, size_t ldb, size_t ldc);
 
 /// Post-matmul epilogue applied per element while the output row is still
 /// hot in cache (see MatMulBias).
@@ -92,6 +106,50 @@ void ScaleInPlace(float* dst, float alpha, size_t n);
 
 /// dst += a * b (elementwise product accumulate) — the Mul/Exp backward.
 void MulAddInPlace(float* dst, const float* a, const float* b, size_t n);
+
+/// dst[r*cols + c] += row[c] for every row — the bias broadcast. A single
+/// IEEE add per element, so all SIMD levels produce identical bits.
+void AddRowBroadcastInPlace(float* dst, const float* row, size_t rows,
+                            size_t cols);
+
+// ---- named activations / transforms -----------------------------------------
+//
+// One implementation per SIMD level, shared by the tape ops (autodiff.cc),
+// the tape-free Infer path (nn/layers.cc), the fused MatMulBias epilogues
+// and the columnar generator path — which is what keeps those pipelines
+// bitwise-equal to each other within a level. The scalar bodies are the
+// historical expressions verbatim.
+
+/// dst[i] = max(src[i], 0).
+void ReluTo(float* dst, const float* src, size_t n);
+void ReluInPlace(float* dst, size_t n);
+
+/// dst[i] = 1 / (1 + exp(-src[i])).
+void SigmoidTo(float* dst, const float* src, size_t n);
+void SigmoidInPlace(float* dst, size_t n);
+
+/// dst[i] = exp(src[i]).
+void ExpTo(float* dst, const float* src, size_t n);
+
+/// dst[i] = log(src[i] + shift) — the copy-prior categorical bias; requires
+/// src[i] + shift > 0.
+void LogShiftTo(float* dst, const float* src, size_t n, float shift);
+
+/// dst[i] = log(c / (1 - c)) with c = clamp(src[i], lo, hi) — the
+/// copy-prior continuous/binary bias.
+void LogitTo(float* dst, const float* src, size_t n, float lo, float hi);
+
+/// dst[i] = clamp(src[i], lo, hi) (min/max are exact in every level).
+void ClampTo(float* dst, const float* src, size_t n, float lo, float hi);
+
+/// Fused Adam step over one parameter tensor: updates the first and second
+/// moment estimates in place and applies the bias-corrected parameter
+/// update. bc1/bc2 are the precomputed bias corrections (1 - beta^t).
+/// Built from IEEE-exact ops only, so the result is bitwise identical
+/// across dispatch levels.
+void AdamUpdate(float* value, float* m, float* v, const float* grad,
+                size_t n, float beta1, float beta2, float lr, float bc1,
+                float bc2, float eps);
 
 // ---- fused activation heads -------------------------------------------------
 

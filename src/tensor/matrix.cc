@@ -44,8 +44,7 @@ Matrix Matrix::RandomUniform(size_t rows, size_t cols, float lo, float hi,
   return m;
 }
 
-Matrix Matrix::FromStorage(size_t rows, size_t cols,
-                           std::vector<float> storage) {
+Matrix Matrix::FromStorage(size_t rows, size_t cols, FloatBuffer storage) {
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
@@ -54,7 +53,7 @@ Matrix Matrix::FromStorage(size_t rows, size_t cols,
   return m;
 }
 
-std::vector<float> Matrix::ReleaseStorage() {
+FloatBuffer Matrix::ReleaseStorage() {
   rows_ = 0;
   cols_ = 0;
   return std::move(data_);
@@ -184,9 +183,7 @@ Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
 Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
   assert(row.rows_ == 1 && row.cols_ == cols_);
   Matrix out = *this;
-  for (size_t r = 0; r < rows_; ++r) {
-    for (size_t c = 0; c < cols_; ++c) out.at(r, c) += row.at(0, c);
-  }
+  kernels::AddRowBroadcastInPlace(out.data(), row.data(), rows_, cols_);
   return out;
 }
 

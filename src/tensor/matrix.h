@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/aligned.h"
 #include "src/common/rng.h"
 #include "src/tensor/kernels.h"
 
@@ -62,11 +63,10 @@ class Matrix {
 
   /// Adopts `storage` as the backing buffer (resized to rows * cols; reuses
   /// its capacity). The autodiff grad pool recycles buffers through this.
-  static Matrix FromStorage(size_t rows, size_t cols,
-                            std::vector<float> storage);
+  static Matrix FromStorage(size_t rows, size_t cols, FloatBuffer storage);
 
   /// Surrenders the backing buffer, leaving a 0x0 matrix.
-  std::vector<float> ReleaseStorage();
+  FloatBuffer ReleaseStorage();
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
@@ -178,7 +178,12 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<float> data_;
+  /// 64-byte-aligned backing storage (tight row-major, stride == cols): a
+  /// vector load of any row-0 element never straddles a cache line, and the
+  /// SIMD kernels get aligned bases for free. Padded-leading-dimension
+  /// layouts live in ColumnBatch (src/data/column_batch.h), not here — the
+  /// tight layout is load-bearing for serialization and raw data() users.
+  FloatBuffer data_;
 };
 
 /// scalar * M.

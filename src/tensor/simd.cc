@@ -1,0 +1,1148 @@
+#include "src/tensor/simd.h"
+
+// GCC notes that passing/returning __m256 through the lane-op lambdas
+// "changes the ABI" when the TU's base arch lacks AVX (-Wpsabi). Every such
+// call site and callee live in the same target("avx2,fma") region of this
+// one TU, so the ABI concern is moot; silence the note so -Werror builds
+// stay clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/tensor/kernels.h"
+
+#if CFX_SIMD_X86
+#include <immintrin.h>
+#endif
+#if CFX_SIMD_NEON
+#include <arm_neon.h>
+#endif
+
+namespace cfx {
+namespace simd {
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kAvx2: return "avx2";
+    case Level::kNeon: return "neon";
+    case Level::kUnknown: break;
+  }
+  return "unknown";
+}
+
+bool ParseLevelName(const std::string& name, Level* out, bool* is_auto) {
+  const std::string lower = ToLower(name);
+  *is_auto = false;
+  if (lower == "auto") {
+    *is_auto = true;
+    return true;
+  }
+  if (lower == "scalar") {
+    *out = Level::kScalar;
+    return true;
+  }
+  if (lower == "avx2") {
+    *out = Level::kAvx2;
+    return true;
+  }
+  if (lower == "neon") {
+    *out = Level::kNeon;
+    return true;
+  }
+  return false;
+}
+
+Level DetectBest() {
+#if CFX_SIMD_X86
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Level::kAvx2;
+  }
+#endif
+#if CFX_SIMD_NEON
+  return Level::kNeon;
+#endif
+  return Level::kScalar;
+}
+
+bool Supported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+#if CFX_SIMD_X86
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if CFX_SIMD_NEON
+      return true;
+#else
+      return false;
+#endif
+    case Level::kUnknown:
+      break;
+  }
+  return false;
+}
+
+Level ResolveFromEnv() {
+  const Level best = DetectBest();
+  const char* env = std::getenv("CFX_SIMD");
+  if (env == nullptr) return best;
+  Level requested = Level::kScalar;
+  bool is_auto = false;
+  if (!ParseLevelName(env, &requested, &is_auto)) {
+    CFX_LOG(Warning) << "CFX_SIMD='" << env
+                     << "' is not \"scalar\", \"avx2\", \"neon\" or "
+                        "\"auto\"; using auto ("
+                     << LevelName(best) << ")";
+    return best;
+  }
+  if (is_auto) return best;
+  if (!Supported(requested)) {
+    CFX_LOG(Warning) << "CFX_SIMD='" << env
+                     << "' is not supported on this CPU; using auto ("
+                     << LevelName(best) << ")";
+    return best;
+  }
+  return requested;
+}
+
+namespace internal {
+
+std::atomic<int> g_active{0};
+
+Level ResolveActive() {
+  const Level level = ResolveFromEnv();
+  // Benign race: concurrent first calls resolve the same environment to the
+  // same value.
+  g_active.store(static_cast<int>(level), std::memory_order_relaxed);
+  return level;
+}
+
+}  // namespace internal
+
+bool SetActiveForTesting(Level level) {
+  if (!Supported(level)) return false;
+  internal::g_active.store(static_cast<int>(level),
+                           std::memory_order_relaxed);
+  return true;
+}
+
+// ============================ AVX2 =========================================
+#if CFX_SIMD_X86
+#pragma GCC push_options
+#pragma GCC target("avx2,fma")
+
+namespace {
+
+/// Maskload/maskstore mask covering the first `tail` of 8 lanes.
+inline __m256i TailMask(size_t tail) {
+  alignas(32) static const int kMaskTable[16] = {
+      -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + 8 - tail));
+}
+
+/// Polynomial exp over 8 lanes (Cephes expf scheme: Cody–Waite range
+/// reduction, degree-5 polynomial, exponent reassembly). ~1 ulp relative
+/// error; inputs saturate at +-88.376 like expf. Deterministic per lane:
+/// the result depends only on the lane's value.
+inline __m256 ExpPs(__m256 x) {
+  const __m256 kHi = _mm256_set1_ps(88.3762626647949f);
+  const __m256 kLo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kC1 = _mm256_set1_ps(0.693359375f);
+  const __m256 kC2 = _mm256_set1_ps(-2.12194440e-4f);
+  const __m256 kHalf = _mm256_set1_ps(0.5f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+
+  x = _mm256_min_ps(x, kHi);
+  x = _mm256_max_ps(x, kLo);
+
+  __m256 fx = _mm256_fmadd_ps(x, kLog2e, kHalf);
+  __m256 tmp = _mm256_floor_ps(fx);
+  // floor(fx) can overshoot fx by one after the +0.5 bias; pull it back.
+  __m256 mask = _mm256_cmp_ps(tmp, fx, _CMP_GT_OS);
+  mask = _mm256_and_ps(mask, kOne);
+  fx = _mm256_sub_ps(tmp, mask);
+
+  x = _mm256_fnmadd_ps(fx, kC1, x);
+  x = _mm256_fnmadd_ps(fx, kC2, x);
+  const __m256 z = _mm256_mul_ps(x, x);
+
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, x);
+  y = _mm256_add_ps(y, kOne);
+
+  const __m256i emm0 = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(fx), _mm256_set1_epi32(0x7f)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(emm0));
+}
+
+/// Polynomial log over 8 lanes (Cephes logf scheme). Inputs are assumed
+/// strictly positive — every call site shifts or clamps first.
+inline __m256 LogPs(__m256 x) {
+  const __m256 kMinNorm = _mm256_castsi256_ps(_mm256_set1_epi32(0x00800000));
+  const __m256 kInvMant = _mm256_castsi256_ps(_mm256_set1_epi32(
+      static_cast<int>(~0x7f800000u)));
+  const __m256 kHalf = _mm256_set1_ps(0.5f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  const __m256 kSqrtHf = _mm256_set1_ps(0.707106781186547524f);
+
+  x = _mm256_max_ps(x, kMinNorm);  // flush denormals/zero to the minimum
+  __m256i emm0 = _mm256_srli_epi32(_mm256_castps_si256(x), 23);
+  emm0 = _mm256_sub_epi32(emm0, _mm256_set1_epi32(0x7f));
+  __m256 e = _mm256_cvtepi32_ps(emm0);
+
+  x = _mm256_and_ps(x, kInvMant);
+  x = _mm256_or_ps(x, kHalf);
+  e = _mm256_add_ps(e, kOne);
+
+  const __m256 mask = _mm256_cmp_ps(x, kSqrtHf, _CMP_LT_OS);
+  __m256 tmp = _mm256_and_ps(x, mask);
+  x = _mm256_sub_ps(x, kOne);
+  e = _mm256_sub_ps(e, _mm256_and_ps(kOne, mask));
+  x = _mm256_add_ps(x, tmp);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(7.0376836292e-2f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.1514610310e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.1676998740e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.2420140846e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.4249322787e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-1.6668057665e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(2.0000714765e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(-2.4999993993e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(3.3333331174e-1f));
+  y = _mm256_mul_ps(y, _mm256_mul_ps(x, z));
+
+  y = _mm256_fmadd_ps(e, _mm256_set1_ps(-2.12194440e-4f), y);
+  y = _mm256_fnmadd_ps(kHalf, z, y);
+  x = _mm256_add_ps(x, y);
+  return _mm256_fmadd_ps(e, _mm256_set1_ps(0.693359375f), x);
+}
+
+inline __m256 SigmoidPs(__m256 x) {
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  const __m256 e = ExpPs(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(kOne, _mm256_add_ps(kOne, e));
+}
+
+/// Runs `op` (an 8-lane __m256 -> __m256 transform) over a span with the
+/// tail executed through the SAME vector code on a padded stack block, so
+/// an element's bits never depend on its position within the span. This is
+/// the keystone of the fused-vs-tape bitwise contract: the epilogue sees
+/// per-row spans while the tape op sees whole-matrix spans.
+template <typename Op>
+inline void ForEachLane(float* dst, const float* src, size_t n, Op op) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, op(_mm256_loadu_ps(src + i)));
+  }
+  if (i < n) {
+    alignas(32) float buf[8] = {0};
+    const size_t tail = n - i;
+    for (size_t t = 0; t < tail; ++t) buf[t] = src[i + t];
+    _mm256_store_ps(buf, op(_mm256_load_ps(buf)));
+    for (size_t t = 0; t < tail; ++t) dst[i + t] = buf[t];
+  }
+}
+
+/// Two-operand variant: dst[i] = op(dst[i], src[i]).
+template <typename Op>
+inline void ForEachLane2(float* dst, const float* src, size_t n, Op op) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, op(_mm256_loadu_ps(dst + i), _mm256_loadu_ps(src + i)));
+  }
+  if (i < n) {
+    alignas(32) float d[8] = {0};
+    alignas(32) float s[8] = {0};
+    const size_t tail = n - i;
+    for (size_t t = 0; t < tail; ++t) {
+      d[t] = dst[i + t];
+      s[t] = src[i + t];
+    }
+    _mm256_store_ps(d, op(_mm256_load_ps(d), _mm256_load_ps(s)));
+    for (size_t t = 0; t < tail; ++t) dst[i + t] = d[t];
+  }
+}
+
+/// Bias + activation over one freshly accumulated output row.
+inline void BiasEpilogueRow(float* out_row, const float* bias, size_t m,
+                            kernels::Epilogue epilogue) {
+  switch (epilogue) {
+    case kernels::Epilogue::kNone:
+      ForEachLane2(out_row, bias, m,
+                   [](__m256 v, __m256 b) { return _mm256_add_ps(v, b); });
+      break;
+    case kernels::Epilogue::kRelu:
+      ForEachLane2(out_row, bias, m, [](__m256 v, __m256 b) {
+        return _mm256_max_ps(_mm256_add_ps(v, b), _mm256_setzero_ps());
+      });
+      break;
+    case kernels::Epilogue::kSigmoid:
+      ForEachLane2(out_row, bias, m, [](__m256 v, __m256 b) {
+        return SigmoidPs(_mm256_add_ps(v, b));
+      });
+      break;
+  }
+}
+
+/// One output row of a(n,k).b(k,m): register-blocked accumulation, k
+/// ascending per element, zero a-coefficients skipped (one-hot rows).
+inline void MatMulRowAvx2(const float* a_row, const float* b, float* out_row,
+                          size_t k, size_t m, size_t ldb, bool accumulate) {
+  size_t j = 0;
+  // 16-wide register block: two accumulators held across the k loop.
+  for (; j + 16 <= m; j += 16) {
+    __m256 acc0, acc1;
+    if (accumulate) {
+      acc0 = _mm256_loadu_ps(out_row + j);
+      acc1 = _mm256_loadu_ps(out_row + j + 8);
+    } else {
+      acc0 = _mm256_setzero_ps();
+      acc1 = _mm256_setzero_ps();
+    }
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const __m256 va = _mm256_set1_ps(av);
+      const float* b_row = b + kk * ldb + j;
+      acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b_row), acc0);
+      acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b_row + 8), acc1);
+    }
+    _mm256_storeu_ps(out_row + j, acc0);
+    _mm256_storeu_ps(out_row + j + 8, acc1);
+  }
+  if (j + 8 <= m) {
+    __m256 acc = accumulate ? _mm256_loadu_ps(out_row + j)
+                            : _mm256_setzero_ps();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                            _mm256_loadu_ps(b + kk * ldb + j), acc);
+    }
+    _mm256_storeu_ps(out_row + j, acc);
+    j += 8;
+  }
+  if (j < m) {
+    const __m256i mask = TailMask(m - j);
+    __m256 acc = accumulate ? _mm256_maskload_ps(out_row + j, mask)
+                            : _mm256_setzero_ps();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(av),
+                            _mm256_maskload_ps(b + kk * ldb + j, mask), acc);
+    }
+    _mm256_maskstore_ps(out_row + j, mask, acc);
+  }
+}
+
+/// Two output rows at once: every loaded b row feeds four FMA chains
+/// instead of two, halving load traffic on the k loop. Each output
+/// element still sees its own k-ascending, zero-skipped FMA sequence, so
+/// the bits match MatMulRowAvx2 exactly.
+inline void MatMulRowPairAvx2(const float* a0, const float* a1,
+                              const float* b, float* o0, float* o1, size_t k,
+                              size_t m, size_t ldb, bool accumulate) {
+  size_t j = 0;
+  for (; j + 16 <= m; j += 16) {
+    __m256 acc00, acc01, acc10, acc11;
+    if (accumulate) {
+      acc00 = _mm256_loadu_ps(o0 + j);
+      acc01 = _mm256_loadu_ps(o0 + j + 8);
+      acc10 = _mm256_loadu_ps(o1 + j);
+      acc11 = _mm256_loadu_ps(o1 + j + 8);
+    } else {
+      acc00 = _mm256_setzero_ps();
+      acc01 = _mm256_setzero_ps();
+      acc10 = _mm256_setzero_ps();
+      acc11 = _mm256_setzero_ps();
+    }
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av0 = a0[kk];
+      const float av1 = a1[kk];
+      if (av0 == 0.0f && av1 == 0.0f) continue;
+      const float* b_row = b + kk * ldb + j;
+      const __m256 vb0 = _mm256_loadu_ps(b_row);
+      const __m256 vb1 = _mm256_loadu_ps(b_row + 8);
+      if (av0 != 0.0f) {
+        const __m256 va = _mm256_set1_ps(av0);
+        acc00 = _mm256_fmadd_ps(va, vb0, acc00);
+        acc01 = _mm256_fmadd_ps(va, vb1, acc01);
+      }
+      if (av1 != 0.0f) {
+        const __m256 va = _mm256_set1_ps(av1);
+        acc10 = _mm256_fmadd_ps(va, vb0, acc10);
+        acc11 = _mm256_fmadd_ps(va, vb1, acc11);
+      }
+    }
+    _mm256_storeu_ps(o0 + j, acc00);
+    _mm256_storeu_ps(o0 + j + 8, acc01);
+    _mm256_storeu_ps(o1 + j, acc10);
+    _mm256_storeu_ps(o1 + j + 8, acc11);
+  }
+  if (j + 8 <= m) {
+    __m256 acc0 = accumulate ? _mm256_loadu_ps(o0 + j) : _mm256_setzero_ps();
+    __m256 acc1 = accumulate ? _mm256_loadu_ps(o1 + j) : _mm256_setzero_ps();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av0 = a0[kk];
+      const float av1 = a1[kk];
+      if (av0 == 0.0f && av1 == 0.0f) continue;
+      const __m256 vb = _mm256_loadu_ps(b + kk * ldb + j);
+      if (av0 != 0.0f) acc0 = _mm256_fmadd_ps(_mm256_set1_ps(av0), vb, acc0);
+      if (av1 != 0.0f) acc1 = _mm256_fmadd_ps(_mm256_set1_ps(av1), vb, acc1);
+    }
+    _mm256_storeu_ps(o0 + j, acc0);
+    _mm256_storeu_ps(o1 + j, acc1);
+    j += 8;
+  }
+  if (j < m) {
+    const __m256i mask = TailMask(m - j);
+    __m256 acc0 = accumulate ? _mm256_maskload_ps(o0 + j, mask)
+                             : _mm256_setzero_ps();
+    __m256 acc1 = accumulate ? _mm256_maskload_ps(o1 + j, mask)
+                             : _mm256_setzero_ps();
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av0 = a0[kk];
+      const float av1 = a1[kk];
+      if (av0 == 0.0f && av1 == 0.0f) continue;
+      const __m256 vb = _mm256_maskload_ps(b + kk * ldb + j, mask);
+      if (av0 != 0.0f) acc0 = _mm256_fmadd_ps(_mm256_set1_ps(av0), vb, acc0);
+      if (av1 != 0.0f) acc1 = _mm256_fmadd_ps(_mm256_set1_ps(av1), vb, acc1);
+    }
+    _mm256_maskstore_ps(o0 + j, mask, acc0);
+    _mm256_maskstore_ps(o1 + j, mask, acc1);
+  }
+}
+
+/// Lane-summed dot product; the fixed reduction tree keeps it
+/// deterministic for a given length.
+inline float DotAvx2(const float* a, const float* b, size_t k) {
+  __m256 acc = _mm256_setzero_ps();
+  size_t c = 0;
+  for (; c + 8 <= k; c += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + c), _mm256_loadu_ps(b + c),
+                          acc);
+  }
+  if (c < k) {
+    const __m256i mask = TailMask(k - c);
+    // Zero-padded lanes contribute exact zeros to the sum.
+    acc = _mm256_fmadd_ps(_mm256_maskload_ps(a + c, mask),
+                          _mm256_maskload_ps(b + c, mask), acc);
+  }
+  const __m128 lo = _mm256_castps256_ps128(acc);
+  const __m128 hi = _mm256_extractf128_ps(acc, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+void MatMulRowsAvx2(const float* a, const float* b, float* out, size_t r0,
+                    size_t r1, size_t k, size_t m, size_t lda, size_t ldb,
+                    size_t ldc, bool accumulate) {
+  size_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    MatMulRowPairAvx2(a + i * lda, a + (i + 1) * lda, b, out + i * ldc,
+                      out + (i + 1) * ldc, k, m, ldb, accumulate);
+  }
+  for (; i < r1; ++i) {
+    MatMulRowAvx2(a + i * lda, b, out + i * ldc, k, m, ldb, accumulate);
+  }
+}
+
+void MatMulBiasRowsAvx2(const float* a, const float* b, const float* bias,
+                        float* out, size_t r0, size_t r1, size_t k, size_t m,
+                        size_t lda, size_t ldb, size_t ldc,
+                        kernels::Epilogue epilogue) {
+  size_t i = r0;
+  for (; i + 2 <= r1; i += 2) {
+    float* out_row0 = out + i * ldc;
+    float* out_row1 = out + (i + 1) * ldc;
+    MatMulRowPairAvx2(a + i * lda, a + (i + 1) * lda, b, out_row0, out_row1,
+                      k, m, ldb, /*accumulate=*/false);
+    BiasEpilogueRow(out_row0, bias, m, epilogue);
+    BiasEpilogueRow(out_row1, bias, m, epilogue);
+  }
+  for (; i < r1; ++i) {
+    float* out_row = out + i * ldc;
+    MatMulRowAvx2(a + i * lda, b, out_row, k, m, ldb, /*accumulate=*/false);
+    BiasEpilogueRow(out_row, bias, m, epilogue);
+  }
+}
+
+void MatMulTransposedBRowsAvx2(const float* a, const float* b, float* out,
+                               size_t r0, size_t r1, size_t k, size_t m,
+                               bool accumulate) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float s = DotAvx2(a_row, b + j * k, k);
+      out_row[j] = accumulate ? out_row[j] + s : s;
+    }
+  }
+}
+
+void MatMulTransposedARowsAvx2(const float* a, const float* b, float* out,
+                               size_t c0, size_t c1, size_t n, size_t k,
+                               size_t m, bool accumulate) {
+  // out(k,m): out[c][j] = sum_r a[r][c] * b[r][j], r ascending like the
+  // scalar axpy loop; b rows stream vectorized.
+  const size_t mv = m & ~size_t{7};
+  const __m256i tail_mask = m > mv ? TailMask(m - mv) : _mm256_setzero_si256();
+  for (size_t c = c0; c < c1; ++c) {
+    float* out_row = out + c * m;
+    if (!accumulate) {
+      for (size_t j = 0; j < m; ++j) out_row[j] = 0.0f;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const float av = a[r * k + c];
+      if (av == 0.0f) continue;
+      const __m256 va = _mm256_set1_ps(av);
+      const float* b_row = b + r * m;
+      size_t j = 0;
+      for (; j < mv; j += 8) {
+        const __m256 acc = _mm256_fmadd_ps(va, _mm256_loadu_ps(b_row + j),
+                                           _mm256_loadu_ps(out_row + j));
+        _mm256_storeu_ps(out_row + j, acc);
+      }
+      if (j < m) {
+        const __m256 acc =
+            _mm256_fmadd_ps(va, _mm256_maskload_ps(b_row + j, tail_mask),
+                            _mm256_maskload_ps(out_row + j, tail_mask));
+        _mm256_maskstore_ps(out_row + j, tail_mask, acc);
+      }
+    }
+  }
+}
+
+void AddSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane2(dst, src, n,
+               [](__m256 d, __m256 s) { return _mm256_add_ps(d, s); });
+}
+
+void SubSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane2(dst, src, n,
+               [](__m256 d, __m256 s) { return _mm256_sub_ps(d, s); });
+}
+
+void MulSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane2(dst, src, n,
+               [](__m256 d, __m256 s) { return _mm256_mul_ps(d, s); });
+}
+
+void AxpySpanAvx2(float* dst, float alpha, const float* src, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  ForEachLane2(dst, src, n, [va](__m256 d, __m256 s) {
+    return _mm256_fmadd_ps(va, s, d);
+  });
+}
+
+void ScaleSpanAvx2(float* dst, float alpha, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  ForEachLane(dst, dst, n,
+              [va](__m256 v) { return _mm256_mul_ps(va, v); });
+}
+
+void MulAddSpanAvx2(float* dst, const float* a, const float* b, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 acc = _mm256_fmadd_ps(
+        _mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+        _mm256_loadu_ps(dst + i));
+    _mm256_storeu_ps(dst + i, acc);
+  }
+  if (i < n) {
+    alignas(32) float da[8] = {0};
+    alignas(32) float db[8] = {0};
+    alignas(32) float dd[8] = {0};
+    const size_t tail = n - i;
+    for (size_t t = 0; t < tail; ++t) {
+      da[t] = a[i + t];
+      db[t] = b[i + t];
+      dd[t] = dst[i + t];
+    }
+    _mm256_store_ps(dd, _mm256_fmadd_ps(_mm256_load_ps(da),
+                                        _mm256_load_ps(db),
+                                        _mm256_load_ps(dd)));
+    for (size_t t = 0; t < tail; ++t) dst[i + t] = dd[t];
+  }
+}
+
+void ReluSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane(dst, src, n, [](__m256 v) {
+    return _mm256_max_ps(v, _mm256_setzero_ps());
+  });
+}
+
+void SigmoidSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane(dst, src, n, [](__m256 v) { return SigmoidPs(v); });
+}
+
+void ExpSpanAvx2(float* dst, const float* src, size_t n) {
+  ForEachLane(dst, src, n, [](__m256 v) { return ExpPs(v); });
+}
+
+void LogShiftSpanAvx2(float* dst, const float* src, size_t n, float shift) {
+  const __m256 vs = _mm256_set1_ps(shift);
+  ForEachLane(dst, src, n, [vs](__m256 v) {
+    return LogPs(_mm256_add_ps(v, vs));
+  });
+}
+
+void LogitSpanAvx2(float* dst, const float* src, size_t n, float lo,
+                   float hi) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vhi = _mm256_set1_ps(hi);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  ForEachLane(dst, src, n, [vlo, vhi, one](__m256 v) {
+    const __m256 c = _mm256_min_ps(_mm256_max_ps(v, vlo), vhi);
+    return LogPs(_mm256_div_ps(c, _mm256_sub_ps(one, c)));
+  });
+}
+
+void ClampSpanAvx2(float* dst, const float* src, size_t n, float lo,
+                   float hi) {
+  const __m256 vlo = _mm256_set1_ps(lo);
+  const __m256 vhi = _mm256_set1_ps(hi);
+  ForEachLane(dst, src, n, [vlo, vhi](__m256 v) {
+    return _mm256_min_ps(_mm256_max_ps(v, vlo), vhi);
+  });
+}
+
+void AdamUpdateSpanAvx2(float* value, float* m, float* v, const float* grad,
+                        size_t n, float beta1, float beta2, float lr,
+                        float bc1, float bc2, float eps) {
+  // Explicit mul/add intrinsics (never FMA) keep every lane's rounding
+  // sequence identical to the scalar update; div/sqrt are IEEE-exact, so
+  // the whole update is bitwise level-invariant. Per-element independence
+  // makes a scalar tail equally exact.
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vb1c = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vb2c = _mm256_set1_ps(1.0f - beta2);
+  const __m256 vbc1 = _mm256_set1_ps(bc1);
+  const __m256 vbc2 = _mm256_set1_ps(bc2);
+  const __m256 vlr = _mm256_set1_ps(lr);
+  const __m256 veps = _mm256_set1_ps(eps);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 gv = _mm256_loadu_ps(grad + i);
+    const __m256 mv =
+        _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_loadu_ps(m + i)),
+                      _mm256_mul_ps(vb1c, gv));
+    // ((1-beta2)*g)*g, matching the scalar expression's association.
+    const __m256 vv =
+        _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(vb2c, gv), gv));
+    _mm256_storeu_ps(m + i, mv);
+    _mm256_storeu_ps(v + i, vv);
+    const __m256 mhat = _mm256_div_ps(mv, vbc1);
+    const __m256 vhat = _mm256_div_ps(vv, vbc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    const __m256 update = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_storeu_ps(value + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(value + i), update));
+  }
+  if (i < n) {
+    // Tail through the same vector code via zero-padded buffers: a plain
+    // scalar loop here would sit inside the FMA target region, where the
+    // compiler may contract a*b + c*d and break bitwise parity with the
+    // scalar kernel. The intrinsics are never contracted, and zero lanes
+    // stay finite (denom == eps), so padding is safe.
+    const size_t tail = n - i;
+    alignas(32) float tg[8] = {0}, tm[8] = {0}, tv[8] = {0}, tval[8] = {0};
+    std::memcpy(tg, grad + i, tail * sizeof(float));
+    std::memcpy(tm, m + i, tail * sizeof(float));
+    std::memcpy(tv, v + i, tail * sizeof(float));
+    std::memcpy(tval, value + i, tail * sizeof(float));
+    const __m256 gv = _mm256_load_ps(tg);
+    const __m256 mv = _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_load_ps(tm)),
+                                    _mm256_mul_ps(vb1c, gv));
+    const __m256 vv = _mm256_add_ps(_mm256_mul_ps(vb2, _mm256_load_ps(tv)),
+                                    _mm256_mul_ps(_mm256_mul_ps(vb2c, gv), gv));
+    _mm256_store_ps(tm, mv);
+    _mm256_store_ps(tv, vv);
+    const __m256 mhat = _mm256_div_ps(mv, vbc1);
+    const __m256 vhat = _mm256_div_ps(vv, vbc2);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+    const __m256 update = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+    _mm256_store_ps(tval, _mm256_sub_ps(_mm256_load_ps(tval), update));
+    std::memcpy(m + i, tm, tail * sizeof(float));
+    std::memcpy(v + i, tv, tail * sizeof(float));
+    std::memcpy(value + i, tval, tail * sizeof(float));
+  }
+}
+
+void TabularActivationRowsAvx2(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks) {
+  // Sigmoid only the gaps between softmax blocks: block columns get their
+  // own exp below, so running the (expensive) sigmoid polynomial across
+  // them too would be pure waste. The span kernels are position-
+  // independent, so splitting the row changes no bits. CategoricalBlock-
+  // Ranges hands the blocks over in ascending offset order.
+  std::vector<std::pair<size_t, size_t>> gaps;  // (start, len)
+  size_t at = 0;
+  for (const auto& [offset, width] : softmax_blocks) {
+    if (offset > at) gaps.emplace_back(at, offset - at);
+    at = offset + width;
+  }
+  if (at < cols) gaps.emplace_back(at, cols - at);
+  for (size_t r = r0; r < r1; ++r) {
+    const float* xr = x + r * cols;
+    float* or_ = out + r * cols;
+    for (const auto& [start, len] : gaps) {
+      SigmoidSpanAvx2(or_ + start, xr + start, len);
+    }
+    for (const auto& [offset, width] : softmax_blocks) {
+      float max_v = xr[offset];
+      for (size_t j = 1; j < width; ++j) {
+        max_v = std::max(max_v, xr[offset + j]);
+      }
+      const __m256 vmax = _mm256_set1_ps(max_v);
+      ForEachLane(or_ + offset, xr + offset, width, [vmax](__m256 v) {
+        return ExpPs(_mm256_sub_ps(v, vmax));
+      });
+      float sum = 0.0f;
+      for (size_t j = 0; j < width; ++j) sum += or_[offset + j];
+      for (size_t j = 0; j < width; ++j) or_[offset + j] /= sum;
+    }
+  }
+}
+
+#pragma GCC pop_options
+#endif  // CFX_SIMD_X86
+
+// ============================ NEON =========================================
+#if CFX_SIMD_NEON
+
+namespace {
+
+/// 4-lane exp, same Cephes scheme as the AVX2 version.
+inline float32x4_t ExpQ(float32x4_t x) {
+  const float32x4_t kOne = vdupq_n_f32(1.0f);
+  x = vminq_f32(x, vdupq_n_f32(88.3762626647949f));
+  x = vmaxq_f32(x, vdupq_n_f32(-88.3762626647949f));
+
+  float32x4_t fx = vfmaq_f32(vdupq_n_f32(0.5f), x,
+                             vdupq_n_f32(1.44269504088896341f));
+  float32x4_t tmp = vrndmq_f32(fx);  // floor
+  const uint32x4_t gt = vcgtq_f32(tmp, fx);
+  fx = vsubq_f32(tmp, vbslq_f32(gt, kOne, vdupq_n_f32(0.0f)));
+
+  x = vfmsq_f32(x, fx, vdupq_n_f32(0.693359375f));
+  x = vfmsq_f32(x, fx, vdupq_n_f32(-2.12194440e-4f));
+  const float32x4_t z = vmulq_f32(x, x);
+
+  float32x4_t y = vdupq_n_f32(1.9875691500e-4f);
+  y = vfmaq_f32(vdupq_n_f32(1.3981999507e-3f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(8.3334519073e-3f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(4.1665795894e-2f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(1.6666665459e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(5.0000001201e-1f), y, x);
+  y = vfmaq_f32(x, y, z);
+  y = vaddq_f32(y, kOne);
+
+  const int32x4_t emm0 =
+      vshlq_n_s32(vaddq_s32(vcvtnq_s32_f32(fx), vdupq_n_s32(0x7f)), 23);
+  return vmulq_f32(y, vreinterpretq_f32_s32(emm0));
+}
+
+/// 4-lane log, same Cephes scheme as the AVX2 version; positive inputs.
+inline float32x4_t LogQ(float32x4_t x) {
+  const float32x4_t kOne = vdupq_n_f32(1.0f);
+  const float32x4_t kHalf = vdupq_n_f32(0.5f);
+  x = vmaxq_f32(x, vreinterpretq_f32_s32(vdupq_n_s32(0x00800000)));
+
+  int32x4_t emm0 = vshrq_n_s32(vreinterpretq_s32_f32(x), 23);
+  emm0 = vsubq_s32(emm0, vdupq_n_s32(0x7f));
+  float32x4_t e = vcvtq_f32_s32(emm0);
+
+  x = vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(x),
+                                      vdupq_n_u32(~0x7f800000u)));
+  x = vreinterpretq_f32_u32(vorrq_u32(vreinterpretq_u32_f32(x),
+                                      vreinterpretq_u32_f32(kHalf)));
+  e = vaddq_f32(e, kOne);
+
+  const uint32x4_t lt = vcltq_f32(x, vdupq_n_f32(0.707106781186547524f));
+  const float32x4_t tmp = vbslq_f32(lt, x, vdupq_n_f32(0.0f));
+  x = vsubq_f32(x, kOne);
+  e = vsubq_f32(e, vbslq_f32(lt, kOne, vdupq_n_f32(0.0f)));
+  x = vaddq_f32(x, tmp);
+
+  const float32x4_t z = vmulq_f32(x, x);
+  float32x4_t y = vdupq_n_f32(7.0376836292e-2f);
+  y = vfmaq_f32(vdupq_n_f32(-1.1514610310e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(1.1676998740e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(-1.2420140846e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(1.4249322787e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(-1.6668057665e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(2.0000714765e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(-2.4999993993e-1f), y, x);
+  y = vfmaq_f32(vdupq_n_f32(3.3333331174e-1f), y, x);
+  y = vmulq_f32(y, vmulq_f32(x, z));
+
+  y = vfmaq_f32(y, e, vdupq_n_f32(-2.12194440e-4f));
+  y = vfmsq_f32(y, kHalf, z);
+  x = vaddq_f32(x, y);
+  return vfmaq_f32(x, e, vdupq_n_f32(0.693359375f));
+}
+
+inline float32x4_t SigmoidQ(float32x4_t x) {
+  const float32x4_t kOne = vdupq_n_f32(1.0f);
+  const float32x4_t e = ExpQ(vnegq_f32(x));
+  return vdivq_f32(kOne, vaddq_f32(kOne, e));
+}
+
+template <typename Op>
+inline void ForEachLaneNeon(float* dst, const float* src, size_t n, Op op) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, op(vld1q_f32(src + i)));
+  }
+  if (i < n) {
+    alignas(16) float buf[4] = {0};
+    const size_t tail = n - i;
+    for (size_t t = 0; t < tail; ++t) buf[t] = src[i + t];
+    vst1q_f32(buf, op(vld1q_f32(buf)));
+    for (size_t t = 0; t < tail; ++t) dst[i + t] = buf[t];
+  }
+}
+
+template <typename Op>
+inline void ForEachLane2Neon(float* dst, const float* src, size_t n, Op op) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i, op(vld1q_f32(dst + i), vld1q_f32(src + i)));
+  }
+  if (i < n) {
+    alignas(16) float d[4] = {0};
+    alignas(16) float s[4] = {0};
+    const size_t tail = n - i;
+    for (size_t t = 0; t < tail; ++t) {
+      d[t] = dst[i + t];
+      s[t] = src[i + t];
+    }
+    vst1q_f32(d, op(vld1q_f32(d), vld1q_f32(s)));
+    for (size_t t = 0; t < tail; ++t) dst[i + t] = d[t];
+  }
+}
+
+inline void MatMulRowNeon(const float* a_row, const float* b, float* out_row,
+                          size_t k, size_t m, size_t ldb, bool accumulate) {
+  size_t j = 0;
+  for (; j + 8 <= m; j += 8) {
+    float32x4_t acc0, acc1;
+    if (accumulate) {
+      acc0 = vld1q_f32(out_row + j);
+      acc1 = vld1q_f32(out_row + j + 4);
+    } else {
+      acc0 = vdupq_n_f32(0.0f);
+      acc1 = vdupq_n_f32(0.0f);
+    }
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float32x4_t va = vdupq_n_f32(av);
+      const float* b_row = b + kk * ldb + j;
+      acc0 = vfmaq_f32(acc0, va, vld1q_f32(b_row));
+      acc1 = vfmaq_f32(acc1, va, vld1q_f32(b_row + 4));
+    }
+    vst1q_f32(out_row + j, acc0);
+    vst1q_f32(out_row + j + 4, acc1);
+  }
+  for (; j < m; ++j) {
+    float acc = accumulate ? out_row[j] : 0.0f;
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      acc = std::fma(av, b[kk * ldb + j], acc);
+    }
+    out_row[j] = acc;
+  }
+}
+
+inline void BiasEpilogueRowNeon(float* out_row, const float* bias, size_t m,
+                                kernels::Epilogue epilogue) {
+  switch (epilogue) {
+    case kernels::Epilogue::kNone:
+      ForEachLane2Neon(out_row, bias, m, [](float32x4_t v, float32x4_t b) {
+        return vaddq_f32(v, b);
+      });
+      break;
+    case kernels::Epilogue::kRelu:
+      ForEachLane2Neon(out_row, bias, m, [](float32x4_t v, float32x4_t b) {
+        return vmaxq_f32(vaddq_f32(v, b), vdupq_n_f32(0.0f));
+      });
+      break;
+    case kernels::Epilogue::kSigmoid:
+      ForEachLane2Neon(out_row, bias, m, [](float32x4_t v, float32x4_t b) {
+        return SigmoidQ(vaddq_f32(v, b));
+      });
+      break;
+  }
+}
+
+}  // namespace
+
+void MatMulRowsNeon(const float* a, const float* b, float* out, size_t r0,
+                    size_t r1, size_t k, size_t m, size_t lda, size_t ldb,
+                    size_t ldc, bool accumulate) {
+  for (size_t i = r0; i < r1; ++i) {
+    MatMulRowNeon(a + i * lda, b, out + i * ldc, k, m, ldb, accumulate);
+  }
+}
+
+void MatMulBiasRowsNeon(const float* a, const float* b, const float* bias,
+                        float* out, size_t r0, size_t r1, size_t k, size_t m,
+                        size_t lda, size_t ldb, size_t ldc,
+                        kernels::Epilogue epilogue) {
+  for (size_t i = r0; i < r1; ++i) {
+    float* out_row = out + i * ldc;
+    MatMulRowNeon(a + i * lda, b, out_row, k, m, ldb, /*accumulate=*/false);
+    BiasEpilogueRowNeon(out_row, bias, m, epilogue);
+  }
+}
+
+void MatMulTransposedBRowsNeon(const float* a, const float* b, float* out,
+                               size_t r0, size_t r1, size_t k, size_t m,
+                               bool accumulate) {
+  for (size_t i = r0; i < r1; ++i) {
+    const float* a_row = a + i * k;
+    float* out_row = out + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      const float* b_row = b + j * k;
+      float32x4_t acc = vdupq_n_f32(0.0f);
+      size_t c = 0;
+      for (; c + 4 <= k; c += 4) {
+        acc = vfmaq_f32(acc, vld1q_f32(a_row + c), vld1q_f32(b_row + c));
+      }
+      float s = vaddvq_f32(acc);
+      for (; c < k; ++c) s = std::fma(a_row[c], b_row[c], s);
+      out_row[j] = accumulate ? out_row[j] + s : s;
+    }
+  }
+}
+
+void MatMulTransposedARowsNeon(const float* a, const float* b, float* out,
+                               size_t c0, size_t c1, size_t n, size_t k,
+                               size_t m, bool accumulate) {
+  for (size_t c = c0; c < c1; ++c) {
+    float* out_row = out + c * m;
+    if (!accumulate) {
+      for (size_t j = 0; j < m; ++j) out_row[j] = 0.0f;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const float av = a[r * k + c];
+      if (av == 0.0f) continue;
+      const float32x4_t va = vdupq_n_f32(av);
+      const float* b_row = b + r * m;
+      size_t j = 0;
+      for (; j + 4 <= m; j += 4) {
+        vst1q_f32(out_row + j,
+                  vfmaq_f32(vld1q_f32(out_row + j), va, vld1q_f32(b_row + j)));
+      }
+      for (; j < m; ++j) out_row[j] = std::fma(av, b_row[j], out_row[j]);
+    }
+  }
+}
+
+void AddSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLane2Neon(dst, src, n, [](float32x4_t d, float32x4_t s) {
+    return vaddq_f32(d, s);
+  });
+}
+
+void SubSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLane2Neon(dst, src, n, [](float32x4_t d, float32x4_t s) {
+    return vsubq_f32(d, s);
+  });
+}
+
+void MulSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLane2Neon(dst, src, n, [](float32x4_t d, float32x4_t s) {
+    return vmulq_f32(d, s);
+  });
+}
+
+void AxpySpanNeon(float* dst, float alpha, const float* src, size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  ForEachLane2Neon(dst, src, n, [va](float32x4_t d, float32x4_t s) {
+    return vfmaq_f32(d, va, s);
+  });
+}
+
+void ScaleSpanNeon(float* dst, float alpha, size_t n) {
+  const float32x4_t va = vdupq_n_f32(alpha);
+  ForEachLaneNeon(dst, dst, n,
+                  [va](float32x4_t v) { return vmulq_f32(va, v); });
+}
+
+void MulAddSpanNeon(float* dst, const float* a, const float* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(dst + i,
+              vfmaq_f32(vld1q_f32(dst + i), vld1q_f32(a + i),
+                        vld1q_f32(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = std::fma(a[i], b[i], dst[i]);
+}
+
+void ReluSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLaneNeon(dst, src, n, [](float32x4_t v) {
+    return vmaxq_f32(v, vdupq_n_f32(0.0f));
+  });
+}
+
+void SigmoidSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLaneNeon(dst, src, n, [](float32x4_t v) { return SigmoidQ(v); });
+}
+
+void ExpSpanNeon(float* dst, const float* src, size_t n) {
+  ForEachLaneNeon(dst, src, n, [](float32x4_t v) { return ExpQ(v); });
+}
+
+void LogShiftSpanNeon(float* dst, const float* src, size_t n, float shift) {
+  const float32x4_t vs = vdupq_n_f32(shift);
+  ForEachLaneNeon(dst, src, n, [vs](float32x4_t v) {
+    return LogQ(vaddq_f32(v, vs));
+  });
+}
+
+void LogitSpanNeon(float* dst, const float* src, size_t n, float lo,
+                   float hi) {
+  const float32x4_t vlo = vdupq_n_f32(lo);
+  const float32x4_t vhi = vdupq_n_f32(hi);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  ForEachLaneNeon(dst, src, n, [vlo, vhi, one](float32x4_t v) {
+    const float32x4_t c = vminq_f32(vmaxq_f32(v, vlo), vhi);
+    return LogQ(vdivq_f32(c, vsubq_f32(one, c)));
+  });
+}
+
+void ClampSpanNeon(float* dst, const float* src, size_t n, float lo,
+                   float hi) {
+  const float32x4_t vlo = vdupq_n_f32(lo);
+  const float32x4_t vhi = vdupq_n_f32(hi);
+  ForEachLaneNeon(dst, src, n, [vlo, vhi](float32x4_t v) {
+    return vminq_f32(vmaxq_f32(v, vlo), vhi);
+  });
+}
+
+void AdamUpdateSpanNeon(float* value, float* m, float* v, const float* grad,
+                        size_t n, float beta1, float beta2, float lr,
+                        float bc1, float bc2, float eps) {
+  // Mirrors the AVX2 kernel: explicit mul/add (no fused multiply-add) plus
+  // IEEE-exact div/sqrt keep the update bitwise identical to scalar.
+  const float32x4_t vb1 = vdupq_n_f32(beta1);
+  const float32x4_t vb1c = vdupq_n_f32(1.0f - beta1);
+  const float32x4_t vb2 = vdupq_n_f32(beta2);
+  const float32x4_t vb2c = vdupq_n_f32(1.0f - beta2);
+  const float32x4_t vbc1 = vdupq_n_f32(bc1);
+  const float32x4_t vbc2 = vdupq_n_f32(bc2);
+  const float32x4_t vlr = vdupq_n_f32(lr);
+  const float32x4_t veps = vdupq_n_f32(eps);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t gv = vld1q_f32(grad + i);
+    const float32x4_t mv = vaddq_f32(vmulq_f32(vb1, vld1q_f32(m + i)),
+                                     vmulq_f32(vb1c, gv));
+    const float32x4_t vv = vaddq_f32(vmulq_f32(vb2, vld1q_f32(v + i)),
+                                     vmulq_f32(vmulq_f32(vb2c, gv), gv));
+    vst1q_f32(m + i, mv);
+    vst1q_f32(v + i, vv);
+    const float32x4_t mhat = vdivq_f32(mv, vbc1);
+    const float32x4_t vhat = vdivq_f32(vv, vbc2);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(vhat), veps);
+    const float32x4_t update = vdivq_f32(vmulq_f32(vlr, mhat), denom);
+    vst1q_f32(value + i, vsubq_f32(vld1q_f32(value + i), update));
+  }
+  if (i < n) {
+    // Tail via zero-padded buffers through the vector code, mirroring the
+    // AVX2 kernel: keeps the tail out of any contraction-prone scalar
+    // expression and stays finite on zero lanes (denom == eps).
+    const size_t tail = n - i;
+    alignas(16) float tg[4] = {0}, tm[4] = {0}, tv[4] = {0}, tval[4] = {0};
+    std::memcpy(tg, grad + i, tail * sizeof(float));
+    std::memcpy(tm, m + i, tail * sizeof(float));
+    std::memcpy(tv, v + i, tail * sizeof(float));
+    std::memcpy(tval, value + i, tail * sizeof(float));
+    const float32x4_t gv = vld1q_f32(tg);
+    const float32x4_t mv =
+        vaddq_f32(vmulq_f32(vb1, vld1q_f32(tm)), vmulq_f32(vb1c, gv));
+    const float32x4_t vv = vaddq_f32(vmulq_f32(vb2, vld1q_f32(tv)),
+                                     vmulq_f32(vmulq_f32(vb2c, gv), gv));
+    vst1q_f32(tm, mv);
+    vst1q_f32(tv, vv);
+    const float32x4_t mhat = vdivq_f32(mv, vbc1);
+    const float32x4_t vhat = vdivq_f32(vv, vbc2);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(vhat), veps);
+    const float32x4_t update = vdivq_f32(vmulq_f32(vlr, mhat), denom);
+    vst1q_f32(tval, vsubq_f32(vld1q_f32(tval), update));
+    std::memcpy(m + i, tm, tail * sizeof(float));
+    std::memcpy(v + i, tv, tail * sizeof(float));
+    std::memcpy(value + i, tval, tail * sizeof(float));
+  }
+}
+
+void TabularActivationRowsNeon(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks) {
+  // Sigmoid only the gaps between softmax blocks — see the AVX2 variant.
+  std::vector<std::pair<size_t, size_t>> gaps;  // (start, len)
+  size_t at = 0;
+  for (const auto& [offset, width] : softmax_blocks) {
+    if (offset > at) gaps.emplace_back(at, offset - at);
+    at = offset + width;
+  }
+  if (at < cols) gaps.emplace_back(at, cols - at);
+  for (size_t r = r0; r < r1; ++r) {
+    const float* xr = x + r * cols;
+    float* or_ = out + r * cols;
+    for (const auto& [start, len] : gaps) {
+      SigmoidSpanNeon(or_ + start, xr + start, len);
+    }
+    for (const auto& [offset, width] : softmax_blocks) {
+      float max_v = xr[offset];
+      for (size_t j = 1; j < width; ++j) {
+        max_v = std::max(max_v, xr[offset + j]);
+      }
+      const float32x4_t vmax = vdupq_n_f32(max_v);
+      ForEachLaneNeon(or_ + offset, xr + offset, width, [vmax](float32x4_t v) {
+        return ExpQ(vsubq_f32(v, vmax));
+      });
+      float sum = 0.0f;
+      for (size_t j = 0; j < width; ++j) sum += or_[offset + j];
+      for (size_t j = 0; j < width; ++j) or_[offset + j] /= sum;
+    }
+  }
+}
+
+#endif  // CFX_SIMD_NEON
+
+}  // namespace simd
+}  // namespace cfx

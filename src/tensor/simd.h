@@ -1,0 +1,203 @@
+// Runtime-dispatched vectorized kernel layer.
+//
+// Design notes:
+//  * One process-wide SIMD level, detected from the CPU at first use
+//    (CPUID-backed __builtin_cpu_supports on x86, compile-time NEON on
+//    aarch64) and overridable with CFX_SIMD=scalar|avx2|neon|auto. Parsing
+//    follows the PR-4 strict-env rules: unknown values (including typos
+//    like "AVX") log a CFX_LOG(Warning) and fall back to auto; a known
+//    level the hardware cannot run logs a warning and falls back to the
+//    detected best. The scalar level is always available and keeps the
+//    historical kernels bit-for-bit (the determinism suites pin it).
+//  * Per-element determinism contract: every span kernel here computes a
+//    result that depends only on the element's value, never on its position
+//    inside the span. Full vector groups and tails go through the same
+//    vector code (tails run on a padded stack block), so a value produces
+//    identical bits whether it sits in an 8-lane body, a 3-element tail, a
+//    per-row epilogue span or a whole-matrix span. This is what keeps the
+//    fused inference path bitwise equal to the tape ops under every level.
+//  * The matmul-family helpers take explicit leading dimensions (lda/ldb/
+//    ldc) so padded-stride buffers (ColumnBatch columns, aligned scratch)
+//    use the same kernels as tight Matrix storage; padding never changes
+//    the per-element operation sequence, so padded and tight runs agree
+//    bitwise within a level.
+//  * These entry points are the dispatch *targets*; call sites should go
+//    through src/tensor/kernels.h, which picks the level per call.
+#ifndef CFX_TENSOR_SIMD_H_
+#define CFX_TENSOR_SIMD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define CFX_SIMD_X86 1
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define CFX_SIMD_NEON 1
+#endif
+
+namespace cfx {
+namespace kernels {
+enum class Epilogue;  // src/tensor/kernels.h
+}  // namespace kernels
+
+namespace simd {
+
+/// Instruction-set level of the kernel layer. kScalar is the historical
+/// portable code; the vector levels are selected at runtime.
+enum class Level {
+  kUnknown = 0,  ///< Not yet resolved (internal sentinel).
+  kScalar,
+  kAvx2,
+  kNeon,
+};
+
+/// Canonical lowercase name ("scalar" | "avx2" | "neon").
+const char* LevelName(Level level);
+
+/// Strict parse of a CFX_SIMD value. Accepts exactly "scalar", "avx2",
+/// "neon" and "auto" (ASCII case-insensitive). Returns false for anything
+/// else — "AVX", "avx", "sse", trailing junk — so typos never silently
+/// select a level. "auto" sets *is_auto and leaves *out untouched.
+bool ParseLevelName(const std::string& name, Level* out, bool* is_auto);
+
+/// Best level the running CPU supports (never kUnknown).
+Level DetectBest();
+
+/// True when `level` can execute on this CPU (kScalar always can).
+bool Supported(Level level);
+
+/// Resolves CFX_SIMD against the hardware: unset/"auto" -> DetectBest();
+/// unknown value -> warn + DetectBest(); known-but-unsupported -> warn +
+/// DetectBest(). Logs the documented fallback either way.
+Level ResolveFromEnv();
+
+namespace internal {
+/// Latched active level; kUnknown until the first Active() call resolves
+/// it. Stored as int (not Level) so zero-initialisation is the sentinel.
+extern std::atomic<int> g_active;
+Level ResolveActive();
+}  // namespace internal
+
+/// The process-wide active level. First call resolves CFX_SIMD; later
+/// calls are a single relaxed load (the matmul entry points sit on the
+/// batch-1 serving path, so this must stay branch-cheap).
+inline Level Active() {
+  const int lvl = internal::g_active.load(std::memory_order_relaxed);
+  if (lvl != 0) return static_cast<Level>(lvl);
+  return internal::ResolveActive();
+}
+
+/// Forces the active level (tests only — the scalar-vs-vector agreement
+/// suites flip levels mid-process). Returns false (and leaves the level
+/// unchanged) when the hardware cannot run `level`.
+bool SetActiveForTesting(Level level);
+
+/// Rounds a row count up to the padded ColumnBatch leading dimension: a
+/// multiple of 16 floats (64 bytes), so every column starts on a cache
+/// line and vector loads never straddle column boundaries.
+inline size_t PaddedLength(size_t n) { return (n + 15) & ~size_t{15}; }
+
+// ---- AVX2 kernel targets ----------------------------------------------------
+//
+// Compiled with target("avx2,fma") in simd.cc; only dispatched after a
+// runtime support check. All row kernels process rows [r0, r1) and keep
+// the k-terms of each output element in ascending order within the row, so
+// results are invariant to row partitioning (CFX_THREADS) and to batch
+// composition (row-local).
+#if CFX_SIMD_X86
+void MatMulRowsAvx2(const float* a, const float* b, float* out, size_t r0,
+                    size_t r1, size_t k, size_t m, size_t lda, size_t ldb,
+                    size_t ldc, bool accumulate);
+void MatMulBiasRowsAvx2(const float* a, const float* b, const float* bias,
+                        float* out, size_t r0, size_t r1, size_t k, size_t m,
+                        size_t lda, size_t ldb, size_t ldc,
+                        kernels::Epilogue epilogue);
+void MatMulTransposedBRowsAvx2(const float* a, const float* b, float* out,
+                               size_t r0, size_t r1, size_t k, size_t m,
+                               bool accumulate);
+void MatMulTransposedARowsAvx2(const float* a, const float* b, float* out,
+                               size_t c0, size_t c1, size_t n, size_t k,
+                               size_t m, bool accumulate);
+
+void AddSpanAvx2(float* dst, const float* src, size_t n);
+void SubSpanAvx2(float* dst, const float* src, size_t n);
+void MulSpanAvx2(float* dst, const float* src, size_t n);
+void AxpySpanAvx2(float* dst, float alpha, const float* src, size_t n);
+void ScaleSpanAvx2(float* dst, float alpha, size_t n);
+void MulAddSpanAvx2(float* dst, const float* a, const float* b, size_t n);
+
+void ReluSpanAvx2(float* dst, const float* src, size_t n);
+void SigmoidSpanAvx2(float* dst, const float* src, size_t n);
+void ExpSpanAvx2(float* dst, const float* src, size_t n);
+/// dst = log(src + shift) — the copy-prior categorical bias.
+void LogShiftSpanAvx2(float* dst, const float* src, size_t n, float shift);
+/// dst = log(c / (1 - c)) with c = clamp(src, lo, hi) — the copy-prior
+/// continuous/binary bias.
+void LogitSpanAvx2(float* dst, const float* src, size_t n, float lo,
+                   float hi);
+void ClampSpanAvx2(float* dst, const float* src, size_t n, float lo,
+                   float hi);
+/// Fused Adam moment + parameter update over one span. Uses only IEEE-exact
+/// vector ops (mul/add/div/sqrt, no FMA contraction), so it is bitwise
+/// identical to the scalar update loop at any position.
+void AdamUpdateSpanAvx2(float* value, float* m, float* v, const float* grad,
+                        size_t n, float beta1, float beta2, float lr,
+                        float bc1, float bc2, float eps);
+
+/// Rows [r0, r1) of the mixed tabular activation: vector sigmoid across the
+/// whole row, then the softmax blocks are overwritten with a max-shifted
+/// vector exp and a scalar ascending-order denominator sum (matching the
+/// scalar kernel's summation order).
+void TabularActivationRowsAvx2(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks);
+#endif  // CFX_SIMD_X86
+
+// ---- NEON kernel targets ----------------------------------------------------
+#if CFX_SIMD_NEON
+void MatMulRowsNeon(const float* a, const float* b, float* out, size_t r0,
+                    size_t r1, size_t k, size_t m, size_t lda, size_t ldb,
+                    size_t ldc, bool accumulate);
+void MatMulBiasRowsNeon(const float* a, const float* b, const float* bias,
+                        float* out, size_t r0, size_t r1, size_t k, size_t m,
+                        size_t lda, size_t ldb, size_t ldc,
+                        kernels::Epilogue epilogue);
+void MatMulTransposedBRowsNeon(const float* a, const float* b, float* out,
+                               size_t r0, size_t r1, size_t k, size_t m,
+                               bool accumulate);
+void MatMulTransposedARowsNeon(const float* a, const float* b, float* out,
+                               size_t c0, size_t c1, size_t n, size_t k,
+                               size_t m, bool accumulate);
+
+void AddSpanNeon(float* dst, const float* src, size_t n);
+void SubSpanNeon(float* dst, const float* src, size_t n);
+void MulSpanNeon(float* dst, const float* src, size_t n);
+void AxpySpanNeon(float* dst, float alpha, const float* src, size_t n);
+void ScaleSpanNeon(float* dst, float alpha, size_t n);
+void MulAddSpanNeon(float* dst, const float* a, const float* b, size_t n);
+
+void ReluSpanNeon(float* dst, const float* src, size_t n);
+void SigmoidSpanNeon(float* dst, const float* src, size_t n);
+void ExpSpanNeon(float* dst, const float* src, size_t n);
+void LogShiftSpanNeon(float* dst, const float* src, size_t n, float shift);
+void LogitSpanNeon(float* dst, const float* src, size_t n, float lo,
+                   float hi);
+void ClampSpanNeon(float* dst, const float* src, size_t n, float lo,
+                   float hi);
+void AdamUpdateSpanNeon(float* value, float* m, float* v, const float* grad,
+                        size_t n, float beta1, float beta2, float lr,
+                        float bc1, float bc2, float eps);
+
+void TabularActivationRowsNeon(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks);
+#endif  // CFX_SIMD_NEON
+
+}  // namespace simd
+}  // namespace cfx
+
+#endif  // CFX_TENSOR_SIMD_H_

@@ -1,0 +1,581 @@
+// Tests for the runtime-dispatched SIMD layer: level parsing, the
+// per-element determinism contract (position independence, padded-vs-tight
+// stride agreement), scalar-vs-vector agreement, and the columnar batch
+// paths built on top of it (ColumnBatch, batch projection, batch
+// constraint levels).
+#include "src/tensor/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "src/constraints/constraint.h"
+#include "src/constraints/feasibility.h"
+#include "src/data/column_batch.h"
+#include "src/data/encoder.h"
+#include "src/data/table.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace {
+
+/// Forces a dispatch level for one scope, restoring the previous level on
+/// exit. `ok()` is false when the hardware cannot run the level.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(simd::Level level) : prev_(simd::Active()) {
+    ok_ = simd::SetActiveForTesting(level);
+  }
+  ~ScopedLevel() { simd::SetActiveForTesting(prev_); }
+  bool ok() const { return ok_; }
+
+ private:
+  simd::Level prev_;
+  bool ok_;
+};
+
+/// Deterministic filler: xorshift-derived floats in [lo, hi).
+void Fill(float* dst, size_t n, uint32_t seed, float lo, float hi) {
+  uint32_t s = seed * 2654435761u + 1u;
+  for (size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 17;
+    s ^= s << 5;
+    const float u = static_cast<float>(s >> 8) /
+                    static_cast<float>(1u << 24);  // [0, 1)
+    dst[i] = lo + u * (hi - lo);
+  }
+}
+
+const size_t kOddSizes[] = {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 100};
+
+// ---- level parsing / selection ----------------------------------------------
+
+TEST(SimdLevelTest, ParseAcceptsCanonicalNames) {
+  simd::Level level = simd::Level::kUnknown;
+  bool is_auto = false;
+  EXPECT_TRUE(simd::ParseLevelName("scalar", &level, &is_auto));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_FALSE(is_auto);
+  EXPECT_TRUE(simd::ParseLevelName("avx2", &level, &is_auto));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::ParseLevelName("neon", &level, &is_auto));
+  EXPECT_EQ(level, simd::Level::kNeon);
+  is_auto = false;
+  EXPECT_TRUE(simd::ParseLevelName("auto", &level, &is_auto));
+  EXPECT_TRUE(is_auto);
+}
+
+TEST(SimdLevelTest, ParseIsAsciiCaseInsensitive) {
+  simd::Level level = simd::Level::kUnknown;
+  bool is_auto = false;
+  EXPECT_TRUE(simd::ParseLevelName("SCALAR", &level, &is_auto));
+  EXPECT_EQ(level, simd::Level::kScalar);
+  EXPECT_TRUE(simd::ParseLevelName("Avx2", &level, &is_auto));
+  EXPECT_EQ(level, simd::Level::kAvx2);
+  EXPECT_TRUE(simd::ParseLevelName("AUTO", &level, &is_auto));
+  EXPECT_TRUE(is_auto);
+}
+
+TEST(SimdLevelTest, ParseRejectsTyposAndPartialNames) {
+  simd::Level level = simd::Level::kUnknown;
+  bool is_auto = false;
+  // The documented strict-env rule: "AVX" is a typo, not a level.
+  EXPECT_FALSE(simd::ParseLevelName("AVX", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("avx", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("avx512", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("sse", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("scalar ", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName(" scalar", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("0", &level, &is_auto));
+  EXPECT_FALSE(simd::ParseLevelName("none", &level, &is_auto));
+}
+
+TEST(SimdLevelTest, DetectBestIsSupported) {
+  const simd::Level best = simd::DetectBest();
+  EXPECT_NE(best, simd::Level::kUnknown);
+  EXPECT_TRUE(simd::Supported(best));
+  EXPECT_TRUE(simd::Supported(simd::Level::kScalar));
+}
+
+TEST(SimdLevelTest, ResolveFromEnvFollowsStrictRules) {
+  // ResolveFromEnv re-reads the environment on every call (the latched
+  // Active() value is a separate concern), so it can be probed directly.
+  ASSERT_EQ(setenv("CFX_SIMD", "scalar", 1), 0);
+  EXPECT_EQ(simd::ResolveFromEnv(), simd::Level::kScalar);
+  // Typo: warn + fall back to auto (= detected best), never a crash.
+  ASSERT_EQ(setenv("CFX_SIMD", "AVX", 1), 0);
+  EXPECT_EQ(simd::ResolveFromEnv(), simd::DetectBest());
+  ASSERT_EQ(setenv("CFX_SIMD", "auto", 1), 0);
+  EXPECT_EQ(simd::ResolveFromEnv(), simd::DetectBest());
+  ASSERT_EQ(unsetenv("CFX_SIMD"), 0);
+  EXPECT_EQ(simd::ResolveFromEnv(), simd::DetectBest());
+}
+
+TEST(SimdLevelTest, SetActiveForTestingFlipsAndRestores) {
+  const simd::Level before = simd::Active();
+  {
+    ScopedLevel scalar(simd::Level::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(simd::Active(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::Active(), before);
+}
+
+TEST(SimdLevelTest, PaddedLengthRoundsToSixteen) {
+  EXPECT_EQ(simd::PaddedLength(0), 0u);
+  EXPECT_EQ(simd::PaddedLength(1), 16u);
+  EXPECT_EQ(simd::PaddedLength(15), 16u);
+  EXPECT_EQ(simd::PaddedLength(16), 16u);
+  EXPECT_EQ(simd::PaddedLength(17), 32u);
+}
+
+// ---- elementwise kernels ----------------------------------------------------
+
+// add/sub/mul/scale/clamp/relu use only IEEE-exact ops, so scalar and
+// vector levels must agree bit for bit — including odd tails and spans
+// shorter than one lane.
+TEST(SimdElementwiseTest, ExactOpsBitwiseEqualAcrossLevels) {
+  const simd::Level best = simd::DetectBest();
+  for (size_t n : kOddSizes) {
+    std::vector<float> src(n);
+    std::vector<float> base(n);
+    Fill(src.data(), n, 17 + static_cast<uint32_t>(n), -2.0f, 2.0f);
+    Fill(base.data(), n, 91 + static_cast<uint32_t>(n), -2.0f, 2.0f);
+
+    auto run = [&](simd::Level level, std::vector<float>* add,
+                   std::vector<float>* sub, std::vector<float>* mul,
+                   std::vector<float>* scale, std::vector<float>* clamp,
+                   std::vector<float>* relu) {
+      ScopedLevel guard(level);
+      ASSERT_TRUE(guard.ok());
+      *add = base;
+      kernels::AddInPlace(add->data(), src.data(), n);
+      *sub = base;
+      kernels::SubInPlace(sub->data(), src.data(), n);
+      *mul = base;
+      kernels::MulInPlace(mul->data(), src.data(), n);
+      *scale = base;
+      kernels::ScaleInPlace(scale->data(), 1.7f, n);
+      clamp->assign(n, 0.0f);
+      kernels::ClampTo(clamp->data(), src.data(), n, -0.5f, 0.5f);
+      relu->assign(n, 0.0f);
+      kernels::ReluTo(relu->data(), src.data(), n);
+    };
+
+    std::vector<float> a1, s1, m1, sc1, c1, r1;
+    std::vector<float> a2, s2, m2, sc2, c2, r2;
+    run(simd::Level::kScalar, &a1, &s1, &m1, &sc1, &c1, &r1);
+    run(best, &a2, &s2, &m2, &sc2, &c2, &r2);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(a1[i], a2[i]) << "add n=" << n << " i=" << i;
+      EXPECT_EQ(s1[i], s2[i]) << "sub n=" << n << " i=" << i;
+      EXPECT_EQ(m1[i], m2[i]) << "mul n=" << n << " i=" << i;
+      EXPECT_EQ(sc1[i], sc2[i]) << "scale n=" << n << " i=" << i;
+      EXPECT_EQ(c1[i], c2[i]) << "clamp n=" << n << " i=" << i;
+      EXPECT_EQ(r1[i], r2[i]) << "relu n=" << n << " i=" << i;
+    }
+  }
+}
+
+// sigmoid/exp/log use per-level polynomial implementations: scalar and
+// vector levels agree to float tolerance, not bitwise.
+TEST(SimdElementwiseTest, TranscendentalsCloseAcrossLevels) {
+  const simd::Level best = simd::DetectBest();
+  for (size_t n : kOddSizes) {
+    std::vector<float> src(n);
+    Fill(src.data(), n, 7 + static_cast<uint32_t>(n), -6.0f, 6.0f);
+    std::vector<float> unit(n);
+    Fill(unit.data(), n, 11 + static_cast<uint32_t>(n), 0.001f, 0.999f);
+
+    auto run = [&](simd::Level level, std::vector<float>* sig,
+                   std::vector<float>* exp, std::vector<float>* logshift,
+                   std::vector<float>* logit) {
+      ScopedLevel guard(level);
+      ASSERT_TRUE(guard.ok());
+      sig->assign(n, 0.0f);
+      kernels::SigmoidTo(sig->data(), src.data(), n);
+      exp->assign(n, 0.0f);
+      kernels::ExpTo(exp->data(), src.data(), n);
+      logshift->assign(n, 0.0f);
+      kernels::LogShiftTo(logshift->data(), unit.data(), n, 0.02f);
+      logit->assign(n, 0.0f);
+      kernels::LogitTo(logit->data(), unit.data(), n, 0.01f, 0.99f);
+    };
+
+    std::vector<float> g1, e1, l1, t1, g2, e2, l2, t2;
+    run(simd::Level::kScalar, &g1, &e1, &l1, &t1);
+    run(best, &g2, &e2, &l2, &t2);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(g1[i], g2[i], 1e-6f) << "sigmoid n=" << n << " i=" << i;
+      const float exp_tol = 2e-6f * std::max(1.0f, std::abs(e1[i]));
+      EXPECT_NEAR(e1[i], e2[i], exp_tol) << "exp n=" << n << " i=" << i;
+      EXPECT_NEAR(l1[i], l2[i], 2e-6f) << "logshift n=" << n << " i=" << i;
+      EXPECT_NEAR(t1[i], t2[i], 4e-5f) << "logit n=" << n << " i=" << i;
+    }
+  }
+}
+
+// The per-element determinism contract: a value's output bits do not
+// depend on where it sits in a span. Splitting a span at any odd offset
+// must reproduce the unsplit bits exactly — this is what keeps fused
+// per-row epilogues bitwise equal to whole-matrix tape ops.
+TEST(SimdElementwiseTest, PositionIndependenceUnderActiveLevel) {
+  const size_t n = 37;
+  std::vector<float> src(n);
+  Fill(src.data(), n, 23, -4.0f, 4.0f);
+  std::vector<float> whole(n, 0.0f);
+  kernels::SigmoidTo(whole.data(), src.data(), n);
+  for (size_t split : {1u, 3u, 8u, 13u, 36u}) {
+    std::vector<float> parts(n, 0.0f);
+    kernels::SigmoidTo(parts.data(), src.data(), split);
+    kernels::SigmoidTo(parts.data() + split, src.data() + split, n - split);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(whole[i], parts[i]) << "split=" << split << " i=" << i;
+    }
+  }
+  // Same property for an exact op with a tail.
+  std::vector<float> whole_r(n, 0.0f);
+  kernels::ReluTo(whole_r.data(), src.data(), n);
+  std::vector<float> parts_r(n, 0.0f);
+  kernels::ReluTo(parts_r.data(), src.data(), 19);
+  kernels::ReluTo(parts_r.data() + 19, src.data() + 19, n - 19);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(whole_r[i], parts_r[i]);
+}
+
+TEST(SimdElementwiseTest, AdamUpdateBitwiseEqualAcrossLevels) {
+  const simd::Level best = simd::DetectBest();
+  for (size_t n : kOddSizes) {
+    std::vector<float> value(n), m(n), v(n), grad(n);
+    Fill(value.data(), n, 1, -1.0f, 1.0f);
+    Fill(m.data(), n, 2, -0.1f, 0.1f);
+    Fill(grad.data(), n, 4, -0.5f, 0.5f);
+    Fill(v.data(), n, 3, 0.0f, 0.1f);  // Second moment is non-negative.
+
+    auto run = [&](simd::Level level, std::vector<float> val,
+                   std::vector<float> mm, std::vector<float> vv) {
+      ScopedLevel guard(level);
+      EXPECT_TRUE(guard.ok());
+      kernels::AdamUpdate(val.data(), mm.data(), vv.data(), grad.data(), n,
+                          0.9f, 0.999f, 1e-3f, 0.271f, 0.0487f, 1e-8f);
+      return std::vector<std::vector<float>>{val, mm, vv};
+    };
+    auto scalar = run(simd::Level::kScalar, value, m, v);
+    auto vector = run(best, value, m, v);
+    for (size_t part = 0; part < 3; ++part) {
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(scalar[part][i], vector[part][i])
+            << "part=" << part << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---- matmul family ----------------------------------------------------------
+
+void ReferenceMatMul(const float* a, const float* b, float* out, size_t n,
+                     size_t k, size_t m) {
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[r * k + kk]) *
+               static_cast<double>(b[kk * m + j]);
+      }
+      out[r * m + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+// Odd shapes, including m < one lane and k == 1, against a double-precision
+// reference: every level must be close (the vector level uses FMA, so no
+// bitwise claim against scalar).
+TEST(SimdMatMulTest, OddShapesCloseToReferenceUnderBothLevels) {
+  const simd::Level levels[] = {simd::Level::kScalar, simd::DetectBest()};
+  const size_t shapes[][3] = {{1, 1, 1},  {2, 3, 1},  {3, 1, 5},
+                              {3, 5, 7},  {4, 16, 16}, {5, 17, 9},
+                              {1, 3, 33}, {7, 9, 15},  {2, 31, 2}};
+  for (const auto& shape : shapes) {
+    const size_t n = shape[0], k = shape[1], m = shape[2];
+    std::vector<float> a(n * k), b(k * m), ref(n * m);
+    Fill(a.data(), a.size(), 5 + static_cast<uint32_t>(n * k), -1.0f, 1.0f);
+    Fill(b.data(), b.size(), 9 + static_cast<uint32_t>(k * m), -1.0f, 1.0f);
+    ReferenceMatMul(a.data(), b.data(), ref.data(), n, k, m);
+    for (simd::Level level : levels) {
+      ScopedLevel guard(level);
+      ASSERT_TRUE(guard.ok());
+      std::vector<float> out(n * m, -777.0f);
+      kernels::MatMul(a.data(), b.data(), out.data(), n, k, m);
+      for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_NEAR(out[i], ref[i], 1e-4f)
+            << "level=" << simd::LevelName(level) << " n=" << n << " k=" << k
+            << " m=" << m << " i=" << i;
+      }
+    }
+  }
+}
+
+// Within a level, padded strides must not change a single bit: the kernels
+// take explicit leading dimensions and the per-element operation sequence
+// ignores the padding.
+TEST(SimdMatMulTest, PaddedStrideBitwiseEqualsTightWithinLevel) {
+  const simd::Level levels[] = {simd::Level::kScalar, simd::DetectBest()};
+  const size_t shapes[][3] = {{3, 5, 7}, {2, 1, 1}, {4, 16, 16},
+                              {5, 17, 9}, {1, 3, 33}};
+  for (const auto& shape : shapes) {
+    const size_t n = shape[0], k = shape[1], m = shape[2];
+    const size_t lda = k + 3, ldb = m + 5, ldc = m + 2;
+    std::vector<float> a(n * k), b(k * m);
+    Fill(a.data(), a.size(), 13 + static_cast<uint32_t>(n * k), -1.0f, 1.0f);
+    Fill(b.data(), b.size(), 29 + static_cast<uint32_t>(k * m), -1.0f, 1.0f);
+    std::vector<float> a_pad(n * lda, 99.0f), b_pad(k * ldb, 99.0f);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < k; ++c) a_pad[r * lda + c] = a[r * k + c];
+    }
+    for (size_t r = 0; r < k; ++r) {
+      for (size_t c = 0; c < m; ++c) b_pad[r * ldb + c] = b[r * m + c];
+    }
+    for (simd::Level level : levels) {
+      ScopedLevel guard(level);
+      ASSERT_TRUE(guard.ok());
+      std::vector<float> tight(n * m, 0.0f);
+      kernels::MatMulEx(a.data(), b.data(), tight.data(), n, k, m, k, m, m);
+      std::vector<float> padded(n * ldc, -55.0f);
+      kernels::MatMulEx(a_pad.data(), b_pad.data(), padded.data(), n, k, m,
+                        lda, ldb, ldc);
+      for (size_t r = 0; r < n; ++r) {
+        for (size_t c = 0; c < m; ++c) {
+          EXPECT_EQ(tight[r * m + c], padded[r * ldc + c])
+              << "level=" << simd::LevelName(level) << " r=" << r
+              << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+// ---- ColumnBatch ------------------------------------------------------------
+
+TEST(ColumnBatchTest, RoundTripIsBitwiseLossless) {
+  Matrix m(5, 7);
+  Fill(m.data(), m.size(), 41, -3.0f, 3.0f);
+  const ColumnBatch batch = ColumnBatch::FromMatrix(m);
+  EXPECT_EQ(batch.rows(), 5u);
+  EXPECT_EQ(batch.cols(), 7u);
+  const Matrix back = batch.ToMatrix();
+  for (size_t i = 0; i < m.size(); ++i) EXPECT_EQ(m[i], back[i]);
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = 0; c < 7; ++c) EXPECT_EQ(batch.at(r, c), m.at(r, c));
+  }
+}
+
+TEST(ColumnBatchTest, ColumnsAreCacheLineAlignedAndPadded) {
+  const ColumnBatch batch(5, 4);
+  EXPECT_EQ(batch.stride(), simd::PaddedLength(5));
+  EXPECT_EQ(batch.stride() % 16, 0u);
+  for (size_t c = 0; c < batch.cols(); ++c) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(batch.column(c)) % 64, 0u)
+        << "column " << c;
+  }
+}
+
+TEST(ColumnBatchTest, ColumnMinMaxStreamsOneColumn) {
+  Matrix m(4, 2);
+  m.at(0, 0) = 3.0f; m.at(1, 0) = -1.0f; m.at(2, 0) = 2.0f; m.at(3, 0) = 0.5f;
+  m.at(0, 1) = 9.0f; m.at(1, 1) = 9.0f;  m.at(2, 1) = 9.0f; m.at(3, 1) = 9.0f;
+  const ColumnBatch batch = ColumnBatch::FromMatrix(m);
+  auto [lo0, hi0] = batch.ColumnMinMax(0);
+  EXPECT_EQ(lo0, -1.0f);
+  EXPECT_EQ(hi0, 3.0f);
+  auto [lo1, hi1] = batch.ColumnMinMax(1);
+  EXPECT_EQ(lo1, 9.0f);
+  EXPECT_EQ(hi1, 9.0f);
+}
+
+// ---- columnar encoder paths -------------------------------------------------
+
+Schema TinySchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back({"age", FeatureType::kContinuous, {}, false, 18.0, 80.0});
+  features.push_back({"color",
+                      FeatureType::kCategorical,
+                      {"red", "green", "blue"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back(
+      {"member", FeatureType::kBinary, {"no", "yes"}, false, 0.0, 1.0});
+  features.push_back({"locked",
+                      FeatureType::kContinuous,
+                      {},
+                      /*immutable=*/true,
+                      0.0,
+                      10.0});
+  return Schema(std::move(features), "label", {"neg", "pos"});
+}
+
+Table TinyTable() {
+  Table t(TinySchema());
+  CFX_CHECK_OK(t.AppendRow({30.0, 0.0, 1.0, 5.0}, 1));
+  CFX_CHECK_OK(t.AppendRow({50.0, 2.0, 0.0, 2.0}, 0));
+  CFX_CHECK_OK(t.AppendRow({40.0, 1.0, 1.0, 8.0}, 1));
+  CFX_CHECK_OK(t.AppendRow({18.0, 1.0, 0.0, 0.0}, 0));
+  return t;
+}
+
+TEST(ColumnarEncoderTest, TransformColumnarMatchesTransform) {
+  TabularEncoder encoder(TinySchema());
+  const Table table = TinyTable();
+  CFX_CHECK_OK(encoder.Fit(table));
+  auto rows = encoder.Transform(table);
+  CFX_CHECK_OK(rows.status());
+  auto cols = encoder.TransformColumnar(table);
+  CFX_CHECK_OK(cols.status());
+  const Matrix from_cols = cols->ToMatrix();
+  ASSERT_EQ(rows->rows(), from_cols.rows());
+  ASSERT_EQ(rows->cols(), from_cols.cols());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i], from_cols[i]) << "i=" << i;
+  }
+}
+
+TEST(ColumnarEncoderTest, TransformColumnarRejectsMissingCells) {
+  TabularEncoder encoder(TinySchema());
+  Table table = TinyTable();
+  CFX_CHECK_OK(encoder.Fit(table));
+  CFX_CHECK_OK(table.AppendRow({std::nan(""), 0.0, 1.0, 1.0}, 0));
+  auto cols = encoder.TransformColumnar(table);
+  EXPECT_FALSE(cols.ok());
+}
+
+// ProjectBatch (with immutable restore) must be bitwise identical to the
+// historical per-row ProjectRow + MutableMask restore loop — including
+// out-of-range values, exact-tie categorical blocks (first strict max
+// wins) and the 0.5 binary threshold boundary.
+TEST(ColumnarEncoderTest, ProjectBatchMatchesPerRowProjectRow) {
+  TabularEncoder encoder(TinySchema());
+  CFX_CHECK_OK(encoder.Fit(TinyTable()));
+  const size_t width = encoder.encoded_width();
+  // 3 rows exercises the small-batch row path, 9 the columnar path; both
+  // must be bitwise identical to the per-row reference.
+  for (size_t rows : {size_t{3}, size_t{9}}) {
+  Matrix raw(rows, width);
+  Fill(raw.data(), raw.size(), 67, -0.6f, 1.6f);
+  // Exact categorical tie: first strict max must win in both paths.
+  raw.at(0, 1) = 0.7f;
+  raw.at(0, 2) = 0.7f;
+  raw.at(0, 3) = 0.2f;
+  raw.at(1, 4) = 0.5f;  // Binary threshold boundary.
+  Matrix x(rows, width);
+  Fill(x.data(), x.size(), 83, 0.0f, 1.0f);
+
+  const Matrix batched = encoder.ProjectBatch(raw, &x);
+
+  const Matrix mask = encoder.MutableMask();
+  for (size_t r = 0; r < rows; ++r) {
+    Matrix row = encoder.ProjectRow(raw.Row(r));
+    for (size_t c = 0; c < width; ++c) {
+      const float expected =
+          mask.at(0, c) == 0.0f ? x.at(r, c) : row.at(0, c);
+      EXPECT_EQ(batched.at(r, c), expected) << "r=" << r << " c=" << c;
+    }
+  }
+
+  // Without inputs there is no restore; every slot is the pure projection.
+  const Matrix unrestored = encoder.ProjectBatch(raw, nullptr);
+  for (size_t r = 0; r < rows; ++r) {
+    Matrix row = encoder.ProjectRow(raw.Row(r));
+    for (size_t c = 0; c < width; ++c) {
+      EXPECT_EQ(unrestored.at(r, c), row.at(0, c)) << "r=" << r << " c=" << c;
+    }
+  }
+  }
+}
+
+// ---- columnar constraint levels ---------------------------------------------
+
+TEST(ColumnarConstraintTest, OrdinalLevelsMatchesPerRowOrdinalLevel) {
+  TabularEncoder encoder(TinySchema());
+  const size_t width = encoder.encoded_width();
+  const size_t rows = 6;
+  Matrix x(rows, width);
+  Fill(x.data(), x.size(), 103, -0.2f, 1.2f);
+  x.at(2, 1) = 0.4f;  // Categorical tie against slot 2.
+  x.at(2, 2) = 0.4f;
+  const ColumnBatch batch = ColumnBatch::FromMatrix(x);
+  for (size_t fi = 0; fi < encoder.schema().num_features(); ++fi) {
+    std::vector<double> levels;
+    OrdinalLevels(encoder, batch, fi, &levels);
+    ASSERT_EQ(levels.size(), rows);
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(levels[r], OrdinalLevel(encoder, x.Row(r), fi))
+          << "fi=" << fi << " r=" << r;
+    }
+  }
+}
+
+TEST(ColumnarConstraintTest, EvaluateFeasibilityMatchesRowLoop) {
+  TabularEncoder encoder(TinySchema());
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<UnaryMonotoneConstraint>("age"));
+  constraints.Add(
+      std::make_unique<BinaryImplicationConstraint>("color", "age"));
+  const size_t width = encoder.encoded_width();
+  const size_t rows = 24;
+  Matrix x(rows, width);
+  Matrix cf(rows, width);
+  Fill(x.data(), x.size(), 211, 0.0f, 1.0f);
+  Fill(cf.data(), cf.size(), 223, -0.2f, 1.2f);  // Some out-of-domain rows.
+  const ConstraintTolerance tol;
+
+  const FeasibilityResult result =
+      EvaluateFeasibility(constraints, encoder, x, cf, tol);
+  ASSERT_EQ(result.feasible.size(), rows);
+  size_t expected_feasible = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const Matrix xi = x.Row(r);
+    const Matrix ci = cf.Row(r);
+    const bool expected = constraints.AllSatisfied(encoder, xi, ci, tol) &&
+                          WithinInputDomain(ci, 0.05f);
+    EXPECT_EQ(result.feasible[r], expected) << "r=" << r;
+    expected_feasible += expected;
+  }
+  EXPECT_EQ(result.num_feasible, expected_feasible);
+  EXPECT_EQ(result.num_pairs, rows);
+}
+
+// A constraint type without a columnar override must go through the
+// generic row-materialising fallback and still produce exact verdicts.
+class ParityConstraint : public Constraint {
+ public:
+  std::string Description() const override { return "parity"; }
+  bool Satisfied(const TabularEncoder&, const Matrix&, const Matrix& x_cf,
+                 const ConstraintTolerance&) const override {
+    return x_cf.at(0, 0) >= 0.25f;
+  }
+};
+
+TEST(ColumnarConstraintTest, GenericFallbackConstraintStillChecked) {
+  TabularEncoder encoder(TinySchema());
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<ParityConstraint>());
+  const size_t rows = 12;  // Past the small-batch row-path gate.
+  Matrix x(rows, encoder.encoded_width());
+  Matrix cf(rows, encoder.encoded_width());
+  Fill(x.data(), x.size(), 7, 0.0f, 1.0f);
+  Fill(cf.data(), cf.size(), 13, 0.0f, 1.0f);
+  const FeasibilityResult result =
+      EvaluateFeasibility(constraints, encoder, x, cf);
+  for (size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(result.feasible[r], cf.at(r, 0) >= 0.25f) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace cfx

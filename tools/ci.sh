@@ -4,7 +4,10 @@
 # Usage: tools/ci.sh [--skip-asan]
 #
 # Jobs:
-#   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite,
+#   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite
+#                       under both CFX_SIMD=scalar and CFX_SIMD=auto (the
+#                       dispatch matrix), a perf_kernels level-sweep smoke
+#                       (BENCH_perf_kernels.json must parse),
 #                       then bench smokes (perf_tsne + perf_inference,
 #                       minimal iterations), a pipeline-bundle round-trip
 #                       smoke, a metrics/trace smoke (CFX_METRICS +
@@ -99,6 +102,34 @@ metrics_smoke() {
   fi
 }
 
+# Kernel-dispatch smoke: a short perf_kernels pass. The binary sweeps every
+# dispatch level the host supports (scalar + the detected best), so one run
+# covers the whole matrix; the JSON artifact must exist and parse.
+kernels_smoke() {
+  local build_dir="$1"
+  local bench_json="$build_dir/BENCH_perf_kernels.json"
+  rm -f "$bench_json"
+  CFX_THREADS=4 "$build_dir/bench/perf_kernels" \
+    --benchmark_filter='BM_Kernel(MatMul|Sigmoid|AdamUpdate)' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$bench_json" \
+    --benchmark_out_format=json
+  if [[ ! -s "$bench_json" ]]; then
+    echo "kernels smoke: missing artifact $bench_json" >&2
+    return 1
+  fi
+  if ! python3 -m json.tool "$bench_json" > /dev/null; then
+    echo "kernels smoke: unparsable JSON in $bench_json" >&2
+    return 1
+  fi
+  for label in '"scalar"' 'BM_KernelMatMul' 'BM_KernelAdamUpdate'; do
+    if ! grep -q "$label" "$bench_json"; then
+      echo "kernels smoke: $bench_json lacks $label" >&2
+      return 1
+    fi
+  done
+}
+
 # Serving smoke: a short perf_serve pass (single-request + batch-32 arms)
 # with metrics collection on. The scheduler's instrumented series —
 # queue-depth gauge, batch-size and wait-time histograms — must land in a
@@ -132,7 +163,15 @@ serve_smoke() {
 echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
-CFX_THREADS=4 ctest --preset ci -j "$jobs"
+# SIMD dispatch matrix: the full tier-1 suite under the scalar fallback and
+# the auto-detected vector level — the bitwise determinism contracts must
+# hold (and every test pass) on both code paths.
+for simd_level in scalar auto; do
+  echo "==> [1/2] tier-1 suite (CFX_SIMD=$simd_level)"
+  CFX_THREADS=4 CFX_SIMD="$simd_level" ctest --preset ci -j "$jobs"
+done
+echo "==> [1/2] kernel-dispatch smoke (perf_kernels level sweep)"
+kernels_smoke build-ci
 echo "==> [1/2] bench smoke (perf_tsne + perf_inference, minimal iterations)"
 bench_smoke build-ci
 echo "==> [1/2] bundle round-trip smoke"
@@ -147,6 +186,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
   CFX_THREADS=4 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j "$jobs"
+  echo "==> [2/2] kernel-dispatch smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 kernels_smoke build-asan
   echo "==> [2/2] bench smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 bench_smoke build-asan
   echo "==> [2/2] bundle round-trip smoke under sanitizers"
