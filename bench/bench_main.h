@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -18,6 +19,13 @@
 #include "src/common/metrics.h"
 #include "src/common/thread_pool.h"
 #include "src/common/trace.h"
+
+/// Build-type provenance, baked in by bench/CMakeLists.txt from
+/// CMAKE_BUILD_TYPE (lowercased). "unspecified" means the binary came from a
+/// configure with no build type at all — treat its numbers as garbage.
+#ifndef CFX_BUILD_TYPE
+#define CFX_BUILD_TYPE "unspecified"
+#endif
 
 #define CFX_BENCHMARK_MAIN(name)                                             \
   int main(int argc, char** argv) {                                          \
@@ -34,6 +42,13 @@
     }                                                                        \
     benchmark::AddCustomContext(                                             \
         "cfx_threads", std::to_string(cfx::ThreadPool::GlobalThreads()));    \
+    benchmark::AddCustomContext("cfx_build_type", CFX_BUILD_TYPE);           \
+    /* The driving preset (tools/ci.sh exports CFX_BENCH_PRESET) so a     */ \
+    /* committed JSON names the exact configuration that produced it.     */ \
+    const char* cfx_preset = std::getenv("CFX_BENCH_PRESET");                \
+    benchmark::AddCustomContext("cfx_build_preset",                          \
+                                cfx_preset != nullptr ? cfx_preset           \
+                                                      : "unspecified");      \
     int effective_argc = static_cast<int>(args.size());                      \
     benchmark::Initialize(&effective_argc, args.data());                     \
     if (benchmark::ReportUnrecognizedArguments(effective_argc,               \

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -163,6 +164,62 @@ void BM_ServeBatched(benchmark::State& state) {
 BENCHMARK(BM_ServeBatched)
     ->Arg(8)
     ->Arg(32)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ServeMultiProducer(benchmark::State& state) {
+  // The lock-free submit path under real producer contention: `p` threads
+  // submit concurrently against one worker coalescing batches of `n`. The
+  // interesting axis is submit-side scaling — with the MPSC ring, adding
+  // producers costs CAS retries (surfaced as serve/submit_spins), never a
+  // mutex convoy. Thread spawn cost is amortised over 64 requests per
+  // producer per iteration.
+  const size_t producers = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  constexpr size_t kPerProducer = 64;
+  const size_t total = producers * kPerProducer;
+  FeasibleCfGenerator* gen = GetGenerator();
+  Matrix x = TiledBatch(total);
+  serve::CfServer server(MakeConfig(n));
+  server.RegisterMethod("ours", gen);
+  server.Start();
+
+  std::vector<std::vector<std::future<serve::CfResponse>>> futures(producers);
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (size_t p = 0; p < producers; ++p) {
+      futures[p].clear();
+      futures[p].reserve(kPerProducer);
+      threads.emplace_back([&, p] {
+        for (size_t i = 0; i < kPerProducer; ++i) {
+          futures[p].push_back(
+              server.Submit(MakeRequest(x, p * kPerProducer + i)));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (size_t p = 0; p < producers; ++p) {
+      for (std::future<serve::CfResponse>& future : futures[p]) {
+        serve::CfResponse response = future.get();
+        benchmark::DoNotOptimize(response.predicted);
+      }
+    }
+  }
+  serve::CfServerStats stats = server.stats();
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() * total);
+  if (stats.rejected_full > 0) {
+    state.counters["rejected"] = static_cast<double>(stats.rejected_full);
+  }
+  if (stats.batches > 0) {
+    state.counters["avg_batch"] =
+        static_cast<double>(stats.batched_rows) /
+        static_cast<double>(stats.batches);
+  }
+}
+BENCHMARK(BM_ServeMultiProducer)
+    ->ArgsProduct({{1, 2, 4}, {1, 8, 32}})
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 

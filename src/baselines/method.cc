@@ -35,7 +35,53 @@ bool SameBatch(const Matrix& a, const Matrix& b) {
 }  // namespace
 
 PredictionCache::PredictionCache(BlackBoxClassifier* classifier, HashFn hash)
-    : classifier_(classifier), hash_(hash != nullptr ? hash : &HashBatch) {}
+    : classifier_(classifier), hash_(hash != nullptr ? hash : &HashBatch) {
+  hit_counter_ = metrics::GetCounter("predcache.hits");
+  miss_counter_ = metrics::GetCounter("predcache.misses");
+  rate_gauge_ = metrics::GetGauge("predcache.hit_rate");
+  bloom_skip_counter_ = metrics::GetCounter("predcache/bloom_skips");
+  for (size_t i = 0; i < kNumShards; ++i) {
+    shards_[i].hit_rate = metrics::GetGauge("predcache.shard." +
+                                            std::to_string(i) + ".hit_rate");
+  }
+}
+
+const std::vector<int>* PredictionCache::FindLocked(Shard& shard,
+                                                    uint64_t hash,
+                                                    const Matrix& x) {
+  auto it = shard.entries.find(hash);
+  if (it == shard.entries.end()) return nullptr;
+  for (Entry& entry : it->second) {
+    if (SameBatch(entry.x, x)) return &entry.pred;
+  }
+  return nullptr;
+}
+
+void PredictionCache::BumpLocked(Shard& shard, bool hit) {
+  // shard.mu held. The aggregate side is relaxed-atomic so hits()/misses()
+  // never need to sweep every shard's mutex; each query increments exactly
+  // one of the two totals, keeping hits() + misses() an exact query count.
+  if (hit) {
+    ++shard.hits;
+    total_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_counter_ != nullptr) hit_counter_->Add(1);
+  } else {
+    ++shard.misses;
+    total_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (miss_counter_ != nullptr) miss_counter_->Add(1);
+  }
+  if (shard.hit_rate != nullptr) {
+    shard.hit_rate->Set(static_cast<double>(shard.hits) /
+                        static_cast<double>(shard.hits + shard.misses));
+  }
+  if (rate_gauge_ != nullptr) {
+    const double hits =
+        static_cast<double>(total_hits_.load(std::memory_order_relaxed));
+    const double misses =
+        static_cast<double>(total_misses_.load(std::memory_order_relaxed));
+    rate_gauge_->Set(hits / (hits + misses));
+  }
+}
 
 const std::vector<int>& PredictionCache::Predict(const Matrix& x) {
   // Memoising an unfrozen model would serve stale labels after training;
@@ -45,42 +91,76 @@ const std::vector<int>& PredictionCache::Predict(const Matrix& x) {
                       "classifier; freeze the model before caching";
     std::abort();
   }
-  static metrics::Counter* hit_count = metrics::GetCounter("predcache.hits");
-  static metrics::Counter* miss_count =
-      metrics::GetCounter("predcache.misses");
-  static metrics::Gauge* hit_rate = metrics::GetGauge("predcache.hit_rate");
 
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto update_rate = [&] {
-    if (hit_rate != nullptr) {
-      hit_rate->Set(static_cast<double>(hits_) /
-                    static_cast<double>(hits_ + misses_));
+  const uint64_t hash = hash_(x);
+  Shard& shard = shards_[ShardIndex(hash)];
+
+  if (bloom_.MaybeContains(hash)) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::vector<int>* found = FindLocked(shard, hash, x);
+    if (found != nullptr) {
+      BumpLocked(shard, /*hit=*/true);
+      return *found;
     }
-  };
-  std::deque<Entry>& bucket = entries_[hash_(x)];
-  for (Entry& entry : bucket) {
-    if (SameBatch(entry.x, x)) {
-      ++hits_;
-      if (hit_count != nullptr) hit_count->Add(1);
-      update_rate();
-      return entry.pred;
-    }
+    // Bloom false positive, or a distinct batch colliding into a seen
+    // hash: fall through to the unlocked compute path.
+  } else {
+    // The bloom front has never seen this hash: a definite miss, resolved
+    // without touching the shard mutex for the lookup.
+    bloom_skips_.fetch_add(1, std::memory_order_relaxed);
+    if (bloom_skip_counter_ != nullptr) bloom_skip_counter_->Add(1);
   }
-  ++misses_;
-  if (miss_count != nullptr) miss_count->Add(1);
-  update_rate();
-  bucket.push_back(Entry{x, classifier_->Predict(x)});
+
+  // Miss: run the model with NO lock held. The classifier's lazily-built
+  // inference plan is a one-time mutation, so the first compute is funneled
+  // through a once-flag; after that, frozen weights are read-only and every
+  // caller brings a private workspace — concurrent cold misses on different
+  // (or the same) shards proceed in parallel.
+  std::call_once(plan_once_, [this, &x] {
+    nn::InferWorkspace warm;
+    (void)classifier_->Predict(x, &warm);
+  });
+  nn::InferWorkspace ws;
+  std::vector<int> pred = classifier_->Predict(x, &ws);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Another thread may have inserted this batch while we computed. Adopt
+  // its entry — counted as a hit, so misses() stays exactly "distinct
+  // batches inserted" even under racing cold misses.
+  const std::vector<int>* raced = FindLocked(shard, hash, x);
+  if (raced != nullptr) {
+    BumpLocked(shard, /*hit=*/true);
+    return *raced;
+  }
+  BumpLocked(shard, /*hit=*/false);
+  std::deque<Entry>& bucket = shard.entries[hash];
+  bucket.push_back(Entry{x, std::move(pred)});
+  // Publish to the bloom front only after the entry is in the map: a reader
+  // that observes the bit and takes the lock must find the entry.
+  bloom_.Add(hash);
   return bucket.back().pred;
 }
 
 size_t PredictionCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  return total_hits_.load(std::memory_order_relaxed);
 }
 
 size_t PredictionCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return total_misses_.load(std::memory_order_relaxed);
+}
+
+size_t PredictionCache::bloom_skips() const {
+  return bloom_skips_.load(std::memory_order_relaxed);
+}
+
+size_t PredictionCache::shard_hits(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].hits;
+}
+
+size_t PredictionCache::shard_misses(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard].mu);
+  return shards_[shard].misses;
 }
 
 CfResult CfMethod::Generate(const Matrix& x) {
@@ -149,12 +229,11 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
   return FinishResult(x, cfs_raw, std::move(desired), nullptr);
 }
 
-CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
+CfResult CfMethod::FinishResult(const Matrix& x, Matrix cfs_raw,
                                 std::vector<int> desired,
                                 nn::InferWorkspace* ws) const {
   CfResult result;
   result.inputs = x;
-  result.cfs_raw = cfs_raw;
   result.desired = std::move(desired);
 
   // Project every CF onto the valid one-hot manifold and restore immutable
@@ -163,6 +242,7 @@ CfResult CfMethod::FinishResult(const Matrix& x, const Matrix& cfs_raw,
   // ProjectRow + MutableMask restore loop.
   result.cfs = ctx_.encoder->ProjectBatch(cfs_raw, &x);
   result.predicted = Predictions(result.cfs, ws);
+  result.cfs_raw = std::move(cfs_raw);
   return result;
 }
 

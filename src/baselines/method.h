@@ -4,6 +4,8 @@
 #ifndef CFX_BASELINES_METHOD_H_
 #define CFX_BASELINES_METHOD_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -13,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/bloom_filter.h"
+#include "src/common/metrics.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/core/cf_example.h"
@@ -28,29 +32,56 @@ namespace cfx {
 /// content hash (with a full byte-compare on hit, so collisions degrade to
 /// a recompute, never a wrong answer) and is only consulted while the
 /// classifier is frozen — an unfrozen model may still change.
+///
+/// Concurrency layout: the store is striped into 2^kShardBits mutex-guarded
+/// shards selected by the hash's top bits, fronted by a lock-free bloom
+/// filter over the batch hashes. A query whose hash the bloom filter has
+/// never seen skips the shard lock entirely (a definite miss), computes the
+/// predictions on a private inference workspace with no lock held, and only
+/// takes its shard's mutex for the brief insert — so cold misses from
+/// concurrent ParallelFor method queries neither serialise on a global lock
+/// nor hold any lock across the model pass. Hits take exactly one shard
+/// mutex for the bucket scan.
 class PredictionCache {
  public:
   /// Batch-hash hook. The default is FNV-1a over shape and bytes; tests
   /// inject a degenerate hash to force every batch into one bucket.
   using HashFn = uint64_t (*)(const Matrix&);
 
+  /// Shards = 2^kShardBits, selected by the hash's top kShardBits bits
+  /// (FNV-1a mixes high bits well; the low bits index buckets inside the
+  /// shard's own hash map).
+  static constexpr size_t kShardBits = 4;
+  static constexpr size_t kNumShards = size_t{1} << kShardBits;
+
   explicit PredictionCache(BlackBoxClassifier* classifier,
                            HashFn hash = nullptr);
 
-  /// Predictions for `x`, computed at most once per distinct batch.
+  /// Predictions for `x`, computed at most once per distinct batch (up to
+  /// benign recompute races: two threads missing the same batch at once
+  /// both run the model, one inserts, the other adopts the inserted entry).
   ///
   /// The returned reference stays valid for the cache's lifetime: entries
   /// live in per-bucket deques (which never relocate elements on growth)
   /// and are never evicted, so callers may hold it across later inserts.
-  /// Thread-safe under ParallelFor — an internal mutex covers lookup,
-  /// insert and the classifier call itself; the classifier's inference
-  /// workspace is single-threaded state, so concurrent predictions must be
-  /// serialised anyway. Aborts if the classifier is not frozen (memoising
-  /// a still-training model would serve stale labels).
+  /// Thread-safe under ParallelFor. Aborts if the classifier is not frozen
+  /// (memoising a still-training model would serve stale labels).
   const std::vector<int>& Predict(const Matrix& x);
 
+  /// Aggregate accounting across shards. Every Predict call increments
+  /// exactly one of hits/misses; a miss is a call that inserted its entry,
+  /// a hit is a call served from (or resolved against) stored state, so
+  /// misses() equals the number of distinct batches ever inserted.
   size_t hits() const;
   size_t misses() const;
+  /// Calls that skipped the shard lock because the bloom front had never
+  /// seen the hash (definite cold miss).
+  size_t bloom_skips() const;
+
+  /// Per-shard accounting, for tests and the per-shard hit-rate gauges.
+  size_t shard_hits(size_t shard) const;
+  size_t shard_misses(size_t shard) const;
+  static size_t ShardIndex(uint64_t hash) { return hash >> (64 - kShardBits); }
 
  private:
   struct Entry {
@@ -58,14 +89,46 @@ class PredictionCache {
     std::vector<int> pred;   ///< Cached classifier predictions.
   };
 
+  /// One mutex stripe. Padded to a cache line so neighbouring shards'
+  /// mutexes and counters never false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    /// Deque per bucket, not vector: push_back must not move existing
+    /// entries while callers hold references into their `pred` vectors.
+    std::unordered_map<uint64_t, std::deque<Entry>> entries;
+    size_t hits = 0;    ///< Guarded by mu.
+    size_t misses = 0;  ///< Guarded by mu.
+    /// predcache.shard.<i>.hit_rate; null when metrics are disabled.
+    metrics::Gauge* hit_rate = nullptr;
+  };
+
+  /// Bucket scan under the shard lock. Returns the stable prediction
+  /// reference on an exact match, null otherwise. mu must be held.
+  const std::vector<int>* FindLocked(Shard& shard, uint64_t hash,
+                                     const Matrix& x);
+
+  /// Counts one hit or miss against `shard` (mu held) and the aggregate
+  /// atomics, and refreshes the hit-rate gauges.
+  void BumpLocked(Shard& shard, bool hit);
+
   BlackBoxClassifier* classifier_;
   HashFn hash_;
-  mutable std::mutex mu_;
-  /// Deque per bucket, not vector: push_back must not move existing
-  /// entries while callers hold references into their `pred` vectors.
-  std::unordered_map<uint64_t, std::deque<Entry>> entries_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  /// Lock-free front: hashes ever inserted. False => definitely uncached.
+  BloomFilter bloom_;
+  std::array<Shard, kNumShards> shards_;
+  /// Aggregate counters, exact (each query increments exactly one side).
+  std::atomic<size_t> total_hits_{0};
+  std::atomic<size_t> total_misses_{0};
+  std::atomic<size_t> bloom_skips_{0};
+  /// Funnels the classifier's one-time lazy inference-plan build through the
+  /// first miss; later misses run lock-free on private workspaces.
+  std::once_flag plan_once_;
+  /// Aggregate metric handles, resolved once at construction; null when
+  /// metrics collection is disabled (one pointer check per site).
+  metrics::Counter* hit_counter_ = nullptr;
+  metrics::Counter* miss_counter_ = nullptr;
+  metrics::Gauge* rate_gauge_ = nullptr;
+  metrics::Counter* bloom_skip_counter_ = nullptr;
 };
 
 /// Everything a CF method may depend on. The encoder and classifier are
@@ -139,8 +202,10 @@ class CfMethod {
   /// Same, with the classifier passes run on a caller-provided workspace
   /// (nullptr falls back to the cache/member-workspace route). Used by
   /// batched GenerateMany overrides so concurrent server workers never
-  /// touch the classifier's shared member workspace.
-  CfResult FinishResult(const Matrix& x, const Matrix& cfs_raw,
+  /// touch the classifier's shared member workspace. Takes `cfs_raw` by
+  /// value: every batched caller hands over a temporary, which moves
+  /// straight into the result instead of paying a buffer copy per batch.
+  CfResult FinishResult(const Matrix& x, Matrix cfs_raw,
                         std::vector<int> desired,
                         nn::InferWorkspace* ws) const;
 

@@ -1,0 +1,103 @@
+// Lock-free bloom filter over 64-bit keys — the mutex-skipping front of the
+// sharded PredictionCache (src/baselines/method.cc).
+//
+// A fixed bit array (power-of-two size) with k probe positions per key,
+// derived by double hashing from two splitmix64 finalizer passes. Add sets
+// bits with relaxed fetch_or; MaybeContains reads with relaxed loads. The
+// filter therefore guarantees only its classic one-sided property under
+// concurrency:
+//
+//   * No false negatives for *observed* inserts: once a thread has seen
+//     Add(k) complete (through any synchronizing operation), MaybeContains(k)
+//     is true forever — bits are never cleared.
+//   * A racing reader may miss an in-flight Add (relaxed ordering gives no
+//     publication guarantee by itself). Callers must treat "false" as
+//     "probably absent" and fall back to an authoritative, properly
+//     synchronized structure — the PredictionCache re-checks its shard map
+//     under the shard mutex before inserting, so a missed bit costs one
+//     redundant model pass, never a wrong answer.
+//   * False positives happen at the usual rate ~(1 - e^(-kn/m))^k; callers
+//     fall through to the exact lookup.
+//
+// This mirrors the role of pixie's bloomfilter.h in front of its shared
+// state: the common cold path pays a few relaxed loads instead of a mutex.
+#ifndef CFX_COMMON_BLOOM_FILTER_H_
+#define CFX_COMMON_BLOOM_FILTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cfx {
+
+class BloomFilter {
+ public:
+  /// 2^log2_bits bits (clamped to [6, 30] — 8 bytes to 128 MiB) and
+  /// `num_probes` probe positions per key (clamped to [1, 16]). The
+  /// defaults (2^16 bits = 8 KiB, 4 probes) keep the false-positive rate
+  /// under 2e-4 up to ~2000 distinct keys.
+  explicit BloomFilter(size_t log2_bits = 16, size_t num_probes = 4)
+      : words_(size_t{1} << (Clamp(log2_bits, 6, 30) - 6)),
+        bit_mask_((uint64_t{1} << Clamp(log2_bits, 6, 30)) - 1),
+        probes_(Clamp(num_probes, 1, 16)) {}
+
+  BloomFilter(const BloomFilter&) = delete;
+  BloomFilter& operator=(const BloomFilter&) = delete;
+
+  /// Marks `key` present. Safe from any thread; relaxed ordering (see the
+  /// file comment for what that does and does not promise).
+  void Add(uint64_t key) {
+    uint64_t probe = Mix(key);
+    const uint64_t step = Mix(key ^ kStepSalt) | 1;  // Odd: hits all bits.
+    for (size_t i = 0; i < probes_; ++i) {
+      const uint64_t bit = probe & bit_mask_;
+      words_[bit >> 6].fetch_or(uint64_t{1} << (bit & 63),
+                                std::memory_order_relaxed);
+      probe += step;
+    }
+  }
+
+  /// False: definitely never Add-ed (up to the relaxed-visibility caveat).
+  /// True: probably present.
+  bool MaybeContains(uint64_t key) const {
+    uint64_t probe = Mix(key);
+    const uint64_t step = Mix(key ^ kStepSalt) | 1;
+    for (size_t i = 0; i < probes_; ++i) {
+      const uint64_t bit = probe & bit_mask_;
+      if ((words_[bit >> 6].load(std::memory_order_relaxed) &
+           (uint64_t{1} << (bit & 63))) == 0) {
+        return false;
+      }
+      probe += step;
+    }
+    return true;
+  }
+
+  size_t bit_count() const { return bit_mask_ + 1; }
+  size_t num_probes() const { return probes_; }
+
+ private:
+  static constexpr uint64_t kStepSalt = 0x9e3779b97f4a7c15ULL;
+
+  static size_t Clamp(size_t v, size_t lo, size_t hi) {
+    return v < lo ? lo : (v > hi ? hi : v);
+  }
+
+  /// splitmix64 finalizer: full-avalanche mix so sequential or low-entropy
+  /// keys (e.g. FNV hashes of near-identical batches) spread evenly.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::vector<std::atomic<uint64_t>> words_;
+  uint64_t bit_mask_;
+  size_t probes_;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_BLOOM_FILTER_H_

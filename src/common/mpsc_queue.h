@@ -1,0 +1,176 @@
+// Bounded lock-free multi-producer ring queue — the submit path of the
+// serving scheduler (src/serve/server.cc).
+//
+// The algorithm is the classic bounded sequence-number ring (Vyukov): every
+// slot carries an atomic sequence counter that encodes, relative to the
+// monotonically increasing head/tail positions, whether the slot is free,
+// filled, or mid-transfer. Producers claim a slot by CAS on the tail and
+// publish the value with a release store of the slot sequence; a consumer
+// observes that store with an acquire load before touching the value, so
+// the element's bytes (and everything the producer wrote before pushing)
+// are fully visible without any lock.
+//
+// Memory-ordering contract:
+//   * TryPush: claims a position with a relaxed CAS on tail_ (the claim
+//     itself transfers no data), writes the value, then publishes with
+//     slot.seq.store(pos + 1, release).
+//   * TryPop: slot.seq.load(acquire) pairs with the producer's release
+//     store — after it reads `pos + 1` the value is safe to move out. The
+//     slot is recycled for the next lap with seq.store(pos + capacity,
+//     release), which pairs with the acquire in a later TryPush claiming
+//     the same slot.
+//   * head_/tail_ themselves are only claim tickets; all value visibility
+//     rides on the per-slot sequence, never on the shared indices.
+//
+// Pops also CAS the head, so draining from more than one thread is safe
+// (the serving scheduler runs one worker in its hot configuration but
+// supports several); the queue is wait-free for neither side but both
+// paths are a handful of instructions with no syscalls and no blocking.
+//
+// Capacity is rounded up to a power of two so position -> slot mapping is
+// a mask, and head/tail live on their own cache lines so producers hammer
+// a different line than the consumer.
+#ifndef CFX_COMMON_MPSC_QUEUE_H_
+#define CFX_COMMON_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace cfx {
+
+/// One pause/yield hint for spin loops. On x86 this is `pause` (frees the
+/// core's execution resources for the sibling hyperthread and tames the
+/// memory-order-violation flush on spin exit); on AArch64 `yield`.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Bounded lock-free ring queue. T must be default-constructible and
+/// movable; a failed TryPush leaves the caller's value untouched.
+template <typename T>
+class MpscQueue {
+ public:
+  /// Rounds `min_capacity` up to the next power of two (minimum 2). The
+  /// queue holds exactly capacity() elements before TryPush reports full.
+  explicit MpscQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `value`. Returns false (value untouched) when the ring is
+  /// full. When `spins` is non-null it receives the number of CAS retries
+  /// this call paid to competing producers (0 under no contention) — the
+  /// scheduler surfaces the sum as the serve/submit_spins counter.
+  bool TryPush(T&& value, uint32_t* spins = nullptr) {
+    uint32_t retries = 0;
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+        ++retries;  // Lost the claim to another producer; pos was reloaded.
+      } else if (dif < 0) {
+        // The slot still holds the previous lap's element: the ring is full
+        // (or a consumer is mid-pop on a ring that has lapped — either way
+        // the bound is reached).
+        if (spins != nullptr) *spins = retries;
+        return false;
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    if (spins != nullptr) *spins = retries;
+    return true;
+  }
+
+  /// Dequeues into `*out`. Returns false when the ring is empty. Safe from
+  /// multiple threads (head claims use CAS).
+  bool TryPop(T* out) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot* slot;
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const int64_t dif =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // Empty (or the producer that claimed it not done).
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    // Move, don't reset: for the queue's payload types a moved-from value
+    // is already resource-free (and for std::promise a fresh T() would
+    // eagerly allocate shared state — a heap allocation per pop). A type
+    // whose moved-from state pins real resources holds them only until the
+    // slot's next lap.
+    *out = std::move(slot->value);
+    slot->seq.store(pos + capacity_, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous element count. Racy by nature (both indices move
+  /// concurrently) but never off by more than the in-flight operations;
+  /// exact when producers and consumers are quiescent.
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  /// Producers contend on tail_, the consumer walks head_; separate cache
+  /// lines keep a push from invalidating the consumer's line and vice
+  /// versa. 64 matches the destructive-interference size of every target
+  /// this builds on (x86-64, AArch64).
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::unique_ptr<Slot[]> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace cfx
+
+#endif  // CFX_COMMON_MPSC_QUEUE_H_

@@ -91,6 +91,10 @@ Matrix Experiment::TestSubset(size_t max_rows) const {
 }
 
 MethodContext Experiment::method_context() {
+  // Built lazily, only once the classifier is frozen (caching an unfrozen
+  // model would serve stale labels). The cache is mutex-striped with a
+  // lock-free bloom front, so handing the same instance to every method —
+  // including ones queried from ParallelFor workers — is safe.
   if (prediction_cache_ == nullptr && classifier_ != nullptr &&
       classifier_->frozen()) {
     prediction_cache_ = std::make_unique<PredictionCache>(classifier_.get());

@@ -61,7 +61,8 @@ class Experiment {
   /// for CF generation.
   Matrix TestSubset(size_t max_rows) const;
 
-  /// Context handed to CF methods. Carries the shared PredictionCache so
+  /// Context handed to CF methods. Carries the shared PredictionCache
+  /// (sharded + bloom-fronted, safe under concurrent method evaluation) so
   /// every method evaluated against this experiment reuses black-box
   /// predictions on identical batches.
   MethodContext method_context();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 #include "src/constraints/feasibility.h"
 #include "src/data/column_batch.h"
 #include "src/core/descent.h"
@@ -376,11 +377,25 @@ CfResult FeasibleCfGenerator::GenerateMany(const Matrix& x,
   // classes and the final predictions on the caller's workspace rather
   // than the mutex-serialised cache.
   if (vae_->training()) vae_->SetTraining(false);
-  std::vector<int> desired = DesiredClasses(x, ws);
-  Matrix cond = DesiredCond(desired);
-  Matrix x_hat = ws != nullptr ? vae_->Reconstruct(x, cond, ws)
-                               : vae_->Reconstruct(x, cond);
-  return FinishResult(x, SoftCfValue(x_hat, x), std::move(desired), ws);
+  std::vector<int> desired;
+  Matrix x_hat;
+  {
+    trace::ScopedSpan span("generate/desired");
+    desired = DesiredClasses(x, ws);
+  }
+  {
+    trace::ScopedSpan span("generate/reconstruct");
+    Matrix cond = DesiredCond(desired);
+    x_hat = ws != nullptr ? vae_->Reconstruct(x, cond, ws)
+                          : vae_->Reconstruct(x, cond);
+  }
+  Matrix soft;
+  {
+    trace::ScopedSpan span("generate/soft_cf");
+    soft = SoftCfValue(x_hat, x);
+  }
+  trace::ScopedSpan span("generate/finish");
+  return FinishResult(x, std::move(soft), std::move(desired), ws);
 }
 
 CfResult FeasibleCfGenerator::GenerateTape(const Matrix& x) {

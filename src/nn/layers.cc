@@ -85,7 +85,7 @@ const Matrix& TabularHeadLayer::Infer(const Matrix& x, InferWorkspace* ws) {
 Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng->Split(0xD0)) {}
 
 ag::Var Dropout::Forward(const ag::Var& x) {
-  if (!training_ || p_ <= 0.0f) return x;
+  if (!training_.load(std::memory_order_relaxed) || p_ <= 0.0f) return x;
   const float keep = 1.0f - p_;
   Matrix mask(x->value.rows(), x->value.cols());
   for (size_t i = 0; i < mask.size(); ++i) {
@@ -95,7 +95,8 @@ ag::Var Dropout::Forward(const ag::Var& x) {
 }
 
 const Matrix& Dropout::Infer(const Matrix& x, InferWorkspace* ws) {
-  if (!training_ || p_ <= 0.0f) return x;  // Identity: no copy at all.
+  // Relaxed load on the serving hot path (see Module::training_).
+  if (!training_.load(std::memory_order_relaxed) || p_ <= 0.0f) return x;
   return Module::Infer(x, ws);  // Training: keep the mask RNG stream exact.
 }
 

@@ -2,6 +2,7 @@
 #ifndef CFX_NN_MODULE_H_
 #define CFX_NN_MODULE_H_
 
+#include <atomic>
 #include <deque>
 #include <vector>
 
@@ -44,7 +45,18 @@ class InferWorkspace {
 /// that builds an autodiff graph over them.
 class Module {
  public:
+  Module() = default;
   virtual ~Module() = default;
+  // The atomic mode flag deletes the implicit copies; modules are still
+  // value-copyable (layers are moved into Sequential at build time) — the
+  // flag's current value carries over, unsynchronised like any other copy.
+  Module(const Module& other)
+      : training_(other.training_.load(std::memory_order_relaxed)) {}
+  Module& operator=(const Module& other) {
+    training_.store(other.training_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Builds the forward graph for a batch `x` (shape: batch x in_features).
   virtual ag::Var Forward(const ag::Var& x) = 0;
@@ -74,14 +86,22 @@ class Module {
   virtual std::vector<ag::Var> Parameters() const { return {}; }
 
   /// Switches train/eval behaviour (dropout only samples masks in training).
-  virtual void SetTraining(bool training) { training_ = training; }
-  bool training() const { return training_; }
+  /// The flag is a relaxed atomic: a serving worker inside a batched Infer
+  /// may race a direct Generate call that toggles eval mode on the shared
+  /// model, and the unsynchronised bool was a formal data race (TSan).
+  /// Relaxed is enough — the flag carries no other state, and callers who
+  /// need a *consistent* mode across a whole pass must still serialise
+  /// (the serve path never calls SetTraining after warm-up).
+  virtual void SetTraining(bool training) {
+    training_.store(training, std::memory_order_relaxed);
+  }
+  bool training() const { return training_.load(std::memory_order_relaxed); }
 
   /// Total number of scalar parameters.
   size_t ParameterCount() const;
 
  protected:
-  bool training_ = true;
+  std::atomic<bool> training_{true};
 };
 
 }  // namespace nn

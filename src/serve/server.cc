@@ -12,6 +12,15 @@ namespace cfx {
 namespace serve {
 namespace {
 
+/// Iterations a worker burns re-polling an empty ring before it takes the
+/// park mutex and sleeps. Short on purpose: it rides out the gap between
+/// back-to-back submits from a running producer. On a single-hardware-
+/// thread host the budget collapses to zero — no producer can make
+/// progress while the worker holds the core, so every spin iteration is
+/// pure delay.
+const size_t kIdleSpinIterations =
+    std::thread::hardware_concurrency() > 1 ? 64 : 0;
+
 /// An already-resolved future carrying only an error status.
 std::future<CfResponse> Rejected(Status status) {
   std::promise<CfResponse> promise;
@@ -23,7 +32,11 @@ std::future<CfResponse> Rejected(Status status) {
 
 }  // namespace
 
-CfServer::CfServer(const CfServerConfig& config) : config_(config) {
+CfServer::CfServer(const CfServerConfig& config)
+    : config_(config),
+      queue_(config.max_batch == 0 || config.max_queue == 0
+                 ? 2  // Placeholder; the abort below fires first.
+                 : config.max_queue) {
   if (config_.max_batch == 0 || config_.max_queue == 0) {
     CFX_LOG(Error) << "CfServer: max_batch and max_queue must be positive";
     std::abort();
@@ -31,15 +44,20 @@ CfServer::CfServer(const CfServerConfig& config) : config_(config) {
   depth_gauge_ = metrics::GetGauge("serve/queue_depth");
   batch_hist_ = metrics::GetHistogram("serve/batch_size");
   wait_hist_ = metrics::GetHistogram("serve/wait_ms");
+  submit_spins_ = metrics::GetCounter("serve/submit_spins");
+  park_count_ = metrics::GetCounter("serve/park_count");
 }
 
 CfServer::~CfServer() { Shutdown(); }
 
 void CfServer::RegisterMethod(const std::string& key, CfMethod* method) {
-  if (started_) {
-    CFX_LOG(Error) << "CfServer::RegisterMethod('" << key
-                   << "') after Start(); register all methods first";
-    std::abort();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mu_);
+    if (started_) {
+      CFX_LOG(Error) << "CfServer::RegisterMethod('" << key
+                     << "') after Start(); register all methods first";
+      std::abort();
+    }
   }
   MethodEntry entry;
   entry.method = method;
@@ -54,12 +72,18 @@ void CfServer::RegisterMethod(const std::string& key, CfMethod* method) {
     nn::InferWorkspace ws;
     (void)method->GenerateMany(probe, &ws);
   }
-  methods_[key] = std::move(entry);
+  for (MethodEntry& existing : methods_) {
+    if (existing.key == key) {
+      existing = std::move(entry);  // re-registration replaces in place
+      return;
+    }
+  }
+  methods_.push_back(std::move(entry));
 }
 
 void CfServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (started_ || stopping_) return;
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_ || stopping_.load(std::memory_order_relaxed)) return;
   started_ = true;
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
@@ -69,13 +93,20 @@ void CfServer::Start() {
 
 std::future<CfResponse> CfServer::Submit(CfRequest request) {
   // methods_ is immutable once Start() has run (RegisterMethod aborts
-  // after), so the lookup needs no lock.
-  auto it = methods_.find(request.method);
-  if (it == methods_.end()) {
+  // after), so the lookup needs no lock. Linear scan over a handful of
+  // SSO keys beats hashing the string: a server registers a few methods,
+  // and this lookup sits on the per-request submit path.
+  const MethodEntry* entry = nullptr;
+  for (const MethodEntry& candidate : methods_) {
+    if (candidate.key == request.method) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
     return Rejected(
         Status::InvalidArgument("unknown method '" + request.method + "'"));
   }
-  const MethodEntry* entry = &it->second;
   if (request.instance.rows() != 1 ||
       request.instance.cols() != entry->width) {
     return Rejected(Status::InvalidArgument(
@@ -84,141 +115,280 @@ std::future<CfResponse> CfServer::Submit(CfRequest request) {
         std::to_string(request.instance.cols())));
   }
 
-  std::future<CfResponse> future;
-  bool wake_idle = false;
-  bool wake_leader = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!accepting_) {
-      return Rejected(Status::FailedPrecondition("server is shut down"));
-    }
-    if (queue_.size() >= config_.max_queue) {
-      // Backpressure by rejection, never by blocking: the producer learns
-      // immediately and the queue cannot grow past its bound.
-      ++stats_.rejected_full;
-      return Rejected(Status::ResourceExhausted(
-          "serve queue full (" + std::to_string(config_.max_queue) + ")"));
-    }
-    Pending pending;
-    pending.row = std::move(request.instance);
-    pending.entry = entry;
-    pending.deadline = request.deadline;
-    if (wait_hist_ != nullptr) {
-      pending.enqueued = std::chrono::steady_clock::now();
-    }
-    future = pending.promise.get_future();
-    queue_.push_back(std::move(pending));
-    ++stats_.submitted;
-    wake_idle = idle_waiters_ > 0;
-    wake_leader = collecting_ > 0 && queue_.size() >= collect_need_;
-    UpdateQueueGauge();
+  // Intake gate: the seq_cst increment-then-check pairs with Shutdown's
+  // close-then-drain, so a submit either observes the closed gate here or
+  // completes its push before Shutdown's cancel sweep runs.
+  inflight_submits_.fetch_add(1, std::memory_order_seq_cst);
+  if (!accepting_.load(std::memory_order_seq_cst)) {
+    inflight_submits_.fetch_sub(1, std::memory_order_release);
+    return Rejected(Status::FailedPrecondition("server is shut down"));
   }
-  // Notify after unlocking: a woken worker grabs mu_ immediately, so
-  // signalling under the lock forces an extra block/handoff per request.
-  // Parked idle workers are woken per arrival (none are parked under
-  // sustained load — they find the backlog when they relock after a
-  // dispatch); a window-waiting batch leader is woken only once the queue
-  // could fill its batch (otherwise its delay-window expiry sweeps the
-  // stragglers), so a burst costs one leader wake, not one per request.
-  if (wake_idle) cv_.notify_one();
-  if (wake_leader) cv_batch_.notify_all();
+
+  Pending pending;
+  pending.row = std::move(request.instance);
+  pending.entry = entry;
+  pending.deadline = request.deadline;
+  if (wait_hist_ != nullptr) {
+    pending.enqueued = std::chrono::steady_clock::now();
+  }
+  std::future<CfResponse> future = pending.promise.get_future();
+
+  uint32_t spins = 0;
+  if (!queue_.TryPush(std::move(pending), &spins)) {
+    // Backpressure by rejection, never by blocking: the producer learns
+    // immediately and the ring cannot grow past its bound. TryPush left
+    // `pending` (and its promise) with us, so resolve it in place.
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    inflight_submits_.fetch_sub(1, std::memory_order_release);
+    CfResponse response;
+    response.status = Status::ResourceExhausted(
+        "serve queue full (" + std::to_string(queue_.capacity()) + ")");
+    pending.promise.set_value(std::move(response));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (submit_spins_ != nullptr && spins > 0) submit_spins_->Add(spins);
+  if (depth_gauge_ != nullptr) UpdateQueueGauge();
+  MaybeWakeWorkers();
+  inflight_submits_.fetch_sub(1, std::memory_order_release);
   return future;
+}
+
+void CfServer::MaybeWakeWorkers() {
+  // Publish the push before reading the sleeper threshold (a seq_cst
+  // store-load barrier against a worker's register-then-recheck in
+  // NextPending): either we observe the sleeper and wake it, or the
+  // sleeper's post-registration recheck observes our push.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  size_t threshold = wake_threshold_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (threshold == SIZE_MAX) return;  // Nobody sleeps: the common hot case.
+    const size_t depth =
+        queue_.SizeApprox() + staged_count_.load(std::memory_order_relaxed);
+    if (depth < threshold) return;  // A window leader wants a fuller queue.
+    // Claim the wake: the first producer through parks the threshold at
+    // SIZE_MAX and pays the one syscall; a burst's remaining submits take
+    // the SIZE_MAX fast path above instead of re-notifying a worker that
+    // has not been scheduled yet. Sleepers re-arm the threshold themselves
+    // (RecomputeWakeThresholdLocked) whenever they wake or re-park, so a
+    // claimed wake can never strand a later sleeper.
+    if (wake_threshold_.compare_exchange_weak(threshold, SIZE_MAX,
+                                              std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(park_mu_);
+  park_cv_.notify_all();
+}
+
+void CfServer::RecomputeWakeThresholdLocked() {
+  size_t threshold = SIZE_MAX;
+  if (idle_parked_ > 0) {
+    threshold = 1;
+  } else if (window_waiters_ > 0) {
+    threshold = window_min_need_;
+  }
+  wake_threshold_.store(threshold, std::memory_order_relaxed);
+}
+
+bool CfServer::NextPending(Pending* out) {
+  for (;;) {
+    // Staged overflow first: those requests pre-date everything now in the
+    // ring, so per-method FIFO order survives the detour.
+    while (TryTakeStagedAny(out)) {
+      if (!ResolveIfExpired(out)) return true;
+    }
+    while (queue_.TryPop(out)) {
+      if (depth_gauge_ != nullptr) UpdateQueueGauge();
+      if (!ResolveIfExpired(out)) return true;
+    }
+    // Empty. Spin briefly — arrivals in the next few hundred cycles are
+    // common under load and a park/unpark costs two futex syscalls.
+    bool have_work = false;
+    for (size_t i = 0; i < kIdleSpinIterations; ++i) {
+      CpuRelax();
+      if (!queue_.Empty() ||
+          staged_count_.load(std::memory_order_relaxed) > 0) {
+        have_work = true;
+        break;
+      }
+      if (stopping_.load(std::memory_order_acquire)) break;
+    }
+    if (have_work) continue;
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Drain-then-exit: only leave once both queues are truly empty (a
+      // racing worker may still stage entries; loop re-checks).
+      if (queue_.Empty() &&
+          staged_count_.load(std::memory_order_relaxed) == 0) {
+        return false;
+      }
+      continue;
+    }
+    // Park. Register in the wake threshold, then re-check emptiness: the
+    // fence pairs with the producer-side fence in MaybeWakeWorkers, so a
+    // push that missed our registration is visible to this recheck.
+    std::unique_lock<std::mutex> lock(park_mu_);
+    ++idle_parked_;
+    RecomputeWakeThresholdLocked();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (queue_.Empty() &&
+        staged_count_.load(std::memory_order_relaxed) == 0 &&
+        !stopping_.load(std::memory_order_relaxed)) {
+      if (park_count_ != nullptr) park_count_->Add(1);
+      park_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !queue_.Empty() ||
+               staged_count_.load(std::memory_order_relaxed) > 0;
+      });
+    }
+    --idle_parked_;
+    RecomputeWakeThresholdLocked();
+  }
+}
+
+bool CfServer::TryTakeStagedAny(Pending* out) {
+  if (staged_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  if (staged_.empty()) return false;
+  *out = std::move(staged_.front());
+  staged_.pop_front();
+  staged_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool CfServer::ResolveIfExpired(Pending* p) {
+  // The default deadline is time_point::max(): skip the clock read
+  // entirely on the (overwhelmingly common) undeadlined path.
+  if (p->deadline == std::chrono::steady_clock::time_point::max()) {
+    return false;
+  }
+  if (p->deadline > std::chrono::steady_clock::now()) return false;
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  CfResponse response;
+  response.status =
+      Status::DeadlineExceeded("request deadline passed before dispatch");
+  p->promise.set_value(std::move(response));
+  return true;
+}
+
+void CfServer::CollectMore(const MethodEntry* entry,
+                           std::vector<Pending>* batch) {
+  // Same-method staged entries first (older than anything in the ring).
+  if (staged_count_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(staged_mu_);
+    for (auto it = staged_.begin();
+         it != staged_.end() && batch->size() < config_.max_batch;) {
+      if (it->entry != entry) {
+        ++it;
+        continue;
+      }
+      Pending pending = std::move(*it);
+      it = staged_.erase(it);
+      staged_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (!ResolveIfExpired(&pending)) {
+        batch->push_back(std::move(pending));
+      }
+    }
+  }
+  // Then the ring. Foreign-method entries are parked in staged_ for the
+  // next leader; they are not skipped in place (a ring has no erase).
+  while (batch->size() < config_.max_batch) {
+    Pending pending;
+    if (!queue_.TryPop(&pending)) break;
+    if (ResolveIfExpired(&pending)) continue;
+    if (pending.entry == entry) {
+      batch->push_back(std::move(pending));
+    } else {
+      std::lock_guard<std::mutex> lock(staged_mu_);
+      staged_.push_back(std::move(pending));
+      staged_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (depth_gauge_ != nullptr) UpdateQueueGauge();
 }
 
 void CfServer::WorkerLoop() {
   // One workspace per worker: every batch-capable model entry point Resets
-  // it before use, so classifier and VAE passes can share it.
+  // it before use, so classifier and VAE passes can share it. The batch
+  // and response-arena buffers are reused across dispatches.
   nn::InferWorkspace ws;
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    ++idle_waiters_;
-    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    --idle_waiters_;
-    if (queue_.empty()) {
-      if (stopping_) return;
-      continue;
-    }
-    // Leader election is implicit: whoever holds the lock takes the front
-    // request's method and claims every compatible queued request.
-    const MethodEntry* entry = queue_.front().entry;
+  std::vector<Pending> batch;
+  std::vector<CfResponse> arena;
+  batch.reserve(config_.max_batch);
+  arena.reserve(config_.max_batch);
+
+  Pending first;
+  while (NextPending(&first)) {
+    const MethodEntry* entry = first.entry;
     const auto window_end =
         std::chrono::steady_clock::now() + config_.max_delay;
-    std::vector<Pending> batch;
-    CollectLocked(entry, config_.max_batch, &batch);
+    batch.clear();
+    batch.push_back(std::move(first));
+    CollectMore(entry, &batch);
     if (entry->batchable) {
       // Hold the partial batch open for late same-method arrivals until
-      // the window closes, the batch fills, or shutdown begins. The wait
-      // is on cv_batch_, which producers signal only when the queue could
-      // *fill* the batch: waking (and bouncing the lock) on every single
-      // arrival would dominate dispatch at high offered load. Partial
-      // stragglers are swept up when the window expires.
-      while (!batch.empty() && batch.size() < config_.max_batch &&
-             !stopping_) {
-        const size_t need = config_.max_batch - batch.size();
-        ++collecting_;
-        if (need < collect_need_) collect_need_ = need;
-        const bool ready = cv_batch_.wait_until(lock, window_end, [&] {
-          return stopping_ || queue_.size() >= need;
-        });
-        --collecting_;
-        if (collecting_ == 0) collect_need_ = SIZE_MAX;
+      // the window closes, the batch fills, or shutdown begins. The nap is
+      // wake-rationed: producers only notify once the queued depth could
+      // fill the batch (wake_threshold_), so a burst costs one leader wake,
+      // not one lock bounce per arrival; stragglers below the threshold
+      // are swept up when the window expires.
+      while (batch.size() < config_.max_batch &&
+             !stopping_.load(std::memory_order_acquire)) {
         const size_t before = batch.size();
-        CollectLocked(entry, config_.max_batch, &batch);
-        if (!ready) break;  // Window expired; dispatch what we have.
-        if (batch.size() == before) {
-          // The queue is deep enough but holds other methods' work (which
-          // keeps the predicate true): dispatch the partial batch now
-          // rather than spinning on it until the window closes.
+        CollectMore(entry, &batch);
+        if (batch.size() >= config_.max_batch) break;
+        if (batch.size() != before) continue;  // Still flowing; keep going.
+        const size_t need = config_.max_batch - batch.size();
+        std::cv_status wait_status = std::cv_status::no_timeout;
+        {
+          std::unique_lock<std::mutex> lock(park_mu_);
+          if (!queue_.Empty() ||
+              staged_count_.load(std::memory_order_relaxed) > 0) {
+            continue;  // An arrival raced the lock; collect it.
+          }
+          ++window_waiters_;
+          if (need < window_min_need_) window_min_need_ = need;
+          RecomputeWakeThresholdLocked();
+          if (park_count_ != nullptr) park_count_->Add(1);
+          wait_status = park_cv_.wait_until(lock, window_end);
+          --window_waiters_;
+          // Lazy min maintenance: when the last window waiter leaves the
+          // min resets; a surviving stale (too-small) min only causes an
+          // extra wake test, never a missed one.
+          if (window_waiters_ == 0) window_min_need_ = SIZE_MAX;
+          RecomputeWakeThresholdLocked();
+        }
+        const size_t at_wake = batch.size();
+        CollectMore(entry, &batch);
+        if (wait_status == std::cv_status::timeout) break;
+        if (batch.size() == at_wake) {
+          // Woken with depth satisfied but nothing for this method: the
+          // backlog is other methods' work. Dispatch the partial batch now
+          // rather than sitting on it until the window closes.
           break;
         }
       }
     }
-    if (batch.empty()) continue;  // Every claimed request had expired.
-    ++stats_.batches;
-    stats_.batched_rows += batch.size();
-    lock.unlock();
-    const size_t done = Dispatch(std::move(batch), &ws);
-    lock.lock();
-    stats_.completed += done;
+    Dispatch(&batch, &ws, &arena);
   }
 }
 
-void CfServer::CollectLocked(const MethodEntry* entry, size_t limit,
-                             std::vector<Pending>* batch) {
-  const auto now = std::chrono::steady_clock::now();
-  for (auto it = queue_.begin();
-       it != queue_.end() && batch->size() < limit;) {
-    if (it->entry != entry) {
-      ++it;
-      continue;
-    }
-    Pending pending = std::move(*it);
-    it = queue_.erase(it);
-    if (pending.deadline <= now) {
-      ++stats_.expired;
-      CfResponse response;
-      response.status = Status::DeadlineExceeded(
-          "request deadline passed before dispatch");
-      pending.promise.set_value(std::move(response));
-      continue;
-    }
-    batch->push_back(std::move(pending));
-  }
-  UpdateQueueGauge();
-}
-
-size_t CfServer::Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws) {
-  const MethodEntry* entry = batch.front().entry;
+void CfServer::Dispatch(std::vector<Pending>* batch, nn::InferWorkspace* ws,
+                        std::vector<CfResponse>* arena) {
+  const MethodEntry* entry = (*batch)[0].entry;
   trace::ScopedSpan span(trace::SpansActive()
                              ? "serve/dispatch/" + entry->key
                              : std::string());
 
+  const size_t rows = batch->size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_rows_.fetch_add(rows, std::memory_order_relaxed);
   if (batch_hist_ != nullptr) {
-    batch_hist_->Record(static_cast<double>(batch.size()));
+    batch_hist_->Record(static_cast<double>(rows));
   }
   if (wait_hist_ != nullptr) {
     const auto now = std::chrono::steady_clock::now();
-    for (const Pending& pending : batch) {
+    for (const Pending& pending : *batch) {
       wait_hist_->Record(
           std::chrono::duration<double, std::milli>(now - pending.enqueued)
               .count());
@@ -228,9 +398,9 @@ size_t CfServer::Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws) {
   // Assemble the batch into one 64-byte-aligned row-major matrix: the rows
   // feed the dispatched matmul kernels directly, and GenerateMany's
   // projection/constraint stages transpose it once into a ColumnBatch.
-  Matrix x(batch.size(), entry->width);
-  for (size_t r = 0; r < batch.size(); ++r) {
-    std::memcpy(x.data() + r * entry->width, batch[r].row.data(),
+  Matrix x(rows, entry->width);
+  for (size_t r = 0; r < rows; ++r) {
+    std::memcpy(x.data() + r * entry->width, (*batch)[r].row.data(),
                 entry->width * sizeof(float));
   }
 
@@ -244,63 +414,87 @@ size_t CfServer::Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws) {
     result = entry->method->GenerateMany(x, nullptr);
   }
 
-  // Resolve in reverse submission order: a client draining its futures
-  // oldest-first then blocks only until the *last* promise of the batch
-  // resolves — one futex wake per batch instead of one per row (set_value
-  // on a future nobody waits on yet is just an atomic store).
-  for (size_t i = batch.size(); i > 0; --i) {
-    const size_t r = i - 1;
-    CfResponse response;
+  // Batched resolution: stage every response in the contiguous arena first,
+  // then fulfill the promises in one tight loop with no scheduler state
+  // held (the arena is what lets the fulfillment happen lock-free; PR 5
+  // resolved under the scheduler's own bookkeeping).
+  //
+  // The loop runs newest-first, and that order is load-bearing: a client
+  // draining its futures oldest-first sleeps on the batch's OLDEST future,
+  // so resolving newest-first means every set_value but the last finds no
+  // waiter (a plain store on the shared state) and the batch costs exactly
+  // one futex wake. Resolving oldest-first inverts that pathologically on a
+  // single-core host: the first set_value wakes the client, wakeup
+  // preemption schedules it ahead of this loop, it drains the one ready
+  // future and blocks on the next — turning every remaining row into a
+  // futex wait/wake pair plus two context switches (measured at ~3x the
+  // whole dispatch cost).
+  arena->clear();
+  arena->resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    CfResponse& response = (*arena)[r];
     response.cf = result.cfs.Row(r);
     response.cf_raw = result.cfs_raw.Row(r);
     response.desired = result.desired[r];
     response.predicted = result.predicted[r];
-    batch[r].promise.set_value(std::move(response));
   }
-  return batch.size();
+  completed_.fetch_add(rows, std::memory_order_relaxed);
+  for (size_t r = rows; r-- > 0;) {
+    (*batch)[r].promise.set_value(std::move((*arena)[r]));
+  }
 }
 
 void CfServer::Shutdown() {
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    accepting_ = false;
-    stopping_ = true;
-    workers.swap(workers_);
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  accepting_.store(false, std::memory_order_seq_cst);
+  // Wait out submits that passed the gate before it closed; after this no
+  // new ring entries can appear.
+  while (inflight_submits_.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
   }
-  cv_.notify_all();
-  cv_batch_.notify_all();
-  for (std::thread& worker : workers) worker.join();
-  std::lock_guard<std::mutex> lock(mu_);
-  CancelQueueLocked();
+  stopping_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> park(park_mu_);
+    park_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // With workers the drain loop above leaves nothing behind; without (the
+  // backpressure/no-worker configurations) cancel everything still queued.
+  Pending pending;
+  while (TryTakeStagedAny(&pending)) CancelPending(std::move(pending));
+  while (queue_.TryPop(&pending)) CancelPending(std::move(pending));
+  UpdateQueueGauge();
 }
 
-void CfServer::CancelQueueLocked() {
-  while (!queue_.empty()) {
-    Pending pending = std::move(queue_.front());
-    queue_.pop_front();
-    ++stats_.cancelled;
-    CfResponse response;
-    response.status = Status::Cancelled("server shut down before dispatch");
-    pending.promise.set_value(std::move(response));
-  }
-  UpdateQueueGauge();
+void CfServer::CancelPending(Pending pending) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  CfResponse response;
+  response.status = Status::Cancelled("server shut down before dispatch");
+  pending.promise.set_value(std::move(response));
 }
 
 void CfServer::UpdateQueueGauge() const {
   if (depth_gauge_ != nullptr) {
-    depth_gauge_->Set(static_cast<double>(queue_.size()));
+    depth_gauge_->Set(static_cast<double>(
+        queue_.SizeApprox() + staged_count_.load(std::memory_order_relaxed)));
   }
 }
 
 CfServerStats CfServer::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  CfServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected_full = rejected_full_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 size_t CfServer::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queue_.SizeApprox() + staged_count_.load(std::memory_order_relaxed);
 }
 
 }  // namespace serve

@@ -7,16 +7,34 @@
 // batched pass through the frozen classifier + VAE Infer path, then fans
 // the per-row results back through per-request futures.
 //
+// The submit path is lock-free: producers push onto a bounded MPSC ring
+// (src/common/mpsc_queue.h) — a CAS claim plus a release store, no mutex,
+// no condvar, no syscall on the hot path. Workers drain the ring with a
+// spin-then-park loop: a short bounded spin rides out inter-arrival gaps,
+// then the worker registers itself in a wake-threshold word and sleeps on
+// a condvar, so an idle server still costs zero CPU. Producers consult
+// that single atomic after pushing and only take the park mutex when a
+// sleeper actually needs waking — under sustained load the threshold reads
+// SIZE_MAX and a submit never touches a lock.
+//
 // Contracts:
 //   * Row results are bitwise identical to a single-request Generate on the
 //     same method (the generation pass is row-local end to end); serve_test
 //     pins CFX_THREADS=1 and proves it.
-//   * The queue is bounded: a full queue rejects immediately with
+//   * The queue is bounded: a full ring rejects immediately with
 //     ResourceExhausted — it never blocks the producer and never grows.
+//     The bound is max_queue rounded up to the next power of two.
 //   * A request whose deadline passes before dispatch resolves with
 //     DeadlineExceeded instead of occupying batch rows.
 //   * Shutdown stops intake, lets running workers drain the queue, and
 //     cancels anything still pending (no workers) with Cancelled.
+//   * Promise resolution is batched: a dispatch stages every row's response
+//     in a contiguous arena, then fulfills the promises in submission order
+//     in one tight loop after all scheduler state is released. A client
+//     draining its futures oldest-first pays one futex wake per batch: by
+//     the time it runs after the first set_value, the rest of the batch is
+//     already resolved (set_value on a future nobody waits on is just an
+//     atomic store — the fulfillment loop outpaces a thread wakeup).
 //
 // Batching is only applied to methods that opt in via
 // CfMethod::SupportsBatchedGenerate; other methods fall back to the
@@ -26,6 +44,7 @@
 #ifndef CFX_SERVE_SERVER_H_
 #define CFX_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -35,11 +54,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "src/baselines/method.h"
 #include "src/common/metrics.h"
+#include "src/common/mpsc_queue.h"
 #include "src/common/status.h"
 #include "src/tensor/matrix.h"
 
@@ -50,7 +69,8 @@ namespace serve {
 struct CfServerConfig {
   /// Max rows coalesced into one dispatched batch.
   size_t max_batch = 32;
-  /// Bound on queued (not yet dispatched) requests; Submit rejects with
+  /// Bound on queued (not yet dispatched) requests, rounded up to the next
+  /// power of two (the submit ring's capacity); Submit rejects with
   /// ResourceExhausted once reached.
   size_t max_queue = 256;
   /// Dispatcher threads spawned by Start(). 0 is legal (nothing dispatches
@@ -92,7 +112,8 @@ struct CfServerStats {
   size_t batched_rows = 0;   ///< Rows across all dispatched batches.
 };
 
-/// Bounded-queue micro-batching scheduler over registered CfMethods.
+/// Bounded lock-free-submit micro-batching scheduler over registered
+/// CfMethods.
 ///
 /// Lifecycle: construct, RegisterMethod (all registration before Start),
 /// Start, Submit from any thread, Shutdown (also run by the destructor).
@@ -116,15 +137,17 @@ class CfServer {
   /// Enqueues a request. Always returns a future: on acceptance it resolves
   /// when a worker dispatches the batch; on rejection (unknown method, bad
   /// shape, full queue, stopped server) it is already resolved with the
-  /// error status. Never blocks on a full queue.
+  /// error status. Never blocks on a full queue, and never takes a lock
+  /// unless a parked worker needs waking.
   std::future<CfResponse> Submit(CfRequest request);
 
-  /// Stops intake, drains the queue through running workers, joins them,
-  /// and cancels anything still pending with Cancelled. Idempotent.
+  /// Stops intake, waits out in-flight submits, drains the queue through
+  /// running workers, joins them, and cancels anything still pending with
+  /// Cancelled. Idempotent.
   void Shutdown();
 
   CfServerStats stats() const;
-  /// Queued-but-undispatched requests right now.
+  /// Queued-but-undispatched requests right now (ring + staged overflow).
   size_t queue_depth() const;
   const CfServerConfig& config() const { return config_; }
 
@@ -136,65 +159,114 @@ class CfServer {
     size_t width = 0;  ///< Expected instance width (encoder output).
   };
 
-  /// A queued request: the promise rides along until resolution.
+  /// A queued request: the promise rides along until resolution. Travels
+  /// through the submit ring by value.
   struct Pending {
     Matrix row;
     const MethodEntry* entry = nullptr;
-    std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
     std::chrono::steady_clock::time_point enqueued;
     std::promise<CfResponse> promise;
   };
 
   void WorkerLoop();
-  /// Pulls same-method, unexpired requests out of queue_ into `batch`
-  /// (mu_ must be held). Expired ones are resolved in place.
-  void CollectLocked(const MethodEntry* entry, size_t limit,
-                     std::vector<Pending>* batch);
-  /// Runs one batch and resolves its promises. Returns the row count so the
-  /// caller can fold the completed-counter update into its own relock.
-  size_t Dispatch(std::vector<Pending> batch, nn::InferWorkspace* ws);
-  /// Resolves every queued request with Cancelled (mu_ must be held).
-  void CancelQueueLocked();
+  /// Blocks (spin-then-park) until a request is available or the server is
+  /// stopping with nothing left to drain; false means exit.
+  bool NextPending(Pending* out);
+  /// Non-blocking: moves same-method requests from the staged overflow and
+  /// the ring into `batch` up to max_batch. Expired requests are resolved
+  /// in place; other methods' ring entries are parked in staged_.
+  void CollectMore(const MethodEntry* entry, std::vector<Pending>* batch);
+  /// Takes the oldest staged request (any method). False when none.
+  bool TryTakeStagedAny(Pending* out);
+  /// Resolves `p` with DeadlineExceeded if its deadline has passed.
+  bool ResolveIfExpired(Pending* p);
+  /// Runs one batch and resolves its promises through the response arena.
+  void Dispatch(std::vector<Pending>* batch, nn::InferWorkspace* ws,
+                std::vector<CfResponse>* arena);
+  void CancelPending(Pending p);
+  /// Re-derives wake_threshold_ from the parked-waiter bookkeeping.
+  /// park_mu_ must be held.
+  void RecomputeWakeThresholdLocked();
   void UpdateQueueGauge() const;
+  /// Wakes parked workers if the queued depth satisfies the current wake
+  /// threshold. Called by producers after a push and by Shutdown.
+  void MaybeWakeWorkers();
 
   CfServerConfig config_;
-  std::unordered_map<std::string, MethodEntry> methods_;
+  /// Registered methods. A deque for reference stability: Pending entries
+  /// hold MethodEntry pointers across registration. Submit scans linearly —
+  /// servers register a handful of methods, and a short SSO-string scan is
+  /// cheaper than hashing on the per-request path.
+  std::deque<MethodEntry> methods_;
 
   /// Metric handles, resolved once at construction; all null when metrics
-  /// collection is disabled, which also skips the per-submit clock read
-  /// that only feeds the wait histogram.
+  /// collection is disabled, which keeps every instrumentation site at one
+  /// pointer check (and skips the per-submit clock read that only feeds
+  /// the wait histogram).
   metrics::Gauge* depth_gauge_ = nullptr;
   metrics::Histogram* batch_hist_ = nullptr;
   metrics::Histogram* wait_hist_ = nullptr;
+  metrics::Counter* submit_spins_ = nullptr;
+  metrics::Counter* park_count_ = nullptr;
 
-  mutable std::mutex mu_;
-  /// Idle workers wait here for any queued work; signalled per Submit.
-  std::condition_variable cv_;
-  /// A batch leader holding a partial batch waits here. Producers signal it
-  /// only once the queue could fill the batch (`collect_need_`), so the
-  /// leader is not woken — and the lock not bounced — on every arrival.
-  std::condition_variable cv_batch_;
-  /// Leaders currently window-waiting on cv_batch_ (guarded by mu_).
-  size_t collecting_ = 0;
-  /// Workers parked in the idle wait (guarded by mu_). Submit skips the
-  /// cv_ signal entirely when nobody is parked — at high offered load the
-  /// workers are always mid-dispatch and the queue feeds them on relock.
-  size_t idle_waiters_ = 0;
-  /// Smallest queue depth that would fill a waiting leader's batch; reset
-  /// when no leader waits. A heuristic: a stale value only delays a wake
-  /// until the leader's delay window expires, never loses a request.
-  size_t collect_need_ = SIZE_MAX;
-  std::deque<Pending> queue_;
-  bool accepting_ = true;
-  bool stopping_ = false;
-  bool started_ = false;
-  CfServerStats stats_;
+  /// The lock-free submit path. Capacity = max_queue rounded to 2^k.
+  MpscQueue<Pending> queue_;
+
+  /// Overflow for ring entries a batch leader popped but that belong to a
+  /// different method than the one it is coalescing. Only workers touch
+  /// this (producers never do), so its mutex is uncontended with one
+  /// worker and lightly contended otherwise. Staged entries are older than
+  /// anything in the ring, so workers drain them first — per-method FIFO
+  /// order is preserved.
+  mutable std::mutex staged_mu_;
+  std::deque<Pending> staged_;
+  std::atomic<size_t> staged_count_{0};
+
+  /// Parking lot. Workers that found the ring empty (after a bounded spin)
+  /// sleep on park_cv_; batch leaders holding a partial batch nap here too,
+  /// bounded by their delay window. wake_threshold_ is the producers' one
+  /// cheap test: the smallest queued depth any sleeper is waiting for
+  /// (1 for an idle worker, max_batch - collected for a window leader),
+  /// SIZE_MAX when nobody sleeps. A stale threshold only delays a window
+  /// leader until its delay expiry — it never strands an idle worker,
+  /// because threshold 1 is satisfied by the push that just happened.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  size_t idle_parked_ = 0;          ///< Guarded by park_mu_.
+  size_t window_waiters_ = 0;       ///< Guarded by park_mu_.
+  size_t window_min_need_ = SIZE_MAX;  ///< Guarded by park_mu_.
+  std::atomic<size_t> wake_threshold_{SIZE_MAX};
+
+  /// Intake gate. Submit: ++inflight, check accepting_, push, --inflight.
+  /// Shutdown: accepting_ = false, then spins until inflight drains — after
+  /// that no push can race the final cancel sweep (all loads/stores
+  /// seq_cst, so either the submit saw the closed gate or the shutdown
+  /// waits out its push).
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> inflight_submits_{0};
+
+  /// Lifecycle (Start/Shutdown) serialisation; never on the request path.
+  std::mutex lifecycle_mu_;
+  bool started_ = false;  ///< Guarded by lifecycle_mu_.
+  std::vector<std::thread> workers_;  ///< Guarded by lifecycle_mu_.
+
+  /// Stats are individually relaxed-atomic: producers and workers update
+  /// disjoint counters without a shared lock; stats() is a racy-but-
+  /// monotonic snapshot, exact once the server quiesces.
+  std::atomic<size_t> submitted_{0};
+  std::atomic<size_t> rejected_full_{0};
+  std::atomic<size_t> expired_{0};
+  std::atomic<size_t> cancelled_{0};
+  std::atomic<size_t> completed_{0};
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> batched_rows_{0};
 
   /// Serialises sequential-fallback dispatches: non-batchable methods
   /// mutate per-call state, so only one worker may run one at a time.
   std::mutex sequential_mu_;
-
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace serve

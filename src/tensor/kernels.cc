@@ -712,7 +712,19 @@ void TabularActivationForward(
     switch (level) {
 #if CFX_SIMD_X86
       case simd::Level::kAvx2:
-        simd::TabularActivationRowsAvx2(x, out, r0, r1, cols, softmax_blocks);
+        // Tall slices go columnar: the tabular blocks are only a few
+        // columns wide, so the row kernel's masked spans waste most of
+        // every vector. The two kernels are bitwise identical per row
+        // (see TabularActivationBatchAvx2), so the cutover is pure
+        // shape-based tuning — 16 rows is where the transpose pays for
+        // itself.
+        if (r1 - r0 >= 16) {
+          simd::TabularActivationBatchAvx2(x, out, r0, r1, cols,
+                                           softmax_blocks);
+        } else {
+          simd::TabularActivationRowsAvx2(x, out, r0, r1, cols,
+                                          softmax_blocks);
+        }
         return;
 #endif
 #if CFX_SIMD_NEON

@@ -734,6 +734,79 @@ void TabularActivationRowsAvx2(
   }
 }
 
+void TabularActivationBatchAvx2(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks) {
+  // The row kernel above burns most of its time on masked tiny-span work:
+  // tabular blocks are 4-6 columns wide, so every sigmoid span, exp and
+  // horizontal max/sum touches a fraction of a vector and pays full call
+  // and mask overhead per row. Transposing the slice turns all of it into
+  // full-lane vertical ops over 8 rows at a time. Bitwise parity with the
+  // row kernel (and therefore with the batch-of-1 serve path) holds
+  // because per lane the element-wise polynomials are the same code and
+  // max/sum walk the block in the same ascending-j order; a +-0 max
+  // discrepancy (std::max keeps the first equal operand, _mm256_max_ps
+  // the second) cannot surface — x - (+-0) == x for every x, and
+  // ExpPs(+0) == ExpPs(-0) == 1.
+  const size_t rows = r1 - r0;
+  const size_t rp = (rows + 7) & ~size_t{7};  // pad to full 8-row lanes
+  thread_local std::vector<float> scratch;
+  scratch.resize(rp * cols);
+  float* cm = scratch.data();  // column-major: column c at cm + c * rp
+
+  // Transpose in; tail-pad with zeros (padded lanes stay finite through
+  // sigmoid/exp/div and are never copied back).
+  for (size_t c = 0; c < cols; ++c) {
+    float* col = cm + c * rp;
+    for (size_t r = 0; r < rows; ++r) col[r] = x[(r0 + r) * cols + c];
+    for (size_t r = rows; r < rp; ++r) col[r] = 0.0f;
+  }
+
+  // Sigmoid the gap columns between softmax blocks (ascending offsets).
+  size_t at = 0;
+  auto sigmoid_cols = [&](size_t start, size_t end) {
+    for (size_t c = start; c < end; ++c) {
+      float* col = cm + c * rp;
+      for (size_t i = 0; i < rp; i += 8) {
+        _mm256_storeu_ps(col + i, SigmoidPs(_mm256_loadu_ps(col + i)));
+      }
+    }
+  };
+  for (const auto& [offset, width] : softmax_blocks) {
+    sigmoid_cols(at, offset);
+    at = offset + width;
+  }
+  sigmoid_cols(at, cols);
+
+  // Softmax blocks: per 8-row lane, vector max / shifted exp / ascending
+  // sum / div across the block's columns.
+  for (const auto& [offset, width] : softmax_blocks) {
+    for (size_t i = 0; i < rp; i += 8) {
+      __m256 vmax = _mm256_loadu_ps(cm + offset * rp + i);
+      for (size_t j = 1; j < width; ++j) {
+        vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(cm + (offset + j) * rp + i));
+      }
+      __m256 vsum = _mm256_setzero_ps();
+      for (size_t j = 0; j < width; ++j) {
+        float* col = cm + (offset + j) * rp + i;
+        const __m256 e = ExpPs(_mm256_sub_ps(_mm256_loadu_ps(col), vmax));
+        _mm256_storeu_ps(col, e);
+        vsum = _mm256_add_ps(vsum, e);
+      }
+      for (size_t j = 0; j < width; ++j) {
+        float* col = cm + (offset + j) * rp + i;
+        _mm256_storeu_ps(col, _mm256_div_ps(_mm256_loadu_ps(col), vsum));
+      }
+    }
+  }
+
+  // Transpose out.
+  for (size_t c = 0; c < cols; ++c) {
+    const float* col = cm + c * rp;
+    for (size_t r = 0; r < rows; ++r) out[(r0 + r) * cols + c] = col[r];
+  }
+}
+
 #pragma GCC pop_options
 #endif  // CFX_SIMD_X86
 

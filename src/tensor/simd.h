@@ -155,6 +155,18 @@ void AdamUpdateSpanAvx2(float* value, float* m, float* v, const float* grad,
 void TabularActivationRowsAvx2(
     const float* x, float* out, size_t r0, size_t r1, size_t cols,
     const std::vector<std::pair<size_t, size_t>>& softmax_blocks);
+
+/// Columnar formulation of TabularActivationRowsAvx2 for tall slices
+/// (16+ rows): the slice is transposed once into a thread-local scratch,
+/// every activation runs vertically over full 8-row lanes (no masked
+/// tails, no per-row horizontal max/sum), and the result is transposed
+/// back. Bitwise identical to the row kernel — each lane evaluates the
+/// same ExpPs/SigmoidPs polynomial per element and the same ascending-j
+/// max/sum association per row — so the dispatcher may pick either by
+/// shape alone.
+void TabularActivationBatchAvx2(
+    const float* x, float* out, size_t r0, size_t r1, size_t cols,
+    const std::vector<std::pair<size_t, size_t>>& softmax_blocks);
 #endif  // CFX_SIMD_X86
 
 // ---- NEON kernel targets ----------------------------------------------------

@@ -361,6 +361,103 @@ TEST(PredictionCacheTest, ConcurrentQueriesAreSerialisedAndCorrect) {
   EXPECT_EQ(cache.hits() + cache.misses(), 64u);
 }
 
+/// Injectable hash whose top bits (the shard index) come straight from the
+/// batch's first value: CacheBatch(i) lands in shard i for i < kNumShards,
+/// so tests can place batches in shards deterministically.
+uint64_t ShardSteeringHash(const Matrix& x) {
+  const uint64_t v = static_cast<uint64_t>(x.at(0, 0));
+  return (v << 60) | v;
+}
+
+TEST(PredictionCacheTest, ShardAccountingSumsToAggregates) {
+  Rng rng(0xCAC51);
+  BlackBoxClassifier clf(3, ClassifierConfig(), &rng);
+  clf.Freeze();
+  PredictionCache cache(&clf, &ShardSteeringHash);
+
+  // One miss then one hit in every shard.
+  for (size_t i = 0; i < PredictionCache::kNumShards; ++i) {
+    const Matrix batch = CacheBatch(static_cast<float>(i));
+    EXPECT_EQ(PredictionCache::ShardIndex(ShardSteeringHash(batch)), i);
+    (void)cache.Predict(batch);
+    (void)cache.Predict(batch);
+  }
+
+  size_t shard_hits = 0;
+  size_t shard_misses = 0;
+  for (size_t i = 0; i < PredictionCache::kNumShards; ++i) {
+    EXPECT_EQ(cache.shard_hits(i), 1u) << "shard " << i;
+    EXPECT_EQ(cache.shard_misses(i), 1u) << "shard " << i;
+    shard_hits += cache.shard_hits(i);
+    shard_misses += cache.shard_misses(i);
+  }
+  // The aggregate atomics and the per-shard (mutex-guarded) counters are
+  // updated together under the shard lock; once quiescent they must agree
+  // exactly.
+  EXPECT_EQ(shard_hits, cache.hits());
+  EXPECT_EQ(shard_misses, cache.misses());
+  EXPECT_EQ(cache.hits(), PredictionCache::kNumShards);
+  EXPECT_EQ(cache.misses(), PredictionCache::kNumShards);
+}
+
+TEST(PredictionCacheTest, ConcurrentMixedHitsAndMissesStayExact) {
+  Rng rng(0xCAC52);
+  BlackBoxClassifier clf(3, ClassifierConfig(), &rng);
+  clf.Freeze();
+  PredictionCache cache(&clf);  // real FNV-1a hash — batches spread shards
+
+  constexpr size_t kWarm = 4;
+  constexpr size_t kBatches = 8;  // 4 pre-warmed + 4 cold
+  std::vector<Matrix> batches;
+  std::vector<std::vector<int>> expected;
+  std::vector<const std::vector<int>*> warm_refs;
+  for (size_t i = 0; i < kBatches; ++i) {
+    batches.push_back(CacheBatch(static_cast<float>(i)));
+    expected.push_back(clf.Predict(batches.back()));
+  }
+  for (size_t i = 0; i < kWarm; ++i) {
+    warm_refs.push_back(&cache.Predict(batches[i]));
+  }
+  ASSERT_EQ(cache.misses(), kWarm);
+
+  // 4 threads, 64 queries, half against warm entries (pure hits) and half
+  // against cold ones (racing first-misses).
+  ThreadPool pool(4);
+  std::atomic<size_t> mismatches{0};
+  pool.ParallelFor(0, 64, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      const std::vector<int>& pred = cache.Predict(batches[i % kBatches]);
+      if (pred != expected[i % kBatches]) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Exact accounting even under racing cold misses: a racing recompute that
+  // finds the entry already inserted counts as a hit, so misses() is
+  // precisely the number of distinct batches and every query is counted
+  // exactly once.
+  EXPECT_EQ(cache.misses(), kBatches);
+  EXPECT_EQ(cache.hits() + cache.misses(), 64u + kWarm);
+  size_t shard_hits = 0;
+  size_t shard_misses = 0;
+  for (size_t i = 0; i < PredictionCache::kNumShards; ++i) {
+    shard_hits += cache.shard_hits(i);
+    shard_misses += cache.shard_misses(i);
+  }
+  EXPECT_EQ(shard_hits, cache.hits());
+  EXPECT_EQ(shard_misses, cache.misses());
+
+  // Every distinct batch was bloom-skipped at least once (its very first
+  // query predates any insert of its hash), and references handed out
+  // before the storm still point at the same stable storage.
+  EXPECT_GE(cache.bloom_skips(), kBatches);
+  for (size_t i = 0; i < kWarm; ++i) {
+    EXPECT_EQ(&cache.Predict(batches[i]), warm_refs[i]) << "batch " << i;
+  }
+}
+
 TEST(PredictionCacheDeathTest, UnfrozenClassifierAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   Rng rng(0xCAC50);

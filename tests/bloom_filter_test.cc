@@ -1,0 +1,93 @@
+// Tests for the lock-free bloom front of the PredictionCache: the
+// one-sided guarantee (no false negatives, ever), a false-positive-rate
+// bound at the cache's design load, parameter clamping, and concurrent
+// inserts.
+#include "src/common/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace cfx {
+namespace {
+
+TEST(BloomFilterTest, FreshFilterContainsNothing) {
+  BloomFilter bloom;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_FALSE(bloom.MaybeContains(k)) << "key " << k;
+  }
+}
+
+TEST(BloomFilterTest, NeverForgetsAnInsertedKey) {
+  // The cache's correctness (not just its speed) rides on this: a false
+  // negative would bypass the shard lookup and recompute — harmless — but a
+  // false negative AFTER insert would be a lying accounting path, so the
+  // guarantee must be absolute for observed inserts.
+  BloomFilter bloom;
+  for (uint64_t k = 1; k <= 5000; ++k) {
+    bloom.Add(k * 0x9E3779B97F4A7C15ULL);
+  }
+  for (uint64_t k = 1; k <= 5000; ++k) {
+    EXPECT_TRUE(bloom.MaybeContains(k * 0x9E3779B97F4A7C15ULL));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateStaysBounded) {
+  // Default geometry: 2^16 bits, 4 probes. At n = 2000 inserted keys the
+  // analytic FPR is under 2e-4; assert an order of magnitude of slack so
+  // the test pins the design point without being brittle.
+  BloomFilter bloom;
+  for (uint64_t k = 0; k < 2000; ++k) {
+    bloom.Add(k * 0x9E3779B97F4A7C15ULL + 1);
+  }
+  size_t false_positives = 0;
+  constexpr uint64_t kProbes = 100000;
+  for (uint64_t k = 0; k < kProbes; ++k) {
+    // Disjoint key universe from the inserts.
+    if (bloom.MaybeContains(k * 0xC2B2AE3D27D4EB4FULL + 12345)) {
+      ++false_positives;
+    }
+  }
+  EXPECT_LT(static_cast<double>(false_positives) / kProbes, 2e-3)
+      << false_positives << " false positives in " << kProbes;
+}
+
+TEST(BloomFilterTest, ClampsGeometryToSaneBounds) {
+  BloomFilter tiny(0, 0);
+  EXPECT_EQ(tiny.bit_count(), size_t{1} << 6);
+  EXPECT_EQ(tiny.num_probes(), 1u);
+  BloomFilter huge(63, 99);
+  EXPECT_EQ(huge.bit_count(), size_t{1} << 30);
+  EXPECT_EQ(huge.num_probes(), 16u);
+  BloomFilter dflt;
+  EXPECT_EQ(dflt.bit_count(), size_t{1} << 16);
+  EXPECT_EQ(dflt.num_probes(), 4u);
+}
+
+TEST(BloomFilterTest, ConcurrentAddsAreAllVisible) {
+  // fetch_or publication: racing Adds may interleave word-by-word but no
+  // bit may be lost. 4 threads insert disjoint ranges; afterwards every key
+  // must be present.
+  BloomFilter bloom;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 4000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bloom, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        bloom.Add((static_cast<uint64_t>(t) * kPerThread + i) *
+                  0x9E3779B97F4A7C15ULL);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (uint64_t k = 0; k < kThreads * kPerThread; ++k) {
+    ASSERT_TRUE(bloom.MaybeContains(k * 0x9E3779B97F4A7C15ULL)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace cfx

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and flag throughput regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.10] [--filter SUBSTR ...] [--require-release]
+
+Matches benchmarks by name between the two files. For each matched name the
+compared figure is items_per_second when both sides report it (higher is
+better), else real_time (lower is better). When a name appears several times
+(repetitions), the median is compared — one noisy rep never decides.
+
+Exit status: 1 when any matched benchmark regresses by more than --threshold
+(default 10%), or when --require-release is set and either file lacks
+release-build provenance; 0 otherwise. Names present in only one file are
+reported but never fail the comparison (new or retired benchmarks are not
+regressions).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def provenance(doc):
+    """(build_type, preset) recorded by bench_main.h, or 'unknown'."""
+    ctx = doc.get("context", {})
+    return (
+        str(ctx.get("cfx_build_type", ctx.get("library_build_type", "unknown"))).lower(),
+        str(ctx.get("cfx_build_preset", "unknown")),
+    )
+
+
+def series(doc, filters):
+    """name -> {'items_per_second': [...], 'real_time': [...]} over real runs."""
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev): we take our own median so
+        # files with and without repetitions compare uniformly.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if filters and not any(f in name for f in filters):
+            continue
+        entry = out.setdefault(name, {"items_per_second": [], "real_time": []})
+        for key in ("items_per_second", "real_time"):
+            if isinstance(bench.get(key), (int, float)):
+                entry[key].append(float(bench[key]))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression that fails (default 0.10)")
+    parser.add_argument("--filter", action="append", default=[],
+                        help="only compare benchmark names containing SUBSTR "
+                             "(repeatable; default: all)")
+    parser.add_argument("--require-release", action="store_true",
+                        help="fail unless both files record a release build")
+    args = parser.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+
+    failed = False
+    for label, doc in (("baseline", base_doc), ("candidate", cand_doc)):
+        build, preset = provenance(doc)
+        print(f"{label}: build_type={build} preset={preset}")
+        if build != "release":
+            msg = f"{label} was not built Release (build_type={build})"
+            if args.require_release:
+                print(f"FAIL: {msg}", file=sys.stderr)
+                failed = True
+            else:
+                print(f"WARNING: {msg} — numbers are not comparable",
+                      file=sys.stderr)
+
+    base = series(base_doc, args.filter)
+    cand = series(cand_doc, args.filter)
+
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  {name}: only in candidate (new benchmark)")
+            continue
+        if name not in cand:
+            print(f"  {name}: only in baseline (retired benchmark)")
+            continue
+        b, c = base[name], cand[name]
+        if b["items_per_second"] and c["items_per_second"]:
+            bm = statistics.median(b["items_per_second"])
+            cm = statistics.median(c["items_per_second"])
+            change = (cm - bm) / bm  # higher is better
+            metric = "items/s"
+        elif b["real_time"] and c["real_time"]:
+            bm = statistics.median(b["real_time"])
+            cm = statistics.median(c["real_time"])
+            change = (bm - cm) / bm  # lower is better; positive = improvement
+            metric = "real_time"
+        else:
+            print(f"  {name}: no comparable metric")
+            continue
+        verdict = "ok"
+        if change < -args.threshold:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"  {name}: {metric} {bm:.6g} -> {cm:.6g} "
+              f"({change:+.1%}) {verdict}")
+
+    if failed:
+        print(f"bench_compare: FAILED (threshold {args.threshold:.0%})",
+              file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

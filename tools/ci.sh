@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 CI: strict-warnings build + full ctest, then an ASan/UBSan job.
+# Tier-1 CI: strict-warnings build + full ctest, then an ASan/UBSan job,
+# then a TSan pass over the lock-free scheduler paths.
 #
-# Usage: tools/ci.sh [--skip-asan]
+# Usage: tools/ci.sh [--skip-asan] [--skip-tsan]
 #
 # Jobs:
 #   1. "ci" preset    — -Wall -Wextra -Werror, Release, full ctest suite
@@ -15,11 +16,22 @@
 #                       must parse and carry the instrumented series), and a
 #                       serve smoke (perf_serve; the scheduler's queue-depth
 #                       / batch-size / wait-time series must land in a
-#                       parseable metrics artifact).
+#                       parseable metrics artifact, and the fresh numbers
+#                       are diffed — non-blocking — against the committed
+#                       BENCH_perf_serve.json via tools/bench_compare.py).
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
 #                       ctest + the same smokes under the sanitizers.
+#   3. "tsan" preset  — thread sanitizer over the concurrency-heavy
+#                       binaries: serve_test (scheduler), mpsc_queue_test
+#                       (submit ring), bloom_filter_test (cache front) and
+#                       the concurrent PredictionCache tests.
 #
-# Both run the tier-1 suite under CFX_THREADS=4 so the pooled execution
+# Bench provenance: every BENCH_*.json committed at the repo root must come
+# from a Release build — the smokes here run from the Release "ci" preset
+# with CFX_BENCH_PRESET exported so bench_main.h embeds the provenance, and
+# check_bench_provenance warns loudly about any debug-built artifact.
+#
+# All jobs run the tier-1 suite under CFX_THREADS=4 so the pooled execution
 # paths are exercised regardless of the host's core count.
 set -euo pipefail
 
@@ -27,9 +39,11 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 skip_asan=0
+skip_tsan=0
 for arg in "$@"; do
   case "$arg" in
     --skip-asan) skip_asan=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -130,17 +144,17 @@ kernels_smoke() {
   done
 }
 
-# Serving smoke: a short perf_serve pass (single-request + batch-32 arms)
-# with metrics collection on. The scheduler's instrumented series —
-# queue-depth gauge, batch-size and wait-time histograms — must land in a
-# parseable metrics.json.
+# Serving smoke: a short perf_serve pass (single-request + batch-32 +
+# multi-producer arms) with metrics collection on. The scheduler's
+# instrumented series — queue-depth gauge, batch-size and wait-time
+# histograms, submit-spin counter — must land in a parseable metrics.json.
 serve_smoke() {
   local build_dir="$1"
   local metrics_json="$build_dir/bench_smoke_serve_metrics.json"
   rm -f "$metrics_json"
   CFX_THREADS=1 CFX_METRICS="$metrics_json" \
     "$build_dir/bench/perf_serve" \
-    --benchmark_filter='BM_ServeSingleRequest|BM_ServeBatched/32/' \
+    --benchmark_filter='BM_ServeSingleRequest|BM_ServeBatched/32/|BM_ServeMultiProducer/4/32/' \
     --benchmark_min_time=0.01 \
     --benchmark_out="$build_dir/bench_smoke_perf_serve.json" \
     --benchmark_out_format=json
@@ -152,7 +166,8 @@ serve_smoke() {
     echo "serve smoke: unparsable JSON in $metrics_json" >&2
     return 1
   fi
-  for key in 'serve/queue_depth' 'serve/batch_size' 'serve/wait_ms'; do
+  for key in 'serve/queue_depth' 'serve/batch_size' 'serve/wait_ms' \
+             'serve/submit_spins'; do
     if ! grep -q "$key" "$metrics_json"; then
       echo "serve smoke: $metrics_json lacks '$key'" >&2
       return 1
@@ -160,44 +175,127 @@ serve_smoke() {
   done
 }
 
-echo "==> [1/2] strict-warnings build (-Wall -Wextra -Werror)"
+# Provenance scan over the BENCH_*.json artifacts committed at the repo
+# root: any file whose recorded build type is not "release" gets a loud
+# warning (non-blocking — the artifact may predate the provenance fields,
+# but new recordings must come from a Release preset).
+check_bench_provenance() {
+  local bad=0
+  for artifact in BENCH_*.json; do
+    [[ -e "$artifact" ]] || continue
+    local build_type
+    build_type=$(python3 - "$artifact" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    ctx = json.load(fh).get("context", {})
+print(str(ctx.get("cfx_build_type", ctx.get("library_build_type", "unknown"))).lower())
+EOF
+    )
+    if [[ "$build_type" != "release" ]]; then
+      echo "" >&2
+      echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+      echo "!! WARNING: $artifact records build_type='$build_type'" >&2
+      echo "!! Its numbers came from an unoptimised build and are NOT" >&2
+      echo "!! valid perf measurements. Re-record with:" >&2
+      echo "!!   cmake --preset ci && cmake --build --preset ci" >&2
+      echo "!!   CFX_BENCH_PRESET=ci build-ci/bench/<perf_bin>" >&2
+      echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+      echo "" >&2
+      bad=1
+    fi
+  done
+  if (( bad )); then
+    echo "bench provenance: debug-built artifacts found (warnings above)" >&2
+  else
+    echo "bench provenance: all committed BENCH_*.json are Release-built"
+  fi
+  return 0  # warn-only: provenance gaps must be visible, not break CI
+}
+
+# Non-blocking serving-perf diff: the fresh Release smoke numbers against
+# the committed BENCH_perf_serve.json. A >10% median throughput drop prints
+# loudly but does not fail CI (single-run smokes are noisy; the committed
+# baseline is the authoritative recording).
+serve_bench_compare() {
+  local build_dir="$1"
+  if [[ ! -s BENCH_perf_serve.json ]]; then
+    echo "serve compare: no committed BENCH_perf_serve.json baseline; skipping"
+    return 0
+  fi
+  if ! python3 tools/bench_compare.py \
+      BENCH_perf_serve.json "$build_dir/bench_smoke_perf_serve.json" \
+      --filter BM_ServeSingleRequest --filter BM_ServeBatched; then
+    echo "" >&2
+    echo "WARNING: serving throughput regressed vs committed baseline" >&2
+    echo "(non-blocking; see tools/bench_compare.py output above)" >&2
+  fi
+}
+
+echo "==> [1/3] strict-warnings build (-Wall -Wextra -Werror)"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
 # SIMD dispatch matrix: the full tier-1 suite under the scalar fallback and
 # the auto-detected vector level — the bitwise determinism contracts must
 # hold (and every test pass) on both code paths.
 for simd_level in scalar auto; do
-  echo "==> [1/2] tier-1 suite (CFX_SIMD=$simd_level)"
+  echo "==> [1/3] tier-1 suite (CFX_SIMD=$simd_level)"
   CFX_THREADS=4 CFX_SIMD="$simd_level" ctest --preset ci -j "$jobs"
 done
-echo "==> [1/2] kernel-dispatch smoke (perf_kernels level sweep)"
+# Smokes below run the Release "ci" binaries; export the preset so every
+# bench JSON they emit carries its provenance.
+export CFX_BENCH_PRESET=ci
+echo "==> [1/3] bench provenance scan (committed BENCH_*.json)"
+check_bench_provenance
+echo "==> [1/3] kernel-dispatch smoke (perf_kernels level sweep)"
 kernels_smoke build-ci
-echo "==> [1/2] bench smoke (perf_tsne + perf_inference, minimal iterations)"
+echo "==> [1/3] bench smoke (perf_tsne + perf_inference, minimal iterations)"
 bench_smoke build-ci
-echo "==> [1/2] bundle round-trip smoke"
+echo "==> [1/3] bundle round-trip smoke"
 bundle_smoke build-ci
-echo "==> [1/2] metrics/trace smoke (CFX_METRICS + CFX_TRACE artifacts)"
+echo "==> [1/3] metrics/trace smoke (CFX_METRICS + CFX_TRACE artifacts)"
 metrics_smoke build-ci
-echo "==> [1/2] serve smoke (perf_serve + scheduler metrics artifact)"
+echo "==> [1/3] serve smoke (perf_serve + scheduler metrics artifact)"
 serve_smoke build-ci
+echo "==> [1/3] serving-perf diff vs committed baseline (non-blocking)"
+serve_bench_compare build-ci
 
 if [[ "$skip_asan" -eq 0 ]]; then
-  echo "==> [2/2] ASan/UBSan build"
+  echo "==> [2/3] ASan/UBSan build"
+  export CFX_BENCH_PRESET=asan
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
   CFX_THREADS=4 ASAN_OPTIONS=detect_leaks=0 ctest --preset asan -j "$jobs"
-  echo "==> [2/2] kernel-dispatch smoke under sanitizers"
+  echo "==> [2/3] kernel-dispatch smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 kernels_smoke build-asan
-  echo "==> [2/2] bench smoke under sanitizers"
+  echo "==> [2/3] bench smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 bench_smoke build-asan
-  echo "==> [2/2] bundle round-trip smoke under sanitizers"
+  echo "==> [2/3] bundle round-trip smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 bundle_smoke build-asan
-  echo "==> [2/2] metrics/trace smoke under sanitizers"
+  echo "==> [2/3] metrics/trace smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 metrics_smoke build-asan
-  echo "==> [2/2] serve smoke under sanitizers"
+  echo "==> [2/3] serve smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 serve_smoke build-asan
 else
-  echo "==> [2/2] ASan/UBSan build skipped (--skip-asan)"
+  echo "==> [2/3] ASan/UBSan build skipped (--skip-asan)"
+fi
+
+if [[ "$skip_tsan" -eq 0 ]]; then
+  echo "==> [3/3] TSan build (lock-free scheduler + cache paths)"
+  cmake --preset tsan
+  # Only the concurrency-relevant binaries: a full TSan suite would retread
+  # single-threaded code at ~10x cost for no added coverage.
+  cmake --build --preset tsan -j "$jobs" \
+    --target serve_test mpsc_queue_test bloom_filter_test baselines_test
+  echo "==> [3/3] serve_test under TSan"
+  CFX_THREADS=1 ./build-tsan/tests/serve_test
+  echo "==> [3/3] mpsc_queue_test under TSan"
+  ./build-tsan/tests/mpsc_queue_test
+  echo "==> [3/3] bloom_filter_test under TSan"
+  ./build-tsan/tests/bloom_filter_test
+  echo "==> [3/3] concurrent PredictionCache tests under TSan"
+  ./build-tsan/tests/baselines_test --gtest_filter='PredictionCache*'
+else
+  echo "==> [3/3] TSan build skipped (--skip-tsan)"
 fi
 
 echo "==> CI passed"
