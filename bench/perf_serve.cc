@@ -9,14 +9,17 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_main.h"
 
+#include "src/core/artifact.h"
 #include "src/core/experiment.h"
 #include "src/core/generator.h"
+#include "src/serve/registry.h"
 #include "src/serve/server.h"
 
 namespace cfx {
@@ -50,9 +53,8 @@ FeasibleCfGenerator* GetGenerator() {
   return generator;
 }
 
-/// Tiles test rows cyclically into a batch of exactly `rows` rows.
-Matrix TiledBatch(size_t rows) {
-  const Matrix& src = GetExperiment()->x_test();
+/// Tiles rows of `src` cyclically into a batch of exactly `rows` rows.
+Matrix TiledFrom(const Matrix& src, size_t rows) {
   Matrix out(rows, src.cols());
   for (size_t r = 0; r < rows; ++r) {
     std::memcpy(out.data() + r * out.cols(),
@@ -60,6 +62,46 @@ Matrix TiledBatch(size_t rows) {
                 src.cols() * sizeof(float));
   }
   return out;
+}
+
+/// Tiles test rows cyclically into a batch of exactly `rows` rows.
+Matrix TiledBatch(size_t rows) {
+  return TiledFrom(GetExperiment()->x_test(), rows);
+}
+
+constexpr size_t kMaxBenchModels = 4;
+
+/// Bundle paths for the multi-model arms: four law pipelines (small scale,
+/// two generator epochs, distinct seeds) trained and saved once for the
+/// whole binary. Cold restore of one of these is ~3ms, so residency churn
+/// is measurable without minutes of setup cost.
+const std::vector<std::string>& BenchBundles() {
+  static const std::vector<std::string>* paths = [] {
+    auto* out = new std::vector<std::string>;
+    for (size_t m = 0; m < kMaxBenchModels; ++m) {
+      std::string path =
+          "/tmp/cfx_perf_serve_m" + std::to_string(m) + ".cfxb";
+      RunConfig run_config;
+      run_config.scale = Scale::kSmall;
+      run_config.seed = 71 + m;
+      auto experiment = Experiment::Create(DatasetId::kLaw, run_config);
+      CFX_CHECK_OK(experiment.status());
+      GeneratorConfig gen_config = GeneratorConfig::FromDataset(
+          (*experiment)->info(), ConstraintMode::kUnary);
+      gen_config.epochs = 2;
+      gen_config.max_restarts = 0;
+      gen_config.min_probe_validity = 0.0;
+      gen_config.min_probe_feasibility = 0.0;
+      FeasibleCfGenerator generator((*experiment)->method_context(),
+                                    gen_config);
+      CFX_CHECK_OK(generator.Fit((*experiment)->x_train(),
+                                 (*experiment)->y_train()));
+      CFX_CHECK_OK(SavePipelineBundle(path, experiment->get(), &generator));
+      out->push_back(std::move(path));
+    }
+    return out;
+  }();
+  return *paths;
 }
 
 void RequireBitwise(const Matrix& a, const Matrix& b, const char* what) {
@@ -220,6 +262,129 @@ void BM_ServeMultiProducer(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeMultiProducer)
     ->ArgsProduct({{1, 2, 4}, {1, 8, 32}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+serve::CfRequest MakeModelRequest(const Matrix& x, size_t row,
+                                  const std::string& model) {
+  serve::CfRequest request = MakeRequest(x, row);
+  request.model = model;
+  return request;
+}
+
+void BM_ServeMultiModel(benchmark::State& state) {
+  // `m` registered bundles served through one scheduler at batch `n`,
+  // requests interleaved round-robin across models so every window sees
+  // multi-lane traffic. The registry cap (default 4) keeps all arms
+  // resident: this measures per-model lane bookkeeping and fair dispatch,
+  // not cold-start churn — BM_ServeEvictionChurn covers that.
+  const size_t models = static_cast<size_t>(state.range(0));
+  const size_t n = static_cast<size_t>(state.range(1));
+  constexpr size_t kInflightBatches = 2;
+  const size_t total = models * n * kInflightBatches;
+  const std::vector<std::string>& bundles = BenchBundles();
+  serve::ModelRegistry registry;
+  for (size_t m = 0; m < models; ++m) {
+    CFX_CHECK_OK(registry.Register("m" + std::to_string(m), bundles[m]));
+  }
+  serve::CfServer server(MakeConfig(n), &registry);
+  server.Start();
+
+  // All models share the law schema, so one instance pool (model m0's test
+  // split) feeds every lane. Contract check before timing: the routed
+  // response is bitwise identical to the pinned pipeline's own dispatch.
+  auto pin = registry.Acquire("m0");
+  CFX_CHECK_OK(pin.status());
+  const Matrix x = TiledFrom((*pin)->experiment()->x_test(), total);
+  serve::CfResponse first =
+      server.Submit(MakeModelRequest(x, 0, "m0")).get();
+  CFX_CHECK_OK(first.status);
+  nn::InferWorkspace check_ws;
+  CfResult direct = (*pin)->FindMethod("ours")->method->GenerateMany(
+      x.SliceRows(0, 1), &check_ws);
+  RequireBitwise(first.cf, direct.cfs, "multi-model cf");
+  pin->reset();
+
+  std::vector<std::future<serve::CfResponse>> futures;
+  futures.reserve(total);
+  for (auto _ : state) {
+    futures.clear();
+    for (size_t r = 0; r < total; ++r) {
+      futures.push_back(server.Submit(
+          MakeModelRequest(x, r, "m" + std::to_string(r % models))));
+    }
+    for (std::future<serve::CfResponse>& future : futures) {
+      serve::CfResponse response = future.get();
+      benchmark::DoNotOptimize(response.predicted);
+    }
+  }
+  serve::CfServerStats stats = server.stats();
+  serve::ModelRegistryStats reg_stats = registry.stats();
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() * total);
+  if (stats.batches > 0) {
+    state.counters["avg_batch"] =
+        static_cast<double>(stats.batched_rows) /
+        static_cast<double>(stats.batches);
+  }
+  state.counters["resident"] = static_cast<double>(reg_stats.resident);
+  state.counters["coldstarts"] = static_cast<double>(reg_stats.coldstarts);
+}
+BENCHMARK(BM_ServeMultiModel)
+    ->ArgsProduct({{1, 2, 4}, {1, 8, 32}})
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ServeEvictionChurn(benchmark::State& state) {
+  // Worst-case residency pressure: two models through a cap-1 registry.
+  // Requests arrive in model-sized blocks (a block per model per batch), so
+  // every block's Acquire evicts the other model and pays a cold start.
+  // The measured throughput is the floor a mis-sized cap costs; the
+  // evictions counter proves the churn was real, and completion proves
+  // eviction never tears a pipeline out from under its in-flight batch.
+  constexpr size_t kModels = 2;
+  constexpr size_t n = 8;
+  constexpr size_t kBlocksPerModel = 2;
+  const size_t total = kModels * n * kBlocksPerModel;
+  const std::vector<std::string>& bundles = BenchBundles();
+  serve::ModelRegistryConfig reg_config;
+  reg_config.max_resident = 1;
+  serve::ModelRegistry registry(reg_config);
+  for (size_t m = 0; m < kModels; ++m) {
+    CFX_CHECK_OK(registry.Register("m" + std::to_string(m), bundles[m]));
+  }
+  serve::CfServer server(MakeConfig(n), &registry);
+  server.Start();
+
+  auto pin = registry.Acquire("m0");
+  CFX_CHECK_OK(pin.status());
+  const Matrix x = TiledFrom((*pin)->experiment()->x_test(), total);
+  pin->reset();
+
+  const uint64_t coldstarts_before = registry.stats().coldstarts;
+  std::vector<std::future<serve::CfResponse>> futures;
+  futures.reserve(total);
+  for (auto _ : state) {
+    futures.clear();
+    for (size_t r = 0; r < total; ++r) {
+      futures.push_back(server.Submit(
+          MakeModelRequest(x, r, "m" + std::to_string((r / n) % kModels))));
+    }
+    for (std::future<serve::CfResponse>& future : futures) {
+      serve::CfResponse response = future.get();
+      CFX_CHECK_OK(response.status);
+      benchmark::DoNotOptimize(response.predicted);
+    }
+  }
+  serve::ModelRegistryStats reg_stats = registry.stats();
+  server.Shutdown();
+  state.SetItemsProcessed(state.iterations() * total);
+  state.counters["evictions"] = static_cast<double>(reg_stats.evictions);
+  state.counters["coldstarts_per_iter"] =
+      static_cast<double>(reg_stats.coldstarts - coldstarts_before) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ServeEvictionChurn)
     ->UseRealTime()
     ->Unit(benchmark::kMicrosecond);
 

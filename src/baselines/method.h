@@ -131,8 +131,17 @@ class PredictionCache {
   metrics::Counter* bloom_skip_counter_ = nullptr;
 };
 
-/// Everything a CF method may depend on. The encoder and classifier are
-/// owned by the experiment and outlive every method.
+/// Everything a CF method may depend on.
+///
+/// Lifetime contract: the encoder, classifier and prediction cache are
+/// owned by the Experiment, and whoever owns that Experiment must keep it
+/// alive for as long as any method built on this context runs. In the
+/// evaluation harness that owner is the caller's stack; in the serving
+/// layer it is a refcounted serve::PipelineHandle (src/serve/registry.h)
+/// whose pins guarantee the pipeline — including the cache this context
+/// points into — outlives every queued request, even across a registry
+/// eviction. Each pipeline carries its own sharded PredictionCache, so
+/// methods of different models never share (or contend on) a memo.
 struct MethodContext {
   const TabularEncoder* encoder = nullptr;
   BlackBoxClassifier* classifier = nullptr;

@@ -27,9 +27,8 @@ StatusOr<DatasetId> DatasetFromName(const std::string& name) {
                                  "'");
 }
 
-/// Canonical textual fingerprint of a schema. Compared byte-for-byte on
-/// restore, so any drift in feature names, types, ordering, category sets,
-/// immutability flags or ranges is caught as skew.
+}  // namespace
+
 std::string SchemaFingerprint(const Schema& schema) {
   std::ostringstream out;
   for (const FeatureSpec& f : schema.features()) {
@@ -43,6 +42,8 @@ std::string SchemaFingerprint(const Schema& schema) {
   for (const std::string& cls : schema.target_classes()) out << '|' << cls;
   return out.str();
 }
+
+namespace {
 
 std::vector<Matrix> ParameterValues(const std::vector<ag::Var>& params) {
   std::vector<Matrix> values;
@@ -350,6 +351,55 @@ StatusOr<RestoredPipeline> RestorePipelineBundle(const std::string& path) {
   restored.experiment = std::move(experiment);
   restored.generator = std::move(generator);
   return restored;
+}
+
+StatusOr<PipelineBundleInfo> ProbePipelineBundle(const std::string& path) {
+  auto bundle_or = nn::Bundle::ProbeFile(
+      path, {"pipeline.format", "pipeline.dataset", "pipeline.scale",
+             "pipeline.seed", "schema.fingerprint", "encoder.width"});
+  if (!bundle_or.ok()) return bundle_or.status();
+  const nn::Bundle& bundle = *bundle_or;
+
+  auto format = bundle.GetString("pipeline.format");
+  if (!format.ok()) return format.status();
+  if (*format != kPipelineFormat) {
+    return Status::InvalidArgument("'" + path + "' is a bundle of kind '" +
+                                   *format + "', not a pipeline");
+  }
+
+  auto dataset_name = bundle.GetString("pipeline.dataset");
+  if (!dataset_name.ok()) return dataset_name.status();
+  auto id = DatasetFromName(*dataset_name);
+  if (!id.ok()) return id.status();
+  auto scale_name = bundle.GetString("pipeline.scale");
+  if (!scale_name.ok()) return scale_name.status();
+  auto scale = ScaleFromName(*scale_name);
+  if (!scale.ok()) return scale.status();
+  auto seed_str = bundle.GetString("pipeline.seed");
+  if (!seed_str.ok()) return seed_str.status();
+  auto fingerprint = bundle.GetString("schema.fingerprint");
+  if (!fingerprint.ok()) return fingerprint.status();
+  auto width = bundle.GetScalar("encoder.width");
+  if (!width.ok()) return width.status();
+
+  // The schema is pure metadata — building it costs microseconds, no data
+  // synthesis — so the probe can reject cross-build skew up front instead
+  // of burning a cold start on a bundle Restore would refuse anyway.
+  const Schema schema = CreateGenerator(*id)->MakeSchema();
+  if (*fingerprint != SchemaFingerprint(schema)) {
+    return Status::FailedPrecondition(
+        "bundle schema does not match this build's '" + *dataset_name +
+        "' schema (version skew)");
+  }
+
+  PipelineBundleInfo info;
+  info.id = *id;
+  info.dataset = *dataset_name;
+  info.scale = *scale_name;
+  info.seed = std::strtoull(seed_str->c_str(), nullptr, 10);
+  info.schema_fingerprint = *fingerprint;
+  info.encoded_width = static_cast<size_t>(*width);
+  return info;
 }
 
 StatusOr<RestoredPipeline> Experiment::Restore(const std::string& path) {

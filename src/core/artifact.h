@@ -13,6 +13,7 @@
 #ifndef CFX_CORE_ARTIFACT_H_
 #define CFX_CORE_ARTIFACT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -26,6 +27,32 @@ struct RestoredPipeline {
   std::unique_ptr<Experiment> experiment;
   std::unique_ptr<FeasibleCfGenerator> generator;
 };
+
+/// Canonical textual fingerprint of a schema: feature names, types,
+/// immutability flags, ranges, category sets and target classes in order.
+/// Stored in every pipeline bundle and compared byte-for-byte on restore
+/// and registry registration, so any schema drift is caught as skew.
+std::string SchemaFingerprint(const Schema& schema);
+
+/// Identity metadata read from a pipeline bundle's header by
+/// ProbePipelineBundle — everything a model registry needs to admit or
+/// reject a bundle, none of the weights.
+struct PipelineBundleInfo {
+  DatasetId id = DatasetId::kAdult;
+  std::string dataset;             ///< e.g. "adult".
+  std::string scale;               ///< "small" or "paper".
+  uint64_t seed = 0;
+  std::string schema_fingerprint;  ///< Matches this build (validated).
+  size_t encoded_width = 0;
+};
+
+/// Validates `path` as a servable pipeline bundle without loading weights:
+/// walks the full section table (so truncation/corruption/version skew
+/// anywhere still fails), materialises only the small identity sections,
+/// checks the format tag, dataset and scale names, and compares the stored
+/// schema fingerprint against the one this build computes for that dataset.
+/// Costs a schema construction, not a dataset synthesis or a weight load.
+StatusOr<PipelineBundleInfo> ProbePipelineBundle(const std::string& path);
 
 /// Writes the trained pipeline (experiment's classifier + the generator) to
 /// `path` as one versioned bundle. The classifier must be frozen and the

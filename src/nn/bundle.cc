@@ -205,6 +205,106 @@ StatusOr<Bundle> Bundle::ReadFile(const std::string& path) {
   return bundle;
 }
 
+StatusOr<Bundle> Bundle::ProbeFile(const std::string& path,
+                                   const std::vector<std::string>& keep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open bundle '" + path + "'");
+  in.seekg(0, std::ios::end);
+  if (!in.good()) return Status::Internal("seek error on '" + path + "'");
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  // Every length is validated against the bytes left in the file before it
+  // is consumed, so a lying section header fails here instead of seeking
+  // past EOF or allocating the claimed size.
+  uint64_t pos = 0;
+  auto read_raw = [&](void* dst, uint64_t n) -> Status {
+    if (n > file_size - pos) {
+      return Status::InvalidArgument("truncated bundle file '" + path + "'");
+    }
+    if (n != 0) {
+      in.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+      if (!in.good()) return Status::Internal("read error on '" + path + "'");
+    }
+    pos += n;
+    return Status::OK();
+  };
+  auto read_str = [&](uint64_t n, std::string* dst) -> Status {
+    if (n > file_size - pos) {
+      return Status::InvalidArgument("truncated bundle file '" + path + "'");
+    }
+    dst->resize(n);
+    if (n != 0) {
+      in.read(dst->data(), static_cast<std::streamsize>(n));
+      if (!in.good()) return Status::Internal("read error on '" + path + "'");
+    }
+    pos += n;
+    return Status::OK();
+  };
+
+  char magic[4];
+  CFX_RETURN_IF_ERROR(read_raw(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a cfx bundle (bad magic)");
+  }
+
+  Bundle bundle;
+  CFX_RETURN_IF_ERROR(read_raw(&bundle.version_, sizeof(bundle.version_)));
+  if (bundle.version_ > kBundleVersion) {
+    return Status::FailedPrecondition(StrFormat(
+        "bundle '%s' has format version %u; this build reads <= %u "
+        "(version skew)",
+        path.c_str(), bundle.version_, kBundleVersion));
+  }
+  if (bundle.version_ == 0) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' has invalid version 0");
+  }
+
+  const std::unordered_set<std::string> want(keep.begin(), keep.end());
+  uint32_t count = 0;
+  CFX_RETURN_IF_ERROR(read_raw(&count, sizeof(count)));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t key_len = 0;
+    CFX_RETURN_IF_ERROR(read_raw(&key_len, sizeof(key_len)));
+    std::string key;
+    CFX_RETURN_IF_ERROR(read_str(key_len, &key));
+    Section section;
+    CFX_RETURN_IF_ERROR(read_raw(&section.type, sizeof(section.type)));
+    uint64_t payload_len = 0;
+    CFX_RETURN_IF_ERROR(read_raw(&payload_len, sizeof(payload_len)));
+    if (want.count(key) != 0) {
+      CFX_RETURN_IF_ERROR(read_str(payload_len, &section.payload));
+    } else {
+      if (payload_len > file_size - pos) {
+        return Status::InvalidArgument("truncated bundle file '" + path +
+                                       "'");
+      }
+      in.seekg(static_cast<std::streamoff>(payload_len), std::ios::cur);
+      if (!in.good()) return Status::Internal("seek error on '" + path + "'");
+      pos += payload_len;
+      section.materialised = false;
+    }
+    if (!bundle.sections_.emplace(key, std::move(section)).second) {
+      return Status::InvalidArgument("bundle '" + path +
+                                     "' repeats section '" + key + "'");
+    }
+  }
+
+  char marker[4];
+  CFX_RETURN_IF_ERROR(read_raw(marker, sizeof(marker)));
+  if (std::memcmp(marker, kEndMarker, sizeof(kEndMarker)) != 0) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' is corrupted (bad end marker)");
+  }
+  if (pos != file_size) {
+    return Status::InvalidArgument("bundle '" + path +
+                                   "' has trailing bytes after end marker");
+  }
+  return bundle;
+}
+
 bool Bundle::Has(const std::string& key) const {
   return sections_.count(key) > 0;
 }
@@ -219,6 +319,11 @@ StatusOr<const Bundle::Section*> Bundle::Find(const std::string& key,
     return Status::InvalidArgument(StrFormat(
         "bundle section '%s' is a %s, wanted a %s", key.c_str(),
         TypeName(it->second.type), TypeName(type)));
+  }
+  if (!it->second.materialised) {
+    return Status::FailedPrecondition(
+        "bundle section '" + key +
+        "' was skipped by the header probe; reopen with ReadFile");
   }
   return &it->second;
 }

@@ -67,6 +67,18 @@ class Bundle {
   /// magic, newer version, overrunning section) fails without partial state.
   static StatusOr<Bundle> ReadFile(const std::string& path);
 
+  /// Header-only view of `path`: walks the full section table — magic,
+  /// version, every section header and the end marker are validated with
+  /// the same strictness as ReadFile — but materialises payloads only for
+  /// the keys in `keep`; every other payload (notably multi-megabyte
+  /// weight sections) is seeked over, never read into memory. Truncation,
+  /// corruption and version skew anywhere in the structure still fail with
+  /// a clear Status, because section lengths are checked against the file
+  /// size before each seek. Get* on a skipped section returns an error
+  /// naming the probe, never stale bytes.
+  static StatusOr<Bundle> ProbeFile(const std::string& path,
+                                    const std::vector<std::string>& keep);
+
   bool Has(const std::string& key) const;
   StatusOr<std::string> GetString(const std::string& key) const;
   StatusOr<double> GetScalar(const std::string& key) const;
@@ -81,6 +93,9 @@ class Bundle {
   struct Section {
     uint8_t type;
     std::string payload;
+    /// False for a section ProbeFile seeked over without reading; Get* on
+    /// such a section is an error rather than an empty payload.
+    bool materialised = true;
   };
 
   StatusOr<const Section*> Find(const std::string& key, uint8_t type) const;

@@ -1,0 +1,220 @@
+#include "src/serve/registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cfx {
+namespace serve {
+
+Status PipelineHandle::AddMethod(const std::string& key, CfMethod* method) {
+  if (method == nullptr) {
+    return Status::InvalidArgument("method '" + key + "' is null");
+  }
+  PipelineMethod entry;
+  entry.method = method;
+  entry.key = key;
+  entry.span_label = model_id_.empty()
+                         ? "serve/dispatch/" + key
+                         : "serve/dispatch/" + model_id_ + "/" + key;
+  entry.dispatched = metrics::GetCounter(entry.span_label);
+  entry.batchable = method->SupportsBatchedGenerate();
+  entry.width = method->context().encoder->encoded_width();
+  if (entry.batchable) {
+    // Warm-up: Sequential builds its inference plan (and the tabular head
+    // its softmax layout) lazily on the first Infer — a mutation. Run one
+    // throwaway row now so concurrent workers only ever read.
+    Matrix probe(1, entry.width);
+    nn::InferWorkspace ws;
+    (void)method->GenerateMany(probe, &ws);
+  }
+  for (PipelineMethod& existing : methods_) {
+    if (existing.key == key) {
+      existing = std::move(entry);  // re-registration replaces in place
+      return Status::OK();
+    }
+  }
+  methods_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status PipelineHandle::AddMethod(const std::string& key,
+                                 std::unique_ptr<CfMethod> method) {
+  CFX_RETURN_IF_ERROR(AddMethod(key, method.get()));
+  owned_methods_.push_back(std::move(method));
+  return Status::OK();
+}
+
+Status PipelineHandle::RegisterDefaultMethods() {
+  if (generator_ == nullptr) {
+    return Status::FailedPrecondition(
+        "pipeline '" + model_id_ + "' owns no generator to register");
+  }
+  return AddMethod("ours", generator_.get());
+}
+
+const PipelineMethod* PipelineHandle::FindMethod(const std::string& key) const {
+  for (const PipelineMethod& entry : methods_) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+ModelRegistry::ModelRegistry(const ModelRegistryConfig& config)
+    : config_(config) {
+  if (config_.max_resident == 0) config_.max_resident = 1;
+  resident_gauge_ = metrics::GetGauge("registry/resident");
+  eviction_counter_ = metrics::GetCounter("registry/evictions");
+  coldstart_hist_ = metrics::GetHistogram("registry/coldstart_ms");
+}
+
+Status ModelRegistry::Register(const std::string& model_id,
+                               const std::string& path,
+                               MethodFactory factory) {
+  if (model_id.empty()) {
+    return Status::InvalidArgument("model id must be non-empty");
+  }
+  // The probe reads section headers only — admission costs microseconds
+  // and never touches weight bytes, so a corrupt or skewed bundle is
+  // rejected here instead of at first traffic.
+  auto info = ProbePipelineBundle(path);
+  if (!info.ok()) return info.status();
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(model_id);
+  if (it == entries_.end()) {
+    it = entries_.emplace(model_id, std::make_unique<Entry>()).first;
+  } else if (it->second->handle != nullptr) {
+    // Re-registration points the id at a (possibly different) bundle: the
+    // stale resident pipeline must not serve another request. In-flight
+    // pins on it still finish safely.
+    it->second->handle.reset();
+    --resident_;
+    UpdateResidentGaugeLocked();
+  }
+  Entry* entry = it->second.get();
+  entry->path = path;
+  entry->info = std::move(*info);
+  entry->factory = std::move(factory);
+  CFX_LOG(Info) << "registry: admitted model '" << model_id << "' ("
+                << entry->info.dataset << " @ " << entry->info.scale
+                << ", seed " << entry->info.seed << ") from '" << path << "'";
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<PipelineHandle>> ModelRegistry::Acquire(
+    const std::string& model_id) {
+  const uint64_t now = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    // Hot path: already resident. Shared lock, one map find, one relaxed
+    // LRU stamp, one shared_ptr copy — concurrent submitters for resident
+    // models never serialise on each other.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = entries_.find(model_id);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown model '" + model_id + "'");
+    }
+    if (it->second->handle != nullptr) {
+      it->second->last_used.store(now, std::memory_order_relaxed);
+      return it->second->handle;
+    }
+  }
+
+  // Cold path: exclusive lock, double-checked (another thread may have
+  // finished the same cold start while we waited for the lock).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(model_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown model '" + model_id + "'");
+  }
+  Entry* entry = it->second.get();
+  if (entry->handle == nullptr) {
+    CFX_RETURN_IF_ERROR(ColdStartLocked(model_id, entry));
+    ++resident_;
+    EvictOverCapLocked(entry);
+    UpdateResidentGaugeLocked();
+  }
+  entry->last_used.store(now, std::memory_order_relaxed);
+  return entry->handle;
+}
+
+Status ModelRegistry::ColdStartLocked(const std::string& model_id,
+                                      Entry* entry) {
+  const auto start = std::chrono::steady_clock::now();
+  auto restored = Experiment::Restore(entry->path);
+  if (!restored.ok()) return restored.status();
+  auto handle =
+      std::make_shared<PipelineHandle>(model_id, std::move(*restored));
+  if (entry->factory != nullptr) {
+    CFX_RETURN_IF_ERROR(entry->factory(handle.get()));
+  } else {
+    CFX_RETURN_IF_ERROR(handle->RegisterDefaultMethods());
+  }
+  entry->handle = std::move(handle);
+  coldstarts_.fetch_add(1, std::memory_order_relaxed);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (coldstart_hist_ != nullptr) coldstart_hist_->Record(ms);
+  CFX_LOG(Info) << "registry: cold-started model '" << model_id << "' in "
+                << ms << " ms";
+  return Status::OK();
+}
+
+void ModelRegistry::EvictOverCapLocked(const Entry* keep) {
+  while (resident_ > config_.max_resident) {
+    // LRU victim among residents other than the one just loaded, preferring
+    // models nobody is serving right now (use_count 1 == only our
+    // reference). Evicting a pinned model is still safe — dropping the
+    // registry reference only unlinks it; in-flight pins finish on the
+    // still-live handle — but an unpinned victim frees memory immediately.
+    Entry* victim = nullptr;
+    bool victim_pinned = true;
+    for (auto& [id, entry] : entries_) {
+      if (entry->handle == nullptr || entry.get() == keep) continue;
+      const bool pinned = entry->handle.use_count() > 1;
+      const uint64_t used = entry->last_used.load(std::memory_order_relaxed);
+      if (victim == nullptr || (victim_pinned && !pinned) ||
+          (victim_pinned == pinned &&
+           used < victim->last_used.load(std::memory_order_relaxed))) {
+        victim = entry.get();
+        victim_pinned = pinned;
+      }
+    }
+    if (victim == nullptr) return;  // Only `keep` is resident; cap of 1.
+    victim->handle.reset();
+    --resident_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_counter_ != nullptr) eviction_counter_->Add(1);
+  }
+}
+
+void ModelRegistry::UpdateResidentGaugeLocked() {
+  if (resident_gauge_ != nullptr) {
+    resident_gauge_->Set(static_cast<double>(resident_));
+  }
+}
+
+StatusOr<PipelineBundleInfo> ModelRegistry::Info(
+    const std::string& model_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = entries_.find(model_id);
+  if (it == entries_.end()) {
+    return Status::NotFound("unknown model '" + model_id + "'");
+  }
+  return it->second->info;
+}
+
+ModelRegistryStats ModelRegistry::stats() const {
+  ModelRegistryStats stats;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  stats.registered = entries_.size();
+  stats.resident = resident_;
+  stats.coldstarts = coldstarts_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace cfx

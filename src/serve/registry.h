@@ -1,0 +1,222 @@
+// Multi-model serving: refcounted pipeline ownership and a bundle-keyed
+// model registry with LRU residency — the multi-model half of ROADMAP
+// item 1 (the single-model scheduler shipped in PR 7).
+//
+// Ownership model. A PipelineHandle owns one servable pipeline end to end:
+// the Experiment (encoder + classifier + per-model sharded PredictionCache)
+// plus the fitted generator and any extra CfMethods, with a per-handle
+// method table resolved by key. Handles circulate as
+// std::shared_ptr<PipelineHandle>: the registry holds one reference while
+// the model is resident, and every queued request pins one more for as
+// long as it is in flight — so eviction (the registry dropping its
+// reference) can never tear down a pipeline a dispatch is still reading.
+// The last reference, wherever it is, runs the teardown.
+//
+// Residency. ModelRegistry maps model id -> bundle path. Registration is
+// cheap: a header-only probe (ProbePipelineBundle) validates magic,
+// version, format and this build's schema fingerprint without reading a
+// single weight byte. The pipeline itself is cold-started lazily on first
+// Acquire via Experiment::Restore (~3.2 ms) and cached; an LRU cap bounds
+// how many restored pipelines stay resident at once. Evicting a pinned
+// model only unlinks it from the registry — in-flight requests finish on
+// their pinned handle and the memory is reclaimed when the last pin drops.
+//
+// Metrics: registry/resident (gauge), registry/evictions (counter),
+// registry/coldstart_ms (histogram over Restore + method warm-up).
+#ifndef CFX_SERVE_REGISTRY_H_
+#define CFX_SERVE_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/method.h"
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/core/artifact.h"
+
+namespace cfx {
+namespace serve {
+
+/// One servable method slot in a pipeline's method table. Stable address
+/// for the lifetime of its PipelineHandle — queued requests hold
+/// PipelineMethod pointers (plus a handle pin that keeps them valid).
+struct PipelineMethod {
+  CfMethod* method = nullptr;
+  std::string key;         ///< Registration key ("ours", "wachter", ...).
+  /// Precomputed dispatch span/histogram name: "serve/dispatch/<key>" for
+  /// the embedded (single-model) table, "serve/dispatch/<model>/<key>"
+  /// for registry models — per-model latency series for free.
+  std::string span_label;
+  /// Rows dispatched through this slot, as a metrics series named
+  /// span_label; null when metrics collection is disabled.
+  metrics::Counter* dispatched = nullptr;
+  bool batchable = false;
+  size_t width = 0;  ///< Expected instance width (encoder output).
+};
+
+/// A refcounted, self-contained servable pipeline: model identity, the
+/// owned Experiment + generator (for restored bundles), optional owned
+/// extra methods, and the key -> method table.
+///
+/// Two flavours:
+///   * owning — built from a RestoredPipeline; the handle owns experiment,
+///     generator, and the per-model PredictionCache inside the experiment.
+///   * embedded — CfServer's single-model compatibility table (empty model
+///     id); methods are borrowed and must outlive the server, exactly the
+///     PR 5 contract.
+class PipelineHandle {
+ public:
+  /// Embedded table: no owned pipeline, methods borrowed via AddMethod.
+  explicit PipelineHandle(std::string model_id = std::string())
+      : model_id_(std::move(model_id)) {}
+
+  /// Owning: adopts a restored pipeline. Call AddMethod (e.g. with
+  /// generator()) to expose methods; RegisterDefaultMethods adds the
+  /// restored generator under "ours".
+  PipelineHandle(std::string model_id, RestoredPipeline restored)
+      : model_id_(std::move(model_id)),
+        experiment_(std::move(restored.experiment)),
+        generator_(std::move(restored.generator)) {}
+
+  PipelineHandle(const PipelineHandle&) = delete;
+  PipelineHandle& operator=(const PipelineHandle&) = delete;
+
+  const std::string& model_id() const { return model_id_; }
+  Experiment* experiment() { return experiment_.get(); }
+  FeasibleCfGenerator* generator() { return generator_.get(); }
+
+  /// Registers `method` (borrowed; must outlive this handle) under `key`.
+  /// Batchable methods are warmed with one throwaway single-row
+  /// GenerateMany so lazily-built inference plans exist before concurrent
+  /// workers touch them. Re-registration under the same key replaces the
+  /// slot in place. Fails on a null method.
+  Status AddMethod(const std::string& key, CfMethod* method);
+
+  /// Same, transferring ownership of `method` to this handle.
+  Status AddMethod(const std::string& key, std::unique_ptr<CfMethod> method);
+
+  /// Adds the owned generator under "ours" — the default table for a
+  /// restored bundle. Fails if this handle owns no generator.
+  Status RegisterDefaultMethods();
+
+  /// Key lookup. Linear scan — a pipeline exposes a handful of methods and
+  /// this sits on the per-request submit path where a short SSO-string
+  /// compare beats hashing.
+  const PipelineMethod* FindMethod(const std::string& key) const;
+
+  size_t num_methods() const { return methods_.size(); }
+
+ private:
+  std::string model_id_;
+  std::unique_ptr<Experiment> experiment_;
+  std::unique_ptr<FeasibleCfGenerator> generator_;
+  std::vector<std::unique_ptr<CfMethod>> owned_methods_;
+  /// Deque for address stability: queued requests hold PipelineMethod
+  /// pointers across later AddMethod calls.
+  std::deque<PipelineMethod> methods_;
+};
+
+/// Registry tuning knobs.
+struct ModelRegistryConfig {
+  /// Max pipelines kept resident at once (clamped to >= 1). Acquire beyond
+  /// the cap evicts the least-recently-used resident model first.
+  size_t max_resident = 4;
+};
+
+/// Aggregate registry accounting, for tests and ops. Snapshot semantics.
+struct ModelRegistryStats {
+  size_t registered = 0;  ///< Known model ids.
+  size_t resident = 0;    ///< Cold-started pipelines currently cached.
+  size_t coldstarts = 0;  ///< Restore runs (first Acquire or post-evict).
+  size_t evictions = 0;   ///< Residency-cap evictions.
+};
+
+/// Thread-safe model id -> bundle path -> resident PipelineHandle map with
+/// lazy cold start and LRU residency.
+class ModelRegistry {
+ public:
+  /// Hook run once per cold start, after Restore, to populate the handle's
+  /// method table. Runs under the registry lock — keep it to method
+  /// registration (Fit-free baselines, generator aliases). When null,
+  /// RegisterDefaultMethods() is applied.
+  using MethodFactory = std::function<Status(PipelineHandle*)>;
+
+  explicit ModelRegistry(const ModelRegistryConfig& config = {});
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Admits `path` under `model_id` after a header-only probe: magic,
+  /// version, format, dataset/scale names and this build's schema
+  /// fingerprint are all validated without loading weights. No cold start
+  /// happens here. Re-registering an id replaces the registration and
+  /// drops any resident pipeline for it.
+  Status Register(const std::string& model_id, const std::string& path,
+                  MethodFactory factory = nullptr);
+
+  /// The resident pipeline for `model_id`, cold-starting it on first use
+  /// (Experiment::Restore + method warm-up, timed into
+  /// registry/coldstart_ms) and evicting the LRU resident model when the
+  /// residency cap would be exceeded. The returned shared_ptr is the
+  /// caller's pin: the pipeline cannot be torn down while it is held, even
+  /// if the registry evicts the model meanwhile.
+  StatusOr<std::shared_ptr<PipelineHandle>> Acquire(
+      const std::string& model_id);
+
+  /// Probe metadata recorded at registration.
+  StatusOr<PipelineBundleInfo> Info(const std::string& model_id) const;
+
+  ModelRegistryStats stats() const;
+  const ModelRegistryConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::string path;
+    PipelineBundleInfo info;
+    MethodFactory factory;
+    /// Null while not resident. The registry's reference; requests pin
+    /// their own copies.
+    std::shared_ptr<PipelineHandle> handle;
+    /// Global LRU clock value of the last Acquire (relaxed; an approximate
+    /// order is enough for eviction choice).
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Runs the cold start for `entry` (mu_ held exclusively).
+  Status ColdStartLocked(const std::string& model_id, Entry* entry);
+  /// Drops LRU residents until the cap holds, never evicting `keep`.
+  /// Prefers unpinned residents (registry holds the only reference);
+  /// evicting a pinned one only unlinks it — pins keep it alive.
+  void EvictOverCapLocked(const Entry* keep);
+  void UpdateResidentGaugeLocked();
+
+  ModelRegistryConfig config_;
+  /// Guards entries_ (structure and Entry::handle/factory). Acquire's hot
+  /// path (already resident) takes it shared; cold starts and Register
+  /// take it exclusive.
+  mutable std::shared_mutex mu_;
+  /// unique_ptr values so Entry addresses survive rehash.
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::atomic<uint64_t> tick_{0};  ///< LRU clock.
+
+  std::atomic<size_t> coldstarts_{0};
+  std::atomic<size_t> evictions_{0};
+  size_t resident_ = 0;  ///< Guarded by mu_ (exclusive).
+
+  /// Metric handles; null when metrics collection is disabled.
+  metrics::Gauge* resident_gauge_ = nullptr;
+  metrics::Counter* eviction_counter_ = nullptr;
+  metrics::Histogram* coldstart_hist_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace cfx
+
+#endif  // CFX_SERVE_REGISTRY_H_

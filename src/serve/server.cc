@@ -32,8 +32,10 @@ std::future<CfResponse> Rejected(Status status) {
 
 }  // namespace
 
-CfServer::CfServer(const CfServerConfig& config)
+CfServer::CfServer(const CfServerConfig& config, ModelRegistry* registry)
     : config_(config),
+      registry_(registry),
+      embedded_(std::make_shared<PipelineHandle>()),
       queue_(config.max_batch == 0 || config.max_queue == 0
                  ? 2  // Placeholder; the abort below fires first.
                  : config.max_queue) {
@@ -59,26 +61,12 @@ void CfServer::RegisterMethod(const std::string& key, CfMethod* method) {
       std::abort();
     }
   }
-  MethodEntry entry;
-  entry.method = method;
-  entry.key = key;
-  entry.batchable = method->SupportsBatchedGenerate();
-  entry.width = method->context().encoder->encoded_width();
-  if (entry.batchable) {
-    // Warm-up: Sequential builds its inference plan (and the tabular head
-    // its softmax layout) lazily on the first Infer — a mutation. Run one
-    // throwaway row now so concurrent workers only ever read.
-    Matrix probe(1, entry.width);
-    nn::InferWorkspace ws;
-    (void)method->GenerateMany(probe, &ws);
+  Status added = embedded_->AddMethod(key, method);
+  if (!added.ok()) {
+    CFX_LOG(Error) << "CfServer::RegisterMethod('" << key
+                   << "'): " << added.message();
+    std::abort();
   }
-  for (MethodEntry& existing : methods_) {
-    if (existing.key == key) {
-      existing = std::move(entry);  // re-registration replaces in place
-      return;
-    }
-  }
-  methods_.push_back(std::move(entry));
 }
 
 void CfServer::Start() {
@@ -92,16 +80,26 @@ void CfServer::Start() {
 }
 
 std::future<CfResponse> CfServer::Submit(CfRequest request) {
-  // methods_ is immutable once Start() has run (RegisterMethod aborts
-  // after), so the lookup needs no lock. Linear scan over a handful of
-  // SSO keys beats hashing the string: a server registers a few methods,
-  // and this lookup sits on the per-request submit path.
-  const MethodEntry* entry = nullptr;
-  for (const MethodEntry& candidate : methods_) {
-    if (candidate.key == request.method) {
-      entry = &candidate;
-      break;
+  // Resolve the (model, method) entry. Embedded table: immutable once
+  // Start() has run (RegisterMethod aborts after), so the lookup needs no
+  // lock — a linear scan over a handful of SSO keys on the single-model
+  // hot path, no pin, no refcount traffic. Registry models: Acquire pins
+  // the refcounted handle to this request (cold-starting the bundle on
+  // this thread if it is not resident), so a registry eviction between
+  // here and dispatch can never tear the pipeline down under us.
+  const PipelineMethod* entry = nullptr;
+  std::shared_ptr<PipelineHandle> pin;
+  if (request.model.empty()) {
+    entry = embedded_->FindMethod(request.method);
+  } else {
+    if (registry_ == nullptr) {
+      return Rejected(Status::InvalidArgument(
+          "model routing requires a registry; server has none"));
     }
+    auto acquired = registry_->Acquire(request.model);
+    if (!acquired.ok()) return Rejected(acquired.status());
+    pin = std::move(*acquired);
+    entry = pin->FindMethod(request.method);
   }
   if (entry == nullptr) {
     return Rejected(
@@ -127,6 +125,7 @@ std::future<CfResponse> CfServer::Submit(CfRequest request) {
   Pending pending;
   pending.row = std::move(request.instance);
   pending.entry = entry;
+  pending.pin = std::move(pin);
   pending.deadline = request.deadline;
   if (wait_hist_ != nullptr) {
     pending.enqueued = std::chrono::steady_clock::now();
@@ -193,9 +192,12 @@ void CfServer::RecomputeWakeThresholdLocked() {
 
 bool CfServer::NextPending(Pending* out) {
   for (;;) {
-    // Staged overflow first: those requests pre-date everything now in the
-    // ring, so per-method FIFO order survives the detour.
-    while (TryTakeStagedAny(out)) {
+    // Waiting lanes first: those requests pre-date everything now in the
+    // ring (per-entry FIFO survives the detour), and the round-robin lane
+    // rotation is what keeps dispatch fair — a leader whose model floods
+    // the ring still hands the next batch to whichever entry has waited
+    // longest in the lanes.
+    while (TryTakeLaneAny(out)) {
       if (!ResolveIfExpired(out)) return true;
     }
     while (queue_.TryPop(out)) {
@@ -246,14 +248,32 @@ bool CfServer::NextPending(Pending* out) {
   }
 }
 
-bool CfServer::TryTakeStagedAny(Pending* out) {
+bool CfServer::TryTakeLaneAny(Pending* out) {
   if (staged_count_.load(std::memory_order_relaxed) == 0) return false;
   std::lock_guard<std::mutex> lock(staged_mu_);
-  if (staged_.empty()) return false;
-  *out = std::move(staged_.front());
-  staged_.pop_front();
+  if (lanes_.empty()) return false;
+  Lane& lane = lanes_.front();
+  *out = std::move(lane.fifo.front());
+  lane.fifo.pop_front();
   staged_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (lane.fifo.empty()) {
+    lanes_.pop_front();
+  } else {
+    // Rotate the served lane to the back: the next seed comes from a
+    // different entry, so every waiting (model, method) gets a batch
+    // before any gets a second one.
+    lanes_.splice(lanes_.end(), lanes_, lanes_.begin());
+  }
   return true;
+}
+
+bool CfServer::LaneHasWorkFor(const PipelineMethod* entry) const {
+  if (staged_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(staged_mu_);
+  for (const Lane& lane : lanes_) {
+    if (lane.entry == entry) return !lane.fifo.empty();
+  }
+  return false;
 }
 
 bool CfServer::ResolveIfExpired(Pending* p) {
@@ -271,26 +291,29 @@ bool CfServer::ResolveIfExpired(Pending* p) {
   return true;
 }
 
-void CfServer::CollectMore(const MethodEntry* entry,
+void CfServer::CollectMore(const PipelineMethod* entry,
                            std::vector<Pending>* batch) {
-  // Same-method staged entries first (older than anything in the ring).
+  // This entry's lane first (older than anything in the ring, so per-entry
+  // FIFO is preserved). Entry identity is pointer identity: every Pending
+  // in the lane pins the handle that owns `entry`, so the pointer can
+  // neither dangle nor be reused while the lane is non-empty.
   if (staged_count_.load(std::memory_order_relaxed) > 0) {
     std::lock_guard<std::mutex> lock(staged_mu_);
-    for (auto it = staged_.begin();
-         it != staged_.end() && batch->size() < config_.max_batch;) {
-      if (it->entry != entry) {
-        ++it;
-        continue;
+    for (auto lane = lanes_.begin(); lane != lanes_.end(); ++lane) {
+      if (lane->entry != entry) continue;
+      while (!lane->fifo.empty() && batch->size() < config_.max_batch) {
+        Pending pending = std::move(lane->fifo.front());
+        lane->fifo.pop_front();
+        staged_count_.fetch_sub(1, std::memory_order_relaxed);
+        if (!ResolveIfExpired(&pending)) {
+          batch->push_back(std::move(pending));
+        }
       }
-      Pending pending = std::move(*it);
-      it = staged_.erase(it);
-      staged_count_.fetch_sub(1, std::memory_order_relaxed);
-      if (!ResolveIfExpired(&pending)) {
-        batch->push_back(std::move(pending));
-      }
+      if (lane->fifo.empty()) lanes_.erase(lane);
+      break;
     }
   }
-  // Then the ring. Foreign-method entries are parked in staged_ for the
+  // Then the ring. Foreign-entry pops are parked in their lanes for the
   // next leader; they are not skipped in place (a ring has no erase).
   while (batch->size() < config_.max_batch) {
     Pending pending;
@@ -300,7 +323,19 @@ void CfServer::CollectMore(const MethodEntry* entry,
       batch->push_back(std::move(pending));
     } else {
       std::lock_guard<std::mutex> lock(staged_mu_);
-      staged_.push_back(std::move(pending));
+      Lane* lane = nullptr;
+      for (Lane& candidate : lanes_) {
+        if (candidate.entry == pending.entry) {
+          lane = &candidate;
+          break;
+        }
+      }
+      if (lane == nullptr) {
+        lanes_.emplace_back();
+        lanes_.back().entry = pending.entry;
+        lane = &lanes_.back();
+      }
+      lane->fifo.push_back(std::move(pending));
       staged_count_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -319,7 +354,7 @@ void CfServer::WorkerLoop() {
 
   Pending first;
   while (NextPending(&first)) {
-    const MethodEntry* entry = first.entry;
+    const PipelineMethod* entry = first.entry;
     const auto window_end =
         std::chrono::steady_clock::now() + config_.max_delay;
     batch.clear();
@@ -339,11 +374,16 @@ void CfServer::WorkerLoop() {
         if (batch.size() >= config_.max_batch) break;
         if (batch.size() != before) continue;  // Still flowing; keep going.
         const size_t need = config_.max_batch - batch.size();
+        // Re-check for collectable work before napping. This must be
+        // same-entry work: lanes holding OTHER entries' requests are not
+        // collectable by this leader, and treating them as arrivals would
+        // spin this loop at 100% CPU for the whole window (they drain only
+        // after this batch dispatches).
+        if (LaneHasWorkFor(entry)) continue;
         std::cv_status wait_status = std::cv_status::no_timeout;
         {
           std::unique_lock<std::mutex> lock(park_mu_);
-          if (!queue_.Empty() ||
-              staged_count_.load(std::memory_order_relaxed) > 0) {
+          if (!queue_.Empty()) {
             continue;  // An arrival raced the lock; collect it.
           }
           ++window_waiters_;
@@ -375,14 +415,20 @@ void CfServer::WorkerLoop() {
 
 void CfServer::Dispatch(std::vector<Pending>* batch, nn::InferWorkspace* ws,
                         std::vector<CfResponse>* arena) {
-  const MethodEntry* entry = (*batch)[0].entry;
-  trace::ScopedSpan span(trace::SpansActive()
-                             ? "serve/dispatch/" + entry->key
-                             : std::string());
+  const PipelineMethod* entry = (*batch)[0].entry;
+  // span_label is precomputed at method registration ("serve/dispatch/
+  // <key>" for the embedded table, "serve/dispatch/<model>/<key>" for
+  // registry models), so per-model latency series cost no per-dispatch
+  // string assembly.
+  trace::ScopedSpan span(trace::SpansActive() ? entry->span_label
+                                              : std::string());
 
   const size_t rows = batch->size();
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_rows_.fetch_add(rows, std::memory_order_relaxed);
+  if (entry->dispatched != nullptr) {
+    entry->dispatched->Add(static_cast<uint64_t>(rows));
+  }
   if (batch_hist_ != nullptr) {
     batch_hist_->Record(static_cast<double>(rows));
   }
@@ -462,7 +508,7 @@ void CfServer::Shutdown() {
   // With workers the drain loop above leaves nothing behind; without (the
   // backpressure/no-worker configurations) cancel everything still queued.
   Pending pending;
-  while (TryTakeStagedAny(&pending)) CancelPending(std::move(pending));
+  while (TryTakeLaneAny(&pending)) CancelPending(std::move(pending));
   while (queue_.TryPop(&pending)) CancelPending(std::move(pending));
   UpdateQueueGauge();
 }

@@ -3,9 +3,20 @@
 //
 // Many producer threads Submit single-instance requests; a small pool of
 // worker threads coalesces up to `max_batch` compatible requests (same
-// registered method) that arrive within a `max_delay` window into ONE
-// batched pass through the frozen classifier + VAE Infer path, then fans
-// the per-row results back through per-request futures.
+// model and registered method) that arrive within a `max_delay` window into
+// ONE batched pass through the frozen classifier + VAE Infer path, then
+// fans the per-row results back through per-request futures.
+//
+// Multi-model serving: constructed with a ModelRegistry, the server routes
+// requests by CfRequest::model — the submit path Acquires the model's
+// refcounted PipelineHandle (lazily cold-starting it from its .cfxb
+// bundle) and pins it to the request, so a registry eviction can never
+// tear down a pipeline with traffic in flight. Requests a batch leader
+// pops for a different (model, method) than the one it is coalescing are
+// parked in per-entry FIFO lanes; leaders seed new batches from the lanes
+// round-robin before touching the ring, so one hot model cannot starve
+// the rest. An empty model id resolves against the embedded single-model
+// table fed by RegisterMethod — the PR 5 API, unchanged.
 //
 // The submit path is lock-free: producers push onto a bounded MPSC ring
 // (src/common/mpsc_queue.h) — a CAS claim plus a release store, no mutex,
@@ -51,6 +62,8 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -60,6 +73,7 @@
 #include "src/common/metrics.h"
 #include "src/common/mpsc_queue.h"
 #include "src/common/status.h"
+#include "src/serve/registry.h"
 #include "src/tensor/matrix.h"
 
 namespace cfx {
@@ -86,7 +100,10 @@ struct CfServerConfig {
 /// registered method, with an optional absolute deadline.
 struct CfRequest {
   Matrix instance;     ///< (1 x encoded_width) encoded row.
-  std::string method;  ///< Key passed to CfServer::RegisterMethod.
+  std::string method;  ///< Method key within the model's table.
+  /// Registry model id; empty routes to the embedded single-model table
+  /// fed by RegisterMethod.
+  std::string model;
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
 };
@@ -113,22 +130,29 @@ struct CfServerStats {
 };
 
 /// Bounded lock-free-submit micro-batching scheduler over registered
-/// CfMethods.
+/// CfMethods and (optionally) a ModelRegistry of servable pipelines.
 ///
 /// Lifecycle: construct, RegisterMethod (all registration before Start),
 /// Start, Submit from any thread, Shutdown (also run by the destructor).
+/// Registry models need no per-server registration: Submit resolves them
+/// through the registry at request time.
 class CfServer {
  public:
-  explicit CfServer(const CfServerConfig& config);
+  /// `registry` (borrowed, may be null, must outlive the server) backs
+  /// requests that carry a model id; without one, only the embedded
+  /// RegisterMethod table is servable.
+  explicit CfServer(const CfServerConfig& config,
+                    ModelRegistry* registry = nullptr);
   ~CfServer();
 
   CfServer(const CfServer&) = delete;
   CfServer& operator=(const CfServer&) = delete;
 
-  /// Registers `method` under `key`. The method must outlive the server.
-  /// Batchable methods are warmed with one throwaway single-row pass so
-  /// lazily-built inference plans exist before concurrent workers touch
-  /// them. Must be called before Start().
+  /// Registers `method` under `key` in the embedded (empty-model-id)
+  /// table. The method must outlive the server. Batchable methods are
+  /// warmed with one throwaway single-row pass so lazily-built inference
+  /// plans exist before concurrent workers touch them. Must be called
+  /// before Start().
   void RegisterMethod(const std::string& key, CfMethod* method);
 
   /// Spawns the worker threads. Idempotent; a second call is a no-op.
@@ -152,34 +176,47 @@ class CfServer {
   const CfServerConfig& config() const { return config_; }
 
  private:
-  struct MethodEntry {
-    CfMethod* method = nullptr;
-    std::string key;       ///< Registration key, used in span names.
-    bool batchable = false;
-    size_t width = 0;  ///< Expected instance width (encoder output).
-  };
-
   /// A queued request: the promise rides along until resolution. Travels
-  /// through the submit ring by value.
+  /// through the submit ring by value. `pin` keeps the owning
+  /// PipelineHandle (and therefore `entry`) alive until the promise is
+  /// resolved; it is empty for embedded-table requests, whose handle is
+  /// owned by the server — the single-model hot path never bumps a shared
+  /// refcount.
   struct Pending {
     Matrix row;
-    const MethodEntry* entry = nullptr;
+    const PipelineMethod* entry = nullptr;
+    std::shared_ptr<PipelineHandle> pin;
     std::chrono::steady_clock::time_point deadline =
         std::chrono::steady_clock::time_point::max();
     std::chrono::steady_clock::time_point enqueued;
     std::promise<CfResponse> promise;
   };
 
+  /// Per-(model, method) FIFO of requests a batch leader popped from the
+  /// ring while coalescing a different entry. A lane exists only while it
+  /// holds at least one request (whose pin keeps `entry` valid); empty
+  /// lanes are erased eagerly so no lane ever dangles past an eviction.
+  struct Lane {
+    const PipelineMethod* entry = nullptr;
+    std::deque<Pending> fifo;
+  };
+
   void WorkerLoop();
   /// Blocks (spin-then-park) until a request is available or the server is
   /// stopping with nothing left to drain; false means exit.
   bool NextPending(Pending* out);
-  /// Non-blocking: moves same-method requests from the staged overflow and
+  /// Non-blocking: moves same-entry requests from that entry's lane and
   /// the ring into `batch` up to max_batch. Expired requests are resolved
-  /// in place; other methods' ring entries are parked in staged_.
-  void CollectMore(const MethodEntry* entry, std::vector<Pending>* batch);
-  /// Takes the oldest staged request (any method). False when none.
-  bool TryTakeStagedAny(Pending* out);
+  /// in place; other entries' ring pops are parked in their lanes.
+  void CollectMore(const PipelineMethod* entry, std::vector<Pending>* batch);
+  /// Seeds a batch from the waiting lanes, round-robin: takes the front
+  /// request of the first lane and rotates that lane to the back, so
+  /// consecutive leaders serve different (model, method) entries before
+  /// any entry is served twice. False when no lane holds work.
+  bool TryTakeLaneAny(Pending* out);
+  /// True when `entry`'s own lane holds queued work — the only staged work
+  /// a window leader for `entry` can actually collect.
+  bool LaneHasWorkFor(const PipelineMethod* entry) const;
   /// Resolves `p` with DeadlineExceeded if its deadline has passed.
   bool ResolveIfExpired(Pending* p);
   /// Runs one batch and resolves its promises through the response arena.
@@ -195,11 +232,13 @@ class CfServer {
   void MaybeWakeWorkers();
 
   CfServerConfig config_;
-  /// Registered methods. A deque for reference stability: Pending entries
-  /// hold MethodEntry pointers across registration. Submit scans linearly —
-  /// servers register a handful of methods, and a short SSO-string scan is
-  /// cheaper than hashing on the per-request path.
-  std::deque<MethodEntry> methods_;
+  /// Multi-model routing table; null for embedded-only servers.
+  ModelRegistry* registry_ = nullptr;
+  /// The embedded single-model method table (model id ""), fed by
+  /// RegisterMethod. Heap-shared only so its PipelineMethod entries share
+  /// the lane/pin machinery with registry handles; the server itself never
+  /// hands out pins to it.
+  std::shared_ptr<PipelineHandle> embedded_;
 
   /// Metric handles, resolved once at construction; all null when metrics
   /// collection is disabled, which keeps every instrumentation site at one
@@ -214,14 +253,16 @@ class CfServer {
   /// The lock-free submit path. Capacity = max_queue rounded to 2^k.
   MpscQueue<Pending> queue_;
 
-  /// Overflow for ring entries a batch leader popped but that belong to a
-  /// different method than the one it is coalescing. Only workers touch
+  /// Per-entry overflow lanes for ring pops that belong to a different
+  /// (model, method) than the batch being coalesced. Only workers touch
   /// this (producers never do), so its mutex is uncontended with one
-  /// worker and lightly contended otherwise. Staged entries are older than
-  /// anything in the ring, so workers drain them first — per-method FIFO
-  /// order is preserved.
+  /// worker and lightly contended otherwise. Lane entries are older than
+  /// anything in the ring, so workers drain the matching lane first —
+  /// per-entry FIFO order is preserved — and seed new batches from the
+  /// lanes round-robin, which is what makes cross-model dispatch fair.
+  /// staged_count_ is the total across lanes.
   mutable std::mutex staged_mu_;
-  std::deque<Pending> staged_;
+  std::list<Lane> lanes_;
   std::atomic<size_t> staged_count_{0};
 
   /// Parking lot. Workers that found the ring empty (after a bounded spin)

@@ -171,6 +171,121 @@ TEST(BundleTest, RejectsCorruptTensorHeader) {
   EXPECT_FALSE(bundle->GetTensors("weights").ok());
 }
 
+// --- Header-only probe: same strict structure validation as ReadFile,
+// but payloads outside the request list are seeked over, never read. ---
+
+TEST(BundleProbeTest, MaterialisesOnlyRequestedSections) {
+  TempFile file("probe_rt");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+
+  auto bundle = Bundle::ProbeFile(file.path(), {"name", "answer"});
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->version(), kBundleVersion);
+  // The full section table is walked: every key is known...
+  EXPECT_EQ(bundle->num_sections(), 4u);
+  EXPECT_TRUE(bundle->Has("weights"));
+
+  auto name = bundle->GetString("name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "sample");
+  auto answer = bundle->GetScalar("answer");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_DOUBLE_EQ(*answer, 42.5);
+
+  // ...but a skipped payload is an explicit error, never empty bytes.
+  auto weights = bundle->GetTensors("weights");
+  ASSERT_FALSE(weights.ok());
+  EXPECT_EQ(weights.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(weights.status().message().find("probe"), std::string::npos);
+  EXPECT_FALSE(bundle->GetF64Array("stats").ok());
+}
+
+TEST(BundleProbeTest, RejectsTruncationAtEveryPrefixLength) {
+  TempFile file("probe_trunc");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  const std::string data = ReadAll(file.path());
+
+  for (size_t len = 0; len < data.size(); len += 7) {
+    WriteAll(file.path(), data.substr(0, len));
+    auto bundle = Bundle::ProbeFile(file.path(), {"name"});
+    EXPECT_FALSE(bundle.ok()) << "probe accepted a " << len
+                              << "-byte prefix of a " << data.size()
+                              << "-byte bundle";
+  }
+}
+
+TEST(BundleProbeTest, RejectsBadMagicVersionSkewAndTrailingGarbage) {
+  TempFile file("probe_hdr");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  const std::string good = ReadAll(file.path());
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  WriteAll(file.path(), bad_magic);
+  auto probe = Bundle::ProbeFile(file.path(), {"name"});
+  ASSERT_FALSE(probe.ok());
+  EXPECT_NE(probe.status().message().find("magic"), std::string::npos);
+
+  std::string skewed = good;
+  const uint32_t future = kBundleVersion + 1;
+  std::memcpy(&skewed[4], &future, sizeof(future));
+  WriteAll(file.path(), skewed);
+  probe = Bundle::ProbeFile(file.path(), {"name"});
+  ASSERT_FALSE(probe.ok());
+  EXPECT_EQ(probe.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(probe.status().message().find("version"), std::string::npos);
+
+  WriteAll(file.path(), good + "extra");
+  EXPECT_FALSE(Bundle::ProbeFile(file.path(), {"name"}).ok());
+
+  EXPECT_EQ(Bundle::ProbeFile(::testing::TempDir() + "cfx_no_such.bundle",
+                              {"name"})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BundleProbeTest, SucceedsOverCorruptPayloadOfSkippedSection) {
+  // Garbage INSIDE an unrequested payload must not matter — the probe
+  // seeks over it. (The same corruption makes ReadFile's typed accessor
+  // fail, proving the bytes really are junk.)
+  TempFile file("probe_skip");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  std::string data = ReadAll(file.path());
+  const size_t key_pos = data.find("weights");
+  ASSERT_NE(key_pos, std::string::npos);
+  const size_t payload_pos = key_pos + std::strlen("weights") + 1 + 8;
+  const uint64_t huge = ~0ULL / 2;
+  std::memcpy(&data[payload_pos], &huge, sizeof(huge));  // tensor count
+  WriteAll(file.path(), data);
+
+  auto probe = Bundle::ProbeFile(file.path(), {"name"});
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(probe->GetString("name").ok());
+
+  auto full = Bundle::ReadFile(file.path());
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->GetTensors("weights").ok());
+}
+
+TEST(BundleProbeTest, RejectsLyingSectionLength) {
+  // A payload_len pointing past EOF must fail as truncation, not seek into
+  // the void and misparse whatever follows.
+  TempFile file("probe_lies");
+  ASSERT_TRUE(WriteSampleBundle(file.path()).ok());
+  std::string data = ReadAll(file.path());
+  const size_t key_pos = data.find("weights");
+  ASSERT_NE(key_pos, std::string::npos);
+  const size_t len_pos = key_pos + std::strlen("weights") + 1;
+  const uint64_t huge = ~0ULL / 2;
+  std::memcpy(&data[len_pos], &huge, sizeof(huge));
+  WriteAll(file.path(), data);
+
+  auto probe = Bundle::ProbeFile(file.path(), {"name"});
+  ASSERT_FALSE(probe.ok());
+  EXPECT_NE(probe.status().message().find("truncated"), std::string::npos);
+}
+
 TEST(BundleTest, RejectsMissingFile) {
   auto bundle = Bundle::ReadFile(::testing::TempDir() + "cfx_no_such.bundle");
   ASSERT_FALSE(bundle.ok());
@@ -364,6 +479,51 @@ TEST(PipelineBundleTest, TruncatedPipelineBundleIsRejected) {
   const std::string data = nn::ReadAll(file.path());
   nn::WriteAll(file.path(), data.substr(0, data.size() / 2));
   EXPECT_FALSE(Experiment::Restore(file.path()).ok());
+}
+
+TEST(PipelineBundleTest, HeaderProbeValidatesWithoutLoadingWeights) {
+  nn::TempFile file("pipeline_probe");
+  TrainedPipeline trained = TrainTinyPipeline();
+  ASSERT_TRUE(SavePipelineBundle(file.path(), trained.experiment.get(),
+                                 trained.generator.get())
+                  .ok());
+  const std::string good = nn::ReadAll(file.path());
+
+  // The probe reports the saved identity and this build's fingerprint.
+  auto info = ProbePipelineBundle(file.path());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->id, DatasetId::kLaw);
+  EXPECT_EQ(info->dataset, DatasetName(DatasetId::kLaw));
+  EXPECT_EQ(info->scale, "small");
+  EXPECT_EQ(info->seed, 33u);
+  EXPECT_EQ(info->encoded_width,
+            trained.experiment->encoder().encoded_width());
+  EXPECT_EQ(info->schema_fingerprint,
+            SchemaFingerprint(trained.experiment->schema()));
+
+  // A tampered fingerprint is rejected as version skew...
+  std::string tampered = good;
+  const size_t fp_key = tampered.find("schema.fingerprint");
+  ASSERT_NE(fp_key, std::string::npos);
+  tampered[fp_key + std::strlen("schema.fingerprint") + 1 + 8] ^= 0x5A;
+  nn::WriteAll(file.path(), tampered);
+  auto skew = ProbePipelineBundle(file.path());
+  ASSERT_FALSE(skew.ok());
+  EXPECT_EQ(skew.status().code(), StatusCode::kFailedPrecondition);
+
+  // ...truncation anywhere fails even though the cut may only remove
+  // weight bytes the probe never materialises...
+  nn::WriteAll(file.path(), good.substr(0, good.size() - 5));
+  EXPECT_FALSE(ProbePipelineBundle(file.path()).ok());
+
+  // ...and a structurally valid bundle of another kind is not a pipeline.
+  nn::BundleWriter other;
+  other.PutString("pipeline.format", "cfx.other");
+  ASSERT_TRUE(other.WriteFile(file.path()).ok());
+  auto wrong = ProbePipelineBundle(file.path());
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_NE(wrong.status().message().find("not a pipeline"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,281 @@
+// ModelRegistry: header-probe admission, lazy cold start, LRU residency,
+// and the pinned-while-serving refcount contract — eviction may unlink a
+// pipeline with traffic in flight but can never tear it down under it.
+// This binary is pinned to CFX_THREADS=1 (tests/CMakeLists.txt) so every
+// generated row is bitwise reproducible; it also runs under the tsan
+// preset (tools/ci.sh) to prove the evict-under-load path is race-free.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/artifact.h"
+#include "src/core/experiment.h"
+#include "src/core/generator.h"
+#include "src/serve/registry.h"
+
+namespace cfx {
+namespace {
+
+using serve::ModelRegistry;
+using serve::ModelRegistryConfig;
+using serve::PipelineHandle;
+using serve::PipelineMethod;
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Trains a small but real law pipeline (two generator epochs, no
+/// restarts) and saves it as a bundle at `path`.
+void TrainAndSaveBundle(uint64_t seed, const std::string& path) {
+  RunConfig config;
+  config.scale = Scale::kSmall;
+  config.seed = seed;
+  auto experiment = Experiment::Create(DatasetId::kLaw, config);
+  ASSERT_TRUE(experiment.ok()) << experiment.status().ToString();
+
+  GeneratorConfig gen_config = GeneratorConfig::FromDataset(
+      (*experiment)->info(), ConstraintMode::kUnary);
+  gen_config.epochs = 2;
+  gen_config.max_restarts = 0;
+  gen_config.min_probe_validity = 0.0;
+  gen_config.min_probe_feasibility = 0.0;
+
+  FeasibleCfGenerator generator((*experiment)->method_context(), gen_config);
+  ASSERT_TRUE(
+      generator.Fit((*experiment)->x_train(), (*experiment)->y_train()).ok());
+  ASSERT_TRUE(SavePipelineBundle(path, experiment->get(), &generator).ok());
+}
+
+/// Two trained bundles (different seeds => different data and weights),
+/// built once for the whole binary.
+class RegistryFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Paths carry the pid: ctest runs each TEST as its own process of this
+    // binary, and two concurrent processes sharing a bundle path would race
+    // (one truncating the file while the other restores from it).
+    const std::string tag = std::to_string(::getpid());
+    path_a_ = new std::string(::testing::TempDir() + "cfx_registry_a_" +
+                              tag + ".cfxb");
+    path_b_ = new std::string(::testing::TempDir() + "cfx_registry_b_" +
+                              tag + ".cfxb");
+    TrainAndSaveBundle(33, *path_a_);
+    TrainAndSaveBundle(34, *path_b_);
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(path_a_->c_str());
+    std::remove(path_b_->c_str());
+    delete path_a_;
+    delete path_b_;
+  }
+
+  /// Reference counterfactuals for the first `rows` test rows of `handle`'s
+  /// pipeline, via its registered "ours" method.
+  static CfResult GenerateRows(const std::shared_ptr<PipelineHandle>& handle,
+                               size_t rows) {
+    const PipelineMethod* entry = handle->FindMethod("ours");
+    EXPECT_NE(entry, nullptr);
+    nn::InferWorkspace ws;
+    return entry->method->GenerateMany(handle->experiment()->TestSubset(rows),
+                                       &ws);
+  }
+
+  static std::string* path_a_;
+  static std::string* path_b_;
+};
+
+std::string* RegistryFixture::path_a_ = nullptr;
+std::string* RegistryFixture::path_b_ = nullptr;
+
+TEST_F(RegistryFixture, RegisterProbesWithoutColdStarting) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("a", *path_a_).ok());
+
+  // Admission cost a header probe, not a restore.
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.registered, 1u);
+  EXPECT_EQ(stats.resident, 0u);
+  EXPECT_EQ(stats.coldstarts, 0u);
+
+  auto info = registry.Info("a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->id, DatasetId::kLaw);
+  EXPECT_EQ(info->seed, 33u);
+
+  // Unknown ids, empty ids and unreadable bundles are rejected up front.
+  EXPECT_EQ(registry.Acquire("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(registry.Register("", *path_a_).ok());
+  EXPECT_FALSE(
+      registry.Register("bad", *path_a_ + ".does_not_exist").ok());
+  EXPECT_EQ(registry.stats().registered, 1u);
+}
+
+TEST_F(RegistryFixture, AcquireColdStartsOnceAndCaches) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("a", *path_a_).ok());
+
+  auto first = registry.Acquire("a");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_NE((*first)->FindMethod("ours"), nullptr);
+  EXPECT_EQ((*first)->FindMethod("ours")->span_label,
+            "serve/dispatch/a/ours");
+
+  auto second = registry.Acquire("a");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // Same resident pipeline.
+
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.coldstarts, 1u);
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(RegistryFixture, LruEvictsLeastRecentlyUsedAtCap) {
+  ModelRegistryConfig config;
+  config.max_resident = 1;
+  ModelRegistry registry(config);
+  ASSERT_TRUE(registry.Register("a", *path_a_).ok());
+  ASSERT_TRUE(registry.Register("b", *path_b_).ok());
+
+  ASSERT_TRUE(registry.Acquire("a").ok());
+  ASSERT_TRUE(registry.Acquire("b").ok());  // Evicts a.
+  auto stats = registry.stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.coldstarts, 2u);
+
+  // Re-acquiring the evicted model cold-starts it again (and evicts b).
+  ASSERT_TRUE(registry.Acquire("a").ok());
+  stats = registry.stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.coldstarts, 3u);
+}
+
+TEST_F(RegistryFixture, PinPreventsTeardownAcrossEviction) {
+  ModelRegistryConfig config;
+  config.max_resident = 1;
+  ModelRegistry registry(config);
+  ASSERT_TRUE(registry.Register("a", *path_a_).ok());
+  ASSERT_TRUE(registry.Register("b", *path_b_).ok());
+
+  auto pinned = registry.Acquire("a");
+  ASSERT_TRUE(pinned.ok());
+  const CfResult before = GenerateRows(*pinned, 6);
+
+  // Evict a while we hold a pin on it...
+  ASSERT_TRUE(registry.Acquire("b").ok());
+  EXPECT_EQ(registry.stats().evictions, 1u);
+
+  // ...the pinned pipeline keeps serving, bitwise unchanged.
+  const CfResult after = GenerateRows(*pinned, 6);
+  EXPECT_TRUE(BitwiseEqual(before.cfs, after.cfs));
+  EXPECT_TRUE(BitwiseEqual(before.cfs_raw, after.cfs_raw));
+  EXPECT_EQ(before.desired, after.desired);
+
+  // A fresh Acquire cold-starts a NEW handle; its rows still match.
+  auto reacquired = registry.Acquire("a");
+  ASSERT_TRUE(reacquired.ok());
+  EXPECT_NE(pinned->get(), reacquired->get());
+  const CfResult fresh = GenerateRows(*reacquired, 6);
+  EXPECT_TRUE(BitwiseEqual(before.cfs, fresh.cfs));
+}
+
+TEST_F(RegistryFixture, ReRegistrationDropsStaleResident) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Register("m", *path_a_).ok());
+  auto old_handle = registry.Acquire("m");
+  ASSERT_TRUE(old_handle.ok());
+  EXPECT_EQ(registry.stats().resident, 1u);
+
+  // Point the id at a different bundle: the stale pipeline must not serve
+  // another Acquire, but the held pin stays valid.
+  ASSERT_TRUE(registry.Register("m", *path_b_).ok());
+  EXPECT_EQ(registry.stats().resident, 0u);
+  auto new_handle = registry.Acquire("m");
+  ASSERT_TRUE(new_handle.ok());
+  EXPECT_NE(old_handle->get(), new_handle->get());
+  auto info = registry.Info("m");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->seed, 34u);
+}
+
+TEST_F(RegistryFixture, CustomMethodFactoryControlsTheTable) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("a", *path_a_,
+                            [](PipelineHandle* handle) {
+                              return handle->AddMethod(
+                                  "cfx", handle->generator());
+                            })
+                  .ok());
+  auto handle = registry.Acquire("a");
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ((*handle)->FindMethod("ours"), nullptr);
+  const PipelineMethod* entry = (*handle)->FindMethod("cfx");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->span_label, "serve/dispatch/a/cfx");
+  EXPECT_TRUE(entry->batchable);
+}
+
+TEST_F(RegistryFixture, EvictionUnderLoadNeverMixesModels) {
+  // Two threads churn two models through a cap-1 registry while generating
+  // on every acquired handle. Every result must match that model's
+  // reference bitwise — an eviction racing a dispatch, a torn-down
+  // pipeline, or cross-model state leakage would all break this (and tsan
+  // would flag the race).
+  ModelRegistryConfig config;
+  config.max_resident = 1;
+  ModelRegistry registry(config);
+  ASSERT_TRUE(registry.Register("a", *path_a_).ok());
+  ASSERT_TRUE(registry.Register("b", *path_b_).ok());
+
+  const CfResult ref_a = GenerateRows(*registry.Acquire("a"), 4);
+  const CfResult ref_b = GenerateRows(*registry.Acquire("b"), 4);
+  // Different seeds produced genuinely different pipelines, so serving the
+  // wrong model's rows is detectable.
+  ASSERT_FALSE(BitwiseEqual(ref_a.cfs, ref_b.cfs));
+
+  constexpr size_t kIters = 6;
+  std::vector<int> failures(2, 0);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string id = t == 0 ? "a" : "b";
+      const CfResult& ref = t == 0 ? ref_a : ref_b;
+      for (size_t i = 0; i < kIters; ++i) {
+        auto handle = registry.Acquire(id);
+        if (!handle.ok()) {
+          ++failures[t];
+          continue;
+        }
+        const CfResult got = GenerateRows(*handle, 4);
+        if (!BitwiseEqual(got.cfs, ref.cfs) ||
+            !BitwiseEqual(got.cfs_raw, ref.cfs_raw) ||
+            got.desired != ref.desired || got.predicted != ref.predicted) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures[0], 0);
+  EXPECT_EQ(failures[1], 0);
+  // The cap-1 registry really churned.
+  EXPECT_GT(registry.stats().evictions, 0u);
+  EXPECT_EQ(registry.stats().resident, 1u);
+}
+
+}  // namespace
+}  // namespace cfx

@@ -3,8 +3,10 @@
 // a batched dispatch is bitwise identical to per-request generation — is
 // stated and proven at one kernel thread, independent of scheduler timing.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -13,8 +15,10 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/artifact.h"
 #include "src/core/experiment.h"
 #include "src/core/generator.h"
+#include "src/serve/registry.h"
 #include "src/serve/server.h"
 
 namespace cfx {
@@ -25,6 +29,9 @@ using serve::CfResponse;
 using serve::CfServer;
 using serve::CfServerConfig;
 using serve::CfServerStats;
+using serve::ModelRegistry;
+using serve::ModelRegistryConfig;
+using serve::PipelineHandle;
 
 bool BitwiseEqual(const Matrix& a, const Matrix& b) {
   return a.rows() == b.rows() && a.cols() == b.cols() &&
@@ -317,6 +324,23 @@ TEST_F(ServeFixture, NonBatchableMethodFallsBackToSequentialGeneration) {
   EXPECT_EQ(method.impl_calls(), 5);
 }
 
+TEST_F(ServeFixture, RegisterMethodAfterStartAborts) {
+  // The registration-before-Start contract is enforced, not just
+  // documented: registering into a running server would race workers'
+  // lock-free reads of the method table.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CfServerConfig config;
+  config.workers = 1;
+  EXPECT_DEATH(
+      {
+        CfServer server(config);
+        server.RegisterMethod("ours", generator_);
+        server.Start();
+        server.RegisterMethod("late", generator_);
+      },
+      "after Start");
+}
+
 TEST_F(ServeFixture, ShutdownIsIdempotentAndDrainsInFlightWork) {
   CfServerConfig config;
   config.workers = 1;
@@ -334,6 +358,213 @@ TEST_F(ServeFixture, ShutdownIsIdempotentAndDrainsInFlightWork) {
   server.Shutdown();  // Second call is a no-op.
   EXPECT_EQ(server.stats().completed, 1u);
   EXPECT_EQ(server.stats().cancelled, 0u);
+}
+
+// --- Multi-model serving: one CfServer over a ModelRegistry. ---
+
+/// Three trained law bundles (different seeds => different pipelines),
+/// saved once for the whole binary.
+class MultiModelFixture : public ::testing::Test {
+ protected:
+  static constexpr size_t kModels = 3;
+
+  static void SetUpTestSuite() {
+    paths_ = new std::vector<std::string>();
+    for (size_t m = 0; m < kModels; ++m) {
+      // Pid-tagged: ctest runs each TEST as its own process, and two
+      // concurrent processes sharing a bundle path would race (one
+      // truncating the file while the other restores from it).
+      paths_->push_back(::testing::TempDir() + "cfx_serve_m" +
+                        std::to_string(m) + "_" +
+                        std::to_string(::getpid()) + ".cfxb");
+      RunConfig config;
+      config.scale = Scale::kSmall;
+      config.seed = 41 + m;
+      auto exp = Experiment::Create(DatasetId::kLaw, config);
+      ASSERT_TRUE(exp.ok()) << exp.status().ToString();
+      GeneratorConfig gen_config = GeneratorConfig::FromDataset(
+          (*exp)->info(), ConstraintMode::kUnary);
+      gen_config.epochs = 2;
+      gen_config.max_restarts = 0;
+      gen_config.min_probe_validity = 0.0;
+      gen_config.min_probe_feasibility = 0.0;
+      FeasibleCfGenerator generator((*exp)->method_context(), gen_config);
+      ASSERT_TRUE(
+          generator.Fit((*exp)->x_train(), (*exp)->y_train()).ok());
+      ASSERT_TRUE(
+          SavePipelineBundle(paths_->back(), exp->get(), &generator).ok());
+    }
+  }
+
+  static void TearDownTestSuite() {
+    for (const std::string& path : *paths_) std::remove(path.c_str());
+    delete paths_;
+    paths_ = nullptr;
+  }
+
+  static std::string ModelId(size_t m) { return "m" + std::to_string(m); }
+
+  static void RegisterAll(ModelRegistry* registry) {
+    for (size_t m = 0; m < kModels; ++m) {
+      ASSERT_TRUE(registry->Register(ModelId(m), (*paths_)[m]).ok());
+    }
+  }
+
+  static std::vector<std::string>* paths_;
+};
+
+std::vector<std::string>* MultiModelFixture::paths_ = nullptr;
+
+TEST_F(MultiModelFixture, ThreeModelsServeBitwiseIdenticalToDirectGenerate) {
+  ModelRegistry registry;  // Default cap (4) keeps all three resident.
+  RegisterAll(&registry);
+
+  // Direct per-model references, computed on independently acquired pins.
+  constexpr size_t kRows = 6;
+  std::vector<CfResult> reference;
+  std::vector<Matrix> eval;
+  for (size_t m = 0; m < kModels; ++m) {
+    auto handle = registry.Acquire(ModelId(m));
+    ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+    eval.push_back((*handle)->experiment()->TestSubset(kRows));
+    reference.push_back((*handle)->generator()->Generate(eval.back()));
+  }
+  // The three pipelines are genuinely distinct.
+  ASSERT_FALSE(BitwiseEqual(reference[0].cfs, reference[1].cfs));
+  ASSERT_FALSE(BitwiseEqual(reference[1].cfs, reference[2].cfs));
+
+  CfServerConfig config;
+  config.max_batch = 4;
+  config.workers = 1;
+  config.max_delay = std::chrono::microseconds(100);
+  CfServer server(config, &registry);
+
+  // Interleave submissions across models so batch leaders must split the
+  // ring into per-model lanes, then serve them round-robin.
+  std::vector<std::vector<std::future<CfResponse>>> futures(kModels);
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t m = 0; m < kModels; ++m) {
+      CfRequest request;
+      request.instance = eval[m].SliceRows(r, r + 1);
+      request.method = "ours";
+      request.model = ModelId(m);
+      futures[m].push_back(server.Submit(std::move(request)));
+    }
+  }
+  server.Start();
+
+  for (size_t m = 0; m < kModels; ++m) {
+    for (size_t r = 0; r < kRows; ++r) {
+      CfResponse response = futures[m][r].get();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_TRUE(BitwiseEqual(response.cf, reference[m].cfs.Row(r)));
+      EXPECT_TRUE(BitwiseEqual(response.cf_raw, reference[m].cfs_raw.Row(r)));
+      EXPECT_EQ(response.desired, reference[m].desired[r]);
+      EXPECT_EQ(response.predicted, reference[m].predicted[r]);
+    }
+  }
+  server.Shutdown();
+
+  EXPECT_EQ(server.stats().completed, kModels * kRows);
+  // Every batch is single-entry: 18 rows across 3 models at max_batch 4
+  // cannot fit in fewer than 6 dispatches.
+  EXPECT_GE(server.stats().batches, kModels * kRows / config.max_batch);
+  EXPECT_EQ(registry.stats().coldstarts, kModels);
+}
+
+TEST_F(MultiModelFixture, EvictionChurnUnderCapOneNeverMixesRows) {
+  // Residency cap 1 with three models forces an eviction on nearly every
+  // submit — yet every in-flight request rides its own pin, so dispatches
+  // must keep producing the right model's rows, bitwise.
+  ModelRegistryConfig reg_config;
+  reg_config.max_resident = 1;
+  ModelRegistry registry(reg_config);
+  RegisterAll(&registry);
+
+  constexpr size_t kRows = 4;
+  std::vector<CfResult> reference;
+  std::vector<Matrix> eval;
+  for (size_t m = 0; m < kModels; ++m) {
+    auto handle = registry.Acquire(ModelId(m));
+    ASSERT_TRUE(handle.ok());
+    eval.push_back((*handle)->experiment()->TestSubset(kRows));
+    reference.push_back((*handle)->generator()->Generate(eval.back()));
+  }
+
+  CfServerConfig config;
+  config.max_batch = 4;
+  config.workers = 1;
+  config.max_delay = std::chrono::microseconds(100);
+  CfServer server(config, &registry);
+  server.Start();
+
+  std::vector<std::vector<std::future<CfResponse>>> futures(kModels);
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t m = 0; m < kModels; ++m) {
+      CfRequest request;
+      request.instance = eval[m].SliceRows(r, r + 1);
+      request.method = "ours";
+      request.model = ModelId(m);
+      futures[m].push_back(server.Submit(std::move(request)));
+    }
+  }
+
+  for (size_t m = 0; m < kModels; ++m) {
+    for (size_t r = 0; r < kRows; ++r) {
+      CfResponse response = futures[m][r].get();
+      ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+      EXPECT_TRUE(BitwiseEqual(response.cf, reference[m].cfs.Row(r)));
+      EXPECT_TRUE(BitwiseEqual(response.cf_raw, reference[m].cfs_raw.Row(r)));
+      EXPECT_EQ(response.desired, reference[m].desired[r]);
+      EXPECT_EQ(response.predicted, reference[m].predicted[r]);
+    }
+  }
+  server.Shutdown();
+  EXPECT_GT(registry.stats().evictions, 0u);
+  EXPECT_EQ(registry.stats().resident, 1u);
+}
+
+TEST_F(MultiModelFixture, ModelRoutingErrorsAreRejectedUpFront) {
+  ModelRegistry registry;
+  RegisterAll(&registry);
+
+  // A server without a registry cannot route models at all.
+  CfServerConfig config;
+  CfServer no_registry(config);
+  CfRequest request;
+  request.instance = Matrix(1, 1);
+  request.method = "ours";
+  request.model = "m0";
+  EXPECT_EQ(no_registry.Submit(std::move(request)).get().status.code(),
+            StatusCode::kInvalidArgument);
+  no_registry.Shutdown();
+
+  CfServer server(config, &registry);
+  CfRequest unknown_model;
+  unknown_model.instance = Matrix(1, 1);
+  unknown_model.method = "ours";
+  unknown_model.model = "ghost";
+  EXPECT_EQ(server.Submit(std::move(unknown_model)).get().status.code(),
+            StatusCode::kNotFound);
+
+  CfRequest unknown_method;
+  unknown_method.instance = Matrix(1, 1);
+  unknown_method.method = "nope";
+  unknown_method.model = "m0";
+  EXPECT_EQ(server.Submit(std::move(unknown_method)).get().status.code(),
+            StatusCode::kInvalidArgument);
+
+  // Width checks apply per model table.
+  auto handle = registry.Acquire("m0");
+  ASSERT_TRUE(handle.ok());
+  const size_t width = (*handle)->FindMethod("ours")->width;
+  CfRequest bad_shape;
+  bad_shape.instance = Matrix(1, width + 1);
+  bad_shape.method = "ours";
+  bad_shape.model = "m0";
+  EXPECT_EQ(server.Submit(std::move(bad_shape)).get().status.code(),
+            StatusCode::kInvalidArgument);
+  server.Shutdown();
 }
 
 }  // namespace
