@@ -1,0 +1,226 @@
+// Streaming ingest throughput: rows/s through the chunk framer's
+// validation path (the per-connection cost ceiling), rolling-window
+// statistics folding, reservoir re-scoring latency, and the end-to-end
+// threaded ingest pipeline. The framer arms sweep the chunk size because
+// framing cost is dominated by how often a row straddles a chunk boundary
+// (pending-buffer reassembly vs in-place string_view framing).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/data/encoder.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+#include "src/stream/drift.h"
+#include "src/stream/framer.h"
+#include "src/stream/ingest.h"
+#include "src/stream/rolling_stats.h"
+
+namespace cfx {
+namespace {
+
+/// A serving-shaped mixed schema: 4 continuous, 2 categorical(4), 2 binary.
+Schema BenchSchema() {
+  std::vector<FeatureSpec> features;
+  for (int i = 0; i < 4; ++i) {
+    features.push_back({"c" + std::to_string(i),
+                        FeatureType::kContinuous,
+                        {},
+                        false,
+                        0.0,
+                        100.0});
+  }
+  for (int i = 0; i < 2; ++i) {
+    features.push_back({"k" + std::to_string(i),
+                        FeatureType::kCategorical,
+                        {"a", "b", "c", "d"},
+                        false,
+                        0.0,
+                        1.0});
+  }
+  for (int i = 0; i < 2; ++i) {
+    features.push_back({"b" + std::to_string(i),
+                        FeatureType::kBinary,
+                        {"no", "yes"},
+                        false,
+                        0.0,
+                        1.0});
+  }
+  return Schema(std::move(features), "label", {"neg", "pos"});
+}
+
+constexpr size_t kRows = 10000;
+
+/// One CSV payload (header + kRows data rows), built once per binary.
+const std::string& BenchCsv() {
+  static const std::string* csv = [] {
+    const Schema schema = BenchSchema();
+    Rng rng(0x57BEA);
+    auto* out = new std::string;
+    out->reserve(kRows * 48);
+    std::vector<std::string> header;
+    for (const FeatureSpec& f : schema.features()) header.push_back(f.name);
+    header.push_back(schema.target_name());
+    *out += Join(header, ",") + "\n";
+    static const char* kCats[] = {"a", "b", "c", "d"};
+    for (size_t r = 0; r < kRows; ++r) {
+      for (int i = 0; i < 4; ++i) {
+        *out += StrFormat("%.6f,", rng.Uniform(0.0, 100.0));
+      }
+      for (int i = 0; i < 2; ++i) {
+        *out += kCats[rng.UniformInt(4)];
+        *out += ',';
+      }
+      for (int i = 0; i < 2; ++i) {
+        *out += rng.Bernoulli(0.5) ? "yes," : "no,";
+      }
+      *out += rng.Bernoulli(0.5) ? "1\n" : "0\n";
+    }
+    return out;
+  }();
+  return *csv;
+}
+
+/// Raw (decoded) rows matching BenchCsv's distribution, for the stats arms.
+const std::vector<std::vector<double>>& BenchRows() {
+  static const std::vector<std::vector<double>>* rows = [] {
+    const Schema schema = BenchSchema();
+    auto* out = new std::vector<std::vector<double>>;
+    stream::StreamFramer framer(
+        schema, stream::FramerConfig(),
+        [out](const std::vector<double>& values, int) {
+          out->push_back(values);
+          return Status::OK();
+        });
+    CFX_CHECK_OK(framer.Consume(BenchCsv()));
+    CFX_CHECK_OK(framer.Finish());
+    return out;
+  }();
+  return *rows;
+}
+
+/// Framing + strict validation throughput at one chunk size. Rows and bytes
+/// per second are the counters to watch; the per-iteration work is the
+/// whole 10k-row payload.
+void BM_FramerConsume(benchmark::State& state) {
+  const Schema schema = BenchSchema();
+  const std::string& csv = BenchCsv();
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    stream::StreamFramer framer(schema, stream::FramerConfig(),
+                                [](const std::vector<double>&, int) {
+                                  return Status::OK();
+                                });
+    for (size_t i = 0; i < csv.size(); i += chunk) {
+      CFX_CHECK_OK(framer.Consume(csv.data() + i,
+                                  std::min(chunk, csv.size() - i)));
+    }
+    CFX_CHECK_OK(framer.Finish());
+    rows = framer.rows_framed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) * state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(csv.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_FramerConsume)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+/// Rolling-window statistics folding throughput (per-row Add cost:
+/// monotonic deques, Welford, PSI histogram, ring eviction).
+void BM_RollingStatsAdd(benchmark::State& state) {
+  const Schema schema = BenchSchema();
+  const auto& rows = BenchRows();
+  stream::RollingStatsConfig config;
+  config.window = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    stream::RollingStats stats(schema, config);
+    for (const auto& row : rows) stats.Add(row);
+    benchmark::DoNotOptimize(stats.Stats(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_RollingStatsAdd)->Arg(256)->Arg(4096);
+
+/// One reservoir re-scoring pass: shift map + batch predict + feasibility
+/// over `reservoir` retained triples.
+void BM_DriftRescore(benchmark::State& state) {
+  const Schema schema = BenchSchema();
+  Table train(schema);
+  Rng rng(0xD21F7);
+  for (int r = 0; r < 256; ++r) {
+    std::vector<double> row(schema.num_features());
+    for (int i = 0; i < 4; ++i) row[i] = rng.Uniform(0.0, 100.0);
+    for (int i = 4; i < 6; ++i) row[i] = static_cast<double>(rng.UniformInt(4));
+    for (int i = 6; i < 8; ++i) row[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    CFX_CHECK_OK(train.AppendRow(row, static_cast<int>(rng.UniformInt(2))));
+  }
+  TabularEncoder encoder(schema);
+  CFX_CHECK_OK(encoder.Fit(train));
+
+  stream::DriftEvalConfig config;
+  config.reservoir = static_cast<size_t>(state.range(0));
+  stream::DriftEvaluator eval(
+      &encoder,
+      [](const Matrix& m) {
+        std::vector<int> out(m.rows());
+        for (size_t r = 0; r < m.rows(); ++r) out[r] = m.at(r, 0) > 0.5f;
+        return out;
+      },
+      nullptr, ConstraintTolerance(), config);
+  const Matrix encoded = *encoder.Transform(train);
+  for (size_t r = 0; r < encoded.rows(); ++r) {
+    const Matrix row = encoded.SliceRows(r, r + 1);
+    eval.RecordServed(row, row, 1);
+  }
+  // A drifted window so the shift map does real work on every feature.
+  stream::RollingStats stats(schema, stream::RollingStatsConfig());
+  for (const auto& row : BenchRows()) stats.Add(row);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.Rescore(stats));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(config.reservoir) *
+                          state.iterations());
+}
+BENCHMARK(BM_DriftRescore)->Arg(64)->Arg(256);
+
+/// End-to-end threaded pipeline: chunked Offer with backpressure retry,
+/// framing, stats folding and the shutdown re-score, on the ingest thread.
+void BM_IngestEndToEnd(benchmark::State& state) {
+  const Schema schema = BenchSchema();
+  const std::string& csv = BenchCsv();
+  const size_t chunk = 4096;
+  for (auto _ : state) {
+    stream::StreamIngestConfig config;
+    config.rescore_every_rows = 0;  // Isolate ingest cost from re-scoring.
+    stream::StreamIngest ingest(schema, config);
+    CFX_CHECK_OK(ingest.Start());
+    for (size_t i = 0; i < csv.size(); i += chunk) {
+      Status offered;
+      do {
+        offered = ingest.Offer(csv.substr(i, chunk));
+        if (!offered.ok()) std::this_thread::yield();
+      } while (!offered.ok());
+    }
+    ingest.Stop();
+    CFX_CHECK_OK(ingest.status());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(kRows) * state.iterations());
+  state.SetBytesProcessed(static_cast<int64_t>(csv.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_IngestEndToEnd);
+
+}  // namespace
+}  // namespace cfx
+
+CFX_BENCHMARK_MAIN("perf_stream")

@@ -1,55 +1,24 @@
 #include "src/data/csv.h"
 
-#include <cerrno>
-#include <climits>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
+#include <limits>
 
 #include "src/common/string_util.h"
+#include "src/data/row_parse.h"
 
 namespace cfx {
 namespace {
 
-/// Parses one raw cell for the given spec. Empty -> missing (NaN).
-StatusOr<double> ParseCell(const FeatureSpec& spec, const std::string& text) {
-  if (text.empty()) return std::nan("");
-  switch (spec.type) {
-    case FeatureType::kContinuous: {
-      // Strict parse: the whole cell must be consumed ("3.5abc" used to load
-      // silently as 3.5) and the value must be finite — "inf"/"nan" parse
-      // fine under strtod but poison the encoder's min/max scaling.
-      char* end = nullptr;
-      errno = 0;
-      double v = std::strtod(text.c_str(), &end);
-      if (errno != 0 || end == text.c_str() || *end != '\0') {
-        return Status::InvalidArgument("bad numeric cell '" + text + "'");
-      }
-      if (!std::isfinite(v)) {
-        return Status::InvalidArgument("non-finite numeric cell '" + text +
-                                       "'");
-      }
-      return v;
-    }
-    case FeatureType::kBinary: {
-      if (spec.categories.size() == 2) {
-        if (text == spec.categories[0]) return 0.0;
-        if (text == spec.categories[1]) return 1.0;
-      }
-      if (text == "0") return 0.0;
-      if (text == "1") return 1.0;
-      return Status::InvalidArgument("bad binary cell '" + text + "' for " +
-                                     spec.name);
-    }
-    case FeatureType::kCategorical: {
-      for (size_t i = 0; i < spec.categories.size(); ++i) {
-        if (spec.categories[i] == text) return static_cast<double>(i);
-      }
-      return Status::InvalidArgument("unknown category '" + text + "' for " +
-                                     spec.name);
-    }
-  }
-  return Status::Internal("unreachable");
+/// Lossless rendering of one raw cell for CSV export. Continuous cells are
+/// emitted at max_digits10 so a write->read round trip reproduces the exact
+/// double (CellToString's %.4g is for human-readable reports and used to
+/// leak into the CSV path, silently truncating values); categorical and
+/// binary cells keep their label rendering, which is exact by nature.
+std::string CellToCsv(const Column& col, size_t row) {
+  if (col.type() != FeatureType::kContinuous) return col.CellToString(row);
+  return StrFormat("%.*g", std::numeric_limits<double>::max_digits10,
+                   col.value(row));
 }
 
 }  // namespace
@@ -66,7 +35,7 @@ Status WriteTableCsv(const Table& table, const std::string& path) {
     cells.reserve(table.num_features() + 1);
     for (size_t c = 0; c < table.num_features(); ++c) {
       const Column& col = table.column(c);
-      cells.push_back(col.IsMissing(r) ? "" : col.CellToString(r));
+      cells.push_back(col.IsMissing(r) ? "" : CellToCsv(col, r));
     }
     cells.push_back(StrFormat("%d", table.label(r)));
     out << Join(cells, ",") << "\n";
@@ -82,39 +51,27 @@ StatusOr<Table> ReadTableCsv(const Schema& schema, const std::string& path) {
   if (!std::getline(in, line)) {
     return Status::InvalidArgument("empty csv '" + path + "'");
   }
+  // The header used to be read and discarded, so a file with reordered or
+  // renamed columns loaded silently into the wrong features. Require the
+  // exact schema order.
+  if (Status header = ValidateHeaderLine(schema, line); !header.ok()) {
+    return Status(header.code(),
+                  StrFormat("%s:1: %s", path.c_str(),
+                            header.message().c_str()));
+  }
   Table table(schema);
   size_t line_no = 1;
+  std::vector<double> values;
+  int label = 0;
   while (std::getline(in, line)) {
     ++line_no;
     if (Trim(line).empty()) continue;
-    std::vector<std::string> cells = Split(line, ',');
-    if (cells.size() != schema.num_features() + 1) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: expected %zu cells, got %zu", path.c_str(),
-                    line_no, schema.num_features() + 1, cells.size()));
+    if (Status row = ParseRowLine(schema, line, &values, &label); !row.ok()) {
+      // Name the offending file:row for every cell/label diagnostic.
+      return Status(row.code(), StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                                          row.message().c_str()));
     }
-    std::vector<double> values(schema.num_features());
-    for (size_t i = 0; i < schema.num_features(); ++i) {
-      auto v = ParseCell(schema.feature(i), Trim(cells[i]));
-      if (!v.ok()) {
-        // Name the offending file:row, matching the label-cell diagnostics.
-        return Status(v.status().code(),
-                      StrFormat("%s:%zu: %s", path.c_str(), line_no,
-                                v.status().message().c_str()));
-      }
-      values[i] = *v;
-    }
-    const std::string label_cell = Trim(cells.back());
-    errno = 0;
-    char* end = nullptr;
-    const long label = std::strtol(label_cell.c_str(), &end, 10);
-    if (label_cell.empty() || end == label_cell.c_str() || *end != '\0' ||
-        errno == ERANGE || label < INT_MIN || label > INT_MAX) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%zu: bad label cell '%s'", path.c_str(), line_no,
-                    label_cell.c_str()));
-    }
-    CFX_RETURN_IF_ERROR(table.AppendRow(values, static_cast<int>(label)));
+    CFX_RETURN_IF_ERROR(table.AppendRow(values, label));
   }
   return table;
 }
@@ -123,6 +80,10 @@ Status WriteMatrixCsv(const Matrix& m, const std::vector<std::string>& header,
                       const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  // max_digits10 keeps float round trips exact; defaultfloat still trims
+  // trailing zeros, so simple values render as before ("1.5", not
+  // "1.50000000").
+  out.precision(std::numeric_limits<float>::max_digits10);
   if (!header.empty()) {
     if (header.size() != m.cols()) {
       return Status::InvalidArgument("header width mismatch");

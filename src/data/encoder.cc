@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/tensor/kernels.h"
 
@@ -109,7 +111,15 @@ StatusOr<ColumnBatch> TabularEncoder::TransformColumnar(
       case FeatureType::kCategorical: {
         for (size_t r = 0; r < rows; ++r) {
           int idx = static_cast<int>(col.value(r));
-          assert(idx >= 0 && static_cast<size_t>(idx) < block.width);
+          // Hard validation, not assert: a corrupted category code in a
+          // Release build used to write the one-hot past this block into
+          // the neighbouring column (or off the end of the batch).
+          if (idx < 0 || static_cast<size_t>(idx) >= block.width) {
+            return Status::InvalidArgument(StrFormat(
+                "categorical feature '%s' row %zu: code %d outside [0, %zu)",
+                schema_.feature(block.feature_index).name.c_str(), r, idx,
+                block.width));
+          }
           out.at(r, block.offset + static_cast<size_t>(idx)) = 1.0f;
         }
         break;
@@ -134,7 +144,15 @@ Matrix TabularEncoder::TransformRow(const RawRow& row) const {
         break;
       case FeatureType::kCategorical: {
         int idx = static_cast<int>(raw);
-        assert(idx >= 0 && static_cast<size_t>(idx) < block.width);
+        // No Status channel here; abort in every build rather than write
+        // out of bounds (matching the Batcher validation contract).
+        if (idx < 0 || static_cast<size_t>(idx) >= block.width) {
+          CFX_LOG(Error) << "TransformRow: categorical feature '"
+                         << schema_.feature(block.feature_index).name
+                         << "' code " << idx << " outside [0, " << block.width
+                         << ")";
+          std::abort();
+        }
         out.at(0, block.offset + static_cast<size_t>(idx)) = 1.0f;
         break;
       }

@@ -1,0 +1,122 @@
+#include "src/data/row_parse.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+
+StatusOr<double> ParseCell(const FeatureSpec& spec, const std::string& text) {
+  if (text.empty()) return std::nan("");
+  switch (spec.type) {
+    case FeatureType::kContinuous: {
+      // Strict parse: the whole cell must be consumed ("3.5abc" used to load
+      // silently as 3.5) and the value must be finite — "inf"/"nan" parse
+      // fine under strtod but poison the encoder's min/max scaling.
+      // ERANGE alone is not a verdict: glibc raises it for gradual
+      // underflow too, where strtod still returns the nearest double
+      // (a subnormal, or zero for values below the subnormal range).
+      // Overflow is what must be rejected, and it is caught by the
+      // isfinite check on the returned HUGE_VAL.
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' ||
+          (errno != 0 && errno != ERANGE)) {
+        return Status::InvalidArgument("bad numeric cell '" + text + "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite numeric cell '" + text +
+                                       "'");
+      }
+      return v;
+    }
+    case FeatureType::kBinary: {
+      if (spec.categories.size() == 2) {
+        if (text == spec.categories[0]) return 0.0;
+        if (text == spec.categories[1]) return 1.0;
+      }
+      if (text == "0") return 0.0;
+      if (text == "1") return 1.0;
+      return Status::InvalidArgument("bad binary cell '" + text + "' for " +
+                                     spec.name);
+    }
+    case FeatureType::kCategorical: {
+      for (size_t i = 0; i < spec.categories.size(); ++i) {
+        if (spec.categories[i] == text) return static_cast<double>(i);
+      }
+      return Status::InvalidArgument("unknown category '" + text + "' for " +
+                                     spec.name);
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<int> ParseLabel(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long label = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end == text.c_str() || *end != '\0' ||
+      errno == ERANGE || label < INT_MIN || label > INT_MAX) {
+    return Status::InvalidArgument("bad label cell '" + text + "'");
+  }
+  return static_cast<int>(label);
+}
+
+Status ValidateHeaderLine(const Schema& schema, std::string_view line) {
+  const std::vector<std::string> cells = Split(line, ',');
+  const size_t expected = schema.num_features() + 1;
+  const size_t common = std::min(cells.size(), expected);
+  for (size_t i = 0; i < common; ++i) {
+    const std::string got = Trim(cells[i]);
+    const std::string& want = i < schema.num_features()
+                                  ? schema.feature(i).name
+                                  : schema.target_name();
+    if (got != want) {
+      return Status::InvalidArgument(
+          StrFormat("header column %zu: expected '%s', got '%s'", i + 1,
+                    want.c_str(), got.c_str()));
+    }
+  }
+  if (cells.size() != expected) {
+    if (cells.size() < expected) {
+      const std::string& missing = cells.size() < schema.num_features()
+                                       ? schema.feature(cells.size()).name
+                                       : schema.target_name();
+      return Status::InvalidArgument(
+          StrFormat("header has %zu columns, expected %zu (missing '%s')",
+                    cells.size(), expected, missing.c_str()));
+    }
+    return Status::InvalidArgument(
+        StrFormat("header has %zu columns, expected %zu (first extra: '%s')",
+                  cells.size(), expected,
+                  Trim(cells[expected]).c_str()));
+  }
+  return Status::OK();
+}
+
+Status ParseRowLine(const Schema& schema, std::string_view line,
+                    std::vector<double>* values, int* label) {
+  const std::vector<std::string> cells = Split(line, ',');
+  if (cells.size() != schema.num_features() + 1) {
+    return Status::InvalidArgument(StrFormat("expected %zu cells, got %zu",
+                                             schema.num_features() + 1,
+                                             cells.size()));
+  }
+  values->resize(schema.num_features());
+  for (size_t i = 0; i < schema.num_features(); ++i) {
+    auto v = ParseCell(schema.feature(i), Trim(cells[i]));
+    if (!v.ok()) return v.status();
+    (*values)[i] = *v;
+  }
+  auto parsed_label = ParseLabel(Trim(cells.back()));
+  if (!parsed_label.ok()) return parsed_label.status();
+  *label = *parsed_label;
+  return Status::OK();
+}
+
+}  // namespace cfx

@@ -1,0 +1,50 @@
+// Strict CSV cell/row parsing shared by the batch reader (ReadTableCsv) and
+// the streaming row framer (src/stream/framer.h).
+//
+// Both ingest paths MUST produce bitwise-identical tables from identical
+// input bytes — the streaming-vs-batch equivalence contract in
+// tests/stream_test.cc. Centralising the per-cell strtod/strtol validation
+// here makes that equivalence hold by construction instead of by keeping
+// two copies in sync.
+#ifndef CFX_DATA_ROW_PARSE_H_
+#define CFX_DATA_ROW_PARSE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/schema.h"
+
+namespace cfx {
+
+/// Parses one raw cell for the given spec. Empty -> missing (NaN).
+///
+/// Continuous cells are strict: the whole cell must be consumed ("3.5abc"
+/// is an error) and the value must be finite ("inf"/"nan"/"1e999" are
+/// rejected). Underflow to a subnormal or to zero is accepted — glibc's
+/// strtod flags ERANGE for gradual underflow, but the result is still the
+/// nearest representable double, and rejecting it would make write->read
+/// round trips of legitimate tiny values fail.
+StatusOr<double> ParseCell(const FeatureSpec& spec, const std::string& text);
+
+/// Strict whole-string base-10 label parse ("1x", "", "2.5" are errors).
+StatusOr<int> ParseLabel(const std::string& text);
+
+/// Validates a raw CSV header line against the schema: feature names in
+/// exact schema order followed by the target name. Returns InvalidArgument
+/// naming the first mismatching column (or the count mismatch when the
+/// names agree up to the shorter length). Cells are trimmed, so CRLF
+/// line endings and padded headers validate cleanly.
+Status ValidateHeaderLine(const Schema& schema, std::string_view line);
+
+/// Parses one data line into per-feature values plus the label. `values`
+/// is resized to schema.num_features(). Errors name the offending cell but
+/// not the source location — callers wrap with their file:row / stream:row
+/// context. The line must not contain the newline terminator.
+Status ParseRowLine(const Schema& schema, std::string_view line,
+                    std::vector<double>* values, int* label);
+
+}  // namespace cfx
+
+#endif  // CFX_DATA_ROW_PARSE_H_

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
+#include "src/stream/ingest.h"
 
 namespace cfx {
 namespace serve {
@@ -69,10 +70,27 @@ void CfServer::RegisterMethod(const std::string& key, CfMethod* method) {
   }
 }
 
+void CfServer::AttachStreamIngest(stream::StreamIngest* ingest) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    CFX_LOG(Error) << "CfServer::AttachStreamIngest after Start(); attach "
+                      "before the workers exist";
+    std::abort();
+  }
+  stream_ingest_ = ingest;
+}
+
 void CfServer::Start() {
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (started_ || stopping_.load(std::memory_order_relaxed)) return;
   started_ = true;
+  if (stream_ingest_ != nullptr) {
+    const Status ingest_started = stream_ingest_->Start();
+    if (!ingest_started.ok()) {
+      CFX_LOG(Warning) << "CfServer: stream ingest did not start: "
+                       << ingest_started.message();
+    }
+  }
   workers_.reserve(config_.workers);
   for (size_t i = 0; i < config_.workers; ++i) {
     workers_.emplace_back(&CfServer::WorkerLoop, this);
@@ -484,6 +502,16 @@ void CfServer::Dispatch(std::vector<Pending>* batch, nn::InferWorkspace* ws,
     response.desired = result.desired[r];
     response.predicted = result.predicted[r];
   }
+  // Opt-in drift tracking: offer the served triples to the stream ingest
+  // reservoir before the arena's rows are moved into the promises. The
+  // reservoir copies under its own mutex — contention only among dispatch
+  // workers, never with the submit path.
+  if (stream_ingest_ != nullptr) {
+    for (size_t r = 0; r < rows; ++r) {
+      stream_ingest_->ObserveServed((*batch)[r].row, (*arena)[r].cf,
+                                    (*arena)[r].desired);
+    }
+  }
   completed_.fetch_add(rows, std::memory_order_relaxed);
   for (size_t r = rows; r-- > 0;) {
     (*batch)[r].promise.set_value(std::move((*arena)[r]));
@@ -510,6 +538,9 @@ void CfServer::Shutdown() {
   Pending pending;
   while (TryTakeLaneAny(&pending)) CancelPending(std::move(pending));
   while (queue_.TryPop(&pending)) CancelPending(std::move(pending));
+  // Stop the ingest pipeline last: workers are gone, so this drains its
+  // chunk queue and publishes the final drift gauges.
+  if (stream_ingest_ != nullptr) stream_ingest_->Stop();
   UpdateQueueGauge();
 }
 

@@ -77,6 +77,10 @@
 #include "src/tensor/matrix.h"
 
 namespace cfx {
+namespace stream {
+class StreamIngest;
+}  // namespace stream
+
 namespace serve {
 
 /// Scheduler tuning knobs.
@@ -154,6 +158,14 @@ class CfServer {
   /// plans exist before concurrent workers touch them. Must be called
   /// before Start().
   void RegisterMethod(const std::string& key, CfMethod* method);
+
+  /// Opt-in streaming ingest + drift re-scoring (ROADMAP item 2):
+  /// `ingest` (borrowed, must outlive the server) is started by Start()
+  /// and stopped by Shutdown(), and every OK dispatched row is offered to
+  /// its drift reservoir. Detached servers pay exactly one null-pointer
+  /// check per dispatched batch; the lock-free submit path is untouched
+  /// either way. Must be called before Start().
+  void AttachStreamIngest(stream::StreamIngest* ingest);
 
   /// Spawns the worker threads. Idempotent; a second call is a no-op.
   void Start();
@@ -234,6 +246,10 @@ class CfServer {
   CfServerConfig config_;
   /// Multi-model routing table; null for embedded-only servers.
   ModelRegistry* registry_ = nullptr;
+  /// Opt-in streaming ingest pipeline (borrowed); null when detached.
+  /// Written only before Start() (AttachStreamIngest), read by dispatch
+  /// workers — no synchronisation needed after the Start() fence.
+  stream::StreamIngest* stream_ingest_ = nullptr;
   /// The embedded single-model method table (model id ""), fed by
   /// RegisterMethod. Heap-shared only so its PipelineMethod entries share
   /// the lane/pin machinery with registry handles; the server itself never

@@ -1,0 +1,126 @@
+#include "src/stream/drift.h"
+
+#include <cstring>
+#include <utility>
+
+namespace cfx {
+namespace stream {
+
+DriftEvaluator::DriftEvaluator(const TabularEncoder* encoder,
+                               BatchPredictor predictor,
+                               const ConstraintSet* constraints,
+                               ConstraintTolerance tol, DriftEvalConfig config)
+    : encoder_(encoder),
+      predictor_(std::move(predictor)),
+      constraints_(constraints),
+      tol_(tol),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.reservoir == 0) config_.reservoir = 1;
+  validity_gauge_ = metrics::GetGauge("drift/rescore/validity_rate");
+  feasibility_gauge_ = metrics::GetGauge("drift/rescore/feasibility_rate");
+  rescore_runs_ = metrics::GetCounter("drift/rescore/runs");
+}
+
+void DriftEvaluator::RecordServed(const Matrix& x, const Matrix& cf,
+                                  int desired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t n = observed_++;
+  if (reservoir_.size() < config_.reservoir) {
+    reservoir_.push_back({x, cf, desired});
+    return;
+  }
+  // Algorithm R: triple n replaces a uniform slot with probability
+  // reservoir/(n+1), so every observed triple is retained with equal
+  // probability regardless of arrival order.
+  const uint64_t slot = rng_.UniformInt(n + 1);
+  if (slot < reservoir_.size()) {
+    reservoir_[slot] = {x, cf, desired};
+  }
+}
+
+size_t DriftEvaluator::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reservoir_.size();
+}
+
+uint64_t DriftEvaluator::observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+Matrix DriftEvaluator::ShiftToWindowFrame(const std::vector<Served>& snapshot,
+                                          const RollingStats& stats,
+                                          bool use_cf) const {
+  const size_t rows = snapshot.size();
+  const size_t width = encoder_->encoded_width();
+  Matrix out(rows, width);
+  for (size_t r = 0; r < rows; ++r) {
+    const Matrix& src = use_cf ? snapshot[r].cf : snapshot[r].x;
+    std::memcpy(out.data() + r * width, src.data(), width * sizeof(float));
+  }
+  for (const EncodedBlock& block : encoder_->blocks()) {
+    if (block.type != FeatureType::kContinuous) continue;
+    const FeatureWindowStats w = stats.Stats(block.feature_index);
+    // An empty or degenerate window gives no frame to re-normalise into;
+    // keep the frozen coordinates (identity shift).
+    if (w.count == 0 || w.window_max <= w.window_min) continue;
+    const double range = w.window_max - w.window_min;
+    for (size_t r = 0; r < rows; ++r) {
+      float* slot = out.data() + r * width + block.offset;
+      const double raw =
+          encoder_->Denormalize(block.feature_index, *slot);
+      *slot = static_cast<float>((raw - w.window_min) / range);
+    }
+  }
+  return out;
+}
+
+DriftReport DriftEvaluator::Rescore(const RollingStats& stats) {
+  std::vector<Served> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = reservoir_;
+  }
+  DriftReport report;
+  report.scored = snapshot.size();
+  if (rescore_runs_ != nullptr) rescore_runs_->Add(1);
+  if (snapshot.empty()) {
+    if (validity_gauge_ != nullptr) validity_gauge_->Set(0.0);
+    if (feasibility_gauge_ != nullptr) feasibility_gauge_->Set(0.0);
+    return report;
+  }
+
+  const Matrix shifted_x = ShiftToWindowFrame(snapshot, stats, false);
+  const Matrix shifted_cf = ShiftToWindowFrame(snapshot, stats, true);
+
+  const std::vector<int> predicted = predictor_(shifted_cf);
+  for (size_t r = 0; r < snapshot.size(); ++r) {
+    if (predicted[r] == snapshot[r].desired) ++report.valid;
+  }
+
+  if (constraints_ != nullptr) {
+    const FeasibilityResult feas = EvaluateFeasibility(
+        *constraints_, *encoder_, shifted_x, shifted_cf, tol_);
+    report.feasible = feas.num_feasible;
+  } else {
+    for (size_t r = 0; r < snapshot.size(); ++r) {
+      if (WithinInputDomainSpan(shifted_cf.data() + r * shifted_cf.cols(),
+                                shifted_cf.cols(), 0.05f)) {
+        ++report.feasible;
+      }
+    }
+  }
+
+  const double n = static_cast<double>(report.scored);
+  report.validity_rate = static_cast<double>(report.valid) / n;
+  report.feasibility_rate = static_cast<double>(report.feasible) / n;
+  if (validity_gauge_ != nullptr) validity_gauge_->Set(report.validity_rate);
+  if (feasibility_gauge_ != nullptr) {
+    feasibility_gauge_->Set(report.feasibility_rate);
+  }
+  return report;
+}
+
+}  // namespace stream
+}  // namespace cfx

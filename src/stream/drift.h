@@ -1,0 +1,128 @@
+// Online drift re-scoring of served counterfactuals (ROADMAP item 2).
+//
+// The paper scores a counterfactual once, against a static snapshot:
+// validity is the frozen black box flipping its prediction, feasibility is
+// causal-constraint satisfaction plus membership of the data manifold
+// (C-CHVAE's density argument). Both are statements about the data frame
+// the pipeline was fitted on. When the live distribution drifts, a served
+// CF silently goes stale — the raw attribute values it promised a user sit
+// somewhere else on the *current* manifold.
+//
+// DriftEvaluator makes that visible. It retains a uniform reservoir sample
+// of served (input, counterfactual, desired-class) triples and, on demand,
+// re-scores them under the CURRENT rolling window statistics: every
+// continuous slot is mapped from the frozen normalisation to the rolling
+// one (decode with the fitted encoder's min/max, re-normalise with the
+// window's), which is exactly where the same raw individual would land had
+// the encoder been fitted on today's data. The frozen classifier and the
+// causal constraints are then re-evaluated at the shifted coordinates:
+//   * validity_rate    — fraction still predicted as their desired class;
+//   * feasibility_rate — fraction still satisfying the causal constraints
+//                        and the [0,1] input domain (rows drifting outside
+//                        the current frame fail here first).
+// Under no drift the shift map is the identity and both rates reproduce
+// the serving-time scores; under drift they decay, and the published
+// gauges (drift/rescore/validity_rate, drift/rescore/feasibility_rate)
+// make the decay observable without re-running any experiment.
+//
+// Thread-safety: RecordServed may be called from any serving worker;
+// Rescore from the ingest thread. The reservoir mutex covers both; the
+// scoring pass itself runs on a snapshot outside the lock.
+#ifndef CFX_STREAM_DRIFT_H_
+#define CFX_STREAM_DRIFT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/constraints/constraint.h"
+#include "src/constraints/feasibility.h"
+#include "src/data/encoder.h"
+#include "src/stream/rolling_stats.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace stream {
+
+/// Tuning knobs.
+struct DriftEvalConfig {
+  /// Served triples retained (uniform reservoir over everything observed).
+  size_t reservoir = 256;
+  /// Reservoir RNG seed — re-scoring stays reproducible per seed.
+  uint64_t seed = 0x5EED;
+};
+
+/// One re-scoring pass over the reservoir.
+struct DriftReport {
+  size_t scored = 0;    ///< Reservoir triples re-scored.
+  size_t valid = 0;     ///< Still predicted as their desired class.
+  size_t feasible = 0;  ///< Still causally feasible + in input domain.
+  double validity_rate = 0.0;     ///< valid / scored (0 when empty).
+  double feasibility_rate = 0.0;  ///< feasible / scored.
+};
+
+/// Batch hard-label predictor over encoded rows. The serving integration
+/// wraps the frozen BlackBoxClassifier; tests substitute analytic
+/// predictors with known decision boundaries.
+using BatchPredictor = std::function<std::vector<int>(const Matrix&)>;
+
+/// Reservoir of served counterfactuals + re-scoring under rolling stats.
+class DriftEvaluator {
+ public:
+  /// `encoder` and `constraints` are borrowed and must outlive the
+  /// evaluator. `constraints` may be null (feasibility then reduces to the
+  /// input-domain check).
+  DriftEvaluator(const TabularEncoder* encoder, BatchPredictor predictor,
+                 const ConstraintSet* constraints, ConstraintTolerance tol,
+                 DriftEvalConfig config);
+
+  /// Offers one served triple to the reservoir. (1 x width) encoded rows.
+  void RecordServed(const Matrix& x, const Matrix& cf, int desired);
+
+  /// Triples currently retained.
+  size_t retained() const;
+  /// Triples ever offered.
+  uint64_t observed() const;
+
+  /// Re-scores the reservoir under `stats`' rolling window and publishes
+  /// the gauges. Features whose window is empty (or degenerate) keep their
+  /// frozen normalisation — an idle stream re-produces serving-time scores.
+  DriftReport Rescore(const RollingStats& stats);
+
+ private:
+  struct Served {
+    Matrix x;   ///< (1 x width) encoded input.
+    Matrix cf;  ///< (1 x width) encoded (projected) counterfactual.
+    int desired = 0;
+  };
+
+  /// Maps encoded rows from the frozen normalisation onto the rolling
+  /// window's frame; identity for categorical/binary slots and for
+  /// features without usable window stats.
+  Matrix ShiftToWindowFrame(const std::vector<Served>& snapshot,
+                            const RollingStats& stats, bool use_cf) const;
+
+  const TabularEncoder* encoder_;
+  BatchPredictor predictor_;
+  const ConstraintSet* constraints_;
+  ConstraintTolerance tol_;
+  DriftEvalConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<Served> reservoir_;  ///< Guarded by mu_.
+  uint64_t observed_ = 0;          ///< Guarded by mu_.
+  Rng rng_;                        ///< Guarded by mu_.
+
+  /// Metric handles; null when collection is disabled.
+  metrics::Gauge* validity_gauge_ = nullptr;
+  metrics::Gauge* feasibility_gauge_ = nullptr;
+  metrics::Counter* rescore_runs_ = nullptr;
+};
+
+}  // namespace stream
+}  // namespace cfx
+
+#endif  // CFX_STREAM_DRIFT_H_

@@ -1,0 +1,135 @@
+#include "src/stream/framer.h"
+
+#include <string_view>
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/data/row_parse.h"
+
+namespace cfx {
+namespace stream {
+namespace {
+
+/// True when the line is blank after trimming — without allocating the
+/// trimmed copy (this runs once per framed line).
+bool IsBlank(std::string_view line) {
+  return line.find_first_not_of(" \t\r\n\v\f") == std::string_view::npos;
+}
+
+}  // namespace
+
+StreamFramer::StreamFramer(const Schema& schema, FramerConfig config,
+                           RowSink sink)
+    : schema_(schema), config_(config), sink_(std::move(sink)) {}
+
+Status StreamFramer::Consume(const char* data, size_t n) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    error_ = Status::FailedPrecondition("Consume after Finish");
+    return error_;
+  }
+  bytes_consumed_ += n;
+  size_t start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != '\n') continue;
+    Status framed;
+    if (pending_.empty()) {
+      // The whole line sits inside this chunk: frame it in place, no copy.
+      framed = FrameLine(std::string_view(data + start, i - start));
+    } else {
+      pending_.append(data + start, i - start);
+      framed = FrameLine(pending_);
+      pending_.clear();
+    }
+    if (!framed.ok()) {
+      error_ = framed;
+      return error_;
+    }
+    start = i + 1;
+    ++line_no_;
+  }
+  if (start < n) {
+    if (pending_.size() + (n - start) > config_.max_line_bytes) {
+      error_ = Status::InvalidArgument(
+          StrFormat("row %zu: line exceeds %zu bytes", line_no_,
+                    config_.max_line_bytes));
+      return error_;
+    }
+    pending_.append(data + start, n - start);
+  }
+  return Status::OK();
+}
+
+Status StreamFramer::Finish() {
+  if (!error_.ok()) return error_;
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (!pending_.empty()) {
+    // A final row without a trailing newline frames like any other —
+    // getline semantics in the batch reader.
+    Status framed = FrameLine(pending_);
+    pending_.clear();
+    if (!framed.ok()) {
+      error_ = framed;
+      return error_;
+    }
+  }
+  return Status::OK();
+}
+
+void StreamFramer::Reset() {
+  pending_.clear();
+  error_ = Status::OK();
+  header_done_ = false;
+  finished_ = false;
+  line_no_ = 1;
+  rows_framed_ = 0;
+  bytes_consumed_ = 0;
+}
+
+Status StreamFramer::FrameLine(std::string_view line) {
+  if (line.size() > config_.max_line_bytes) {
+    return Status::InvalidArgument(StrFormat("row %zu: line exceeds %zu bytes",
+                                             line_no_,
+                                             config_.max_line_bytes));
+  }
+  // The header is the FIRST line, blank or not — the batch reader consumes
+  // line 1 as the header unconditionally, so an empty first line is a
+  // header mismatch there and must be one here too.
+  if (config_.expect_header && !header_done_) {
+    header_done_ = true;
+    Status header = ValidateHeaderLine(schema_, line);
+    if (!header.ok()) {
+      return Status(header.code(), StrFormat("row %zu: %s", line_no_,
+                                             header.message().c_str()));
+    }
+    return Status::OK();
+  }
+  if (IsBlank(line)) return Status::OK();
+  // Per-cell byte cap, one pass: `run` is the current cell's length. This
+  // is what bounds a single giant quoted blob inside an otherwise short
+  // line (the line cap bounds the whole row).
+  size_t run = 0;
+  size_t cell_index = 0;
+  for (char c : line) {
+    if (c == ',') {
+      run = 0;
+      ++cell_index;
+    } else if (++run > config_.max_cell_bytes) {
+      return Status::InvalidArgument(
+          StrFormat("row %zu: cell %zu exceeds %zu bytes", line_no_,
+                    cell_index + 1, config_.max_cell_bytes));
+    }
+  }
+  int label = 0;
+  if (Status row = ParseRowLine(schema_, line, &values_, &label); !row.ok()) {
+    return Status(row.code(),
+                  StrFormat("row %zu: %s", line_no_, row.message().c_str()));
+  }
+  if (Status sunk = sink_(values_, label); !sunk.ok()) return sunk;
+  ++rows_framed_;
+  return Status::OK();
+}
+
+}  // namespace stream
+}  // namespace cfx

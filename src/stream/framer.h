@@ -1,0 +1,111 @@
+// Incremental CSV row framer — the entry point of the streaming ingest
+// path (ROADMAP item 2).
+//
+// A StreamFramer is a per-connection state machine that consumes arbitrary
+// byte chunks (network reads, file tails, test fixtures) and emits parsed
+// rows through a caller-supplied sink. Chunk boundaries carry no meaning:
+// a row, a cell, even a single UTF-8 byte may be split across chunks, and
+// the framer reassembles them so that the sequence of emitted rows depends
+// only on the concatenated byte stream — tests/stream_test.cc proves the
+// property at every split offset. Both CRLF and LF line endings are
+// accepted (per line, so mixed files frame correctly), a final row without
+// a trailing newline is emitted by Finish(), and blank lines are skipped,
+// all exactly matching ReadTableCsv.
+//
+// Validation is the batch reader's: cells go through the shared
+// ParseCell/ParseRowLine (src/data/row_parse.h), so a byte stream frames
+// into bitwise-identical rows to ReadTableCsv on the same bytes. Errors
+// name the 1-based source line ("row N"), mirroring the reader's file:row
+// diagnostics.
+//
+// Bounded buffering: lines and cells have byte caps (FramerConfig), so a
+// malicious or corrupt stream that never sends a newline cannot grow the
+// pending buffer without bound. Exceeding a cap is a hard error — the
+// framer latches it and rejects further input until Reset().
+#ifndef CFX_STREAM_FRAMER_H_
+#define CFX_STREAM_FRAMER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/schema.h"
+
+namespace cfx {
+namespace stream {
+
+/// Framer tuning knobs.
+struct FramerConfig {
+  /// True: the first line must be a header matching the schema
+  /// (feature names in order, then the target), exactly like ReadTableCsv.
+  /// False: every line is data — the mode for resumed connections that
+  /// negotiated the schema out of band.
+  bool expect_header = true;
+  /// Hard cap on one line's bytes (excluding the newline). A stream that
+  /// exceeds it errors out instead of buffering without bound.
+  size_t max_line_bytes = 1 << 20;
+  /// Hard cap on one cell's bytes after trimming.
+  size_t max_cell_bytes = 4096;
+};
+
+/// Row sink: called once per parsed data row with the per-feature raw
+/// values (schema order, NaN = missing) and the label. A non-OK return
+/// aborts framing with that status.
+using RowSink =
+    std::function<Status(const std::vector<double>& values, int label)>;
+
+/// Chunk-boundary-independent CSV row framing + strict validation.
+class StreamFramer {
+ public:
+  StreamFramer(const Schema& schema, FramerConfig config, RowSink sink);
+
+  /// Consumes `n` bytes. Complete lines are framed and parsed immediately;
+  /// a trailing partial line is buffered for the next chunk. On error the
+  /// framer latches the status: the offending row is not emitted and every
+  /// later Consume/Finish returns the same error until Reset().
+  Status Consume(const char* data, size_t n);
+  Status Consume(const std::string& chunk) {
+    return Consume(chunk.data(), chunk.size());
+  }
+
+  /// Flushes a buffered final line without a trailing newline (emitted if
+  /// non-blank), ending the stream. Idempotent.
+  Status Finish();
+
+  /// Clears buffered bytes, the latched error and the row/line counters —
+  /// a fresh connection reusing the framer's allocation.
+  void Reset();
+
+  /// Parsed-and-emitted data rows so far.
+  size_t rows_framed() const { return rows_framed_; }
+  /// 1-based line number of the line currently being buffered.
+  size_t current_line() const { return line_no_; }
+  /// Bytes consumed since construction/Reset (including newlines).
+  size_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  /// Frames one complete line (no terminator). `line` is the reassembled
+  /// pending buffer or an in-chunk span.
+  Status FrameLine(std::string_view line);
+
+  Schema schema_;
+  FramerConfig config_;
+  RowSink sink_;
+
+  std::string pending_;       ///< Partial line carried across chunks.
+  Status error_ = Status::OK();  ///< Latched first error.
+  bool header_done_ = false;
+  bool finished_ = false;
+  size_t line_no_ = 1;
+  size_t rows_framed_ = 0;
+  size_t bytes_consumed_ = 0;
+  std::vector<double> values_;  ///< Reused per-row scratch.
+};
+
+}  // namespace stream
+}  // namespace cfx
+
+#endif  // CFX_STREAM_FRAMER_H_

@@ -1,0 +1,208 @@
+#include "src/stream/ingest.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace cfx {
+namespace stream {
+
+StreamIngest::StreamIngest(const Schema& schema, StreamIngestConfig config)
+    : schema_(schema),
+      config_(config),
+      stats_(schema, config.stats),
+      framer_(schema, config.framer,
+              [this](const std::vector<double>& values, int label) {
+                (void)label;  // Window stats are label-free.
+                {
+                  std::lock_guard<std::mutex> lock(stats_mu_);
+                  stats_.Add(values);
+                }
+                rows_ingested_.fetch_add(1, std::memory_order_relaxed);
+                if (rows_counter_ != nullptr) rows_counter_->Add(1);
+                if (config_.rescore_every_rows > 0 &&
+                    ++rows_since_rescore_ >= config_.rescore_every_rows) {
+                  rows_since_rescore_ = 0;
+                  RescoreAndPublish();
+                }
+                return Status::OK();
+              }) {
+  if (config_.max_queued_chunks == 0) config_.max_queued_chunks = 1;
+  rows_counter_ = metrics::GetCounter("stream/rows_ingested");
+  chunks_counter_ = metrics::GetCounter("stream/chunks");
+  errors_counter_ = metrics::GetCounter("stream/errors");
+  psi_gauges_.resize(schema_.num_features(), nullptr);
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    psi_gauges_[i] =
+        metrics::GetGauge("drift/" + schema_.feature(i).name + "/psi");
+  }
+}
+
+StreamIngest::~StreamIngest() { Stop(); }
+
+Status StreamIngest::BindPipeline(const TabularEncoder* encoder,
+                                  BatchPredictor predictor,
+                                  const ConstraintSet* constraints,
+                                  ConstraintTolerance tol) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_) {
+    return Status::FailedPrecondition("BindPipeline after Start");
+  }
+  if (encoder == nullptr) {
+    return Status::InvalidArgument("BindPipeline requires an encoder");
+  }
+  if (!predictor) {
+    return Status::InvalidArgument("BindPipeline requires a predictor");
+  }
+  encoder_ = encoder;
+  evaluator_ = std::make_unique<DriftEvaluator>(
+      encoder, std::move(predictor), constraints, tol, config_.drift);
+  return Status::OK();
+}
+
+Status StreamIngest::FitBaseline(const Table& reference) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_) {
+    return Status::FailedPrecondition("FitBaseline after Start");
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.FitBaseline(reference);
+}
+
+Status StreamIngest::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_) return Status::AlreadyExists("stream ingest already started");
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = false;
+  }
+  started_ = true;
+  thread_ = std::thread([this] { IngestLoop(); });
+  return Status::OK();
+}
+
+void StreamIngest::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+Status StreamIngest::Offer(std::string chunk) {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (stopping_) {
+    return Status::FailedPrecondition("stream ingest is stopping");
+  }
+  if (chunks_.size() >= config_.max_queued_chunks) {
+    return Status::ResourceExhausted("stream ingest queue full");
+  }
+  chunks_.push_back(std::move(chunk));
+  queue_cv_.notify_one();
+  return Status::OK();
+}
+
+void StreamIngest::ObserveServed(const Matrix& x, const Matrix& cf,
+                                 int desired) {
+  if (evaluator_ != nullptr) evaluator_->RecordServed(x, cf, desired);
+}
+
+Status StreamIngest::status() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+DriftReport StreamIngest::last_report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_report_;
+}
+
+double StreamIngest::Psi(size_t feature_index) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.Psi(feature_index);
+}
+
+FeatureWindowStats StreamIngest::Stats(size_t feature_index) const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.Stats(feature_index);
+}
+
+std::vector<EncoderFeatureDrift> StreamIngest::DiffAgainstEncoder() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (encoder_ == nullptr) return {};
+  return stats_.DiffAgainstEncoder(*encoder_);
+}
+
+void StreamIngest::IngestLoop() {
+  for (;;) {
+    std::string chunk;
+    bool have_chunk = false;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !chunks_.empty(); });
+      if (!chunks_.empty()) {
+        chunk = std::move(chunks_.front());
+        chunks_.pop_front();
+        have_chunk = true;
+      } else {
+        draining = true;  // stopping_ and nothing left to frame.
+      }
+    }
+    if (have_chunk) {
+      ConsumeChunk(chunk);
+      continue;
+    }
+    if (draining) break;
+  }
+  // End of stream: flush the framer's partial final line, then leave the
+  // gauges reflecting everything ingested.
+  if (status().ok()) {
+    const Status finish = framer_.Finish();
+    if (!finish.ok()) {
+      if (errors_counter_ != nullptr) errors_counter_->Add(1);
+      CFX_LOG(Warning) << "stream ingest finish: " << finish.message();
+      std::lock_guard<std::mutex> lock(error_mu_);
+      error_ = finish;
+    }
+  }
+  RescoreAndPublish();
+}
+
+void StreamIngest::ConsumeChunk(const std::string& chunk) {
+  if (chunks_counter_ != nullptr) chunks_counter_->Add(1);
+  if (!status().ok()) return;  // Latched failure: drop, but keep counting.
+  const Status framed = framer_.Consume(chunk);
+  if (!framed.ok()) {
+    if (errors_counter_ != nullptr) errors_counter_->Add(1);
+    CFX_LOG(Warning) << "stream ingest: " << framed.message();
+    std::lock_guard<std::mutex> lock(error_mu_);
+    error_ = framed;
+  }
+}
+
+void StreamIngest::RescoreAndPublish() {
+  DriftReport report;
+  bool scored = false;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (size_t i = 0; i < psi_gauges_.size(); ++i) {
+      if (psi_gauges_[i] != nullptr) psi_gauges_[i]->Set(stats_.Psi(i));
+    }
+    if (evaluator_ != nullptr) {
+      report = evaluator_->Rescore(stats_);
+      scored = true;
+    }
+  }
+  if (scored) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = report;
+  }
+}
+
+}  // namespace stream
+}  // namespace cfx

@@ -1,0 +1,167 @@
+// Streaming ingest pipeline: byte chunks in, rolling statistics + drift
+// gauges out — the online half of ROADMAP item 2.
+//
+// StreamIngest owns one ingest thread and a bounded chunk queue. Producers
+// (a socket reader, a file tailer, the serving front end) Offer() raw byte
+// chunks; the thread frames them into validated rows (StreamFramer), folds
+// each row into the RollingStats window, and every `rescore_every_rows`
+// rows publishes the drift series through the global MetricsRegistry:
+//   * stream/rows_ingested        counter — validated rows folded in;
+//   * stream/chunks               counter — byte chunks consumed;
+//   * stream/errors               counter — framing/validation failures;
+//   * drift/<feature>/psi         gauge   — per-feature PSI vs baseline;
+//   * drift/rescore/validity_rate / feasibility_rate gauges + runs counter
+//     (via DriftEvaluator) when a pipeline is bound.
+//
+// Backpressure mirrors the serving scheduler's contract: the chunk queue
+// is bounded and Offer never blocks — a full queue rejects with
+// ResourceExhausted and the producer decides (drop, retry, shed).
+//
+// Error policy: the framer's strict validation is fatal for the stream —
+// the first malformed row latches into status(), stream/errors increments,
+// and later chunks are dropped (counted, not parsed). A transport that
+// wants to resume frames a new stream after Reset-by-reconnect; silently
+// resynchronising inside a corrupt byte stream is how bad rows sneak into
+// the window unnoticed.
+//
+// CfServer integration: AttachStreamIngest (opt-in) starts/stops this
+// pipeline with the server and feeds served counterfactuals into the
+// DriftEvaluator's reservoir from the dispatch path — one pointer check
+// when detached, zero contact with the lock-free submit ring either way.
+#ifndef CFX_STREAM_INGEST_H_
+#define CFX_STREAM_INGEST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/stream/drift.h"
+#include "src/stream/framer.h"
+#include "src/stream/rolling_stats.h"
+
+namespace cfx {
+namespace stream {
+
+/// Tuning knobs for the whole ingest pipeline.
+struct StreamIngestConfig {
+  FramerConfig framer;
+  RollingStatsConfig stats;
+  DriftEvalConfig drift;
+  /// Re-score the reservoir and republish drift gauges every N ingested
+  /// rows (0: only at Stop).
+  size_t rescore_every_rows = 512;
+  /// Bound on queued, not-yet-framed chunks; Offer rejects beyond it.
+  size_t max_queued_chunks = 256;
+};
+
+/// Bounded-queue, single-thread streaming ingest + drift publication.
+class StreamIngest {
+ public:
+  StreamIngest(const Schema& schema, StreamIngestConfig config);
+  ~StreamIngest();
+
+  StreamIngest(const StreamIngest&) = delete;
+  StreamIngest& operator=(const StreamIngest&) = delete;
+
+  /// Enables counterfactual re-scoring: `encoder`/`constraints` borrowed
+  /// (must outlive this object, constraints may be null), `predictor` is
+  /// the frozen model's batch hard-label function. Must precede Start().
+  Status BindPipeline(const TabularEncoder* encoder, BatchPredictor predictor,
+                      const ConstraintSet* constraints,
+                      ConstraintTolerance tol = ConstraintTolerance());
+
+  /// Captures the PSI baseline (normally the training split). Must precede
+  /// Start().
+  Status FitBaseline(const Table& reference);
+
+  /// Spawns the ingest thread. Fails if already started.
+  Status Start();
+
+  /// Drains queued chunks, flushes the framer's partial final line, runs a
+  /// final re-score + gauge publication, and joins the thread. Idempotent.
+  void Stop();
+
+  /// Enqueues a byte chunk. Never blocks: ResourceExhausted on a full
+  /// queue, FailedPrecondition once stopped. Chunks may split rows and
+  /// cells at any byte offset.
+  Status Offer(std::string chunk);
+
+  /// Offers a served counterfactual triple to the drift reservoir (no-op
+  /// without a bound pipeline). Safe from any thread; called by CfServer's
+  /// dispatch path when attached.
+  void ObserveServed(const Matrix& x, const Matrix& cf, int desired);
+
+  /// Validated rows folded into the window so far.
+  uint64_t rows_ingested() const {
+    return rows_ingested_.load(std::memory_order_relaxed);
+  }
+  /// First framing/validation error, OK while healthy. Latched.
+  Status status() const;
+  /// Most recent re-scoring report (zeroes before the first run).
+  DriftReport last_report() const;
+  /// Current PSI of feature `fi` (stats lock taken briefly).
+  double Psi(size_t feature_index) const;
+  /// Window stats snapshot of feature `fi`.
+  FeatureWindowStats Stats(size_t feature_index) const;
+  /// Window-vs-frozen-encoder diff (requires a bound pipeline's encoder).
+  std::vector<EncoderFeatureDrift> DiffAgainstEncoder() const;
+
+  const Schema& schema() const { return schema_; }
+  DriftEvaluator* evaluator() { return evaluator_.get(); }
+
+ private:
+  void IngestLoop();
+  void ConsumeChunk(const std::string& chunk);
+  /// Publishes per-feature PSI gauges and runs the evaluator. stats_mu_
+  /// must NOT be held (taken inside).
+  void RescoreAndPublish();
+
+  Schema schema_;
+  StreamIngestConfig config_;
+
+  /// Guards stats_ (folded by the ingest thread, snapshotted by readers).
+  mutable std::mutex stats_mu_;
+  RollingStats stats_;
+
+  StreamFramer framer_;  ///< Ingest-thread-only after Start().
+  std::unique_ptr<DriftEvaluator> evaluator_;  ///< Null until BindPipeline.
+  const TabularEncoder* encoder_ = nullptr;    ///< Borrowed; may be null.
+
+  /// Chunk queue: producers push under queue_mu_, the ingest thread pops.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::string> chunks_;  ///< Guarded by queue_mu_.
+  bool stopping_ = false;           ///< Guarded by queue_mu_.
+
+  std::mutex lifecycle_mu_;
+  bool started_ = false;  ///< Guarded by lifecycle_mu_.
+  std::thread thread_;    ///< Guarded by lifecycle_mu_.
+
+  std::atomic<uint64_t> rows_ingested_{0};
+  uint64_t rows_since_rescore_ = 0;  ///< Ingest-thread-only.
+
+  mutable std::mutex error_mu_;
+  Status error_ = Status::OK();  ///< Guarded by error_mu_. Latched.
+
+  mutable std::mutex report_mu_;
+  DriftReport last_report_;  ///< Guarded by report_mu_.
+
+  /// Metric handles; null when collection is disabled.
+  metrics::Counter* rows_counter_ = nullptr;
+  metrics::Counter* chunks_counter_ = nullptr;
+  metrics::Counter* errors_counter_ = nullptr;
+  std::vector<metrics::Gauge*> psi_gauges_;  ///< Per feature.
+};
+
+}  // namespace stream
+}  // namespace cfx
+
+#endif  // CFX_STREAM_INGEST_H_

@@ -1,0 +1,260 @@
+#include "src/stream/rolling_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cfx {
+namespace stream {
+namespace {
+
+/// Smoothing floor for PSI proportions: keeps empty bins finite without
+/// materially moving populated ones.
+constexpr double kPsiEpsilon = 1e-6;
+
+double PsiTerm(double cur, double base) {
+  cur = std::max(cur, kPsiEpsilon);
+  base = std::max(base, kPsiEpsilon);
+  return (cur - base) * std::log(cur / base);
+}
+
+}  // namespace
+
+RollingStats::RollingStats(const Schema& schema, RollingStatsConfig config)
+    : schema_(schema), config_(config) {
+  if (config_.window == 0) config_.window = 1;
+  if (config_.psi_bins == 0) config_.psi_bins = 1;
+  continuous_.resize(schema_.num_features());
+  categorical_.resize(schema_.num_features());
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    const FeatureSpec& spec = schema_.feature(i);
+    if (spec.type == FeatureType::kContinuous) {
+      continuous_[i].window_bins.assign(config_.psi_bins + 2, 0);
+    } else {
+      const size_t cats =
+          spec.type == FeatureType::kCategorical ? spec.categories.size() : 2;
+      categorical_[i].window_counts.assign(cats, 0);
+    }
+  }
+}
+
+size_t RollingStats::BinOf(const ContinuousState& state, double v) const {
+  const size_t interior = config_.psi_bins;
+  if (v < state.baseline_lo) return 0;
+  if (v > state.baseline_hi) return interior + 1;
+  const double range = state.baseline_hi - state.baseline_lo;
+  if (range <= 0.0) return 1;  // Degenerate baseline: everything in bin 1.
+  const double t = (v - state.baseline_lo) / range;
+  const size_t b = static_cast<size_t>(t * static_cast<double>(interior));
+  return 1 + std::min(b, interior - 1);
+}
+
+Status RollingStats::FitBaseline(const Table& reference) {
+  if (reference.num_features() != schema_.num_features()) {
+    return Status::InvalidArgument("baseline table schema width mismatch");
+  }
+  if (reference.num_rows() == 0) {
+    return Status::InvalidArgument("baseline table has no rows");
+  }
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    const FeatureSpec& spec = schema_.feature(i);
+    const Column& col = reference.column(i);
+    if (spec.type == FeatureType::kContinuous) {
+      ContinuousState& state = continuous_[i];
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < reference.num_rows(); ++r) {
+        if (col.IsMissing(r)) continue;
+        lo = std::min(lo, col.value(r));
+        hi = std::max(hi, col.value(r));
+      }
+      if (!std::isfinite(lo)) {
+        return Status::InvalidArgument("baseline feature '" + spec.name +
+                                       "' has no observed values");
+      }
+      state.baseline_lo = lo;
+      state.baseline_hi = hi;
+      std::vector<uint64_t> counts(config_.psi_bins + 2, 0);
+      uint64_t total = 0;
+      for (size_t r = 0; r < reference.num_rows(); ++r) {
+        if (col.IsMissing(r)) continue;
+        ++counts[BinOf(state, col.value(r))];
+        ++total;
+      }
+      state.baseline_props.assign(counts.size(), 0.0);
+      for (size_t b = 0; b < counts.size(); ++b) {
+        state.baseline_props[b] =
+            static_cast<double>(counts[b]) / static_cast<double>(total);
+      }
+      // Bin anchors moved: re-bin whatever the window already holds.
+      state.window_bins.assign(counts.size(), 0);
+      for (const std::vector<double>& row : ring_) {
+        if (!std::isnan(row[i])) ++state.window_bins[BinOf(state, row[i])];
+      }
+    } else {
+      CategoricalState& state = categorical_[i];
+      std::vector<uint64_t> counts(state.window_counts.size(), 0);
+      uint64_t total = 0;
+      for (size_t r = 0; r < reference.num_rows(); ++r) {
+        if (col.IsMissing(r)) continue;
+        const int idx = col.CategoryIndex(r);
+        if (idx < 0 || static_cast<size_t>(idx) >= counts.size()) continue;
+        ++counts[static_cast<size_t>(idx)];
+        ++total;
+      }
+      if (total == 0) {
+        return Status::InvalidArgument("baseline feature '" + spec.name +
+                                       "' has no observed values");
+      }
+      state.baseline_props.assign(counts.size(), 0.0);
+      for (size_t c = 0; c < counts.size(); ++c) {
+        state.baseline_props[c] =
+            static_cast<double>(counts[c]) / static_cast<double>(total);
+      }
+    }
+  }
+  has_baseline_ = true;
+  return Status::OK();
+}
+
+void RollingStats::Add(const std::vector<double>& values) {
+  const uint64_t seq = rows_seen_++;
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    const double v = values[i];
+    if (std::isnan(v)) continue;
+    if (schema_.feature(i).type == FeatureType::kContinuous) {
+      ContinuousState& state = continuous_[i];
+      // Monotonic deques: drop dominated entries from the back, expired
+      // entries (left the window) from the front.
+      while (!state.min_deque.empty() && state.min_deque.back().second >= v) {
+        state.min_deque.pop_back();
+      }
+      state.min_deque.emplace_back(seq, v);
+      while (!state.max_deque.empty() && state.max_deque.back().second <= v) {
+        state.max_deque.pop_back();
+      }
+      state.max_deque.emplace_back(seq, v);
+      const uint64_t expire_before =
+          seq >= config_.window ? seq - config_.window + 1 : 0;
+      while (state.min_deque.front().first < expire_before) {
+        state.min_deque.pop_front();
+      }
+      while (state.max_deque.front().first < expire_before) {
+        state.max_deque.pop_front();
+      }
+      ++state.count;
+      const double delta = v - state.mean;
+      state.mean += delta / static_cast<double>(state.count);
+      state.m2 += delta * (v - state.mean);
+      if (has_baseline_) ++state.window_bins[BinOf(state, v)];
+    } else {
+      CategoricalState& state = categorical_[i];
+      const int idx = static_cast<int>(v);
+      if (idx >= 0 && static_cast<size_t>(idx) < state.window_counts.size()) {
+        ++state.window_counts[static_cast<size_t>(idx)];
+      }
+    }
+  }
+  ring_.push_back(values);
+  if (ring_.size() > config_.window) {
+    Evict(ring_.front());
+    ring_.pop_front();
+  }
+}
+
+void RollingStats::Evict(const std::vector<double>& values) {
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    const double v = values[i];
+    if (std::isnan(v)) continue;
+    if (schema_.feature(i).type == FeatureType::kContinuous) {
+      // Extrema eviction is handled by the sequence expiry in Add; only
+      // the windowed histogram needs the departing value.
+      ContinuousState& state = continuous_[i];
+      if (has_baseline_) --state.window_bins[BinOf(state, v)];
+    } else {
+      CategoricalState& state = categorical_[i];
+      const int idx = static_cast<int>(v);
+      if (idx >= 0 && static_cast<size_t>(idx) < state.window_counts.size()) {
+        --state.window_counts[static_cast<size_t>(idx)];
+      }
+    }
+  }
+}
+
+FeatureWindowStats RollingStats::Stats(size_t feature_index) const {
+  FeatureWindowStats out;
+  const ContinuousState& state = continuous_[feature_index];
+  if (!state.min_deque.empty()) {
+    out.window_min = state.min_deque.front().second;
+    out.window_max = state.max_deque.front().second;
+  }
+  out.count = state.count;
+  out.mean = state.mean;
+  out.variance =
+      state.count > 0 ? state.m2 / static_cast<double>(state.count) : 0.0;
+  return out;
+}
+
+const std::vector<uint64_t>& RollingStats::CategoryCounts(
+    size_t feature_index) const {
+  return categorical_[feature_index].window_counts;
+}
+
+double RollingStats::Psi(size_t feature_index) const {
+  if (!has_baseline_) return 0.0;
+  const FeatureSpec& spec = schema_.feature(feature_index);
+  double psi = 0.0;
+  if (spec.type == FeatureType::kContinuous) {
+    const ContinuousState& state = continuous_[feature_index];
+    uint64_t total = 0;
+    for (uint64_t c : state.window_bins) total += c;
+    if (total == 0) return 0.0;
+    for (size_t b = 0; b < state.window_bins.size(); ++b) {
+      psi += PsiTerm(
+          static_cast<double>(state.window_bins[b]) / static_cast<double>(total),
+          state.baseline_props[b]);
+    }
+  } else {
+    const CategoricalState& state = categorical_[feature_index];
+    uint64_t total = 0;
+    for (uint64_t c : state.window_counts) total += c;
+    if (total == 0) return 0.0;
+    for (size_t c = 0; c < state.window_counts.size(); ++c) {
+      psi += PsiTerm(static_cast<double>(state.window_counts[c]) /
+                         static_cast<double>(total),
+                     state.baseline_props[c]);
+    }
+  }
+  return psi;
+}
+
+std::vector<EncoderFeatureDrift> RollingStats::DiffAgainstEncoder(
+    const TabularEncoder& encoder) const {
+  std::vector<EncoderFeatureDrift> out;
+  for (size_t i = 0; i < schema_.num_features(); ++i) {
+    if (schema_.feature(i).type != FeatureType::kContinuous) continue;
+    EncoderFeatureDrift drift;
+    drift.feature_index = i;
+    drift.frozen_min = encoder.feature_min()[i];
+    drift.frozen_max = encoder.feature_max()[i];
+    const FeatureWindowStats stats = Stats(i);
+    drift.window_min = stats.window_min;
+    drift.window_max = stats.window_max;
+    uint64_t outside = 0, present = 0;
+    for (const std::vector<double>& row : ring_) {
+      const double v = row[i];
+      if (std::isnan(v)) continue;
+      ++present;
+      if (v < drift.frozen_min || v > drift.frozen_max) ++outside;
+    }
+    drift.out_of_range_fraction =
+        present > 0
+            ? static_cast<double>(outside) / static_cast<double>(present)
+            : 0.0;
+    out.push_back(drift);
+  }
+  return out;
+}
+
+}  // namespace stream
+}  // namespace cfx

@@ -1,0 +1,143 @@
+// Rolling per-feature statistics over a bounded window of the most recent
+// streamed rows, diffable against a fitted TabularEncoder's frozen stats.
+//
+// The feasibility the paper reports is defined relative to the data
+// manifold the encoder was fitted on; when the live stream drifts, those
+// frozen statistics go stale. This class is the online view:
+//   * continuous features — exact windowed min/max (monotonic deques,
+//     amortised O(1) per row), streaming mean/variance over everything seen
+//     (Welford, numerically stable), and a windowed histogram over bins
+//     anchored to a baseline sample;
+//   * categorical/binary features — windowed category-frequency counters.
+//
+// Drift is quantified per feature as the Population Stability Index
+//     PSI = sum_b (cur_b - base_b) * ln(cur_b / base_b)
+// between the baseline bin/category proportions (captured once from a
+// reference table, normally the training split) and the current window's,
+// with epsilon smoothing so empty bins stay finite. The usual reading:
+// < 0.1 stable, 0.1–0.25 moderate shift, > 0.25 action required.
+//
+// Not thread-safe: one ingest thread owns an instance (src/stream/ingest.h
+// snapshots under its own lock for observers).
+#ifndef CFX_STREAM_ROLLING_STATS_H_
+#define CFX_STREAM_ROLLING_STATS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/data/encoder.h"
+#include "src/data/schema.h"
+#include "src/data/table.h"
+
+namespace cfx {
+namespace stream {
+
+/// Tuning knobs.
+struct RollingStatsConfig {
+  /// Rows retained in the sliding window.
+  size_t window = 1024;
+  /// Interior histogram bins per continuous feature (plus one underflow
+  /// and one overflow bin outside the baseline range).
+  size_t psi_bins = 10;
+};
+
+/// Snapshot of one feature's rolling state.
+struct FeatureWindowStats {
+  /// Windowed extrema (continuous features; 0/NaN-free by construction —
+  /// missing cells never enter the window).
+  double window_min = 0.0;
+  double window_max = 0.0;
+  /// Streaming Welford moments over every non-missing value ever seen.
+  double mean = 0.0;
+  double variance = 0.0;
+  uint64_t count = 0;  ///< Non-missing values seen (all time).
+};
+
+/// One continuous feature's drift against the encoder's frozen fit.
+struct EncoderFeatureDrift {
+  size_t feature_index = 0;
+  double frozen_min = 0.0;  ///< Encoder's fitted min.
+  double frozen_max = 0.0;
+  double window_min = 0.0;  ///< Current window's observed min.
+  double window_max = 0.0;
+  /// Fraction of window values outside [frozen_min, frozen_max] — rows the
+  /// frozen normalisation maps outside [0, 1].
+  double out_of_range_fraction = 0.0;
+};
+
+/// Sliding-window statistics for every schema feature.
+class RollingStats {
+ public:
+  RollingStats(const Schema& schema, RollingStatsConfig config);
+
+  /// Captures the baseline distribution for PSI: per continuous feature,
+  /// equal-width bin edges over the reference's observed [min, max] plus
+  /// under/overflow bins; per categorical/binary feature, category
+  /// proportions. Fails on a reference with no usable rows. Replaces any
+  /// previous baseline and clears nothing else.
+  Status FitBaseline(const Table& reference);
+  bool has_baseline() const { return has_baseline_; }
+
+  /// Folds one row (schema order, NaN = missing) into the window, evicting
+  /// the oldest row once the window is full. Missing cells do not enter
+  /// any statistic.
+  void Add(const std::vector<double>& values);
+
+  size_t rows_seen() const { return rows_seen_; }
+  /// Rows currently inside the window.
+  size_t window_rows() const { return ring_.size(); }
+
+  FeatureWindowStats Stats(size_t feature_index) const;
+
+  /// Current window's category counts (categorical/binary features).
+  const std::vector<uint64_t>& CategoryCounts(size_t feature_index) const;
+
+  /// PSI of feature `fi`'s window distribution against the baseline.
+  /// Requires FitBaseline; 0 when the window is empty.
+  double Psi(size_t feature_index) const;
+
+  /// Window-vs-frozen-fit comparison for every continuous feature.
+  std::vector<EncoderFeatureDrift> DiffAgainstEncoder(
+      const TabularEncoder& encoder) const;
+
+ private:
+  struct ContinuousState {
+    /// Monotonic deques of (sequence, value): front of `min_deque` is the
+    /// window minimum. Sequence numbers evict entries that left the window.
+    std::deque<std::pair<uint64_t, double>> min_deque;
+    std::deque<std::pair<uint64_t, double>> max_deque;
+    /// Welford accumulators (all-time).
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    /// Windowed histogram on baseline-anchored bins:
+    /// [underflow, bin 0 .. bin k-1, overflow].
+    std::vector<uint64_t> window_bins;
+    /// Baseline proportions on the same bins, epsilon-smoothed.
+    std::vector<double> baseline_props;
+    double baseline_lo = 0.0;  ///< Bin-range anchors (baseline min/max).
+    double baseline_hi = 1.0;
+  };
+  struct CategoricalState {
+    std::vector<uint64_t> window_counts;  ///< Per category index.
+    std::vector<double> baseline_props;
+  };
+
+  size_t BinOf(const ContinuousState& state, double v) const;
+  void Evict(const std::vector<double>& values);
+
+  Schema schema_;
+  RollingStatsConfig config_;
+  bool has_baseline_ = false;
+  uint64_t rows_seen_ = 0;       ///< Also the eviction sequence clock.
+  std::deque<std::vector<double>> ring_;  ///< Raw rows inside the window.
+  std::vector<ContinuousState> continuous_;    ///< Indexed by feature.
+  std::vector<CategoricalState> categorical_;  ///< Indexed by feature.
+};
+
+}  // namespace stream
+}  // namespace cfx
+
+#endif  // CFX_STREAM_ROLLING_STATS_H_

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <set>
 
@@ -616,6 +618,172 @@ TEST(CsvTest, GarbageLinesRejectedNotCrashed) {
 TEST(CsvTest, WriteMatrixCsvHeaderMismatch) {
   Matrix m(1, 2);
   EXPECT_FALSE(WriteMatrixCsv(m, {"only_one"}, "/tmp/never.csv").ok());
+}
+
+// ---- lossless round trips ---------------------------------------------------
+
+TEST(CsvTest, ContinuousCellsRoundTripBitwise) {
+  // The writer used to emit continuous cells through the %.4g report
+  // renderer, so a write->read round trip silently lost precision. Cells
+  // are now written at max_digits10: every double — subnormals, long
+  // fractions, negative zero, extremes — must come back bit for bit.
+  const double kValues[] = {
+      0.1,
+      1.0 / 3.0,
+      3.3333333333333335,
+      -0.0,
+      5e-324,                   // Smallest subnormal.
+      2.2250738585072011e-308,  // Largest subnormal.
+      2.2250738585072014e-308,  // Smallest normal.
+      1.7976931348623157e308,   // DBL_MAX.
+      19.000000000000004,
+      -123456.78901234567,
+  };
+  std::vector<FeatureSpec> features;
+  features.push_back({"x", FeatureType::kContinuous, {}, false, 0.0, 1.0});
+  Schema schema(std::move(features), "label", {"neg", "pos"});
+  Table t(schema);
+  for (double v : kValues) CFX_CHECK_OK(t.AppendRow({v}, 0));
+
+  const std::string path = ::testing::TempDir() + "/cfx_csv_bitwise.csv";
+  CFX_CHECK_OK(WriteTableCsv(t, path));
+  auto loaded = ReadTableCsv(schema, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const double original = kValues[r];
+    const double round_tripped = loaded->column(0).value(r);
+    EXPECT_EQ(std::memcmp(&original, &round_tripped, sizeof(double)), 0)
+        << "row " << r << ": " << original << " came back as "
+        << round_tripped;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteMatrixCsvRoundTripsFloatBitwise) {
+  // Same fix on the matrix writer (6-significant-digit default before):
+  // parse its output back with strtof and require bit equality.
+  const float kValues[] = {0.1f, 1.0f / 3.0f, -0.0f, 1.4e-45f /* denormal */,
+                           3.4028235e38f /* FLT_MAX */, 2.7182817f};
+  Matrix m(1, 6);
+  for (size_t c = 0; c < 6; ++c) m.at(0, c) = kValues[c];
+  const std::string path = ::testing::TempDir() + "/cfx_matrix_bitwise.csv";
+  CFX_CHECK_OK(WriteMatrixCsv(m, {}, path));
+  std::ifstream in(path);
+  std::string cell;
+  for (size_t c = 0; c < 6; ++c) {
+    ASSERT_TRUE(std::getline(in, cell, c == 5 ? '\n' : ','));
+    const float parsed = std::strtof(cell.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&kValues[c], &parsed, sizeof(float)), 0)
+        << "col " << c << ": '" << cell << "'";
+  }
+  std::remove(path.c_str());
+}
+
+// ---- header validation ------------------------------------------------------
+
+TEST(CsvTest, RejectsReorderedHeader) {
+  // The header used to be read and thrown away, so swapped columns loaded
+  // silently into the wrong features (age <- color order here would even
+  // parse: both accept numeric-looking cells in some rows).
+  const std::string path = ::testing::TempDir() + "/cfx_csv_hdr_reorder.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("color,age,member,locked,label\n30,red,yes,5,1\n", f);
+  fclose(f);
+  auto result = ReadTableCsv(TinySchema(), path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find(":1:"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("expected 'age', got 'color'"),
+            std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsMissingHeaderColumn) {
+  const std::string path = ::testing::TempDir() + "/cfx_csv_hdr_missing.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("age,color,member,label\n30,red,yes,1\n", f);
+  fclose(f);
+  auto result = ReadTableCsv(TinySchema(), path);
+  ASSERT_FALSE(result.ok());
+  // The first divergent column is named (label sits where locked belongs).
+  EXPECT_NE(result.status().message().find("expected 'locked', got 'label'"),
+            std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsExtraHeaderColumn) {
+  const std::string path = ::testing::TempDir() + "/cfx_csv_hdr_extra.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("age,color,member,locked,label,extra\n30,red,yes,5,1,9\n", f);
+  fclose(f);
+  auto result = ReadTableCsv(TinySchema(), path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("extra"), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsRenamedHeaderColumn) {
+  const std::string path = ::testing::TempDir() + "/cfx_csv_hdr_rename.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("Age,color,member,locked,label\n30,red,yes,5,1\n", f);
+  fclose(f);
+  auto result = ReadTableCsv(TinySchema(), path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("expected 'age', got 'Age'"),
+            std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, AcceptsHeaderWithSurroundingWhitespace) {
+  // Header cells are trimmed like data cells — " age " is the same column.
+  const std::string path = ::testing::TempDir() + "/cfx_csv_hdr_ws.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(" age , color ,member,locked,label\n30,red,yes,5,1\n", f);
+  fclose(f);
+  auto result = ReadTableCsv(TinySchema(), path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+// ---- encoder out-of-range category codes ------------------------------------
+
+TEST(EncoderTest, TransformColumnarRejectsOutOfRangeCategoryCode) {
+  // The one-hot scatter index was guarded only by assert(), so a Release
+  // build wrote the 1.0 past the block into the neighbouring encoded
+  // column (or off the end of the batch). Now it is a Status error.
+  Table t(TinySchema());
+  CFX_CHECK_OK(t.AppendRow({30.0, 7.0, 1.0, 5.0}, 1));  // color code 7 of 3.
+  TabularEncoder encoder(TinySchema());
+  CFX_CHECK_OK(encoder.Fit(TinyTable()));
+  auto encoded = encoder.TransformColumnar(t);
+  ASSERT_FALSE(encoded.ok());
+  EXPECT_NE(encoded.status().message().find("color"), std::string::npos)
+      << encoded.status().ToString();
+  EXPECT_NE(encoded.status().message().find("7"), std::string::npos);
+
+  // Negative codes hit the same guard.
+  Table neg(TinySchema());
+  CFX_CHECK_OK(neg.AppendRow({30.0, -1.0, 1.0, 5.0}, 1));
+  EXPECT_FALSE(encoder.TransformColumnar(neg).ok());
+
+  // The row-major wrapper shares the validation (it delegates).
+  EXPECT_FALSE(encoder.Transform(t).ok());
+}
+
+TEST(EncoderDeathTest, TransformRowAbortsOnOutOfRangeCategoryCode) {
+  // TransformRow has no Status channel; like the Batcher precedent it must
+  // abort in EVERY build rather than write out of bounds.
+  TabularEncoder encoder(TinySchema());
+  CFX_CHECK_OK(encoder.Fit(TinyTable()));
+  RawRow row;
+  row.values = {30.0, 9.0, 1.0, 5.0};
+  EXPECT_DEATH((void)encoder.TransformRow(row), "categorical feature");
 }
 
 }  // namespace

@@ -1,0 +1,650 @@
+// Tests for the streaming ingest path (src/stream/): chunk-boundary
+// independent framing, streaming-vs-batch bitwise equivalence, rolling
+// window statistics, PSI drift scoring, reservoir re-scoring and the
+// threaded ingest pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/data/csv.h"
+#include "src/data/encoder.h"
+#include "src/stream/drift.h"
+#include "src/stream/framer.h"
+#include "src/stream/ingest.h"
+#include "src/stream/rolling_stats.h"
+
+namespace cfx {
+namespace {
+
+using stream::DriftEvalConfig;
+using stream::DriftEvaluator;
+using stream::DriftReport;
+using stream::FramerConfig;
+using stream::RollingStats;
+using stream::RollingStatsConfig;
+using stream::StreamFramer;
+using stream::StreamIngest;
+using stream::StreamIngestConfig;
+
+// Force metrics collection on before main(): instrumented call sites cache
+// their handles on first use (the ingest constructor resolves them once).
+// When CFX_METRICS is set, defer to the normal env path instead so a
+// metrics.json artifact is exported at exit — EXPERIMENTS.md uses filtered
+// runs of this binary to demonstrate the drift gauges flipping.
+const bool kForcedOn = [] {
+  if (std::getenv("CFX_METRICS") == nullptr) {
+    metrics::internal::ForceEnabledForTest(1);
+  }
+  return true;
+}();
+
+Schema TinySchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back({"age", FeatureType::kContinuous, {}, false, 18.0, 80.0});
+  features.push_back({"color",
+                      FeatureType::kCategorical,
+                      {"red", "green", "blue"},
+                      false,
+                      0.0,
+                      1.0});
+  features.push_back(
+      {"member", FeatureType::kBinary, {"no", "yes"}, false, 0.0, 1.0});
+  features.push_back(
+      {"locked", FeatureType::kContinuous, {}, /*immutable=*/true, 0.0, 10.0});
+  return Schema(std::move(features), "label", {"neg", "pos"});
+}
+
+/// One continuous feature in [0, 100]; encoded width 1. The drift tests'
+/// arithmetic stays analytic on it.
+Schema ScalarSchema() {
+  std::vector<FeatureSpec> features;
+  features.push_back({"x", FeatureType::kContinuous, {}, false, 0.0, 100.0});
+  return Schema(std::move(features), "label", {"a", "b"});
+}
+
+struct FramedRow {
+  std::vector<double> values;
+  int label = 0;
+};
+
+/// Collects every framed row; bitwise-comparable.
+struct Collector {
+  std::vector<FramedRow> rows;
+  stream::RowSink Sink() {
+    return [this](const std::vector<double>& values, int label) {
+      rows.push_back({values, label});
+      return Status::OK();
+    };
+  }
+};
+
+bool BitwiseEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool RowsBitwiseEqual(const std::vector<FramedRow>& a,
+                      const std::vector<FramedRow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t r = 0; r < a.size(); ++r) {
+    if (a[r].label != b[r].label) return false;
+    if (a[r].values.size() != b[r].values.size()) return false;
+    for (size_t c = 0; c < a[r].values.size(); ++c) {
+      if (!BitwiseEqual(a[r].values[c], b[r].values[c])) return false;
+    }
+  }
+  return true;
+}
+
+/// A CSV exercising CRLF, a blank interior line, an empty (missing) cell,
+/// gnarly numerics and a final row without a trailing newline.
+const char kTinyCsv[] =
+    "age,color,member,locked,label\n"
+    "30.25,red,yes,5,1\r\n"
+    "\n"
+    "2.5e-12,green,no,-0,0\n"
+    ",blue,1,0.1,1\n"
+    "40,green,yes,8,1";  // No trailing newline: Finish() must emit it.
+
+// ---- framer -----------------------------------------------------------------
+
+TEST(FramerTest, EveryChunkSplitFramesIdentically) {
+  const Schema schema = TinySchema();
+  const std::string bytes(kTinyCsv);
+
+  Collector reference;
+  {
+    StreamFramer framer(schema, FramerConfig(), reference.Sink());
+    ASSERT_TRUE(framer.Consume(bytes).ok());
+    ASSERT_TRUE(framer.Finish().ok());
+    ASSERT_EQ(framer.rows_framed(), 4u);
+  }
+  ASSERT_EQ(reference.rows.size(), 4u);
+  EXPECT_TRUE(std::isnan(reference.rows[2].values[0]));  // Empty cell.
+
+  // Two chunks, split at every byte offset: the framed rows must not
+  // depend on where the boundary lands (mid-cell, mid-CRLF, anywhere).
+  for (size_t split = 0; split <= bytes.size(); ++split) {
+    Collector got;
+    StreamFramer framer(schema, FramerConfig(), got.Sink());
+    ASSERT_TRUE(framer.Consume(bytes.substr(0, split)).ok()) << split;
+    ASSERT_TRUE(framer.Consume(bytes.substr(split)).ok()) << split;
+    ASSERT_TRUE(framer.Finish().ok()) << split;
+    EXPECT_TRUE(RowsBitwiseEqual(reference.rows, got.rows))
+        << "split at byte " << split;
+  }
+
+  // Byte-at-a-time, with an empty chunk thrown in between each byte.
+  Collector trickle;
+  StreamFramer framer(schema, FramerConfig(), trickle.Sink());
+  for (char c : bytes) {
+    ASSERT_TRUE(framer.Consume(&c, 1).ok());
+    ASSERT_TRUE(framer.Consume("", 0).ok());  // Empty trailing chunk: no-op.
+  }
+  ASSERT_TRUE(framer.Finish().ok());
+  EXPECT_TRUE(RowsBitwiseEqual(reference.rows, trickle.rows));
+  EXPECT_EQ(framer.bytes_consumed(), bytes.size());
+}
+
+TEST(FramerTest, StreamingMatchesBatchReaderBitwise) {
+  // The same bytes through StreamFramer and ReadTableCsv must produce
+  // bitwise-identical tables AND bitwise-identical encoded batches — the
+  // tentpole's equivalence contract, provable because both paths share
+  // ParseRowLine.
+  const Schema schema = TinySchema();
+  const std::string csv =
+      "age,color,member,locked,label\n"
+      "30.25,red,yes,5,1\n"
+      "19.000000000000004,green,no,2.5e-12,0\n"
+      "79.9,blue,1,-0,1\n"
+      "0.1,red,no,3.3333333333333335,0\n";
+
+  const std::string path = ::testing::TempDir() + "/cfx_stream_equiv.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(csv.c_str(), f);
+  fclose(f);
+  auto batch = ReadTableCsv(schema, path);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  std::remove(path.c_str());
+
+  Table streamed(schema);
+  StreamFramer framer(schema, FramerConfig(),
+                      [&](const std::vector<double>& values, int label) {
+                        return streamed.AppendRow(values, label);
+                      });
+  // Deliberately awkward chunking: 7-byte slices.
+  for (size_t i = 0; i < csv.size(); i += 7) {
+    ASSERT_TRUE(framer.Consume(csv.substr(i, 7)).ok());
+  }
+  ASSERT_TRUE(framer.Finish().ok());
+
+  ASSERT_EQ(streamed.num_rows(), batch->num_rows());
+  for (size_t c = 0; c < schema.num_features(); ++c) {
+    for (size_t r = 0; r < streamed.num_rows(); ++r) {
+      ASSERT_EQ(streamed.column(c).IsMissing(r), batch->column(c).IsMissing(r));
+      if (!streamed.column(c).IsMissing(r)) {
+        EXPECT_TRUE(BitwiseEqual(streamed.column(c).value(r),
+                                 batch->column(c).value(r)))
+            << "feature " << c << " row " << r;
+      }
+    }
+  }
+  for (size_t r = 0; r < streamed.num_rows(); ++r) {
+    EXPECT_EQ(streamed.label(r), batch->label(r));
+  }
+
+  // Encoded view: one encoder fitted on the batch table transforms both
+  // into bitwise-identical column batches.
+  TabularEncoder encoder(schema);
+  ASSERT_TRUE(encoder.Fit(*batch).ok());
+  auto enc_batch = encoder.TransformColumnar(*batch);
+  auto enc_stream = encoder.TransformColumnar(streamed);
+  ASSERT_TRUE(enc_batch.ok());
+  ASSERT_TRUE(enc_stream.ok());
+  ASSERT_EQ(enc_batch->rows(), enc_stream->rows());
+  ASSERT_EQ(enc_batch->cols(), enc_stream->cols());
+  for (size_t c = 0; c < enc_batch->cols(); ++c) {
+    EXPECT_EQ(std::memcmp(enc_batch->column(c), enc_stream->column(c),
+                          enc_batch->rows() * sizeof(float)),
+              0)
+        << "encoded column " << c;
+  }
+}
+
+TEST(FramerTest, CrlfAndLfMixedLinesFrameEqually) {
+  const Schema schema = TinySchema();
+  Collector lf, crlf;
+  StreamFramer flf(schema, FramerConfig(), lf.Sink());
+  StreamFramer fcrlf(schema, FramerConfig(), crlf.Sink());
+  ASSERT_TRUE(
+      flf.Consume("age,color,member,locked,label\n30,red,yes,5,1\n").ok());
+  ASSERT_TRUE(
+      fcrlf.Consume("age,color,member,locked,label\r\n30,red,yes,5,1\r\n")
+          .ok());
+  ASSERT_TRUE(flf.Finish().ok());
+  ASSERT_TRUE(fcrlf.Finish().ok());
+  EXPECT_TRUE(RowsBitwiseEqual(lf.rows, crlf.rows));
+  EXPECT_EQ(crlf.rows.size(), 1u);
+}
+
+TEST(FramerTest, PartialFinalLineRequiresFinish) {
+  const Schema schema = TinySchema();
+  Collector got;
+  StreamFramer framer(schema, FramerConfig(), got.Sink());
+  ASSERT_TRUE(
+      framer.Consume("age,color,member,locked,label\n30,red,yes,5,1").ok());
+  EXPECT_EQ(got.rows.size(), 0u);  // Buffered: the row may still grow.
+  ASSERT_TRUE(framer.Finish().ok());
+  EXPECT_EQ(got.rows.size(), 1u);
+  ASSERT_TRUE(framer.Finish().ok());  // Idempotent.
+  EXPECT_EQ(got.rows.size(), 1u);
+  // Consume after Finish is a contract violation, not silent data loss.
+  EXPECT_FALSE(framer.Consume("x", 1).ok());
+}
+
+TEST(FramerTest, OversizedCellRejectedAndLatched) {
+  const Schema schema = TinySchema();
+  FramerConfig config;
+  config.max_cell_bytes = 8;
+  Collector got;
+  StreamFramer framer(schema, config, got.Sink());
+  const std::string line = "age,color,member,locked,label\n123456789,red,yes,5,1\n";
+  const Status first = framer.Consume(line);
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("cell"), std::string::npos);
+  // Latched: the same error, not fresh parsing, on every later call.
+  const Status second = framer.Consume("30,red,yes,5,1\n");
+  EXPECT_EQ(second.message(), first.message());
+  EXPECT_EQ(got.rows.size(), 0u);
+  // Reset clears the latch and the header state.
+  framer.Reset();
+  ASSERT_TRUE(
+      framer.Consume("age,color,member,locked,label\n30,red,yes,5,1\n").ok());
+  EXPECT_EQ(got.rows.size(), 1u);
+}
+
+TEST(FramerTest, OversizedLineRejectedWithoutUnboundedBuffering) {
+  const Schema schema = TinySchema();
+  FramerConfig config;
+  config.max_line_bytes = 64;
+  Collector got;
+  StreamFramer framer(schema, config, got.Sink());
+  ASSERT_TRUE(framer.Consume("age,color,member,locked,label\n").ok());
+  // A newline-free stream must be cut off at the cap, not buffered forever.
+  Status status = Status::OK();
+  for (int i = 0; i < 100 && status.ok(); ++i) {
+    status = framer.Consume("xxxxxxxxxx", 10);
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceeds"), std::string::npos);
+}
+
+TEST(FramerTest, HeaderMismatchNamesRowOne) {
+  const Schema schema = TinySchema();
+  Collector got;
+  StreamFramer framer(schema, FramerConfig(), got.Sink());
+  const Status status =
+      framer.Consume("color,age,member,locked,label\n30,red,yes,5,1\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("row 1"), std::string::npos);
+  EXPECT_NE(status.message().find("expected 'age'"), std::string::npos);
+  EXPECT_EQ(got.rows.size(), 0u);
+}
+
+TEST(FramerTest, NoHeaderModeFramesFirstLineAsData) {
+  const Schema schema = TinySchema();
+  FramerConfig config;
+  config.expect_header = false;
+  Collector got;
+  StreamFramer framer(schema, config, got.Sink());
+  ASSERT_TRUE(framer.Consume("30,red,yes,5,1\n").ok());
+  EXPECT_EQ(got.rows.size(), 1u);
+}
+
+TEST(FramerTest, SinkErrorAbortsFraming) {
+  const Schema schema = TinySchema();
+  StreamFramer framer(schema, FramerConfig(),
+                      [](const std::vector<double>&, int) {
+                        return Status::Internal("sink full");
+                      });
+  const Status status =
+      framer.Consume("age,color,member,locked,label\n30,red,yes,5,1\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("sink full"), std::string::npos);
+  EXPECT_EQ(framer.rows_framed(), 0u);
+}
+
+TEST(FramerTest, BadRowNamesItsLineNumber) {
+  const Schema schema = TinySchema();
+  Collector got;
+  StreamFramer framer(schema, FramerConfig(), got.Sink());
+  const Status status = framer.Consume(
+      "age,color,member,locked,label\n30,red,yes,5,1\n30,purple,yes,5,1\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("row 3"), std::string::npos);
+  EXPECT_EQ(got.rows.size(), 1u);  // The good row before the bad one landed.
+}
+
+// ---- rolling stats ----------------------------------------------------------
+
+TEST(RollingStatsTest, WindowedExtremaAndMomentsMatchNaive) {
+  const Schema schema = ScalarSchema();
+  RollingStatsConfig config;
+  config.window = 32;
+  RollingStats stats(schema, config);
+
+  Rng rng(0xAB5);
+  std::deque<double> window;
+  double sum = 0.0, sumsq = 0.0;
+  size_t n = 0;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(-50.0, 150.0);
+    stats.Add({v});
+    window.push_back(v);
+    if (window.size() > config.window) window.pop_front();
+    sum += v;
+    sumsq += v * v;
+    ++n;
+
+    const auto s = stats.Stats(0);
+    double lo = window.front(), hi = window.front();
+    for (double w : window) {
+      lo = std::min(lo, w);
+      hi = std::max(hi, w);
+    }
+    ASSERT_DOUBLE_EQ(s.window_min, lo) << "step " << i;
+    ASSERT_DOUBLE_EQ(s.window_max, hi) << "step " << i;
+    const double mean = sum / static_cast<double>(n);
+    const double var = sumsq / static_cast<double>(n) - mean * mean;
+    ASSERT_NEAR(s.mean, mean, 1e-9 * std::abs(mean) + 1e-12);
+    ASSERT_NEAR(s.variance, var, 1e-6 * std::abs(var) + 1e-9);
+    ASSERT_EQ(s.count, static_cast<uint64_t>(n));
+  }
+  EXPECT_EQ(stats.window_rows(), config.window);
+  EXPECT_EQ(stats.rows_seen(), 500u);
+}
+
+TEST(RollingStatsTest, PsiNearZeroInDistributionLargeUnderShift) {
+  const Schema schema = ScalarSchema();
+  Table baseline(schema);
+  Rng rng(0x90);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(baseline.AppendRow({rng.Uniform(0.0, 100.0)}, 0).ok());
+  }
+
+  RollingStatsConfig config;
+  config.window = 512;
+  RollingStats stats(schema, config);
+  ASSERT_TRUE(stats.FitBaseline(baseline).ok());
+  EXPECT_EQ(stats.Psi(0), 0.0);  // Empty window: no evidence, no drift.
+
+  // Same distribution: PSI stays in the "stable" band.
+  for (int i = 0; i < 512; ++i) stats.Add({rng.Uniform(0.0, 100.0)});
+  EXPECT_LT(stats.Psi(0), 0.1) << stats.Psi(0);
+
+  // Concentrated shift into the top decile: PSI crosses the action line.
+  for (int i = 0; i < 512; ++i) stats.Add({rng.Uniform(90.0, 100.0)});
+  EXPECT_GT(stats.Psi(0), 0.25) << stats.Psi(0);
+}
+
+TEST(RollingStatsTest, CategoricalPsiTracksFrequencyShift) {
+  const Schema schema = TinySchema();
+  Table baseline(schema);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        baseline.AppendRow({30.0, static_cast<double>(i % 3), 1.0, 5.0}, 1)
+            .ok());
+  }
+  RollingStats stats(schema, RollingStatsConfig());
+  ASSERT_TRUE(stats.FitBaseline(baseline).ok());
+
+  // Balanced stream: near-zero categorical PSI.
+  for (int i = 0; i < 30; ++i) {
+    stats.Add({30.0, static_cast<double>(i % 3), 1.0, 5.0});
+  }
+  EXPECT_LT(stats.Psi(1), 0.05);
+  const auto& counts = stats.CategoryCounts(1);
+  EXPECT_EQ(counts[0], 10u);
+  EXPECT_EQ(counts[1], 10u);
+  EXPECT_EQ(counts[2], 10u);
+
+  // All-red stream long enough to wash the window: PSI flips high.
+  for (int i = 0; i < 2000; ++i) stats.Add({30.0, 0.0, 1.0, 5.0});
+  EXPECT_GT(stats.Psi(1), 0.25) << stats.Psi(1);
+}
+
+TEST(RollingStatsTest, DiffAgainstEncoderFlagsOutOfRangeRows) {
+  const Schema schema = ScalarSchema();
+  Table train(schema);
+  ASSERT_TRUE(train.AppendRow({0.0}, 0).ok());
+  ASSERT_TRUE(train.AppendRow({100.0}, 1).ok());
+  TabularEncoder encoder(schema);
+  ASSERT_TRUE(encoder.Fit(train).ok());
+
+  RollingStats stats(schema, RollingStatsConfig());
+  for (int i = 0; i < 10; ++i) stats.Add({50.0});
+  for (int i = 0; i < 10; ++i) stats.Add({150.0});  // Outside frozen range.
+
+  const auto drift = stats.DiffAgainstEncoder(encoder);
+  ASSERT_EQ(drift.size(), 1u);
+  EXPECT_DOUBLE_EQ(drift[0].frozen_min, 0.0);
+  EXPECT_DOUBLE_EQ(drift[0].frozen_max, 100.0);
+  EXPECT_DOUBLE_EQ(drift[0].window_min, 50.0);
+  EXPECT_DOUBLE_EQ(drift[0].window_max, 150.0);
+  EXPECT_DOUBLE_EQ(drift[0].out_of_range_fraction, 0.5);
+}
+
+// ---- drift evaluator --------------------------------------------------------
+
+/// Fitted [0,100] scalar encoder for the analytic drift tests.
+TabularEncoder FittedScalarEncoder() {
+  const Schema schema = ScalarSchema();
+  Table train(schema);
+  (void)train.AppendRow({0.0}, 0);
+  (void)train.AppendRow({100.0}, 1);
+  TabularEncoder encoder(schema);
+  Status fitted = encoder.Fit(train);
+  EXPECT_TRUE(fitted.ok());
+  return encoder;
+}
+
+/// Hard-threshold classifier on the single encoded slot.
+stream::BatchPredictor ThresholdPredictor() {
+  return [](const Matrix& m) {
+    std::vector<int> out(m.rows());
+    for (size_t r = 0; r < m.rows(); ++r) {
+      out[r] = m.at(r, 0) > 0.5f ? 1 : 0;
+    }
+    return out;
+  };
+}
+
+TEST(DriftEvalTest, ReservoirIsBoundedAndCountsObservations) {
+  TabularEncoder encoder = FittedScalarEncoder();
+  DriftEvalConfig config;
+  config.reservoir = 16;
+  DriftEvaluator eval(&encoder, ThresholdPredictor(), nullptr,
+                      ConstraintTolerance(), config);
+  Matrix row(1, 1);
+  row.at(0, 0) = 0.8f;
+  for (int i = 0; i < 1000; ++i) eval.RecordServed(row, row, 1);
+  EXPECT_EQ(eval.retained(), 16u);
+  EXPECT_EQ(eval.observed(), 1000u);
+}
+
+TEST(DriftEvalTest, EmptyWindowReproducesServingTimeScores) {
+  TabularEncoder encoder = FittedScalarEncoder();
+  DriftEvaluator eval(&encoder, ThresholdPredictor(), nullptr,
+                      ConstraintTolerance(), DriftEvalConfig());
+  Matrix x(1, 1), cf(1, 1);
+  x.at(0, 0) = 0.2f;
+  cf.at(0, 0) = 0.8f;  // Predicted 1 == desired 1 at serving time.
+  for (int i = 0; i < 8; ++i) eval.RecordServed(x, cf, 1);
+
+  RollingStats stats(ScalarSchema(), RollingStatsConfig());  // No rows.
+  const DriftReport report = eval.Rescore(stats);
+  EXPECT_EQ(report.scored, 8u);
+  EXPECT_DOUBLE_EQ(report.validity_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.feasibility_rate, 1.0);
+}
+
+TEST(DriftEvalTest, ShiftedWindowFlipsValidityAndFeasibility) {
+  TabularEncoder encoder = FittedScalarEncoder();
+  DriftEvaluator eval(&encoder, ThresholdPredictor(), nullptr,
+                      ConstraintTolerance(), DriftEvalConfig());
+  Matrix x(1, 1), cf(1, 1);
+  x.at(0, 0) = 0.2f;
+  cf.at(0, 0) = 0.8f;  // Raw 80 under the frozen [0, 100] fit.
+  for (int i = 0; i < 8; ++i) eval.RecordServed(x, cf, 1);
+
+  // The live stream now runs over raw [100, 200]: the same raw-80
+  // individual lands at (80 - 100) / 100 = -0.2 on the current frame —
+  // below the 0.5 decision threshold AND outside the [0, 1] input domain.
+  RollingStats stats(ScalarSchema(), RollingStatsConfig());
+  for (int i = 0; i <= 100; ++i) stats.Add({100.0 + i});
+  const DriftReport report = eval.Rescore(stats);
+  EXPECT_EQ(report.scored, 8u);
+  EXPECT_DOUBLE_EQ(report.validity_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.feasibility_rate, 0.0);
+
+  // The published gauges carry the same verdicts.
+  metrics::Gauge* validity = metrics::GetGauge("drift/rescore/validity_rate");
+  ASSERT_NE(validity, nullptr);
+  EXPECT_DOUBLE_EQ(validity->value(), 0.0);
+}
+
+// ---- threaded ingest --------------------------------------------------------
+
+TEST(IngestTest, ThreadedPipelinePublishesRowsPsiAndRescore) {
+  const Schema schema = TinySchema();
+  Table baseline(schema);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        baseline
+            .AppendRow({20.0 + i, static_cast<double>(i % 3), 1.0, 5.0}, 1)
+            .ok());
+  }
+  TabularEncoder encoder(schema);
+  ASSERT_TRUE(encoder.Fit(baseline).ok());
+
+  StreamIngestConfig config;
+  config.rescore_every_rows = 16;
+  StreamIngest ingest(schema, config);
+  ASSERT_TRUE(ingest
+                  .BindPipeline(&encoder,
+                                [&](const Matrix& m) {
+                                  return std::vector<int>(m.rows(), 1);
+                                },
+                                nullptr)
+                  .ok());
+  ASSERT_TRUE(ingest.FitBaseline(baseline).ok());
+
+  // A couple of served triples so the periodic re-score has work.
+  Matrix enc_row = encoder.Transform(baseline).value().SliceRows(0, 1);
+  ingest.ObserveServed(enc_row, enc_row, 1);
+  ingest.ObserveServed(enc_row, enc_row, 1);
+
+  const uint64_t rows_before =
+      metrics::GetCounter("stream/rows_ingested")->value();
+
+  ASSERT_TRUE(ingest.Start().ok());
+  EXPECT_FALSE(ingest.Start().ok());  // Double-start rejected.
+
+  // 64 rows, shifted distribution, offered in awkward 13-byte chunks with
+  // retry-on-backpressure — the realistic producer loop.
+  std::string csv = "age,color,member,locked,label\n";
+  for (int i = 0; i < 64; ++i) {
+    csv += "95.5,red,no,5,1\n";
+  }
+  for (size_t i = 0; i < csv.size(); i += 13) {
+    Status offered = ingest.Offer(csv.substr(i, 13));
+    while (!offered.ok()) {
+      ASSERT_EQ(offered.code(), StatusCode::kResourceExhausted)
+          << offered.ToString();
+      std::this_thread::yield();
+      offered = ingest.Offer(csv.substr(i, 13));
+    }
+  }
+  ingest.Stop();
+
+  ASSERT_TRUE(ingest.status().ok()) << ingest.status().ToString();
+  EXPECT_EQ(ingest.rows_ingested(), 64u);
+  EXPECT_EQ(metrics::GetCounter("stream/rows_ingested")->value(),
+            rows_before + 64);
+
+  // Age drifted from baseline [20, 50) to constant 95.5: PSI must scream.
+  EXPECT_GT(ingest.Psi(0), 0.25);
+  EXPECT_EQ(metrics::GetGauge("drift/age/psi")->value(), ingest.Psi(0));
+  // Color collapsed to all-red.
+  EXPECT_GT(ingest.Psi(1), 0.25);
+
+  // The final re-score ran over the reservoir.
+  const DriftReport report = ingest.last_report();
+  EXPECT_EQ(report.scored, 2u);
+  EXPECT_DOUBLE_EQ(report.validity_rate, 1.0);  // Predictor always says 1.
+
+  // Window stats visible after Stop.
+  EXPECT_DOUBLE_EQ(ingest.Stats(0).window_min, 95.5);
+  const auto drift = ingest.DiffAgainstEncoder();
+  ASSERT_FALSE(drift.empty());
+  EXPECT_GT(drift[0].out_of_range_fraction, 0.99);
+}
+
+TEST(IngestTest, OfferBackpressureIsResourceExhausted) {
+  const Schema schema = TinySchema();
+  StreamIngestConfig config;
+  config.max_queued_chunks = 2;
+  StreamIngest ingest(schema, config);
+  // Not started: nothing drains, so the bound is reached deterministically.
+  ASSERT_TRUE(ingest.Offer("a").ok());
+  ASSERT_TRUE(ingest.Offer("b").ok());
+  const Status full = ingest.Offer("c");
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(IngestTest, ChunksOfferedBeforeStartAreProcessed) {
+  const Schema schema = TinySchema();
+  StreamIngest ingest(schema, StreamIngestConfig());
+  ASSERT_TRUE(
+      ingest.Offer("age,color,member,locked,label\n30,red,yes,5,1\n").ok());
+  ASSERT_TRUE(ingest.Start().ok());
+  ingest.Stop();
+  EXPECT_EQ(ingest.rows_ingested(), 1u);
+  EXPECT_TRUE(ingest.status().ok());
+  // Offer after Stop is rejected, not silently dropped.
+  EXPECT_FALSE(ingest.Offer("x").ok());
+}
+
+TEST(IngestTest, MalformedRowLatchesErrorAndKeepsEarlierRows) {
+  const Schema schema = TinySchema();
+  const uint64_t errors_before =
+      metrics::GetCounter("stream/errors")->value();
+  StreamIngest ingest(schema, StreamIngestConfig());
+  ASSERT_TRUE(ingest.Start().ok());
+  ASSERT_TRUE(ingest
+                  .Offer(
+                      "age,color,member,locked,label\n"
+                      "30,red,yes,5,1\n"
+                      "zz,red,yes,5,1\n"
+                      "40,blue,no,2,0\n")
+                  .ok());
+  ingest.Stop();
+  EXPECT_FALSE(ingest.status().ok());
+  EXPECT_NE(ingest.status().message().find("row 3"), std::string::npos)
+      << ingest.status().ToString();
+  EXPECT_EQ(ingest.rows_ingested(), 1u);  // The row before the poison pill.
+  EXPECT_EQ(metrics::GetCounter("stream/errors")->value(), errors_before + 1);
+}
+
+}  // namespace
+}  // namespace cfx

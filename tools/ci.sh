@@ -24,15 +24,20 @@
 #                       multi-model smoke (registry-routed perf_serve arms;
 #                       the metrics artifact must carry the registry
 #                       residency/cold-start/eviction series and the
-#                       per-model serve/dispatch/<model>/<method> counters).
+#                       per-model serve/dispatch/<model>/<method> counters),
+#                       and a stream smoke (perf_stream ingest/drift arms;
+#                       the metrics artifact must carry stream/rows_ingested
+#                       and at least one drift/ series).
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
 #                       ctest + the same smokes under the sanitizers.
 #   3. "tsan" preset  — thread sanitizer over the concurrency-heavy
 #                       binaries: serve_test (scheduler), registry_test
 #                       (model residency/eviction races), mpsc_queue_test
-#                       (submit ring), bloom_filter_test (cache front), the
+#                       (submit ring), bloom_filter_test (cache front),
+#                       stream_test (producers vs the ingest thread), the
 #                       concurrent PredictionCache tests, and the
-#                       multi-model smoke (eviction churn under TSan).
+#                       multi-model + stream smokes (eviction churn and the
+#                       threaded ingest pipeline under TSan).
 #
 # Bench provenance: every BENCH_*.json committed at the repo root must come
 # from a Release build — the smokes here run from the Release "ci" preset
@@ -183,6 +188,36 @@ serve_smoke() {
   done
 }
 
+# Streaming ingest smoke: the perf_stream framing + end-to-end arms with
+# metrics collection on. The artifact must parse and carry the ingest
+# counters and at least one drift series — proving chunks really framed
+# into rows and the drift re-scorer published its gauges during the run.
+stream_smoke() {
+  local build_dir="$1"
+  local metrics_json="$build_dir/bench_smoke_stream_metrics.json"
+  rm -f "$metrics_json"
+  CFX_THREADS=1 CFX_METRICS="$metrics_json" \
+    "$build_dir/bench/perf_stream" \
+    --benchmark_filter='BM_FramerConsume/4096|BM_DriftRescore/64|BM_IngestEndToEnd' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out="$build_dir/bench_smoke_perf_stream.json" \
+    --benchmark_out_format=json
+  if [[ ! -s "$metrics_json" ]]; then
+    echo "stream smoke: missing artifact $metrics_json" >&2
+    return 1
+  fi
+  if ! python3 -m json.tool "$metrics_json" > /dev/null; then
+    echo "stream smoke: unparsable JSON in $metrics_json" >&2
+    return 1
+  fi
+  for key in 'stream/rows_ingested' 'drift/'; do
+    if ! grep -q "$key" "$metrics_json"; then
+      echo "stream smoke: $metrics_json lacks '$key'" >&2
+      return 1
+    fi
+  done
+}
+
 # Provenance scan over the BENCH_*.json artifacts committed at the repo
 # root: any file whose recorded build type is not "release" gets a loud
 # warning (non-blocking — the artifact may predate the provenance fields,
@@ -299,6 +334,8 @@ echo "==> [1/3] serve smoke (perf_serve + scheduler metrics artifact)"
 serve_smoke build-ci
 echo "==> [1/3] multi-model smoke (registry metrics artifact)"
 multimodel_smoke build-ci
+echo "==> [1/3] stream smoke (perf_stream + ingest/drift metrics artifact)"
+stream_smoke build-ci
 echo "==> [1/3] serving-perf gate vs committed baseline"
 serve_bench_compare build-ci
 
@@ -320,6 +357,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=0 serve_smoke build-asan
   echo "==> [2/3] multi-model smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 multimodel_smoke build-asan
+  echo "==> [2/3] stream smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 stream_smoke build-asan
 else
   echo "==> [2/3] ASan/UBSan build skipped (--skip-asan)"
 fi
@@ -331,7 +370,7 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   # single-threaded code at ~10x cost for no added coverage.
   cmake --build --preset tsan -j "$jobs" \
     --target serve_test registry_test mpsc_queue_test bloom_filter_test \
-             baselines_test perf_serve
+             baselines_test stream_test perf_serve perf_stream
   echo "==> [3/3] serve_test under TSan"
   CFX_THREADS=1 ./build-tsan/tests/serve_test
   echo "==> [3/3] registry_test under TSan (evict-under-load races)"
@@ -342,8 +381,12 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   ./build-tsan/tests/bloom_filter_test
   echo "==> [3/3] concurrent PredictionCache tests under TSan"
   ./build-tsan/tests/baselines_test --gtest_filter='PredictionCache*'
+  echo "==> [3/3] stream_test under TSan (ingest thread vs producers)"
+  CFX_THREADS=1 ./build-tsan/tests/stream_test
   echo "==> [3/3] multi-model smoke under TSan (eviction churn)"
   multimodel_smoke build-tsan
+  echo "==> [3/3] stream smoke under TSan (ingest pipeline)"
+  stream_smoke build-tsan
 else
   echo "==> [3/3] TSan build skipped (--skip-tsan)"
 fi
