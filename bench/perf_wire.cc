@@ -1,0 +1,168 @@
+// Wire frame codec and transport throughput: frame encode, strict decode
+// (the full corruption-taxonomy validation path plus the CRC-32 trailer),
+// the chunk-boundary-independent streaming decoder at several chunk sizes,
+// and round-trip latency over a Unix socketpair-style loopback. Payload
+// arms sweep the row-batch matrix size because the coordinator/worker
+// protocol's cost ceiling is moving result and row-batch frames, not the
+// tiny control frames.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "src/eval/protocol.h"
+#include "src/tensor/matrix.h"
+#include "src/wire/frame.h"
+#include "src/wire/transport.h"
+
+namespace cfx {
+namespace {
+
+using wire::Frame;
+using wire::FrameDecoder;
+using wire::FrameDecoderConfig;
+using wire::FrameType;
+
+/// A result-shaped control frame (what the coordinator sees per cell).
+Frame ResultFrame() {
+  eval::EvalCellResult result;
+  result.row.metrics.method_name = "ours_unary";
+  result.row.metrics.validity = 0.9875;
+  result.row.metrics.feasibility_unary = 0.8125;
+  result.row.metrics.feasibility_binary = 0.75;
+  result.row.metrics.continuous_proximity = 1.203125;
+  result.row.metrics.categorical_proximity = 0.5;
+  result.row.metrics.sparsity = 2.25;
+  result.row.show_unary = true;
+  result.row.show_binary = true;
+  result.eval_rows = 200;
+  return eval::MakeResultFrame(17, result);
+}
+
+/// A row-batch frame with a rows x 16 matrix (the bulk-payload shape).
+Frame RowBatchFrame(size_t rows) {
+  Matrix m(rows, 16);
+  for (size_t i = 0; i < rows * 16; ++i) m[i] = static_cast<float>(i % 97);
+  std::vector<double> labels(rows, 1.0);
+  return eval::MakeRowBatchFrame(3, m, labels);
+}
+
+void BM_EncodeResultFrame(benchmark::State& state) {
+  const Frame frame = ResultFrame();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string encoded = EncodeFrame(frame);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeResultFrame);
+
+void BM_DecodeResultFrame(benchmark::State& state) {
+  const Frame frame = ResultFrame();
+  const std::string body = EncodeFrameBody(frame.type, frame.payload);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Frame out;
+    benchmark::DoNotOptimize(wire::DecodeFrameBody(body, &out));
+    bytes += body.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_DecodeResultFrame);
+
+void BM_EncodeRowBatch(benchmark::State& state) {
+  const Frame frame = RowBatchFrame(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string encoded = EncodeFrame(frame);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_EncodeRowBatch)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DecodeRowBatch(benchmark::State& state) {
+  const Frame frame = RowBatchFrame(static_cast<size_t>(state.range(0)));
+  const std::string body = EncodeFrameBody(frame.type, frame.payload);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    Frame out;
+    benchmark::DoNotOptimize(wire::DecodeFrameBody(body, &out));
+    bytes += body.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_DecodeRowBatch)->Arg(64)->Arg(512)->Arg(4096);
+
+/// Streaming decode of a frame train, fed in fixed-size chunks — the
+/// receive-path shape. The chunk-size arm exposes the pending-buffer
+/// reassembly cost when frames straddle chunk boundaries.
+void BM_StreamingDecode(benchmark::State& state) {
+  const size_t chunk = static_cast<size_t>(state.range(0));
+  std::string train;
+  for (int i = 0; i < 32; ++i) train += EncodeFrame(ResultFrame());
+  size_t frames = 0;
+  for (auto _ : state) {
+    FrameDecoder decoder(FrameDecoderConfig(), [&frames](Frame&&) {
+      ++frames;
+      return Status::OK();
+    });
+    for (size_t pos = 0; pos < train.size(); pos += chunk) {
+      const size_t n = std::min(chunk, train.size() - pos);
+      if (!decoder.Consume(train.data() + pos, n).ok()) {
+        state.SkipWithError("decode error");
+        return;
+      }
+    }
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(train.size()));
+  state.counters["frames"] = static_cast<double>(frames);
+}
+BENCHMARK(BM_StreamingDecode)->Arg(64)->Arg(1024)->Arg(65536);
+
+/// Send/receive round-trip over a real Unix socket — the per-frame
+/// transport floor a coordinator pays per worker exchange.
+void BM_UnixLoopbackRoundTrip(benchmark::State& state) {
+  const std::string path =
+      "/tmp/cfx_perf_wire_" + std::to_string(::getpid()) + ".sock";
+  auto addr = wire::ParseWireAddr("unix:" + path);
+  auto listener = wire::Listener::Bind(*addr);
+  if (!listener.ok()) {
+    state.SkipWithError(listener.status().ToString().c_str());
+    return;
+  }
+  auto client = wire::ConnectWithRetry(*addr, 5000);
+  auto server = listener->Accept(5000);
+  if (!client.ok() || !server.ok()) {
+    state.SkipWithError("loopback setup failed");
+    return;
+  }
+  const Frame frame = ResultFrame();
+  for (auto _ : state) {
+    if (!client->SendFrame(frame, 5000).ok()) {
+      state.SkipWithError("send failed");
+      break;
+    }
+    Frame got;
+    if (!server->ReceiveFrame(&got, 5000).ok()) {
+      state.SkipWithError("receive failed");
+      break;
+    }
+    benchmark::DoNotOptimize(got);
+  }
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_UnixLoopbackRoundTrip);
+
+}  // namespace
+}  // namespace cfx
+
+CFX_BENCHMARK_MAIN("perf_wire")

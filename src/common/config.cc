@@ -8,11 +8,6 @@
 
 namespace cfx {
 
-namespace {
-
-/// Strict base-10 unsigned parse of the whole string. Rejects empty input,
-/// signs, trailing junk ("10k") and out-of-range values — strtoull alone
-/// would silently accept all of those.
 bool ParseUint64(const char* s, uint64_t* out) {
   // strtoull skips leading whitespace and accepts signs; require the value
   // to start with a digit so those are rejected too.
@@ -24,8 +19,6 @@ bool ParseUint64(const char* s, uint64_t* out) {
   *out = v;
   return true;
 }
-
-}  // namespace
 
 bool ParseScaleName(const std::string& name, Scale* out) {
   const std::string lower = ToLower(name);

@@ -32,6 +32,12 @@ bool ParseScaleName(const std::string& name, Scale* out);
 /// Canonical name of a scale value.
 const char* ScaleName(Scale scale);
 
+/// Strict base-10 unsigned parse of the whole string. Rejects empty input,
+/// signs, leading whitespace, trailing junk ("10k") and out-of-range
+/// values — strtoull alone silently accepts all of those. Used for every
+/// numeric CLI flag and env knob.
+bool ParseUint64(const char* s, uint64_t* out);
+
 /// Global run configuration derived from the environment.
 struct RunConfig {
   Scale scale = Scale::kSmall;

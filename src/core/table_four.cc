@@ -5,6 +5,32 @@
 
 namespace cfx {
 
+StatusOr<TableFourCellOutput> RunTableFourCell(Experiment& exp,
+                                               MethodKind kind) {
+  std::unique_ptr<CfMethod> method = CreateMethod(kind, exp.method_context());
+  if (method == nullptr) return Status::Internal("null method");
+  CFX_LOG(Info) << "fitting " << method->name();
+  CFX_RETURN_IF_ERROR(method->Fit(exp.x_train(), exp.y_train()));
+  Matrix x_eval = exp.TestSubset(exp.run_config().eval_instances);
+  CfResult cfs = method->Generate(x_eval);
+  MethodMetrics metrics =
+      EvaluateMethod(method->name(), exp.encoder(), exp.info(), cfs);
+  CFX_LOG(Info) << method->name() << ": validity=" << metrics.validity
+                << " feas_u=" << metrics.feasibility_unary
+                << " feas_b=" << metrics.feasibility_binary
+                << " sparsity=" << metrics.sparsity;
+  TableFourCellOutput out;
+  out.row = {metrics, ShowsUnaryColumn(kind), ShowsBinaryColumn(kind)};
+  out.eval_rows = x_eval.rows();
+  return out;
+}
+
+std::string TableFourTitle(DatasetId dataset, const RunConfig& config,
+                           size_t eval_rows) {
+  return StrFormat("Table IV — %s dataset (scale=%s, %zu eval rows)",
+                   DatasetName(dataset), ScaleName(config.scale), eval_rows);
+}
+
 StatusOr<TableFourResult> RunTableFour(DatasetId dataset,
                                        const RunConfig& config,
                                        const std::vector<MethodKind>& kinds) {
@@ -12,29 +38,18 @@ StatusOr<TableFourResult> RunTableFour(DatasetId dataset,
   if (!experiment.ok()) return experiment.status();
   Experiment& exp = **experiment;
 
-  Matrix x_eval = exp.TestSubset(config.eval_instances);
-
   TableFourResult result;
   result.dataset = dataset;
+  size_t eval_rows = exp.TestSubset(config.eval_instances).rows();
   for (MethodKind kind : kinds) {
-    std::unique_ptr<CfMethod> method = CreateMethod(kind, exp.method_context());
-    if (method == nullptr) return Status::Internal("null method");
-    CFX_LOG(Info) << "fitting " << method->name();
-    CFX_RETURN_IF_ERROR(method->Fit(exp.x_train(), exp.y_train()));
-    CfResult cfs = method->Generate(x_eval);
-    MethodMetrics metrics =
-        EvaluateMethod(method->name(), exp.encoder(), exp.info(), cfs);
-    result.rows.push_back(
-        {metrics, ShowsUnaryColumn(kind), ShowsBinaryColumn(kind)});
-    CFX_LOG(Info) << method->name() << ": validity=" << metrics.validity
-                  << " feas_u=" << metrics.feasibility_unary
-                  << " feas_b=" << metrics.feasibility_binary
-                  << " sparsity=" << metrics.sparsity;
+    auto cell = RunTableFourCell(exp, kind);
+    if (!cell.ok()) return cell.status();
+    result.rows.push_back(cell->row);
+    eval_rows = cell->eval_rows;
   }
-  result.rendered = RenderMetricsTable(
-      StrFormat("Table IV — %s dataset (scale=%s, %zu eval rows)",
-                DatasetName(dataset), ScaleName(config.scale), x_eval.rows()),
-      result.rows);
+  result.rendered =
+      RenderMetricsTable(TableFourTitle(dataset, config, eval_rows),
+                         result.rows);
   return result;
 }
 

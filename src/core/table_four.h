@@ -1,6 +1,7 @@
 // The Table IV experiment: run every CF method on one dataset and score the
-// §IV-D metrics. Shared by bench/table4_{adult,census,law} and by the
-// integration tests.
+// §IV-D metrics. Shared by bench/table4_{adult,census,law}, the integration
+// tests, and the sharded evaluation harness (src/eval/), whose unit of
+// distribution is exactly one RunTableFourCell call.
 #ifndef CFX_CORE_TABLE_FOUR_H_
 #define CFX_CORE_TABLE_FOUR_H_
 
@@ -19,6 +20,26 @@ struct TableFourResult {
   std::vector<MetricsRow> rows;   ///< Table IV row order.
   std::string rendered;           ///< Ready-to-print table.
 };
+
+/// One method row evaluated on a prepared experiment.
+struct TableFourCellOutput {
+  MetricsRow row;
+  size_t eval_rows = 0;  ///< Test instances actually evaluated.
+};
+
+/// Evaluates one (experiment, method) cell: fit the method on the training
+/// split, generate counterfactuals for the eval subset, score the §IV-D
+/// metrics. Deterministic in (dataset, config) — a cell computes the same
+/// bits whether its Experiment is shared across methods (single-process
+/// sweep) or freshly created per worker (sharded sweep); the eval_shard
+/// tests pin that equivalence.
+StatusOr<TableFourCellOutput> RunTableFourCell(Experiment& exp,
+                                               MethodKind kind);
+
+/// The rendered table's title line — shared with the sharded coordinator so
+/// a merged table is byte-identical to the single-process rendering.
+std::string TableFourTitle(DatasetId dataset, const RunConfig& config,
+                           size_t eval_rows);
 
 /// Runs the sweep. `kinds` defaults to the paper's nine rows; pass a subset
 /// for quicker runs. `eval_rows` caps the number of test instances.

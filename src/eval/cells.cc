@@ -1,0 +1,116 @@
+#include "src/eval/cells.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace eval {
+
+std::string CellKeyToString(const EvalCellKey& key) {
+  return StrFormat("%s/%s/seed%llu", DatasetToken(key.dataset),
+                   MethodKindToken(key.kind),
+                   static_cast<unsigned long long>(key.seed));
+}
+
+std::vector<EvalCellKey> BuildCellGrid(const std::vector<DatasetId>& datasets,
+                                       const std::vector<uint64_t>& seeds,
+                                       const std::vector<MethodKind>& kinds) {
+  std::vector<EvalCellKey> grid;
+  grid.reserve(datasets.size() * seeds.size() * kinds.size());
+  for (DatasetId dataset : datasets) {
+    for (uint64_t seed : seeds) {
+      for (MethodKind kind : kinds) {
+        grid.push_back(EvalCellKey{dataset, kind, seed});
+      }
+    }
+  }
+  return grid;
+}
+
+const char* MethodKindToken(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kMahajanUnary: return "mahajan_unary";
+    case MethodKind::kMahajanBinary: return "mahajan_binary";
+    case MethodKind::kRevise: return "revise";
+    case MethodKind::kCchvae: return "cchvae";
+    case MethodKind::kCem: return "cem";
+    case MethodKind::kDiceRandom: return "dice";
+    case MethodKind::kFace: return "face";
+    case MethodKind::kOursUnary: return "ours_unary";
+    case MethodKind::kOursBinary: return "ours_binary";
+  }
+  return "unknown";
+}
+
+bool ParseMethodKindName(const std::string& name, MethodKind* out) {
+  for (MethodKind kind : AllMethodKinds()) {
+    if (name == MethodKindToken(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* DatasetToken(DatasetId id) {
+  switch (id) {
+    case DatasetId::kAdult: return "adult";
+    case DatasetId::kCensus: return "census";
+    case DatasetId::kLaw: return "law";
+  }
+  return "unknown";
+}
+
+bool ParseDatasetName(const std::string& name, DatasetId* out) {
+  for (DatasetId id :
+       {DatasetId::kAdult, DatasetId::kCensus, DatasetId::kLaw}) {
+    if (name == DatasetToken(id)) {
+      *out = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+ExperimentCache::ExperimentCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+StatusOr<Experiment*> ExperimentCache::Acquire(DatasetId dataset,
+                                               const RunConfig& config) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->dataset == dataset && it->scale == config.scale &&
+        it->seed == config.seed) {
+      // Move to front (most recently used).
+      Entry hit = std::move(*it);
+      entries_.erase(it);
+      entries_.push_front(std::move(hit));
+      return entries_.front().experiment.get();
+    }
+  }
+  auto experiment = Experiment::Create(dataset, config);
+  if (!experiment.ok()) return experiment.status();
+  ++cold_starts_;
+  entries_.push_front(
+      Entry{dataset, config.scale, config.seed, std::move(*experiment)});
+  while (entries_.size() > capacity_) entries_.pop_back();
+  return entries_.front().experiment.get();
+}
+
+StatusOr<EvalCellResult> RunEvalCell(const EvalCellKey& key,
+                                     const RunConfig& base,
+                                     ExperimentCache* cache) {
+  RunConfig config = base;
+  config.seed = key.seed;
+  auto experiment = cache->Acquire(key.dataset, config);
+  if (!experiment.ok()) return experiment.status();
+  auto cell = RunTableFourCell(**experiment, key.kind);
+  if (!cell.ok()) return cell.status();
+  EvalCellResult result;
+  result.row = cell->row;
+  result.eval_rows = cell->eval_rows;
+  return result;
+}
+
+}  // namespace eval
+}  // namespace cfx

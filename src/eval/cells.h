@@ -1,0 +1,100 @@
+// Evaluation cells — the unit of distribution of the sharded Table IV
+// harness (ROADMAP item 4).
+//
+// A cell is one (dataset, method, seed) point of the experiment grid. The
+// grid is laid out in a canonical order (datasets outer, seeds middle,
+// methods inner, each in caller-given order), every cell carries its grid
+// index on the wire, and the coordinator merges results by that index — so
+// the merged tables are independent of worker count, scheduling and arrival
+// order, and bitwise identical to the single-process sweep.
+//
+// RunEvalCell is the worker-side entry point: it prepares (or reuses) the
+// Experiment for the cell's (dataset, scale, seed) and runs the shared
+// RunTableFourCell seam — the same code path the single-process
+// RunTableFour drives, which is what makes the bitwise contract hold by
+// construction.
+#ifndef CFX_EVAL_CELLS_H_
+#define CFX_EVAL_CELLS_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/registry.h"
+#include "src/core/table_four.h"
+
+namespace cfx {
+namespace eval {
+
+/// One grid point.
+struct EvalCellKey {
+  DatasetId dataset = DatasetId::kAdult;
+  MethodKind kind = MethodKind::kOursUnary;
+  uint64_t seed = 42;
+};
+
+/// "adult/ours_unary/seed42" — log and error labels.
+std::string CellKeyToString(const EvalCellKey& key);
+
+/// Canonical grid layout: datasets outer, seeds middle, methods inner.
+std::vector<EvalCellKey> BuildCellGrid(const std::vector<DatasetId>& datasets,
+                                       const std::vector<uint64_t>& seeds,
+                                       const std::vector<MethodKind>& kinds);
+
+/// Stable wire tokens for every MethodKind ("ours_unary", "cem", "dice",
+/// ...). ParseMethodKindName accepts exactly these; MethodKindToken
+/// round-trips.
+const char* MethodKindToken(MethodKind kind);
+bool ParseMethodKindName(const std::string& name, MethodKind* out);
+
+/// Stable wire tokens for datasets ("adult" | "census" | "law") — the
+/// display names from DatasetName() carry spaces and capitals, so the wire
+/// uses these instead.
+const char* DatasetToken(DatasetId id);
+bool ParseDatasetName(const std::string& name, DatasetId* out);
+
+/// Bounded per-worker cache of prepared Experiments, keyed by
+/// (dataset, scale, seed). A worker sweeping several methods of one
+/// dataset pays dataset generation + classifier training once, exactly
+/// like the single-process sweep sharing one Experiment.
+class ExperimentCache {
+ public:
+  /// `capacity` experiments retained, least-recently-used evicted.
+  explicit ExperimentCache(size_t capacity = 3);
+
+  /// The prepared Experiment for (dataset, config.scale, config.seed),
+  /// creating it on miss.
+  StatusOr<Experiment*> Acquire(DatasetId dataset, const RunConfig& config);
+
+  size_t size() const { return entries_.size(); }
+  size_t cold_starts() const { return cold_starts_; }
+
+ private:
+  struct Entry {
+    DatasetId dataset;
+    Scale scale;
+    uint64_t seed;
+    std::unique_ptr<Experiment> experiment;
+  };
+
+  size_t capacity_;
+  size_t cold_starts_ = 0;
+  std::deque<Entry> entries_;  ///< Front = most recently used.
+};
+
+/// One computed cell.
+struct EvalCellResult {
+  MetricsRow row;
+  size_t eval_rows = 0;
+};
+
+/// Runs one cell: config is `base` with the seed replaced by the cell's.
+StatusOr<EvalCellResult> RunEvalCell(const EvalCellKey& key,
+                                     const RunConfig& base,
+                                     ExperimentCache* cache);
+
+}  // namespace eval
+}  // namespace cfx
+
+#endif  // CFX_EVAL_CELLS_H_

@@ -1,0 +1,345 @@
+#include "src/eval/coordinator.h"
+
+#include <poll.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/string_util.h"
+#include "src/eval/protocol.h"
+#include "src/metrics/report.h"
+
+namespace cfx {
+namespace eval {
+namespace {
+
+int64_t NowMs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+/// One accepted worker and its in-flight assignment.
+struct WorkerState {
+  wire::Connection conn;
+  size_t id = 0;
+  bool alive = true;
+  /// Grid index in flight, or kIdle.
+  static constexpr size_t kIdle = static_cast<size_t>(-1);
+  size_t cell = kIdle;
+  int64_t deadline_ms = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<MergedTable>> MergeCells(
+    const std::vector<DatasetId>& datasets, const std::vector<uint64_t>& seeds,
+    const std::vector<MethodKind>& kinds, const RunConfig& base,
+    const std::vector<EvalCellResult>& cells) {
+  const size_t expected = datasets.size() * seeds.size() * kinds.size();
+  if (cells.size() != expected) {
+    return Status::InvalidArgument(
+        StrFormat("merge: %zu cells for a %zu-cell grid", cells.size(),
+                  expected));
+  }
+  std::vector<MergedTable> tables;
+  tables.reserve(datasets.size() * seeds.size());
+  size_t index = 0;
+  for (DatasetId dataset : datasets) {
+    for (uint64_t seed : seeds) {
+      MergedTable table;
+      table.dataset = dataset;
+      table.seed = seed;
+      for (size_t k = 0; k < kinds.size(); ++k) {
+        const EvalCellResult& cell = cells[index++];
+        table.rows.push_back(cell.row);
+        table.eval_rows = cell.eval_rows;
+      }
+      RunConfig config = base;
+      config.seed = seed;
+      table.rendered = RenderMetricsTable(
+          TableFourTitle(dataset, config, table.eval_rows), table.rows);
+      tables.push_back(std::move(table));
+    }
+  }
+  return tables;
+}
+
+StatusOr<ShardedSweep> RunSingleProcessSweep(
+    const std::vector<DatasetId>& datasets, const std::vector<uint64_t>& seeds,
+    const std::vector<MethodKind>& kinds, const RunConfig& base) {
+  const std::vector<EvalCellKey> grid = BuildCellGrid(datasets, seeds, kinds);
+  ShardedSweep sweep;
+  sweep.cells.reserve(grid.size());
+  ExperimentCache cache;
+  for (const EvalCellKey& key : grid) {
+    auto cell = RunEvalCell(key, base, &cache);
+    if (!cell.ok()) return cell.status();
+    sweep.cells.push_back(std::move(*cell));
+  }
+  auto tables = MergeCells(datasets, seeds, kinds, base, sweep.cells);
+  if (!tables.ok()) return tables.status();
+  sweep.tables = std::move(*tables);
+  return sweep;
+}
+
+Coordinator::Coordinator(wire::Listener listener, CoordinatorOptions options)
+    : listener_(std::move(listener)), options_(options) {}
+
+StatusOr<ShardedSweep> Coordinator::Run(const std::vector<DatasetId>& datasets,
+                                        const std::vector<uint64_t>& seeds,
+                                        const std::vector<MethodKind>& kinds,
+                                        const RunConfig& base) {
+  static metrics::Counter* cells_done = metrics::GetCounter("eval/cells/done");
+  static metrics::Counter* cells_retried =
+      metrics::GetCounter("eval/cells/retried");
+  static metrics::Counter* lost_counter =
+      metrics::GetCounter("eval/workers/lost");
+
+  const std::vector<EvalCellKey> grid = BuildCellGrid(datasets, seeds, kinds);
+  if (grid.empty()) return Status::InvalidArgument("empty evaluation grid");
+  if (options_.expected_workers == 0) {
+    return Status::InvalidArgument("expected_workers must be >= 1");
+  }
+
+  // Phase 1: accept + handshake every expected worker.
+  std::vector<WorkerState> workers;
+  const int64_t accept_deadline = NowMs() + options_.accept_timeout_ms;
+  while (workers.size() < options_.expected_workers) {
+    int64_t remaining = accept_deadline - NowMs();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          StrFormat("accepted %zu of %zu workers before the accept timeout",
+                    workers.size(), options_.expected_workers));
+    }
+    auto conn = listener_.Accept(static_cast<int>(remaining));
+    if (!conn.ok()) return conn.status();
+    wire::Frame hello;
+    Status st = conn->ReceiveFrame(&hello, options_.io_timeout_ms);
+    if (!st.ok()) {
+      return Status(st.code(), "worker handshake: " + st.message());
+    }
+    auto msg = ParseHelloFrame(hello);
+    if (!msg.ok()) return msg.status();
+    WorkerState w;
+    w.conn = std::move(*conn);
+    w.id = workers.size();
+    workers.push_back(std::move(w));
+    CFX_LOG(Info) << "eval worker " << workers.back().id << " connected";
+  }
+
+  // Phase 2: dispatch. Cells are retried at most once, on a different
+  // worker than the one that failed them (unless it is the last one
+  // standing).
+  std::deque<size_t> pending;
+  for (size_t i = 0; i < grid.size(); ++i) pending.push_back(i);
+  std::vector<int> attempts(grid.size(), 0);
+  std::vector<size_t> excluded(grid.size(), WorkerState::kIdle);
+  std::vector<bool> done(grid.size(), false);
+  std::vector<EvalCellResult> results(grid.size());
+  size_t done_count = 0;
+  ShardedSweep sweep;
+
+  auto alive_count = [&workers]() {
+    size_t n = 0;
+    for (const WorkerState& w : workers) n += w.alive ? 1 : 0;
+    return n;
+  };
+
+  // A cell failed on `worker_id` (error, timeout or lost connection):
+  // requeue for its single retry, or fail the sweep.
+  auto fail_cell = [&](size_t cell, size_t worker_id,
+                       const Status& cause) -> Status {
+    if (attempts[cell] >= 2) {
+      return Status(cause.code(),
+                    StrFormat("cell %s failed twice (last: %s)",
+                              CellKeyToString(grid[cell]).c_str(),
+                              cause.message().c_str()));
+    }
+    CFX_LOG(Warning) << "cell " << CellKeyToString(grid[cell]) << " attempt "
+                  << attempts[cell] << " failed (" << cause.ToString()
+                  << "); retrying on another worker";
+    excluded[cell] = worker_id;
+    pending.push_front(cell);
+    ++sweep.retries;
+    if (cells_retried != nullptr) cells_retried->Add(1);
+    return Status::OK();
+  };
+
+  auto drop_worker = [&](WorkerState& w) {
+    if (!w.alive) return;
+    w.alive = false;
+    w.conn.Close();
+    ++sweep.workers_lost;
+    if (lost_counter != nullptr) lost_counter->Add(1);
+  };
+
+  // Drains every decoded frame a worker has ready. Returns non-OK only for
+  // sweep-fatal conditions.
+  auto handle_frames = [&](WorkerState& w) -> Status {
+    while (w.conn.HasFrame()) {
+      wire::Frame frame = w.conn.PopFrame();
+      if (frame.type == wire::FrameType::kResult) {
+        auto msg = ParseResultFrame(frame);
+        if (!msg.ok()) return msg.status();
+        if (msg->cell >= grid.size() || w.cell != msg->cell) {
+          return Status::Internal(
+              StrFormat("worker %zu answered cell %llu while assigned %zu",
+                        w.id, static_cast<unsigned long long>(msg->cell),
+                        w.cell));
+        }
+        if (!done[msg->cell]) {
+          results[msg->cell] = EvalCellResult{msg->row, msg->eval_rows};
+          done[msg->cell] = true;
+          ++done_count;
+          if (cells_done != nullptr) cells_done->Add(1);
+        }
+        w.cell = WorkerState::kIdle;
+      } else if (frame.type == wire::FrameType::kCellError) {
+        auto msg = ParseCellErrorFrame(frame);
+        if (!msg.ok()) return msg.status();
+        if (msg->cell >= grid.size() || w.cell != msg->cell) {
+          return Status::Internal(
+              StrFormat("worker %zu errored cell %llu while assigned %zu",
+                        w.id, static_cast<unsigned long long>(msg->cell),
+                        w.cell));
+        }
+        w.cell = WorkerState::kIdle;
+        CFX_RETURN_IF_ERROR(fail_cell(
+            msg->cell, w.id, Status::Internal("worker: " + msg->message)));
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected frame type %u from worker %zu",
+                      static_cast<unsigned>(frame.type), w.id));
+      }
+    }
+    return Status::OK();
+  };
+
+  while (done_count < grid.size()) {
+    if (alive_count() == 0) {
+      return Status::Internal(
+          StrFormat("all workers lost with %zu of %zu cells outstanding",
+                    grid.size() - done_count, grid.size()));
+    }
+
+    // Assign pending cells to idle workers.
+    for (WorkerState& w : workers) {
+      if (!w.alive || w.cell != WorkerState::kIdle || pending.empty()) {
+        continue;
+      }
+      // First pending cell not excluded on this worker; the exclusion is
+      // waived when no other worker is left to take it.
+      auto it = std::find_if(pending.begin(), pending.end(), [&](size_t c) {
+        return excluded[c] != w.id || alive_count() == 1;
+      });
+      if (it == pending.end()) continue;
+      const size_t cell = *it;
+      pending.erase(it);
+      ++attempts[cell];
+      wire::Frame assign = MakeAssignFrame(cell, grid[cell], base);
+      Status st = w.conn.SendFrame(assign, options_.io_timeout_ms);
+      if (!st.ok()) {
+        drop_worker(w);
+        CFX_RETURN_IF_ERROR(fail_cell(cell, w.id, st));
+        continue;
+      }
+      w.cell = cell;
+      w.deadline_ms = NowMs() + options_.cell_timeout_ms;
+    }
+
+    // Wait for any worker to become readable, bounded by the nearest cell
+    // deadline (and a 1 s cap so lost-worker accounting stays fresh).
+    std::vector<struct pollfd> fds;
+    std::vector<size_t> fd_worker;
+    int64_t next_deadline = NowMs() + 1000;
+    for (size_t i = 0; i < workers.size(); ++i) {
+      if (!workers[i].alive) continue;
+      fds.push_back({workers[i].conn.fd(), POLLIN, 0});
+      fd_worker.push_back(i);
+      if (workers[i].cell != WorkerState::kIdle) {
+        next_deadline = std::min(next_deadline, workers[i].deadline_ms);
+      }
+    }
+    int wait_ms =
+        static_cast<int>(std::max<int64_t>(0, next_deadline - NowMs()));
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), wait_ms);
+    if (rc < 0 && errno != EINTR) {
+      return Status::Internal("poll failed in coordinator loop");
+    }
+
+    // Drain readable workers.
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (rc <= 0) break;
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      WorkerState& w = workers[fd_worker[i]];
+      if (!w.alive) continue;
+      Status st = w.conn.Pump();
+      CFX_RETURN_IF_ERROR(handle_frames(w));
+      if (!st.ok()) {
+        // Connection-level failure (peer closed, decode error). The
+        // in-flight cell, if any, gets its retry.
+        const size_t cell = w.cell;
+        drop_worker(w);
+        if (cell != WorkerState::kIdle && !done[cell]) {
+          CFX_RETURN_IF_ERROR(fail_cell(cell, w.id, st));
+        }
+      }
+    }
+
+    // Expire cells past their deadline.
+    const int64_t now = NowMs();
+    for (WorkerState& w : workers) {
+      if (!w.alive || w.cell == WorkerState::kIdle) continue;
+      if (now < w.deadline_ms) continue;
+      const size_t cell = w.cell;
+      drop_worker(w);
+      CFX_RETURN_IF_ERROR(fail_cell(
+          cell, w.id,
+          Status::DeadlineExceeded(StrFormat(
+              "worker %zu exceeded the %d ms cell deadline", w.id,
+              options_.cell_timeout_ms))));
+    }
+  }
+
+  // Phase 3: drain — every worker gets a shutdown; failures here are moot.
+  for (WorkerState& w : workers) {
+    if (!w.alive) continue;
+    (void)w.conn.SendFrame(MakeShutdownFrame(), options_.io_timeout_ms);
+    w.conn.Close();
+  }
+
+  sweep.cells = std::move(results);
+  auto tables = MergeCells(datasets, seeds, kinds, base, sweep.cells);
+  if (!tables.ok()) return tables.status();
+  sweep.tables = std::move(*tables);
+  return sweep;
+}
+
+std::string HexDumpSweep(const std::vector<DatasetId>& datasets,
+                         const std::vector<uint64_t>& seeds,
+                         const std::vector<MethodKind>& kinds,
+                         const ShardedSweep& sweep) {
+  const std::vector<EvalCellKey> grid = BuildCellGrid(datasets, seeds, kinds);
+  std::string out;
+  for (size_t i = 0; i < grid.size() && i < sweep.cells.size(); ++i) {
+    const EvalCellResult& cell = sweep.cells[i];
+    const MethodMetrics& m = cell.row.metrics;
+    out += StrFormat(
+        "%zu %s %s validity=%a feas_u=%a feas_b=%a cont=%a cat=%a "
+        "sparsity=%a show=%d%d rows=%zu\n",
+        i, CellKeyToString(grid[i]).c_str(), m.method_name.c_str(),
+        m.validity, m.feasibility_unary, m.feasibility_binary,
+        m.continuous_proximity, m.categorical_proximity, m.sparsity,
+        cell.row.show_unary ? 1 : 0, cell.row.show_binary ? 1 : 0,
+        cell.eval_rows);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace cfx

@@ -1,0 +1,100 @@
+// Sharded Table IV coordinator (ROADMAP item 4).
+//
+// The coordinator owns the cell grid (src/eval/cells.h), hands cells to
+// worker connections over the wire protocol (src/eval/protocol.h), and
+// merges per-cell results back into rendered tables. Determinism contract:
+// results are merged by grid index, never arrival order, so the merged
+// tables are bitwise identical to the single-process sweep
+// (RunSingleProcessSweep / RunTableFour) no matter how many workers ran or
+// how cells were scheduled — the eval_shard tests and the ci.sh
+// eval_shard_smoke gate diff the two byte-for-byte.
+//
+// Failure handling: a worker that dies, times out on a cell, or reports a
+// cell error costs that cell one retry on a different worker (the failing
+// worker is excluded). A second failure of the same cell fails the sweep
+// with the underlying status; losing every worker with cells outstanding
+// fails it too. No call blocks without a deadline.
+#ifndef CFX_EVAL_COORDINATOR_H_
+#define CFX_EVAL_COORDINATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/cells.h"
+#include "src/wire/transport.h"
+
+namespace cfx {
+namespace eval {
+
+struct CoordinatorOptions {
+  size_t expected_workers = 1;   ///< Accepted before dispatch starts.
+  int accept_timeout_ms = 60000; ///< Total budget for worker connects.
+  int cell_timeout_ms = 600000;  ///< Assign -> result deadline per cell.
+  int io_timeout_ms = 30000;     ///< Per-frame send budget.
+};
+
+/// One merged (dataset, seed) table — the sharded analogue of
+/// TableFourResult, with the seed made explicit because the sweep spans
+/// several.
+struct MergedTable {
+  DatasetId dataset = DatasetId::kAdult;
+  uint64_t seed = 42;
+  std::vector<MetricsRow> rows;  ///< Method order of the grid.
+  size_t eval_rows = 0;
+  std::string rendered;
+};
+
+/// A finished sweep: per-cell results in grid order plus the merged tables
+/// and scheduling statistics.
+struct ShardedSweep {
+  std::vector<EvalCellResult> cells;  ///< Indexed by grid position.
+  std::vector<MergedTable> tables;    ///< Dataset-outer, seed-middle order.
+  size_t retries = 0;       ///< Cells that needed their second attempt.
+  size_t workers_lost = 0;  ///< Connections dropped mid-sweep.
+};
+
+/// Groups grid-ordered cells into rendered tables. Shared by the
+/// coordinator and the single-process reference so both render through the
+/// exact same code path. `cells.size()` must equal the grid size.
+StatusOr<std::vector<MergedTable>> MergeCells(
+    const std::vector<DatasetId>& datasets, const std::vector<uint64_t>& seeds,
+    const std::vector<MethodKind>& kinds, const RunConfig& base,
+    const std::vector<EvalCellResult>& cells);
+
+/// The single-process reference: runs every cell in this process (through
+/// the same RunTableFourCell seam the workers use) and merges identically.
+StatusOr<ShardedSweep> RunSingleProcessSweep(
+    const std::vector<DatasetId>& datasets, const std::vector<uint64_t>& seeds,
+    const std::vector<MethodKind>& kinds, const RunConfig& base);
+
+/// Drives one sharded sweep over a bound listener.
+class Coordinator {
+ public:
+  Coordinator(wire::Listener listener, CoordinatorOptions options);
+
+  /// Accepts `expected_workers` connections (validating the Hello
+  /// handshake), dispatches the grid, retries failures once, merges.
+  StatusOr<ShardedSweep> Run(const std::vector<DatasetId>& datasets,
+                             const std::vector<uint64_t>& seeds,
+                             const std::vector<MethodKind>& kinds,
+                             const RunConfig& base);
+
+  const wire::WireAddr& listen_addr() const { return listener_.local_addr(); }
+
+ private:
+  wire::Listener listener_;
+  CoordinatorOptions options_;
+};
+
+/// Hexfloat (%a) dump of every cell metric, one line per cell in grid
+/// order — the bitwise-comparison artifact the CI gate diffs between the
+/// sharded and single-process runs.
+std::string HexDumpSweep(const std::vector<DatasetId>& datasets,
+                         const std::vector<uint64_t>& seeds,
+                         const std::vector<MethodKind>& kinds,
+                         const ShardedSweep& sweep);
+
+}  // namespace eval
+}  // namespace cfx
+
+#endif  // CFX_EVAL_COORDINATOR_H_

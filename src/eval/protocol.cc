@@ -1,0 +1,195 @@
+#include "src/eval/protocol.h"
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace eval {
+namespace {
+
+Status ExpectType(const wire::Frame& frame, wire::FrameType want,
+                  const char* name) {
+  if (frame.type != want) {
+    return Status::InvalidArgument(
+        StrFormat("expected %s frame, got frame type %u", name,
+                  static_cast<unsigned>(frame.type)));
+  }
+  return Status::OK();
+}
+
+#define CFX_ASSIGN_OR_RETURN_STATUS(lhs, expr) \
+  auto lhs##_or = (expr);                      \
+  if (!lhs##_or.ok()) return lhs##_or.status(); \
+  auto lhs = std::move(*lhs##_or)
+
+}  // namespace
+
+wire::Frame MakeHelloFrame() {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kHello;
+  frame.payload.PutU64("protocol", kEvalProtocolVersion);
+  return frame;
+}
+
+StatusOr<HelloMsg> ParseHelloFrame(const wire::Frame& frame) {
+  CFX_RETURN_IF_ERROR(ExpectType(frame, wire::FrameType::kHello, "hello"));
+  CFX_ASSIGN_OR_RETURN_STATUS(protocol, frame.payload.GetU64("protocol"));
+  if (protocol != kEvalProtocolVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("eval protocol version skew: peer speaks %llu, this build "
+                  "speaks %llu",
+                  static_cast<unsigned long long>(protocol),
+                  static_cast<unsigned long long>(kEvalProtocolVersion)));
+  }
+  HelloMsg msg;
+  msg.protocol = protocol;
+  return msg;
+}
+
+wire::Frame MakeAssignFrame(uint64_t cell, const EvalCellKey& key,
+                            const RunConfig& base) {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kAssign;
+  frame.payload.PutU64("cell", cell);
+  frame.payload.PutString("dataset", DatasetToken(key.dataset));
+  frame.payload.PutString("method", MethodKindToken(key.kind));
+  frame.payload.PutU64("seed", key.seed);
+  frame.payload.PutU64("eval_n", base.eval_instances);
+  frame.payload.PutString("scale", ScaleName(base.scale));
+  return frame;
+}
+
+StatusOr<AssignMsg> ParseAssignFrame(const wire::Frame& frame) {
+  CFX_RETURN_IF_ERROR(ExpectType(frame, wire::FrameType::kAssign, "assign"));
+  AssignMsg msg;
+  CFX_ASSIGN_OR_RETURN_STATUS(cell, frame.payload.GetU64("cell"));
+  msg.cell = cell;
+  CFX_ASSIGN_OR_RETURN_STATUS(dataset, frame.payload.GetString("dataset"));
+  if (!ParseDatasetName(dataset, &msg.key.dataset)) {
+    return Status::InvalidArgument("assign: unknown dataset \"" + dataset +
+                                   "\"");
+  }
+  CFX_ASSIGN_OR_RETURN_STATUS(method, frame.payload.GetString("method"));
+  if (!ParseMethodKindName(method, &msg.key.kind)) {
+    return Status::InvalidArgument("assign: unknown method \"" + method +
+                                   "\"");
+  }
+  CFX_ASSIGN_OR_RETURN_STATUS(seed, frame.payload.GetU64("seed"));
+  msg.key.seed = seed;
+  CFX_ASSIGN_OR_RETURN_STATUS(eval_n, frame.payload.GetU64("eval_n"));
+  msg.eval_n = eval_n;
+  CFX_ASSIGN_OR_RETURN_STATUS(scale, frame.payload.GetString("scale"));
+  if (!ParseScaleName(scale, &msg.scale)) {
+    return Status::InvalidArgument("assign: unknown scale \"" + scale + "\"");
+  }
+  return msg;
+}
+
+wire::Frame MakeResultFrame(uint64_t cell, const EvalCellResult& result) {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kResult;
+  frame.payload.PutU64("cell", cell);
+  frame.payload.PutString("method_name", result.row.metrics.method_name);
+  frame.payload.PutF64("validity", result.row.metrics.validity);
+  frame.payload.PutF64("feasibility_unary",
+                       result.row.metrics.feasibility_unary);
+  frame.payload.PutF64("feasibility_binary",
+                       result.row.metrics.feasibility_binary);
+  frame.payload.PutF64("continuous_proximity",
+                       result.row.metrics.continuous_proximity);
+  frame.payload.PutF64("categorical_proximity",
+                       result.row.metrics.categorical_proximity);
+  frame.payload.PutF64("sparsity", result.row.metrics.sparsity);
+  frame.payload.PutU64("show_unary", result.row.show_unary ? 1 : 0);
+  frame.payload.PutU64("show_binary", result.row.show_binary ? 1 : 0);
+  frame.payload.PutU64("eval_rows", result.eval_rows);
+  return frame;
+}
+
+StatusOr<ResultMsg> ParseResultFrame(const wire::Frame& frame) {
+  CFX_RETURN_IF_ERROR(ExpectType(frame, wire::FrameType::kResult, "result"));
+  ResultMsg msg;
+  CFX_ASSIGN_OR_RETURN_STATUS(cell, frame.payload.GetU64("cell"));
+  msg.cell = cell;
+  CFX_ASSIGN_OR_RETURN_STATUS(name, frame.payload.GetString("method_name"));
+  msg.row.metrics.method_name = std::move(name);
+  CFX_ASSIGN_OR_RETURN_STATUS(validity, frame.payload.GetF64("validity"));
+  msg.row.metrics.validity = validity;
+  CFX_ASSIGN_OR_RETURN_STATUS(feas_u,
+                              frame.payload.GetF64("feasibility_unary"));
+  msg.row.metrics.feasibility_unary = feas_u;
+  CFX_ASSIGN_OR_RETURN_STATUS(feas_b,
+                              frame.payload.GetF64("feasibility_binary"));
+  msg.row.metrics.feasibility_binary = feas_b;
+  CFX_ASSIGN_OR_RETURN_STATUS(cont_prox,
+                              frame.payload.GetF64("continuous_proximity"));
+  msg.row.metrics.continuous_proximity = cont_prox;
+  CFX_ASSIGN_OR_RETURN_STATUS(cat_prox,
+                              frame.payload.GetF64("categorical_proximity"));
+  msg.row.metrics.categorical_proximity = cat_prox;
+  CFX_ASSIGN_OR_RETURN_STATUS(sparsity, frame.payload.GetF64("sparsity"));
+  msg.row.metrics.sparsity = sparsity;
+  CFX_ASSIGN_OR_RETURN_STATUS(show_u, frame.payload.GetU64("show_unary"));
+  msg.row.show_unary = show_u != 0;
+  CFX_ASSIGN_OR_RETURN_STATUS(show_b, frame.payload.GetU64("show_binary"));
+  msg.row.show_binary = show_b != 0;
+  CFX_ASSIGN_OR_RETURN_STATUS(eval_rows, frame.payload.GetU64("eval_rows"));
+  msg.eval_rows = eval_rows;
+  return msg;
+}
+
+wire::Frame MakeCellErrorFrame(uint64_t cell, const Status& status) {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kCellError;
+  frame.payload.PutU64("cell", cell);
+  frame.payload.PutString("message", status.ToString());
+  return frame;
+}
+
+StatusOr<CellErrorMsg> ParseCellErrorFrame(const wire::Frame& frame) {
+  CFX_RETURN_IF_ERROR(
+      ExpectType(frame, wire::FrameType::kCellError, "cell-error"));
+  CellErrorMsg msg;
+  CFX_ASSIGN_OR_RETURN_STATUS(cell, frame.payload.GetU64("cell"));
+  msg.cell = cell;
+  CFX_ASSIGN_OR_RETURN_STATUS(message, frame.payload.GetString("message"));
+  msg.message = std::move(message);
+  return msg;
+}
+
+wire::Frame MakeShutdownFrame() {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kShutdown;
+  return frame;
+}
+
+wire::Frame MakeRowBatchFrame(uint64_t batch_index, const Matrix& rows,
+                              const std::vector<double>& labels) {
+  wire::Frame frame;
+  frame.type = wire::FrameType::kRowBatch;
+  frame.payload.PutU64("batch_index", batch_index);
+  frame.payload.PutMatrix("rows", rows);
+  frame.payload.PutF64Array("labels", labels);
+  return frame;
+}
+
+StatusOr<RowBatchMsg> ParseRowBatchFrame(const wire::Frame& frame) {
+  CFX_RETURN_IF_ERROR(
+      ExpectType(frame, wire::FrameType::kRowBatch, "row-batch"));
+  RowBatchMsg msg;
+  CFX_ASSIGN_OR_RETURN_STATUS(batch_index,
+                              frame.payload.GetU64("batch_index"));
+  msg.batch_index = batch_index;
+  CFX_ASSIGN_OR_RETURN_STATUS(rows, frame.payload.GetMatrix("rows"));
+  msg.rows = std::move(rows);
+  CFX_ASSIGN_OR_RETURN_STATUS(labels, frame.payload.GetF64Array("labels"));
+  msg.labels = std::move(labels);
+  if (msg.labels.size() != msg.rows.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("row-batch: %zu labels for %zu rows", msg.labels.size(),
+                  msg.rows.rows()));
+  }
+  return msg;
+}
+
+}  // namespace eval
+}  // namespace cfx

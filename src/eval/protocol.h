@@ -1,0 +1,82 @@
+// Typed messages of the sharded-evaluation protocol, layered on wire
+// frames (src/wire/frame.h).
+//
+//   worker -> coordinator   Hello     { protocol }
+//   coordinator -> worker   Assign    { cell, dataset, method, seed,
+//                                       eval_n, scale }
+//   worker -> coordinator   Result    { cell, method_name, 6 metrics,
+//                                       show_unary, show_binary, eval_rows }
+//   worker -> coordinator   CellError { cell, message }
+//   coordinator -> worker   Shutdown  { }
+//
+// Every parser checks the frame type and is strict about field presence and
+// types (the FramePayload getters); a protocol-version mismatch in Hello is
+// a FailedPrecondition, mirroring the wire-version skew error.
+#ifndef CFX_EVAL_PROTOCOL_H_
+#define CFX_EVAL_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/cells.h"
+#include "src/wire/frame.h"
+
+namespace cfx {
+namespace eval {
+
+/// Bumped on incompatible message-schema changes; Hello carries it and the
+/// coordinator rejects skewed workers.
+constexpr uint64_t kEvalProtocolVersion = 1;
+
+struct HelloMsg {
+  uint64_t protocol = 0;
+};
+
+struct AssignMsg {
+  uint64_t cell = 0;  ///< Grid index (merge key).
+  EvalCellKey key;
+  uint64_t eval_n = 0;
+  Scale scale = Scale::kSmall;
+};
+
+struct ResultMsg {
+  uint64_t cell = 0;
+  MetricsRow row;
+  uint64_t eval_rows = 0;
+};
+
+struct CellErrorMsg {
+  uint64_t cell = 0;
+  std::string message;
+};
+
+/// Encoded rows + labels, the bulk-data carrier of the format.
+struct RowBatchMsg {
+  uint64_t batch_index = 0;
+  Matrix rows;
+  std::vector<double> labels;
+};
+
+wire::Frame MakeHelloFrame();
+StatusOr<HelloMsg> ParseHelloFrame(const wire::Frame& frame);
+
+wire::Frame MakeAssignFrame(uint64_t cell, const EvalCellKey& key,
+                            const RunConfig& base);
+StatusOr<AssignMsg> ParseAssignFrame(const wire::Frame& frame);
+
+wire::Frame MakeResultFrame(uint64_t cell, const EvalCellResult& result);
+StatusOr<ResultMsg> ParseResultFrame(const wire::Frame& frame);
+
+wire::Frame MakeCellErrorFrame(uint64_t cell, const Status& status);
+StatusOr<CellErrorMsg> ParseCellErrorFrame(const wire::Frame& frame);
+
+wire::Frame MakeShutdownFrame();
+
+wire::Frame MakeRowBatchFrame(uint64_t batch_index, const Matrix& rows,
+                              const std::vector<double>& labels);
+StatusOr<RowBatchMsg> ParseRowBatchFrame(const wire::Frame& frame);
+
+}  // namespace eval
+}  // namespace cfx
+
+#endif  // CFX_EVAL_PROTOCOL_H_

@@ -1,0 +1,62 @@
+#include "src/eval/worker.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/metrics.h"
+#include "src/common/string_util.h"
+#include "src/eval/protocol.h"
+
+namespace cfx {
+namespace eval {
+
+Status RunWorkerLoop(wire::Connection& conn, const WorkerOptions& options) {
+  static metrics::Counter* cells_run = metrics::GetCounter("eval/cells/run");
+  static metrics::Counter* cells_failed =
+      metrics::GetCounter("eval/cells/failed");
+
+  CFX_RETURN_IF_ERROR(conn.SendFrame(MakeHelloFrame(), options.io_timeout_ms));
+  ExperimentCache cache(options.cache_capacity);
+  while (true) {
+    wire::Frame frame;
+    CFX_RETURN_IF_ERROR(conn.ReceiveFrame(&frame, options.idle_timeout_ms));
+    if (frame.type == wire::FrameType::kShutdown) return Status::OK();
+    if (frame.type != wire::FrameType::kAssign) {
+      return Status::InvalidArgument(
+          StrFormat("worker: unexpected frame type %u",
+                    static_cast<unsigned>(frame.type)));
+    }
+    auto assign = ParseAssignFrame(frame);
+    if (!assign.ok()) return assign.status();
+
+    RunConfig base;
+    base.scale = assign->scale;
+    base.seed = assign->key.seed;
+    base.eval_instances = assign->eval_n;
+    CFX_LOG(Info) << "worker running cell " << assign->cell << " ("
+                  << CellKeyToString(assign->key) << ")";
+    auto cell = RunEvalCell(assign->key, base, &cache);
+    if (cell.ok()) {
+      if (cells_run != nullptr) cells_run->Add(1);
+      CFX_RETURN_IF_ERROR(conn.SendFrame(MakeResultFrame(assign->cell, *cell),
+                                         options.io_timeout_ms));
+    } else {
+      if (cells_failed != nullptr) cells_failed->Add(1);
+      CFX_LOG(Warning) << "cell " << CellKeyToString(assign->key)
+                    << " failed: " << cell.status().ToString();
+      CFX_RETURN_IF_ERROR(
+          conn.SendFrame(MakeCellErrorFrame(assign->cell, cell.status()),
+                         options.io_timeout_ms));
+    }
+  }
+}
+
+Status RunWorker(const wire::WireAddr& addr, int connect_timeout_ms,
+                 const WorkerOptions& options) {
+  auto conn = wire::ConnectWithRetry(addr, connect_timeout_ms);
+  if (!conn.ok()) return conn.status();
+  return RunWorkerLoop(*conn, options);
+}
+
+}  // namespace eval
+}  // namespace cfx

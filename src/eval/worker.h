@@ -1,0 +1,36 @@
+// Worker side of the sharded Table IV harness: connect, handshake, then
+// loop running assigned cells until the coordinator says shutdown.
+#ifndef CFX_EVAL_WORKER_H_
+#define CFX_EVAL_WORKER_H_
+
+#include "src/eval/cells.h"
+#include "src/wire/transport.h"
+
+namespace cfx {
+namespace eval {
+
+struct WorkerOptions {
+  /// Max quiet time between coordinator frames before the worker gives up.
+  int idle_timeout_ms = 600000;
+  /// Per-frame send budget.
+  int io_timeout_ms = 30000;
+  /// Prepared Experiments kept warm (src/eval/cells.h).
+  size_t cache_capacity = 3;
+};
+
+/// Runs the worker protocol over an already-connected peer: sends Hello,
+/// then serves Assign frames (answering Result or CellError per cell) until
+/// a Shutdown frame arrives (returns OK) or the connection fails (returns
+/// the transport error). Cell-level failures are reported to the
+/// coordinator, not returned — a broken cell must not kill the worker.
+Status RunWorkerLoop(wire::Connection& conn, const WorkerOptions& options);
+
+/// Connects to the coordinator (retrying until `connect_timeout_ms` — the
+/// worker may start first) and runs the loop.
+Status RunWorker(const wire::WireAddr& addr, int connect_timeout_ms,
+                 const WorkerOptions& options);
+
+}  // namespace eval
+}  // namespace cfx
+
+#endif  // CFX_EVAL_WORKER_H_

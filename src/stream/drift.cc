@@ -1,7 +1,10 @@
 #include "src/stream/drift.h"
 
 #include <cstring>
+#include <string>
 #include <utility>
+
+#include "src/common/logging.h"
 
 namespace cfx {
 namespace stream {
@@ -20,6 +23,12 @@ DriftEvaluator::DriftEvaluator(const TabularEncoder* encoder,
   validity_gauge_ = metrics::GetGauge("drift/rescore/validity_rate");
   feasibility_gauge_ = metrics::GetGauge("drift/rescore/feasibility_rate");
   rescore_runs_ = metrics::GetCounter("drift/rescore/runs");
+  rescore_scored_ = metrics::GetCounter("drift/rescore/scored");
+}
+
+Status DriftEvaluator::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
 }
 
 void DriftEvaluator::RecordServed(const Matrix& x, const Matrix& cf,
@@ -85,9 +94,10 @@ DriftReport DriftEvaluator::Rescore(const RollingStats& stats) {
   DriftReport report;
   report.scored = snapshot.size();
   if (rescore_runs_ != nullptr) rescore_runs_->Add(1);
+  if (rescore_scored_ != nullptr) rescore_scored_->Add(snapshot.size());
   if (snapshot.empty()) {
-    if (validity_gauge_ != nullptr) validity_gauge_->Set(0.0);
-    if (feasibility_gauge_ != nullptr) feasibility_gauge_->Set(0.0);
+    // Nothing was scored, so the rate gauges keep their last real
+    // measurement — an idle rescore must not fabricate a 0% validity alert.
     return report;
   }
 
@@ -95,6 +105,19 @@ DriftReport DriftEvaluator::Rescore(const RollingStats& stats) {
   const Matrix shifted_cf = ShiftToWindowFrame(snapshot, stats, true);
 
   const std::vector<int> predicted = predictor_(shifted_cf);
+  if (predicted.size() != snapshot.size()) {
+    // A predictor breaking its one-label-per-row contract used to send the
+    // loop below off the end of `predicted` (heap OOB read). Latch the
+    // violation and skip the pass; gauges keep their last real values.
+    const Status bad = Status::Internal(
+        "drift rescore: BatchPredictor returned " +
+        std::to_string(predicted.size()) + " labels for " +
+        std::to_string(snapshot.size()) + " rows");
+    CFX_LOG(Error) << bad.message();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.ok()) error_ = bad;
+    return report;
+  }
   for (size_t r = 0; r < snapshot.size(); ++r) {
     if (predicted[r] == snapshot[r].desired) ++report.valid;
   }

@@ -90,7 +90,15 @@ class DriftEvaluator {
   /// Re-scores the reservoir under `stats`' rolling window and publishes
   /// the gauges. Features whose window is empty (or degenerate) keep their
   /// frozen normalisation — an idle stream re-produces serving-time scores.
+  /// An empty reservoir is a no-op for the rate gauges: there is nothing to
+  /// measure, and zeroing them would fabricate a 0% validity alert. Only
+  /// drift/rescore/runs and drift/rescore/scored advance.
   DriftReport Rescore(const RollingStats& stats);
+
+  /// First predictor-contract violation observed by Rescore (a
+  /// BatchPredictor returning a different row count than it was given),
+  /// latched until destruction; OK while the contract holds.
+  Status last_error() const;
 
  private:
   struct Served {
@@ -115,11 +123,13 @@ class DriftEvaluator {
   std::vector<Served> reservoir_;  ///< Guarded by mu_.
   uint64_t observed_ = 0;          ///< Guarded by mu_.
   Rng rng_;                        ///< Guarded by mu_.
+  Status error_ = Status::OK();    ///< Guarded by mu_; first latched error.
 
   /// Metric handles; null when collection is disabled.
   metrics::Gauge* validity_gauge_ = nullptr;
   metrics::Gauge* feasibility_gauge_ = nullptr;
   metrics::Counter* rescore_runs_ = nullptr;
+  metrics::Counter* rescore_scored_ = nullptr;
 };
 
 }  // namespace stream

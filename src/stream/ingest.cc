@@ -199,8 +199,18 @@ void StreamIngest::RescoreAndPublish() {
     }
   }
   if (scored) {
-    std::lock_guard<std::mutex> lock(report_mu_);
-    last_report_ = report;
+    {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      last_report_ = report;
+    }
+    // A predictor-contract violation latched inside the evaluator surfaces
+    // through status(), like framing errors.
+    const Status drift_error = evaluator_->last_error();
+    if (!drift_error.ok()) {
+      if (errors_counter_ != nullptr) errors_counter_->Add(1);
+      std::lock_guard<std::mutex> lock(error_mu_);
+      if (error_.ok()) error_ = drift_error;
+    }
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+
+#include "src/common/logging.h"
 
 namespace cfx {
 namespace stream {
@@ -118,6 +121,15 @@ Status RollingStats::FitBaseline(const Table& reference) {
 }
 
 void RollingStats::Add(const std::vector<double>& values) {
+  // A row of the wrong width would index every per-feature state off the
+  // end of `values` — an invariant violation at the caller, not an input
+  // error, so it aborts like the other CFX_LOG(Error) invariants.
+  if (values.size() != schema_.num_features()) {
+    CFX_LOG(Error) << "RollingStats::Add: row width " << values.size()
+                   << " does not match schema width "
+                   << schema_.num_features();
+    std::abort();
+  }
   const uint64_t seq = rows_seen_++;
   for (size_t i = 0; i < schema_.num_features(); ++i) {
     const double v = values[i];
@@ -163,6 +175,12 @@ void RollingStats::Add(const std::vector<double>& values) {
 }
 
 void RollingStats::Evict(const std::vector<double>& values) {
+  if (values.size() != schema_.num_features()) {
+    CFX_LOG(Error) << "RollingStats::Evict: row width " << values.size()
+                   << " does not match schema width "
+                   << schema_.num_features();
+    std::abort();
+  }
   for (size_t i = 0; i < schema_.num_features(); ++i) {
     const double v = values[i];
     if (std::isnan(v)) continue;

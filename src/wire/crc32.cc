@@ -1,0 +1,36 @@
+#include "src/wire/crc32.h"
+
+#include <array>
+
+namespace cfx {
+namespace wire {
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t state, const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state = kTable[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace wire
+}  // namespace cfx

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// trailer of the wire frame format (src/wire/frame.h). Table-driven,
+// incremental: Crc32Update lets the encoder checksum a frame as it appends
+// sections without a second pass over the bytes.
+#ifndef CFX_WIRE_CRC32_H_
+#define CFX_WIRE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfx {
+namespace wire {
+
+/// Extends a running CRC-32 with `n` more bytes. Seed with kCrc32Init and
+/// finish with Crc32Final (the standard init/final-xor convention).
+constexpr uint32_t kCrc32Init = 0xFFFFFFFFu;
+uint32_t Crc32Update(uint32_t state, const void* data, size_t n);
+inline uint32_t Crc32Final(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+/// One-shot convenience over a whole buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Final(Crc32Update(kCrc32Init, data, n));
+}
+
+}  // namespace wire
+}  // namespace cfx
+
+#endif  // CFX_WIRE_CRC32_H_

@@ -1,0 +1,413 @@
+#include "src/wire/frame.h"
+
+#include <cstring>
+
+#include "src/common/string_util.h"
+#include "src/wire/crc32.h"
+
+namespace cfx {
+namespace wire {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'F', 'X', 'W'};
+
+/// magic + version + type + field count + CRC trailer: the smallest legal
+/// body (a frame with zero fields).
+constexpr size_t kMinBodyBytes = 4 + 4 + 1 + 4 + 4;
+
+const char* FieldTypeName(FieldType type) {
+  switch (type) {
+    case FieldType::kU64: return "u64";
+    case FieldType::kF64: return "f64";
+    case FieldType::kString: return "string";
+    case FieldType::kF64Array: return "f64 array";
+    case FieldType::kMatrix: return "matrix";
+  }
+  return "unknown";
+}
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  if (n == 0) return;  // Empty vectors hand over data() == nullptr.
+  out->append(static_cast<const char*>(data), n);
+}
+
+template <typename T>
+void AppendValue(std::string* out, T value) {
+  AppendRaw(out, &value, sizeof(T));
+}
+
+/// Bounds-checked forward reader over one frame body.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Status Read(void* dst, size_t n) {
+    if (n > data_.size() - pos_) {
+      return Status::InvalidArgument("truncated wire frame");
+    }
+    if (n != 0) std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadValue(T* dst) {
+    return Read(dst, sizeof(T));
+  }
+
+  Status ReadString(size_t n, std::string* dst) {
+    if (n > data_.size() - pos_) {
+      return Status::InvalidArgument(
+          "wire frame field length overruns the frame body (lying length)");
+    }
+    dst->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kHello) &&
+         type <= static_cast<uint8_t>(FrameType::kRowBatch);
+}
+
+void FramePayload::Put(const std::string& key, FieldType type,
+                       std::string payload) {
+  for (Field& f : fields_) {
+    if (f.key == key) {
+      f.type = type;
+      f.payload = std::move(payload);
+      return;
+    }
+  }
+  fields_.push_back(Field{key, type, std::move(payload)});
+}
+
+const FramePayload::Field* FramePayload::Find(const std::string& key) const {
+  for (const Field& f : fields_) {
+    if (f.key == key) return &f;
+  }
+  return nullptr;
+}
+
+bool FramePayload::Has(const std::string& key) const {
+  return Find(key) != nullptr;
+}
+
+void FramePayload::PutU64(const std::string& key, uint64_t value) {
+  std::string payload;
+  AppendValue(&payload, value);
+  Put(key, FieldType::kU64, std::move(payload));
+}
+
+void FramePayload::PutF64(const std::string& key, double value) {
+  std::string payload;
+  AppendValue(&payload, value);
+  Put(key, FieldType::kF64, std::move(payload));
+}
+
+void FramePayload::PutString(const std::string& key, std::string value) {
+  Put(key, FieldType::kString, std::move(value));
+}
+
+void FramePayload::PutF64Array(const std::string& key,
+                               const std::vector<double>& values) {
+  std::string payload;
+  AppendValue<uint64_t>(&payload, values.size());
+  AppendRaw(&payload, values.data(), values.size() * sizeof(double));
+  Put(key, FieldType::kF64Array, std::move(payload));
+}
+
+void FramePayload::PutMatrix(const std::string& key, const Matrix& m) {
+  std::string payload;
+  AppendValue<uint64_t>(&payload, m.rows());
+  AppendValue<uint64_t>(&payload, m.cols());
+  AppendRaw(&payload, m.data(), m.size() * sizeof(float));
+  Put(key, FieldType::kMatrix, std::move(payload));
+}
+
+StatusOr<uint64_t> FramePayload::GetU64(const std::string& key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return Status::NotFound("frame has no field '" + key + "'");
+  if (f->type != FieldType::kU64 || f->payload.size() != sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        StrFormat("frame field '%s' is not a u64 (found %s, %zu bytes)",
+                  key.c_str(), FieldTypeName(f->type), f->payload.size()));
+  }
+  uint64_t value = 0;
+  std::memcpy(&value, f->payload.data(), sizeof(value));
+  return value;
+}
+
+StatusOr<double> FramePayload::GetF64(const std::string& key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return Status::NotFound("frame has no field '" + key + "'");
+  if (f->type != FieldType::kF64 || f->payload.size() != sizeof(double)) {
+    return Status::InvalidArgument(
+        StrFormat("frame field '%s' is not an f64 (found %s, %zu bytes)",
+                  key.c_str(), FieldTypeName(f->type), f->payload.size()));
+  }
+  double value = 0.0;
+  std::memcpy(&value, f->payload.data(), sizeof(value));
+  return value;
+}
+
+StatusOr<std::string> FramePayload::GetString(const std::string& key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return Status::NotFound("frame has no field '" + key + "'");
+  if (f->type != FieldType::kString) {
+    return Status::InvalidArgument(
+        StrFormat("frame field '%s' is not a string (found %s)", key.c_str(),
+                  FieldTypeName(f->type)));
+  }
+  return f->payload;
+}
+
+StatusOr<std::vector<double>> FramePayload::GetF64Array(
+    const std::string& key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return Status::NotFound("frame has no field '" + key + "'");
+  if (f->type != FieldType::kF64Array) {
+    return Status::InvalidArgument(
+        StrFormat("frame field '%s' is not an f64 array (found %s)",
+                  key.c_str(), FieldTypeName(f->type)));
+  }
+  const std::string& payload = f->payload;
+  if (payload.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("malformed f64 array field '" + key + "'");
+  }
+  uint64_t n = 0;
+  std::memcpy(&n, payload.data(), sizeof(n));
+  if (payload.size() != sizeof(uint64_t) + n * sizeof(double)) {
+    return Status::InvalidArgument("malformed f64 array field '" + key + "'");
+  }
+  std::vector<double> values(n);
+  if (n != 0) {
+    std::memcpy(values.data(), payload.data() + sizeof(uint64_t),
+                n * sizeof(double));
+  }
+  return values;
+}
+
+StatusOr<Matrix> FramePayload::GetMatrix(const std::string& key) const {
+  const Field* f = Find(key);
+  if (f == nullptr) return Status::NotFound("frame has no field '" + key + "'");
+  if (f->type != FieldType::kMatrix) {
+    return Status::InvalidArgument(
+        StrFormat("frame field '%s' is not a matrix (found %s)", key.c_str(),
+                  FieldTypeName(f->type)));
+  }
+  const std::string& payload = f->payload;
+  if (payload.size() < 2 * sizeof(uint64_t)) {
+    return Status::InvalidArgument("malformed matrix field '" + key + "'");
+  }
+  uint64_t rows = 0, cols = 0;
+  std::memcpy(&rows, payload.data(), sizeof(rows));
+  std::memcpy(&cols, payload.data() + sizeof(rows), sizeof(cols));
+  // Guard the multiplication before it can size an allocation.
+  if (rows > 0 && cols > (payload.size() / sizeof(float)) / rows) {
+    return Status::InvalidArgument("malformed matrix field '" + key + "'");
+  }
+  if (payload.size() !=
+      2 * sizeof(uint64_t) + rows * cols * sizeof(float)) {
+    return Status::InvalidArgument("malformed matrix field '" + key + "'");
+  }
+  Matrix m(rows, cols);
+  if (m.size() != 0) {
+    std::memcpy(m.data(), payload.data() + 2 * sizeof(uint64_t),
+                m.size() * sizeof(float));
+  }
+  return m;
+}
+
+std::string EncodeFrameBody(FrameType type, const FramePayload& payload) {
+  std::string body;
+  AppendRaw(&body, kMagic, sizeof(kMagic));
+  AppendValue<uint32_t>(&body, kWireVersion);
+  AppendValue<uint8_t>(&body, static_cast<uint8_t>(type));
+  AppendValue<uint32_t>(&body, static_cast<uint32_t>(payload.fields_.size()));
+  for (const FramePayload::Field& f : payload.fields_) {
+    AppendValue<uint16_t>(&body, static_cast<uint16_t>(f.key.size()));
+    AppendRaw(&body, f.key.data(), f.key.size());
+    AppendValue<uint8_t>(&body, static_cast<uint8_t>(f.type));
+    AppendValue<uint64_t>(&body, f.payload.size());
+    AppendRaw(&body, f.payload.data(), f.payload.size());
+  }
+  AppendValue<uint32_t>(&body, Crc32(body.data(), body.size()));
+  return body;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string body = EncodeFrameBody(frame.type, frame.payload);
+  std::string out;
+  AppendValue<uint32_t>(&out, static_cast<uint32_t>(body.size()));
+  out += body;
+  return out;
+}
+
+Status DecodeFrameBody(std::string_view body, Frame* out) {
+  if (body.size() < kMinBodyBytes) {
+    return Status::InvalidArgument("truncated wire frame");
+  }
+
+  Cursor cursor(body);
+  char magic[4];
+  CFX_RETURN_IF_ERROR(cursor.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a cfx wire frame (bad magic)");
+  }
+
+  uint32_t version = 0;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&version));
+  if (version == 0) {
+    return Status::InvalidArgument("wire frame has invalid version 0");
+  }
+  if (version > kWireVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("wire frame has format version %u; this build reads <= %u "
+                  "(version skew)",
+                  version, kWireVersion));
+  }
+
+  uint8_t type = 0;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&type));
+  if (!IsKnownFrameType(type)) {
+    return Status::InvalidArgument(
+        StrFormat("unknown wire frame type %u", type));
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload = FramePayload();
+
+  uint32_t count = 0;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&count));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint16_t key_len = 0;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&key_len));
+    std::string key;
+    CFX_RETURN_IF_ERROR(cursor.ReadString(key_len, &key));
+    uint8_t field_type = 0;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&field_type));
+    if (field_type < static_cast<uint8_t>(FieldType::kU64) ||
+        field_type > static_cast<uint8_t>(FieldType::kMatrix)) {
+      return Status::InvalidArgument(StrFormat(
+          "wire frame field '%s' has unknown type %u", key.c_str(),
+          field_type));
+    }
+    uint64_t payload_len = 0;
+    CFX_RETURN_IF_ERROR(cursor.ReadValue(&payload_len));
+    // The CRC trailer is not field payload: a length that reaches into (or
+    // past) the final 4 bytes is lying about the field's extent.
+    if (payload_len > body.size() - cursor.pos() ||
+        body.size() - cursor.pos() - payload_len < sizeof(uint32_t)) {
+      return Status::InvalidArgument(
+          "wire frame field length overruns the frame body (lying length)");
+    }
+    if (out->payload.Has(key)) {
+      return Status::InvalidArgument("wire frame repeats field '" + key +
+                                     "'");
+    }
+    std::string payload;
+    CFX_RETURN_IF_ERROR(cursor.ReadString(payload_len, &payload));
+    out->payload.Put(key, static_cast<FieldType>(field_type),
+                     std::move(payload));
+  }
+
+  if (cursor.remaining() != sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        "wire frame has trailing garbage before the CRC trailer");
+  }
+  uint32_t stored_crc = 0;
+  CFX_RETURN_IF_ERROR(cursor.ReadValue(&stored_crc));
+  const uint32_t computed =
+      Crc32(body.data(), body.size() - sizeof(uint32_t));
+  if (stored_crc != computed) {
+    return Status::InvalidArgument(
+        StrFormat("wire frame CRC mismatch (stored %08x, computed %08x)",
+                  stored_crc, computed));
+  }
+  return Status::OK();
+}
+
+FrameDecoder::FrameDecoder(FrameDecoderConfig config, FrameSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (config_.max_frame_bytes < kMinBodyBytes) {
+    config_.max_frame_bytes = kMinBodyBytes;
+  }
+}
+
+Status FrameDecoder::EmitBody(std::string_view body) {
+  Frame frame;
+  CFX_RETURN_IF_ERROR(DecodeFrameBody(body, &frame));
+  ++frames_decoded_;
+  return sink_(std::move(frame));
+}
+
+Status FrameDecoder::Consume(const char* data, size_t n) {
+  if (!error_.ok()) return error_;
+  if (finished_) {
+    error_ = Status::FailedPrecondition("Consume after Finish");
+    return error_;
+  }
+  bytes_consumed_ += n;
+  pending_.append(data, n);
+
+  size_t pos = 0;
+  for (;;) {
+    const size_t avail = pending_.size() - pos;
+    if (avail < sizeof(uint32_t)) break;
+    uint32_t body_len = 0;
+    std::memcpy(&body_len, pending_.data() + pos, sizeof(body_len));
+    if (body_len > config_.max_frame_bytes) {
+      error_ = Status::InvalidArgument(
+          StrFormat("wire frame length %u exceeds the %zu-byte cap",
+                    body_len, config_.max_frame_bytes));
+      return error_;
+    }
+    if (body_len < kMinBodyBytes) {
+      error_ = Status::InvalidArgument("truncated wire frame");
+      return error_;
+    }
+    if (avail - sizeof(uint32_t) < body_len) break;  // Wait for the rest.
+    const std::string_view body(pending_.data() + pos + sizeof(uint32_t),
+                                body_len);
+    const Status emitted = EmitBody(body);
+    if (!emitted.ok()) {
+      error_ = emitted;
+      return error_;
+    }
+    pos += sizeof(uint32_t) + body_len;
+  }
+  pending_.erase(0, pos);
+  return Status::OK();
+}
+
+Status FrameDecoder::Finish() {
+  if (!error_.ok()) return error_;
+  finished_ = true;
+  if (!pending_.empty()) {
+    error_ = Status::InvalidArgument(StrFormat(
+        "wire stream ended mid-frame (%zu buffered bytes)", pending_.size()));
+    return error_;
+  }
+  return Status::OK();
+}
+
+void FrameDecoder::Reset() {
+  pending_.clear();
+  error_ = Status::OK();
+  finished_ = false;
+  frames_decoded_ = 0;
+  bytes_consumed_ = 0;
+}
+
+}  // namespace wire
+}  // namespace cfx

@@ -1,0 +1,185 @@
+// Length-prefixed, versioned binary wire frames (ROADMAP item 4).
+//
+// A frame is the unit of exchange between the sharded-evaluation
+// coordinator and its workers (src/eval/): row batches, per-cell
+// MethodMetrics, and control messages all travel as one frame each. The
+// on-the-wire layout mirrors the `.cfxb` bundle trailer discipline —
+// self-describing, versioned, and strict:
+//
+//   u32 body_len                      // bytes following this prefix
+//   body:
+//     magic 'CFXW'                    // 4 bytes
+//     u32  version                    // kWireVersion; skew rejected
+//     u8   frame type                 // FrameType; unknown rejected
+//     u32  field count
+//     per field:
+//       u16 key_len, key bytes        // section key
+//       u8  field type                // FieldType; unknown rejected
+//       u64 payload_len, payload      // length validated before use
+//     u32  crc32                      // trailer over body[0 .. crc)
+//
+// Strictness taxonomy (each rejected with a named error, matching the
+// bundle reader): truncation at any prefix length, bad magic, version 0,
+// version skew (newer than this build), unknown frame/field type, a lying
+// field length that overruns the body, duplicate field keys, a CRC
+// mismatch, and trailing garbage between the last field and the CRC
+// trailer. A frame that decodes is bitwise round-trippable.
+//
+// FrameDecoder is the streaming half: it consumes arbitrary byte chunks
+// (chunk boundaries carry no meaning — the property tests split frames at
+// every offset), buffers at most one partial frame (bounded by
+// max_frame_bytes, the StreamFramer discipline), emits complete frames
+// through a sink, and latches the first error until Reset().
+#ifndef CFX_WIRE_FRAME_H_
+#define CFX_WIRE_FRAME_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/matrix.h"
+
+namespace cfx {
+namespace wire {
+
+/// Bumped on incompatible layout changes; decoders reject newer frames
+/// (version skew) and version 0 (never written).
+constexpr uint32_t kWireVersion = 1;
+
+/// Frame vocabulary of the sharded evaluation protocol, plus the row-batch
+/// carrier. Unknown types are a decode error — the version gates the set.
+enum class FrameType : uint8_t {
+  kHello = 1,     ///< worker -> coordinator: protocol handshake.
+  kAssign = 2,    ///< coordinator -> worker: one evaluation cell.
+  kResult = 3,    ///< worker -> coordinator: per-cell MethodMetrics.
+  kCellError = 4, ///< worker -> coordinator: cell failed, with its status.
+  kShutdown = 5,  ///< coordinator -> worker: drain and exit.
+  kRowBatch = 6,  ///< encoded row batch (matrix + labels).
+};
+
+/// True when `type` is a member of the version-1 vocabulary.
+bool IsKnownFrameType(uint8_t type);
+
+/// Typed field payloads, the section taxonomy of the format.
+enum class FieldType : uint8_t {
+  kU64 = 1,
+  kF64 = 2,
+  kString = 3,
+  kF64Array = 4,
+  kMatrix = 5,
+};
+
+/// Ordered key -> typed-value map carried by one frame. Keys are unique
+/// (duplicates are a decode error and an encode-time abort via Status).
+/// Getters are strict about both presence and type, like Bundle.
+class FramePayload {
+ public:
+  void PutU64(const std::string& key, uint64_t value);
+  void PutF64(const std::string& key, double value);
+  void PutString(const std::string& key, std::string value);
+  void PutF64Array(const std::string& key, const std::vector<double>& values);
+  void PutMatrix(const std::string& key, const Matrix& m);
+
+  StatusOr<uint64_t> GetU64(const std::string& key) const;
+  StatusOr<double> GetF64(const std::string& key) const;
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<std::vector<double>> GetF64Array(const std::string& key) const;
+  StatusOr<Matrix> GetMatrix(const std::string& key) const;
+
+  bool Has(const std::string& key) const;
+  size_t size() const { return fields_.size(); }
+
+ private:
+  friend std::string EncodeFrameBody(FrameType type,
+                                     const FramePayload& payload);
+  friend Status DecodeFrameBody(std::string_view body, struct Frame* out);
+
+  struct Field {
+    std::string key;
+    FieldType type;
+    std::string payload;
+  };
+
+  /// Appends or replaces; replacing keeps the original position so encode
+  /// order stays deterministic.
+  void Put(const std::string& key, FieldType type, std::string payload);
+  const Field* Find(const std::string& key) const;
+
+  std::vector<Field> fields_;  ///< Insertion-ordered; keys unique.
+};
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  FramePayload payload;
+};
+
+/// Serialises the frame: u32 length prefix + body (magic through CRC).
+std::string EncodeFrame(const Frame& frame);
+
+/// Body without the length prefix (the encoder's inner step; exposed so
+/// tests can corrupt specific offsets).
+std::string EncodeFrameBody(FrameType type, const FramePayload& payload);
+
+/// Strict decode of one frame body (no length prefix). Every documented
+/// corruption is rejected with a named InvalidArgument/FailedPrecondition.
+Status DecodeFrameBody(std::string_view body, Frame* out);
+
+/// Decoder tuning knobs.
+struct FrameDecoderConfig {
+  /// Hard cap on one frame's body bytes. A length prefix above it is
+  /// rejected immediately — a lying prefix cannot make the decoder buffer
+  /// without bound.
+  size_t max_frame_bytes = 64u << 20;
+};
+
+/// Frame sink: called once per decoded frame. A non-OK return aborts
+/// decoding with that status (latched like a decode error).
+using FrameSink = std::function<Status(Frame&&)>;
+
+/// Chunk-boundary-independent streaming frame decoder.
+class FrameDecoder {
+ public:
+  FrameDecoder(FrameDecoderConfig config, FrameSink sink);
+
+  /// Consumes `n` bytes. Complete frames are decoded and emitted
+  /// immediately; a trailing partial frame is buffered for the next chunk.
+  /// On error the decoder latches the status: every later Consume/Finish
+  /// returns the same error until Reset().
+  Status Consume(const char* data, size_t n);
+  Status Consume(const std::string& chunk) {
+    return Consume(chunk.data(), chunk.size());
+  }
+
+  /// Ends the stream: a buffered partial frame is a truncation error;
+  /// a clean frame boundary is OK. Idempotent.
+  Status Finish();
+
+  /// Clears buffered bytes, the latched error and the counters.
+  void Reset();
+
+  size_t frames_decoded() const { return frames_decoded_; }
+  size_t bytes_consumed() const { return bytes_consumed_; }
+  /// Bytes currently buffered while waiting for the rest of a frame.
+  size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  /// Decodes + emits one complete body.
+  Status EmitBody(std::string_view body);
+
+  FrameDecoderConfig config_;
+  FrameSink sink_;
+  std::string pending_;          ///< Partial frame carried across chunks.
+  Status error_ = Status::OK();  ///< Latched first error.
+  bool finished_ = false;
+  size_t frames_decoded_ = 0;
+  size_t bytes_consumed_ = 0;
+};
+
+}  // namespace wire
+}  // namespace cfx
+
+#endif  // CFX_WIRE_FRAME_H_

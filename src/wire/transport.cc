@@ -1,0 +1,437 @@
+#include "src/wire/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace cfx {
+namespace wire {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(StrFormat("fcntl(O_NONBLOCK): %s",
+                                      std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Waits for `events` on `fd` for at most `timeout_ms` (<0 = forever).
+/// Returns OK when ready, DeadlineExceeded on timeout.
+Status PollOne(int fd, short events, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("wire transport timeout");
+    if (errno == EINTR) continue;
+    return Status::Internal(StrFormat("poll: %s", std::strerror(errno)));
+  }
+}
+
+/// Builds the sockaddr for `addr`. Unix paths longer than sun_path are
+/// rejected up front instead of silently truncated.
+Status FillSockaddr(const WireAddr& addr, sockaddr_storage* storage,
+                    socklen_t* len) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (addr.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    if (addr.path.size() >= sizeof(sun->sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: '" +
+                                     addr.path + "'");
+    }
+    sun->sun_family = AF_UNIX;
+    std::memcpy(sun->sun_path, addr.path.data(), addr.path.size());
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  addr.path.size() + 1);
+    return Status::OK();
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("bad tcp host '" + addr.host +
+                                   "' (numeric IPv4 expected)");
+  }
+  *len = sizeof(sockaddr_in);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<WireAddr> ParseWireAddr(const std::string& spec) {
+  WireAddr addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.is_unix = true;
+    addr.path = spec.substr(5);
+    if (addr.path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + spec +
+                                     "'");
+    }
+    return addr;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    addr.is_unix = false;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return Status::InvalidArgument("expected tcp:<host>:<port> in '" +
+                                     spec + "'");
+    }
+    addr.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    uint64_t port = 0;
+    for (char c : port_str) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad tcp port '" + port_str + "' in '" +
+                                       spec + "'");
+      }
+      port = port * 10 + static_cast<uint64_t>(c - '0');
+      if (port > 65535) {
+        return Status::InvalidArgument("tcp port out of range in '" + spec +
+                                       "'");
+      }
+    }
+    addr.port = static_cast<uint16_t>(port);
+    return addr;
+  }
+  return Status::InvalidArgument(
+      "wire address must be unix:<path> or tcp:<host>:<port>, got '" + spec +
+      "'");
+}
+
+std::string WireAddrToString(const WireAddr& addr) {
+  if (addr.is_unix) return "unix:" + addr.path;
+  return StrFormat("tcp:%s:%u", addr.host.c_str(), addr.port);
+}
+
+// ---- Connection -------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) { EnsureDecoder(); }
+
+Connection::~Connection() { Close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      ready_(std::move(other.ready_)),
+      error_(std::move(other.error_)),
+      peer_closed_(other.peer_closed_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    ready_ = std::move(other.ready_);
+    error_ = std::move(other.error_);
+    peer_closed_ = other.peer_closed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::EnsureDecoder() {
+  if (decoder_ != nullptr) return;
+  ready_ = std::make_unique<std::deque<Frame>>();
+  // The sink must capture the deque, not `this`: a Connection is moved out
+  // of Accept/ConnectWithRetry, and a `this` capture would keep pushing
+  // frames into the moved-from shell. The deque's heap address is stable
+  // because its unique_ptr moves along with the decoder.
+  std::deque<Frame>* ready = ready_.get();
+  decoder_ = std::make_unique<FrameDecoder>(
+      FrameDecoderConfig(), [ready](Frame&& frame) {
+        ready->push_back(std::move(frame));
+        return Status::OK();
+      });
+}
+
+Status Connection::SendFrame(const Frame& frame, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("send on closed connection");
+  const std::string bytes = EncodeFrame(frame);
+  size_t sent = 0;
+  const int64_t deadline = NowMs() + timeout_ms;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      const int64_t left = deadline - NowMs();
+      if (left <= 0) {
+        return Status::DeadlineExceeded("SendFrame timed out");
+      }
+      CFX_RETURN_IF_ERROR(PollOne(fd_, POLLOUT, static_cast<int>(left)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Cancelled("connection closed by peer during send");
+    }
+    return Status::Internal(StrFormat("send: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status Connection::Pump() {
+  if (fd_ < 0) return Status::FailedPrecondition("pump on closed connection");
+  if (!error_.ok()) return error_;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      const Status consumed = decoder_->Consume(buf, static_cast<size_t>(n));
+      if (!consumed.ok()) {
+        error_ = consumed;
+        return error_;
+      }
+      if (n < static_cast<ssize_t>(sizeof(buf))) return Status::OK();
+      continue;  // Possibly more queued; drain without blocking.
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      // A close mid-frame is a truncation; at a boundary it is the normal
+      // end-of-conversation signal.
+      const Status finished = decoder_->Finish();
+      if (!finished.ok()) {
+        error_ = finished;
+        return error_;
+      }
+      error_ = Status::Cancelled("connection closed by peer");
+      return error_;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      peer_closed_ = true;
+      error_ = Status::Cancelled("connection reset by peer");
+      return error_;
+    }
+    error_ = Status::Internal(StrFormat("recv: %s", std::strerror(errno)));
+    return error_;
+  }
+}
+
+Status Connection::ReceiveFrame(Frame* out, int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    if (HasFrame()) {
+      *out = PopFrame();
+      return Status::OK();
+    }
+    if (!error_.ok()) return error_;
+    const int64_t left = deadline - NowMs();
+    if (left <= 0) return Status::DeadlineExceeded("ReceiveFrame timed out");
+    CFX_RETURN_IF_ERROR(PollOne(fd_, POLLIN, static_cast<int>(left)));
+    const Status pumped = Pump();
+    // A pump error (including clean close) still surfaces any frame that
+    // completed before it — callers drain, then see the error.
+    if (!pumped.ok() && !HasFrame()) return pumped;
+  }
+}
+
+Frame Connection::PopFrame() {
+  Frame frame = std::move(ready_->front());
+  ready_->pop_front();
+  return frame;
+}
+
+// ---- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), addr_(std::move(other.addr_)) {
+  other.fd_ = -1;
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    addr_ = std::move(other.addr_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (addr_.is_unix) ::unlink(addr_.path.c_str());
+  }
+}
+
+StatusOr<Listener> Listener::Bind(const WireAddr& addr, int backlog) {
+  const int domain = addr.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  Listener listener;
+  listener.fd_ = fd;  // Owns the fd from here; Close() on any error path.
+  listener.addr_ = addr;
+
+  if (addr.is_unix) {
+    ::unlink(addr.path.c_str());  // Stale socket from a crashed run.
+  } else {
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  Status filled = FillSockaddr(addr, &storage, &len);
+  if (!filled.ok()) return filled;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+    return Status::Internal(StrFormat("bind %s: %s",
+                                      WireAddrToString(addr).c_str(),
+                                      std::strerror(errno)));
+  }
+  if (!addr.is_unix && addr.port == 0) {
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+        0) {
+      return Status::Internal(
+          StrFormat("getsockname: %s", std::strerror(errno)));
+    }
+    listener.addr_.port = ntohs(bound.sin_port);
+  }
+  if (::listen(fd, backlog) < 0) {
+    return Status::Internal(StrFormat("listen: %s", std::strerror(errno)));
+  }
+  CFX_RETURN_IF_ERROR(SetNonBlocking(fd));
+  return listener;
+}
+
+StatusOr<Connection> Listener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed listener");
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      CFX_RETURN_IF_ERROR(SetNonBlocking(client));
+      if (!addr_.is_unix) {
+        const int one = 1;
+        (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one,
+                           sizeof(one));
+      }
+      return Connection(client);
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int64_t left = deadline - NowMs();
+      if (left <= 0) return Status::DeadlineExceeded("Accept timed out");
+      CFX_RETURN_IF_ERROR(PollOne(fd_, POLLIN, static_cast<int>(left)));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return Status::Internal(StrFormat("accept: %s", std::strerror(errno)));
+  }
+}
+
+// ---- Connect ----------------------------------------------------------------
+
+namespace {
+
+/// One non-blocking connect attempt bounded by `timeout_ms`.
+StatusOr<Connection> ConnectOnce(const WireAddr& addr, int timeout_ms) {
+  const int domain = addr.is_unix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  Connection conn(fd);  // Owns the fd; destructor closes on error paths.
+  Status nonblock = SetNonBlocking(fd);
+  if (!nonblock.ok()) return nonblock;
+
+  sockaddr_storage storage;
+  socklen_t len = 0;
+  Status filled = FillSockaddr(addr, &storage, &len);
+  if (!filled.ok()) return filled;
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return Status::Internal(StrFormat("connect %s: %s",
+                                        WireAddrToString(addr).c_str(),
+                                        std::strerror(errno)));
+    }
+    CFX_RETURN_IF_ERROR(PollOne(fd, POLLOUT, timeout_ms));
+    int so_error = 0;
+    socklen_t so_len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) < 0 ||
+        so_error != 0) {
+      return Status::Internal(
+          StrFormat("connect %s: %s", WireAddrToString(addr).c_str(),
+                    std::strerror(so_error != 0 ? so_error : errno)));
+    }
+  }
+  if (!addr.is_unix) {
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return conn;
+}
+
+}  // namespace
+
+StatusOr<Connection> ConnectWithRetry(const WireAddr& addr, int timeout_ms) {
+  const int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    const int64_t left = deadline - NowMs();
+    if (left <= 0) {
+      return Status::DeadlineExceeded("connect to " + WireAddrToString(addr) +
+                                      " timed out");
+    }
+    auto conn = ConnectOnce(addr, static_cast<int>(left));
+    if (conn.ok()) return conn;
+    if (conn.status().code() == StatusCode::kInvalidArgument) {
+      return conn.status();  // A bad address never becomes good.
+    }
+    // Refused / not-yet-bound: back off briefly and retry until deadline.
+    struct timespec ts = {0, 20 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+}
+
+}  // namespace wire
+}  // namespace cfx

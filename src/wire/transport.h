@@ -1,0 +1,129 @@
+// Socket transport for wire frames (ROADMAP item 4): Unix-domain and TCP
+// loopback endpoints with explicit timeouts everywhere.
+//
+// Addresses are spelled "unix:<path>" or "tcp:<host>:<port>". The sharded
+// evaluation harness defaults to a Unix socket (one machine, N worker
+// processes); TCP exists for spreading workers across hosts and is covered
+// by the same tests.
+//
+// Blocking discipline: every file descriptor is non-blocking at the OS
+// level; Accept/Connect/SendFrame/ReceiveFrame bound their waits with
+// poll(2) and return DeadlineExceeded when the timeout lapses — no call
+// here can hang a coordinator on a dead worker. A Connection owns a
+// FrameDecoder, so receive-side framing inherits the strict corruption
+// taxonomy (a peer sending garbage latches an error on that connection,
+// not a crash). Clean peer close at a frame boundary is Cancelled
+// ("connection closed"); close mid-frame is an InvalidArgument truncation.
+#ifndef CFX_WIRE_TRANSPORT_H_
+#define CFX_WIRE_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/wire/frame.h"
+
+namespace cfx {
+namespace wire {
+
+/// Parsed endpoint.
+struct WireAddr {
+  bool is_unix = true;
+  std::string path;  ///< Unix socket path.
+  std::string host;  ///< TCP host (numeric, e.g. "127.0.0.1").
+  uint16_t port = 0; ///< TCP port; 0 asks the OS to pick (Bind only).
+};
+
+/// Parses "unix:<path>" | "tcp:<host>:<port>". Strict: unknown schemes,
+/// empty paths and non-numeric ports are InvalidArgument.
+StatusOr<WireAddr> ParseWireAddr(const std::string& spec);
+
+/// Canonical spelling (round-trips through ParseWireAddr).
+std::string WireAddrToString(const WireAddr& addr);
+
+/// One connected, message-framed peer. Move-only; closes its fd on
+/// destruction.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd);
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes one encoded frame, waiting at most `timeout_ms` for the socket
+  /// to drain. Partial progress resets the clock per poll round.
+  Status SendFrame(const Frame& frame, int timeout_ms);
+
+  /// Next complete frame, waiting at most `timeout_ms`. Frames already
+  /// buffered by a previous Pump/Receive return immediately.
+  Status ReceiveFrame(Frame* out, int timeout_ms);
+
+  /// Non-blocking read pump for poll loops: drains whatever the socket has
+  /// right now into the decoder. Returns OK whether or not new frames
+  /// completed; Cancelled on clean peer close; decoder errors latch.
+  Status Pump();
+
+  /// True when a decoded frame is ready to pop without touching the socket.
+  bool HasFrame() const { return ready_ != nullptr && !ready_->empty(); }
+  Frame PopFrame();
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<FrameDecoder> decoder_;
+  /// Decoded, not yet popped. Heap-allocated so the decoder's sink can hold
+  /// a pointer that stays valid when the Connection itself is moved.
+  std::unique_ptr<std::deque<Frame>> ready_;
+  Status error_ = Status::OK();   ///< Latched transport/decode error.
+  bool peer_closed_ = false;
+
+  void EnsureDecoder();
+};
+
+/// Listening endpoint with non-blocking accept.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds + listens. Unix paths are unlinked first (stale socket files
+  /// from a crashed run must not block a new one). TCP binds with
+  /// SO_REUSEADDR; port 0 resolves to an OS-assigned port, readable from
+  /// local_addr().
+  static StatusOr<Listener> Bind(const WireAddr& addr, int backlog = 16);
+
+  /// Accepts one connection, waiting at most `timeout_ms`.
+  StatusOr<Connection> Accept(int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// The bound address (TCP port filled in after a port-0 bind).
+  const WireAddr& local_addr() const { return addr_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  WireAddr addr_;
+};
+
+/// Connects to `addr`, waiting at most `timeout_ms` for the handshake.
+/// A refused/absent endpoint is retried until the deadline (the worker may
+/// start before the coordinator finishes binding).
+StatusOr<Connection> ConnectWithRetry(const WireAddr& addr, int timeout_ms);
+
+}  // namespace wire
+}  // namespace cfx
+
+#endif  // CFX_WIRE_TRANSPORT_H_

@@ -262,6 +262,22 @@ TEST(ConfigTest, ScaleFromEnvDefaultsOnTypo) {
   EXPECT_EQ(ScaleFromEnv(), Scale::kSmall);
 }
 
+TEST(ConfigTest, ParseUint64Strict) {
+  uint64_t value = 0;
+  EXPECT_TRUE(ParseUint64("0", &value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(ParseUint64("42", &value));
+  EXPECT_EQ(value, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &value));  // UINT64_MAX.
+  EXPECT_EQ(value, UINT64_MAX);
+
+  // Whole-string parsing: no signs, spaces, suffixes or bases.
+  for (const char* bad : {"", "-1", "+1", " 1", "1 ", "10k", "0x10", "1.5",
+                          "18446744073709551616" /* UINT64_MAX + 1 */}) {
+    EXPECT_FALSE(ParseUint64(bad, &value)) << "'" << bad << "' parsed";
+  }
+}
+
 TEST(ConfigTest, ParseScaleNameStrict) {
   Scale scale = Scale::kSmall;
   EXPECT_TRUE(ParseScaleName("Paper", &scale));

@@ -1,0 +1,359 @@
+// Sharded Table IV harness (ROADMAP item 4). This binary is pinned to
+// CFX_THREADS=1 (see tests/CMakeLists.txt): the determinism contract —
+// a sharded sweep merges bitwise identical to the single-process sweep —
+// is stated and proven without kernel-thread timing in the way.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/baselines/registry.h"
+#include "src/common/status.h"
+#include "src/eval/cells.h"
+#include "src/eval/coordinator.h"
+#include "src/eval/protocol.h"
+#include "src/eval/worker.h"
+#include "src/wire/frame.h"
+#include "src/wire/transport.h"
+
+namespace cfx {
+namespace eval {
+namespace {
+
+RunConfig SmallConfig() {
+  RunConfig config;
+  config.scale = Scale::kSmall;
+  config.seed = 42;
+  config.eval_instances = 20;
+  return config;
+}
+
+// ---- wire tokens ----------------------------------------------------------
+
+TEST(EvalTokensTest, MethodKindTokensRoundTrip) {
+  for (MethodKind kind : AllMethodKinds()) {
+    const char* token = MethodKindToken(kind);
+    ASSERT_STRNE(token, "unknown");
+    MethodKind parsed;
+    ASSERT_TRUE(ParseMethodKindName(token, &parsed)) << token;
+    EXPECT_EQ(parsed, kind) << token;
+  }
+  MethodKind parsed;
+  EXPECT_FALSE(ParseMethodKindName("", &parsed));
+  EXPECT_FALSE(ParseMethodKindName("DICE", &parsed));
+  EXPECT_FALSE(ParseMethodKindName("dice ", &parsed));
+}
+
+TEST(EvalTokensTest, DatasetTokensRoundTrip) {
+  for (DatasetId id :
+       {DatasetId::kAdult, DatasetId::kCensus, DatasetId::kLaw}) {
+    const char* token = DatasetToken(id);
+    ASSERT_STRNE(token, "unknown");
+    DatasetId parsed;
+    ASSERT_TRUE(ParseDatasetName(token, &parsed)) << token;
+    EXPECT_EQ(parsed, id) << token;
+  }
+  DatasetId parsed;
+  EXPECT_FALSE(ParseDatasetName("Adult", &parsed));  // Display name.
+  EXPECT_FALSE(ParseDatasetName("", &parsed));
+}
+
+TEST(EvalCellsTest, GridOrderIsDatasetsOuterSeedsMiddleMethodsInner) {
+  const std::vector<DatasetId> datasets = {DatasetId::kAdult,
+                                           DatasetId::kLaw};
+  const std::vector<uint64_t> seeds = {42, 43};
+  const std::vector<MethodKind> kinds = {MethodKind::kCem,
+                                         MethodKind::kDiceRandom};
+  const std::vector<EvalCellKey> grid = BuildCellGrid(datasets, seeds, kinds);
+  ASSERT_EQ(grid.size(), 8u);
+  EXPECT_EQ(CellKeyToString(grid[0]), "adult/cem/seed42");
+  EXPECT_EQ(CellKeyToString(grid[1]), "adult/dice/seed42");
+  EXPECT_EQ(CellKeyToString(grid[2]), "adult/cem/seed43");
+  EXPECT_EQ(CellKeyToString(grid[3]), "adult/dice/seed43");
+  EXPECT_EQ(CellKeyToString(grid[4]), "law/cem/seed42");
+  EXPECT_EQ(CellKeyToString(grid[7]), "law/dice/seed43");
+}
+
+// ---- experiment cache -----------------------------------------------------
+
+TEST(ExperimentCacheTest, HitsShareAndLruEvicts) {
+  ExperimentCache cache(/*capacity=*/1);
+  RunConfig config = SmallConfig();
+
+  auto first = cache.Acquire(DatasetId::kAdult, config);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(cache.cold_starts(), 1u);
+
+  // Same key: a hit, same object, no new cold start.
+  auto again = cache.Acquire(DatasetId::kAdult, config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *first);
+  EXPECT_EQ(cache.cold_starts(), 1u);
+
+  // Different seed: a miss that evicts the only slot.
+  config.seed = 43;
+  auto other = cache.Acquire(DatasetId::kAdult, config);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(cache.cold_starts(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The original key was evicted, so it cold-starts again.
+  config.seed = 42;
+  auto rebuilt = cache.Acquire(DatasetId::kAdult, config);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(cache.cold_starts(), 3u);
+}
+
+TEST(ExperimentCacheTest, CellResultIdenticalFromSharedOrFreshExperiment) {
+  // The determinism seam: a cell computed against a cache-shared Experiment
+  // must be bitwise identical to one computed against a freshly created
+  // Experiment — otherwise worker cache state would leak into Table IV.
+  const RunConfig config = SmallConfig();
+  const EvalCellKey key{DatasetId::kAdult, MethodKind::kCem, 42};
+
+  ExperimentCache shared(/*capacity=*/2);
+  // Warm the cache with another cell first so `key` runs against a shared,
+  // already-used Experiment.
+  const EvalCellKey warm{DatasetId::kAdult, MethodKind::kDiceRandom, 42};
+  ASSERT_TRUE(RunEvalCell(warm, config, &shared).ok());
+  auto from_shared = RunEvalCell(key, config, &shared);
+  ASSERT_TRUE(from_shared.ok()) << from_shared.status().ToString();
+
+  ExperimentCache fresh(/*capacity=*/1);
+  auto from_fresh = RunEvalCell(key, config, &fresh);
+  ASSERT_TRUE(from_fresh.ok()) << from_fresh.status().ToString();
+
+  const MethodMetrics& a = from_shared->row.metrics;
+  const MethodMetrics& b = from_fresh->row.metrics;
+  EXPECT_EQ(a.method_name, b.method_name);
+  EXPECT_EQ(a.validity, b.validity);
+  EXPECT_EQ(a.feasibility_unary, b.feasibility_unary);
+  EXPECT_EQ(a.feasibility_binary, b.feasibility_binary);
+  EXPECT_EQ(a.continuous_proximity, b.continuous_proximity);
+  EXPECT_EQ(a.categorical_proximity, b.categorical_proximity);
+  EXPECT_EQ(a.sparsity, b.sparsity);
+  EXPECT_EQ(from_shared->eval_rows, from_fresh->eval_rows);
+}
+
+// ---- protocol frames ------------------------------------------------------
+
+TEST(EvalProtocolTest, HelloRoundTripAndVersionSkew) {
+  auto msg = ParseHelloFrame(MakeHelloFrame());
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->protocol, kEvalProtocolVersion);
+
+  wire::Frame skewed;
+  skewed.type = wire::FrameType::kHello;
+  skewed.payload.PutU64("protocol", kEvalProtocolVersion + 1);
+  const Status status = ParseHelloFrame(skewed).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("version skew"), std::string::npos);
+}
+
+TEST(EvalProtocolTest, AssignRoundTrip) {
+  const EvalCellKey key{DatasetId::kLaw, MethodKind::kOursBinary, 43};
+  RunConfig base = SmallConfig();
+  base.eval_instances = 37;
+  auto msg = ParseAssignFrame(MakeAssignFrame(12, key, base));
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->cell, 12u);
+  EXPECT_EQ(msg->key.dataset, DatasetId::kLaw);
+  EXPECT_EQ(msg->key.kind, MethodKind::kOursBinary);
+  EXPECT_EQ(msg->key.seed, 43u);
+  EXPECT_EQ(msg->eval_n, 37u);
+  EXPECT_EQ(msg->scale, Scale::kSmall);
+}
+
+TEST(EvalProtocolTest, ResultRoundTripPreservesEveryBit) {
+  EvalCellResult result;
+  result.row.metrics.method_name = "CEM";
+  result.row.metrics.validity = 0.1 + 0.2;  // Deliberately non-representable.
+  result.row.metrics.feasibility_unary = 0.3333333333333333;
+  result.row.metrics.feasibility_binary = 1.0;
+  result.row.metrics.continuous_proximity = 2.5e-17;
+  result.row.metrics.categorical_proximity = 3.75;
+  result.row.metrics.sparsity = 7.125;
+  result.row.show_unary = true;
+  result.row.show_binary = false;
+  result.eval_rows = 123;
+
+  auto msg = ParseResultFrame(MakeResultFrame(4, result));
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->cell, 4u);
+  EXPECT_EQ(msg->row.metrics.method_name, "CEM");
+  // Exact equality on purpose: f64 fields travel as raw bits.
+  EXPECT_EQ(msg->row.metrics.validity, result.row.metrics.validity);
+  EXPECT_EQ(msg->row.metrics.feasibility_unary,
+            result.row.metrics.feasibility_unary);
+  EXPECT_EQ(msg->row.metrics.feasibility_binary,
+            result.row.metrics.feasibility_binary);
+  EXPECT_EQ(msg->row.metrics.continuous_proximity,
+            result.row.metrics.continuous_proximity);
+  EXPECT_EQ(msg->row.metrics.categorical_proximity,
+            result.row.metrics.categorical_proximity);
+  EXPECT_EQ(msg->row.metrics.sparsity, result.row.metrics.sparsity);
+  EXPECT_TRUE(msg->row.show_unary);
+  EXPECT_FALSE(msg->row.show_binary);
+  EXPECT_EQ(msg->eval_rows, 123u);
+}
+
+TEST(EvalProtocolTest, ParsersRejectWrongFrameType) {
+  const wire::Frame hello = MakeHelloFrame();
+  EXPECT_EQ(ParseAssignFrame(hello).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseResultFrame(hello).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseCellErrorFrame(hello).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseHelloFrame(MakeShutdownFrame()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EvalProtocolTest, CellErrorRoundTrip) {
+  const Status failure = Status::Internal("cell exploded");
+  auto msg = ParseCellErrorFrame(MakeCellErrorFrame(9, failure));
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->cell, 9u);
+  EXPECT_NE(msg->message.find("cell exploded"), std::string::npos);
+}
+
+// ---- merge validation -----------------------------------------------------
+
+TEST(EvalMergeTest, RejectsWrongCellCount) {
+  const std::vector<DatasetId> datasets = {DatasetId::kAdult};
+  const std::vector<uint64_t> seeds = {42};
+  const std::vector<MethodKind> kinds = {MethodKind::kCem,
+                                         MethodKind::kDiceRandom};
+  std::vector<EvalCellResult> cells(1);  // Grid wants 2.
+  const Status status =
+      MergeCells(datasets, seeds, kinds, SmallConfig(), cells).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("2-cell grid"), std::string::npos);
+}
+
+// ---- coordinator / worker end-to-end --------------------------------------
+
+std::string TestSocketPath(const char* tag) {
+  return std::string("/tmp/cfx_eval_shard_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct SweepSpec {
+  std::vector<DatasetId> datasets = {DatasetId::kAdult};
+  std::vector<uint64_t> seeds = {42, 43};
+  std::vector<MethodKind> kinds = {MethodKind::kCem, MethodKind::kDiceRandom};
+};
+
+TEST(EvalShardE2eTest, TwoWorkersMatchSingleProcessBitwise) {
+  const SweepSpec spec;
+  const RunConfig base = SmallConfig();
+
+  auto reference =
+      RunSingleProcessSweep(spec.datasets, spec.seeds, spec.kinds, base);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const std::string path = TestSocketPath("two_workers");
+  auto addr = wire::ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = wire::Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  CoordinatorOptions options;
+  options.expected_workers = 2;
+  options.accept_timeout_ms = 30000;
+  options.cell_timeout_ms = 120000;
+  Coordinator coordinator(std::move(*listener), options);
+
+  std::vector<std::thread> workers;
+  std::vector<Status> worker_status(2, Status::OK());
+  for (size_t i = 0; i < 2; ++i) {
+    workers.emplace_back([&, i] {
+      WorkerOptions wopts;
+      wopts.idle_timeout_ms = 120000;
+      worker_status[i] = RunWorker(*addr, /*connect_timeout_ms=*/30000, wopts);
+    });
+  }
+  auto sharded = coordinator.Run(spec.datasets, spec.seeds, spec.kinds, base);
+  for (std::thread& t : workers) t.join();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_TRUE(worker_status[0].ok()) << worker_status[0].ToString();
+  EXPECT_TRUE(worker_status[1].ok()) << worker_status[1].ToString();
+  EXPECT_EQ(sharded->retries, 0u);
+  EXPECT_EQ(sharded->workers_lost, 0u);
+
+  // The bitwise contract, stated on the same artifacts ci.sh diffs.
+  EXPECT_EQ(HexDumpSweep(spec.datasets, spec.seeds, spec.kinds, *sharded),
+            HexDumpSweep(spec.datasets, spec.seeds, spec.kinds, *reference));
+  ASSERT_EQ(sharded->tables.size(), reference->tables.size());
+  for (size_t i = 0; i < sharded->tables.size(); ++i) {
+    EXPECT_EQ(sharded->tables[i].rendered, reference->tables[i].rendered)
+        << "table " << i;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(EvalShardE2eTest, KilledWorkerCellIsRetriedElsewhere) {
+  // The saboteur handshakes like a real worker, takes one assignment, then
+  // slams its socket shut — indistinguishable from a killed process. Its
+  // cell must be retried on the surviving worker and the merged output must
+  // still match the single-process reference bitwise.
+  const SweepSpec spec;
+  const RunConfig base = SmallConfig();
+
+  auto reference =
+      RunSingleProcessSweep(spec.datasets, spec.seeds, spec.kinds, base);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const std::string path = TestSocketPath("killed_worker");
+  auto addr = wire::ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = wire::Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  CoordinatorOptions options;
+  options.expected_workers = 2;
+  options.accept_timeout_ms = 30000;
+  options.cell_timeout_ms = 120000;
+  Coordinator coordinator(std::move(*listener), options);
+
+  std::thread saboteur([&] {
+    auto conn = wire::ConnectWithRetry(*addr, /*timeout_ms=*/30000);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    ASSERT_TRUE(
+        conn->SendFrame(MakeHelloFrame(), /*timeout_ms=*/30000).ok());
+    wire::Frame assign;
+    ASSERT_TRUE(conn->ReceiveFrame(&assign, /*timeout_ms=*/60000).ok());
+    ASSERT_EQ(assign.type, wire::FrameType::kAssign);
+    conn->Close();  // Dies mid-cell.
+  });
+  Status worker_status = Status::OK();
+  std::thread survivor([&] {
+    WorkerOptions wopts;
+    wopts.idle_timeout_ms = 120000;
+    worker_status = RunWorker(*addr, /*connect_timeout_ms=*/30000, wopts);
+  });
+
+  auto sharded = coordinator.Run(spec.datasets, spec.seeds, spec.kinds, base);
+  saboteur.join();
+  survivor.join();
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_TRUE(worker_status.ok()) << worker_status.ToString();
+  EXPECT_EQ(sharded->retries, 1u);
+  EXPECT_EQ(sharded->workers_lost, 1u);
+
+  EXPECT_EQ(HexDumpSweep(spec.datasets, spec.seeds, spec.kinds, *sharded),
+            HexDumpSweep(spec.datasets, spec.seeds, spec.kinds, *reference));
+  ASSERT_EQ(sharded->tables.size(), reference->tables.size());
+  for (size_t i = 0; i < sharded->tables.size(); ++i) {
+    EXPECT_EQ(sharded->tables[i].rendered, reference->tables[i].rendered)
+        << "table " << i;
+  }
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace cfx

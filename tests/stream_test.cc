@@ -646,5 +646,129 @@ TEST(IngestTest, MalformedRowLatchesErrorAndKeepsEarlierRows) {
   EXPECT_EQ(metrics::GetCounter("stream/errors")->value(), errors_before + 1);
 }
 
+// ---- regressions ------------------------------------------------------------
+
+// Regression: Rescore over an empty reservoir used to Set(0.0) on both rate
+// gauges, fabricating a "0% of CFs still valid" alert out of nothing. An
+// empty pass must leave the gauges at their last measured values and only
+// advance drift/rescore/runs and drift/rescore/scored.
+TEST(DriftEvalTest, EmptyReservoirLeavesRateGaugesUntouched) {
+  TabularEncoder encoder = FittedScalarEncoder();
+  RollingStats stats(ScalarSchema(), RollingStatsConfig());
+
+  // A real pass first, so the gauges hold a meaningful measurement.
+  DriftEvaluator seeded(&encoder, ThresholdPredictor(), nullptr,
+                        ConstraintTolerance(), DriftEvalConfig());
+  Matrix cf(1, 1);
+  cf.at(0, 0) = 0.8f;  // Predicted 1 == desired: validity 1.0.
+  seeded.RecordServed(cf, cf, 1);
+  EXPECT_DOUBLE_EQ(seeded.Rescore(stats).validity_rate, 1.0);
+
+  metrics::Gauge* validity = metrics::GetGauge("drift/rescore/validity_rate");
+  metrics::Gauge* feasibility =
+      metrics::GetGauge("drift/rescore/feasibility_rate");
+  metrics::Counter* runs = metrics::GetCounter("drift/rescore/runs");
+  metrics::Counter* scored = metrics::GetCounter("drift/rescore/scored");
+  ASSERT_NE(validity, nullptr);
+  ASSERT_NE(feasibility, nullptr);
+  EXPECT_DOUBLE_EQ(validity->value(), 1.0);
+  const double feasibility_before = feasibility->value();
+  const uint64_t runs_before = runs->value();
+  const uint64_t scored_before = scored->value();
+
+  // Empty reservoir: the pass runs but measures nothing.
+  DriftEvaluator empty(&encoder, ThresholdPredictor(), nullptr,
+                       ConstraintTolerance(), DriftEvalConfig());
+  const DriftReport report = empty.Rescore(stats);
+  EXPECT_EQ(report.scored, 0u);
+  EXPECT_TRUE(empty.last_error().ok());
+
+  EXPECT_DOUBLE_EQ(validity->value(), 1.0);  // Pre-fix: zeroed here.
+  EXPECT_DOUBLE_EQ(feasibility->value(), feasibility_before);
+  EXPECT_EQ(runs->value(), runs_before + 1);      // The run itself counts...
+  EXPECT_EQ(scored->value(), scored_before);      // ...but nothing scored.
+}
+
+// Regression: a BatchPredictor returning fewer labels than rows used to
+// walk the validity loop off the end of the returned vector (heap OOB
+// read). The violation must be latched as an error, the pass skipped, and
+// the gauges left alone.
+TEST(DriftEvalTest, ShortPredictorOutputLatchesErrorInsteadOfOobRead) {
+  TabularEncoder encoder = FittedScalarEncoder();
+  stream::BatchPredictor short_predictor = [](const Matrix& m) {
+    (void)m;
+    return std::vector<int>(1, 1);  // Always one label, whatever the batch.
+  };
+  DriftEvaluator eval(&encoder, std::move(short_predictor), nullptr,
+                      ConstraintTolerance(), DriftEvalConfig());
+  Matrix cf(1, 1);
+  cf.at(0, 0) = 0.8f;
+  for (int i = 0; i < 4; ++i) eval.RecordServed(cf, cf, 1);
+
+  metrics::Gauge* validity = metrics::GetGauge("drift/rescore/validity_rate");
+  ASSERT_NE(validity, nullptr);
+  validity->Set(0.75);  // Sentinel: the broken pass must not overwrite it.
+
+  RollingStats stats(ScalarSchema(), RollingStatsConfig());
+  ASSERT_TRUE(eval.last_error().ok());
+  const DriftReport report = eval.Rescore(stats);
+  EXPECT_EQ(report.scored, 4u);
+  EXPECT_EQ(report.valid, 0u);
+  EXPECT_DOUBLE_EQ(report.validity_rate, 0.0);
+
+  const Status latched = eval.last_error();
+  ASSERT_FALSE(latched.ok());
+  EXPECT_EQ(latched.code(), StatusCode::kInternal);
+  EXPECT_NE(latched.message().find("1 labels for 4 rows"), std::string::npos)
+      << latched.ToString();
+  EXPECT_DOUBLE_EQ(validity->value(), 0.75);
+}
+
+// The ingest pipeline surfaces the latched predictor violation through
+// status(), like framing errors.
+TEST(IngestTest, PredictorContractViolationSurfacesThroughStatus) {
+  const Schema schema = TinySchema();
+  Table baseline(schema);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        baseline.AppendRow({20.0 + i, static_cast<double>(i % 3), 1.0, 5.0}, 1)
+            .ok());
+  }
+  TabularEncoder encoder(schema);
+  ASSERT_TRUE(encoder.Fit(baseline).ok());
+
+  StreamIngest ingest(schema, StreamIngestConfig());
+  ASSERT_TRUE(ingest
+                  .BindPipeline(&encoder,
+                                [](const Matrix& m) {
+                                  (void)m;
+                                  return std::vector<int>();  // Broken.
+                                },
+                                nullptr)
+                  .ok());
+  Matrix enc_row = encoder.Transform(baseline).value().SliceRows(0, 1);
+  ingest.ObserveServed(enc_row, enc_row, 1);
+
+  ASSERT_TRUE(ingest.Start().ok());
+  ingest.Stop();  // Final RescoreAndPublish runs the broken predictor.
+  const Status status = ingest.status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("BatchPredictor"), std::string::npos)
+      << status.ToString();
+}
+
+// Regression: Add/Evict indexed every per-feature state with the incoming
+// row's width unchecked — a producer handing a short or long row corrupted
+// or over-read the stats arrays. Width mismatch is an invariant violation:
+// log-and-abort, like the other CFX_LOG(Error) aborts.
+TEST(RollingStatsDeathTest, RowWidthMismatchAborts) {
+  RollingStats stats(ScalarSchema(), RollingStatsConfig());  // Width 1.
+  EXPECT_DEATH(stats.Add({1.0, 2.0}), "width");
+  EXPECT_DEATH(stats.Add({}), "width");
+  stats.Add({42.0});  // The matching width still works.
+  EXPECT_EQ(stats.Stats(0).count, 1u);
+}
+
 }  // namespace
 }  // namespace cfx

@@ -1,0 +1,587 @@
+// Wire frame format + socket transport (ROADMAP item 4).
+//
+// The corruption taxonomy here mirrors the bundle reader's: every way a
+// frame can lie — truncation at any prefix, bad magic, version 0, version
+// skew, unknown frame/field types, lying field lengths, duplicate keys,
+// trailing garbage, CRC mismatch — must be rejected with a named error,
+// and the streaming decoder must produce identical results no matter how
+// the byte stream is chunked.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tensor/matrix.h"
+#include "src/wire/frame.h"
+#include "src/wire/transport.h"
+
+namespace cfx {
+namespace wire {
+namespace {
+
+Frame MakeSampleFrame() {
+  Frame frame;
+  frame.type = FrameType::kResult;
+  frame.payload.PutU64("cell", 7);
+  frame.payload.PutF64("validity", 0.8125);
+  frame.payload.PutString("method", "ours_unary");
+  frame.payload.PutF64Array("metrics", {1.0, -0.5, 0.25});
+  Matrix m(2, 3);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m.at(r, c) = static_cast<float>(r * 3 + c);
+  }
+  frame.payload.PutMatrix("rows", m);
+  return frame;
+}
+
+void ExpectSamplePayload(const Frame& frame) {
+  EXPECT_EQ(frame.type, FrameType::kResult);
+  ASSERT_EQ(frame.payload.size(), 5u);
+  auto cell = frame.payload.GetU64("cell");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(*cell, 7u);
+  auto validity = frame.payload.GetF64("validity");
+  ASSERT_TRUE(validity.ok());
+  EXPECT_EQ(*validity, 0.8125);
+  auto method = frame.payload.GetString("method");
+  ASSERT_TRUE(method.ok());
+  EXPECT_EQ(*method, "ours_unary");
+  auto metrics = frame.payload.GetF64Array("metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(*metrics, (std::vector<double>{1.0, -0.5, 0.25}));
+  auto rows = frame.payload.GetMatrix("rows");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows(), 2u);
+  ASSERT_EQ(rows->cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(rows->at(r, c), static_cast<float>(r * 3 + c));
+    }
+  }
+}
+
+TEST(WireFrameTest, EncodeDecodeRoundTrip) {
+  const Frame frame = MakeSampleFrame();
+  const std::string body = EncodeFrameBody(frame.type, frame.payload);
+  Frame decoded;
+  ASSERT_TRUE(DecodeFrameBody(body, &decoded).ok());
+  ExpectSamplePayload(decoded);
+  // Re-encoding the decoded frame is bitwise identical: field order is
+  // insertion order and survives the trip.
+  EXPECT_EQ(EncodeFrameBody(decoded.type, decoded.payload), body);
+}
+
+TEST(WireFrameTest, GettersAreStrictAboutPresenceAndType) {
+  const Frame frame = MakeSampleFrame();
+  EXPECT_EQ(frame.payload.GetU64("absent").status().code(),
+            StatusCode::kNotFound);
+  // "cell" is a u64 field; asking for any other type is InvalidArgument.
+  EXPECT_EQ(frame.payload.GetF64("cell").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(frame.payload.GetString("cell").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(frame.payload.GetF64Array("cell").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(frame.payload.GetMatrix("cell").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, PutReplacesInPlaceKeepingEncodeOrder) {
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload.PutU64("a", 1);
+  frame.payload.PutU64("b", 2);
+  const std::string before = EncodeFrameBody(frame.type, frame.payload);
+  frame.payload.PutU64("a", 9);  // Replace, not append.
+  EXPECT_EQ(frame.payload.size(), 2u);
+  auto a = frame.payload.GetU64("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 9u);
+  // Same layout (field order preserved), different payload bytes.
+  EXPECT_EQ(EncodeFrameBody(frame.type, frame.payload).size(), before.size());
+}
+
+TEST(WireFrameTest, TruncationAtEveryPrefixLengthIsRejected) {
+  const Frame frame = MakeSampleFrame();
+  const std::string body = EncodeFrameBody(frame.type, frame.payload);
+  for (size_t len = 0; len < body.size(); ++len) {
+    Frame out;
+    const Status status =
+        DecodeFrameBody(std::string_view(body.data(), len), &out);
+    EXPECT_FALSE(status.ok()) << "prefix length " << len << " decoded";
+  }
+}
+
+TEST(WireFrameTest, BadMagicIsRejected) {
+  std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  body[0] = 'X';
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad magic"), std::string::npos);
+}
+
+TEST(WireFrameTest, VersionZeroIsRejected) {
+  std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  std::memset(&body[4], 0, 4);  // u32 version follows the 4-byte magic.
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("version 0"), std::string::npos);
+}
+
+TEST(WireFrameTest, VersionSkewIsFailedPrecondition) {
+  std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  const uint32_t newer = kWireVersion + 1;
+  std::memcpy(&body[4], &newer, sizeof(newer));
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("version skew"), std::string::npos);
+}
+
+TEST(WireFrameTest, UnknownFrameTypeIsRejected) {
+  std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  body[8] = 99;  // u8 frame type follows magic + version.
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown wire frame type"),
+            std::string::npos);
+}
+
+TEST(WireFrameTest, UnknownFieldTypeIsRejected) {
+  FramePayload payload;
+  payload.PutU64("k", 1);
+  std::string body = EncodeFrameBody(FrameType::kHello, payload);
+  // Field layout after the 13-byte header + u32 count: u16 key_len, key
+  // bytes, u8 field type. Key is "k" (1 byte), so the type byte is at
+  // 13 + 2 + 1 = 16.
+  body[16] = 42;
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown type"), std::string::npos);
+}
+
+TEST(WireFrameTest, LyingFieldLengthIsRejected) {
+  FramePayload payload;
+  payload.PutU64("k", 1);
+  std::string body = EncodeFrameBody(FrameType::kHello, payload);
+  // u64 payload_len sits right after the field-type byte at offset 16.
+  const uint64_t lying = body.size();  // Overruns into/past the CRC trailer.
+  std::memcpy(&body[17], &lying, sizeof(lying));
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("lying length"), std::string::npos);
+}
+
+TEST(WireFrameTest, DuplicateKeysAreRejected) {
+  // PutU64 replaces in place, so a duplicate can only arrive over the wire.
+  // Build the duplicated body by splicing one encoded field in twice.
+  FramePayload one;
+  one.PutU64("dup", 5);
+  const std::string single = EncodeFrameBody(FrameType::kHello, one);
+  // Field bytes span [13, single.size() - 4): header then CRC trailer.
+  const std::string field = single.substr(13, single.size() - 13 - 4);
+  std::string body = single.substr(0, 13);
+  const uint32_t count = 2;
+  std::memcpy(&body[9], &count, sizeof(count));  // u32 field count at 9.
+  body += field;
+  body += field;
+  // The duplicate check fires while fields are parsed, before the CRC
+  // trailer is reached, so a placeholder trailer suffices.
+  body.append(4, '\0');
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("repeats field"), std::string::npos);
+}
+
+TEST(WireFrameTest, TrailingGarbageIsRejected) {
+  const std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  std::string padded = body;
+  padded.insert(padded.size() - 4, "JUNK");  // Between fields and CRC.
+  Frame out;
+  const Status status = DecodeFrameBody(padded, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("trailing garbage"), std::string::npos);
+}
+
+TEST(WireFrameTest, CrcMismatchIsRejected) {
+  const Frame frame = MakeSampleFrame();
+  std::string body = EncodeFrameBody(frame.type, frame.payload);
+  body[body.size() - 1] ^= 0x5a;  // Flip bits in the stored CRC.
+  Frame out;
+  const Status status = DecodeFrameBody(body, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("CRC mismatch"), std::string::npos);
+}
+
+TEST(WireFrameTest, PayloadBitFlipFailsTheCrc) {
+  const Frame frame = MakeSampleFrame();
+  const std::string clean = EncodeFrameBody(frame.type, frame.payload);
+  // Flip one bit in every non-trailer byte; each flip must be caught
+  // (by the CRC if nothing structural rejects it first).
+  for (size_t i = 0; i < clean.size() - 4; ++i) {
+    std::string body = clean;
+    body[i] ^= 0x01;
+    Frame out;
+    EXPECT_FALSE(DecodeFrameBody(body, &out).ok())
+        << "bit flip at offset " << i << " decoded";
+  }
+}
+
+// ---- streaming decoder ----------------------------------------------------
+
+TEST(WireDecoderTest, ChunkSplitAtEveryOffsetDecodesIdentically) {
+  const Frame a = MakeSampleFrame();
+  Frame b;
+  b.type = FrameType::kShutdown;
+  const std::string stream = EncodeFrame(a) + EncodeFrame(b);
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    std::vector<Frame> got;
+    FrameDecoder decoder(FrameDecoderConfig(), [&got](Frame&& f) {
+      got.push_back(std::move(f));
+      return Status::OK();
+    });
+    ASSERT_TRUE(decoder.Consume(stream.data(), split).ok()) << split;
+    ASSERT_TRUE(decoder.Consume(stream.data() + split, stream.size() - split)
+                    .ok())
+        << split;
+    ASSERT_TRUE(decoder.Finish().ok()) << split;
+    ASSERT_EQ(got.size(), 2u) << split;
+    ExpectSamplePayload(got[0]);
+    EXPECT_EQ(got[1].type, FrameType::kShutdown);
+    EXPECT_EQ(decoder.frames_decoded(), 2u);
+    EXPECT_EQ(decoder.bytes_consumed(), stream.size());
+    EXPECT_EQ(decoder.pending_bytes(), 0u);
+  }
+}
+
+TEST(WireDecoderTest, ByteAtATimeFeedDecodes) {
+  const Frame frame = MakeSampleFrame();
+  const std::string stream = EncodeFrame(frame);
+  size_t decoded = 0;
+  FrameDecoder decoder(FrameDecoderConfig(), [&decoded](Frame&& f) {
+    ExpectSamplePayload(f);
+    ++decoded;
+    return Status::OK();
+  });
+  for (char c : stream) ASSERT_TRUE(decoder.Consume(&c, 1).ok());
+  EXPECT_TRUE(decoder.Finish().ok());
+  EXPECT_EQ(decoded, 1u);
+}
+
+TEST(WireDecoderTest, ErrorLatchesUntilReset) {
+  std::string body = EncodeFrameBody(FrameType::kHello, FramePayload());
+  body[0] = 'X';
+  std::string stream;
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  stream.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  stream += body;
+
+  FrameDecoder decoder(FrameDecoderConfig(),
+                       [](Frame&&) { return Status::OK(); });
+  const Status first = decoder.Consume(stream);
+  EXPECT_EQ(first.code(), StatusCode::kInvalidArgument);
+  // Every later call returns the same latched error, even with good bytes.
+  const std::string good = EncodeFrame(MakeSampleFrame());
+  EXPECT_EQ(decoder.Consume(good).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(decoder.Finish().code(), StatusCode::kInvalidArgument);
+
+  // Reset clears the latch; the same decoder works again.
+  decoder.Reset();
+  EXPECT_TRUE(decoder.Consume(good).ok());
+  EXPECT_TRUE(decoder.Finish().ok());
+  EXPECT_EQ(decoder.frames_decoded(), 1u);
+}
+
+TEST(WireDecoderTest, OversizedLengthPrefixIsRejectedImmediately) {
+  FrameDecoderConfig config;
+  config.max_frame_bytes = 64;
+  FrameDecoder decoder(config, [](Frame&&) { return Status::OK(); });
+  const uint32_t huge = 1u << 20;
+  std::string prefix(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  const Status status = decoder.Consume(prefix);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The decoder must not wait for the (never-arriving) body.
+  EXPECT_NE(status.message().find("exceeds"), std::string::npos);
+}
+
+TEST(WireDecoderTest, FinishOnPartialFrameIsTruncation) {
+  const std::string stream = EncodeFrame(MakeSampleFrame());
+  FrameDecoder decoder(FrameDecoderConfig(),
+                       [](Frame&&) { return Status::OK(); });
+  ASSERT_TRUE(decoder.Consume(stream.data(), stream.size() / 2).ok());
+  EXPECT_GT(decoder.pending_bytes(), 0u);
+  const Status status = decoder.Finish();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mid-frame"), std::string::npos);
+}
+
+TEST(WireDecoderTest, SinkErrorLatches) {
+  const std::string stream = EncodeFrame(MakeSampleFrame());
+  FrameDecoder decoder(FrameDecoderConfig(), [](Frame&&) {
+    return Status::Internal("sink rejected");
+  });
+  const Status status = decoder.Consume(stream);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(decoder.Finish().code(), StatusCode::kInternal);
+}
+
+// ---- address parsing ------------------------------------------------------
+
+TEST(WireAddrTest, ParsesUnixAndTcp) {
+  auto unix_addr = ParseWireAddr("unix:/tmp/cfx test.sock");
+  ASSERT_TRUE(unix_addr.ok());
+  EXPECT_TRUE(unix_addr->is_unix);
+  EXPECT_EQ(unix_addr->path, "/tmp/cfx test.sock");
+  EXPECT_EQ(WireAddrToString(*unix_addr), "unix:/tmp/cfx test.sock");
+
+  auto tcp_addr = ParseWireAddr("tcp:127.0.0.1:8421");
+  ASSERT_TRUE(tcp_addr.ok());
+  EXPECT_FALSE(tcp_addr->is_unix);
+  EXPECT_EQ(tcp_addr->host, "127.0.0.1");
+  EXPECT_EQ(tcp_addr->port, 8421);
+  EXPECT_EQ(WireAddrToString(*tcp_addr), "tcp:127.0.0.1:8421");
+}
+
+TEST(WireAddrTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "unix:", "http:/tmp/x.sock", "tcp:127.0.0.1", "tcp::80",
+        "tcp:127.0.0.1:notaport", "tcp:127.0.0.1:70000", "tcp:127.0.0.1:80x",
+        "/tmp/bare-path.sock"}) {
+    EXPECT_EQ(ParseWireAddr(bad).status().code(),
+              StatusCode::kInvalidArgument)
+        << "spec '" << bad << "' parsed";
+  }
+}
+
+// ---- socket transport -----------------------------------------------------
+
+std::string TestSocketPath(const char* tag) {
+  return std::string("/tmp/cfx_wire_test_") + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+TEST(WireTransportTest, UnixLoopbackSendReceive) {
+  const std::string path = TestSocketPath("loopback");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  const Frame frame = MakeSampleFrame();
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  Frame got;
+  ASSERT_TRUE(server->ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+  ExpectSamplePayload(got);
+
+  // And back the other way on the same connection pair.
+  Frame reply;
+  reply.type = FrameType::kShutdown;
+  ASSERT_TRUE(server->SendFrame(reply, /*timeout_ms=*/5000).ok());
+  Frame got_reply;
+  ASSERT_TRUE(client->ReceiveFrame(&got_reply, /*timeout_ms=*/5000).ok());
+  EXPECT_EQ(got_reply.type, FrameType::kShutdown);
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, TcpPortZeroLoopback) {
+  auto addr = ParseWireAddr("tcp:127.0.0.1:0");
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  // Port 0 must resolve to the OS-assigned port.
+  EXPECT_NE(listener->local_addr().port, 0);
+
+  auto client = ConnectWithRetry(listener->local_addr(), /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload.PutU64("protocol", 1);
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  Frame got;
+  ASSERT_TRUE(server->ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+  EXPECT_EQ(got.type, FrameType::kHello);
+}
+
+TEST(WireTransportTest, ReceiveTimesOutWithDeadlineExceeded) {
+  const std::string path = TestSocketPath("timeout");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok());
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok());
+
+  Frame got;
+  const Status status = server->ReceiveFrame(&got, /*timeout_ms=*/50);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // The connection stays usable after a timeout.
+  Frame frame;
+  frame.type = FrameType::kShutdown;
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  ASSERT_TRUE(server->ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+  EXPECT_EQ(got.type, FrameType::kShutdown);
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, AcceptTimesOutWithDeadlineExceeded) {
+  const std::string path = TestSocketPath("accept_timeout");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto conn = listener->Accept(/*timeout_ms=*/50);
+  EXPECT_EQ(conn.status().code(), StatusCode::kDeadlineExceeded);
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, CleanPeerCloseAtFrameBoundaryIsCancelled) {
+  const std::string path = TestSocketPath("clean_close");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok());
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok());
+
+  Frame frame;
+  frame.type = FrameType::kShutdown;
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  client->Close();
+
+  // The frame sent before the close is still delivered...
+  Frame got;
+  ASSERT_TRUE(server->ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+  EXPECT_EQ(got.type, FrameType::kShutdown);
+  // ...then the clean close surfaces as Cancelled, not an error.
+  const Status status = server->ReceiveFrame(&got, /*timeout_ms=*/5000);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_NE(status.message().find("closed by peer"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, MidFrameCloseIsTruncationError) {
+  const std::string path = TestSocketPath("mid_frame");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok());
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok());
+
+  // Write half a frame with raw send(2), then close: the receiver must
+  // report truncation, not a clean close.
+  const std::string encoded = EncodeFrame(MakeSampleFrame());
+  const size_t half = encoded.size() / 2;
+  ASSERT_GT(half, 0u);
+  ASSERT_EQ(::write(client->fd(), encoded.data(), half),
+            static_cast<ssize_t>(half));
+  client->Close();
+
+  Frame got;
+  const Status status = server->ReceiveFrame(&got, /*timeout_ms=*/5000);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("mid-frame"), std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, GarbageBytesLatchDecodeErrorOnConnection) {
+  const std::string path = TestSocketPath("garbage");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok());
+  auto server = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(server.ok());
+
+  // A lying length prefix plus garbage body: decode error, not a hang.
+  std::string evil;
+  const uint32_t len = 32;
+  evil.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  evil.append(32, '\xee');
+  ASSERT_EQ(::write(client->fd(), evil.data(), evil.size()),
+            static_cast<ssize_t>(evil.size()));
+
+  Frame got;
+  const Status status = server->ReceiveFrame(&got, /*timeout_ms=*/5000);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The error is latched: later receives keep failing rather than
+  // resynchronising on attacker-controlled bytes.
+  EXPECT_FALSE(server->ReceiveFrame(&got, /*timeout_ms=*/50).ok());
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, StaleUnixSocketFileIsReplacedOnBind) {
+  const std::string path = TestSocketPath("stale");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  {
+    auto first = Listener::Bind(*addr);
+    ASSERT_TRUE(first.ok());
+    // Destroy the listener without unlinking — simulates a crashed run.
+  }
+  auto second = Listener::Bind(*addr);
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+  ::unlink(path.c_str());
+}
+
+TEST(WireTransportTest, ConnectionSurvivesMove) {
+  // Regression: the decoder sink must keep feeding the frame queue after
+  // the Connection is moved (Accept/ConnectOnce return by value). A sink
+  // bound to the moved-from object's address silently dropped every frame.
+  const std::string path = TestSocketPath("move");
+  auto addr = ParseWireAddr("unix:" + path);
+  ASSERT_TRUE(addr.ok());
+  auto listener = Listener::Bind(*addr);
+  ASSERT_TRUE(listener.ok());
+  auto client = ConnectWithRetry(*addr, /*timeout_ms=*/5000);
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept(/*timeout_ms=*/5000);
+  ASSERT_TRUE(accepted.ok());
+
+  // Force a pump (and decoder creation) before the move, then move.
+  Frame frame;
+  frame.type = FrameType::kHello;
+  frame.payload.PutU64("protocol", 1);
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  Frame got;
+  ASSERT_TRUE(accepted->ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+
+  Connection moved = std::move(*accepted);
+  ASSERT_TRUE(client->SendFrame(frame, /*timeout_ms=*/5000).ok());
+  ASSERT_TRUE(moved.ReceiveFrame(&got, /*timeout_ms=*/5000).ok());
+  EXPECT_EQ(got.type, FrameType::kHello);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace cfx

@@ -87,16 +87,38 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     } else if (arg == "--method") {
       opts->method = ToLower(value);
     } else if (arg == "--eval") {
-      opts->run.eval_instances = std::strtoull(value, nullptr, 10);
+      // Strict whole-string parses for every numeric flag: "abc" used to
+      // silently become 0 and "10k" became 10 via strtoull.
+      uint64_t n = 0;
+      if (!ParseUint64(value, &n) || n == 0) {
+        std::fprintf(stderr,
+                     "--eval expects a positive base-10 integer, got '%s'\n",
+                     value);
+        return false;
+      }
+      opts->run.eval_instances = static_cast<size_t>(n);
     } else if (arg == "--seed") {
-      opts->run.seed = std::strtoull(value, nullptr, 10);
+      if (!ParseUint64(value, &opts->run.seed)) {
+        std::fprintf(stderr,
+                     "--seed expects a base-10 unsigned integer, got '%s'\n",
+                     value);
+        return false;
+      }
     } else if (arg == "--scale") {
       if (!ParseScaleName(value, &opts->run.scale)) {
         std::fprintf(stderr, "unknown scale '%s' (small|paper)\n", value);
         return false;
       }
     } else if (arg == "--diverse") {
-      opts->diverse_k = std::strtoull(value, nullptr, 10);
+      uint64_t k = 0;
+      if (!ParseUint64(value, &k)) {
+        std::fprintf(stderr,
+                     "--diverse expects a base-10 unsigned integer, got "
+                     "'%s'\n",
+                     value);
+        return false;
+      }
+      opts->diverse_k = static_cast<size_t>(k);
     } else if (arg == "--out") {
       opts->out_csv = value;
     } else if (arg == "--weights") {

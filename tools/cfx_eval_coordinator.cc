@@ -1,0 +1,231 @@
+// cfx_eval_coordinator — sharded Table IV sweep driver.
+//
+// Usage:
+//   cfx_eval_coordinator [--listen unix:/tmp/cfx_eval.sock|tcp:127.0.0.1:0]
+//                        [--workers N] [--datasets adult,census,law]
+//                        [--seeds 42,43] [--methods all|cem,dice,...]
+//                        [--eval N] [--scale small|paper]
+//                        [--out tables.txt] [--hexdump cells.hex]
+//                        [--accept-timeout-ms N] [--cell-timeout-ms N]
+//
+// With --workers N (N >= 1) the coordinator listens, waits for N
+// cfx_eval_worker processes to connect, shards the (dataset, method, seed)
+// grid across them, retries failed cells once on another worker, and merges
+// the results in grid order. With --workers 0 it runs every cell in-process
+// — the single-process reference. Both modes render identical bytes for
+// identical grids; --hexdump writes the %a-formatted per-cell metric dump
+// the CI gate diffs between the two.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/string_util.h"
+#include "src/eval/coordinator.h"
+
+namespace {
+
+using namespace cfx;
+
+struct Options {
+  std::string listen = "unix:/tmp/cfx_eval.sock";
+  size_t workers = 0;
+  std::vector<DatasetId> datasets = {DatasetId::kAdult};
+  std::vector<uint64_t> seeds = {42};
+  std::vector<MethodKind> methods;  ///< Empty = all nine Table IV rows.
+  RunConfig run;
+  std::string out_path;
+  std::string hexdump_path;
+  eval::CoordinatorOptions coord;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: cfx_eval_coordinator [--listen unix:<path>|tcp:<host>:<port>]\n"
+      "    [--workers N]            0 = run single-process (reference)\n"
+      "    [--datasets adult,census,law] [--seeds 42,43]\n"
+      "    [--methods all|ours_unary,ours_binary,mahajan_unary,\n"
+      "       mahajan_binary,revise,cchvae,cem,dice,face]\n"
+      "    [--eval N] [--scale small|paper]\n"
+      "    [--out tables.txt] [--hexdump cells.hex]\n"
+      "    [--accept-timeout-ms N] [--cell-timeout-ms N]\n");
+}
+
+bool ParseFlagUint(const char* flag, const char* value, uint64_t* out) {
+  if (!ParseUint64(value, out)) {
+    std::fprintf(stderr, "%s expects a base-10 unsigned integer, got '%s'\n",
+                 flag, value);
+    return false;
+  }
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, Options* opts) {
+  opts->run = RunConfig::FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      opts->help = true;
+      return true;
+    }
+    const char* value = i + 1 < argc ? argv[++i] : nullptr;
+    if (value == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return false;
+    }
+    uint64_t n = 0;
+    if (arg == "--listen") {
+      opts->listen = value;
+    } else if (arg == "--workers") {
+      if (!ParseFlagUint("--workers", value, &n)) return false;
+      opts->workers = static_cast<size_t>(n);
+    } else if (arg == "--datasets") {
+      opts->datasets.clear();
+      for (const std::string& name : Split(value, ',')) {
+        DatasetId id;
+        if (!eval::ParseDatasetName(name, &id)) {
+          std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+          return false;
+        }
+        opts->datasets.push_back(id);
+      }
+    } else if (arg == "--seeds") {
+      opts->seeds.clear();
+      for (const std::string& s : Split(value, ',')) {
+        if (!ParseFlagUint("--seeds", s.c_str(), &n)) return false;
+        opts->seeds.push_back(n);
+      }
+    } else if (arg == "--methods") {
+      opts->methods.clear();
+      if (std::string(value) != "all") {
+        for (const std::string& name : Split(value, ',')) {
+          MethodKind kind;
+          if (!eval::ParseMethodKindName(name, &kind)) {
+            std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+            return false;
+          }
+          opts->methods.push_back(kind);
+        }
+      }
+    } else if (arg == "--eval") {
+      if (!ParseFlagUint("--eval", value, &n) || n == 0) {
+        std::fprintf(stderr, "--eval expects a positive integer\n");
+        return false;
+      }
+      opts->run.eval_instances = static_cast<size_t>(n);
+    } else if (arg == "--scale") {
+      if (!ParseScaleName(value, &opts->run.scale)) {
+        std::fprintf(stderr, "unknown scale '%s' (small|paper)\n", value);
+        return false;
+      }
+    } else if (arg == "--out") {
+      opts->out_path = value;
+    } else if (arg == "--hexdump") {
+      opts->hexdump_path = value;
+    } else if (arg == "--accept-timeout-ms") {
+      if (!ParseFlagUint("--accept-timeout-ms", value, &n)) return false;
+      opts->coord.accept_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--cell-timeout-ms") {
+      if (!ParseFlagUint("--cell-timeout-ms", value, &n)) return false;
+      opts->coord.cell_timeout_ms = static_cast<int>(n);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->datasets.empty() || opts->seeds.empty()) {
+    std::fprintf(stderr, "--datasets and --seeds must be non-empty\n");
+    return false;
+  }
+  if (opts->methods.empty()) opts->methods = AllMethodKinds();
+  return true;
+}
+
+bool WriteFileOrDie(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
+int Run(const Options& opts) {
+  StatusOr<eval::ShardedSweep> sweep =
+      Status::Internal("sweep never ran");
+  if (opts.workers == 0) {
+    std::printf("running %zu cells single-process (reference mode)\n",
+                opts.datasets.size() * opts.seeds.size() *
+                    opts.methods.size());
+    sweep = eval::RunSingleProcessSweep(opts.datasets, opts.seeds,
+                                        opts.methods, opts.run);
+  } else {
+    auto addr = wire::ParseWireAddr(opts.listen);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "--listen: %s\n",
+                   addr.status().ToString().c_str());
+      return 1;
+    }
+    auto listener = wire::Listener::Bind(*addr);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "bind failed: %s\n",
+                   listener.status().ToString().c_str());
+      return 1;
+    }
+    eval::CoordinatorOptions coord = opts.coord;
+    coord.expected_workers = opts.workers;
+    eval::Coordinator coordinator(std::move(*listener), coord);
+    std::printf("listening on %s for %zu workers\n",
+                wire::WireAddrToString(coordinator.listen_addr()).c_str(),
+                opts.workers);
+    std::fflush(stdout);
+    sweep = coordinator.Run(opts.datasets, opts.seeds, opts.methods,
+                            opts.run);
+  }
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string tables;
+  for (const eval::MergedTable& table : sweep->tables) {
+    tables += StrFormat("# seed %llu\n",
+                        static_cast<unsigned long long>(table.seed));
+    tables += table.rendered;
+    tables += "\n";
+  }
+  std::printf("%s", tables.c_str());
+  std::printf("sweep done: %zu cells, %zu retries, %zu workers lost\n",
+              sweep->cells.size(), sweep->retries, sweep->workers_lost);
+  if (!opts.out_path.empty() && !WriteFileOrDie(opts.out_path, tables)) {
+    return 1;
+  }
+  if (!opts.hexdump_path.empty() &&
+      !WriteFileOrDie(opts.hexdump_path,
+                      eval::HexDumpSweep(opts.datasets, opts.seeds,
+                                         opts.methods, *sweep))) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+  if (opts.help) {
+    PrintUsage();
+    return 0;
+  }
+  return Run(opts);
+}

@@ -1,0 +1,84 @@
+// cfx_eval_worker — one worker process of the sharded Table IV harness.
+//
+// Usage:
+//   cfx_eval_worker [--connect unix:/tmp/cfx_eval.sock|tcp:<host>:<port>]
+//                   [--connect-timeout-ms N] [--idle-timeout-ms N]
+//                   [--cache N]
+//
+// Connects to a cfx_eval_coordinator (retrying until the connect timeout —
+// workers may start first), then runs assigned evaluation cells until the
+// coordinator shuts the sweep down. Exit code 0 on a clean shutdown.
+#include <cstdio>
+#include <string>
+
+#include "src/eval/worker.h"
+
+namespace {
+
+using namespace cfx;
+
+void PrintUsage() {
+  std::printf(
+      "usage: cfx_eval_worker [--connect unix:<path>|tcp:<host>:<port>]\n"
+      "    [--connect-timeout-ms N] [--idle-timeout-ms N] [--cache N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect = "unix:/tmp/cfx_eval.sock";
+  int connect_timeout_ms = 30000;
+  eval::WorkerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    const char* value = i + 1 < argc ? argv[++i] : nullptr;
+    if (value == nullptr) {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+    uint64_t n = 0;
+    if (arg == "--connect") {
+      connect = value;
+    } else if (arg == "--connect-timeout-ms") {
+      if (!ParseUint64(value, &n)) {
+        std::fprintf(stderr, "--connect-timeout-ms: bad value '%s'\n", value);
+        return 2;
+      }
+      connect_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!ParseUint64(value, &n)) {
+        std::fprintf(stderr, "--idle-timeout-ms: bad value '%s'\n", value);
+        return 2;
+      }
+      options.idle_timeout_ms = static_cast<int>(n);
+    } else if (arg == "--cache") {
+      if (!ParseUint64(value, &n) || n == 0) {
+        std::fprintf(stderr, "--cache: bad value '%s'\n", value);
+        return 2;
+      }
+      options.cache_capacity = static_cast<size_t>(n);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  auto addr = wire::ParseWireAddr(connect);
+  if (!addr.ok()) {
+    std::fprintf(stderr, "--connect: %s\n", addr.status().ToString().c_str());
+    return 2;
+  }
+  Status st = eval::RunWorker(*addr, connect_timeout_ms, options);
+  if (!st.ok()) {
+    std::fprintf(stderr, "worker exited with error: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -27,7 +27,10 @@
 #                       per-model serve/dispatch/<model>/<method> counters),
 #                       and a stream smoke (perf_stream ingest/drift arms;
 #                       the metrics artifact must carry stream/rows_ingested
-#                       and at least one drift/ series).
+#                       and at least one drift/ series), and an eval-shard
+#                       smoke (a 2-worker sharded Table IV mini-grid over
+#                       real coordinator/worker processes, diffed bitwise
+#                       against the single-process reference).
 #   2. "asan" preset  — address + undefined-behaviour sanitizers, full
 #                       ctest + the same smokes under the sanitizers.
 #   3. "tsan" preset  — thread sanitizer over the concurrency-heavy
@@ -37,7 +40,8 @@
 #                       stream_test (producers vs the ingest thread), the
 #                       concurrent PredictionCache tests, and the
 #                       multi-model + stream smokes (eviction churn and the
-#                       threaded ingest pipeline under TSan).
+#                       threaded ingest pipeline under TSan), and the
+#                       eval-shard smoke (socket I/O + poll loop under TSan).
 #
 # Bench provenance: every BENCH_*.json committed at the repo root must come
 # from a Release build — the smokes here run from the Release "ci" preset
@@ -218,6 +222,53 @@ stream_smoke() {
   done
 }
 
+# Sharded-evaluation smoke: the 2-worker mini-grid (adult x seeds {42,43} x
+# {cem, dice}) against the single-process reference, diffed bitwise. The
+# coordinator's hexfloat cell dump AND the rendered tables must be
+# byte-identical — the determinism contract of the wire harness, proven on
+# real worker processes (the in-thread version lives in eval_shard_test).
+eval_shard_smoke() {
+  local build_dir="$1"
+  local sock="/tmp/cfx_eval_smoke_$$.sock"
+  local out_dir="$build_dir/eval_shard_smoke"
+  local grid=(--datasets adult --seeds 42,43 --methods cem,dice
+              --eval 40 --scale small)
+  rm -rf "$out_dir"
+  mkdir -p "$out_dir"
+  CFX_THREADS=1 "$build_dir/tools/cfx_eval_coordinator" --workers 0 \
+    "${grid[@]}" \
+    --out "$out_dir/ref_tables.txt" --hexdump "$out_dir/ref_cells.hex"
+  CFX_THREADS=1 "$build_dir/tools/cfx_eval_worker" --connect "unix:$sock" &
+  local w1=$!
+  CFX_THREADS=1 "$build_dir/tools/cfx_eval_worker" --connect "unix:$sock" &
+  local w2=$!
+  if ! CFX_THREADS=1 "$build_dir/tools/cfx_eval_coordinator" \
+      --listen "unix:$sock" --workers 2 "${grid[@]}" \
+      --out "$out_dir/sharded_tables.txt" \
+      --hexdump "$out_dir/sharded_cells.hex"; then
+    echo "eval shard smoke: sharded coordinator failed" >&2
+    kill "$w1" "$w2" 2>/dev/null || true
+    wait "$w1" "$w2" 2>/dev/null || true
+    return 1
+  fi
+  local worker_rc=0
+  wait "$w1" || worker_rc=$?
+  wait "$w2" || worker_rc=$?
+  if (( worker_rc != 0 )); then
+    echo "eval shard smoke: a worker exited non-zero ($worker_rc)" >&2
+    return 1
+  fi
+  if ! cmp "$out_dir/ref_cells.hex" "$out_dir/sharded_cells.hex"; then
+    echo "eval shard smoke: sharded cell metrics differ bitwise" >&2
+    return 1
+  fi
+  if ! cmp "$out_dir/ref_tables.txt" "$out_dir/sharded_tables.txt"; then
+    echo "eval shard smoke: rendered tables differ" >&2
+    return 1
+  fi
+  echo "eval shard smoke: sharded == single-process (bitwise)"
+}
+
 # Provenance scan over the BENCH_*.json artifacts committed at the repo
 # root: any file whose recorded build type is not "release" gets a loud
 # warning (non-blocking — the artifact may predate the provenance fields,
@@ -336,6 +387,8 @@ echo "==> [1/3] multi-model smoke (registry metrics artifact)"
 multimodel_smoke build-ci
 echo "==> [1/3] stream smoke (perf_stream + ingest/drift metrics artifact)"
 stream_smoke build-ci
+echo "==> [1/3] eval shard smoke (2-worker sweep vs single-process, bitwise)"
+eval_shard_smoke build-ci
 echo "==> [1/3] serving-perf gate vs committed baseline"
 serve_bench_compare build-ci
 
@@ -359,6 +412,8 @@ if [[ "$skip_asan" -eq 0 ]]; then
   ASAN_OPTIONS=detect_leaks=0 multimodel_smoke build-asan
   echo "==> [2/3] stream smoke under sanitizers"
   ASAN_OPTIONS=detect_leaks=0 stream_smoke build-asan
+  echo "==> [2/3] eval shard smoke under sanitizers"
+  ASAN_OPTIONS=detect_leaks=0 eval_shard_smoke build-asan
 else
   echo "==> [2/3] ASan/UBSan build skipped (--skip-asan)"
 fi
@@ -370,7 +425,8 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   # single-threaded code at ~10x cost for no added coverage.
   cmake --build --preset tsan -j "$jobs" \
     --target serve_test registry_test mpsc_queue_test bloom_filter_test \
-             baselines_test stream_test perf_serve perf_stream
+             baselines_test stream_test perf_serve perf_stream \
+             cfx_eval_coordinator cfx_eval_worker
   echo "==> [3/3] serve_test under TSan"
   CFX_THREADS=1 ./build-tsan/tests/serve_test
   echo "==> [3/3] registry_test under TSan (evict-under-load races)"
@@ -387,6 +443,8 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   multimodel_smoke build-tsan
   echo "==> [3/3] stream smoke under TSan (ingest pipeline)"
   stream_smoke build-tsan
+  echo "==> [3/3] eval shard smoke under TSan (coordinator/worker processes)"
+  eval_shard_smoke build-tsan
 else
   echo "==> [3/3] TSan build skipped (--skip-tsan)"
 fi
